@@ -1,0 +1,59 @@
+"""Reproduce paper Fig. 11: the SWPn coarsening study.
+
+Speedups of the software-pipelined schedule iterated 1x, 4x, 8x and 16x
+per kernel invocation.  Coarsening amortizes the kernel-launch cost
+over more steady-state iterations; the paper observes "the gains start
+to plateau between SWP4 and SWP8 for all benchmarks".
+
+The timed operation is the coarsening transformation + run simulation
+for one factor (the ILP is solved once per benchmark and shared).
+"""
+
+import pytest
+
+from _harness import COARSENINGS, benchmark_names, geomean, swp_sweep, write_report
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_fig11_row(benchmark, name):
+    sweep = swp_sweep(name)
+
+    from repro.core.coarsen import coarsen_schedule
+    base = sweep[1].schedule
+    benchmark(lambda: coarsen_schedule(base, 8))
+
+    speedups = {n: sweep[n].speedup for n in COARSENINGS}
+    # Monotone-ish improvement that plateaus: SWP8 must capture almost
+    # all of SWP16's gain, and SWP4 most of SWP8's.  3% jitter allowed
+    # around the plateau — the bus simulation's contention windows
+    # shift with granularity, and the paper's own curves wobble there.
+    assert speedups[4] >= speedups[1] * 0.97
+    assert speedups[8] >= speedups[4] * 0.97
+    assert speedups[16] <= speedups[8] * 1.10
+    assert speedups[8] >= speedups[16] * 0.90
+
+
+def test_fig11_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        "Fig. 11 — Coarsening study: speedup of SWP1/4/8/16",
+        f"{'Benchmark':<12} " + "".join(f"{'SWP' + str(n):>9}"
+                                        for n in COARSENINGS),
+    ]
+    columns = {n: [] for n in COARSENINGS}
+    for name in benchmark_names():
+        sweep = swp_sweep(name)
+        row = f"{name:<12} "
+        for n in COARSENINGS:
+            columns[n].append(sweep[n].speedup)
+            row += f"{sweep[n].speedup:>9.2f}"
+        lines.append(row)
+    lines.append(f"{'GeoMean':<12} "
+                 + "".join(f"{geomean(columns[n]):>9.2f}"
+                           for n in COARSENINGS))
+    lines.append("")
+    lines.append("Paper shape: gains plateau between SWP4 and SWP8; "
+                 "speedups range 1.87x-36.83x.")
+    write_report("fig11.txt", lines)
+
+    assert geomean(columns[8]) >= geomean(columns[1])

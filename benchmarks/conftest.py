@@ -1,0 +1,6 @@
+"""Make the harness module importable from every bench file."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Write a stream program in the StreamIt-like surface language, compile
+it end-to-end, and dump the generated CUDA sources.
+
+Demonstrates the full front-to-back story: text -> AST -> stream graph
+-> ILP software pipelining -> CUDA code generation, with the DSL work
+bodies lowered both to executable Python (for the golden run) and to
+CUDA C (emitted verbatim in the device functions).
+
+Run:  python examples/custom_dsl_program.py
+"""
+
+from repro.codegen import generate_sources
+from repro.compiler import CompileOptions, compile_stream_program
+from repro.lang import build_graph
+from repro.runtime import run_reference
+
+SOURCE = """
+// An audio-style chain: oscillator -> echo -> soft clip -> meter.
+
+void->float filter Oscillator(int N) {
+    work push N {
+        for (int i = 0; i < N; i++) {
+            push(sin(0.19634954 * i));   // pi/16
+        }
+    }
+}
+
+float->float filter Echo(int D, float decay) {
+    work pop 1 push 1 peek D {
+        push(peek(0) + decay * peek(D - 1));
+        pop();
+    }
+}
+
+float->float filter SoftClip(float limit) {
+    work pop 1 push 1 {
+        float v = pop();
+        if (v > limit) { v = limit; }
+        if (v < -limit) { v = -limit; }
+        push(v);
+    }
+}
+
+float->void filter Meter() {
+    work pop 4 {
+        pop(); pop(); pop(); pop();
+    }
+}
+
+void->void pipeline Main() {
+    add Oscillator(8);
+    add Echo(16, 0.5);
+    add SoftClip(0.8);
+    add Meter();
+}
+"""
+
+
+def main() -> None:
+    graph = build_graph(SOURCE)
+    print("Parsed + elaborated:", graph.summary())
+
+    outputs = run_reference(graph, iterations=3)
+    sink = graph.sinks[0]
+    print("First metered samples:",
+          [round(v, 3) for v in outputs[sink.uid][:6]])
+
+    compiled = compile_stream_program(
+        graph, CompileOptions(scheme="swp", coarsening=4))
+    print(f"\nSpeedup over 1-thread CPU: {compiled.speedup:.2f}x "
+          f"(II {compiled.schedule.ii:.0f}, "
+          f"stages 0..{compiled.schedule.max_stage})")
+
+    sources = generate_sources(compiled.program, compiled.schedule,
+                               compiled.buffers, coarsening=4)
+    print("\n--- generated indexing header " + "-" * 30)
+    print(sources.indexing_header)
+    print("--- generated Echo device function (DSL body) " + "-" * 14)
+    for chunk in sources.device_functions.split("\n\n"):
+        if "work_Echo" in chunk:
+            print(chunk)
+            break
+    print("--- software-pipelined kernel (first 25 lines) " + "-" * 13)
+    print("\n".join(sources.swp_kernel.splitlines()[:25]))
+
+
+if __name__ == "__main__":
+    main()

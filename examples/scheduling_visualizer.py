@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Visualize a software-pipelined schedule as an ASCII Gantt chart.
+
+Compiles the DCT benchmark, then renders each SM's instances across the
+initiation interval (offsets `o`), annotated with pipeline stages `f` —
+the schedule structure that Section III's ILP produces.  Also runs the
+functional pipelined executor to confirm the schedule computes exactly
+what the reference interpreter computes.
+
+Run:  python examples/scheduling_visualizer.py
+"""
+
+from repro.apps import benchmark_by_name
+from repro.core import configure_program, search_ii, uniform_config
+from repro.runtime.swp_executor import verify_against_reference
+
+WIDTH = 72
+
+
+def render(schedule, names) -> str:
+    lines = []
+    ii = schedule.ii
+    for sm in schedule.used_sms:
+        placements = schedule.sm_order(sm)
+        row = [" "] * WIDTH
+        for placement in placements:
+            start = int(placement.offset / ii * (WIDTH - 1))
+            length = max(1, int(schedule.problem.delays[placement.node]
+                                / ii * WIDTH))
+            label = f"{names[placement.node][:6]}/f{placement.stage}"
+            for i in range(start, min(WIDTH, start + length)):
+                row[i] = "#"
+            for i, ch in enumerate(label):
+                if start + i < WIDTH:
+                    row[start + i] = ch
+        load = schedule.sm_load(sm)
+        lines.append(f"SM{sm:2d} |{''.join(row)}| "
+                     f"{100 * load / ii:5.1f}% busy")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    info = benchmark_by_name("DCT")
+    graph = info.build()
+    print(f"Scheduling {info.name}: {graph.summary()}\n")
+
+    # Small thread counts keep the functional verification fast; the
+    # schedule structure is the same as at full width.
+    program = configure_program(graph, uniform_config(graph, threads=4),
+                                num_sms=8)
+    result = search_ii(program.problem)
+    schedule = result.schedule
+
+    print(f"II = {schedule.ii:.0f} cycles "
+          f"(MII {result.mii:.0f}, relaxed {100 * result.relaxation:.1f}%, "
+          f"{len(result.attempts)} ILP attempts, "
+          f"{result.total_seconds:.1f}s)\n")
+    print(render(schedule, program.problem.names))
+    print(f"\nPipeline depth: {schedule.max_stage} stages — instances at "
+          f"stage f execute iteration (n - f) during invocation n.")
+
+    run = verify_against_reference(program, schedule)
+    print(f"\nFunctional check: {run.fired_instances} macro-instances "
+          f"executed over {run.invocations} invocations; outputs match "
+          f"the reference interpreter token-for-token.")
+    print("Peak channel footprints (tokens):",
+          run.channel_peak_footprint[:8], "...")
+
+
+if __name__ == "__main__":
+    main()

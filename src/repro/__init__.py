@@ -1,0 +1,78 @@
+"""repro — reproduction of "Software Pipelined Execution of Stream
+Programs on GPUs" (Udupa, Govindarajan, Thazhuthaveetil; CGO 2009).
+
+The package compiles StreamIt-style stream programs onto a simulated
+NVIDIA GeForce 8800-class GPU via ILP-based software pipelining, with a
+coalescing-friendly buffer layout, and reproduces the paper's full
+experimental evaluation.
+
+Top-level convenience imports cover the common workflow::
+
+    from repro import Pipeline, Filter, flatten
+"""
+
+from .errors import (
+    CodegenError,
+    GraphError,
+    IlpError,
+    InfeasibleError,
+    LanguageError,
+    RateError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from .graph import (
+    Channel,
+    FeedbackLoop,
+    Filter,
+    Joiner,
+    Pipeline,
+    SplitJoin,
+    SplitKind,
+    Splitter,
+    SteadyState,
+    StreamGraph,
+    WorkEstimate,
+    flatten,
+    solve_rates,
+)
+
+from .compiler import (
+    CompileOptions,
+    CompiledProgram,
+    compile_stream_program,
+    compile_swp_sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Channel",
+    "CodegenError",
+    "CompileOptions",
+    "CompiledProgram",
+    "compile_stream_program",
+    "compile_swp_sweep",
+    "FeedbackLoop",
+    "Filter",
+    "GraphError",
+    "IlpError",
+    "InfeasibleError",
+    "Joiner",
+    "LanguageError",
+    "Pipeline",
+    "RateError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "SplitJoin",
+    "SplitKind",
+    "Splitter",
+    "SteadyState",
+    "StreamGraph",
+    "WorkEstimate",
+    "flatten",
+    "solve_rates",
+    "__version__",
+]

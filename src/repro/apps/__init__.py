@@ -1,0 +1,35 @@
+"""The eight StreamIt 2.1.1 benchmarks of the paper's evaluation
+(Table I), re-implemented on this package's stream IR with real
+computations (real DES, real FFT, real DCT, windowed-sinc FIRs...).
+
+Each module exposes ``build() -> StreamGraph`` and a ``BENCHMARK``
+registry entry; :func:`all_benchmarks` returns them in Table I order.
+"""
+
+from . import bitonic, bitonic_rec, dct, des, fft, filterbank, fmradio, matmul
+from .common import BenchmarkInfo
+
+
+def all_benchmarks() -> list[BenchmarkInfo]:
+    """The Table I benchmark suite, in the paper's order."""
+    return [
+        bitonic.BENCHMARK,
+        bitonic_rec.BENCHMARK,
+        dct.BENCHMARK,
+        des.BENCHMARK,
+        fft.BENCHMARK,
+        filterbank.BENCHMARK,
+        fmradio.BENCHMARK,
+        matmul.BENCHMARK,
+    ]
+
+
+def benchmark_by_name(name: str) -> BenchmarkInfo:
+    for info in all_benchmarks():
+        if info.name.lower() == name.lower():
+            return info
+    known = [b.name for b in all_benchmarks()]
+    raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+
+
+__all__ = ["BenchmarkInfo", "all_benchmarks", "benchmark_by_name"]

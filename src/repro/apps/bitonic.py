@@ -1,0 +1,106 @@
+"""Bitonic sorting network for 8 integers (Table I: "Bitonic").
+
+The iterative construction: log2(8) = 3 merge levels; level ``k`` has
+``k`` compare-exchange stages, six stages total.  Each stage is built
+the StreamIt way: a permutation filter brings compared pairs adjacent,
+a round-robin split-join runs four two-input compare-exchange filters
+in parallel, and the inverse permutation restores element order.
+Compare directions follow the classic bitonic pattern (alternating
+blocks in intermediate levels, all-ascending in the final merge).
+"""
+
+from __future__ import annotations
+
+from ..graph.nodes import Filter, WorkEstimate
+from ..graph.structures import Pipeline, SplitJoin
+from ..graph.flatten import flatten
+from ..graph.graph import StreamGraph
+from .common import BenchmarkInfo, int_source, null_sink, permutation_filter
+
+N = 8
+
+
+def _compare_exchange(name: str, ascending: bool) -> Filter:
+    """Sort a pair of tokens into the requested direction."""
+
+    def work(window):
+        a, b = window[0], window[1]
+        low, high = (a, b) if a <= b else (b, a)
+        return [low, high] if ascending else [high, low]
+
+    return Filter(name, pop=2, push=2, work=work,
+                  estimate=WorkEstimate(compute_ops=4, loads=2, stores=2,
+                                        registers=8))
+
+
+def _stage_pairs(distance: int) -> list[tuple[int, int]]:
+    """Index pairs compared at a given compare distance."""
+    pairs = []
+    for block_start in range(0, N, 2 * distance):
+        for i in range(block_start, block_start + distance):
+            pairs.append((i, i + distance))
+    return pairs
+
+
+def _stage_directions(pairs: list[tuple[int, int]],
+                      level_size: int) -> list[bool]:
+    """Ascending/descending per pair: direction alternates per
+    ``level_size`` block of the array (True = ascending)."""
+    return [(i // level_size) % 2 == 0 for i, _j in pairs]
+
+
+def _compare_stage(stage_id: int, distance: int,
+                   level_size: int) -> Pipeline:
+    """One compare-exchange stage as perm -> splitjoin(CE x4) -> unperm."""
+    pairs = _stage_pairs(distance)
+    directions = _stage_directions(pairs, level_size)
+
+    # Permutation placing each compared pair adjacently.
+    order = []
+    for i, j in pairs:
+        order.extend((i, j))
+    inverse = [0] * N
+    for position, source in enumerate(order):
+        inverse[source] = position
+
+    comparators = [
+        _compare_exchange(f"ce{stage_id}_{p}", ascending)
+        for p, ascending in enumerate(directions)]
+    stage = SplitJoin(comparators, split=[2] * len(pairs),
+                      join=[2] * len(pairs), name=f"stage{stage_id}")
+    return Pipeline([
+        permutation_filter(f"perm{stage_id}", order),
+        stage,
+        permutation_filter(f"unperm{stage_id}", inverse),
+    ], name=f"bitonic_stage{stage_id}")
+
+
+def build() -> StreamGraph:
+    """The full 8-element bitonic sorting network."""
+    stages = []
+    stage_id = 0
+    level = 2
+    while level <= N:
+        distance = level // 2
+        while distance >= 1:
+            stages.append(_compare_stage(stage_id, distance, level))
+            stage_id += 1
+            distance //= 2
+        level *= 2
+    return flatten(Pipeline(
+        [int_source("input", push=N)] + stages + [null_sink(N, "output")],
+        name="bitonic"), name="bitonic")
+
+
+def sort_reference(values: list) -> list:
+    """What the network computes on one 8-element block."""
+    return sorted(values)
+
+
+BENCHMARK = BenchmarkInfo(
+    name="Bitonic",
+    description="Bitonic sorting network for sorting 8 integers.",
+    build=build,
+    paper_filters=58,
+    paper_peeking=0,
+)

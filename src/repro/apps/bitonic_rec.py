@@ -1,0 +1,86 @@
+"""Recursive bitonic sorting network (Table I: "BitonicRec").
+
+The textbook recursive construction, mirroring StreamIt's recursive
+benchmark: ``sort(n, dir)`` sorts the two halves in opposite directions
+(a round-robin split-join of recursive sorters) and bitonically merges;
+``merge(n, dir)`` is a cross-compare of elements ``i`` and ``i + n/2``
+followed by a split-join of two half-size merges.  Same function as the
+iterative network, different (deeper) graph shape — which is exactly why
+the paper evaluates both.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..graph.nodes import Filter, WorkEstimate
+from ..graph.structures import Pipeline, SplitJoin
+from ..graph.flatten import flatten
+from ..graph.graph import StreamGraph
+from .common import BenchmarkInfo, identity_block, int_source, null_sink
+
+N = 8
+
+_uid = itertools.count()
+
+
+def _cross_compare(n: int, ascending: bool) -> Filter:
+    """Compare-exchange element i with i + n/2 for i in [0, n/2)."""
+    half = n // 2
+
+    def work(window):
+        out = list(window[:n])
+        for i in range(half):
+            a, b = out[i], out[i + half]
+            if (a > b) == ascending:
+                out[i], out[i + half] = b, a
+        return out
+
+    direction = "up" if ascending else "down"
+    return Filter(f"cc{n}{direction}_{next(_uid)}", pop=n, push=n,
+                  work=work,
+                  estimate=WorkEstimate(compute_ops=2 * n, loads=n,
+                                        stores=n, registers=10))
+
+
+def _merge(n: int, ascending: bool):
+    """Bitonic merge of a length-n bitonic sequence."""
+    if n == 2:
+        return _cross_compare(2, ascending)
+    half = n // 2
+    inner = SplitJoin(
+        [_merge(half, ascending), _merge(half, ascending)],
+        split=[half, half], join=[half, half],
+        name=f"merge{n}_{next(_uid)}")
+    return Pipeline([_cross_compare(n, ascending), inner],
+                    name=f"bmerge{n}_{next(_uid)}")
+
+
+def _sort(n: int, ascending: bool):
+    """Recursive bitonic sort of n elements."""
+    if n == 1:
+        return identity_block(f"leaf_{next(_uid)}", 1)
+    half = n // 2
+    halves = SplitJoin(
+        [_sort(half, True), _sort(half, False)],
+        split=[half, half], join=[half, half],
+        name=f"halves{n}_{next(_uid)}")
+    return Pipeline([halves, _merge(n, ascending)],
+                    name=f"bsort{n}_{next(_uid)}")
+
+
+def build() -> StreamGraph:
+    return flatten(Pipeline([
+        int_source("input", push=N),
+        _sort(N, True),
+        null_sink(N, "output"),
+    ], name="bitonic_rec"), name="bitonic_rec")
+
+
+BENCHMARK = BenchmarkInfo(
+    name="BitonicRec",
+    description="Recursive implementation of the bitonic sorting network.",
+    build=build,
+    paper_filters=61,
+    paper_peeking=0,
+)

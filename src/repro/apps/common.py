@@ -1,0 +1,176 @@
+"""Shared building blocks for the StreamIt benchmark applications.
+
+These mirror the small reusable filters of the StreamIt benchmark suite
+(permutations, FIR filters, adders, sample-rate changers) and carry
+explicit :class:`~repro.graph.nodes.WorkEstimate` data so the GPU and
+CPU cost models see realistic per-firing work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import GraphError
+from ..graph.nodes import Filter, WorkEstimate, indexed_source
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Registry entry for one benchmark (Table I row)."""
+
+    name: str
+    description: str
+    build: Callable[[], "object"]      # -> StreamGraph
+    paper_filters: int                 # Table I "Filters" column
+    paper_peeking: int                 # Table I "Peeking Filters" column
+
+
+def float_source(name: str, push: int) -> Filter:
+    """Deterministic pseudo-random float source (stateless by index)."""
+
+    def value(position: int) -> float:
+        # xorshift-style hash mapped to [-1, 1): reproducible and cheap.
+        h = (position * 2654435761) & 0xFFFFFFFF
+        h ^= h >> 16
+        h = (h * 0x45D9F3B) & 0xFFFFFFFF
+        h ^= h >> 16
+        return (h / 2 ** 31) - 1.0
+
+    return indexed_source(name, push=push, fn=value)
+
+
+def int_source(name: str, push: int, modulus: int = 251) -> Filter:
+    """Deterministic pseudo-random small-int source."""
+
+    def value(position: int) -> int:
+        return (position * 7919 + 13) % modulus
+
+    return indexed_source(name, push=push, fn=value)
+
+
+def bit_source(name: str, push: int) -> Filter:
+    """Deterministic bit stream (tokens are 0/1 ints) for DES."""
+
+    def value(position: int) -> int:
+        h = (position * 0x9E3779B1 + 0x7F4A7C15) & 0xFFFFFFFF
+        h ^= h >> 13
+        return h & 1
+
+    return indexed_source(name, push=push, fn=value)
+
+
+def null_sink(pop: int, name: str = "sink") -> Filter:
+    """Consume ``pop`` tokens per firing (the benchmark harness reads
+    the interpreter's sink capture instead of filter output)."""
+    return Filter(name, pop=pop, push=0, work=lambda _w: [],
+                  estimate=WorkEstimate(compute_ops=0, loads=pop,
+                                        stores=0, registers=4))
+
+
+def permutation_filter(name: str, order: Sequence[int]) -> Filter:
+    """Reorder a block: output[i] = input[order[i]].  Pure data
+    movement, like StreamIt's reordering filters."""
+    order = list(order)
+    n = len(order)
+    if sorted(order) != list(range(n)):
+        raise GraphError(f"{name}: order must be a permutation of 0..{n-1}")
+    return Filter(name, pop=n, push=n,
+                  work=lambda w, _o=order: [w[i] for i in _o],
+                  estimate=WorkEstimate(compute_ops=n, loads=n, stores=n,
+                                        registers=8))
+
+
+def adder_filter(name: str, arity: int) -> Filter:
+    """Sum ``arity`` tokens into one (the equalizer/filterbank adders)."""
+    return Filter(name, pop=arity, push=1,
+                  work=lambda w, _n=arity: [sum(w[:_n])],
+                  estimate=WorkEstimate(compute_ops=arity, loads=arity,
+                                        stores=1, registers=6))
+
+
+def subtracter_filter(name: str = "sub") -> Filter:
+    """out = in[1] - in[0] (the band-pass construction in FMRadio)."""
+    return Filter(name, pop=2, push=1, work=lambda w: [w[1] - w[0]],
+                  estimate=WorkEstimate(compute_ops=2, loads=2, stores=1,
+                                        registers=6))
+
+
+def fir_filter(name: str, taps: Sequence[float], *,
+               decimation: int = 1) -> Filter:
+    """A peeking FIR filter: ``out = sum(taps[i] * in[i])``, consuming
+    ``decimation`` samples per firing (StreamIt's canonical LowPassFilter
+    shape — this is what makes a filter 'peeking' in Table I)."""
+    taps = [float(t) for t in taps]
+    n = len(taps)
+    if n < 1:
+        raise GraphError(f"{name}: FIR needs at least one tap")
+    if decimation < 1:
+        raise GraphError(f"{name}: decimation must be >= 1")
+    peek = max(n, decimation)
+
+    def work(window: Sequence) -> list:
+        acc = 0.0
+        for i in range(n):
+            acc += taps[i] * window[i]
+        return [acc]
+
+    return Filter(name, pop=decimation, push=1, peek=peek, work=work,
+                  estimate=WorkEstimate(compute_ops=2 * n, loads=peek,
+                                        stores=1,
+                                        registers=min(48, 10 + n // 8),
+                                        fresh_loads=decimation))
+
+
+def low_pass_taps(rate: float, cutoff: float, taps: int) -> list[float]:
+    """Windowed-sinc low-pass coefficients (StreamIt's LowPassFilter)."""
+    if taps < 1:
+        raise GraphError("need at least one tap")
+    coeffs = []
+    m = taps - 1
+    for i in range(taps):
+        if 2 * i == m:
+            coeffs.append(2 * cutoff / rate)
+        else:
+            x = math.pi * (i - m / 2)
+            coeffs.append(math.sin(2 * math.pi * cutoff * (i - m / 2)
+                                   / rate) / x)
+        if m:  # Hamming window
+            coeffs[-1] *= 0.54 - 0.46 * math.cos(2 * math.pi * i / m)
+    return coeffs
+
+
+def band_pass_taps(rate: float, low: float, high: float,
+                   taps: int) -> list[float]:
+    """Band-pass = difference of two low-pass responses."""
+    lo = low_pass_taps(rate, low, taps)
+    hi = low_pass_taps(rate, high, taps)
+    return [h - l for h, l in zip(hi, lo)]
+
+
+def upsample_filter(name: str, factor: int) -> Filter:
+    """Zero-stuffing expander (StreamIt's Expander)."""
+    if factor < 1:
+        raise GraphError(f"{name}: factor must be >= 1")
+    return Filter(name, pop=1, push=factor,
+                  work=lambda w, _f=factor: [w[0]] + [0.0] * (_f - 1),
+                  estimate=WorkEstimate(compute_ops=factor, loads=1,
+                                        stores=factor, registers=6))
+
+
+def downsample_filter(name: str, factor: int) -> Filter:
+    """Keep one sample in ``factor`` (StreamIt's Compressor)."""
+    if factor < 1:
+        raise GraphError(f"{name}: factor must be >= 1")
+    return Filter(name, pop=factor, push=1, work=lambda w: [w[0]],
+                  estimate=WorkEstimate(compute_ops=1, loads=1, stores=1,
+                                        registers=6))
+
+
+def identity_block(name: str, size: int) -> Filter:
+    """Pass ``size`` tokens through unchanged (wiring helper)."""
+    return Filter(name, pop=size, push=size,
+                  work=lambda w, _n=size: list(w[:_n]),
+                  estimate=WorkEstimate(compute_ops=0, loads=size,
+                                        stores=size, registers=6))

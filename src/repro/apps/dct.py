@@ -1,0 +1,79 @@
+"""8x8 two-dimensional Discrete Cosine Transform (Table I: "DCT").
+
+Separable 2D DCT-II: eight row-wise 1D DCTs in a round-robin split-join,
+a transpose, eight column-wise 1D DCTs, and a final transpose.  The 1D
+kernels compute the real O(n^2) DCT-II with precomputed cosine
+coefficients.  The fat [8]x8 splitters/joiners moving whole rows with
+zero compute are what gives this benchmark the "phased, bandwidth
+hungry" behaviour the paper discusses (Serial slightly beats SWP here).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.nodes import Filter, WorkEstimate
+from ..graph.structures import Pipeline, SplitJoin
+from ..graph.flatten import flatten
+from ..graph.graph import StreamGraph
+from .common import BenchmarkInfo, float_source, null_sink, permutation_filter
+
+N = 8
+
+#: DCT-II coefficient matrix: C[k][n] = s(k) * cos(pi*(2n+1)*k / (2N)).
+_COEFFS = [[(math.sqrt(1.0 / N) if k == 0 else math.sqrt(2.0 / N))
+            * math.cos(math.pi * (2 * n + 1) * k / (2 * N))
+            for n in range(N)] for k in range(N)]
+
+
+def dct_1d(values) -> list[float]:
+    """Reference 1D DCT-II (used by the filters and by the tests)."""
+    return [sum(_COEFFS[k][n] * values[n] for n in range(N))
+            for k in range(N)]
+
+
+def _dct_filter(name: str) -> Filter:
+    return Filter(name, pop=N, push=N,
+                  work=lambda w: dct_1d(list(w[:N])),
+                  estimate=WorkEstimate(compute_ops=2 * N * N, loads=N,
+                                        stores=N, registers=20))
+
+
+def _transpose_order() -> list[int]:
+    return [(i % N) * N + (i // N) for i in range(N * N)]
+
+
+def _dct_pass(tag: str) -> Pipeline:
+    """Eight parallel 1D DCTs over the rows of an 8x8 block."""
+    rows = SplitJoin([_dct_filter(f"dct_{tag}{r}") for r in range(N)],
+                     split=[N] * N, join=[N] * N, name=f"rows_{tag}")
+    return Pipeline([rows], name=f"pass_{tag}")
+
+
+def build() -> StreamGraph:
+    return flatten(Pipeline([
+        float_source("block", push=N * N),
+        _dct_pass("row"),
+        permutation_filter("transpose1", _transpose_order()),
+        _dct_pass("col"),
+        permutation_filter("transpose2", _transpose_order()),
+        null_sink(N * N, "output"),
+    ], name="dct"), name="dct")
+
+
+def dct_2d_reference(block) -> list[float]:
+    """Reference 2D DCT of a row-major 8x8 block (for tests)."""
+    rows = [dct_1d(block[r * N:(r + 1) * N]) for r in range(N)]
+    cols = [[rows[r][c] for r in range(N)] for c in range(N)]
+    cols = [dct_1d(col) for col in cols]
+    # cols[c][k] = transform of column c; transpose back to row-major.
+    return [cols[c][r] for r in range(N) for c in range(N)]
+
+
+BENCHMARK = BenchmarkInfo(
+    name="DCT",
+    description="8x8 Discrete Cosine Transform.",
+    build=build,
+    paper_filters=40,
+    paper_peeking=0,
+)

@@ -1,0 +1,103 @@
+"""DES encryption (Table I: "DES").
+
+A real DES implementation over a bit-token stream: the initial
+permutation, sixteen Feistel rounds and the final permutation.  Each
+round is a StreamIt-style split-join: a duplicate splitter feeds (a)
+an identity branch carrying the full [L, R] state and (b) the
+f-function branch (expansion + round-key XOR + S-boxes + P-permutation
+in one compute-heavy filter); a recombine filter then forms
+``[L', R'] = [R, L xor f(R)]``.  Round keys are baked in at graph
+construction from a fixed 64-bit key, exactly like StreamIt's constant
+propagation would.
+"""
+
+from __future__ import annotations
+
+from ..graph.nodes import Filter, WorkEstimate
+from ..graph.structures import Pipeline, SplitJoin
+from ..graph.flatten import flatten
+from ..graph.graph import StreamGraph
+from .common import BenchmarkInfo, bit_source, identity_block, null_sink
+from .des_tables import FP, IP, des_encrypt_block, f_function, key_schedule
+
+#: The benchmark's fixed key (StreamIt's DES also uses a constant key).
+KEY_BITS = [(0x13 >> (7 - i)) & 1 for i in range(8)] * 8
+
+ROUND_KEYS = key_schedule(KEY_BITS)
+
+
+def _permute64(name: str, table) -> Filter:
+    return Filter(name, pop=64, push=64,
+                  work=lambda w, _t=table: [w[i - 1] for i in _t],
+                  estimate=WorkEstimate(compute_ops=64, loads=64,
+                                        stores=64, registers=10))
+
+
+def _f_branch(round_index: int) -> Filter:
+    """f(R) from the full 64-bit state: expansion, key XOR, all eight
+    S-boxes and the P permutation (the round's compute core)."""
+    key = ROUND_KEYS[round_index]
+
+    def work(window):
+        right = list(window[32:64])
+        return f_function(right, key)
+
+    return Filter(f"ffunc{round_index}", pop=64, push=32, work=work,
+                  estimate=WorkEstimate(compute_ops=48 + 48 + 8 * 8 + 32,
+                                        loads=64, stores=32,
+                                        registers=24))
+
+
+def _recombine(round_index: int) -> Filter:
+    """[L(32), R(32), f(R)(32)] -> [L', R'] = [R, L ^ f(R)]."""
+
+    def work(window):
+        left = list(window[0:32])
+        right = list(window[32:64])
+        f_out = list(window[64:96])
+        return right + [l ^ f for l, f in zip(left, f_out)]
+
+    return Filter(f"round{round_index}", pop=96, push=64, work=work,
+                  estimate=WorkEstimate(compute_ops=32, loads=96,
+                                        stores=64, registers=12))
+
+
+def _feistel_round(round_index: int) -> Pipeline:
+    branch = SplitJoin(
+        [identity_block(f"carry{round_index}", 64),
+         _f_branch(round_index)],
+        split="duplicate", join=[64, 32],
+        name=f"feistel{round_index}", block=64)
+    return Pipeline([branch, _recombine(round_index)],
+                    name=f"desround{round_index}")
+
+
+def _final_swap() -> Filter:
+    return Filter("swap", pop=64, push=64,
+                  work=lambda w: list(w[32:64]) + list(w[0:32]),
+                  estimate=WorkEstimate(compute_ops=0, loads=64,
+                                        stores=64, registers=8))
+
+
+def build() -> StreamGraph:
+    stages = [bit_source("plaintext", push=64), _permute64("ip", IP)]
+    for round_index in range(16):
+        stages.append(_feistel_round(round_index))
+    stages.append(_final_swap())
+    stages.append(_permute64("fp", FP))
+    stages.append(null_sink(64, "ciphertext"))
+    return flatten(Pipeline(stages, name="des"), name="des")
+
+
+def encrypt_reference(block_bits) -> list[int]:
+    """Golden DES encryption with the benchmark key (for tests)."""
+    return des_encrypt_block(list(block_bits), ROUND_KEYS)
+
+
+BENCHMARK = BenchmarkInfo(
+    name="DES",
+    description="Implementation of the DES encryption algorithm.",
+    build=build,
+    paper_filters=55,
+    paper_peeking=0,
+)

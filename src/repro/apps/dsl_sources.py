@@ -1,0 +1,186 @@
+"""Complete example programs in the StreamIt-like surface language.
+
+These exercise the textual front end on realistic multi-rate structures
+(the same shapes the paper's benchmarks use) and are compiled end to
+end by the test suite.  They double as documentation of the language.
+"""
+
+MOVING_AVERAGE = """
+// The StreamIt hello-world: a sliding-window average.
+void->float filter Sensor() {
+    work push 1 {
+        push(1.0);
+    }
+}
+
+float->float filter MovingAverage(int N) {
+    work pop 1 push 1 peek N {
+        float sum = 0.0;
+        for (int i = 0; i < N; i++) {
+            sum += peek(i);
+        }
+        push(sum / N);
+        pop();
+    }
+}
+
+float->void filter Display() {
+    work pop 1 { pop(); }
+}
+
+void->void pipeline Main() {
+    add Sensor();
+    add MovingAverage(8);
+    add Display();
+}
+"""
+
+EQUALIZER = """
+// A miniature FMRadio-style equalizer: duplicate split into band-pass
+// branches (each the difference of two low-pass windows), then sum.
+void->float filter Antenna() {
+    work push 1 {
+        push(0.5);
+    }
+}
+
+float->float filter WindowAvg(int N) {
+    work pop 1 push 1 peek N {
+        float acc = 0.0;
+        for (int i = 0; i < N; i++) {
+            acc += peek(i);
+        }
+        push(acc / N);
+        pop();
+    }
+}
+
+float->float filter Gain(float g) {
+    work pop 1 push 1 {
+        push(pop() * g);
+    }
+}
+
+float->float splitjoin BandCore(int lo, int hi) {
+    split duplicate;
+    add WindowAvg(lo);
+    add WindowAvg(hi);
+    join roundrobin(1, 1);
+}
+
+float->float filter Subtract() {
+    work pop 2 push 1 {
+        float a = pop();
+        float b = pop();
+        push(b - a);
+    }
+}
+
+float->float splitjoin Bands() {
+    split duplicate;
+    add BandPipe(2, 4, 0.5);
+    add BandPipe(4, 8, 1.0);
+    add BandPipe(8, 16, 1.5);
+    join roundrobin(1, 1, 1);
+}
+
+float->float pipeline BandPipe(int lo, int hi, float g) {
+    add BandCore(lo, hi);
+    add Subtract();
+    add Gain(g);
+}
+
+float->float filter Sum3() {
+    work pop 3 push 1 {
+        push(pop() + pop() + pop());
+    }
+}
+
+float->void filter Speaker() {
+    work pop 1 { pop(); }
+}
+
+void->void pipeline Main() {
+    add Antenna();
+    add Bands();
+    add Sum3();
+    add Speaker();
+}
+"""
+
+DOWNSAMPLING_CHAIN = """
+// A multirate decimation chain: 8 -> 4 -> 2 -> 1 samples.
+void->float filter Burst() {
+    work push 8 {
+        for (int i = 0; i < 8; i++) {
+            push(1.0 * i);
+        }
+    }
+}
+
+float->float filter Halve() {
+    work pop 2 push 1 {
+        float a = pop();
+        float b = pop();
+        push((a + b) / 2.0);
+    }
+}
+
+float->void filter Out() {
+    work pop 1 { pop(); }
+}
+
+void->void pipeline Main() {
+    add Burst();
+    add Halve();
+    add Halve();
+    add Halve();
+    add Out();
+}
+"""
+
+RUNNING_MAX = """
+// Feedback loop: running maximum via a loop-carried state token.
+void->float filter Samples() {
+    work push 1 { push(3.0); }
+}
+
+float->float filter MaxDup() {
+    work pop 2 push 2 {
+        float current = pop();
+        float carried = pop();
+        float m = max(current, carried);
+        push(m);
+        push(m);
+    }
+}
+
+float->float filter LoopId() {
+    work pop 1 push 1 { push(pop()); }
+}
+
+float->void filter Out() {
+    work pop 1 { pop(); }
+}
+
+float->float feedbackloop Tracker() {
+    join roundrobin(1, 1);
+    body add MaxDup();
+    loop add LoopId();
+    split roundrobin(1, 1);
+    enqueue 0.0;
+}
+
+void->void pipeline Main() {
+    add Samples();
+    add Tracker();
+    add Out();
+}
+"""
+
+ALL_SOURCES = {
+    "moving_average": MOVING_AVERAGE,
+    "equalizer": EQUALIZER,
+    "downsampling_chain": DOWNSAMPLING_CHAIN,
+    "running_max": RUNNING_MAX,
+}

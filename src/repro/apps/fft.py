@@ -1,0 +1,108 @@
+"""Radix-2 Fast Fourier Transform over 64 complex points (Table I: "FFT").
+
+StreamIt's FFT benchmark shape: a *pipeline* of FFTReorder filters
+(recursive even/odd deinterleaving — equivalently bit reversal) followed
+by one CombineDFT filter per butterfly level.  No split-joins: the
+benchmark exposes pipeline parallelism, not task parallelism, which is
+why it schedules so differently from DCT/MatrixMult in the paper.
+
+Tokens are interleaved re/im floats (128 per 64-point block); each
+filter processes one whole block per firing (the granularity StreamIt's
+fusion produces).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+from ..graph.nodes import Filter, WorkEstimate
+from ..graph.structures import Pipeline
+from ..graph.flatten import flatten
+from ..graph.graph import StreamGraph
+from .common import BenchmarkInfo, float_source, null_sink
+
+N = 64          # complex points
+TOKENS = 2 * N  # interleaved floats
+
+
+def _reorder_filter(span: int) -> Filter:
+    """FFTReorder(span): within every ``span``-point group, emit the
+    even-indexed points then the odd-indexed ones."""
+
+    def work(window):
+        out = []
+        for base in range(0, N, span):
+            for i in range(0, span, 2):
+                point = base + i
+                out.extend((window[2 * point], window[2 * point + 1]))
+            for i in range(1, span, 2):
+                point = base + i
+                out.extend((window[2 * point], window[2 * point + 1]))
+        return out
+
+    return Filter(f"reorder{span}", pop=TOKENS, push=TOKENS, work=work,
+                  estimate=WorkEstimate(compute_ops=N, loads=TOKENS,
+                                        stores=TOKENS, registers=12))
+
+
+def _combine_filter(span: int) -> Filter:
+    """CombineDFT(span): butterfly-combine adjacent span/2-point DFTs
+    into span-point DFTs, for every group in the block."""
+    half = span // 2
+    twiddles = [cmath.exp(-2j * math.pi * k / span) for k in range(half)]
+    groups = N // span
+
+    def work(window):
+        out = [0.0] * TOKENS
+        for g in range(groups):
+            base = g * span
+            for k in range(half):
+                even = complex(window[2 * (base + k)],
+                               window[2 * (base + k) + 1])
+                odd = complex(window[2 * (base + half + k)],
+                              window[2 * (base + half + k) + 1])
+                t = twiddles[k] * odd
+                top = even + t
+                bottom = even - t
+                out[2 * (base + k)] = top.real
+                out[2 * (base + k) + 1] = top.imag
+                out[2 * (base + half + k)] = bottom.real
+                out[2 * (base + half + k) + 1] = bottom.imag
+        return out
+
+    ops = 10 * half * groups
+    return Filter(f"combine{span}", pop=TOKENS, push=TOKENS, work=work,
+                  estimate=WorkEstimate(compute_ops=ops, loads=TOKENS,
+                                        stores=TOKENS, registers=20))
+
+
+def build() -> StreamGraph:
+    stages = [float_source("samples", push=TOKENS)]
+    span = N
+    while span > 2:
+        stages.append(_reorder_filter(span))
+        span //= 2
+    span = 2
+    while span <= N:
+        stages.append(_combine_filter(span))
+        span *= 2
+    stages.append(null_sink(TOKENS, "spectrum"))
+    return flatten(Pipeline(stages, name="fft"), name="fft")
+
+
+def fft_reference(samples) -> list[complex]:
+    """O(n^2) DFT for correctness checks."""
+    values = [complex(samples[2 * i], samples[2 * i + 1])
+              for i in range(N)]
+    return [sum(values[n] * cmath.exp(-2j * math.pi * k * n / N)
+                for n in range(N)) for k in range(N)]
+
+
+BENCHMARK = BenchmarkInfo(
+    name="FFT",
+    description="Fast Fourier Transform.",
+    build=build,
+    paper_filters=26,
+    paper_peeking=0,
+)

@@ -1,0 +1,64 @@
+"""Multirate filter bank (Table I: "Filterbank").
+
+The StreamIt FilterBank benchmark: a duplicate splitter fans the input
+into M = 8 analysis/synthesis channels; each channel band-passes the
+signal (peeking FIR), decimates by 8, re-expands by 8, and band-passes
+again before the per-channel outputs are summed.  The two FIRs per
+channel are the benchmark's 16 peeking filters (Table I).
+"""
+
+from __future__ import annotations
+
+from ..graph.structures import Pipeline, SplitJoin
+from ..graph.flatten import flatten
+from ..graph.graph import StreamGraph
+from .common import (
+    BenchmarkInfo,
+    adder_filter,
+    band_pass_taps,
+    downsample_filter,
+    fir_filter,
+    float_source,
+    null_sink,
+    upsample_filter,
+)
+
+CHANNELS = 8
+TAPS = 32
+RATE = 256.0
+
+
+def _channel(index: int) -> Pipeline:
+    low = RATE * index / (2.0 * CHANNELS)
+    high = RATE * (index + 1) / (2.0 * CHANNELS)
+    analysis = fir_filter(f"analysis{index}",
+                          band_pass_taps(RATE, low, high, TAPS))
+    synthesis = fir_filter(f"synthesis{index}",
+                           band_pass_taps(RATE, low, high, TAPS))
+    return Pipeline([
+        analysis,
+        downsample_filter(f"down{index}", CHANNELS),
+        upsample_filter(f"up{index}", CHANNELS),
+        synthesis,
+    ], name=f"channel{index}")
+
+
+def build() -> StreamGraph:
+    bank = SplitJoin([_channel(i) for i in range(CHANNELS)],
+                     split="duplicate", join=[1] * CHANNELS,
+                     name="bank", block=CHANNELS)
+    return flatten(Pipeline([
+        float_source("signal", push=1),
+        bank,
+        adder_filter("combine", CHANNELS),
+        null_sink(1, "output"),
+    ], name="filterbank"), name="filterbank")
+
+
+BENCHMARK = BenchmarkInfo(
+    name="Filterbank",
+    description="Filter bank to perform multirate signal processing.",
+    build=build,
+    paper_filters=53,
+    paper_peeking=16,
+)

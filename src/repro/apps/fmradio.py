@@ -1,0 +1,104 @@
+"""Software FM radio with a multi-band equalizer (Table I: "FMRadio").
+
+StreamIt's FMRadio: a decimating low-pass front end, an FM demodulator
+(peek 2), and a 10-band equalizer.  Each equalizer band is the StreamIt
+band-pass idiom — a duplicate split-join of two low-pass FIRs whose
+outputs are subtracted, then gain-weighted — and all bands are summed.
+Peeking filters: the front-end LPF + the demodulator + two LPFs per
+band = 22, matching Table I exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.nodes import Filter, WorkEstimate
+from ..graph.structures import Pipeline, SplitJoin
+from ..graph.flatten import flatten
+from ..graph.graph import StreamGraph
+from .common import (
+    BenchmarkInfo,
+    adder_filter,
+    fir_filter,
+    float_source,
+    low_pass_taps,
+    null_sink,
+)
+
+BANDS = 10
+TAPS = 64
+SAMPLE_RATE = 250e6
+CUTOFF = 108e6
+MAX_AMPLITUDE = 27e3
+BANDWIDTH = 10e3
+DECIMATION = 4
+EQ_LOW = 55.0
+EQ_HIGH = 1760.0
+
+
+def _demodulator() -> Filter:
+    """FM demodulation: scaled arctan of adjacent-sample product."""
+    gain = MAX_AMPLITUDE * (SAMPLE_RATE / (BANDWIDTH * math.pi))
+
+    def work(window):
+        return [gain * math.atan(window[0] * window[1])]
+
+    return Filter("demod", pop=1, push=1, peek=2, work=work,
+                  estimate=WorkEstimate(compute_ops=24, loads=2, stores=1,
+                                        registers=12, fresh_loads=1))
+
+
+def _band_frequencies() -> list[float]:
+    """Exponentially spaced equalizer cutoffs, StreamIt style."""
+    return [EQ_LOW * (EQ_HIGH / EQ_LOW) ** (i / BANDS)
+            for i in range(BANDS + 1)]
+
+
+def _gain_filter(index: int, gain: float) -> Filter:
+    return Filter(f"gain{index}", pop=1, push=1,
+                  work=lambda w, _g=gain: [w[0] * _g],
+                  estimate=WorkEstimate(compute_ops=1, loads=1, stores=1,
+                                        registers=5))
+
+
+def _band(index: int, low: float, high: float) -> Pipeline:
+    """Band-pass as difference of two low-pass filters (StreamIt's
+    BandPassFilter): duplicate -> [LPF(low), LPF(high)] -> subtract."""
+    pair = SplitJoin(
+        [fir_filter(f"lpf_lo{index}",
+                    low_pass_taps(SAMPLE_RATE, low, TAPS)),
+         fir_filter(f"lpf_hi{index}",
+                    low_pass_taps(SAMPLE_RATE, high, TAPS))],
+        split="duplicate", join=[1, 1], name=f"bandpair{index}")
+    subtract = Filter(f"sub{index}", pop=2, push=1,
+                      work=lambda w: [w[1] - w[0]],
+                      estimate=WorkEstimate(compute_ops=1, loads=2,
+                                            stores=1, registers=5))
+    gain = _gain_filter(index, gain=(index + 1) / BANDS)
+    return Pipeline([pair, subtract, gain], name=f"band{index}")
+
+
+def build() -> StreamGraph:
+    freqs = _band_frequencies()
+    equalizer = SplitJoin(
+        [_band(i, freqs[i], freqs[i + 1]) for i in range(BANDS)],
+        split="duplicate", join=[1] * BANDS, name="equalizer")
+    return flatten(Pipeline([
+        float_source("antenna", push=1),
+        fir_filter("frontlpf",
+                   low_pass_taps(SAMPLE_RATE, CUTOFF, TAPS),
+                   decimation=DECIMATION),
+        _demodulator(),
+        equalizer,
+        adder_filter("sum", BANDS),
+        null_sink(1, "audio"),
+    ], name="fmradio"), name="fmradio")
+
+
+BENCHMARK = BenchmarkInfo(
+    name="FMRadio",
+    description="Software FM Radio with equalizer.",
+    build=build,
+    paper_filters=67,
+    paper_peeking=22,
+)

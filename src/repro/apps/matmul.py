@@ -1,0 +1,107 @@
+"""Blocked matrix multiply (Table I: "MatrixMult").
+
+StreamIt's MatrixMultBlock decomposes the product with *nested*
+split-joins.  We mirror that: a duplicate splitter fans the (A, B^T)
+block to eight row pipelines; inside each row pipeline a second
+duplicate split-join computes the eight dot products of that output row
+in parallel; round-robin joiners reassemble rows and then the full C.
+
+The two levels of wide (9-port) splitters/joiners — pure data movement
+over the largest buffers in the suite — are what make this benchmark
+"bandwidth hungry by nature" and phased: the paper reports that the
+Serial scheme, which runs each such mover as its own fully data-parallel
+kernel with a single coherent access pattern, edges out the software
+pipeline here (Section V-B).
+"""
+
+from __future__ import annotations
+
+from ..graph.nodes import Filter, WorkEstimate
+from ..graph.structures import Pipeline, SplitJoin
+from ..graph.flatten import flatten
+from ..graph.graph import StreamGraph
+from .common import BenchmarkInfo, float_source, null_sink
+
+N = 8
+BLOCK = N * N          # one matrix
+PAIR = 2 * BLOCK       # A then B
+
+
+def _transpose_b() -> Filter:
+    """Pass A through, transpose B (so rows of B^T are columns of B)."""
+
+    def work(window):
+        a = list(window[:BLOCK])
+        b = window[BLOCK:PAIR]
+        bt = [b[c * N + r] for r in range(N) for c in range(N)]
+        return a + bt
+
+    return Filter("transposeB", pop=PAIR, push=PAIR, work=work,
+                  estimate=WorkEstimate(compute_ops=BLOCK, loads=PAIR,
+                                        stores=PAIR, registers=10))
+
+
+def _row_select(row: int) -> Filter:
+    """Extract row ``row`` of A plus all of B^T: 128 -> 72 tokens."""
+
+    def work(window):
+        a_row = list(window[row * N:(row + 1) * N])
+        bt = list(window[BLOCK:PAIR])
+        return a_row + bt
+
+    return Filter(f"rowsel{row}", pop=PAIR, push=N + BLOCK, work=work,
+                  estimate=WorkEstimate(compute_ops=0, loads=PAIR,
+                                        stores=N + BLOCK, registers=8))
+
+
+def _dot_product(row: int, col: int) -> Filter:
+    """One output element: row of A (dot) column ``col`` of B."""
+
+    def work(window):
+        a_row = window[:N]
+        bt_row = window[N + col * N:N + (col + 1) * N]
+        return [sum(a_row[i] * bt_row[i] for i in range(N))]
+
+    return Filter(f"dot{row}_{col}", pop=N + BLOCK, push=1, work=work,
+                  estimate=WorkEstimate(compute_ops=2 * N,
+                                        loads=2 * N, stores=1,
+                                        registers=14))
+
+
+def _row_pipeline(row: int) -> Pipeline:
+    dots = SplitJoin([_dot_product(row, col) for col in range(N)],
+                     split="duplicate", join=[1] * N,
+                     name=f"dots{row}", block=N + BLOCK)
+    return Pipeline([_row_select(row), dots], name=f"row{row}")
+
+
+def build() -> StreamGraph:
+    rows = SplitJoin([_row_pipeline(r) for r in range(N)],
+                     split="duplicate", join=[N] * N, name="rows",
+                     block=PAIR)
+    return flatten(Pipeline([
+        float_source("matrices", push=PAIR),
+        _transpose_b(),
+        rows,
+        null_sink(BLOCK, "product"),
+    ], name="matmul"), name="matmul")
+
+
+def matmul_reference(block) -> list[float]:
+    """C = A x B for one interleaved (A, B) block (for tests)."""
+    a = block[:BLOCK]
+    b = block[BLOCK:PAIR]
+    out = []
+    for r in range(N):
+        for c in range(N):
+            out.append(sum(a[r * N + k] * b[k * N + c] for k in range(N)))
+    return out
+
+
+BENCHMARK = BenchmarkInfo(
+    name="MatrixMult",
+    description="Blocked matrix multiply.",
+    build=build,
+    paper_filters=43,
+    paper_peeking=0,
+)

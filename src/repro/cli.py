@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro info FMRadio
+    python -m repro run FMRadio --iterations 2
+    python -m repro compile FMRadio --scheme swp --coarsening 8
+    python -m repro compare DCT
+    python -m repro codegen FFT --output fft.cu
+    python -m repro dsl program.str --root Main
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .apps import all_benchmarks, benchmark_by_name
+from .compiler import CompileOptions, compile_stream_program
+from .gpu.device import (
+    GEFORCE_8600_GTS,
+    GEFORCE_8800_GTS_512,
+    GEFORCE_8800_GTX,
+    DeviceConfig,
+)
+from .runtime import Interpreter
+
+DEVICES = {
+    "8800gts512": GEFORCE_8800_GTS_512,
+    "8800gtx": GEFORCE_8800_GTX,
+    "8600gts": GEFORCE_8600_GTS,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="StreamIt-on-GPU software pipelining (CGO'09 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    info = sub.add_parser("info", help="describe one benchmark's graph")
+    info.add_argument("benchmark")
+
+    run = sub.add_parser("run", help="run a benchmark on the reference "
+                                     "interpreter")
+    run.add_argument("benchmark")
+    run.add_argument("--iterations", type=int, default=1)
+    run.add_argument("--show", type=int, default=8,
+                     help="output tokens to print")
+
+    comp = sub.add_parser("compile", help="compile one benchmark under "
+                                          "one scheme")
+    comp.add_argument("benchmark")
+    comp.add_argument("--scheme", choices=("swp", "swpnc", "serial"),
+                      default="swp")
+    comp.add_argument("--coarsening", type=int, default=8)
+    comp.add_argument("--device", choices=sorted(DEVICES),
+                      default="8800gts512")
+    comp.add_argument("--budget", type=float, default=10.0,
+                      help="seconds per ILP attempt")
+
+    compare = sub.add_parser("compare", help="compare all three schemes "
+                                             "(one Fig. 10 row)")
+    compare.add_argument("benchmark")
+    compare.add_argument("--budget", type=float, default=10.0)
+
+    codegen = sub.add_parser("codegen", help="emit CUDA sources for a "
+                                             "compiled benchmark")
+    codegen.add_argument("benchmark")
+    codegen.add_argument("--output", default="-",
+                         help="file path or '-' for stdout")
+    codegen.add_argument("--coarsening", type=int, default=8)
+
+    dsl = sub.add_parser("dsl", help="compile a StreamIt-like source "
+                                     "file")
+    dsl.add_argument("path")
+    dsl.add_argument("--root", default="Main")
+    dsl.add_argument("--iterations", type=int, default=1)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    out = sys.stdout
+    if command == "list":
+        for info in all_benchmarks():
+            print(f"{info.name:<12} {info.description}", file=out)
+        return 0
+    if command == "info":
+        return _cmd_info(args)
+    if command == "run":
+        return _cmd_run(args)
+    if command == "compile":
+        return _cmd_compile(args)
+    if command == "compare":
+        return _cmd_compare(args)
+    if command == "codegen":
+        return _cmd_codegen(args)
+    if command == "dsl":
+        return _cmd_dsl(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+def _load_graph(name: str):
+    try:
+        info = benchmark_by_name(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        raise SystemExit(2) from None
+    return info, info.build()
+
+
+def _cmd_info(args) -> int:
+    info, graph = _load_graph(args.benchmark)
+    from .graph import summarize
+
+    print(f"{info.name}: {info.description}")
+    print(summarize(graph))
+    print(f"Paper Table I: {info.paper_filters} filters, "
+          f"{info.paper_peeking} peeking")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    _info, graph = _load_graph(args.benchmark)
+    interp = Interpreter(graph)
+    outputs = interp.run(iterations=args.iterations)
+    for sink in graph.sinks:
+        tokens = outputs[sink.uid][:args.show]
+        print(f"{sink.name}: {tokens}")
+    print(f"({len(interp.firing_log)} firings over {args.iterations} "
+          f"steady iterations)")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    _info, graph = _load_graph(args.benchmark)
+    options = CompileOptions(scheme=args.scheme,
+                             coarsening=(1 if args.scheme == "serial"
+                                         else args.coarsening),
+                             device=DEVICES[args.device],
+                             attempt_budget_seconds=args.budget)
+    compiled = compile_stream_program(graph, options)
+    print(f"scheme={args.scheme} device={options.device.name}")
+    if compiled.schedule is not None:
+        print(f"II={compiled.schedule.ii:.0f} cycles, stages "
+              f"0..{compiled.schedule.max_stage}, relaxation "
+              f"{100 * compiled.schedule.relaxation:.1f}%")
+    if compiled.sas_plan is not None:
+        print(f"SAS sweep: {compiled.sas_plan.kernels_per_sweep} kernels "
+              f"x {compiled.sas_plan.rounds} iterations")
+    print(f"buffers: {compiled.buffer_bytes:,} bytes")
+    print(f"speedup over 1-thread CPU: {compiled.speedup:.2f}x")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    _info, graph = _load_graph(args.benchmark)
+    base = dict(attempt_budget_seconds=args.budget)
+    swp = compile_stream_program(
+        graph, CompileOptions(scheme="swp", coarsening=8, **base))
+    serial = compile_stream_program(
+        graph, CompileOptions(scheme="serial", **base),
+        swp_buffer_budget=swp.buffer_bytes)
+    swpnc = compile_stream_program(
+        graph, CompileOptions(scheme="swpnc", coarsening=8, **base))
+    print(f"{'scheme':<8} {'speedup':>8}")
+    print(f"{'SWPNC':<8} {swpnc.speedup:>8.2f}")
+    print(f"{'Serial':<8} {serial.speedup:>8.2f}")
+    print(f"{'SWP8':<8} {swp.speedup:>8.2f}")
+    return 0
+
+
+def _cmd_codegen(args) -> int:
+    _info, graph = _load_graph(args.benchmark)
+    from .codegen import generate_sources
+    from .core import configure_program, search_ii, uniform_config
+
+    program = configure_program(graph, uniform_config(graph, threads=128),
+                                GEFORCE_8800_GTS_512.num_sms)
+    schedule = search_ii(program.problem,
+                         attempt_budget_seconds=10.0).schedule
+    from .core.buffers import (
+        analytic_channel_footprints,
+        swp_buffer_requirements,
+    )
+
+    footprints = analytic_channel_footprints(schedule, program.problem)
+    buffers = swp_buffer_requirements(
+        program.problem.edges, program.problem.names, footprints,
+        GEFORCE_8800_GTS_512, coarsening=args.coarsening)
+    sources = generate_sources(program, schedule, buffers,
+                               coarsening=args.coarsening)
+    text = sources.combined()
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes to {args.output}")
+    return 0
+
+
+def _cmd_dsl(args) -> int:
+    from .lang import build_graph
+
+    with open(args.path) as handle:
+        source = handle.read()
+    graph = build_graph(source, root=args.root)
+    print(graph.summary())
+    interp = Interpreter(graph)
+    outputs = interp.run(iterations=args.iterations)
+    for sink in graph.sinks:
+        print(f"{sink.name}: {outputs[sink.uid][:8]}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

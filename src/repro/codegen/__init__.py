@@ -1,0 +1,25 @@
+"""Source generation: CUDA (GPU) and single-threaded C (CPU baseline)."""
+
+from .c_backend import generate_c_source
+from .cuda import (
+    CudaSources,
+    emit_filter_device_function,
+    emit_filter_device_functions,
+    emit_host_driver,
+    emit_indexing_header,
+    emit_profile_driver,
+    emit_swp_kernel,
+    generate_sources,
+)
+
+__all__ = [
+    "generate_c_source",
+    "CudaSources",
+    "emit_filter_device_function",
+    "emit_filter_device_functions",
+    "emit_host_driver",
+    "emit_indexing_header",
+    "emit_profile_driver",
+    "emit_swp_kernel",
+    "generate_sources",
+]

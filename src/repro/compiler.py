@@ -1,0 +1,292 @@
+"""End-to-end compilation driver (paper Fig. 5).
+
+``compile_stream_program`` runs the full trajectory for one scheme:
+
+1. generate + run profile code on the device model (Fig. 6),
+2. select the execution configuration (Alg. 7),
+3. lower to a macro-granularity scheduling problem,
+4. software-pipeline via the ILP with the paper's II search, or build
+   the Serial (SAS) baseline,
+5. size buffers (optimized shuffled layout, or natural for SWPNC),
+6. time the execution on the GPU simulator and against the
+   single-threaded CPU baseline.
+
+The three schemes of the evaluation are named as in the paper:
+``"swp"`` (optimized software pipelining with coalesced buffers),
+``"swpnc"`` (software pipelining without coalescing, with the
+shared-memory staging fallback), and ``"serial"`` (fully data-parallel
+SAS execution, one kernel per filter).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .core.buffers import (
+    ChannelBuffer,
+    analytic_channel_footprints,
+    swp_buffer_requirements,
+    total_buffer_bytes,
+)
+from .core.coarsen import coarsen_schedule
+from .core.config_select import select_configuration
+from .core.configure import ConfiguredProgram, ExecutionConfig, configure_program
+from .core.iisearch import IISearchResult, search_ii
+from .core.profiling import profile_graph, shared_staging_candidates
+from .core.sas import SasSchedule, build_sas_schedule, simulate_sas
+from .core.schedule import Schedule
+from .errors import SchedulingError
+from .gpu.device import GEFORCE_8800_GTS_512, DeviceConfig
+from .gpu.simulator import FilterWork, GpuSimulator, Kernel, RunResult
+from .graph.graph import StreamGraph
+from .runtime.cpu_model import CpuConfig, execution_time
+
+SCHEMES = ("swp", "swpnc", "serial")
+
+
+@dataclass
+class CompileOptions:
+    """Knobs for one compilation run."""
+
+    device: DeviceConfig = GEFORCE_8800_GTS_512
+    scheme: str = "swp"
+    coarsening: int = 1                 # SWPn factor
+    ilp_backend: str = "highs"
+    attempt_budget_seconds: float = 20.0   # the paper's per-attempt cap
+    relaxation_step: float = 0.005         # the paper's 0.5%
+    macro_iterations: int = 256            # timed steady iterations
+    numfirings: Optional[int] = None       # profiling volume (Fig. 6)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise SchedulingError(
+                f"unknown scheme {self.scheme!r}; expected one of "
+                f"{SCHEMES}")
+        if self.coarsening < 1:
+            raise SchedulingError("coarsening factor must be >= 1")
+        if self.scheme == "serial" and self.coarsening != 1:
+            raise SchedulingError(
+                "coarsening applies to software-pipelined schemes only")
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the compilation produced, plus measured timings."""
+
+    graph: StreamGraph
+    options: CompileOptions
+    config: ExecutionConfig
+    program: ConfiguredProgram
+    schedule: Optional[Schedule]            # None for the Serial scheme
+    sas_plan: Optional[SasSchedule]         # None for SWP schemes
+    search: Optional[IISearchResult]
+    buffers: list[ChannelBuffer]
+    gpu_result: RunResult
+    gpu_seconds: float
+    cpu_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """The paper's metric: t_host / t_gpu."""
+        return self.cpu_seconds / self.gpu_seconds
+
+    @property
+    def buffer_bytes(self) -> int:
+        return total_buffer_bytes(self.buffers)
+
+
+def compile_stream_program(graph: StreamGraph,
+                           options: CompileOptions | None = None,
+                           *,
+                           swp_buffer_budget: Optional[int] = None
+                           ) -> CompiledProgram:
+    """Compile and time ``graph`` under one scheme.
+
+    ``swp_buffer_budget`` (bytes) feeds the Serial scheme's fairness
+    rule; when omitted, a reference SWP8 compile supplies it.
+    """
+    options = options or CompileOptions()
+    device = options.device
+    graph.validate()
+
+    coalesced = options.scheme != "swpnc"
+    staging = {}
+    if options.scheme == "swpnc":
+        staging = shared_staging_candidates(graph, device)
+
+    profile = profile_graph(graph, device, numfirings=options.numfirings,
+                            coalesced=coalesced,
+                            shared_staging=staging if staging else None)
+    selection = select_configuration(graph, profile, coalesced=coalesced,
+                                     shared_staging=staging)
+    program = configure_program(graph, selection.config, device.num_sms)
+
+    if options.scheme == "serial":
+        return _compile_serial(graph, options, program, swp_buffer_budget)
+    return _compile_swp(graph, options, program)
+
+
+# ----------------------------------------------------------------------
+def _compile_swp(graph: StreamGraph, options: CompileOptions,
+                 program: ConfiguredProgram) -> CompiledProgram:
+    search = search_ii(
+        program.problem, backend=options.ilp_backend,
+        attempt_budget_seconds=options.attempt_budget_seconds,
+        relaxation_step=options.relaxation_step)
+    return _finalize_swp(graph, options, program, search)
+
+
+def _finalize_swp(graph: StreamGraph, options: CompileOptions,
+                  program: ConfiguredProgram,
+                  search: IISearchResult) -> CompiledProgram:
+    """Everything after the ILP: coarsen, size buffers, simulate."""
+    device = options.device
+    base_schedule = search.schedule
+    schedule = coarsen_schedule(base_schedule, options.coarsening)
+
+    footprints = analytic_channel_footprints(base_schedule,
+                                             program.problem)
+    buffers = swp_buffer_requirements(
+        program.problem.edges, program.problem.names, footprints,
+        device, coarsening=options.coarsening,
+        coalesced=program.config.coalesced)
+
+    kernel = swp_kernel(program, schedule, options)
+    simulator = GpuSimulator(device)
+    # The paper's speedups are steady-state throughput over long runs
+    # (millions of firings), where the pipeline fill (max_stage
+    # invocations) is amortized away.  Simulate one invocation and
+    # scale: each invocation covers `coarsening` steady iterations.
+    invocations = math.ceil(options.macro_iterations / options.coarsening)
+    gpu_result = simulator.simulate_run([kernel], invocations=invocations)
+    gpu_seconds = gpu_result.seconds(device)
+    cpu_seconds = _cpu_baseline_seconds(graph, program, options)
+
+    return CompiledProgram(
+        graph=graph, options=options, config=program.config,
+        program=program, schedule=schedule, sas_plan=None, search=search,
+        buffers=buffers, gpu_result=gpu_result, gpu_seconds=gpu_seconds,
+        cpu_seconds=cpu_seconds)
+
+
+def compile_swp_sweep(graph: StreamGraph, options: CompileOptions | None,
+                      factors: Sequence[int]) -> dict[int, CompiledProgram]:
+    """Compile once, evaluate several SWPn coarsening factors.
+
+    The coarsening study of paper Fig. 11 re-uses one ILP solution:
+    coarsening scales the schedule without affecting its optimality
+    (Section V-B), so only profiling + one II search run here.
+    """
+    options = options or CompileOptions()
+    if options.scheme not in ("swp", "swpnc"):
+        raise SchedulingError("coarsening sweeps apply to SWP schemes")
+    graph.validate()
+
+    coalesced = options.scheme != "swpnc"
+    staging = {}
+    if options.scheme == "swpnc":
+        staging = shared_staging_candidates(graph, options.device)
+    profile = profile_graph(graph, options.device,
+                            numfirings=options.numfirings,
+                            coalesced=coalesced,
+                            shared_staging=staging if staging else None)
+    selection = select_configuration(graph, profile, coalesced=coalesced,
+                                     shared_staging=staging)
+    program = configure_program(graph, selection.config,
+                                options.device.num_sms)
+    search = search_ii(
+        program.problem, backend=options.ilp_backend,
+        attempt_budget_seconds=options.attempt_budget_seconds,
+        relaxation_step=options.relaxation_step)
+
+    results = {}
+    for factor in factors:
+        variant = replace_options(options, coarsening=factor)
+        results[factor] = _finalize_swp(graph, variant, program, search)
+    return results
+
+
+def replace_options(options: CompileOptions, **changes) -> CompileOptions:
+    """dataclasses.replace for CompileOptions (re-validates)."""
+    from dataclasses import replace
+
+    return replace(options, **changes)
+
+
+def swp_kernel(program: ConfiguredProgram, schedule: Schedule,
+               options: CompileOptions) -> Kernel:
+    """The single software-pipelined kernel: a switch over SMs, each SM
+    executing its instances in increasing ``o`` order (Section IV-C)."""
+    device = options.device
+    config = program.config
+    sm_programs: list[list[FilterWork]] = [[] for _
+                                           in range(device.num_sms)]
+    from .gpu.simulator import scatter_streams_of
+
+    for sm in range(device.num_sms):
+        for placement in schedule.sm_order(sm):
+            node = program.nodes[placement.node]
+            sm_programs[sm].append(FilterWork(
+                name=f"{node.name}[{placement.k}]",
+                estimate=node.estimate,
+                threads=config.threads[node.uid],
+                register_cap=config.register_cap,
+                coalesced=config.coalesced,
+                use_shared_staging=config.uses_shared_staging(node),
+                repeat=options.coarsening,
+                stream_label=node.name,
+                scatter_streams=scatter_streams_of(node)))
+    return Kernel(f"swp{options.coarsening}", sm_programs)
+
+
+# ----------------------------------------------------------------------
+def _compile_serial(graph: StreamGraph, options: CompileOptions,
+                    program: ConfiguredProgram,
+                    swp_buffer_budget: Optional[int]) -> CompiledProgram:
+    device = options.device
+    if swp_buffer_budget is None:
+        reference = compile_stream_program(
+            graph, CompileOptions(device=device, scheme="swp",
+                                  coarsening=8,
+                                  ilp_backend=options.ilp_backend,
+                                  attempt_budget_seconds=options
+                                  .attempt_budget_seconds,
+                                  macro_iterations=options.macro_iterations,
+                                  numfirings=options.numfirings))
+        swp_buffer_budget = reference.buffer_bytes
+
+    plan = build_sas_schedule(program, device,
+                              buffer_budget_bytes=swp_buffer_budget)
+    gpu_result = simulate_sas(plan, device, options.macro_iterations)
+    gpu_seconds = gpu_result.seconds(device)
+    cpu_seconds = _cpu_baseline_seconds(graph, program, options)
+
+    from .core.buffers import CLUSTER, ChannelBuffer
+    buffers = []
+    for edge in program.problem.edges:
+        per_iter = program.problem.firings[edge.src] * edge.production
+        tokens = edge.initial_tokens + per_iter * plan.rounds
+        padded = math.ceil(max(1, tokens) / CLUSTER) * CLUSTER
+        buffers.append(ChannelBuffer(
+            name=f"{program.problem.names[edge.src]}->"
+                 f"{program.problem.names[edge.dst]}",
+            tokens=padded, bytes=padded * device.token_bytes,
+            layout="shuffled"))
+
+    return CompiledProgram(
+        graph=graph, options=options, config=program.config,
+        program=program, schedule=None, sas_plan=plan, search=None,
+        buffers=buffers, gpu_result=gpu_result, gpu_seconds=gpu_seconds,
+        cpu_seconds=cpu_seconds)
+
+
+# ----------------------------------------------------------------------
+def _cpu_baseline_seconds(graph: StreamGraph, program: ConfiguredProgram,
+                          options: CompileOptions) -> float:
+    """Single-thread CPU time for the same amount of work."""
+    base_iterations = (options.macro_iterations
+                       * program.base_iterations_per_macro)
+    return execution_time(graph, base_iterations, config=options.cpu)

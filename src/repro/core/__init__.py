@@ -1,0 +1,103 @@
+"""Core: the paper's contribution — ILP software pipelining for GPUs.
+
+Pipeline (paper Fig. 5): profile each filter on the device model
+(:mod:`profiling`), select the execution configuration
+(:mod:`config_select`, Alg. 7), lower to a macro-granularity scheduling
+problem (:mod:`configure`), bound the II (:mod:`mii`), search for the
+smallest feasible II with the ILP of Section III
+(:mod:`ilp_formulation` + :mod:`iisearch`), and validate/execute the
+resulting :class:`~repro.core.schedule.Schedule`.
+"""
+
+from .buffers import (
+    CLUSTER,
+    ChannelBuffer,
+    analytic_channel_footprints,
+    apply_shuffle,
+    inverse_shuffle,
+    natural_index,
+    pop_index,
+    push_index,
+    shuffle_permutation,
+    swp_buffer_requirements,
+    total_buffer_bytes,
+)
+from .coarsen import coarsen_problem, coarsen_schedule
+from .config_select import (
+    PairEvaluation,
+    SelectionResult,
+    feasible_pairs,
+    select_configuration,
+)
+from .configure import (
+    ConfiguredProgram,
+    ExecutionConfig,
+    configure_program,
+    uniform_config,
+)
+from .iisearch import Attempt, IISearchResult, search_ii
+from .ilp_formulation import build_model, solve_at_ii, stage_bound
+from .mii import MiiReport, compute_mii, rec_mii, res_mii
+from .problem import Dependence, EdgeSpec, ScheduleProblem
+from .sas import (
+    SasSchedule,
+    build_sas_schedule,
+    sas_buffer_bytes,
+    sas_kernels,
+    simulate_sas,
+)
+from .profiling import (
+    ProfileTable,
+    default_numfirings,
+    profile_graph,
+    shared_staging_candidates,
+)
+from .schedule import Placement, Schedule
+
+__all__ = [
+    "Attempt",
+    "CLUSTER",
+    "ChannelBuffer",
+    "SasSchedule",
+    "analytic_channel_footprints",
+    "apply_shuffle",
+    "build_sas_schedule",
+    "coarsen_problem",
+    "coarsen_schedule",
+    "inverse_shuffle",
+    "natural_index",
+    "pop_index",
+    "push_index",
+    "sas_buffer_bytes",
+    "sas_kernels",
+    "shuffle_permutation",
+    "simulate_sas",
+    "swp_buffer_requirements",
+    "total_buffer_bytes",
+    "ConfiguredProgram",
+    "Dependence",
+    "EdgeSpec",
+    "ExecutionConfig",
+    "IISearchResult",
+    "MiiReport",
+    "PairEvaluation",
+    "Placement",
+    "ProfileTable",
+    "Schedule",
+    "ScheduleProblem",
+    "SelectionResult",
+    "build_model",
+    "compute_mii",
+    "configure_program",
+    "default_numfirings",
+    "feasible_pairs",
+    "profile_graph",
+    "rec_mii",
+    "res_mii",
+    "search_ii",
+    "select_configuration",
+    "shared_staging_candidates",
+    "solve_at_ii",
+    "stage_bound",
+    "uniform_config",
+]

@@ -1,0 +1,173 @@
+"""Buffer layout optimization (paper Section IV-D, eqs. 9-11).
+
+The natural FIFO order stores thread ``tid``'s ``n``-th token at
+``tid * rate + n`` — threads of a half-warp then hit the same DRAM bank
+and nothing coalesces (Fig. 8).  The paper's layout shuffles tokens so
+each *cluster* of 128 threads (the gcd of all candidate block sizes)
+reads and writes ``WarpBase + tid`` contiguous words (Fig. 9):
+
+* eq. (10): the ``n``-th pop of thread ``tid`` at pop rate ``o`` sits at
+  ``128*n + (tid//128)*128*o + (tid % 128)``;
+* eq. (11): same shape for pushes at push rate ``u``;
+* eq. (9): only the very first input buffer of the graph must be
+  physically shuffled — interior channels stay consistent because both
+  endpoints use the transformed index maps.
+
+This module implements the index maps, the boundary shuffle, the
+per-channel buffer sizing, and verification helpers (bijection and
+coalescing) used by tests and by the CUDA code generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import CodegenError
+from ..gpu.device import DeviceConfig
+
+#: The thread-cluster size of eq. (9)-(11): the gcd of the candidate
+#: block sizes {128, 256, 384, 512} the paper profiles with.
+CLUSTER = 128
+
+
+def pop_index(tid: int, n: int, rate: int, cluster: int = CLUSTER) -> int:
+    """Eq. (10): buffer index of the ``n``-th element popped by ``tid``."""
+    if not 0 <= n < rate:
+        raise CodegenError(f"pop slot {n} out of range for rate {rate}")
+    if tid < 0:
+        raise CodegenError("thread id must be non-negative")
+    return cluster * n + (tid // cluster) * cluster * rate + tid % cluster
+
+
+def push_index(tid: int, m: int, rate: int, cluster: int = CLUSTER) -> int:
+    """Eq. (11): buffer index of the ``m``-th element pushed by ``tid``."""
+    return pop_index(tid, m, rate, cluster)
+
+
+def natural_index(tid: int, n: int, rate: int) -> int:
+    """The sequential FIFO layout of Fig. 8 (for the SWPNC baseline)."""
+    if not 0 <= n < rate:
+        raise CodegenError(f"slot {n} out of range for rate {rate}")
+    return tid * rate + n
+
+
+def shuffle_permutation(steady_rate: int,
+                        cluster: int = CLUSTER) -> list[int]:
+    """Eq. (9): the permutation applied to the graph's first input
+    buffer.
+
+    ``shuffle[i]`` gives the *natural-order* index whose token must be
+    stored at optimized-layout position ``i``, over one steady-state's
+    worth of tokens (``steady_rate`` must be a multiple of the cluster
+    size, which it is by construction: every thread count is a multiple
+    of 128).
+    """
+    if steady_rate <= 0 or steady_rate % cluster:
+        raise CodegenError(
+            f"steady rate {steady_rate} must be a positive multiple of "
+            f"the cluster size {cluster}")
+    rate = steady_rate // cluster
+    # Position i in the optimized layout corresponds to (tid, slot):
+    # invert eq. (10) over one cluster: i = 128*n + (j mod 128) with
+    # the paper's closed form.
+    return [
+        (i // cluster) + (i % cluster) * rate
+        for i in range(steady_rate)
+    ]
+
+
+def apply_shuffle(tokens: Sequence, cluster: int = CLUSTER) -> list:
+    """Physically shuffle the graph's boundary input (eq. 9)."""
+    perm = shuffle_permutation(len(tokens), cluster)
+    return [tokens[p] for p in perm]
+
+
+def inverse_shuffle(tokens: Sequence, cluster: int = CLUSTER) -> list:
+    """Undo :func:`apply_shuffle` (used on the graph's output boundary)."""
+    perm = shuffle_permutation(len(tokens), cluster)
+    out = [None] * len(tokens)
+    for position, source in enumerate(perm):
+        out[source] = tokens[position]
+    return out
+
+
+def layout_is_bijective(rate: int, threads: int,
+                        cluster: int = CLUSTER) -> bool:
+    """Check eq. (10) maps (tid, slot) 1:1 onto [0, threads*rate)."""
+    seen = set()
+    for tid in range(threads):
+        for slot in range(rate):
+            index = pop_index(tid, slot, rate, cluster)
+            if index in seen or not 0 <= index < threads * rate:
+                return False
+            seen.add(index)
+    return len(seen) == threads * rate
+
+
+@dataclass(frozen=True)
+class ChannelBuffer:
+    """Sizing of one channel's device buffer."""
+
+    name: str
+    tokens: int
+    bytes: int
+    layout: str  # "shuffled" or "natural"
+
+
+def swp_buffer_requirements(problem_edges, names, peak_footprints,
+                            device: DeviceConfig,
+                            coarsening: int = 1,
+                            coalesced: bool = True) -> list[ChannelBuffer]:
+    """Per-channel buffers for a software-pipelined schedule.
+
+    ``peak_footprints`` are the exact live-token footprints measured by
+    the functional executor (one entry per edge, at SWP1 granularity);
+    coarsening multiplies the *steady traffic* but not the primed
+    history, so the footprint scales accordingly.  Buffers are padded to
+    a whole cluster so the shuffled layout applies.
+    """
+    buffers = []
+    for edge, footprint in zip(problem_edges, peak_footprints):
+        steady = footprint - edge.initial_tokens
+        tokens = edge.initial_tokens + max(0, steady) * coarsening
+        padded = math.ceil(max(1, tokens) / CLUSTER) * CLUSTER
+        buffers.append(ChannelBuffer(
+            name=f"{names[edge.src]}->{names[edge.dst]}",
+            tokens=padded,
+            bytes=padded * device.token_bytes,
+            layout="shuffled" if coalesced else "natural"))
+    return buffers
+
+
+def total_buffer_bytes(buffers: Sequence[ChannelBuffer]) -> int:
+    """Total allocation (paper Table II reports this per benchmark;
+    "No buffer sharing is performed in all our schemes")."""
+    return sum(b.bytes for b in buffers)
+
+
+def analytic_channel_footprints(schedule, problem) -> list[int]:
+    """Predict per-channel peak live tokens from the schedule's stages.
+
+    Tokens for steady iteration ``j`` are written by producer instances
+    at invocations ``j + f_producer`` and consumed at ``j + f_consumer``,
+    so a channel holds roughly ``(max_f_consumer - min_f_producer + 1)``
+    iterations' worth of traffic plus its primed history.  The functional
+    executor measures the exact value; this closed form tracks it (the
+    test suite asserts agreement) and is what the benchmark harness uses
+    when token-level execution would be too slow.
+    """
+    footprints = []
+    for edge in problem.edges:
+        producer_stages = [
+            schedule.placement(edge.src, k).stage
+            for k in range(problem.firings[edge.src])]
+        consumer_stages = [
+            schedule.placement(edge.dst, k).stage
+            for k in range(problem.firings[edge.dst])]
+        span = max(consumer_stages) - min(producer_stages) + 1
+        per_iteration = problem.firings[edge.src] * edge.production
+        footprints.append(edge.initial_tokens
+                          + per_iteration * max(1, span))
+    return footprints

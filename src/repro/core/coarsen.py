@@ -1,0 +1,64 @@
+"""SWPn schedule coarsening (paper Section V-B, Fig. 11).
+
+"In the SWPn schedule, each instance of a filter is iterated n times to
+increase the granularity of the GPU kernel.  This does not affect the
+optimality of the schedule, since the delay of each filter is increased
+by the same proportion, thereby leaving the work distribution still
+uniform."
+
+Coarsening therefore transforms a solved SWP1 schedule directly: every
+delay, offset and the II scale by ``n``; assignments and stages are
+unchanged.  The executable effect (modeled by the simulator) is that
+one kernel invocation now covers ``n`` steady-state iterations, so the
+launch overhead is amortized ``n``-fold.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+from .problem import EdgeSpec, ScheduleProblem
+from .schedule import Placement, Schedule
+
+
+def coarsen_problem(problem: ScheduleProblem, factor: int) -> ScheduleProblem:
+    """The problem whose one iteration is ``factor`` base iterations.
+
+    Instances are iterated in place (delays scale); the instance *count*
+    is unchanged, matching the paper's SWPn definition.  Edge token
+    quantities scale with the factor so buffer accounting stays
+    consistent.
+    """
+    if factor < 1:
+        raise SchedulingError(f"coarsening factor must be >= 1: {factor}")
+    if factor == 1:
+        return problem
+    return ScheduleProblem(
+        names=list(problem.names),
+        firings=list(problem.firings),
+        delays=[d * factor for d in problem.delays],
+        edges=[EdgeSpec(e.src, e.dst, e.production * factor,
+                        e.consumption * factor, e.initial_tokens,
+                        e.consumption * factor
+                        + (e.peek - e.consumption))
+               for e in problem.edges],
+        num_sms=problem.num_sms)
+
+
+def coarsen_schedule(schedule: Schedule, factor: int) -> Schedule:
+    """Scale a solved schedule to granularity ``factor`` (SWPn)."""
+    if factor < 1:
+        raise SchedulingError(f"coarsening factor must be >= 1: {factor}")
+    if factor == 1:
+        return schedule
+    problem = coarsen_problem(schedule.problem, factor)
+    placements = {
+        key: Placement(node=p.node, k=p.k, sm=p.sm,
+                       offset=p.offset * factor, stage=p.stage)
+        for key, p in schedule.placements.items()}
+    coarse = Schedule(problem=problem, ii=schedule.ii * factor,
+                      placements=placements,
+                      solve_seconds=schedule.solve_seconds,
+                      relaxation=schedule.relaxation,
+                      attempts=schedule.attempts)
+    coarse.validate()
+    return coarse

@@ -1,0 +1,127 @@
+"""Execution-configuration selection (paper Algorithm 7 / Fig. 7).
+
+Chooses the globally optimal (register budget, per-filter thread count)
+combination from the profile data: for every feasible
+``(numRegs, numThreads)`` pair it picks each filter's best thread count
+``k <= numThreads``, re-solves the steady state at that configuration,
+estimates the resource-constrained II, normalizes by the work one
+steady iteration performs, and keeps the minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..errors import SchedulingError
+from ..graph.graph import StreamGraph
+from .configure import ExecutionConfig, _solve_macro_rates
+from .profiling import ProfileTable
+
+
+@dataclass
+class PairEvaluation:
+    """Diagnostics for one (numRegs, numThreads) candidate pair."""
+
+    register_cap: int
+    max_threads: int
+    threads: dict[int, int]
+    normalized_ii: float
+
+
+@dataclass
+class SelectionResult:
+    config: ExecutionConfig
+    evaluations: list[PairEvaluation]
+
+    @property
+    def best(self) -> PairEvaluation:
+        return min(self.evaluations, key=lambda e: e.normalized_ii)
+
+
+def feasible_pairs(graph: StreamGraph,
+                   profile: ProfileTable) -> list[tuple[int, int]]:
+    """Pairs feasible for *all* filters (single compilation unit)."""
+    pairs = []
+    for regs in profile.register_budgets:
+        for threads in profile.thread_counts:
+            if all(profile.feasible(node, regs, threads)
+                   for node in graph.nodes):
+                pairs.append((regs, threads))
+    return pairs
+
+
+def select_configuration(graph: StreamGraph, profile: ProfileTable, *,
+                         coalesced: bool = True,
+                         shared_staging: Mapping[int, bool] | None = None
+                         ) -> SelectionResult:
+    """Run Algorithm 7 over the profile table."""
+    graph.validate()
+    pairs = feasible_pairs(graph, profile)
+    if not pairs:
+        raise SchedulingError(
+            "no (registers, threads) pair is feasible for every filter; "
+            "the program cannot be compiled as one unit")
+
+    evaluations: list[PairEvaluation] = []
+    best: Optional[PairEvaluation] = None
+    best_delays: dict[int, float] = {}
+    for regs, max_threads in pairs:
+        threads: dict[int, int] = {}
+        for node in graph.nodes:
+            options = [k for k in profile.thread_counts
+                       if k <= max_threads
+                       and profile.feasible(node, regs, k)]
+            # Pair feasibility guarantees max_threads itself works.
+            threads[node.uid] = min(
+                options, key=lambda k: profile.run_time(node, regs, k))
+
+        config_stub = ExecutionConfig(register_cap=regs, threads=threads,
+                                      delays={n.uid: 1.0
+                                              for n in graph.nodes})
+        instances = _solve_macro_rates(graph, config_stub)
+
+        cur_ii = 0.0
+        for node in graph.nodes:
+            k = threads[node.uid]
+            best_time = profile.run_time(node, regs, k)
+            best_time *= instances[node.uid]
+            cur_ii += best_time * (k / profile.numfirings)
+
+        work = _steady_state_work(graph, threads, instances)
+        normalized = cur_ii / work
+        evaluation = PairEvaluation(register_cap=regs,
+                                    max_threads=max_threads,
+                                    threads=dict(threads),
+                                    normalized_ii=normalized)
+        evaluations.append(evaluation)
+        if best is None or normalized < best.normalized_ii:
+            best = evaluation
+            best_delays = {
+                node.uid: profile.macro_delay(node, regs,
+                                              threads[node.uid])
+                for node in graph.nodes}
+
+    assert best is not None
+    config = ExecutionConfig(register_cap=best.register_cap,
+                             threads=best.threads,
+                             delays=best_delays,
+                             coalesced=coalesced,
+                             shared_staging=dict(shared_staging or {}))
+    return SelectionResult(config=config, evaluations=evaluations)
+
+
+def _steady_state_work(graph: StreamGraph, threads: Mapping[int, int],
+                       instances: Mapping[int, int]) -> float:
+    """Work per steady iteration: tokens arriving at the sink nodes
+    ("a simple metric would be the number of tokens produced at the
+    sink node", Alg. 7 line 14)."""
+    total = 0
+    for sink in graph.sinks:
+        consumed_per_macro = sum(
+            sink.pop_rate(port) for port in range(sink.num_inputs)) \
+            * threads[sink.uid]
+        total += consumed_per_macro * instances[sink.uid]
+    if total == 0:
+        raise SchedulingError("steady state moves no tokens into sinks")
+    return float(total)

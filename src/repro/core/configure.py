@@ -1,0 +1,224 @@
+"""Execution configurations: thread-scaled scheduling problems.
+
+After configuration selection (Section IV-A) every node ``v`` of the
+stream graph executes with ``t_v`` threads, so one GPU *macro-firing*
+of ``v`` performs ``t_v`` consecutive base firings: "the push and pop
+rates of the filter executing on the GPU is the base push rate
+multiplied by the number of threads chosen to execute the filter"
+(Section IV-B).  This module derives the macro-granularity
+:class:`~repro.core.problem.ScheduleProblem` from a stream graph plus
+an :class:`ExecutionConfig`:
+
+* channel rates scale by the endpoint thread counts,
+* the peek *history* (``peek - pop``) is unchanged (threads of a macro
+  firing read overlapping windows; the last thread's window reaches
+  ``t*pop + (peek - pop)`` deep),
+* ``m_uv`` is the post-initialization channel occupancy, and
+* the macro steady state is re-solved from the scaled balance
+  equations (Alg. 7 line 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Optional
+
+from ..errors import SchedulingError
+from ..graph.graph import StreamGraph
+from ..graph.init_schedule import compute_init_schedule
+from ..graph.nodes import Node
+from .problem import EdgeSpec, ScheduleProblem
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """The outcome of configuration selection for one program.
+
+    ``threads[uid]`` / ``delays[uid]`` map node uids to the chosen
+    thread count and the profiled per-macro-firing delay (cycles).
+    ``register_cap`` is the single compilation-unit-wide register
+    restriction (the paper compiles all filters together).
+    """
+
+    register_cap: int
+    threads: Mapping[int, int]
+    delays: Mapping[int, float]
+    coalesced: bool = True
+    shared_staging: Mapping[int, bool] = field(default_factory=dict)
+
+    def thread_count(self, node: Node) -> int:
+        return self.threads[node.uid]
+
+    def delay(self, node: Node) -> float:
+        return self.delays[node.uid]
+
+    def uses_shared_staging(self, node: Node) -> bool:
+        return bool(self.shared_staging.get(node.uid, False))
+
+
+def uniform_config(graph: StreamGraph, threads: int = 128,
+                   register_cap: int = 32,
+                   delay: Optional[float] = None,
+                   coalesced: bool = True) -> ExecutionConfig:
+    """A trivial configuration (tests and quickstart examples): every
+    node gets the same thread count; delays default to a token-count
+    heuristic when no profile data is supplied."""
+    delays = {}
+    for node in graph.nodes:
+        if delay is not None:
+            delays[node.uid] = delay
+        else:
+            est = node.estimate
+            delays[node.uid] = float(
+                10 + est.compute_ops + 2 * est.total_memory_ops)
+    return ExecutionConfig(register_cap=register_cap,
+                           threads={n.uid: threads for n in graph.nodes},
+                           delays=delays, coalesced=coalesced)
+
+
+@dataclass
+class ConfiguredProgram:
+    """A stream graph bound to an execution configuration, lowered to a
+    solver-ready :class:`ScheduleProblem` with bidirectional node maps.
+    """
+
+    graph: StreamGraph
+    config: ExecutionConfig
+    problem: ScheduleProblem
+    node_index: dict[int, int]       # uid -> problem node index
+    nodes: list[Node]                # problem node index -> node
+    macro_firings: dict[int, int]    # uid -> k_v at macro granularity
+    base_iterations_per_macro: int   # original steady iterations / macro
+
+    def index_of(self, node: Node) -> int:
+        return self.node_index[node.uid]
+
+
+def configure_program(graph: StreamGraph, config: ExecutionConfig,
+                      num_sms: int, *,
+                      allow_stateful: bool = False) -> ConfiguredProgram:
+    """Lower ``graph`` + ``config`` to a macro-granularity problem.
+
+    ``allow_stateful`` enables the stateful-filter extension (the
+    paper's future work): stateful filters are pinned to one thread —
+    their firings cannot execute data-parallel — and the resulting
+    problem carries serialization flags the ILP honours.
+    """
+    graph.validate()
+    stateful_filters = graph.stateful_filters()
+    if stateful_filters and not allow_stateful:
+        names = [f.name for f in stateful_filters]
+        raise SchedulingError(
+            f"stateful filters are not schedulable by the SWP framework "
+            f"(paper Section II-B): {names}; pass allow_stateful=True "
+            f"for the serializing extension")
+    if stateful_filters:
+        stateful_uids = {f.uid for f in stateful_filters}
+        threads = dict(config.threads)
+        for uid in stateful_uids:
+            threads[uid] = 1
+        config = ExecutionConfig(register_cap=config.register_cap,
+                                 threads=threads, delays=config.delays,
+                                 coalesced=config.coalesced,
+                                 shared_staging=config.shared_staging)
+    for node in graph.nodes:
+        if config.threads.get(node.uid, 0) < 1:
+            raise SchedulingError(
+                f"no thread count configured for node {node.name}")
+        if config.delays.get(node.uid, 0) <= 0:
+            raise SchedulingError(
+                f"no positive delay configured for node {node.name}")
+
+    macro = _solve_macro_rates(graph, config)
+    init = compute_init_schedule(graph)
+
+    nodes = list(graph.nodes)
+    node_index = {node.uid: i for i, node in enumerate(nodes)}
+    edges = []
+    for channel in graph.channels:
+        t_u = config.threads[channel.src.uid]
+        t_v = config.threads[channel.dst.uid]
+        production = channel.production_rate * t_u
+        consumption = channel.consumption_rate * t_v
+        history = channel.peek_depth - channel.consumption_rate
+        edges.append(EdgeSpec(
+            src=node_index[channel.src.uid],
+            dst=node_index[channel.dst.uid],
+            production=production,
+            consumption=consumption,
+            initial_tokens=init.tokens_after_init(channel),
+            peek=consumption + history))
+
+    problem = ScheduleProblem(
+        names=[n.name for n in nodes],
+        firings=[macro[n.uid] for n in nodes],
+        delays=[config.delays[n.uid] for n in nodes],
+        edges=edges,
+        num_sms=num_sms,
+        stateful=[n.is_stateful for n in nodes])
+
+    base_iterations = _base_iterations_per_macro(graph, config, macro)
+    return ConfiguredProgram(graph=graph, config=config, problem=problem,
+                             node_index=node_index, nodes=nodes,
+                             macro_firings=macro,
+                             base_iterations_per_macro=base_iterations)
+
+
+def _solve_macro_rates(graph: StreamGraph,
+                       config: ExecutionConfig) -> dict[int, int]:
+    """Balance equations at macro granularity (Alg. 7 line 7)."""
+    rates: dict[int, Fraction] = {graph.nodes[0].uid: Fraction(1)}
+    stack = [graph.nodes[0]]
+    while stack:
+        node = stack.pop()
+        rate = rates[node.uid]
+        for channel in graph.output_channels(node):
+            produced = channel.production_rate * config.threads[node.uid]
+            consumed = (channel.consumption_rate
+                        * config.threads[channel.dst.uid])
+            implied = rate * produced / consumed
+            _merge_rate(rates, stack, channel.dst, implied)
+        for channel in graph.input_channels(node):
+            produced = (channel.production_rate
+                        * config.threads[channel.src.uid])
+            consumed = channel.consumption_rate * config.threads[node.uid]
+            implied = rate * consumed / produced
+            _merge_rate(rates, stack, channel.src, implied)
+    scale = math.lcm(*(r.denominator for r in rates.values()))
+    integral = {uid: int(r * scale) for uid, r in rates.items()}
+    shrink = math.gcd(*integral.values())
+    return {uid: k // shrink for uid, k in integral.items()}
+
+
+def _merge_rate(rates, stack, node, implied) -> None:
+    existing = rates.get(node.uid)
+    if existing is None:
+        rates[node.uid] = implied
+        stack.append(node)
+    elif existing != implied:
+        raise SchedulingError(
+            f"macro balance equations inconsistent at {node.name}; the "
+            f"configured thread counts admit no steady state")
+
+
+def _base_iterations_per_macro(graph: StreamGraph, config: ExecutionConfig,
+                               macro: dict[int, int]) -> int:
+    """Original steady iterations covered by one macro steady iteration.
+
+    ``L = k'_v * t_v / k_v`` is the same for every node by balance; it
+    relates macro buffers/throughput back to base-granularity terms.
+    """
+    from ..graph.rates import solve_rates
+
+    base = solve_rates(graph)
+    node = graph.nodes[0]
+    numerator = macro[node.uid] * config.threads[node.uid]
+    k_base = base[node]
+    if numerator % k_base:
+        # The macro steady state covers a fractional number of base
+        # iterations; scale is still consistent, report the ratio's
+        # ceiling for buffer purposes.
+        return math.ceil(numerator / k_base)
+    return numerator // k_base

@@ -1,0 +1,224 @@
+"""The ILP formulation of Section III, equations (1)–(8).
+
+Variables (names follow the paper):
+
+* ``w[k,v,p]`` ∈ {0,1} — instance ``k`` of filter ``v`` runs on SM ``p``
+* ``o[k,v]`` ≥ 0 — start offset of the instance inside the kernel
+* ``f[k,v]`` ∈ Z≥0 — pipeline stage (iteration displacement)
+* ``g[l,k,u,v]`` ∈ {0,1} — 1 when the producer of the ``l``-class
+  dependence sits on a *different* SM than the consumer
+
+Constraints:
+
+* (1) every instance on exactly one SM
+* (2) per-SM delay budget ≤ T
+* (4) ``o + d(v) ≤ T`` (no wraparound; the paper states the strict form
+  but uses the closed form itself — see DESIGN.md)
+* (7) ``g ≥ |w_consumer,p − w_producer,p|`` for every SM ``p``
+* (8) the dependence disjunction: the producer-finishes-first bound
+  always, and the next-iteration bound when ``g = 1``
+
+The model is a pure feasibility problem for a *given* T (the paper's
+CPLEX usage); we add a tiny secondary objective — minimize total stages
+— to keep pipelines shallow, which reduces buffer requirements without
+affecting feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SchedulingError
+from ..ilp import Model, Solution, Variable, lin_sum
+from .problem import ScheduleProblem
+from .schedule import Placement, Schedule
+
+
+@dataclass
+class FormulationVars:
+    """Handles to the decision variables, for tests and diagnostics."""
+
+    w: dict[tuple[int, int, int], Variable]
+    o: dict[tuple[int, int], Variable]
+    f: dict[tuple[int, int], Variable]
+    g: dict[tuple[int, int, int, int], Variable]
+
+
+def stage_bound(problem: ScheduleProblem) -> int:
+    """A safe upper bound on pipeline stages.
+
+    Any minimal feasible schedule needs at most one extra stage per
+    instance along a dependence chain, plus whatever positive iteration
+    lags deep peeking forces.
+    """
+    max_pos_lag = 0
+    for dep in problem.all_dependences():
+        max_pos_lag = max(max_pos_lag, dep.jlag)
+    return problem.num_instances + max_pos_lag + 2
+
+
+def build_model(problem: ScheduleProblem,
+                ii: float) -> tuple[Model, FormulationVars]:
+    """Construct the ILP for initiation interval ``ii``."""
+    if ii <= 0:
+        raise SchedulingError(f"II must be positive, got {ii}")
+    model = Model(f"swp_T={ii:.1f}")
+    sms = range(problem.num_sms)
+    f_max = stage_bound(problem)
+
+    w: dict[tuple[int, int, int], Variable] = {}
+    o: dict[tuple[int, int], Variable] = {}
+    f: dict[tuple[int, int], Variable] = {}
+    for v, k in problem.instances():
+        for p in sms:
+            w[k, v, p] = model.binary(f"w[{k},{problem.names[v]},{p}]")
+        delay = problem.delays[v]
+        if delay > ii:
+            raise SchedulingError(
+                f"filter {problem.names[v]} has delay {delay:.1f} > II "
+                f"{ii:.1f}; no schedule exists at this II")
+        # Constraint (4) folded into the variable bound: o ∈ [0, T - d].
+        o[k, v] = model.continuous(f"o[{k},{problem.names[v]}]",
+                                   lower=0.0, upper=ii - delay)
+        f[k, v] = model.integer(f"f[{k},{problem.names[v]}]",
+                                lower=0, upper=f_max)
+        # Constraint (1): exactly one SM.
+        model.add(lin_sum(w[k, v, p] for p in sms).equals(1),
+                  name=f"assign[{k},{problem.names[v]}]")
+
+    # Constraint (2): per-SM delay budget.
+    for p in sms:
+        load = lin_sum(w[k, v, p] * problem.delays[v]
+                       for v, k in problem.instances())
+        model.add(load <= ii, name=f"budget[SM{p}]")
+
+    # Dependence constraints (7) + (8).
+    g: dict[tuple[int, int, int, int], Variable] = {}
+    for edge_index, edge in enumerate(problem.edges):
+        u, v = edge.src, edge.dst
+        for k in range(problem.firings[v]):
+            # Keep only the tightest lag per producer instance: larger
+            # jlag dominates (same k', bigger RHS).
+            best: dict[int, int] = {}
+            for k_prime, jlag in problem.dependence_pairs(edge, k):
+                if k_prime not in best or jlag > best[k_prime]:
+                    best[k_prime] = jlag
+            for k_prime, jlag in best.items():
+                key = (edge_index, k, k_prime, 0)
+                gvar = model.binary(
+                    f"g[e{edge_index},{k},{k_prime}]")
+                g[key] = gvar
+                for p in sms:
+                    # Constraint (7): g tracks "different SM".
+                    model.add(gvar >= w[k, v, p] - w[k_prime, u, p])
+                    model.add(gvar >= w[k_prime, u, p] - w[k, v, p])
+                # Constraint (8), first system: producer finishes first.
+                model.add(
+                    ii * f[k, v] + o[k, v]
+                    >= ii * jlag + ii * f[k_prime, u] + o[k_prime, u]
+                    + problem.delays[u],
+                    name=f"dep[e{edge_index},{k}<-{k_prime}]")
+                # Constraint (8), second system: cross-SM data is only
+                # visible in the next steady-state iteration.
+                model.add(
+                    ii * f[k, v] + o[k, v]
+                    >= ii * jlag + ii * f[k_prime, u] + ii * gvar,
+                    name=f"depx[e{edge_index},{k}<-{k_prime}]")
+
+    # Stateful-filter extension (the paper's future work): instances of
+    # a stateful filter serialize on one SM.  Instance k waits for
+    # instance k-1 of the same iteration; instance 0 waits for the
+    # previous iteration's last instance (distance 1); all instances
+    # share the SM of instance 0 so the state never needs cross-SM
+    # visibility.
+    for v in range(problem.num_nodes):
+        if not problem.stateful[v]:
+            continue
+        kv = problem.firings[v]
+        delay = problem.delays[v]
+        if kv * delay > ii:
+            raise SchedulingError(
+                f"stateful filter {problem.names[v]} needs "
+                f"{kv * delay:.1f} cycles of serialized work per "
+                f"iteration > II {ii:.1f}; no schedule exists")
+        for k in range(1, kv):
+            for p in sms:
+                model.add((w[k, v, p] - w[0, v, p]).equals(0),
+                          name=f"state_sm[{k},{problem.names[v]},{p}]")
+            model.add(
+                ii * f[k, v] + o[k, v]
+                >= ii * f[k - 1, v] + o[k - 1, v] + delay,
+                name=f"state_chain[{k},{problem.names[v]}]")
+        # wrap-around: iteration j's first instance follows iteration
+        # (j-1)'s last instance.
+        model.add(
+            ii * f[0, v] + o[0, v]
+            >= ii * (f[kv - 1, v] - 1) + o[kv - 1, v] + delay,
+            name=f"state_wrap[{problem.names[v]}]")
+
+    # SM symmetry breaking: the SMs are identical, so force SM p to be
+    # used only after some earlier-indexed instance used SM p-1.  Cuts
+    # the p! relabelings without excluding any schedule class.
+    ordered = list(problem.instances())
+    for i, (v, k) in enumerate(ordered):
+        for p in range(1, problem.num_sms):
+            if i < p:
+                model.add(w[k, v, p] <= 0,
+                          name=f"sym0[{i},{p}]")
+            else:
+                earlier = lin_sum(
+                    w[kj, vj, p - 1] for vj, kj in ordered[:i])
+                model.add(w[k, v, p] <= earlier,
+                          name=f"sym[{i},{p}]")
+
+    # Pure feasibility, like the paper's CPLEX usage ("our ILP
+    # formulation is a constraint problem, rather than an optimization
+    # problem").  Stage depth is minimized exactly afterwards by
+    # Schedule.compact_stages (a longest-path pass), which dominates any
+    # solver-side secondary objective.
+    model.set_objective(0)
+    return model, FormulationVars(w=w, o=o, f=f, g=g)
+
+
+def extract_schedule(problem: ScheduleProblem, ii: float,
+                     solution: Solution,
+                     variables: FormulationVars) -> Schedule:
+    """Turn a feasible ILP solution into a :class:`Schedule`."""
+    placements: dict[tuple[int, int], Placement] = {}
+    for v, k in problem.instances():
+        sm = next(p for p in range(problem.num_sms)
+                  if solution.int_value(variables.w[k, v, p]) == 1)
+        placements[(v, k)] = Placement(
+            node=v, k=k, sm=sm,
+            offset=float(solution.value(variables.o[k, v])),
+            stage=solution.int_value(variables.f[k, v]))
+    schedule = Schedule(problem=problem, ii=ii, placements=placements,
+                        solve_seconds=solution.solve_seconds)
+    schedule.validate()
+    return schedule.compact_stages()
+
+
+def solve_at_ii(problem: ScheduleProblem, ii: float, *,
+                backend: str = "highs",
+                time_limit: Optional[float] = None) -> Optional[Schedule]:
+    """One ILP attempt at a fixed II.
+
+    Returns the validated schedule, or None when the model is
+    infeasible at this II or the solver ran out of time.
+    """
+    try:
+        model, variables = build_model(problem, ii)
+    except SchedulingError:
+        return None  # a delay exceeds the II: trivially infeasible
+    gap = 3.0 if backend == "highs" else None
+    if gap is None:
+        solution = model.solve(backend=backend, time_limit=time_limit)
+    else:
+        # Feasibility problem: accept any incumbent within a huge gap
+        # of the (secondary) objective instead of proving optimality.
+        solution = model.solve(backend=backend, time_limit=time_limit,
+                               mip_rel_gap=gap)
+    if not solution.status.has_solution:
+        return None
+    return extract_schedule(problem, ii, solution, variables)

@@ -1,0 +1,140 @@
+"""Minimum initiation interval bounds: ResMII and RecMII.
+
+The paper's II search starts from ``max(ResMII, RecMII)`` (Section V-B).
+
+* **ResMII** — resource bound: total steady-state work divided by the
+  number of SMs; no schedule can beat it because constraint (2) packs
+  every instance's delay into one SM's II budget.
+* **RecMII** — recurrence bound: the maximum cycle ratio
+  ``sum(delay) / sum(distance)`` over cycles of the instance-level
+  dependence graph, computed by parametric binary search with
+  Bellman–Ford positive-cycle detection.  The paper notes RecMII was 0
+  for every benchmark (no feedback loops, no stateful filters); the
+  general computation is here so feedback programs schedule correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+from .problem import ScheduleProblem
+
+
+@dataclass(frozen=True)
+class MiiReport:
+    res_mii: float
+    rec_mii: float
+
+    @property
+    def lower_bound(self) -> float:
+        return max(self.res_mii, self.rec_mii)
+
+
+def res_mii(problem: ScheduleProblem) -> float:
+    """Resource-constrained lower bound on the II."""
+    per_sm = problem.total_work / problem.num_sms
+    # No SM can run an instance faster than its own delay either.
+    longest = max(problem.delays)
+    # A stateful filter's instances serialize on one SM, so its whole
+    # per-iteration work bounds the II (the future-work extension).
+    state_chain = max(
+        (problem.firings[v] * problem.delays[v]
+         for v in range(problem.num_nodes) if problem.stateful[v]),
+        default=0.0)
+    return max(per_sm, longest, state_chain)
+
+
+def rec_mii(problem: ScheduleProblem) -> float:
+    """Recurrence-constrained lower bound on the II.
+
+    Returns 0.0 for acyclic programs.  Raises :class:`SchedulingError`
+    for a zero-distance cycle (a deadlocked program: a dependence cycle
+    within a single steady-state iteration).
+    """
+    if not _node_graph_has_cycle(problem):
+        return 0.0
+    deps = problem.all_dependences()
+    instance_ids = {inst: i for i, inst in enumerate(problem.instances())}
+    edges = []
+    for dep in deps:
+        src = instance_ids[(dep.edge.src, dep.k_prime)]
+        dst = instance_ids[(dep.edge.dst, dep.k)]
+        latency = problem.delays[dep.edge.src]
+        edges.append((src, dst, latency, dep.distance))
+    n = len(instance_ids)
+
+    total_delay = sum(problem.delays[v] * k
+                      for v, k in zip(range(problem.num_nodes),
+                                      problem.firings))
+    # A positive cycle at lambda beyond any possible ratio means a
+    # zero-distance cycle: structurally unschedulable.
+    if _has_positive_cycle(n, edges, total_delay + 1.0):
+        raise SchedulingError(
+            "dependence cycle with zero iteration distance: the program "
+            "deadlocks (a feedback loop lacks initial tokens)")
+
+    low, high = 0.0, total_delay + 1.0
+    for _ in range(64):
+        mid = (low + high) / 2
+        if _has_positive_cycle(n, edges, mid):
+            low = mid
+        else:
+            high = mid
+        if high - low < 1e-9 * max(1.0, high):
+            break
+    return high
+
+
+def compute_mii(problem: ScheduleProblem) -> MiiReport:
+    return MiiReport(res_mii=res_mii(problem), rec_mii=rec_mii(problem))
+
+
+# ----------------------------------------------------------------------
+def _node_graph_has_cycle(problem: ScheduleProblem) -> bool:
+    adjacency: dict[int, set[int]] = {v: set()
+                                      for v in range(problem.num_nodes)}
+    for edge in problem.edges:
+        adjacency[edge.src].add(edge.dst)
+    state = [0] * problem.num_nodes  # 0 unvisited, 1 on stack, 2 done
+    for start in range(problem.num_nodes):
+        if state[start]:
+            continue
+        stack = [(start, iter(adjacency[start]))]
+        state[start] = 1
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if state[child] == 1:
+                    return True
+                if state[child] == 0:
+                    state[child] = 1
+                    stack.append((child, iter(adjacency[child])))
+                    advanced = True
+                    break
+            if not advanced:
+                state[node] = 2
+                stack.pop()
+    return False
+
+
+def _has_positive_cycle(num_nodes: int, edges, lam: float) -> bool:
+    """Bellman–Ford: does any cycle have sum(latency - lam*dist) > 0?"""
+    # Maximize path weights from a virtual source connected to all.
+    dist = [0.0] * num_nodes
+    for _ in range(num_nodes):
+        changed = False
+        for src, dst, latency, distance in edges:
+            weight = latency - lam * distance
+            if dist[src] + weight > dist[dst] + 1e-12:
+                dist[dst] = dist[src] + weight
+                changed = True
+        if not changed:
+            return False
+    # One more relaxation round: improvement implies a positive cycle.
+    for src, dst, latency, distance in edges:
+        weight = latency - lam * distance
+        if dist[src] + weight > dist[dst] + 1e-12:
+            return True
+    return False

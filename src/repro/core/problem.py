@@ -1,0 +1,214 @@
+"""The software-pipelining scheduling problem (paper Section III-A).
+
+A :class:`ScheduleProblem` is the solver-facing view of a configured
+stream program: per-node firing counts ``k_v`` (the steady state),
+per-node delays ``d(v)`` (from profiling), per-edge SDF quantities
+``O_uv`` / ``I_uv`` / ``m_uv`` (+ peek depth), and the SM count.  It is
+deliberately decoupled from :class:`~repro.graph.graph.StreamGraph`, so
+the ILP, MII analysis and schedule checker can be unit-tested on tiny
+hand-built problems.
+
+The heart of this module is :func:`dependence_pairs` — the paper's
+analysis of *which producer instances each consumer instance waits on*
+(Fig. 4 and the derivation leading to eq. (8)): for edge ``(u, v)`` and
+the ``k``-th instance of ``v``, each required token ``l`` identifies a
+producer firing
+
+    a = ceil((k*I_uv + l - m_uv - O_uv) / O_uv)
+
+which decomposes into the producer instance ``k' = a mod k_u`` of
+iteration lag ``jlag = floor(a / k_u)``.  We generalize ``l`` from the
+paper's range ``[1, I_uv]`` to ``[1, peek_uv]`` so peeking filters are
+scheduled soundly (a peeking consumer waits for its full window, not
+just the tokens it pops).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One FIFO channel, in solver units (macro-firings)."""
+
+    src: int                   # producer node index u
+    dst: int                   # consumer node index v
+    production: int            # O_uv: tokens per firing of u
+    consumption: int           # I_uv: tokens per firing of v
+    initial_tokens: int = 0    # m_uv
+    peek: Optional[int] = None  # window depth; defaults to consumption
+
+    def __post_init__(self) -> None:
+        if self.production < 1 or self.consumption < 1:
+            raise SchedulingError(
+                f"edge {self.src}->{self.dst}: rates must be >= 1")
+        if self.initial_tokens < 0:
+            raise SchedulingError(
+                f"edge {self.src}->{self.dst}: negative initial tokens")
+        if self.peek is None:
+            object.__setattr__(self, "peek", self.consumption)
+        if self.peek < self.consumption:
+            raise SchedulingError(
+                f"edge {self.src}->{self.dst}: peek {self.peek} below "
+                f"consumption rate {self.consumption}")
+
+
+@dataclass
+class ScheduleProblem:
+    """Inputs to the software-pipelining ILP.
+
+    ``stateful[v]`` marks filters whose firings carry state: their
+    instances serialize (instance ``k`` waits for ``k-1``; instance 0
+    waits for the previous iteration's last instance) and all instances
+    share one SM so the state never crosses the unreliable inter-SM
+    boundary.  This implements the paper's "handling stateful filters
+    on GPUs is a possible future work" extension.
+    """
+
+    names: list[str]
+    firings: list[int]          # k_v per node
+    delays: list[float]         # d(v) per node, in cycles
+    edges: list[EdgeSpec]
+    num_sms: int
+    stateful: Optional[list[bool]] = None
+
+    def __post_init__(self) -> None:
+        n = len(self.names)
+        if not (len(self.firings) == len(self.delays) == n):
+            raise SchedulingError(
+                "names/firings/delays must have equal lengths")
+        if n == 0:
+            raise SchedulingError("problem has no nodes")
+        if self.stateful is None:
+            self.stateful = [False] * n
+        if len(self.stateful) != n:
+            raise SchedulingError("stateful flags must match node count")
+        if self.num_sms < 1:
+            raise SchedulingError("need at least one SM")
+        for k in self.firings:
+            if k < 1:
+                raise SchedulingError("every node must fire at least once")
+        for d in self.delays:
+            if d <= 0:
+                raise SchedulingError("delays must be positive")
+        for edge in self.edges:
+            if not (0 <= edge.src < n and 0 <= edge.dst < n):
+                raise SchedulingError(f"edge {edge} references unknown node")
+            produced = self.firings[edge.src] * edge.production
+            consumed = self.firings[edge.dst] * edge.consumption
+            if produced != consumed:
+                raise SchedulingError(
+                    f"edge {self.names[edge.src]}->{self.names[edge.dst]} "
+                    f"is unbalanced: {produced} produced vs {consumed} "
+                    f"consumed per steady iteration")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.names)
+
+    @property
+    def num_instances(self) -> int:
+        return sum(self.firings)
+
+    def instances(self) -> Iterable[tuple[int, int]]:
+        """All (node, k) instance identifiers."""
+        for v in range(self.num_nodes):
+            for k in range(self.firings[v]):
+                yield (v, k)
+
+    @property
+    def total_work(self) -> float:
+        return sum(k * d for k, d in zip(self.firings, self.delays))
+
+    # ------------------------------------------------------------------
+    def dependence_pairs(self, edge: EdgeSpec,
+                         k: int) -> list[tuple[int, int]]:
+        """Producer instances the ``k``-th consumer instance depends on.
+
+        Returns deduplicated ``(k_prime, jlag)`` pairs: instance ``k'``
+        of the producer, ``jlag`` steady-state iterations earlier
+        (``jlag <= 0`` in the common case; positive lags arise for deep
+        peeks with no priming and simply force deeper pipelining).
+
+        Producer firings with global index < 0 (the tokens came from
+        ``m_uv``) impose no constraint and are dropped.
+        """
+        if not 0 <= k < self.firings[edge.dst]:
+            raise SchedulingError(
+                f"instance {k} out of range for node "
+                f"{self.names[edge.dst]}")
+        ku = self.firings[edge.src]
+        # a(l) = ceil((k*I + l - m - O) / O) for l in [1, peek]; since l
+        # steps by 1 through a range wider than O covers, a takes every
+        # integer between its extremes.
+        a_min = math.ceil((k * edge.consumption + 1
+                           - edge.initial_tokens - edge.production)
+                          / edge.production)
+        a_max = math.ceil((k * edge.consumption + edge.peek
+                           - edge.initial_tokens - edge.production)
+                          / edge.production)
+        pairs = []
+        seen = set()
+        for a in range(a_min, a_max + 1):
+            jlag = a // ku
+            k_prime = a % ku
+            # Dependences on "firing -1 and earlier" of iteration 0 are
+            # satisfied by initial tokens for every iteration j only when
+            # the *global* producer index j*ku + a is negative for all j.
+            # Since the schedule must admit all j >= 0 and the constraint
+            # is j-independent, only pairs where a refers to a real
+            # firing for some j >= 0 matter; every (k', jlag) does, so we
+            # keep them all — except pure-initial-token coverage where
+            # a < 0 AND the consumer window never outruns m_uv, i.e. the
+            # dependence repeats each iteration shifted by ku and a < 0
+            # simply means "previous iteration", encoded by jlag.
+            if (k_prime, jlag) not in seen:
+                seen.add((k_prime, jlag))
+                pairs.append((k_prime, jlag))
+        return pairs
+
+    def all_dependences(self) -> list["Dependence"]:
+        """Every instance-level dependence in the problem."""
+        deps = []
+        for edge in self.edges:
+            for k in range(self.firings[edge.dst]):
+                for k_prime, jlag in self.dependence_pairs(edge, k):
+                    deps.append(Dependence(edge, k, k_prime, jlag))
+        return deps
+
+    # ------------------------------------------------------------------
+    def validate_stateless(self) -> None:
+        """Hook for callers: the base problem is always stateless; the
+        configure layer raises before building a problem for stateful
+        filters (the paper handles only stateless filters)."""
+
+    def describe(self) -> str:
+        lines = [f"ScheduleProblem: {self.num_nodes} nodes, "
+                 f"{self.num_instances} instances, {len(self.edges)} "
+                 f"edges, {self.num_sms} SMs"]
+        for v, name in enumerate(self.names):
+            lines.append(f"  {name}: k={self.firings[v]} "
+                         f"d={self.delays[v]:.1f}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """Instance-level dependence: consumer (edge.dst, k) needs producer
+    (edge.src, k_prime) from ``jlag`` iterations earlier."""
+
+    edge: EdgeSpec
+    k: int          # consumer instance
+    k_prime: int    # producer instance
+    jlag: int       # iteration lag (<= 0 usually)
+
+    @property
+    def distance(self) -> int:
+        """Software-pipelining dependence distance (omega >= 0)."""
+        return -self.jlag

@@ -1,0 +1,135 @@
+"""Profile execution (paper Fig. 6).
+
+For every node of the stream graph, generate and "run" the profiling
+driver on the GPU model: four register budgets x four thread counts,
+each executing ``numfirings`` total single-threaded-equivalent firings
+(a common multiple of all thread counts, large enough to amortize the
+kernel launch).  Infeasible configurations — the kernel cannot launch
+because the register file is exhausted — record an infinite time,
+exactly as Fig. 6 line 6 does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import SchedulingError
+from ..graph.graph import StreamGraph
+from ..graph.nodes import Node
+from ..gpu.device import (
+    PROFILE_REGISTER_BUDGETS,
+    PROFILE_THREAD_COUNTS,
+    DeviceConfig,
+)
+from ..gpu.simulator import GpuSimulator
+
+
+def default_numfirings(device: DeviceConfig,
+                       multiple: int = 64) -> int:
+    """A ``numfirings`` that every profiled thread count divides and
+    that spreads work across all SMs many times over."""
+    base = math.lcm(*PROFILE_THREAD_COUNTS)
+    return base * multiple
+
+
+@dataclass
+class ProfileTable:
+    """``runTimes[i][numRegs][numThreads]`` from Fig. 6, plus the
+    per-macro-firing delays the ILP consumes."""
+
+    run_times: dict[tuple[int, int, int], float]
+    macro_delays: dict[tuple[int, int, int], float]
+    numfirings: int
+    register_budgets: tuple[int, ...] = PROFILE_REGISTER_BUDGETS
+    thread_counts: tuple[int, ...] = PROFILE_THREAD_COUNTS
+
+    def run_time(self, node: Node, regs: int, threads: int) -> float:
+        return self.run_times[(node.uid, regs, threads)]
+
+    def macro_delay(self, node: Node, regs: int, threads: int) -> float:
+        """Cycles for ONE macro-firing (``threads`` parallel firings on
+        one SM) at register cap ``regs``."""
+        return self.macro_delays[(node.uid, regs, threads)]
+
+    def feasible(self, node: Node, regs: int, threads: int) -> bool:
+        return math.isfinite(self.run_times[(node.uid, regs, threads)])
+
+
+def profile_graph(graph: StreamGraph, device: DeviceConfig, *,
+                  numfirings: int | None = None,
+                  coalesced: bool = True,
+                  shared_staging: Mapping[int, bool] | None = None) -> ProfileTable:
+    """Run the Fig. 6 profiling loop for every node of ``graph``.
+
+    ``coalesced=False`` profiles the SWPNC variant ("the profile runs
+    are also executed without memory access coalescing"), optionally
+    with per-node shared-memory staging flags for nodes whose working
+    set fits (Section V-B).
+    """
+    graph.validate()
+    simulator = GpuSimulator(device)
+    firings = numfirings if numfirings is not None \
+        else default_numfirings(device)
+    for threads in PROFILE_THREAD_COUNTS:
+        if firings % threads:
+            raise SchedulingError(
+                f"numfirings={firings} is not a multiple of profiled "
+                f"thread count {threads}")
+    staging = dict(shared_staging or {})
+
+    run_times: dict[tuple[int, int, int], float] = {}
+    macro_delays: dict[tuple[int, int, int], float] = {}
+    for node in graph.nodes:
+        stage_node = staging.get(node.uid, False)
+        for regs in PROFILE_REGISTER_BUDGETS:
+            for threads in PROFILE_THREAD_COUNTS:
+                total = simulator.profile_filter(
+                    node.estimate, threads, regs, firings,
+                    coalesced=coalesced,
+                    use_shared_staging=stage_node)
+                key = (node.uid, regs, threads)
+                run_times[key] = total
+                if math.isinf(total):
+                    macro_delays[key] = math.inf
+                else:
+                    iterations = firings // threads
+                    per_sm_iterations = math.ceil(
+                        iterations / device.num_sms)
+                    macro_delays[key] = total / per_sm_iterations
+    return ProfileTable(run_times=run_times, macro_delays=macro_delays,
+                        numfirings=firings)
+
+
+def shared_staging_candidates(graph: StreamGraph,
+                              device: DeviceConfig) -> dict[int, bool]:
+    """Nodes whose full working set fits shared memory at the *minimum*
+    profiled thread count — the SWPNC fallback eligibility test.
+
+    "if the number of threads with which the filter is to be executed
+    is such that the working set (the push and the pop set) can fit
+    into shared memory, then we bring in the entire working set into
+    shared memory using coalesced reads" (Section V-B).
+    """
+    flags = {}
+    min_threads = min(PROFILE_THREAD_COUNTS)
+    for node in graph.nodes:
+        est = node.estimate
+        # Staging targets peeking filters: StreamIt's codegen already
+        # materializes their sliding window, and the window overlap
+        # between consecutive firings is what makes a cooperative
+        # shared-memory copy profitable.  (The two benchmarks the paper
+        # reports as rescued by this fallback — Filterbank and FMRadio —
+        # are exactly the two with peeking filters.)
+        if est.window_overlap <= 0:
+            flags[node.uid] = False
+            continue
+        # The overlap is shared across the block's threads, so the
+        # staged footprint is fresh tokens per thread plus one copy of
+        # the peek history (plus the output tokens).
+        tokens = (est.fresh_loads + est.stores) * min_threads \
+            + est.window_overlap
+        working_set = tokens * device.token_bytes
+        flags[node.uid] = working_set <= device.shared_mem_per_sm
+    return flags

@@ -1,0 +1,134 @@
+"""The Serial baseline: a fully data-parallel Single Appearance Schedule.
+
+Paper Section V: "The Serial scheme is such that every filter is run as
+a separate kernel in a SAS schedule.  We fix the number of blocks with
+which a filter executes to 16 — the same as the SWP scheme — and set
+the number of threads so that the buffer usage is less than or equal to
+the SWP scheme compared here, which is SWP8."
+
+Every node is one kernel invocation per sweep, executed over all 16 SMs
+with as much data parallelism as the steady state provides; nodes run
+in topological order, so a channel's entire sweep production is alive
+between the producer's kernel and the consumer's kernel — the SAS
+maximum-buffering property.  The sweep batching factor ``rounds`` is
+chosen as the largest value whose buffer requirement stays within the
+SWP8 budget (the paper's fairness rule).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+from ..gpu.device import DeviceConfig
+from ..gpu.simulator import (
+    FilterWork,
+    GpuSimulator,
+    Kernel,
+    RunResult,
+    scatter_streams_of,
+)
+from .configure import ConfiguredProgram
+
+
+@dataclass
+class SasSchedule:
+    """A serialized SAS execution plan."""
+
+    program: ConfiguredProgram
+    order: list[int]            # problem node indices, topological
+    rounds: int                 # macro steady iterations per sweep
+    buffer_bytes: int           # peak buffer footprint of one sweep
+
+    @property
+    def kernels_per_sweep(self) -> int:
+        return len(self.order)
+
+
+def sas_buffer_bytes(program: ConfiguredProgram, rounds: int,
+                     device: DeviceConfig) -> int:
+    """Buffer bytes one SAS sweep of ``rounds`` iterations needs.
+
+    Under SAS the producer of every channel completes all its firings
+    before the consumer starts, so the channel must hold its entire
+    sweep production plus whatever was already buffered.
+    """
+    total = 0
+    for edge in program.problem.edges:
+        per_iteration = program.problem.firings[edge.src] * edge.production
+        total += (edge.initial_tokens + per_iteration * rounds) \
+            * device.token_bytes
+    return total
+
+
+def build_sas_schedule(program: ConfiguredProgram, device: DeviceConfig,
+                       buffer_budget_bytes: int | None = None,
+                       max_rounds: int = 64) -> SasSchedule:
+    """Construct the Serial baseline plan.
+
+    The sweep batching ``rounds`` follows the paper's fairness rule
+    twice over: (a) SAS buffers must stay within the SWP schedule's
+    buffer budget, and (b) a kernel cannot expose more data parallelism
+    than the device accepts — 16 blocks x 512 threads = 8192 concurrent
+    base firings per filter kernel ("we fix the number of blocks ... to
+    16 and set the number of threads", Section V).
+    """
+    order = [program.index_of(node)
+             for node in program.graph.topological_order()]
+    max_parallel = device.num_sms * device.max_threads_per_block
+    thread_cap = max_rounds
+    for node_idx in order:
+        node = program.nodes[node_idx]
+        per_round = (program.problem.firings[node_idx]
+                     * program.config.threads[node.uid])
+        thread_cap = min(thread_cap,
+                         max(1, max_parallel // per_round))
+    rounds = 1
+    if buffer_budget_bytes is not None:
+        while (rounds < thread_cap
+               and sas_buffer_bytes(program, rounds + 1, device)
+               <= buffer_budget_bytes):
+            rounds += 1
+    return SasSchedule(program=program, order=order, rounds=rounds,
+                       buffer_bytes=sas_buffer_bytes(program, rounds,
+                                                     device))
+
+
+def sas_kernels(plan: SasSchedule, device: DeviceConfig, *,
+                coalesced: bool = True) -> list[Kernel]:
+    """One kernel per node per sweep, data parallel over all SMs."""
+    program = plan.program
+    kernels = []
+    for node_idx in plan.order:
+        node = program.nodes[node_idx]
+        threads = program.config.threads[node.uid]
+        macro_firings = program.problem.firings[node_idx] * plan.rounds
+        per_sm = math.ceil(macro_firings / device.num_sms)
+        busy_sms = min(device.num_sms, macro_firings)
+        work = FilterWork(
+            name=node.name,
+            estimate=node.estimate,
+            threads=threads,
+            register_cap=program.config.register_cap,
+            coalesced=coalesced,
+            use_shared_staging=program.config.uses_shared_staging(node),
+            repeat=per_sm,
+            stream_label=node.name,
+            scatter_streams=scatter_streams_of(node))
+        programs = [[work] if sm < busy_sms else []
+                    for sm in range(device.num_sms)]
+        kernels.append(Kernel(f"sas_{node.name}", programs))
+    return kernels
+
+
+def simulate_sas(plan: SasSchedule, device: DeviceConfig,
+                 macro_iterations: int, *,
+                 coalesced: bool = True) -> RunResult:
+    """Time a Serial execution of ``macro_iterations`` steady iterations."""
+    if macro_iterations < 1:
+        raise SchedulingError("macro_iterations must be >= 1")
+    simulator = GpuSimulator(device)
+    kernels = sas_kernels(plan, device, coalesced=coalesced)
+    sweeps = math.ceil(macro_iterations / plan.rounds)
+    return simulator.simulate_run(kernels, invocations=sweeps)

@@ -1,0 +1,237 @@
+"""Software-pipelined schedule objects and the admissibility checker.
+
+A :class:`Schedule` is the solved form of the paper's ILP: for every
+instance ``(v, k)`` the SM assignment ``w``, the intra-kernel offset
+``o`` and the pipeline stage ``f``, plus the initiation interval ``T``.
+``validate()`` re-checks every constraint of Section III against the
+solution — resource budget (2), non-wraparound (4), and the dependence
+disjunction (8) including the cross-SM next-iteration rule — so a bug
+in either the formulation or a solver backend cannot slip through
+silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..errors import SchedulingError
+from .problem import ScheduleProblem
+
+#: Numeric slack for float comparisons in the checker.
+_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where and when one instance runs."""
+
+    node: int
+    k: int
+    sm: int
+    offset: float   # o_{k,v}: start time inside the kernel
+    stage: int      # f_{k,v}: pipeline stage (iteration displacement)
+
+
+@dataclass
+class Schedule:
+    """A complete software-pipelined schedule for a problem."""
+
+    problem: ScheduleProblem
+    ii: float
+    placements: dict[tuple[int, int], Placement]
+    solve_seconds: float = 0.0
+    relaxation: float = 0.0   # fraction the II was relaxed above MII
+    attempts: int = 1         # ILP attempts in the II search
+
+    def __post_init__(self) -> None:
+        expected = set(self.problem.instances())
+        if set(self.placements) != expected:
+            missing = expected - set(self.placements)
+            raise SchedulingError(
+                f"schedule incomplete; missing placements for {missing}")
+
+    # ------------------------------------------------------------------
+    def placement(self, node: int, k: int) -> Placement:
+        return self.placements[(node, k)]
+
+    def sm_of(self, node: int, k: int) -> int:
+        return self.placements[(node, k)].sm
+
+    def sm_order(self, sm: int) -> list[Placement]:
+        """Instances on ``sm`` in execution order (increasing offset;
+        ties broken deterministically by (node, k))."""
+        mine = [p for p in self.placements.values() if p.sm == sm]
+        return sorted(mine, key=lambda p: (p.offset, p.node, p.k))
+
+    @property
+    def max_stage(self) -> int:
+        return max(p.stage for p in self.placements.values())
+
+    @property
+    def used_sms(self) -> list[int]:
+        return sorted({p.sm for p in self.placements.values()})
+
+    def sm_load(self, sm: int) -> float:
+        return sum(self.problem.delays[p.node]
+                   for p in self.placements.values() if p.sm == sm)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Re-check every ILP constraint; raise on any violation."""
+        problem = self.problem
+        for placement in self.placements.values():
+            if not 0 <= placement.sm < problem.num_sms:
+                raise SchedulingError(
+                    f"instance ({placement.node},{placement.k}) assigned "
+                    f"to nonexistent SM {placement.sm}")
+            if placement.offset < -_TOL:
+                raise SchedulingError("negative start offset")
+            if placement.stage < 0:
+                raise SchedulingError("negative pipeline stage")
+            # Constraint (4): no wraparound past the II.
+            end = placement.offset + problem.delays[placement.node]
+            if end > self.ii + _TOL:
+                raise SchedulingError(
+                    f"instance ({placement.node},{placement.k}) ends at "
+                    f"{end:.3f}, past the II {self.ii:.3f}")
+
+        # Constraint (2): per-SM work fits in the II.
+        for sm in range(problem.num_sms):
+            load = self.sm_load(sm)
+            if load > self.ii + _TOL:
+                raise SchedulingError(
+                    f"SM {sm} is overloaded: {load:.3f} > II {self.ii:.3f}")
+
+        # Stateful extension: serialized same-SM instance chains.
+        for v in range(problem.num_nodes):
+            if not problem.stateful[v]:
+                continue
+            kv = problem.firings[v]
+            delay = problem.delays[v]
+            sms_used = {self.placements[(v, k)].sm for k in range(kv)}
+            if len(sms_used) != 1:
+                raise SchedulingError(
+                    f"stateful filter {problem.names[v]} is spread over "
+                    f"SMs {sorted(sms_used)}; its state cannot migrate")
+            chain = [self.placements[(v, k)] for k in range(kv)]
+            for prev, cur in zip(chain, chain[1:]):
+                if (self.ii * cur.stage + cur.offset
+                        < self.ii * prev.stage + prev.offset + delay
+                        - _TOL):
+                    raise SchedulingError(
+                        f"stateful filter {problem.names[v]}: instance "
+                        f"{cur.k} starts before instance {prev.k} "
+                        f"finishes")
+            first, last = chain[0], chain[-1]
+            if (self.ii * first.stage + first.offset
+                    < self.ii * (last.stage - 1) + last.offset + delay
+                    - _TOL):
+                raise SchedulingError(
+                    f"stateful filter {problem.names[v]}: iteration "
+                    f"wrap-around violates state serialization")
+
+        # Constraint (8): dependences, with the cross-SM visibility rule.
+        for dep in problem.all_dependences():
+            consumer = self.placements[(dep.edge.dst, dep.k)]
+            producer = self.placements[(dep.edge.src, dep.k_prime)]
+            delay_u = problem.delays[dep.edge.src]
+            lhs = self.ii * consumer.stage + consumer.offset
+            rhs_same = (self.ii * (dep.jlag + producer.stage)
+                        + producer.offset + delay_u)
+            if lhs < rhs_same - _TOL:
+                raise SchedulingError(
+                    f"dependence violated: instance "
+                    f"({problem.names[dep.edge.dst]},{dep.k}) starts at "
+                    f"stage-time {lhs:.3f} before producer "
+                    f"({problem.names[dep.edge.src]},{dep.k_prime}) "
+                    f"finishes at {rhs_same:.3f}")
+            if consumer.sm != producer.sm:
+                rhs_cross = self.ii * (dep.jlag + producer.stage + 1)
+                if lhs < rhs_cross - _TOL:
+                    raise SchedulingError(
+                        f"cross-SM dependence violated: consumer "
+                        f"({problem.names[dep.edge.dst]},{dep.k}) on SM "
+                        f"{consumer.sm} reads data produced on SM "
+                        f"{producer.sm} within the same kernel invocation")
+
+    # ------------------------------------------------------------------
+    def compact_stages(self) -> "Schedule":
+        """Minimize every instance's pipeline stage, holding SM
+        assignments and offsets fixed.
+
+        With ``w`` and ``o`` fixed, the constraints on ``f`` are pure
+        difference constraints (``f_c - f_p >= delta``), so the
+        componentwise-minimal stages are the longest paths from the
+        ``f >= 0`` ground — computed exactly by Bellman–Ford.  Shallower
+        stages mean fewer live iterations per channel, i.e. smaller
+        buffers, without touching the II.
+        """
+        import math as _math
+
+        problem = self.problem
+        instances = list(problem.instances())
+        stage = {inst: 0 for inst in instances}
+        edges: list[tuple[tuple[int, int], tuple[int, int], int]] = []
+        for dep in problem.all_dependences():
+            consumer = (dep.edge.dst, dep.k)
+            producer = (dep.edge.src, dep.k_prime)
+            pc = self.placements[consumer]
+            pp = self.placements[producer]
+            delay = problem.delays[dep.edge.src]
+            delta = dep.jlag + _math.ceil(
+                (pp.offset + delay - pc.offset) / self.ii - 1e-9)
+            if pc.sm != pp.sm:
+                delta = max(delta, dep.jlag + 1)
+            edges.append((producer, consumer, delta))
+        for v in range(problem.num_nodes):
+            if not problem.stateful[v]:
+                continue
+            kv = problem.firings[v]
+            delay = problem.delays[v]
+            for k in range(1, kv):
+                prev, cur = (v, k - 1), (v, k)
+                delta = _math.ceil(
+                    (self.placements[prev].offset + delay
+                     - self.placements[cur].offset) / self.ii - 1e-9)
+                edges.append((prev, cur, delta))
+            wrap = _math.ceil(
+                (self.placements[(v, kv - 1)].offset + delay
+                 - self.placements[(v, 0)].offset) / self.ii - 1e-9) - 1
+            edges.append(((v, kv - 1), (v, 0), wrap))
+
+        for _ in range(len(instances) + 1):
+            changed = False
+            for producer, consumer, delta in edges:
+                candidate = stage[producer] + delta
+                if candidate > stage[consumer]:
+                    stage[consumer] = candidate
+                    changed = True
+            if not changed:
+                break
+        else:  # pragma: no cover - impossible for feasible schedules
+            raise SchedulingError(
+                "stage compaction diverged: positive difference cycle")
+
+        placements = {
+            key: Placement(node=p.node, k=p.k, sm=p.sm, offset=p.offset,
+                           stage=stage[key])
+            for key, p in self.placements.items()}
+        compacted = Schedule(problem=problem, ii=self.ii,
+                             placements=placements,
+                             solve_seconds=self.solve_seconds,
+                             relaxation=self.relaxation,
+                             attempts=self.attempts)
+        compacted.validate()
+        return compacted
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        lines = [f"Schedule: II={self.ii:.1f}, stages 0..{self.max_stage}, "
+                 f"{len(self.used_sms)} SMs used "
+                 f"(relaxation {100 * self.relaxation:.1f}%, "
+                 f"{self.attempts} ILP attempts)"]
+        for sm in self.used_sms:
+            items = ", ".join(
+                f"{self.problem.names[p.node]}[{p.k}]@{p.offset:.0f}"
+                f"/f{p.stage}" for p in self.sm_order(sm))
+            lines.append(f"  SM{sm} (load {self.sm_load(sm):.0f}): {items}")
+        return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Subsystems define more
+specific subclasses (graph construction, rate solving, ILP solving,
+scheduling, simulation, language front end).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed stream graphs (bad arity, dangling channels...)."""
+
+
+class RateError(ReproError):
+    """Raised when the steady-state balance equations have no solution."""
+
+
+class IlpError(ReproError):
+    """Raised for malformed ILP models or solver failures."""
+
+
+class InfeasibleError(IlpError):
+    """Raised when an ILP model is proven infeasible."""
+
+
+class SchedulingError(ReproError):
+    """Raised when no valid software-pipelined schedule can be constructed."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid GPU simulator inputs (bad kernels, configs...)."""
+
+
+class CodegenError(ReproError):
+    """Raised when CUDA code generation encounters an unsupported construct."""
+
+
+class LanguageError(ReproError):
+    """Base class for errors from the StreamIt-like language front end."""
+
+
+class LexError(LanguageError):
+    """Raised on invalid tokens in source text."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LanguageError):
+    """Raised on syntax errors."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(LanguageError):
+    """Raised on semantic analysis failures (undefined names, bad rates...)."""

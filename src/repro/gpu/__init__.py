@@ -1,0 +1,59 @@
+"""GPU substrate: a G80-class device model and analytic simulator.
+
+The paper's evaluation hardware (GeForce 8800 GTS 512) is reproduced as
+an explicit architectural model — SM/warp structure, occupancy rules,
+half-warp coalescing, shared-memory banks, bus bandwidth with cross-SM
+contention, and kernel launch overhead — so generated schedules can be
+timed without the physical card.
+"""
+
+from .device import (
+    GEFORCE_8600_GTS,
+    GEFORCE_8800_GTS_512,
+    GEFORCE_8800_GTX,
+    PROFILE_REGISTER_BUDGETS,
+    PROFILE_THREAD_COUNTS,
+    DeviceConfig,
+)
+from .memory import (
+    AccessSpec,
+    CoalescingReport,
+    analyze_access_pattern,
+    analyze_half_warp,
+    shared_bank_conflict_degree,
+    transactions_for_filter_access,
+)
+from .occupancy import (
+    Occupancy,
+    compute_occupancy,
+    config_is_feasible,
+    spill_registers,
+)
+from .simulator import FilterWork, GpuSimulator, Kernel, KernelResult, RunResult
+from .timing import FilterTiming, estimate_filter_cycles
+
+__all__ = [
+    "AccessSpec",
+    "CoalescingReport",
+    "DeviceConfig",
+    "FilterTiming",
+    "FilterWork",
+    "GEFORCE_8600_GTS",
+    "GEFORCE_8800_GTS_512",
+    "GEFORCE_8800_GTX",
+    "GpuSimulator",
+    "Kernel",
+    "KernelResult",
+    "Occupancy",
+    "PROFILE_REGISTER_BUDGETS",
+    "PROFILE_THREAD_COUNTS",
+    "RunResult",
+    "analyze_access_pattern",
+    "analyze_half_warp",
+    "compute_occupancy",
+    "config_is_feasible",
+    "estimate_filter_cycles",
+    "shared_bank_conflict_degree",
+    "spill_registers",
+    "transactions_for_filter_access",
+]

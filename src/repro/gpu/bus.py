@@ -1,0 +1,191 @@
+"""Event-driven shared-bus contention model.
+
+The kernel-level simulator needs to know how long a kernel invocation
+takes when different SMs execute *different* work lists concurrently —
+this is where the paper's "second order effects" live ("joiners and
+splitters are bandwidth hungry by nature, since they only move data
+around, without any computation", Section V-B).
+
+Each SM executes its items sequentially; an item is a non-bus phase
+(compute / latency-bound execution) followed by a memory phase that
+must move ``bytes`` over the device bus.  The bus is served
+processor-sharing style: at any instant, SMs with outstanding memory
+traffic split the bandwidth equally.  This reproduces the qualitative
+behaviours the paper observes:
+
+* a lone data-mover overlapped with compute-heavy SMs gets (nearly)
+  the full bus — pipelining mixes filter types well;
+* a fan-out phase where many SMs hit their data-movement items at the
+  same time collapses to aggregate-bandwidth throughput — the DCT /
+  MatrixMult "phased" pathology that lets the Serial scheme win there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SimulationError
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class BusItem:
+    """One work item on one SM: pure-execution cycles, then a memory
+    phase moving ``bytes`` over the shared bus.
+
+    ``scatter_streams`` marks wide data-movement items (many-ported
+    splitters/joiners): each touches that many distinct buffers at
+    once.  One such scatter pattern at a time is DRAM-friendly (the
+    partitioned memory controllers interleave it), but *concurrent*
+    scatter kernels from different filters thrash row locality and the
+    achievable bandwidth drops — the paper's "bandwidth hungry"
+    splitter/joiner second-order effect (Section V-B).  ``label``
+    identifies the filter: the same filter running on many SMs is one
+    coherent access pattern and is counted once.
+    """
+
+    compute_cycles: float
+    bytes: float
+    repeat: int = 1
+    label: str = ""
+    scatter_streams: int = 0
+
+    def __post_init__(self) -> None:
+        if self.compute_cycles < 0 or self.bytes < 0:
+            raise SimulationError("bus item phases must be non-negative")
+        if self.repeat < 1:
+            raise SimulationError("bus item repeat must be >= 1")
+        if self.scatter_streams < 0:
+            raise SimulationError("scatter_streams must be >= 0")
+
+
+@dataclass(frozen=True)
+class BusResult:
+    """Outcome of one contention simulation."""
+
+    finish_times: tuple[float, ...]  # per SM
+    total_cycles: float
+    bus_busy_cycles: float           # time with >= 1 active memory phase
+    contended_cycles: float          # time with >= 2 SMs sharing the bus
+
+    @property
+    def contention_fraction(self) -> float:
+        if self.bus_busy_cycles <= 0:
+            return 0.0
+        return self.contended_cycles / self.bus_busy_cycles
+
+
+class _SmState:
+    __slots__ = ("queue", "index", "rep", "phase", "phase_end",
+                 "remaining_bytes", "finish")
+
+    def __init__(self, queue: Sequence[BusItem]) -> None:
+        self.queue = queue
+        self.index = 0
+        self.rep = 0
+        self.phase = "idle"
+        self.phase_end = 0.0
+        self.remaining_bytes = 0.0
+        self.finish = 0.0
+
+    def start_next(self, now: float) -> None:
+        """Enter the compute phase of the next (item, repetition)."""
+        if self.index >= len(self.queue):
+            self.phase = "done"
+            self.finish = now
+            return
+        item = self.queue[self.index]
+        self.phase = "compute"
+        self.phase_end = now + item.compute_cycles
+        self.remaining_bytes = item.bytes
+
+    def advance_rep(self, now: float) -> None:
+        item = self.queue[self.index]
+        self.rep += 1
+        if self.rep >= item.repeat:
+            self.rep = 0
+            self.index += 1
+        self.start_next(now)
+
+
+def simulate_shared_bus(per_sm_items: Sequence[Sequence[BusItem]],
+                        bandwidth_bytes_per_cycle: float,
+                        scatter_threshold: int = 8,
+                        efficiency_floor: float = 0.55) -> BusResult:
+    """Run the processor-sharing bus simulation.
+
+    Returns per-SM finish times; the kernel completes when the last SM
+    does.  Runtime is O(total phases x SMs) — phases are filter
+    instances, so this is tiny.
+
+    DRAM efficiency: when the *distinct* active scatter items (wide
+    movers, see :class:`BusItem`) exceed ``scatter_threshold`` combined
+    streams, the deliverable bandwidth scales by
+    ``threshold / streams`` (down to ``efficiency_floor``).
+    """
+    if bandwidth_bytes_per_cycle <= 0:
+        raise SimulationError("bandwidth must be positive")
+    sms = [_SmState(queue) for queue in per_sm_items]
+    now = 0.0
+    for sm in sms:
+        sm.start_next(now)
+    busy = 0.0
+    contended = 0.0
+
+    while True:
+        computing = [sm for sm in sms if sm.phase == "compute"]
+        memory = [sm for sm in sms if sm.phase == "memory"]
+        if not computing and not memory:
+            break
+
+        bandwidth = bandwidth_bytes_per_cycle
+        if memory:
+            scatter = {}
+            for sm in memory:
+                item = sm.queue[sm.index]
+                if item.scatter_streams:
+                    scatter[item.label or id(item)] = item.scatter_streams
+            total_streams = sum(scatter.values())
+            # A single scatter pattern — even device-wide, as in the
+            # Serial scheme — stays coherent; row thrashing needs at
+            # least two *different* wide movers interleaving.
+            if len(scatter) >= 2 and total_streams > scatter_threshold:
+                efficiency = max(efficiency_floor,
+                                 scatter_threshold / total_streams)
+                bandwidth *= efficiency
+
+        # Next event: earliest compute completion or earliest memory
+        # drain at the current fair share.
+        dt = float("inf")
+        if computing:
+            dt = min(sm.phase_end - now for sm in computing)
+        if memory:
+            share = bandwidth / len(memory)
+            dt = min(dt, min(sm.remaining_bytes / share for sm in memory))
+        dt = max(dt, 0.0)
+
+        if memory:
+            busy += dt
+            if len(memory) >= 2:
+                contended += dt
+            share = bandwidth / len(memory)
+            for sm in memory:
+                sm.remaining_bytes -= share * dt
+        now += dt
+
+        for sm in sms:
+            if sm.phase == "compute" and sm.phase_end <= now + _EPS:
+                if sm.remaining_bytes > _EPS:
+                    sm.phase = "memory"
+                else:
+                    sm.advance_rep(now)
+            elif sm.phase == "memory" and sm.remaining_bytes <= _EPS:
+                sm.advance_rep(now)
+
+    finish = tuple(sm.finish for sm in sms)
+    return BusResult(finish_times=finish,
+                     total_cycles=max(finish) if finish else 0.0,
+                     bus_busy_cycles=busy,
+                     contended_cycles=contended)

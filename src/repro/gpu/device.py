@@ -1,0 +1,116 @@
+"""GPU device configurations (GeForce 8800-class, paper Section II-A).
+
+All architectural constants the rest of the simulator relies on live in
+one frozen dataclass, with presets for the card the paper used (GeForce
+8800 GTS 512) and two siblings for sensitivity studies.
+
+Timing conventions: all costs are in *shader-clock cycles*.  Memory
+bandwidth is expressed in bytes per shader cycle so the simulator never
+mixes units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Architecture description of a CUDA GPU of the G80 generation."""
+
+    name: str = "GeForce 8800 GTS 512"
+    num_sms: int = 16
+    scalar_units_per_sm: int = 8
+    registers_per_sm: int = 8192
+    shared_mem_per_sm: int = 16 * 1024
+    device_memory_bytes: int = 512 * 1024 * 1024
+
+    warp_size: int = 32
+    half_warp: int = 16
+    max_threads_per_sm: int = 768
+    max_threads_per_block: int = 512
+    max_blocks_per_sm: int = 8
+    max_warps_per_sm: int = 24
+
+    shader_clock_ghz: float = 1.625
+    # Memory subsystem: a 256-bit GDDR3 interface at ~0.97 GHz moves
+    # ~62 GB/s; normalized to the shader clock that is ~38 bytes/cycle.
+    mem_bandwidth_bytes_per_cycle: float = 38.0
+    mem_latency_cycles: int = 500
+    # Minimum DRAM transaction on G80 is 32 bytes; a fully coalesced
+    # half-warp of 4-byte words moves one 64-byte segment.
+    coalesced_segment_bytes: int = 64
+    uncoalesced_transaction_bytes: int = 32
+
+    shared_mem_banks: int = 16
+    shared_mem_latency_cycles: int = 1
+
+    # Re-reading bytes that a neighbouring thread just streamed (the
+    # overlapping windows of peeking filters) hits an open DRAM row;
+    # those repeat accesses cost this fraction of a cold access.
+    dram_row_hit_cost: float = 0.3
+
+    # A warp instruction occupies the 8 scalar units for 4 cycles.
+    cycles_per_warp_instruction: int = 4
+
+    # Host-side cost of dispatching one kernel through the CUDA runtime
+    # (driver + PCIe round trip): ~7 us at the shader clock.  This is
+    # the overhead SWPn coarsening amortizes (paper Section V-B).
+    kernel_launch_cycles: int = 11000
+    # Per-filter-execution bookkeeping inside a kernel: buffer index
+    # computation, staging-predicate check, switch dispatch.  Makes
+    # higher SMT (fewer, fatter macro-firings) preferable for
+    # memory-bound filters, as the paper's profiling observes.
+    firing_overhead_cycles: int = 40
+    token_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise SimulationError("device needs at least one SM")
+        if self.warp_size % self.half_warp:
+            raise SimulationError("warp size must be a multiple of the "
+                                  "half-warp size")
+        if self.max_threads_per_block > self.max_threads_per_sm:
+            raise SimulationError("a block cannot exceed the SM thread "
+                                  "capacity")
+        if self.mem_bandwidth_bytes_per_cycle <= 0:
+            raise SimulationError("memory bandwidth must be positive")
+
+    @property
+    def total_scalar_units(self) -> int:
+        return self.num_sms * self.scalar_units_per_sm
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.shader_clock_ghz * 1e9)
+
+    def with_sms(self, num_sms: int) -> "DeviceConfig":
+        """A copy with a different SM count (scaling studies)."""
+        return replace(self, num_sms=num_sms,
+                       name=f"{self.name} ({num_sms} SMs)")
+
+
+GEFORCE_8800_GTS_512 = DeviceConfig()
+
+GEFORCE_8800_GTX = DeviceConfig(
+    name="GeForce 8800 GTX",
+    num_sms=16,
+    shader_clock_ghz=1.35,
+    mem_bandwidth_bytes_per_cycle=64.0,  # 384-bit bus, ~86 GB/s
+    device_memory_bytes=768 * 1024 * 1024,
+)
+
+GEFORCE_8600_GTS = DeviceConfig(
+    name="GeForce 8600 GTS",
+    num_sms=4,
+    shader_clock_ghz=1.45,
+    mem_bandwidth_bytes_per_cycle=22.0,  # 128-bit bus, ~32 GB/s
+    device_memory_bytes=256 * 1024 * 1024,
+)
+
+# The register budgets and thread counts the paper profiles with
+# (Fig. 6): each (regs, threads) pair exactly fills the 8192-register
+# file of one SM — 16*512 == 20*384 (rounded) == 32*256 == 64*128.
+PROFILE_REGISTER_BUDGETS = (16, 20, 32, 64)
+PROFILE_THREAD_COUNTS = (128, 256, 384, 512)

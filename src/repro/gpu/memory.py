@@ -1,0 +1,162 @@
+"""Memory-access analysis: global-memory coalescing and shared-memory
+bank conflicts, per the G80 rules the paper optimizes for.
+
+Global memory (paper Section II-A): "thread N of a half-warp must access
+an address of the form WarpBaseAddress + N, with WarpBaseAddress ≡ 0 mod
+NumberOfBanks.  Such accesses by all threads can then be coalesced into
+a single access."  Anything else is serviced as one transaction per
+thread on G80 hardware.
+
+Shared memory: 16 banks, word-interleaved; the conflict degree is the
+maximum number of threads of a half-warp hitting the same bank, and
+accesses serialize by that factor (at 1-cycle latency, hence the paper's
+observation that shared-memory conflicts are cheap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import SimulationError
+from .device import DeviceConfig
+
+# Maps a thread id to the *word index* it touches for one access slot.
+AddressFunction = Callable[[int], int]
+
+
+@dataclass(frozen=True)
+class CoalescingReport:
+    """Result of analysing one access slot across a half-warp."""
+
+    transactions: int
+    bytes_moved: int
+    coalesced: bool
+
+    @property
+    def efficiency(self) -> float:
+        """Useful bytes / bytes moved (1.0 when perfectly coalesced)."""
+        useful = min(self.bytes_moved, 4 * 16)
+        return useful / self.bytes_moved if self.bytes_moved else 1.0
+
+
+def analyze_half_warp(addresses: Sequence[int],
+                      device: DeviceConfig) -> CoalescingReport:
+    """Classify one half-warp's simultaneous word accesses.
+
+    ``addresses`` are word indices (4-byte granularity), one per thread
+    of the half-warp.  G80 coalesces iff thread ``N`` reads word
+    ``base + N`` with ``base`` aligned to the half-warp size; otherwise
+    each thread pays its own 32-byte transaction.
+    """
+    if not addresses:
+        raise SimulationError("half-warp address list is empty")
+    if len(addresses) > device.half_warp:
+        raise SimulationError(
+            f"{len(addresses)} addresses exceed the half-warp size "
+            f"{device.half_warp}")
+    base = addresses[0]
+    aligned = base % device.half_warp == 0
+    contiguous = all(addr == base + i for i, addr in enumerate(addresses))
+    if aligned and contiguous:
+        return CoalescingReport(
+            transactions=1,
+            bytes_moved=device.coalesced_segment_bytes,
+            coalesced=True)
+    return CoalescingReport(
+        transactions=len(addresses),
+        bytes_moved=len(addresses) * device.uncoalesced_transaction_bytes,
+        coalesced=False)
+
+
+def analyze_access_pattern(address_fn: AddressFunction, num_threads: int,
+                           device: DeviceConfig) -> CoalescingReport:
+    """Aggregate coalescing over all half-warps of a block's one access.
+
+    ``address_fn(tid)`` gives the word index thread ``tid`` touches.
+    Returns the summed transactions/bytes across ``num_threads`` threads
+    split into half-warps.
+    """
+    if num_threads < 1:
+        raise SimulationError("need at least one thread")
+    total_transactions = 0
+    total_bytes = 0
+    all_coalesced = True
+    for start in range(0, num_threads, device.half_warp):
+        chunk = [address_fn(tid)
+                 for tid in range(start,
+                                  min(start + device.half_warp,
+                                      num_threads))]
+        report = analyze_half_warp(chunk, device)
+        total_transactions += report.transactions
+        total_bytes += report.bytes_moved
+        all_coalesced = all_coalesced and report.coalesced
+    return CoalescingReport(total_transactions, total_bytes, all_coalesced)
+
+
+def shared_bank_conflict_degree(addresses: Sequence[int],
+                                device: DeviceConfig) -> int:
+    """Max number of half-warp threads hitting one shared-memory bank."""
+    if not addresses:
+        raise SimulationError("half-warp address list is empty")
+    counts: dict[int, int] = {}
+    for addr in addresses:
+        bank = addr % device.shared_mem_banks
+        counts[bank] = counts.get(bank, 0) + 1
+    return max(counts.values())
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """Parametric description of one token access by every thread.
+
+    The two layouts the paper contrasts (Figures 8 and 9):
+
+    * ``kind="strided"``: the natural FIFO order — thread ``tid``'s
+      ``n``-th token lives at ``tid * rate + n``; uncoalesced whenever
+      ``rate > 1``.
+    * ``kind="shuffled"``: the paper's optimized layout — thread
+      ``tid``'s ``n``-th token lives at
+      ``128*n + (tid // 128)*128*rate + (tid % 128)`` (eqs. 10/11);
+      always coalesced.
+    """
+
+    kind: str
+    rate: int
+    slot: int = 0
+
+    def address_fn(self) -> AddressFunction:
+        if self.kind == "strided":
+            return lambda tid: tid * self.rate + self.slot
+        if self.kind == "shuffled":
+            cluster = 128
+            return lambda tid: (cluster * self.slot
+                                + (tid // cluster) * cluster * self.rate
+                                + tid % cluster)
+        raise SimulationError(f"unknown access kind {self.kind!r}")
+
+
+def transactions_for_filter_access(rate: int, num_threads: int,
+                                   device: DeviceConfig,
+                                   coalesced_layout: bool) -> CoalescingReport:
+    """Total global-memory traffic for a filter moving ``rate`` tokens
+    per thread under either buffer layout.
+
+    Sums the per-slot access analysis over all ``rate`` slots of all
+    half-warps — the exact traffic the buffer layouts of Figures 8/9
+    generate.
+    """
+    if rate == 0:
+        return CoalescingReport(0, 0, True)
+    kind = "shuffled" if coalesced_layout else "strided"
+    total_tx = 0
+    total_bytes = 0
+    all_coalesced = True
+    for slot in range(rate):
+        spec = AccessSpec(kind, rate, slot)
+        report = analyze_access_pattern(spec.address_fn(), num_threads,
+                                        device)
+        total_tx += report.transactions
+        total_bytes += report.bytes_moved
+        all_coalesced = all_coalesced and report.coalesced
+    return CoalescingReport(total_tx, total_bytes, all_coalesced)

@@ -1,0 +1,92 @@
+"""CUDA occupancy calculation for G80-class devices.
+
+Determines how many thread blocks (and therefore warps) can be resident
+on one SM given the per-thread register demand and per-block shared
+memory demand — the quantity the paper's profiling phase navigates:
+"Higher levels of SMT do not automatically translate to higher
+performance, since the number of registers in each multiprocessor is
+fixed" (Section I).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .device import DeviceConfig
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel configuration on a single SM."""
+
+    blocks_per_sm: int
+    threads_per_block: int
+    active_threads: int
+    active_warps: int
+    limiting_factor: str
+
+    @property
+    def feasible(self) -> bool:
+        return self.blocks_per_sm >= 1
+
+
+def compute_occupancy(device: DeviceConfig, threads_per_block: int,
+                      regs_per_thread: int,
+                      shared_bytes_per_block: int = 0) -> Occupancy:
+    """How many copies of a block fit on one SM, and what limits them."""
+    if threads_per_block < 1:
+        raise SimulationError("threads_per_block must be >= 1")
+    if regs_per_thread < 1:
+        raise SimulationError("regs_per_thread must be >= 1")
+    if shared_bytes_per_block < 0:
+        raise SimulationError("shared memory demand cannot be negative")
+    if threads_per_block > device.max_threads_per_block:
+        return Occupancy(0, threads_per_block, 0, 0, "block size")
+
+    limits = {"thread capacity":
+              device.max_threads_per_sm // threads_per_block,
+              "block slots": device.max_blocks_per_sm,
+              "registers":
+              device.registers_per_sm
+              // (regs_per_thread * threads_per_block)}
+    if shared_bytes_per_block > 0:
+        limits["shared memory"] = (device.shared_mem_per_sm
+                                   // shared_bytes_per_block)
+
+    limiting_factor = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiting_factor]
+    if blocks < 1:
+        return Occupancy(0, threads_per_block, 0, 0, limiting_factor)
+
+    active_threads = blocks * threads_per_block
+    active_warps = min(device.max_warps_per_sm,
+                       math.ceil(active_threads / device.warp_size))
+    return Occupancy(blocks, threads_per_block, active_threads,
+                     active_warps, limiting_factor)
+
+
+def config_is_feasible(device: DeviceConfig, threads_per_block: int,
+                       regs_per_thread: int,
+                       shared_bytes_per_block: int = 0) -> bool:
+    """The paper's feasibility test: can the kernel launch at all?
+
+    A profile configuration "fails to execute due to lack of registers"
+    when even a single block does not fit (Fig. 6, line 5).
+    """
+    occupancy = compute_occupancy(device, threads_per_block,
+                                  regs_per_thread, shared_bytes_per_block)
+    return occupancy.feasible
+
+
+def spill_registers(natural_registers: int, register_cap: int) -> int:
+    """Registers that overflow a compile-time cap and spill to memory.
+
+    The CUDA compiler "generates the necessary spill code into device
+    memory" when a kernel is compiled for fewer registers than it needs
+    (Section II-A).
+    """
+    if register_cap < 1:
+        raise SimulationError("register cap must be >= 1")
+    return max(0, natural_registers - register_cap)

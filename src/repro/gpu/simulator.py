@@ -1,0 +1,238 @@
+"""Kernel-level GPU simulator.
+
+Executes *kernels* — per-SM sequences of filter work items — against the
+analytic SM timing model, adding the device-level effects the schedules
+compete on:
+
+* **global-bus contention**: the event-driven processor-sharing model
+  of :mod:`repro.gpu.bus`, including the DRAM row-locality penalty for
+  concurrent wide scatter movers, and
+* **kernel launch overhead**: every invocation pays the CUDA dispatch
+  cost, which is what SWPn coarsening amortizes.
+
+The software-pipelined kernel of the paper is exactly one
+:class:`Kernel` here: a switch over SMs, each SM running its assigned
+filter instances back to back, with one invocation per steady-state
+iteration (cross-SM data becomes visible at the invocation boundary).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import SimulationError
+from ..graph.nodes import WorkEstimate
+from .bus import BusItem, simulate_shared_bus
+from .device import DeviceConfig
+from .timing import FilterTiming, estimate_filter_cycles
+
+
+@dataclass(frozen=True)
+class FilterWork:
+    """One filter execution slot inside a kernel, on a single SM.
+
+    ``stream_label`` identifies the underlying filter (instances of one
+    filter share it) and ``scatter_streams`` marks wide data movers for
+    the DRAM-locality model — see :class:`repro.gpu.bus.BusItem`.
+    """
+
+    name: str
+    estimate: WorkEstimate
+    threads: int
+    register_cap: Optional[int] = None
+    coalesced: bool = True
+    use_shared_staging: bool = False
+    repeat: int = 1
+    stream_label: str = ""
+    scatter_streams: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise SimulationError(f"{self.name}: threads must be >= 1")
+        if self.repeat < 1:
+            raise SimulationError(f"{self.name}: repeat must be >= 1")
+
+
+#: Port count from which a pure data mover counts as a DRAM "scatter"
+#: pattern (an 8-way splitter/joiner touches 9 buffers at once).
+SCATTER_PORT_THRESHOLD = 6
+
+
+def scatter_streams_of(node) -> int:
+    """Wide-mover stream count for a graph node (0 for compute filters
+    and narrow movers)."""
+    ports = node.num_inputs + node.num_outputs
+    if node.is_data_movement and ports >= SCATTER_PORT_THRESHOLD:
+        return ports
+    return 0
+
+
+@dataclass
+class Kernel:
+    """A kernel invocation: one work list per SM (empty lists allowed)."""
+
+    name: str
+    sm_programs: list[list[FilterWork]]
+
+    def __post_init__(self) -> None:
+        if not self.sm_programs:
+            raise SimulationError(f"kernel {self.name} has no SM programs")
+
+    @property
+    def active_sms(self) -> int:
+        return sum(1 for program in self.sm_programs if program)
+
+    @classmethod
+    def uniform(cls, name: str, work: FilterWork, num_sms: int) -> "Kernel":
+        """The data-parallel case: the same work on every SM."""
+        return cls(name, [[work] for _ in range(num_sms)])
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Timing of one kernel invocation (launch overhead not included)."""
+
+    kernel_name: str
+    cycles: float
+    per_sm_cycles: tuple[float, ...]
+    bytes_moved: int
+    bandwidth_bound: bool
+    contention_fraction: float = 0.0
+
+    @property
+    def critical_sm(self) -> int:
+        return max(range(len(self.per_sm_cycles)),
+                   key=lambda i: self.per_sm_cycles[i])
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Timing of a complete program execution on the GPU."""
+
+    total_cycles: float
+    kernel_cycles: float
+    launch_cycles: float
+    invocations: int
+
+    def seconds(self, device: DeviceConfig) -> float:
+        return device.cycles_to_seconds(self.total_cycles)
+
+
+class GpuSimulator:
+    """Analytic simulator for a G80-class device."""
+
+    def __init__(self, device: DeviceConfig) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------
+    def simulate_kernel(self, kernel: Kernel) -> KernelResult:
+        """Cycles for one invocation of ``kernel``.
+
+        Each SM executes its work items sequentially; SMs run
+        concurrently and contend for the memory bus, which is modeled
+        with the event-driven processor-sharing simulation of
+        :mod:`repro.gpu.bus`.  Each item contributes a non-bus phase
+        (its compute/latency bound at full occupancy) followed by its
+        device-memory traffic.
+        """
+        if len(kernel.sm_programs) > self.device.num_sms:
+            raise SimulationError(
+                f"kernel {kernel.name} targets {len(kernel.sm_programs)} "
+                f"SMs; device has {self.device.num_sms}")
+        if kernel.active_sms == 0:
+            return KernelResult(kernel.name, 0.0,
+                                tuple(0.0 for _ in kernel.sm_programs),
+                                0, False)
+        per_sm_items: list[list[BusItem]] = []
+        total_bytes = 0
+        for program in kernel.sm_programs:
+            items = []
+            for item in program:
+                timing = self._time_item(item, share=1.0)
+                if math.isinf(timing.cycles):
+                    raise SimulationError(
+                        f"work item {item.name} cannot launch: "
+                        f"{timing.occupancy.limiting_factor} limit")
+                non_bus = max(timing.compute_cycles,
+                              timing.latency_cycles) \
+                    + self.device.firing_overhead_cycles
+                items.append(BusItem(
+                    compute_cycles=non_bus,
+                    bytes=float(timing.bytes_moved),
+                    repeat=item.repeat,
+                    label=item.stream_label or item.name,
+                    scatter_streams=item.scatter_streams))
+                total_bytes += timing.bytes_moved * item.repeat
+            per_sm_items.append(items)
+        result = simulate_shared_bus(
+            per_sm_items, self.device.mem_bandwidth_bytes_per_cycle)
+        bandwidth_floor = total_bytes \
+            / self.device.mem_bandwidth_bytes_per_cycle
+        return KernelResult(
+            kernel.name, result.total_cycles, result.finish_times,
+            total_bytes,
+            bandwidth_bound=bandwidth_floor >= 0.5 * result.total_cycles,
+            contention_fraction=result.contention_fraction)
+
+    def _time_item(self, item: FilterWork, share: float) -> FilterTiming:
+        return estimate_filter_cycles(
+            item.estimate, item.threads, self.device,
+            register_cap=item.register_cap,
+            coalesced=item.coalesced,
+            use_shared_staging=item.use_shared_staging,
+            bandwidth_share=share)
+
+    # ------------------------------------------------------------------
+    def simulate_run(self, kernels: Sequence[Kernel],
+                     invocations: int) -> RunResult:
+        """Run the sequence ``kernels``, repeated ``invocations`` times.
+
+        Models a host loop dispatching the kernels in order: every
+        dispatch pays the launch overhead (there is no cross-invocation
+        overlap on G80 — kernel launches are synchronous events from the
+        scheduler's point of view).
+        """
+        if invocations < 1:
+            raise SimulationError("invocations must be >= 1")
+        per_round = 0.0
+        for kernel in kernels:
+            per_round += self.simulate_kernel(kernel).cycles
+        launch_per_round = len(kernels) * self.device.kernel_launch_cycles
+        total = invocations * (per_round + launch_per_round)
+        return RunResult(total_cycles=total,
+                         kernel_cycles=invocations * per_round,
+                         launch_cycles=invocations * launch_per_round,
+                         invocations=invocations * len(kernels))
+
+    # ------------------------------------------------------------------
+    def profile_filter(self, estimate: WorkEstimate, threads: int,
+                       register_cap: int, firings: int,
+                       coalesced: bool = True,
+                       use_shared_staging: bool = False) -> float:
+        """The profiling primitive of Fig. 6: run ``firings`` total
+        single-threaded-equivalent firings with ``threads`` threads and
+        a register cap; return cycles (inf when the config cannot
+        launch).
+
+        The profile run executes the filter alone on the device, data
+        parallel across all SMs, exactly like the generated profiling
+        driver: ``firings/threads`` iterations of the kernel per SM
+        chunk.
+        """
+        if firings % threads:
+            raise SimulationError(
+                "numfirings must be a multiple of the thread count "
+                "(Fig. 6 sets it to a multiple of 128/256/384/512)")
+        work = FilterWork("profile", estimate, threads,
+                          register_cap=register_cap, coalesced=coalesced,
+                          use_shared_staging=use_shared_staging)
+        timing = self._time_item(work, share=1.0 / self.device.num_sms)
+        if math.isinf(timing.cycles):
+            return math.inf
+        # The driver spreads iterations over all SMs; each SM therefore
+        # executes iterations/num_sms launches of the filter body.
+        iterations = firings // threads
+        per_sm_iterations = math.ceil(iterations / self.device.num_sms)
+        return timing.cycles * per_sm_iterations

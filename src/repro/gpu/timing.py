@@ -1,0 +1,181 @@
+"""Analytic SM timing model.
+
+Estimates the cycles one SM spends executing a filter with ``t``
+threads, combining the three first-order G80 effects the paper's
+methodology revolves around:
+
+1. **Compute throughput** — a warp instruction occupies the 8 scalar
+   units for 4 cycles, so compute time scales with warps x ops.
+2. **Memory traffic** — transactions from the coalescing analyzer times
+   the per-transaction service time at the SM's share of the bus.
+3. **Latency hiding (SMT)** — with ``W`` resident warps the SM
+   overlaps one warp's memory stalls with other warps' compute; exposed
+   latency shrinks with occupancy and grows again when register
+   pressure forces fewer resident warps or introduces spill traffic.
+
+The model is a max-of-bottlenecks estimate in the style of Hong & Kim
+(ISCA'09), which is the right fidelity for reproducing *relative*
+schedule quality — the paper itself only relies on relative filter
+delays measured by profiling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..graph.nodes import WorkEstimate
+from .device import DeviceConfig
+from .memory import transactions_for_filter_access
+from .occupancy import Occupancy, compute_occupancy, spill_registers
+
+
+@dataclass(frozen=True)
+class FilterTiming:
+    """Cycle breakdown for one filter execution on one SM."""
+
+    cycles: float
+    compute_cycles: float
+    memory_cycles: float
+    latency_cycles: float
+    bytes_moved: int
+    occupancy: Occupancy
+
+    @property
+    def bound(self) -> str:
+        parts = {"compute": self.compute_cycles,
+                 "bandwidth": self.memory_cycles,
+                 "latency": self.latency_cycles}
+        return max(parts, key=lambda k: parts[k])
+
+
+def estimate_filter_cycles(estimate: WorkEstimate, threads: int,
+                           device: DeviceConfig, *,
+                           register_cap: int | None = None,
+                           coalesced: bool = True,
+                           use_shared_staging: bool = False,
+                           bandwidth_share: float = 1.0) -> FilterTiming:
+    """Cycles for ``threads`` parallel firings of a filter on one SM.
+
+    ``register_cap`` models nvcc's ``-maxrregcount``: demand beyond the
+    cap turns into spill loads/stores.  ``bandwidth_share`` in (0, 1] is
+    this SM's fraction of the device bus (set by the kernel simulator
+    from how many SMs are concurrently active).
+
+    ``use_shared_staging`` models the SWPNC fallback: the working set is
+    staged through shared memory with coalesced copies, and the compute
+    phase reads shared memory at 1-cycle latency (with mild bank
+    serialization folded into the copy cost).
+    """
+    if threads < 1:
+        raise SimulationError("need at least one thread")
+    if not 0 < bandwidth_share <= 1:
+        raise SimulationError("bandwidth_share must be in (0, 1]")
+
+    regs = estimate.registers
+    cap = register_cap if register_cap is not None else regs
+    spilled = spill_registers(regs, cap)
+    effective_regs = min(regs, cap)
+
+    block_threads = min(threads, device.max_threads_per_block)
+    shared_bytes = 0
+    if use_shared_staging:
+        # The staged working set exploits window overlap: a block of
+        # consecutive firings shares its peek history, so the input
+        # footprint is threads*pop + (peek - pop), not threads*peek
+        # (this is why the paper's SWPNC survives on the peeking-filter
+        # benchmarks Filterbank and FMRadio).
+        in_tokens = (block_threads * estimate.fresh_loads
+                     + estimate.window_overlap)
+        out_tokens = block_threads * estimate.stores
+        shared_bytes = (in_tokens + out_tokens) * device.token_bytes
+
+    occupancy = compute_occupancy(
+        device, block_threads, max(1, effective_regs), shared_bytes)
+    if not occupancy.feasible:
+        return FilterTiming(math.inf, math.inf, math.inf, math.inf, 0,
+                            occupancy)
+
+    warps = math.ceil(threads / device.warp_size)
+    # Each spilled register costs one reload + one store per firing.
+    spill_ops = 2 * spilled
+    compute_cycles = (warps * (estimate.compute_ops + spill_ops)
+                      * device.cycles_per_warp_instruction)
+
+    # --- global-memory traffic ------------------------------------------
+    loads = estimate.loads
+    stores = estimate.stores
+    uncoalesced_global = False
+    if use_shared_staging:
+        # Stage in/out with coalesced copies of the *unique* working set
+        # (one token loaded once per block, however many threads peek
+        # at it), then compute against shared memory.
+        unique_in = (threads * estimate.fresh_loads
+                     + estimate.window_overlap * math.ceil(
+                         threads / block_threads))
+        unique_out = threads * stores
+        segments = math.ceil(unique_in / device.half_warp) \
+            + math.ceil(unique_out / device.half_warp)
+        in_bytes = segments * device.coalesced_segment_bytes
+        out_bytes = 0
+        global_accesses_per_thread = estimate.fresh_loads + stores
+        # Shared-memory phase: one access per window token at 1 cycle
+        # with a mild bank-conflict factor, plus barrier overhead for
+        # the cooperative load/compute/store phases.
+        shared_phase = (loads + stores) * 2 * warps \
+            + 3 * device.firing_overhead_cycles
+        compute_cycles += shared_phase
+        bytes_moved = in_bytes + out_bytes
+    else:
+        report_in = transactions_for_filter_access(
+            loads, threads, device, coalesced_layout=coalesced)
+        report_out = transactions_for_filter_access(
+            stores, threads, device, coalesced_layout=coalesced)
+        in_bytes = report_in.bytes_moved
+        if coalesced and estimate.window_overlap > 0 and loads > 0:
+            # Peeking filters re-read bytes their neighbour threads just
+            # streamed; the repeats hit open DRAM rows at a fraction of
+            # the cold cost.
+            unique_tokens = threads * estimate.fresh_loads \
+                + estimate.window_overlap
+            unique_fraction = min(1.0, unique_tokens / (loads * threads))
+            in_bytes *= (unique_fraction
+                         + (1 - unique_fraction) * device.dram_row_hit_cost)
+        bytes_moved = in_bytes + report_out.bytes_moved
+        global_accesses_per_thread = loads + stores
+        uncoalesced_global = not coalesced
+    spill_bytes = spill_ops * threads * device.token_bytes
+    bytes_moved += spill_bytes
+
+    bandwidth = device.mem_bandwidth_bytes_per_cycle * bandwidth_share
+    memory_cycles = bytes_moved / bandwidth
+
+    # --- exposed latency ---------------------------------------------------
+    # An uncoalesced half-warp issues one transaction per thread; the
+    # memory pipeline serializes them, multiplying the effective access
+    # latency by the half-warp size (the first-order penalty the
+    # optimized buffer layout removes).
+    serialization = device.half_warp if uncoalesced_global else 1
+    accesses_per_thread = global_accesses_per_thread + spill_ops
+    resident = max(1, occupancy.active_warps)
+    batches = math.ceil(warps / resident)
+    single_warp = (estimate.compute_ops
+                   * device.cycles_per_warp_instruction
+                   + accesses_per_thread * serialization
+                   * device.mem_latency_cycles / max(1, resident))
+    latency_cycles = batches * single_warp
+
+    cycles = max(compute_cycles, memory_cycles, latency_cycles) \
+        + device.firing_overhead_cycles
+    return FilterTiming(cycles, compute_cycles, memory_cycles,
+                        latency_cycles, bytes_moved, occupancy)
+
+
+def cpu_reference_cycles(estimate: WorkEstimate, firings: int,
+                         ops_per_cycle: float = 2.0,
+                         mem_cycles: float = 1.5) -> float:
+    """Matching single-thread CPU cost for the same work (cross-checks)."""
+    per_firing = (estimate.compute_ops / ops_per_cycle
+                  + estimate.total_memory_ops * mem_cycles)
+    return per_firing * firings

@@ -1,0 +1,74 @@
+"""Stream-graph intermediate representation (StreamIt-style).
+
+Public surface:
+
+* node types: :class:`Filter`, :class:`Splitter`, :class:`Joiner`,
+  :class:`WorkEstimate`
+* hierarchical structures: :class:`Pipeline`, :class:`SplitJoin`,
+  :class:`FeedbackLoop`, lowered by :func:`flatten`
+* the flat :class:`StreamGraph` with :class:`Channel` edges
+* steady-state rate solving: :func:`solve_rates`, :class:`SteadyState`
+"""
+
+from .analysis import (
+    WorkProfile,
+    critical_path,
+    load_balance_bound,
+    pipeline_depth,
+    summarize,
+    work_profile,
+)
+from .dot import schedule_to_dot, to_dot
+from .graph import Channel, StreamGraph
+from .flatten import flatten
+from .init_schedule import InitSchedule, compute_init_schedule, requires_init
+from .nodes import (
+    Filter,
+    Joiner,
+    Node,
+    SplitKind,
+    Splitter,
+    WorkEstimate,
+    counter_source,
+    default_estimate,
+    identity_filter,
+    indexed_source,
+    source_from_sequence,
+)
+from .rates import SteadyState, check_balance, is_primitive, solve_rates
+from .structures import FeedbackLoop, Pipeline, SplitJoin
+
+__all__ = [
+    "Channel",
+    "WorkProfile",
+    "critical_path",
+    "load_balance_bound",
+    "pipeline_depth",
+    "schedule_to_dot",
+    "summarize",
+    "to_dot",
+    "work_profile",
+    "FeedbackLoop",
+    "Filter",
+    "InitSchedule",
+    "Joiner",
+    "Node",
+    "Pipeline",
+    "SplitJoin",
+    "SplitKind",
+    "Splitter",
+    "SteadyState",
+    "StreamGraph",
+    "WorkEstimate",
+    "check_balance",
+    "compute_init_schedule",
+    "counter_source",
+    "default_estimate",
+    "flatten",
+    "identity_filter",
+    "indexed_source",
+    "is_primitive",
+    "requires_init",
+    "solve_rates",
+    "source_from_sequence",
+]

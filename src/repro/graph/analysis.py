@@ -1,0 +1,148 @@
+"""Static analyses over stream graphs.
+
+Metrics the scheduler's users (and our own benchmark reports) care
+about: per-iteration work distribution, the compute/data-movement
+split that drives the DCT/MatrixMult behaviour in the paper, pipeline
+depth, and the critical (heaviest) path through one steady iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import StreamGraph
+from .nodes import Node
+from .rates import SteadyState, solve_rates
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Per-iteration work breakdown of a stream graph."""
+
+    total_compute_ops: int
+    total_memory_ops: int
+    data_movement_memory_ops: int
+    num_nodes: int
+    num_data_movers: int
+
+    @property
+    def movement_fraction(self) -> float:
+        """Share of token traffic carried by pure data movers — the
+        quantity that predicts whether the Serial scheme is competitive
+        (paper Section V-B)."""
+        if self.total_memory_ops == 0:
+            return 0.0
+        return self.data_movement_memory_ops / self.total_memory_ops
+
+    @property
+    def ops_per_token(self) -> float:
+        if self.total_memory_ops == 0:
+            return float("inf")
+        return self.total_compute_ops / self.total_memory_ops
+
+
+def work_profile(graph: StreamGraph,
+                 steady: SteadyState | None = None) -> WorkProfile:
+    """Aggregate one steady iteration's work by node class."""
+    steady = steady or solve_rates(graph)
+    compute = 0
+    memory = 0
+    movement = 0
+    movers = 0
+    for node in graph.nodes:
+        firings = steady[node]
+        est = node.estimate
+        compute += firings * est.compute_ops
+        ops = firings * est.total_memory_ops
+        memory += ops
+        if node.is_data_movement or est.compute_ops == 0:
+            movement += ops
+            movers += 1
+    return WorkProfile(total_compute_ops=compute,
+                       total_memory_ops=memory,
+                       data_movement_memory_ops=movement,
+                       num_nodes=len(graph.nodes),
+                       num_data_movers=movers)
+
+
+def pipeline_depth(graph: StreamGraph) -> int:
+    """Longest node chain from a source to a sink (ignoring feedback
+    edges with initial tokens)."""
+    order = graph.topological_order()
+    depth = {node.uid: 1 for node in graph.nodes}
+    for node in order:
+        for channel in graph.output_channels(node):
+            if channel.num_initial_tokens:
+                continue
+            candidate = depth[node.uid] + 1
+            if candidate > depth[channel.dst.uid]:
+                depth[channel.dst.uid] = candidate
+    return max(depth.values())
+
+
+def critical_path(graph: StreamGraph,
+                  steady: SteadyState | None = None) -> list[Node]:
+    """The source-to-sink chain with the most per-iteration work.
+
+    Node weight is ``k_v * (compute_ops + memory_ops)``; the heaviest
+    path is the serial bottleneck a pipelined schedule must hide.
+    """
+    steady = steady or solve_rates(graph)
+
+    def weight(node: Node) -> float:
+        est = node.estimate
+        return steady[node] * (est.compute_ops + est.total_memory_ops)
+
+    order = graph.topological_order()
+    best: dict[int, float] = {}
+    parent: dict[int, Node | None] = {}
+    for node in order:
+        incoming = [
+            channel.src for channel in graph.input_channels(node)
+            if not channel.num_initial_tokens]
+        if incoming:
+            prev = max(incoming, key=lambda n: best[n.uid])
+            best[node.uid] = best[prev.uid] + weight(node)
+            parent[node.uid] = prev
+        else:
+            best[node.uid] = weight(node)
+            parent[node.uid] = None
+    end = max(graph.nodes, key=lambda n: best[n.uid])
+    path = [end]
+    while parent[path[-1].uid] is not None:
+        path.append(parent[path[-1].uid])
+    return list(reversed(path))
+
+
+def load_balance_bound(graph: StreamGraph, num_sms: int,
+                       steady: SteadyState | None = None) -> float:
+    """Best-case speedup from spreading one iteration over ``num_sms``
+    processors: total work / max(per-processor share, heaviest node)."""
+    steady = steady or solve_rates(graph)
+    weights = []
+    for node in graph.nodes:
+        est = node.estimate
+        weights.append(steady[node]
+                       * (est.compute_ops + est.total_memory_ops))
+    total = sum(weights)
+    if total == 0:
+        return 1.0
+    bound = total / max(total / num_sms, max(weights))
+    return bound
+
+
+def summarize(graph: StreamGraph) -> str:
+    """A one-paragraph analysis report (used by the CLI and examples)."""
+    steady = solve_rates(graph)
+    profile = work_profile(graph, steady)
+    depth = pipeline_depth(graph)
+    path = critical_path(graph, steady)
+    return (
+        f"{graph.summary()}\n"
+        f"steady iteration: {steady.total_firings} firings, "
+        f"{profile.total_compute_ops} compute ops, "
+        f"{profile.total_memory_ops} token accesses "
+        f"({100 * profile.movement_fraction:.0f}% pure data movement)\n"
+        f"pipeline depth {depth}; critical path: "
+        + " -> ".join(node.name for node in path[:8])
+        + (" ..." if len(path) > 8 else ""))

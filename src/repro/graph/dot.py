@@ -1,0 +1,86 @@
+"""Graphviz DOT export for stream graphs and schedules.
+
+``to_dot`` renders the flat graph (filters as boxes, splitters/joiners
+as diamonds, channel labels carrying the SDF rates); ``schedule_to_dot``
+additionally colours nodes by assigned SM and annotates pipeline
+stages — handy for eyeballing what the ILP decided.
+"""
+
+from __future__ import annotations
+
+from .graph import StreamGraph
+from .nodes import Joiner, Splitter
+
+_PALETTE = [
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+    "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f",
+    "#a6cee3", "#fdbf6f", "#cab2d6", "#b2df8a",
+]
+
+
+def _node_id(node) -> str:
+    return f"n{node.uid}"
+
+
+def _shape(node) -> str:
+    if isinstance(node, Splitter):
+        return "invtriangle"
+    if isinstance(node, Joiner):
+        return "triangle"
+    return "box"
+
+
+def to_dot(graph: StreamGraph, steady=None) -> str:
+    """Render the flat stream graph as a DOT digraph."""
+    lines = [f'digraph "{graph.name}" {{',
+             "  rankdir=TB;",
+             '  node [fontname="Helvetica", fontsize=10];']
+    for node in graph.nodes:
+        label = node.name
+        if steady is not None:
+            label += f"\\nk={steady[node]}"
+        lines.append(
+            f'  {_node_id(node)} [label="{label}", '
+            f'shape={_shape(node)}];')
+    for channel in graph.channels:
+        label = f"{channel.production_rate}:{channel.consumption_rate}"
+        if channel.num_initial_tokens:
+            label += f" m={channel.num_initial_tokens}"
+        if channel.peek_depth > channel.consumption_rate:
+            label += f" peek={channel.peek_depth}"
+        lines.append(
+            f"  {_node_id(channel.src)} -> {_node_id(channel.dst)} "
+            f'[label="{label}", fontsize=8];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(program, schedule) -> str:
+    """Render a scheduled program: colour = SM, annotation = stage."""
+    graph = program.graph
+    lines = [f'digraph "{graph.name}_schedule" {{',
+             "  rankdir=TB;",
+             '  node [fontname="Helvetica", fontsize=10, '
+             'style=filled];']
+    for node in graph.nodes:
+        idx = program.index_of(node)
+        placements = [schedule.placement(idx, k)
+                      for k in range(program.problem.firings[idx])]
+        sms = sorted({p.sm for p in placements})
+        stages = sorted({p.stage for p in placements})
+        color = _PALETTE[sms[0] % len(_PALETTE)]
+        label = (f"{node.name}\\nSM{','.join(map(str, sms))} "
+                 f"f={','.join(map(str, stages))}")
+        lines.append(
+            f'  {_node_id(node)} [label="{label}", '
+            f'shape={_shape(node)}, fillcolor="{color}"];')
+    for channel in graph.channels:
+        src_idx = program.index_of(channel.src)
+        dst_idx = program.index_of(channel.dst)
+        cross = schedule.sm_of(src_idx, 0) != schedule.sm_of(dst_idx, 0)
+        style = "dashed" if cross else "solid"
+        lines.append(
+            f"  {_node_id(channel.src)} -> {_node_id(channel.dst)} "
+            f"[style={style}];")
+    lines.append("}")
+    return "\n".join(lines)

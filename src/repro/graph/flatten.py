@@ -1,0 +1,119 @@
+"""Flattening: lower a hierarchical stream program to a flat graph.
+
+Mirrors the StreamIt compiler's flattening pass (Thies et al., CC'02),
+which the paper relies on: "A StreamIt program is expressed as a
+hierarchical composition of simple stream structures, which may then be
+flattened into a set of filters connected by FIFO channels."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import GraphError
+from .graph import StreamGraph
+from .nodes import Filter, Node
+from .structures import FeedbackLoop, Pipeline, SplitJoin, StreamElement
+
+
+@dataclass
+class _Ports:
+    """Entry/exit nodes of a flattened sub-structure.
+
+    ``entry is None`` means the structure has no input (it starts with a
+    source); likewise ``exit`` for sinks.
+    """
+
+    entry: Optional[Node]
+    exit: Optional[Node]
+
+
+def flatten(element: StreamElement, name: str = "stream") -> StreamGraph:
+    """Flatten a hierarchical stream program into a :class:`StreamGraph`.
+
+    The outermost element must be closed: no dangling input or output
+    (i.e. it starts with a source filter and ends with a sink filter).
+    """
+    graph = StreamGraph(name)
+    ports = _flatten_into(graph, element)
+    if ports.entry is not None:
+        raise GraphError(
+            "top-level stream has an unconnected input; the outermost "
+            "pipeline must begin with a source filter (pop == 0)")
+    if ports.exit is not None:
+        raise GraphError(
+            "top-level stream has an unconnected output; the outermost "
+            "pipeline must end with a sink filter (push == 0)")
+    graph.validate()
+    return graph
+
+
+def _flatten_into(graph: StreamGraph, element: StreamElement) -> _Ports:
+    if isinstance(element, Filter):
+        node = graph.add_node(element.copy())
+        entry = node if node.num_inputs else None
+        exit_ = node if node.num_outputs else None
+        return _Ports(entry, exit_)
+    if isinstance(element, Pipeline):
+        return _flatten_pipeline(graph, element)
+    if isinstance(element, SplitJoin):
+        return _flatten_splitjoin(graph, element)
+    if isinstance(element, FeedbackLoop):
+        return _flatten_feedback(graph, element)
+    raise GraphError(
+        f"cannot flatten object of type {type(element).__name__}; expected "
+        f"Filter, Pipeline, SplitJoin or FeedbackLoop")
+
+
+def _flatten_pipeline(graph: StreamGraph, pipe: Pipeline) -> _Ports:
+    entry: Optional[Node] = None
+    prev_exit: Optional[Node] = None
+    for index, child in enumerate(pipe.children):
+        ports = _flatten_into(graph, child)
+        if index == 0:
+            entry = ports.entry
+        else:
+            if prev_exit is None:
+                raise GraphError(
+                    f"pipeline {pipe.name}: child {index - 1} is a sink but "
+                    f"is followed by another element")
+            if ports.entry is None:
+                raise GraphError(
+                    f"pipeline {pipe.name}: child {index} is a source but "
+                    f"has a predecessor")
+            graph.connect(prev_exit, ports.entry)
+        prev_exit = ports.exit
+    return _Ports(entry, prev_exit)
+
+
+def _flatten_splitjoin(graph: StreamGraph, sj: SplitJoin) -> _Ports:
+    splitter = graph.add_node(sj.make_splitter())
+    joiner = graph.add_node(sj.make_joiner())
+    for index, branch in enumerate(sj.branches):
+        ports = _flatten_into(graph, branch)
+        if ports.entry is None or ports.exit is None:
+            raise GraphError(
+                f"splitjoin {sj.name}: branch {index} must have both an "
+                f"input and an output")
+        graph.connect(splitter, ports.entry, src_port=index)
+        graph.connect(ports.exit, joiner, dst_port=index)
+    return _Ports(splitter, joiner)
+
+
+def _flatten_feedback(graph: StreamGraph, fb: FeedbackLoop) -> _Ports:
+    joiner = graph.add_node(fb.make_joiner())
+    splitter = graph.add_node(fb.make_splitter())
+    body = _flatten_into(graph, fb.body)
+    loop = _flatten_into(graph, fb.loop)
+    for ports, label in ((body, "body"), (loop, "loop")):
+        if ports.entry is None or ports.exit is None:
+            raise GraphError(
+                f"feedback loop {fb.name}: {label} must have both an input "
+                f"and an output")
+    graph.connect(joiner, body.entry)
+    graph.connect(body.exit, splitter)
+    graph.connect(splitter, loop.entry, src_port=1)
+    graph.connect(loop.exit, joiner, dst_port=1,
+                  initial_tokens=list(fb.initial_tokens))
+    return _Ports(joiner, splitter)

@@ -1,0 +1,266 @@
+"""The flat stream graph: nodes connected by FIFO channels.
+
+This is the representation the scheduler works on (the paper's "set of
+filters connected by FIFO channels", Section I).  Each :class:`Channel`
+carries the SDF production rate ``O_uv``, consumption rate ``I_uv`` and
+the number of initial tokens ``m_uv`` — exactly the quantities used by
+the ILP formulation in Section III of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..errors import GraphError
+from .nodes import Filter, Joiner, Node, Splitter
+
+
+@dataclass
+class Channel:
+    """A FIFO channel from ``src`` output port to ``dst`` input port."""
+
+    src: Node
+    src_port: int
+    dst: Node
+    dst_port: int
+    initial_tokens: list = field(default_factory=list)
+
+    @property
+    def production_rate(self) -> int:
+        """``O_uv``: tokens produced per firing of ``src``."""
+        return self.src.push_rate(self.src_port)
+
+    @property
+    def consumption_rate(self) -> int:
+        """``I_uv``: tokens consumed per firing of ``dst``."""
+        return self.dst.pop_rate(self.dst_port)
+
+    @property
+    def peek_depth(self) -> int:
+        """Tokens ``dst`` must see on this channel before it may fire."""
+        return self.dst.peek_depth(self.dst_port)
+
+    @property
+    def num_initial_tokens(self) -> int:
+        """``m_uv``: tokens present on the channel before execution."""
+        return len(self.initial_tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Channel {self.src.name}.{self.src_port} -> "
+                f"{self.dst.name}.{self.dst_port}>")
+
+
+class StreamGraph:
+    """A flattened stream graph.
+
+    The graph owns its nodes and channels.  Use :meth:`add_node` /
+    :meth:`connect` to build one directly, or build hierarchically with
+    :mod:`repro.graph.structures` and flatten.
+    """
+
+    def __init__(self, name: str = "stream") -> None:
+        self.name = name
+        self.nodes: list[Node] = []
+        self.channels: list[Channel] = []
+        self._out: dict[int, dict[int, Channel]] = {}
+        self._in: dict[int, dict[int, Channel]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        if node.uid in self._out:
+            raise GraphError(f"node {node.name} already in graph")
+        self.nodes.append(node)
+        self._out[node.uid] = {}
+        self._in[node.uid] = {}
+        return node
+
+    def connect(self, src: Node, dst: Node, *, src_port: int = 0,
+                dst_port: int = 0,
+                initial_tokens: Optional[Sequence] = None) -> Channel:
+        if src.uid not in self._out:
+            raise GraphError(f"source node {src.name} not in graph")
+        if dst.uid not in self._in:
+            raise GraphError(f"destination node {dst.name} not in graph")
+        if not 0 <= src_port < src.num_outputs:
+            raise GraphError(
+                f"{src.name} has no output port {src_port}")
+        if not 0 <= dst_port < dst.num_inputs:
+            raise GraphError(
+                f"{dst.name} has no input port {dst_port}")
+        if src_port in self._out[src.uid]:
+            raise GraphError(
+                f"{src.name} output port {src_port} already connected")
+        if dst_port in self._in[dst.uid]:
+            raise GraphError(
+                f"{dst.name} input port {dst_port} already connected")
+        channel = Channel(src, src_port, dst, dst_port,
+                          list(initial_tokens or []))
+        self.channels.append(channel)
+        self._out[src.uid][src_port] = channel
+        self._in[dst.uid][dst_port] = channel
+        return channel
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def output_channel(self, node: Node, port: int = 0) -> Channel:
+        try:
+            return self._out[node.uid][port]
+        except KeyError:
+            raise GraphError(
+                f"{node.name} output port {port} is not connected") from None
+
+    def input_channel(self, node: Node, port: int = 0) -> Channel:
+        try:
+            return self._in[node.uid][port]
+        except KeyError:
+            raise GraphError(
+                f"{node.name} input port {port} is not connected") from None
+
+    def output_channels(self, node: Node) -> list[Channel]:
+        return [self._out[node.uid][p] for p in sorted(self._out[node.uid])]
+
+    def input_channels(self, node: Node) -> list[Channel]:
+        return [self._in[node.uid][p] for p in sorted(self._in[node.uid])]
+
+    def successors(self, node: Node) -> list[Node]:
+        return [ch.dst for ch in self.output_channels(node)]
+
+    def predecessors(self, node: Node) -> list[Node]:
+        return [ch.src for ch in self.input_channels(node)]
+
+    @property
+    def filters(self) -> list[Filter]:
+        return [n for n in self.nodes if isinstance(n, Filter)]
+
+    @property
+    def splitters(self) -> list[Splitter]:
+        return [n for n in self.nodes if isinstance(n, Splitter)]
+
+    @property
+    def joiners(self) -> list[Joiner]:
+        return [n for n in self.nodes if isinstance(n, Joiner)]
+
+    @property
+    def sources(self) -> list[Node]:
+        return [n for n in self.nodes if n.num_inputs == 0]
+
+    @property
+    def sinks(self) -> list[Node]:
+        return [n for n in self.nodes if n.num_outputs == 0]
+
+    @property
+    def num_peeking_filters(self) -> int:
+        """Filters whose peek depth exceeds their pop rate (Table I)."""
+        return sum(1 for f in self.filters if f.peek > f.pop)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    # ------------------------------------------------------------------
+    # validation & traversal
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check that every port of every node is connected exactly once."""
+        if not self.nodes:
+            raise GraphError("graph has no nodes")
+        for node in self.nodes:
+            for port in range(node.num_inputs):
+                if port not in self._in[node.uid]:
+                    raise GraphError(
+                        f"{node.name}: input port {port} unconnected")
+            for port in range(node.num_outputs):
+                if port not in self._out[node.uid]:
+                    raise GraphError(
+                        f"{node.name}: output port {port} unconnected")
+        if not self.sources:
+            raise GraphError("graph has no source node")
+        if not self.sinks:
+            raise GraphError("graph has no sink node")
+        self._check_connected()
+
+    def _check_connected(self) -> None:
+        seen: set[int] = set()
+        stack = [self.nodes[0]]
+        while stack:
+            node = stack.pop()
+            if node.uid in seen:
+                continue
+            seen.add(node.uid)
+            for other in self.successors(node) + self.predecessors(node):
+                if other.uid not in seen:
+                    stack.append(other)
+        if len(seen) != len(self.nodes):
+            missing = [n.name for n in self.nodes if n.uid not in seen]
+            raise GraphError(
+                f"graph is not connected; unreachable nodes: {missing}")
+
+    def topological_order(self) -> list[Node]:
+        """Topological order ignoring channels with initial tokens.
+
+        Channels carrying initial tokens (feedback edges) do not impose
+        an ordering for the first firing, mirroring how SDF scheduling
+        treats delays.  Raises :class:`GraphError` on a zero-delay cycle,
+        which would deadlock.
+        """
+        indegree: dict[int, int] = {n.uid: 0 for n in self.nodes}
+        for ch in self.channels:
+            if ch.num_initial_tokens == 0:
+                indegree[ch.dst.uid] += 1
+        ready = [n for n in self.nodes if indegree[n.uid] == 0]
+        order: list[Node] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for ch in self.output_channels(node):
+                if ch.num_initial_tokens:
+                    continue
+                indegree[ch.dst.uid] -= 1
+                if indegree[ch.dst.uid] == 0:
+                    ready.append(ch.dst)
+        if len(order) != len(self.nodes):
+            raise GraphError(
+                "graph has a zero-delay cycle (deadlock): every feedback "
+                "loop needs initial tokens on its back edge")
+        return order
+
+    def has_feedback(self) -> bool:
+        """True when the graph contains a cycle (via initial-token edges)."""
+        try:
+            self._acyclic_check()
+            return False
+        except GraphError:
+            return True
+
+    def _acyclic_check(self) -> None:
+        indegree: dict[int, int] = {n.uid: 0 for n in self.nodes}
+        for ch in self.channels:
+            indegree[ch.dst.uid] += 1
+        ready = [n for n in self.nodes if indegree[n.uid] == 0]
+        count = 0
+        while ready:
+            node = ready.pop()
+            count += 1
+            for ch in self.output_channels(node):
+                indegree[ch.dst.uid] -= 1
+                if indegree[ch.dst.uid] == 0:
+                    ready.append(ch.dst)
+        if count != len(self.nodes):
+            raise GraphError("graph is cyclic")
+
+    def stateful_filters(self) -> list[Filter]:
+        return [f for f in self.filters if f.is_stateful]
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description (README/debugging)."""
+        return (f"StreamGraph '{self.name}': {len(self.nodes)} nodes "
+                f"({len(self.filters)} filters, {len(self.splitters)} "
+                f"splitters, {len(self.joiners)} joiners), "
+                f"{len(self.channels)} channels, "
+                f"{self.num_peeking_filters} peeking filters")

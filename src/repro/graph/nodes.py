@@ -1,0 +1,490 @@
+"""Flat stream-graph node types: filters, splitters and joiners.
+
+These are the nodes of a *flattened* StreamIt graph (the paper's Section
+II-B).  Hierarchical composition (pipelines, split-joins, feedback loops)
+lives in :mod:`repro.graph.structures` and is lowered to these nodes by
+:mod:`repro.graph.flatten`.
+
+A :class:`Filter` carries:
+
+* its SDF rates (``pop``, ``push`` and ``peek`` depth, with
+  ``peek >= pop``),
+* an optional ``work`` function used by the functional interpreters, and
+* a :class:`WorkEstimate` consumed by the GPU timing simulator and the
+  profiling phase (Section IV-A of the paper).
+
+Splitters and joiners are the StreamIt round-robin / duplicate data
+distributors.  They are pure data movement: their work estimate has no
+compute component, which is what makes them "bandwidth hungry by nature"
+(Section V-B of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Callable, Optional, Sequence
+
+from ..errors import GraphError
+
+# A work function maps a read-only input window (length ``peek``) to the
+# list of ``push`` output tokens.  Sources receive an empty window.
+WorkFunction = Callable[[Sequence], list]
+
+_node_counter = itertools.count()
+
+
+def _next_node_id() -> int:
+    return next(_node_counter)
+
+
+@dataclass(frozen=True)
+class WorkEstimate:
+    """Static cost estimate of one firing of a node.
+
+    The GPU simulator and the CPU baseline cost model consume these
+    numbers.  ``compute_ops`` counts arithmetic operations; ``loads`` and
+    ``stores`` count device-memory token accesses (they default to the
+    node's pop/push rates when built through :func:`default_estimate`).
+    ``fresh_loads`` is how many of the loads are *new* tokens (the pop
+    rate): a peeking filter re-reads ``loads - fresh_loads`` tokens that
+    consecutive firings share, which is exactly the reuse shared-memory
+    staging exploits (paper Section V-B).  ``registers`` estimates the
+    per-thread register requirement of the generated CUDA kernel, which
+    drives occupancy in the profiling phase.
+    """
+
+    compute_ops: int
+    loads: int
+    stores: int
+    registers: int = 10
+    fresh_loads: int = -1  # -1 means "equal to loads" (no peeking)
+
+    def __post_init__(self) -> None:
+        if self.compute_ops < 0 or self.loads < 0 or self.stores < 0:
+            raise GraphError("work estimate components must be non-negative")
+        if self.registers < 1:
+            raise GraphError("a thread always needs at least one register")
+        if self.fresh_loads == -1:
+            object.__setattr__(self, "fresh_loads", self.loads)
+        if not 0 <= self.fresh_loads <= self.loads:
+            raise GraphError("fresh_loads must be within [0, loads]")
+
+    def scaled(self, factor: int) -> "WorkEstimate":
+        """Return the estimate for ``factor`` back-to-back firings."""
+        if factor < 1:
+            raise GraphError(f"scale factor must be >= 1, got {factor}")
+        return replace(
+            self,
+            compute_ops=self.compute_ops * factor,
+            loads=self.loads * factor,
+            stores=self.stores * factor,
+            fresh_loads=self.fresh_loads * factor,
+        )
+
+    @property
+    def total_memory_ops(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def window_overlap(self) -> int:
+        """Tokens shared between consecutive firings (peek - pop)."""
+        return self.loads - self.fresh_loads
+
+
+def default_estimate(pop: int, push: int, peek: int,
+                     compute_ops: Optional[int] = None,
+                     registers: Optional[int] = None) -> WorkEstimate:
+    """Build a plausible work estimate from a filter's rates.
+
+    When no explicit compute cost is given we assume a couple of
+    arithmetic operations per token moved, which matches the granularity
+    of typical StreamIt filters (FIR taps, butterflies, compare-exchange
+    stages).
+    """
+    if compute_ops is None:
+        compute_ops = 2 * (peek + push)
+    if registers is None:
+        # Registers grow slowly with the working set: index arithmetic,
+        # a few accumulators, plus one live value per few window slots.
+        registers = min(64, 8 + peek // 4 + push // 8 + compute_ops // 32)
+    return WorkEstimate(compute_ops=compute_ops, loads=peek, stores=push,
+                        registers=max(1, registers), fresh_loads=pop)
+
+
+class Node:
+    """Base class for flat stream-graph nodes."""
+
+    name: str
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.uid = _next_node_id()
+
+    # --- arity ----------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def num_outputs(self) -> int:
+        raise NotImplementedError
+
+    # --- per-port SDF rates ---------------------------------------------
+    def pop_rate(self, port: int) -> int:
+        """Tokens consumed from input ``port`` per firing."""
+        raise NotImplementedError
+
+    def push_rate(self, port: int) -> int:
+        """Tokens produced on output ``port`` per firing."""
+        raise NotImplementedError
+
+    def peek_depth(self, port: int) -> int:
+        """Tokens that must be present on input ``port`` to fire."""
+        return self.pop_rate(port)
+
+    # --- cost model -------------------------------------------------------
+    @property
+    def estimate(self) -> WorkEstimate:
+        raise NotImplementedError
+
+    @property
+    def is_stateful(self) -> bool:
+        return False
+
+    @property
+    def is_data_movement(self) -> bool:
+        """True for splitters/joiners: pure reshuffling, zero compute."""
+        return False
+
+    def fire(self, windows: Sequence[Sequence],
+             index: Optional[int] = None) -> list[list]:
+        """Execute one firing given one input window per input port.
+
+        ``index`` is the node's global firing index (only consumed by
+        indexed filters).  Returns one output token list per output
+        port.  Used by the functional interpreters; the timing simulator
+        only looks at :attr:`estimate`.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}#{self.uid}>"
+
+
+class Filter(Node):
+    """A single-input single-output StreamIt filter.
+
+    Sources are filters with ``pop == peek == 0`` and sinks are filters
+    with ``push == 0``.  Only stateless filters are schedulable by the
+    paper's framework; stateful ones are accepted in the IR (so the
+    front end can represent them) but rejected by the scheduler.
+    """
+
+    def __init__(self, name: str, *, pop: int, push: int,
+                 peek: Optional[int] = None,
+                 work: Optional[WorkFunction] = None,
+                 estimate: Optional[WorkEstimate] = None,
+                 stateful: bool = False,
+                 indexed: bool = False) -> None:
+        super().__init__(name)
+        if pop < 0 or push < 0:
+            raise GraphError(f"filter {name}: rates must be non-negative")
+        if peek is None:
+            peek = pop
+        if peek < pop:
+            raise GraphError(
+                f"filter {name}: peek depth {peek} < pop rate {pop}")
+        if pop == 0 and peek > 0:
+            raise GraphError(f"filter {name}: a source cannot peek")
+        self.pop = pop
+        self.push = push
+        self.peek = peek
+        self.work = work
+        self._estimate = estimate or default_estimate(pop, push, peek)
+        self.stateful = stateful
+        # An *indexed* filter's work takes (window, firing_index) and is
+        # a pure function of both — still stateless in the scheduling
+        # sense (firings are independent), but able to produce
+        # distinguishable tokens.  Used mainly by benchmark sources so
+        # functional-equivalence checks catch reordering bugs.
+        self.indexed = indexed
+        # Optional CUDA-C / plain-C body text supplied by the language
+        # front end; the code generators emit these verbatim inside the
+        # device / uniprocessor work functions.
+        self.cuda_body: Optional[str] = None
+        self.c_body: Optional[str] = None
+
+    # --- arity ----------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return 0 if self.pop == 0 and self.peek == 0 else 1
+
+    @property
+    def num_outputs(self) -> int:
+        return 0 if self.push == 0 else 1
+
+    @property
+    def is_source(self) -> bool:
+        return self.num_inputs == 0
+
+    @property
+    def is_sink(self) -> bool:
+        return self.num_outputs == 0
+
+    # --- rates ------------------------------------------------------------
+    def pop_rate(self, port: int) -> int:
+        self._check_port(port, self.num_inputs, "input")
+        return self.pop
+
+    def push_rate(self, port: int) -> int:
+        self._check_port(port, self.num_outputs, "output")
+        return self.push
+
+    def peek_depth(self, port: int) -> int:
+        self._check_port(port, self.num_inputs, "input")
+        return self.peek
+
+    def _check_port(self, port: int, limit: int, kind: str) -> None:
+        if not 0 <= port < limit:
+            raise GraphError(
+                f"filter {self.name}: {kind} port {port} out of range")
+
+    @property
+    def estimate(self) -> WorkEstimate:
+        return self._estimate
+
+    @property
+    def is_stateful(self) -> bool:
+        return self.stateful
+
+    def fire(self, windows: Sequence[Sequence],
+             index: Optional[int] = None) -> list[list]:
+        if self.work is None:
+            raise GraphError(
+                f"filter {self.name} has no work function; cannot execute")
+        window = windows[0] if self.num_inputs else ()
+        if len(window) < self.peek:
+            raise GraphError(
+                f"filter {self.name}: window of {len(window)} tokens is "
+                f"smaller than peek depth {self.peek}")
+        if self.indexed:
+            if index is None:
+                raise GraphError(
+                    f"filter {self.name} is indexed; the executor must "
+                    f"supply the firing index")
+            out = list(self.work(window, index))
+        else:
+            out = list(self.work(window))
+        if len(out) != self.push:
+            raise GraphError(
+                f"filter {self.name}: work produced {len(out)} tokens, "
+                f"declared push rate is {self.push}")
+        return [out] if self.num_outputs else []
+
+    def copy(self, name: Optional[str] = None) -> "Filter":
+        """Clone this filter (fresh uid) — used by graph flattening."""
+        clone = Filter(name or self.name, pop=self.pop, push=self.push,
+                       peek=self.peek, work=self.work,
+                       estimate=self._estimate, stateful=self.stateful,
+                       indexed=self.indexed)
+        clone.cuda_body = self.cuda_body
+        clone.c_body = self.c_body
+        return clone
+
+
+class SplitKind(Enum):
+    DUPLICATE = "duplicate"
+    ROUND_ROBIN = "roundrobin"
+
+
+class Splitter(Node):
+    """A StreamIt splitter node.
+
+    A *duplicate* splitter copies each input token to every output; a
+    *round-robin* splitter distributes ``weights[i]`` consecutive tokens
+    to output ``i`` in turn (Section II-B of the paper).
+
+    A duplicate splitter with uniform weight ``w > 1`` is a *block*
+    duplicate: one firing copies a ``w``-token block to every output —
+    semantically identical to ``w`` firings of a weight-1 duplicate
+    splitter, but scheduled as one unit (the granularity StreamIt's
+    fusion passes produce, which keeps instance counts sane for
+    benchmarks like DES and MatrixMult).
+    """
+
+    def __init__(self, kind: SplitKind, weights: Sequence[int],
+                 name: str = "split") -> None:
+        super().__init__(name)
+        weights = list(weights)
+        if not weights:
+            raise GraphError("splitter needs at least one output")
+        if kind is SplitKind.DUPLICATE:
+            if len(set(weights)) != 1 or weights[0] < 1:
+                raise GraphError(
+                    "duplicate splitter weights must be uniform and >= 1")
+        elif any(w < 0 for w in weights):
+            raise GraphError("splitter weights must be non-negative")
+        if kind is SplitKind.ROUND_ROBIN and sum(weights) == 0:
+            raise GraphError("round-robin splitter must move some tokens")
+        self.kind = kind
+        self.weights = weights
+
+    @property
+    def num_inputs(self) -> int:
+        return 1
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.weights)
+
+    def pop_rate(self, port: int) -> int:
+        if port != 0:
+            raise GraphError(f"splitter {self.name}: input port {port}")
+        if self.kind is SplitKind.DUPLICATE:
+            return self.weights[0]
+        return sum(self.weights)
+
+    def push_rate(self, port: int) -> int:
+        if not 0 <= port < len(self.weights):
+            raise GraphError(f"splitter {self.name}: output port {port}")
+        return self.weights[port]
+
+    @property
+    def estimate(self) -> WorkEstimate:
+        moved = self.pop_rate(0) + sum(self.weights)
+        return WorkEstimate(compute_ops=0, loads=self.pop_rate(0),
+                            stores=sum(self.weights), registers=6)
+
+    @property
+    def is_data_movement(self) -> bool:
+        return True
+
+    def fire(self, windows: Sequence[Sequence],
+             index: Optional[int] = None) -> list[list]:
+        window = list(windows[0])
+        if self.kind is SplitKind.DUPLICATE:
+            block = window[:self.weights[0]]
+            return [list(block) for _ in self.weights]
+        outs: list[list] = []
+        offset = 0
+        for weight in self.weights:
+            outs.append(window[offset:offset + weight])
+            offset += weight
+        return outs
+
+    def copy(self, name: Optional[str] = None) -> "Splitter":
+        return Splitter(self.kind, self.weights, name or self.name)
+
+
+class Joiner(Node):
+    """A StreamIt round-robin joiner (joiners are always round-robin)."""
+
+    def __init__(self, weights: Sequence[int], name: str = "join") -> None:
+        super().__init__(name)
+        weights = list(weights)
+        if not weights:
+            raise GraphError("joiner needs at least one input")
+        if any(w < 0 for w in weights):
+            raise GraphError("joiner weights must be non-negative")
+        if sum(weights) == 0:
+            raise GraphError("joiner must move some tokens")
+        self.weights = weights
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.weights)
+
+    @property
+    def num_outputs(self) -> int:
+        return 1
+
+    def pop_rate(self, port: int) -> int:
+        if not 0 <= port < len(self.weights):
+            raise GraphError(f"joiner {self.name}: input port {port}")
+        return self.weights[port]
+
+    def push_rate(self, port: int) -> int:
+        if port != 0:
+            raise GraphError(f"joiner {self.name}: output port {port}")
+        return sum(self.weights)
+
+    @property
+    def estimate(self) -> WorkEstimate:
+        total = sum(self.weights)
+        return WorkEstimate(compute_ops=0, loads=total, stores=total,
+                            registers=6)
+
+    @property
+    def is_data_movement(self) -> bool:
+        return True
+
+    def fire(self, windows: Sequence[Sequence],
+             index: Optional[int] = None) -> list[list]:
+        out: list = []
+        for port, weight in enumerate(self.weights):
+            out.extend(list(windows[port])[:weight])
+        return [out]
+
+    def copy(self, name: Optional[str] = None) -> "Joiner":
+        return Joiner(self.weights, name or self.name)
+
+
+def identity_filter(name: str = "identity") -> Filter:
+    """A pop-1 push-1 filter that forwards its input unchanged."""
+    return Filter(name, pop=1, push=1, work=lambda win: [win[0]])
+
+
+def source_from_sequence(values: Sequence, name: str = "source",
+                         push: int = 1) -> Filter:
+    """A stateful test source that cycles through ``values``.
+
+    Only used by tests and examples — the scheduler rejects stateful
+    filters, so benchmark graphs use pure generator sources instead.
+    """
+    values = list(values)
+    if not values:
+        raise GraphError("source sequence must be non-empty")
+    state = {"i": 0}
+
+    def work(_window: Sequence) -> list:
+        out = []
+        for _ in range(push):
+            out.append(values[state["i"] % len(values)])
+            state["i"] += 1
+        return out
+
+    return Filter(name, pop=0, push=push, work=work, stateful=True)
+
+
+def indexed_source(name: str = "source", push: int = 1,
+                   fn: Optional[Callable[[int], object]] = None) -> Filter:
+    """A *stateless* source whose tokens are a pure function of their
+    global position: firing ``i`` pushes ``fn(i*push) .. fn(i*push +
+    push - 1)``.  Independent firings make it schedulable by the SWP
+    framework while still producing distinguishable tokens — the
+    benchmark graphs use these so functional-equivalence checks catch
+    token reordering.
+    """
+    if fn is None:
+        fn = float
+
+    def work(_window: Sequence, index: int) -> list:
+        base = index * push
+        return [fn(base + offset) for offset in range(push)]
+
+    return Filter(name, pop=0, push=push, work=work, indexed=True)
+
+
+def counter_source(name: str = "counter", push: int = 1,
+                   start: int = 0) -> Filter:
+    """A stateful source producing 0, 1, 2, ... (tests/examples only)."""
+    state = {"i": start}
+
+    def work(_window: Sequence) -> list:
+        out = list(range(state["i"], state["i"] + push))
+        state["i"] += push
+        return out
+
+    return Filter(name, pop=0, push=push, work=work, stateful=True)

@@ -1,0 +1,127 @@
+"""Steady-state rate solving for multi-rate stream graphs.
+
+Solves the balance equations ``k_u * O_uv = k_v * I_uv`` for every
+channel ``(u, v)`` (Lee & Messerschmitt's SDF repetition vector, which
+the paper calls "the steady state rate equations", Section II-B).  The
+solution is the *primitive steady-state schedule*: the componentwise
+smallest positive integer vector of firing counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from ..errors import RateError
+from .graph import StreamGraph
+from .nodes import Node
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """The repetition vector of a stream graph.
+
+    ``firings[node.uid]`` is ``k_v`` — how many times node ``v`` fires in
+    one steady-state iteration of the primitive schedule.
+    """
+
+    graph: StreamGraph
+    firings: Mapping[int, int]
+
+    def __getitem__(self, node: Node) -> int:
+        return self.firings[node.uid]
+
+    @property
+    def total_firings(self) -> int:
+        return sum(self.firings.values())
+
+    def channel_tokens(self, channel) -> int:
+        """Tokens crossing ``channel`` in one steady-state iteration.
+
+        Balance guarantees production equals consumption, so this is
+        well defined: ``k_u * O_uv == k_v * I_uv``.
+        """
+        return self[channel.src] * channel.production_rate
+
+    def scaled(self, factor: int) -> "SteadyState":
+        """The repetition vector for ``factor`` steady-state iterations."""
+        if factor < 1:
+            raise RateError(f"scale factor must be >= 1, got {factor}")
+        return SteadyState(
+            self.graph,
+            {uid: k * factor for uid, k in self.firings.items()})
+
+
+def solve_rates(graph: StreamGraph) -> SteadyState:
+    """Compute the primitive repetition vector of ``graph``.
+
+    Raises :class:`RateError` if the balance equations are inconsistent
+    (a "sample-rate mismatch": the graph cannot run forever in bounded
+    memory) or if any node would have a zero rate.
+    """
+    graph.validate()
+    rates: dict[int, Fraction] = {}
+    start = graph.nodes[0]
+    rates[start.uid] = Fraction(1)
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        rate = rates[node.uid]
+        for ch in graph.output_channels(node):
+            produced = ch.production_rate
+            consumed = ch.consumption_rate
+            if produced == 0 or consumed == 0:
+                raise RateError(
+                    f"channel {ch.src.name}->{ch.dst.name} has a zero "
+                    f"rate (O={produced}, I={consumed}); dead channels "
+                    f"are not schedulable")
+            implied = rate * produced / consumed
+            _merge(rates, stack, ch.dst, implied)
+        for ch in graph.input_channels(node):
+            produced = ch.production_rate
+            consumed = ch.consumption_rate
+            if produced == 0 or consumed == 0:
+                raise RateError(
+                    f"channel {ch.src.name}->{ch.dst.name} has a zero "
+                    f"rate (O={produced}, I={consumed}); dead channels "
+                    f"are not schedulable")
+            implied = rate * consumed / produced
+            _merge(rates, stack, ch.src, implied)
+
+    # graph.validate() guarantees connectivity, so every node got a rate.
+    scale = math.lcm(*(r.denominator for r in rates.values()))
+    integral = {uid: int(r * scale) for uid, r in rates.items()}
+    shrink = math.gcd(*integral.values())
+    firings = {uid: k // shrink for uid, k in integral.items()}
+    return SteadyState(graph, firings)
+
+
+def _merge(rates: dict[int, Fraction], stack: list, node: Node,
+           implied: Fraction) -> None:
+    existing = rates.get(node.uid)
+    if existing is None:
+        rates[node.uid] = implied
+        stack.append(node)
+    elif existing != implied:
+        raise RateError(
+            f"inconsistent steady-state rates at {node.name}: "
+            f"{existing} vs {implied} — the balance equations have no "
+            f"solution (sample-rate mismatch)")
+
+
+def is_primitive(steady: SteadyState) -> bool:
+    """True when the firing counts have no common factor."""
+    return math.gcd(*steady.firings.values()) == 1
+
+
+def check_balance(steady: SteadyState) -> None:
+    """Assert production == consumption on every channel (debug aid)."""
+    for ch in steady.graph.channels:
+        produced = steady[ch.src] * ch.production_rate
+        consumed = steady[ch.dst] * ch.consumption_rate
+        if produced != consumed:
+            raise RateError(
+                f"unbalanced channel {ch.src.name}->{ch.dst.name}: "
+                f"{produced} produced vs {consumed} consumed per iteration")

@@ -1,0 +1,139 @@
+"""Hierarchical StreamIt constructs: Pipeline, SplitJoin, FeedbackLoop.
+
+StreamIt programs are a *hierarchical composition of simple stream
+structures* (paper Fig. 3) which the compiler flattens into a plain
+filter/channel graph.  This module defines the composition tree; the
+flattener in :mod:`repro.graph.flatten` lowers it to a
+:class:`~repro.graph.graph.StreamGraph`.
+
+Each structure is single-input single-output (possibly zero-rate at the
+outermost ends, for sources and sinks).  Filters can be placed in the
+tree directly; they are *prototypes* — flattening clones them so the
+same definition can appear at several points of the hierarchy (as in
+the recursive bitonic-sort benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..errors import GraphError
+from .nodes import Filter, Joiner, SplitKind, Splitter
+
+# Anything placeable inside a hierarchical structure.
+StreamElement = Union[Filter, "Pipeline", "SplitJoin", "FeedbackLoop"]
+
+
+@dataclass
+class Pipeline:
+    """A linear sequence of stream elements, output to input."""
+
+    children: list
+    name: str = "pipeline"
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise GraphError(f"pipeline {self.name} has no children")
+
+    def add(self, element: StreamElement) -> "Pipeline":
+        self.children.append(element)
+        return self
+
+
+@dataclass
+class SplitJoin:
+    """A splitter fanning out to parallel branches joined round-robin.
+
+    ``split`` is either the string ``"duplicate"`` or a sequence of
+    round-robin weights (one per branch).  ``join`` is the sequence of
+    joiner weights; it defaults to weight 1 per branch.
+    """
+
+    branches: list
+    split: Union[str, Sequence[int]] = "duplicate"
+    join: Optional[Sequence[int]] = None
+    name: str = "splitjoin"
+    #: Block size for duplicate splitters: one splitter firing copies a
+    #: ``block``-token chunk to every branch (StreamIt-fusion
+    #: granularity; semantically identical to ``block`` unit firings).
+    block: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.branches:
+            raise GraphError(f"splitjoin {self.name} has no branches")
+        if isinstance(self.split, str) and self.split != "duplicate":
+            raise GraphError(
+                f"splitjoin {self.name}: split must be 'duplicate' or a "
+                f"weight list, got {self.split!r}")
+        if not isinstance(self.split, str):
+            if len(list(self.split)) != len(self.branches):
+                raise GraphError(
+                    f"splitjoin {self.name}: {len(list(self.split))} split "
+                    f"weights for {len(self.branches)} branches")
+        if self.join is not None and len(list(self.join)) != len(self.branches):
+            raise GraphError(
+                f"splitjoin {self.name}: {len(list(self.join))} join "
+                f"weights for {len(self.branches)} branches")
+        if self.block < 1:
+            raise GraphError(
+                f"splitjoin {self.name}: block size must be >= 1")
+        if self.block > 1 and not isinstance(self.split, str):
+            raise GraphError(
+                f"splitjoin {self.name}: block size applies to duplicate "
+                f"splitters only")
+
+    def make_splitter(self) -> Splitter:
+        if isinstance(self.split, str):
+            return Splitter(SplitKind.DUPLICATE,
+                            [self.block] * len(self.branches),
+                            name=f"{self.name}.split")
+        return Splitter(SplitKind.ROUND_ROBIN, list(self.split),
+                        name=f"{self.name}.split")
+
+    def make_joiner(self) -> Joiner:
+        weights = list(self.join) if self.join is not None else \
+            [1] * len(self.branches)
+        return Joiner(weights, name=f"{self.name}.join")
+
+
+@dataclass
+class FeedbackLoop:
+    """A StreamIt feedback loop (paper Fig. 3(c)).
+
+    Structure: a joiner merges the external input (weight
+    ``join_weights[0]``) with the loop-back stream (weight
+    ``join_weights[1]``); the ``body`` consumes the merged stream; a
+    splitter sends ``split_weights[0]`` tokens out and
+    ``split_weights[1]`` tokens into the ``loop`` element, whose output
+    feeds back to the joiner.  ``initial_tokens`` are enqueued on the
+    feedback channel so the loop can start (StreamIt's ``enqueue``).
+    """
+
+    body: StreamElement
+    loop: StreamElement
+    join_weights: Sequence[int] = (1, 1)
+    split_weights: Sequence[int] = (1, 1)
+    initial_tokens: Sequence = ()
+    name: str = "feedbackloop"
+
+    def __post_init__(self) -> None:
+        if len(list(self.join_weights)) != 2:
+            raise GraphError(
+                f"feedback loop {self.name}: join_weights must have 2 "
+                f"entries (input, loopback)")
+        if len(list(self.split_weights)) != 2:
+            raise GraphError(
+                f"feedback loop {self.name}: split_weights must have 2 "
+                f"entries (output, loopback)")
+        if not self.initial_tokens:
+            raise GraphError(
+                f"feedback loop {self.name}: needs initial tokens on the "
+                f"feedback path, otherwise it deadlocks")
+
+    def make_joiner(self) -> Joiner:
+        return Joiner(list(self.join_weights), name=f"{self.name}.join")
+
+    def make_splitter(self) -> Splitter:
+        return Splitter(SplitKind.ROUND_ROBIN, list(self.split_weights),
+                        name=f"{self.name}.split")

@@ -1,0 +1,23 @@
+"""Generic ILP modeling layer with two exact backends.
+
+The paper solves its scheduling formulation with CPLEX; this package
+provides the equivalent black box: build a :class:`Model` from
+:class:`Variable` / :class:`LinearExpr` / :class:`Constraint` objects
+and call :meth:`Model.solve` with backend ``"highs"`` (scipy/HiGHS
+branch-and-cut) or ``"bnb"`` (our own branch-and-bound).
+"""
+
+from .expr import Constraint, LinearExpr, Sense, Variable, VarType, lin_sum
+from .model import Model, Solution, SolveStatus
+
+__all__ = [
+    "Constraint",
+    "LinearExpr",
+    "Model",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "VarType",
+    "Variable",
+    "lin_sum",
+]

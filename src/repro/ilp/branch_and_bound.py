@@ -1,0 +1,154 @@
+"""From-scratch branch-and-bound ILP solver.
+
+An independent cross-check for the HiGHS backend: LP relaxations are
+solved with scipy ``linprog`` and integrality is restored by recursive
+branching on the most fractional variable.  Best-first search with a
+simple incumbent bound; supports a wall-clock time limit (the paper's
+II-search gives each ILP attempt a 20-second budget).
+
+This solver is deliberately simple — no cuts, no presolve — but exact:
+given enough time it returns OPTIMAL or INFEASIBLE.  Model sizes in the
+test suite are chosen so it terminates quickly; production solves use
+the HiGHS backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .model import Model, Solution, SolveStatus
+
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    tiebreak: int
+    lower: np.ndarray = field(compare=False)
+    upper: np.ndarray = field(compare=False)
+
+
+def solve_branch_and_bound(model: Model,
+                           time_limit: Optional[float] = None) -> Solution:
+    c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_matrix_form()
+    n = len(model.variables)
+    started = time.perf_counter()
+    deadline = None if time_limit is None else started + time_limit
+
+    root_lower = np.array([lo for lo, _ in bounds], dtype=float)
+    root_upper = np.array([hi for _, hi in bounds], dtype=float)
+
+    counter = itertools.count()
+    best_x: Optional[np.ndarray] = None
+    best_obj = math.inf
+    timed_out = False
+
+    root_relax = _solve_lp(c, a_ub, b_ub, a_eq, b_eq, root_lower, root_upper)
+    if root_relax is None:
+        return Solution(SolveStatus.INFEASIBLE,
+                        solve_seconds=time.perf_counter() - started)
+    if root_relax == "unbounded":
+        return Solution(SolveStatus.UNBOUNDED,
+                        solve_seconds=time.perf_counter() - started)
+
+    heap: list[_Node] = [
+        _Node(root_relax[1], next(counter), root_lower, root_upper)]
+
+    while heap:
+        if deadline is not None and time.perf_counter() > deadline:
+            timed_out = True
+            break
+        node = heapq.heappop(heap)
+        if node.bound >= best_obj - 1e-9:
+            continue  # cannot improve on the incumbent
+        relax = _solve_lp(c, a_ub, b_ub, a_eq, b_eq, node.lower, node.upper)
+        if relax is None or relax == "unbounded":
+            continue
+        x, objective = relax
+        if objective >= best_obj - 1e-9:
+            continue
+        branch_var = _most_fractional(x, integrality)
+        if branch_var is None:
+            # Integral solution: new incumbent.
+            best_x = np.round(
+                np.where(integrality.astype(bool), np.round(x), x), 12)
+            best_obj = objective
+            continue
+        value = x[branch_var]
+        down_upper = node.upper.copy()
+        down_upper[branch_var] = math.floor(value)
+        up_lower = node.lower.copy()
+        up_lower[branch_var] = math.ceil(value)
+        if down_upper[branch_var] >= node.lower[branch_var]:
+            heapq.heappush(heap, _Node(objective, next(counter),
+                                       node.lower.copy(), down_upper))
+        if up_lower[branch_var] <= node.upper[branch_var]:
+            heapq.heappush(heap, _Node(objective, next(counter),
+                                       up_lower, node.upper.copy()))
+
+    elapsed = time.perf_counter() - started
+    if best_x is None:
+        status = SolveStatus.TIMEOUT if timed_out else SolveStatus.INFEASIBLE
+        return Solution(status, solve_seconds=elapsed)
+
+    values = {}
+    for i, var in enumerate(model.variables):
+        value = float(best_x[i])
+        if integrality[i]:
+            value = float(round(value))
+        values[var] = value
+    objective = model.objective.evaluate(values)
+    status = SolveStatus.FEASIBLE if timed_out else SolveStatus.OPTIMAL
+    return Solution(status, values=values, objective=objective,
+                    solve_seconds=elapsed)
+
+
+def _solve_lp(c, a_ub, b_ub, a_eq, b_eq, lower, upper):
+    """Solve the LP relaxation; None if infeasible, 'unbounded', or (x, obj)."""
+    bounds = list(zip(lower, upper))
+    result = linprog(c,
+                     A_ub=a_ub if a_ub.shape[0] else None,
+                     b_ub=b_ub if a_ub.shape[0] else None,
+                     A_eq=a_eq if a_eq.shape[0] else None,
+                     b_eq=b_eq if a_eq.shape[0] else None,
+                     bounds=bounds, method="highs")
+    if result.status == 2:
+        return None
+    if result.status == 3:
+        return "unbounded"
+    if not result.success:
+        return None
+    return result.x, float(result.fun)
+
+
+def _most_fractional(x: np.ndarray, integrality: np.ndarray) -> Optional[int]:
+    best_index = None
+    best_frac = _INT_TOL
+    for i, flag in enumerate(integrality):
+        if not flag:
+            continue
+        frac = abs(x[i] - round(x[i]))
+        # distance from the nearest half-integer point measures how
+        # undecided the variable is
+        score = min(frac, 1 - frac) if frac <= 0.5 else frac
+        distance = abs(x[i] - math.floor(x[i]) - 0.5)
+        if frac > _INT_TOL and (0.5 - distance) > best_frac - _INT_TOL:
+            if best_index is None or (0.5 - distance) > best_frac:
+                best_index = i
+                best_frac = 0.5 - distance
+    if best_index is not None:
+        return best_index
+    # fall back: any fractional integer variable at all?
+    for i, flag in enumerate(integrality):
+        if flag and abs(x[i] - round(x[i])) > _INT_TOL:
+            return i
+    return None

@@ -1,0 +1,204 @@
+"""Linear-expression algebra for the ILP modeling layer.
+
+A :class:`LinearExpr` is an immutable-by-convention mapping from
+variables to coefficients plus a constant term, supporting ``+``, ``-``,
+scalar ``*`` and comparison operators that build :class:`Constraint`
+objects — the small modeling language the paper's formulation (Section
+III) is written in.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping, Union
+
+from ..errors import IlpError
+
+Number = Union[int, float]
+
+_var_counter = itertools.count()
+
+
+class VarType(Enum):
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+@dataclass(frozen=True, eq=False)
+class Variable:
+    """A decision variable.  Identity-based hashing keeps models fast."""
+
+    name: str
+    vartype: VarType = VarType.CONTINUOUS
+    lower: float = 0.0
+    upper: float = float("inf")
+    index: int = field(default_factory=lambda: next(_var_counter))
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise IlpError(
+                f"variable {self.name}: lower bound {self.lower} exceeds "
+                f"upper bound {self.upper}")
+        if self.vartype is VarType.BINARY:
+            object.__setattr__(self, "lower", max(0.0, self.lower))
+            object.__setattr__(self, "upper", min(1.0, self.upper))
+
+    # --- arithmetic lifts to LinearExpr ---------------------------------
+    def _as_expr(self) -> "LinearExpr":
+        return LinearExpr({self: 1.0}, 0.0)
+
+    def __add__(self, other) -> "LinearExpr":
+        return self._as_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinearExpr":
+        return self._as_expr() - other
+
+    def __rsub__(self, other) -> "LinearExpr":
+        return (-self._as_expr()) + other
+
+    def __mul__(self, scalar: Number) -> "LinearExpr":
+        return self._as_expr() * scalar
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearExpr":
+        return self._as_expr() * -1.0
+
+    def __le__(self, other) -> "Constraint":
+        return self._as_expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self._as_expr() >= other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+class LinearExpr:
+    """``sum(coeff_i * var_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[Variable, float] | None = None,
+                 constant: float = 0.0) -> None:
+        self.coeffs: dict[Variable, float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    # --- combination ------------------------------------------------------
+    @staticmethod
+    def _coerce(value) -> "LinearExpr":
+        if isinstance(value, LinearExpr):
+            return value
+        if isinstance(value, Variable):
+            return value._as_expr()
+        if isinstance(value, (int, float)):
+            return LinearExpr({}, float(value))
+        raise IlpError(f"cannot use {type(value).__name__} in a linear "
+                       f"expression")
+
+    def __add__(self, other) -> "LinearExpr":
+        other = self._coerce(other)
+        coeffs = dict(self.coeffs)
+        for var, coef in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0.0) + coef
+        return LinearExpr(coeffs, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinearExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinearExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, scalar: Number) -> "LinearExpr":
+        if not isinstance(scalar, (int, float)):
+            raise IlpError("linear expressions only scale by numbers")
+        return LinearExpr({v: c * scalar for v, c in self.coeffs.items()},
+                          self.constant * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearExpr":
+        return self * -1.0
+
+    # --- constraints --------------------------------------------------------
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - other, Sense.LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - other, Sense.GE)
+
+    def equals(self, other) -> "Constraint":
+        """Equality constraint (named method: ``==`` stays identity)."""
+        return Constraint(self - other, Sense.EQ)
+
+    # --- introspection -------------------------------------------------------
+    def variables(self) -> list[Variable]:
+        return list(self.coeffs)
+
+    def evaluate(self, values: Mapping[Variable, float]) -> float:
+        total = self.constant
+        for var, coef in self.coeffs.items():
+            total += coef * values[var]
+        return total
+
+    def simplified(self, tol: float = 0.0) -> "LinearExpr":
+        """Drop zero (or ``|c| <= tol``) coefficients."""
+        return LinearExpr(
+            {v: c for v, c in self.coeffs.items() if abs(c) > tol},
+            self.constant)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = [f"{c:+g}*{v.name}" for v, c in self.coeffs.items()]
+        terms.append(f"{self.constant:+g}")
+        return " ".join(terms)
+
+
+def lin_sum(items: Iterable) -> LinearExpr:
+    """Sum variables/expressions/numbers into one LinearExpr."""
+    total = LinearExpr()
+    for item in items:
+        total = total + item
+    return total
+
+
+class Sense(Enum):
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class Constraint:
+    """``expr (<= | >= | ==) 0`` after normalization.
+
+    Constructed by comparing expressions; stores ``expr sense 0`` where
+    the comparison RHS has been folded into the expression's constant.
+    """
+
+    expr: LinearExpr
+    sense: Sense
+    name: str = ""
+
+    def named(self, name: str) -> "Constraint":
+        self.name = name
+        return self
+
+    def satisfied_by(self, values: Mapping[Variable, float],
+                     tol: float = 1e-6) -> bool:
+        value = self.expr.evaluate(values)
+        if self.sense is Sense.LE:
+            return value <= tol
+        if self.sense is Sense.GE:
+            return value >= -tol
+        return abs(value) <= tol
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{self.expr!r} {self.sense.value} 0"

@@ -1,0 +1,215 @@
+"""The ILP model container and solver dispatch.
+
+The paper formulates scheduling+assignment as an ILP and hands it to
+CPLEX; we reproduce the same black-box interface.  A :class:`Model`
+collects variables and constraints and dispatches to one of two
+backends:
+
+* ``"highs"`` — scipy's `milp` (the HiGHS branch-and-cut engine), our
+  CPLEX stand-in; and
+* ``"bnb"`` — a from-scratch branch-and-bound over LP relaxations
+  (scipy ``linprog``), kept as an independently-implemented cross-check
+  and for environments where HiGHS misbehaves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..errors import IlpError
+from .expr import Constraint, LinearExpr, Sense, Variable, VarType
+
+
+class SolveStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"          # time limit hit with an incumbent
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIMEOUT = "timeout"            # time limit hit, no incumbent
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """Result of a solve: status, variable values, objective value."""
+
+    status: SolveStatus
+    values: Mapping[Variable, float] = field(default_factory=dict)
+    objective: Optional[float] = None
+    solve_seconds: float = 0.0
+
+    def __getitem__(self, var: Variable) -> float:
+        return self.values[var]
+
+    def value(self, var: Variable, default: float = 0.0) -> float:
+        return self.values.get(var, default)
+
+    def int_value(self, var: Variable) -> int:
+        return int(round(self.values[var]))
+
+
+class Model:
+    """An (integer) linear program under construction."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinearExpr = LinearExpr()
+        self.minimize = True
+        self._var_ids: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_var(self, name: str, *, vartype: VarType = VarType.CONTINUOUS,
+                lower: float = 0.0,
+                upper: float = float("inf")) -> Variable:
+        var = Variable(name, vartype, lower, upper)
+        self.variables.append(var)
+        self._var_ids.add(var.index)
+        return var
+
+    def binary(self, name: str) -> Variable:
+        return self.add_var(name, vartype=VarType.BINARY, lower=0, upper=1)
+
+    def integer(self, name: str, lower: float = 0.0,
+                upper: float = float("inf")) -> Variable:
+        return self.add_var(name, vartype=VarType.INTEGER, lower=lower,
+                            upper=upper)
+
+    def continuous(self, name: str, lower: float = 0.0,
+                   upper: float = float("inf")) -> Variable:
+        return self.add_var(name, vartype=VarType.CONTINUOUS, lower=lower,
+                            upper=upper)
+
+    def add(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise IlpError(
+                f"expected a Constraint, got {type(constraint).__name__}; "
+                f"did you write `==` instead of `.equals(...)`?")
+        for var in constraint.expr.coeffs:
+            if var.index not in self._var_ids:
+                raise IlpError(
+                    f"constraint uses variable {var.name} that was not "
+                    f"created through this model")
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr, minimize: bool = True) -> None:
+        self.objective = LinearExpr._coerce(expr)
+        self.minimize = minimize
+
+    # ------------------------------------------------------------------
+    # matrix form
+    # ------------------------------------------------------------------
+    def to_matrix_form(self):
+        """Lower to (c, A_ub, b_ub, A_eq, b_eq, bounds, integrality).
+
+        GE rows are negated into LE form.  Returns numpy arrays sized
+        for scipy's ``milp``/``linprog``.
+        """
+        n = len(self.variables)
+        position = {var.index: i for i, var in enumerate(self.variables)}
+
+        c = np.zeros(n)
+        for var, coef in self.objective.coeffs.items():
+            c[position[var.index]] = coef
+        if not self.minimize:
+            c = -c
+
+        ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+        for constraint in self.constraints:
+            row = np.zeros(n)
+            for var, coef in constraint.expr.coeffs.items():
+                row[position[var.index]] = coef
+            rhs = -constraint.expr.constant
+            if constraint.sense is Sense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constraint.sense is Sense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        a_ub = np.array(ub_rows) if ub_rows else np.zeros((0, n))
+        b_ub = np.array(ub_rhs) if ub_rhs else np.zeros(0)
+        a_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n))
+        b_eq = np.array(eq_rhs) if eq_rhs else np.zeros(0)
+        bounds = [(var.lower, var.upper) for var in self.variables]
+        integrality = np.array(
+            [0 if var.vartype is VarType.CONTINUOUS else 1
+             for var in self.variables])
+        return c, a_ub, b_ub, a_eq, b_eq, bounds, integrality
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(self, backend: str = "highs",
+              time_limit: Optional[float] = None,
+              mip_rel_gap: Optional[float] = None) -> Solution:
+        """Solve the model.
+
+        ``mip_rel_gap`` loosens the optimality requirement (HiGHS
+        backend): the paper's scheduling ILP is a pure feasibility
+        problem, so the II search passes a large gap to stop at the
+        first incumbent rather than burning the budget proving the
+        (secondary) objective optimal.
+        """
+        if not self.variables:
+            raise IlpError("model has no variables")
+        if backend == "highs":
+            from .scipy_backend import solve_highs
+            solution = solve_highs(self, time_limit, mip_rel_gap)
+        elif backend == "bnb":
+            from .branch_and_bound import solve_branch_and_bound
+            solution = solve_branch_and_bound(self, time_limit)
+        else:
+            raise IlpError(f"unknown ILP backend {backend!r}; "
+                           f"expected 'highs' or 'bnb'")
+        if solution.status.has_solution:
+            self._check_solution(solution)
+        return solution
+
+    def _check_solution(self, solution: Solution,
+                        tol: float = 1e-4) -> None:
+        """Defense in depth: verify the backend's answer."""
+        for constraint in self.constraints:
+            if not constraint.satisfied_by(solution.values, tol):
+                raise IlpError(
+                    f"backend returned an infeasible point; violated: "
+                    f"{constraint!r} = "
+                    f"{constraint.expr.evaluate(solution.values):.6f}")
+        for var in self.variables:
+            value = solution.values[var]
+            if var.vartype is not VarType.CONTINUOUS:
+                if abs(value - round(value)) > tol:
+                    raise IlpError(
+                        f"backend returned fractional value {value} for "
+                        f"integer variable {var.name}")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        n_int = sum(1 for v in self.variables
+                    if v.vartype is VarType.INTEGER)
+        n_bin = sum(1 for v in self.variables
+                    if v.vartype is VarType.BINARY)
+        return {
+            "variables": len(self.variables),
+            "binaries": n_bin,
+            "integers": n_int,
+            "continuous": len(self.variables) - n_int - n_bin,
+            "constraints": len(self.constraints),
+        }

@@ -1,0 +1,69 @@
+"""HiGHS backend: scipy.optimize.milp as the CPLEX stand-in."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import LinearConstraint, milp
+from scipy.optimize import Bounds
+
+from .model import Model, Solution, SolveStatus
+
+
+def solve_highs(model: Model, time_limit: Optional[float] = None,
+                mip_rel_gap: Optional[float] = None) -> Solution:
+    c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_matrix_form()
+
+    constraints = []
+    if a_ub.shape[0]:
+        constraints.append(LinearConstraint(a_ub, -np.inf, b_ub))
+    if a_eq.shape[0]:
+        constraints.append(LinearConstraint(a_eq, b_eq, b_eq))
+
+    lower = np.array([lo for lo, _ in bounds], dtype=float)
+    upper = np.array([hi for _, hi in bounds], dtype=float)
+
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    if mip_rel_gap is not None:
+        options["mip_rel_gap"] = float(mip_rel_gap)
+
+    started = time.perf_counter()
+    result = milp(c=c, constraints=constraints,
+                  bounds=Bounds(lower, upper),
+                  integrality=integrality, options=options)
+    elapsed = time.perf_counter() - started
+
+    status = _map_status(result)
+    values = {}
+    objective = None
+    if result.x is not None:
+        raw = result.x
+        for i, var in enumerate(model.variables):
+            value = raw[i]
+            if integrality[i]:
+                value = float(round(value))
+            values[var] = value
+        objective = model.objective.evaluate(values)
+        if not model.minimize and objective is not None:
+            pass  # objective already evaluated in user orientation
+    return Solution(status=status, values=values, objective=objective,
+                    solve_seconds=elapsed)
+
+
+def _map_status(result) -> SolveStatus:
+    # scipy milp status codes: 0 optimal, 1 iteration/time limit,
+    # 2 infeasible, 3 unbounded, 4 other.
+    if result.status == 0:
+        return SolveStatus.OPTIMAL
+    if result.status == 1:
+        return SolveStatus.FEASIBLE if result.x is not None \
+            else SolveStatus.TIMEOUT
+    if result.status == 2:
+        return SolveStatus.INFEASIBLE
+    if result.status == 3:
+        return SolveStatus.UNBOUNDED
+    return SolveStatus.ERROR

@@ -1,0 +1,32 @@
+"""A StreamIt-like surface language front end.
+
+The paper compiles StreamIt source; this package provides the matching
+front end for the reproduction: a lexer, a recursive-descent parser, an
+elaborator that instantiates parameterized stream templates into the
+graph IR, and dual lowering of filter work bodies to Python closures
+(for functional execution) and CUDA-C text (for code generation).
+
+Quick use::
+
+    from repro.lang import build_graph
+    graph = build_graph(source_text, root="Main")
+"""
+
+from .ast import Program
+from .elaborate import build_graph, elaborate
+from .interp import compile_work_function, evaluate_const, work_body_to_cuda
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_program
+
+__all__ = [
+    "Program",
+    "Token",
+    "TokenType",
+    "build_graph",
+    "compile_work_function",
+    "elaborate",
+    "evaluate_const",
+    "parse_program",
+    "tokenize",
+    "work_body_to_cuda",
+]

@@ -1,0 +1,228 @@
+"""AST node definitions for the StreamIt-like language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLit:
+    value: float
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+
+
+@dataclass(frozen=True)
+class Index:
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str           # '-', '!'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str           # + - * / % < <= > >= == != && ||
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    func: str         # math intrinsics: sin cos sqrt atan abs min max ...
+    args: tuple
+
+
+@dataclass(frozen=True)
+class PeekExpr:
+    depth: "Expr"
+
+
+@dataclass(frozen=True)
+class PopExpr:
+    pass
+
+
+Expr = Union[IntLit, FloatLit, BoolLit, Name, Index, Unary, Binary, Call,
+             PeekExpr, PopExpr]
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class VarDecl:
+    type_name: str            # 'int' | 'float' | 'boolean'
+    name: str
+    array_size: Optional[Expr]
+    init: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: Expr              # Name or Index
+    op: str                   # '=', '+=', '-=', '*=', '/='
+    value: Expr
+
+
+@dataclass(frozen=True)
+class PushStmt:
+    value: Expr
+
+
+@dataclass(frozen=True)
+class PopStmt:
+    """A bare ``pop();`` discarding the token."""
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    condition: Expr
+    then_body: tuple
+    else_body: tuple
+
+
+@dataclass(frozen=True)
+class ForStmt:
+    init: Optional["Stmt"]
+    condition: Optional[Expr]
+    update: Optional["Stmt"]
+    body: tuple
+
+
+@dataclass(frozen=True)
+class WhileStmt:
+    condition: Expr
+    body: tuple
+
+
+Stmt = Union[VarDecl, Assign, PushStmt, PopStmt, ExprStmt, IfStmt,
+             ForStmt, WhileStmt]
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Param:
+    type_name: str
+    name: str
+
+
+@dataclass(frozen=True)
+class StreamType:
+    input: str                # 'void' | 'int' | 'float' | 'boolean'
+    output: str
+
+
+@dataclass(frozen=True)
+class WorkDecl:
+    pop: Expr
+    push: Expr
+    peek: Optional[Expr]
+    body: tuple               # of Stmt
+
+
+@dataclass(frozen=True)
+class FilterDecl:
+    name: str
+    stream_type: StreamType
+    params: tuple             # of Param
+    work: WorkDecl
+    #: Persistent per-instance state: field declarations plus the
+    #: ``init`` block that seeds them.  A filter with fields is
+    #: *stateful* (paper Section II-B) and is scheduled through the
+    #: serializing extension.
+    fields: tuple = ()        # of VarDecl
+    init_body: tuple = ()     # of Stmt
+
+    @property
+    def is_stateful(self) -> bool:
+        return bool(self.fields)
+
+
+@dataclass(frozen=True)
+class AddStmt:
+    stream_name: str
+    args: tuple               # of Expr
+
+
+@dataclass(frozen=True)
+class SplitDecl:
+    kind: str                 # 'duplicate' | 'roundrobin'
+    weights: tuple            # of Expr (empty for duplicate / default rr)
+
+
+@dataclass(frozen=True)
+class JoinDecl:
+    weights: tuple
+
+
+@dataclass(frozen=True)
+class PipelineDecl:
+    name: str
+    stream_type: StreamType
+    params: tuple
+    adds: tuple               # of AddStmt
+
+
+@dataclass(frozen=True)
+class SplitJoinDecl:
+    name: str
+    stream_type: StreamType
+    params: tuple
+    split: SplitDecl
+    adds: tuple
+    join: JoinDecl
+
+
+@dataclass(frozen=True)
+class FeedbackLoopDecl:
+    name: str
+    stream_type: StreamType
+    params: tuple
+    join: JoinDecl
+    body: AddStmt
+    loop: AddStmt
+    split: SplitDecl
+    enqueue: tuple            # of Expr
+
+
+Decl = Union[FilterDecl, PipelineDecl, SplitJoinDecl, FeedbackLoopDecl]
+
+
+@dataclass(frozen=True)
+class Program:
+    declarations: tuple       # of Decl
+
+    def find(self, name: str) -> Decl:
+        for decl in self.declarations:
+            if decl.name == name:
+                return decl
+        raise KeyError(name)

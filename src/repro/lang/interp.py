@@ -1,0 +1,462 @@
+"""Work-body evaluation and CUDA emission for the surface language.
+
+A parsed ``work`` body is lowered two ways:
+
+* :func:`compile_work_function` — a Python closure matching the graph
+  IR's :data:`~repro.graph.nodes.WorkFunction` contract (window in,
+  pushed tokens out), used by the interpreters and executors;
+* :func:`work_body_to_cuda` — the equivalent CUDA-C text, attached to
+  the generated filter as ``cuda_body`` so the code generator emits the
+  real body instead of a scaffold.
+
+Both consume the same AST, so the functional simulation and the emitted
+source cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Sequence
+
+from ..errors import SemanticError
+from . import ast
+
+#: Math intrinsics available inside work bodies (StreamIt's built-ins).
+INTRINSICS: dict[str, Callable] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "atan": math.atan,
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "pow": pow,
+    "round": round,
+}
+
+_MAX_LOOP_STEPS = 1_000_000
+
+
+class _Env:
+    """Lexically-flat variable environment for one work invocation."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, params: Mapping[str, object]) -> None:
+        self.values: dict[str, object] = dict(params)
+
+    def get(self, name: str):
+        try:
+            return self.values[name]
+        except KeyError:
+            raise SemanticError(f"undefined variable {name!r}") from None
+
+    def set(self, name: str, value) -> None:
+        self.values[name] = value
+
+
+class _WorkState:
+    """Window cursor + output accumulator for one firing."""
+
+    __slots__ = ("window", "cursor", "pushed")
+
+    def __init__(self, window: Sequence) -> None:
+        self.window = window
+        self.cursor = 0
+        self.pushed: list = []
+
+    def pop(self):
+        if self.cursor >= len(self.window):
+            raise SemanticError("pop() past the declared peek window")
+        value = self.window[self.cursor]
+        self.cursor += 1
+        return value
+
+    def peek(self, depth: int):
+        index = self.cursor + depth
+        if not 0 <= index < len(self.window):
+            raise SemanticError(
+                f"peek({depth}) outside the declared peek window")
+        return self.window[index]
+
+
+def evaluate_const(expr: ast.Expr, params: Mapping[str, object]):
+    """Evaluate a compile-time expression (rates, weights, arguments)."""
+    state = _WorkState(())
+    env = _Env(params)
+    value = _eval(expr, env, state)
+    if state.pushed or state.cursor:
+        raise SemanticError("pop/push are not allowed in constant context")
+    return value
+
+
+def compile_work_function(work: ast.WorkDecl,
+                          params: Mapping[str, object],
+                          pop: int, push: int, peek: int):
+    """Compile the body to a Python work function (window -> outputs)."""
+
+    def run(window: Sequence) -> list:
+        state = _WorkState(list(window[:peek]))
+        env = _Env(params)
+        _exec_block(work.body, env, state)
+        if len(state.pushed) != push:
+            raise SemanticError(
+                f"work body pushed {len(state.pushed)} tokens, declared "
+                f"push {push}")
+        if state.cursor > pop:
+            raise SemanticError(
+                f"work body popped {state.cursor} tokens, declared pop "
+                f"{pop}")
+        return state.pushed
+
+    return run
+
+
+def compile_stateful_work_function(fields, init_body, work: ast.WorkDecl,
+                                   params: Mapping[str, object],
+                                   pop: int, push: int, peek: int):
+    """Compile a stateful filter: fields persist across firings.
+
+    The field environment is seeded by executing the declarations and
+    the ``init`` block once (stream operations are rejected there by
+    the type checker); each firing then runs against a fresh local
+    environment layered over the persistent fields, and field values
+    written during the firing are carried forward.
+    """
+    persistent = _Env(params)
+    init_state = _WorkState(())
+    for field in fields:
+        _exec(field, persistent, init_state)
+    _exec_block(init_body, persistent, init_state)
+    if init_state.pushed or init_state.cursor:
+        raise SemanticError("init blocks cannot push or pop")
+    field_names = [field.name for field in fields]
+
+    def run(window: Sequence) -> list:
+        state = _WorkState(list(window[:peek]))
+        env = _Env(params)
+        for name in field_names:
+            env.set(name, persistent.get(name))
+        _exec_block(work.body, env, state)
+        for name in field_names:
+            persistent.set(name, env.get(name))
+        if len(state.pushed) != push:
+            raise SemanticError(
+                f"work body pushed {len(state.pushed)} tokens, declared "
+                f"push {push}")
+        if state.cursor > pop:
+            raise SemanticError(
+                f"work body popped {state.cursor} tokens, declared pop "
+                f"{pop}")
+        return state.pushed
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# statement execution
+# ---------------------------------------------------------------------------
+def _exec_block(stmts, env: _Env, state: _WorkState) -> None:
+    for stmt in stmts:
+        _exec(stmt, env, state)
+
+
+def _exec(stmt, env: _Env, state: _WorkState) -> None:
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.array_size is not None:
+            size = int(_eval(stmt.array_size, env, state))
+            fill = 0 if stmt.type_name == "int" else 0.0
+            env.set(stmt.name, [fill] * size)
+        else:
+            value = _eval(stmt.init, env, state) if stmt.init is not None \
+                else (0 if stmt.type_name == "int" else 0.0)
+            if stmt.type_name == "int":
+                value = int(value)
+            env.set(stmt.name, value)
+    elif isinstance(stmt, ast.Assign):
+        value = _eval(stmt.value, env, state)
+        if stmt.op != "=":
+            current = _eval(stmt.target, env, state)
+            op = stmt.op[0]
+            value = _apply_binop(op, current, value)
+        _store(stmt.target, value, env, state)
+    elif isinstance(stmt, ast.PushStmt):
+        state.pushed.append(_eval(stmt.value, env, state))
+    elif isinstance(stmt, ast.PopStmt):
+        state.pop()
+    elif isinstance(stmt, ast.ExprStmt):
+        _eval(stmt.expr, env, state)
+    elif isinstance(stmt, ast.IfStmt):
+        if _eval(stmt.condition, env, state):
+            _exec_block(stmt.then_body, env, state)
+        else:
+            _exec_block(stmt.else_body, env, state)
+    elif isinstance(stmt, ast.ForStmt):
+        if stmt.init is not None:
+            _exec(stmt.init, env, state)
+        steps = 0
+        while stmt.condition is None or _eval(stmt.condition, env, state):
+            _exec_block(stmt.body, env, state)
+            if stmt.update is not None:
+                _exec(stmt.update, env, state)
+            steps += 1
+            if steps > _MAX_LOOP_STEPS:
+                raise SemanticError("runaway for loop in work body")
+    elif isinstance(stmt, ast.WhileStmt):
+        steps = 0
+        while _eval(stmt.condition, env, state):
+            _exec_block(stmt.body, env, state)
+            steps += 1
+            if steps > _MAX_LOOP_STEPS:
+                raise SemanticError("runaway while loop in work body")
+    else:
+        raise SemanticError(f"unknown statement {type(stmt).__name__}")
+
+
+def _store(target, value, env: _Env, state: _WorkState) -> None:
+    if isinstance(target, ast.Name):
+        env.set(target.ident, value)
+    elif isinstance(target, ast.Index):
+        base = _eval(target.base, env, state)
+        index = int(_eval(target.index, env, state))
+        if not isinstance(base, list):
+            raise SemanticError("indexed assignment into a non-array")
+        if not 0 <= index < len(base):
+            raise SemanticError(
+                f"array index {index} out of bounds [0, {len(base)})")
+        base[index] = value
+    else:
+        raise SemanticError("invalid assignment target")
+
+
+# ---------------------------------------------------------------------------
+# expression evaluation
+# ---------------------------------------------------------------------------
+def _eval(expr, env: _Env, state: _WorkState):
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        return env.get(expr.ident)
+    if isinstance(expr, ast.Index):
+        base = _eval(expr.base, env, state)
+        index = int(_eval(expr.index, env, state))
+        if not isinstance(base, list):
+            raise SemanticError("indexing a non-array value")
+        if not 0 <= index < len(base):
+            raise SemanticError(
+                f"array index {index} out of bounds [0, {len(base)})")
+        return base[index]
+    if isinstance(expr, ast.Unary):
+        value = _eval(expr.operand, env, state)
+        return -value if expr.op == "-" else (not value)
+    if isinstance(expr, ast.Binary):
+        if expr.op == "&&":
+            return bool(_eval(expr.left, env, state)) and \
+                bool(_eval(expr.right, env, state))
+        if expr.op == "||":
+            return bool(_eval(expr.left, env, state)) or \
+                bool(_eval(expr.right, env, state))
+        left = _eval(expr.left, env, state)
+        right = _eval(expr.right, env, state)
+        return _apply_binop(expr.op, left, right)
+    if isinstance(expr, ast.Call):
+        fn = INTRINSICS.get(expr.func)
+        if fn is None:
+            raise SemanticError(f"unknown function {expr.func!r}")
+        args = [_eval(a, env, state) for a in expr.args]
+        return fn(*args)
+    if isinstance(expr, ast.PeekExpr):
+        return state.peek(int(_eval(expr.depth, env, state)))
+    if isinstance(expr, ast.PopExpr):
+        return state.pop()
+    raise SemanticError(f"unknown expression {type(expr).__name__}")
+
+
+def _apply_binop(op: str, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            if right == 0:
+                raise SemanticError("integer division by zero")
+            return left // right if (left >= 0) == (right >= 0) \
+                else -((-left) // right) if left < 0 else -(left // (-right))
+        if right == 0:
+            raise SemanticError("division by zero")
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise SemanticError("modulo by zero")
+        return math.fmod(left, right) if isinstance(left, float) \
+            or isinstance(right, float) else int(math.fmod(left, right))
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    raise SemanticError(f"unknown operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# CUDA emission
+# ---------------------------------------------------------------------------
+def work_body_to_cuda(work: ast.WorkDecl,
+                      params: Mapping[str, object],
+                      pop: int, push: int) -> str:
+    """Translate a work body to CUDA-C text (C-like pretty printing with
+    pop/push rewritten through the layout macros)."""
+    emitter = _CudaEmitter(params, pop, push)
+    emitter.emit_block(work.body, indent=1)
+    return "\n".join(emitter.lines)
+
+
+def work_body_to_c(work: ast.WorkDecl,
+                   params: Mapping[str, object],
+                   pop: int, push: int) -> str:
+    """Translate a work body to plain C against ring-buffer macros
+    (``POP()``, ``PEEK(d)``, ``PUSH(v)``) — the uniprocessor backend."""
+    emitter = _CudaEmitter(
+        params, pop, push,
+        push_template="PUSH({value});",
+        pop_template="POP()",
+        peek_template="PEEK({depth})",
+        pop_stmt_template="(void)POP();",
+        preamble=())
+    emitter.emit_block(work.body, indent=1)
+    return "\n".join(emitter.lines)
+
+
+class _CudaEmitter:
+    _DEFAULT_PUSH = ("out_buf[out_base + PUSH_INDEX(tid, _push_cursor++, "
+                     "{rate})] = {value};")
+    _DEFAULT_POP = ("in_buf[in_base + POP_INDEX(tid, _pop_cursor++, "
+                    "{rate})]")
+    _DEFAULT_PEEK = ("in_buf[in_base + POP_INDEX(tid, _pop_cursor + "
+                     "{depth}, {rate})]")
+
+    def __init__(self, params: Mapping[str, object], pop: int,
+                 push: int, *, push_template: str | None = None,
+                 pop_template: str | None = None,
+                 peek_template: str | None = None,
+                 pop_stmt_template: str = "_pop_cursor++;",
+                 preamble: tuple = ("    int _pop_cursor = 0;",
+                                    "    int _push_cursor = 0;")) -> None:
+        self.params = dict(params)
+        self.pop = max(1, pop)
+        self.push = max(1, push)
+        self.push_template = push_template or self._DEFAULT_PUSH
+        self.pop_template = pop_template or self._DEFAULT_POP
+        self.peek_template = peek_template or self._DEFAULT_PEEK
+        self.pop_stmt_template = pop_stmt_template
+        self.lines: list[str] = list(preamble)
+
+    def emit_block(self, stmts, indent: int) -> None:
+        for stmt in stmts:
+            self.emit(stmt, indent)
+
+    def emit(self, stmt, indent: int) -> None:
+        pad = "    " * indent
+        if isinstance(stmt, ast.VarDecl):
+            ctype = {"int": "int", "float": "float",
+                     "boolean": "int"}[stmt.type_name]
+            if stmt.array_size is not None:
+                self.lines.append(
+                    f"{pad}{ctype} {stmt.name}"
+                    f"[{self.expr(stmt.array_size)}];")
+            elif stmt.init is not None:
+                self.lines.append(
+                    f"{pad}{ctype} {stmt.name} = {self.expr(stmt.init)};")
+            else:
+                self.lines.append(f"{pad}{ctype} {stmt.name};")
+        elif isinstance(stmt, ast.Assign):
+            self.lines.append(
+                f"{pad}{self.expr(stmt.target)} {stmt.op} "
+                f"{self.expr(stmt.value)};")
+        elif isinstance(stmt, ast.PushStmt):
+            self.lines.append(
+                pad + self.push_template.format(
+                    rate=self.push, value=self.expr(stmt.value)))
+        elif isinstance(stmt, ast.PopStmt):
+            self.lines.append(pad + self.pop_stmt_template)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lines.append(f"{pad}{self.expr(stmt.expr)};")
+        elif isinstance(stmt, ast.IfStmt):
+            self.lines.append(f"{pad}if ({self.expr(stmt.condition)}) {{")
+            self.emit_block(stmt.then_body, indent + 1)
+            if stmt.else_body:
+                self.lines.append(f"{pad}}} else {{")
+                self.emit_block(stmt.else_body, indent + 1)
+            self.lines.append(f"{pad}}}")
+        elif isinstance(stmt, ast.ForStmt):
+            init = self.stmt_inline(stmt.init) if stmt.init else ""
+            cond = self.expr(stmt.condition) if stmt.condition else ""
+            update = self.stmt_inline(stmt.update) if stmt.update else ""
+            self.lines.append(f"{pad}for ({init}; {cond}; {update}) {{")
+            self.emit_block(stmt.body, indent + 1)
+            self.lines.append(f"{pad}}}")
+        elif isinstance(stmt, ast.WhileStmt):
+            self.lines.append(f"{pad}while ({self.expr(stmt.condition)}) {{")
+            self.emit_block(stmt.body, indent + 1)
+            self.lines.append(f"{pad}}}")
+
+    def stmt_inline(self, stmt) -> str:
+        if isinstance(stmt, ast.VarDecl):
+            ctype = {"int": "int", "float": "float",
+                     "boolean": "int"}[stmt.type_name]
+            init = f" = {self.expr(stmt.init)}" if stmt.init else ""
+            return f"{ctype} {stmt.name}{init}"
+        if isinstance(stmt, ast.Assign):
+            return (f"{self.expr(stmt.target)} {stmt.op} "
+                    f"{self.expr(stmt.value)}")
+        return ""
+
+    def expr(self, expr) -> str:
+        if isinstance(expr, ast.IntLit):
+            return str(expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return f"{expr.value!r}f"
+        if isinstance(expr, ast.BoolLit):
+            return "1" if expr.value else "0"
+        if isinstance(expr, ast.Name):
+            if expr.ident in self.params:
+                value = self.params[expr.ident]
+                return f"{value!r}f" if isinstance(value, float) \
+                    else str(value)
+            return expr.ident
+        if isinstance(expr, ast.Index):
+            return f"{self.expr(expr.base)}[{self.expr(expr.index)}]"
+        if isinstance(expr, ast.Unary):
+            return f"({expr.op}{self.expr(expr.operand)})"
+        if isinstance(expr, ast.Binary):
+            return (f"({self.expr(expr.left)} {expr.op} "
+                    f"{self.expr(expr.right)})")
+        if isinstance(expr, ast.Call):
+            args = ", ".join(self.expr(a) for a in expr.args)
+            func = {"abs": "fabsf", "min": "fminf", "max": "fmaxf",
+                    "sin": "__sinf", "cos": "__cosf",
+                    "sqrt": "sqrtf", "atan": "atanf",
+                    "exp": "__expf", "log": "__logf",
+                    "pow": "__powf"}.get(expr.func, expr.func)
+            return f"{func}({args})"
+        if isinstance(expr, ast.PeekExpr):
+            return self.peek_template.format(
+                depth=self.expr(expr.depth), rate=self.pop)
+        if isinstance(expr, ast.PopExpr):
+            return self.pop_template.format(rate=self.pop)
+        raise SemanticError(f"cannot emit {type(expr).__name__}")

@@ -1,0 +1,136 @@
+"""Lexer for the StreamIt-like surface language.
+
+The language is a faithful subset of StreamIt 2.1 syntax (Thies et al.,
+CC'02): filter / pipeline / splitjoin / feedbackloop declarations,
+``work pop/push/peek`` clauses, and a C-like statement language inside
+work bodies.  See :mod:`repro.lang.parser` for the grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import LexError
+
+KEYWORDS = {
+    "filter", "pipeline", "splitjoin", "feedbackloop",
+    "work", "pop", "push", "peek", "add", "split", "join",
+    "duplicate", "roundrobin", "body", "loop", "enqueue",
+    "int", "float", "void", "boolean",
+    "for", "while", "if", "else", "return",
+    "true", "false",
+}
+
+SYMBOLS = [
+    "->", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=",
+    "{", "}", "(", ")", "[", "]", ";", ",", "=",
+    "+", "-", "*", "/", "%", "<", ">", "!",
+]
+
+
+class TokenType(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.type.value} {self.value!r} @{self.line}:{self.column}>"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, column)
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n
+                            and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < n and source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = source[start:i]
+            kind = TokenType.FLOAT if (seen_dot or seen_exp) \
+                else TokenType.INT
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = TokenType.KEYWORD if text in KEYWORDS \
+                else TokenType.IDENT
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+        # symbols (longest match first)
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, i):
+                tokens.append(Token(TokenType.SYMBOL, symbol, line, column))
+                i += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

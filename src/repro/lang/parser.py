@@ -1,0 +1,420 @@
+"""Recursive-descent parser for the StreamIt-like language.
+
+Grammar (EBNF-ish)::
+
+    program       := decl*
+    decl          := stream_type kind IDENT '(' params? ')' '{' ... '}'
+    stream_type   := type '->' type
+    kind          := 'filter' | 'pipeline' | 'splitjoin' | 'feedbackloop'
+    filter body   := 'work' rates block
+    rates         := ('pop' expr)? ('push' expr)? ('peek' expr)?
+    pipeline body := add*
+    splitjoin body:= split add* join
+    feedback body := join body_add loop_add split enqueue*
+    add           := 'add' IDENT '(' args? ')' ';'
+    split         := 'split' ('duplicate' | 'roundrobin' '(' args? ')') ';'
+    join          := 'join' 'roundrobin' '(' args? ')' ';'
+
+Statements and expressions are the usual C subset (decls, assignment,
+``for``/``while``/``if``, arithmetic, comparisons, logic, calls), plus
+the stream primitives ``pop()``, ``peek(e)`` and ``push(e)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParseError
+from . import ast
+from .lexer import Token, TokenType, tokenize
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/="}
+_TYPE_NAMES = {"int", "float", "boolean", "void"}
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _error(self, message: str) -> ParseError:
+        tok = self.current
+        return ParseError(f"{message} (found {tok.value!r})",
+                          tok.line, tok.column)
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, value: str) -> bool:
+        return self.current.value == value and self.current.type in (
+            TokenType.KEYWORD, TokenType.SYMBOL)
+
+    def accept(self, value: str) -> bool:
+        if self.check(value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, value: str) -> Token:
+        if not self.check(value):
+            raise self._error(f"expected {value!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.current.type is not TokenType.IDENT:
+            raise self._error("expected an identifier")
+        return self.advance().value
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        decls = []
+        while self.current.type is not TokenType.EOF:
+            decls.append(self.parse_declaration())
+        return ast.Program(tuple(decls))
+
+    def parse_declaration(self) -> ast.Decl:
+        stream_type = self.parse_stream_type()
+        if self.accept("filter"):
+            return self.parse_filter(stream_type)
+        if self.accept("pipeline"):
+            return self.parse_pipeline(stream_type)
+        if self.accept("splitjoin"):
+            return self.parse_splitjoin(stream_type)
+        if self.accept("feedbackloop"):
+            return self.parse_feedbackloop(stream_type)
+        raise self._error("expected filter/pipeline/splitjoin/feedbackloop")
+
+    def parse_stream_type(self) -> ast.StreamType:
+        left = self.parse_type_name()
+        self.expect("->")
+        right = self.parse_type_name()
+        return ast.StreamType(left, right)
+
+    def parse_type_name(self) -> str:
+        if self.current.value in _TYPE_NAMES and \
+                self.current.type is TokenType.KEYWORD:
+            return self.advance().value
+        raise self._error("expected a type name")
+
+    def parse_params(self) -> tuple:
+        self.expect("(")
+        params = []
+        while not self.check(")"):
+            type_name = self.parse_type_name()
+            name = self.expect_ident()
+            params.append(ast.Param(type_name, name))
+            if not self.check(")"):
+                self.expect(",")
+        self.expect(")")
+        return tuple(params)
+
+    def parse_filter(self, stream_type: ast.StreamType) -> ast.FilterDecl:
+        name = self.expect_ident()
+        params = self.parse_params()
+        self.expect("{")
+        fields: list[ast.VarDecl] = []
+        init_body: tuple = ()
+        # Optional state: field declarations, then an init block.
+        while self.current.value in ("int", "float", "boolean") and \
+                self.current.type is TokenType.KEYWORD:
+            fields.append(self.parse_var_decl())
+            self.expect(";")
+        if self.current.type is TokenType.IDENT and \
+                self.current.value == "init":
+            self.advance()
+            init_body = self.parse_block()
+        work = self.parse_work()
+        self.expect("}")
+        return ast.FilterDecl(name, stream_type, params, work,
+                              fields=tuple(fields),
+                              init_body=init_body)
+
+    def parse_work(self) -> ast.WorkDecl:
+        self.expect("work")
+        pop = ast.IntLit(0)
+        push = ast.IntLit(0)
+        peek: Optional[ast.Expr] = None
+        while True:
+            if self.accept("pop"):
+                pop = self.parse_expression()
+            elif self.accept("push"):
+                push = self.parse_expression()
+            elif self.accept("peek"):
+                peek = self.parse_expression()
+            else:
+                break
+        body = self.parse_block()
+        return ast.WorkDecl(pop=pop, push=push, peek=peek, body=body)
+
+    def parse_pipeline(self,
+                       stream_type: ast.StreamType) -> ast.PipelineDecl:
+        name = self.expect_ident()
+        params = self.parse_params()
+        self.expect("{")
+        adds = []
+        while not self.check("}"):
+            adds.append(self.parse_add())
+        self.expect("}")
+        return ast.PipelineDecl(name, stream_type, params, tuple(adds))
+
+    def parse_splitjoin(self,
+                        stream_type: ast.StreamType) -> ast.SplitJoinDecl:
+        name = self.expect_ident()
+        params = self.parse_params()
+        self.expect("{")
+        split = self.parse_split()
+        adds = []
+        while self.check("add"):
+            adds.append(self.parse_add())
+        join = self.parse_join()
+        self.expect("}")
+        return ast.SplitJoinDecl(name, stream_type, params, split,
+                                 tuple(adds), join)
+
+    def parse_feedbackloop(
+            self, stream_type: ast.StreamType) -> ast.FeedbackLoopDecl:
+        name = self.expect_ident()
+        params = self.parse_params()
+        self.expect("{")
+        join = self.parse_join()
+        self.expect("body")
+        body = self.parse_add()
+        self.expect("loop")
+        loop = self.parse_add()
+        split = self.parse_split()
+        enqueue = []
+        while self.accept("enqueue"):
+            enqueue.append(self.parse_expression())
+            self.expect(";")
+        self.expect("}")
+        return ast.FeedbackLoopDecl(name, stream_type, params, join,
+                                    body, loop, split, tuple(enqueue))
+
+    def parse_add(self) -> ast.AddStmt:
+        self.expect("add")
+        name = self.expect_ident()
+        args = self.parse_call_args()
+        self.expect(";")
+        return ast.AddStmt(name, args)
+
+    def parse_split(self) -> ast.SplitDecl:
+        self.expect("split")
+        if self.accept("duplicate"):
+            self.expect(";")
+            return ast.SplitDecl("duplicate", ())
+        self.expect("roundrobin")
+        weights = self.parse_call_args()
+        self.expect(";")
+        return ast.SplitDecl("roundrobin", weights)
+
+    def parse_join(self) -> ast.JoinDecl:
+        self.expect("join")
+        self.expect("roundrobin")
+        weights = self.parse_call_args()
+        self.expect(";")
+        return ast.JoinDecl(weights)
+
+    def parse_call_args(self) -> tuple:
+        self.expect("(")
+        args = []
+        while not self.check(")"):
+            args.append(self.parse_expression())
+            if not self.check(")"):
+                self.expect(",")
+        self.expect(")")
+        return tuple(args)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse_block(self) -> tuple:
+        self.expect("{")
+        stmts = []
+        while not self.check("}"):
+            stmts.append(self.parse_statement())
+        self.expect("}")
+        return tuple(stmts)
+
+    def parse_statement(self) -> ast.Stmt:
+        if self.current.value in ("int", "float", "boolean") and \
+                self.current.type is TokenType.KEYWORD:
+            stmt = self.parse_var_decl()
+            self.expect(";")
+            return stmt
+        if self.accept("if"):
+            return self.parse_if()
+        if self.accept("for"):
+            return self.parse_for()
+        if self.accept("while"):
+            return self.parse_while()
+        if self.accept("push"):
+            self.expect("(")
+            value = self.parse_expression()
+            self.expect(")")
+            self.expect(";")
+            return ast.PushStmt(value)
+        stmt = self.parse_simple_statement()
+        self.expect(";")
+        return stmt
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        type_name = self.advance().value
+        name = self.expect_ident()
+        array_size = None
+        if self.accept("["):
+            array_size = self.parse_expression()
+            self.expect("]")
+        init = None
+        if self.accept("="):
+            init = self.parse_expression()
+        return ast.VarDecl(type_name, name, array_size, init)
+
+    def parse_if(self) -> ast.IfStmt:
+        self.expect("(")
+        condition = self.parse_expression()
+        self.expect(")")
+        then_body = self.parse_block() if self.check("{") \
+            else (self.parse_statement(),)
+        else_body: tuple = ()
+        if self.accept("else"):
+            else_body = self.parse_block() if self.check("{") \
+                else (self.parse_statement(),)
+        return ast.IfStmt(condition, then_body, else_body)
+
+    def parse_for(self) -> ast.ForStmt:
+        self.expect("(")
+        init = None
+        if not self.check(";"):
+            if self.current.value in ("int", "float") and \
+                    self.current.type is TokenType.KEYWORD:
+                init = self.parse_var_decl()
+            else:
+                init = self.parse_simple_statement()
+        self.expect(";")
+        condition = None if self.check(";") else self.parse_expression()
+        self.expect(";")
+        update = None if self.check(")") else self.parse_simple_statement()
+        self.expect(")")
+        body = self.parse_block() if self.check("{") \
+            else (self.parse_statement(),)
+        return ast.ForStmt(init, condition, update, body)
+
+    def parse_while(self) -> ast.WhileStmt:
+        self.expect("(")
+        condition = self.parse_expression()
+        self.expect(")")
+        body = self.parse_block() if self.check("{") \
+            else (self.parse_statement(),)
+        return ast.WhileStmt(condition, body)
+
+    def parse_simple_statement(self) -> ast.Stmt:
+        if self.check("pop"):
+            # bare pop();
+            self.advance()
+            self.expect("(")
+            self.expect(")")
+            return ast.PopStmt()
+        expr = self.parse_expression()
+        if self.current.value in _ASSIGN_OPS and \
+                self.current.type is TokenType.SYMBOL:
+            op = self.advance().value
+            value = self.parse_expression()
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise self._error("invalid assignment target")
+            return ast.Assign(expr, op, value)
+        if self.current.value in ("++", "--"):
+            op = self.advance().value
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise self._error("invalid increment target")
+            delta = ast.IntLit(1)
+            return ast.Assign(expr, "+=" if op == "++" else "-=", delta)
+        return ast.ExprStmt(expr)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expression(self, level: int = 0) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        ops = self._PRECEDENCE[level]
+        left = self.parse_expression(level + 1)
+        while self.current.type is TokenType.SYMBOL and \
+                self.current.value in ops:
+            op = self.advance().value
+            right = self.parse_expression(level + 1)
+            left = ast.Binary(op, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.current.type is TokenType.SYMBOL and \
+                self.current.value in ("-", "!"):
+            op = self.advance().value
+            return ast.Unary(op, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while self.accept("["):
+            index = self.parse_expression()
+            self.expect("]")
+            expr = ast.Index(expr, index)
+        return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.current
+        if tok.type is TokenType.INT:
+            self.advance()
+            return ast.IntLit(int(tok.value))
+        if tok.type is TokenType.FLOAT:
+            self.advance()
+            return ast.FloatLit(float(tok.value))
+        if self.accept("true"):
+            return ast.BoolLit(True)
+        if self.accept("false"):
+            return ast.BoolLit(False)
+        if self.accept("("):
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        if self.accept("pop"):
+            self.expect("(")
+            self.expect(")")
+            return ast.PopExpr()
+        if self.accept("peek"):
+            self.expect("(")
+            depth = self.parse_expression()
+            self.expect(")")
+            return ast.PeekExpr(depth)
+        if tok.type is TokenType.IDENT:
+            name = self.advance().value
+            if self.check("("):
+                args = self.parse_call_args()
+                return ast.Call(name, args)
+            return ast.Name(name)
+        raise self._error("expected an expression")
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse a whole source file into an AST."""
+    return Parser(source).parse_program()

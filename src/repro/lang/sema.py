@@ -1,0 +1,346 @@
+"""Semantic analysis (type checking) for the StreamIt-like language.
+
+Runs before elaboration and rejects ill-typed programs with source-level
+diagnostics rather than letting them fail deep inside the interpreter:
+
+* name resolution (undefined variables, duplicate declarations,
+  unknown streams, wrong instantiation arity);
+* a small static type system — ``int``, ``float``, ``boolean`` and
+  fixed-size arrays of ``int``/``float``:
+  - arithmetic promotes int to float, never the reverse implicitly;
+  - assigning a float into an int variable is a narrowing error;
+  - conditions must be boolean; logical operators take booleans;
+  - comparisons yield boolean;
+* stream-type checking — ``pop``/``peek`` have the filter's input type,
+  ``push`` takes the output type; a ``void`` input forbids pop/peek;
+* rate and weight expressions must be of type int;
+* intrinsic call signatures.
+
+The checker is deliberately flow-insensitive (no definite-assignment
+analysis): variables get their declared type and a default value, like
+StreamIt/C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SemanticError
+from . import ast
+
+INT = "int"
+FLOAT = "float"
+BOOL = "boolean"
+_NUMERIC = (INT, FLOAT)
+
+#: intrinsic name -> (accepts_n_args, result given arg types)
+_FLOAT_FNS = {"sin", "cos", "tan", "atan", "exp", "log", "sqrt"}
+_POLY_1 = {"abs", "floor", "ceil", "round"}
+_POLY_2 = {"min", "max", "pow"}
+
+
+@dataclass(frozen=True)
+class Type:
+    base: str                 # int | float | boolean
+    array: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.base}[]" if self.array else self.base
+
+
+def _scalar(base: str) -> Type:
+    return Type(base)
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.names: dict[str, Type] = {}
+
+    def declare(self, name: str, type_: Type) -> None:
+        if name in self.names:
+            raise SemanticError(f"duplicate declaration of {name!r}")
+        self.names[name] = type_
+
+    def lookup(self, name: str) -> Type:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        raise SemanticError(f"undefined variable {name!r}")
+
+
+class TypeChecker:
+    """Checks one filter's work body."""
+
+    def __init__(self, decl: ast.FilterDecl) -> None:
+        self.decl = decl
+        self.input_type = decl.stream_type.input
+        self.output_type = decl.stream_type.output
+        self.allow_stream_ops = True
+
+    def check(self) -> None:
+        scope = _Scope()
+        for param in self.decl.params:
+            if param.type_name not in (INT, FLOAT, BOOL):
+                raise SemanticError(
+                    f"filter {self.decl.name}: parameter "
+                    f"{param.name!r} has unsupported type "
+                    f"{param.type_name!r}")
+            scope.declare(param.name, _scalar(param.type_name))
+        # State fields are visible to both init and work.
+        for field in self.decl.fields:
+            self.check_stmt(field, scope)
+        if self.decl.init_body:
+            self.allow_stream_ops = False
+            try:
+                self.check_block(self.decl.init_body, _Scope(scope))
+            finally:
+                self.allow_stream_ops = True
+        for rate_name, expr in (("pop", self.decl.work.pop),
+                                ("push", self.decl.work.push),
+                                ("peek", self.decl.work.peek)):
+            if expr is None:
+                continue
+            rate_type = self.expr_type(expr, scope)
+            if rate_type != _scalar(INT):
+                raise SemanticError(
+                    f"filter {self.decl.name}: {rate_name} rate must be "
+                    f"an int expression, got {rate_type}")
+        self.check_block(self.decl.work.body, _Scope(scope))
+
+    # ------------------------------------------------------------------
+    def check_block(self, stmts, scope: _Scope) -> None:
+        for stmt in stmts:
+            self.check_stmt(stmt, scope)
+
+    def check_stmt(self, stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.type_name not in (INT, FLOAT, BOOL):
+                raise SemanticError(
+                    f"unsupported variable type {stmt.type_name!r}")
+            if stmt.array_size is not None:
+                if stmt.type_name == BOOL:
+                    raise SemanticError("boolean arrays are not supported")
+                size_type = self.expr_type(stmt.array_size, scope)
+                if size_type != _scalar(INT):
+                    raise SemanticError(
+                        f"array size must be int, got {size_type}")
+                if stmt.init is not None:
+                    raise SemanticError(
+                        "array declarations cannot have initializers")
+                scope.declare(stmt.name, Type(stmt.type_name, array=True))
+                return
+            declared = _scalar(stmt.type_name)
+            if stmt.init is not None:
+                self.require_assignable(
+                    declared, self.expr_type(stmt.init, scope),
+                    f"initializer of {stmt.name!r}")
+            scope.declare(stmt.name, declared)
+        elif isinstance(stmt, ast.Assign):
+            target = self.expr_type(stmt.target, scope)
+            value = self.expr_type(stmt.value, scope)
+            if stmt.op == "=":
+                self.require_assignable(target, value, "assignment")
+            else:
+                if target.base not in _NUMERIC or target.array:
+                    raise SemanticError(
+                        f"compound assignment needs a numeric scalar "
+                        f"target, got {target}")
+                self.require_assignable(
+                    target, self.merge_numeric(target, value,
+                                               stmt.op[0]),
+                    "compound assignment")
+        elif isinstance(stmt, ast.PushStmt):
+            if not self.allow_stream_ops:
+                raise SemanticError(
+                    f"filter {self.decl.name}: init blocks cannot push")
+            if self.output_type == "void":
+                raise SemanticError(
+                    f"filter {self.decl.name}: void-output filter "
+                    f"cannot push")
+            value = self.expr_type(stmt.value, scope)
+            self.require_assignable(_scalar(self.output_type), value,
+                                    "push")
+        elif isinstance(stmt, ast.PopStmt):
+            self.require_input("pop")
+        elif isinstance(stmt, ast.ExprStmt):
+            self.expr_type(stmt.expr, scope)
+        elif isinstance(stmt, ast.IfStmt):
+            self.require_bool(stmt.condition, scope, "if condition")
+            self.check_block(stmt.then_body, _Scope(scope))
+            self.check_block(stmt.else_body, _Scope(scope))
+        elif isinstance(stmt, ast.ForStmt):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self.check_stmt(stmt.init, inner)
+            if stmt.condition is not None:
+                self.require_bool(stmt.condition, inner, "for condition")
+            if stmt.update is not None:
+                self.check_stmt(stmt.update, inner)
+            self.check_block(stmt.body, _Scope(inner))
+        elif isinstance(stmt, ast.WhileStmt):
+            self.require_bool(stmt.condition, scope, "while condition")
+            self.check_block(stmt.body, _Scope(scope))
+        else:
+            raise SemanticError(
+                f"unknown statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    def expr_type(self, expr, scope: _Scope) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return _scalar(INT)
+        if isinstance(expr, ast.FloatLit):
+            return _scalar(FLOAT)
+        if isinstance(expr, ast.BoolLit):
+            return _scalar(BOOL)
+        if isinstance(expr, ast.Name):
+            return scope.lookup(expr.ident)
+        if isinstance(expr, ast.Index):
+            base = self.expr_type(expr.base, scope)
+            if not base.array:
+                raise SemanticError(f"cannot index a {base}")
+            index = self.expr_type(expr.index, scope)
+            if index != _scalar(INT):
+                raise SemanticError(
+                    f"array index must be int, got {index}")
+            return _scalar(base.base)
+        if isinstance(expr, ast.Unary):
+            operand = self.expr_type(expr.operand, scope)
+            if expr.op == "-":
+                if operand.base not in _NUMERIC or operand.array:
+                    raise SemanticError(f"cannot negate a {operand}")
+                return operand
+            if operand != _scalar(BOOL):
+                raise SemanticError(f"'!' needs a boolean, got {operand}")
+            return operand
+        if isinstance(expr, ast.Binary):
+            return self.binary_type(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self.call_type(expr, scope)
+        if isinstance(expr, ast.PeekExpr):
+            self.require_input("peek")
+            depth = self.expr_type(expr.depth, scope)
+            if depth != _scalar(INT):
+                raise SemanticError(
+                    f"peek depth must be int, got {depth}")
+            return _scalar(self.input_type)
+        if isinstance(expr, ast.PopExpr):
+            self.require_input("pop")
+            return _scalar(self.input_type)
+        raise SemanticError(f"unknown expression {type(expr).__name__}")
+
+    def binary_type(self, expr: ast.Binary, scope: _Scope) -> Type:
+        left = self.expr_type(expr.left, scope)
+        right = self.expr_type(expr.right, scope)
+        op = expr.op
+        if op in ("&&", "||"):
+            if left != _scalar(BOOL) or right != _scalar(BOOL):
+                raise SemanticError(
+                    f"'{op}' needs boolean operands, got {left} and "
+                    f"{right}")
+            return _scalar(BOOL)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left.array or right.array:
+                raise SemanticError(f"cannot compare arrays with '{op}'")
+            if (left.base in _NUMERIC) != (right.base in _NUMERIC):
+                raise SemanticError(
+                    f"cannot compare {left} with {right}")
+            return _scalar(BOOL)
+        return self.merge_numeric(left, right, op)
+
+    def merge_numeric(self, left: Type, right: Type, op: str) -> Type:
+        if left.array or right.array or \
+                left.base not in _NUMERIC or right.base not in _NUMERIC:
+            raise SemanticError(
+                f"'{op}' needs numeric scalars, got {left} and {right}")
+        if FLOAT in (left.base, right.base):
+            return _scalar(FLOAT)
+        return _scalar(INT)
+
+    def call_type(self, expr: ast.Call, scope: _Scope) -> Type:
+        args = [self.expr_type(a, scope) for a in expr.args]
+        for arg in args:
+            if arg.array or arg.base not in _NUMERIC:
+                raise SemanticError(
+                    f"{expr.func}() needs numeric scalar arguments, "
+                    f"got {arg}")
+        if expr.func in _FLOAT_FNS:
+            if len(args) != 1:
+                raise SemanticError(f"{expr.func}() takes one argument")
+            return _scalar(FLOAT)
+        if expr.func in _POLY_1:
+            if len(args) != 1:
+                raise SemanticError(f"{expr.func}() takes one argument")
+            if expr.func in ("floor", "ceil", "round"):
+                return _scalar(INT)
+            return args[0]
+        if expr.func in _POLY_2:
+            if len(args) != 2:
+                raise SemanticError(f"{expr.func}() takes two arguments")
+            return self.merge_numeric(args[0], args[1], expr.func)
+        raise SemanticError(f"unknown function {expr.func!r}")
+
+    # ------------------------------------------------------------------
+    def require_input(self, what: str) -> None:
+        if not self.allow_stream_ops:
+            raise SemanticError(
+                f"filter {self.decl.name}: init blocks cannot {what}")
+        if self.input_type == "void":
+            raise SemanticError(
+                f"filter {self.decl.name}: void-input filter cannot "
+                f"{what}")
+
+    def require_bool(self, expr, scope: _Scope, context: str) -> None:
+        found = self.expr_type(expr, scope)
+        if found != _scalar(BOOL):
+            raise SemanticError(f"{context} must be boolean, got {found}")
+
+    def require_assignable(self, target: Type, value: Type,
+                           context: str) -> None:
+        if target == value:
+            return
+        if target == _scalar(FLOAT) and value == _scalar(INT):
+            return  # implicit widening
+        raise SemanticError(
+            f"{context}: cannot assign {value} to {target} "
+            f"(int-to-float widening is the only implicit conversion)")
+
+
+def analyze_program(program: ast.Program) -> None:
+    """Type-check every declaration; raise SemanticError on the first
+    problem found."""
+    names = set()
+    for decl in program.declarations:
+        if decl.name in names:
+            raise SemanticError(f"duplicate stream declaration "
+                                f"{decl.name!r}")
+        names.add(decl.name)
+
+    declared = {d.name: d for d in program.declarations}
+    for decl in program.declarations:
+        if isinstance(decl, ast.FilterDecl):
+            TypeChecker(decl).check()
+        else:
+            _check_composite(decl, declared)
+
+
+def _check_composite(decl, declared: dict) -> None:
+    adds = []
+    if isinstance(decl, ast.PipelineDecl):
+        adds = list(decl.adds)
+    elif isinstance(decl, ast.SplitJoinDecl):
+        adds = list(decl.adds)
+    elif isinstance(decl, ast.FeedbackLoopDecl):
+        adds = [decl.body, decl.loop]
+    for add in adds:
+        child = declared.get(add.stream_name)
+        if child is None:
+            raise SemanticError(
+                f"{decl.name}: unknown stream {add.stream_name!r}")
+        if len(add.args) != len(child.params):
+            raise SemanticError(
+                f"{decl.name}: {add.stream_name} expects "
+                f"{len(child.params)} arguments, got {len(add.args)}")

@@ -1,0 +1,14 @@
+"""Functional execution engines and the CPU baseline cost model."""
+
+from .cpu_model import CpuConfig, execution_time, firing_cycles, steady_state_cycles
+from .interpreter import FiringRecord, Interpreter, run_reference
+
+__all__ = [
+    "CpuConfig",
+    "FiringRecord",
+    "Interpreter",
+    "execution_time",
+    "firing_cycles",
+    "run_reference",
+    "steady_state_cycles",
+]

@@ -1,0 +1,62 @@
+"""Single-threaded CPU cost model (the paper's speedup baseline).
+
+The paper measures ``speedup = t_host / t_gpu`` where ``t_host`` is a
+single-threaded CPU running the StreamIt uniprocessor backend's output
+compiled with ``gcc -O3``.  We model that baseline analytically from
+the same per-filter :class:`~repro.graph.nodes.WorkEstimate` numbers the
+GPU simulator uses, so the two sides of the ratio are driven by one set
+of work figures.
+
+Model: the CPU executes every firing of the steady-state schedule
+serially.  Arithmetic retires at ``ops_per_cycle``; token loads/stores
+hit a cache and cost ``mem_cycles`` each (streaming FIFO accesses are
+nearly always L1/L2 hits, which is why a tuned ``gcc -O3`` binary is a
+strong baseline).  There is no parallelism of any kind — that is the
+point of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.graph import StreamGraph
+from ..graph.rates import SteadyState, solve_rates
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Cost parameters of the host CPU (a 2.83 GHz Xeon in the paper)."""
+
+    clock_ghz: float = 2.83
+    ops_per_cycle: float = 2.0    # superscalar ALU throughput after -O3
+    mem_cycles: float = 1.5       # average cached FIFO access cost
+    loop_overhead_cycles: float = 4.0  # per-firing call/loop bookkeeping
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0 or self.ops_per_cycle <= 0:
+            raise ValueError("CPU config parameters must be positive")
+
+
+def firing_cycles(node, config: CpuConfig = CpuConfig()) -> float:
+    """Cycles for one single-threaded firing of ``node``."""
+    est = node.estimate
+    compute = est.compute_ops / config.ops_per_cycle
+    memory = est.total_memory_ops * config.mem_cycles
+    return compute + memory + config.loop_overhead_cycles
+
+
+def steady_state_cycles(graph: StreamGraph,
+                        steady: SteadyState | None = None,
+                        config: CpuConfig = CpuConfig()) -> float:
+    """Cycles for one full steady-state iteration on the CPU."""
+    steady = steady or solve_rates(graph)
+    return sum(steady[node] * firing_cycles(node, config)
+               for node in graph)
+
+
+def execution_time(graph: StreamGraph, iterations: int,
+                   steady: SteadyState | None = None,
+                   config: CpuConfig = CpuConfig()) -> float:
+    """Wall-clock seconds for ``iterations`` steady-state iterations."""
+    cycles = steady_state_cycles(graph, steady, config) * iterations
+    return cycles / (config.clock_ghz * 1e9)

@@ -1,0 +1,293 @@
+"""Functional executor for software-pipelined schedules.
+
+Runs a solved :class:`~repro.core.schedule.Schedule` with *real tokens*
+under the GPU's visibility semantics:
+
+* each kernel invocation executes, on every SM, the assigned macro
+  instances in increasing ``o`` order (the generated switch-case code);
+* an instance at pipeline stage ``f`` executes its firing for steady
+  iteration ``j = n - f`` during invocation ``n`` (Rau's kernel-only
+  schema with staging predicates — instances with ``j < 0`` are
+  predicated off during the pipeline prologue);
+* a token produced on SM ``p`` during invocation ``n`` is visible to
+  later instances of the same invocation *on the same SM only*; other
+  SMs see it from invocation ``n+1`` (the paper's cross-SM rule that
+  constraint (8) encodes).
+
+Any read of a not-yet-visible token raises — executing a schedule here
+is a *machine-checked proof* that the ILP's constraints are sufficient,
+not just plausible.  The executor also tracks exact per-channel buffer
+footprints (for the Table II experiment) and reconstructs sink output
+streams for equivalence checks against the reference interpreter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from ..core.configure import ConfiguredProgram
+from ..core.schedule import Schedule
+from ..errors import SchedulingError
+from .interpreter import Interpreter
+
+
+@dataclass(frozen=True)
+class _Tag:
+    """Provenance of a token: when/where it was produced."""
+
+    invocation: int   # -1 for initialization tokens
+    sm: int
+    seq: int          # execution order within (invocation, sm)
+
+    def visible_to(self, invocation: int, sm: int, seq: int) -> bool:
+        if self.invocation < invocation:
+            return True
+        return (self.invocation == invocation and self.sm == sm
+                and self.seq < seq)
+
+
+class _ChannelState:
+    """Tokens of one channel, indexed by steady-phase position."""
+
+    __slots__ = ("tokens", "tags", "live", "_min_heap", "_max_index",
+                 "max_footprint", "max_alive", "produced", "consumed")
+
+    def __init__(self, initial_tokens: list) -> None:
+        self.tokens: dict[int, object] = {}
+        self.tags: dict[int, _Tag] = {}
+        self.live: set[int] = set()
+        self._min_heap: list[int] = []
+        self._max_index = -1
+        self.max_footprint = 0
+        self.max_alive = 0
+        self.produced = 0
+        self.consumed = 0
+        init_tag = _Tag(-1, -1, -1)
+        for index, value in enumerate(initial_tokens):
+            self._put(index, value, init_tag)
+
+    def _put(self, index: int, value, tag: _Tag) -> None:
+        if index in self.tokens:
+            raise SchedulingError(
+                f"token {index} produced twice — schedule or rate bug")
+        self.tokens[index] = value
+        self.tags[index] = tag
+        self.live.add(index)
+        heapq.heappush(self._min_heap, index)
+        self._max_index = max(self._max_index, index)
+        self._update_stats()
+
+    def produce(self, index: int, value, tag: _Tag) -> None:
+        self._put(index, value, tag)
+        self.produced += 1
+
+    def read(self, index: int, invocation: int, sm: int, seq: int):
+        tag = self.tags.get(index)
+        if tag is None or index not in self.tokens:
+            raise SchedulingError(
+                f"read of token {index} that was never produced (or was "
+                f"already consumed) — the schedule violates a dependence")
+        if not tag.visible_to(invocation, sm, seq):
+            raise SchedulingError(
+                f"token {index} produced on SM {tag.sm} in invocation "
+                f"{tag.invocation} is not yet visible to SM {sm} in "
+                f"invocation {invocation} — cross-SM rule violated")
+        return self.tokens[index]
+
+    def consume(self, index: int) -> None:
+        if index not in self.live:
+            raise SchedulingError(f"token {index} consumed twice")
+        self.live.discard(index)
+        self.consumed += 1
+        # Retain the value: on the device, a "pop" only advances index
+        # arithmetic — the buffer slot survives until the producer wraps
+        # around, and out-of-order consumer instances (a later-k peeking
+        # instance running at a deeper pipeline stage) may still peek
+        # it.  The footprint statistic already spans these retained
+        # tokens because windows only reach forward of the lowest
+        # unpopped index.
+
+    def _update_stats(self) -> None:
+        while self._min_heap and self._min_heap[0] not in self.live:
+            heapq.heappop(self._min_heap)
+        if self.live:
+            footprint = self._max_index - self._min_heap[0] + 1
+            self.max_footprint = max(self.max_footprint, footprint)
+        self.max_alive = max(self.max_alive, len(self.live))
+
+
+@dataclass
+class SwpRunResult:
+    """Outcome of a pipelined functional run."""
+
+    invocations: int
+    completed_iterations: int
+    sink_outputs: dict[int, list]
+    channel_peak_tokens: list[int]
+    channel_peak_footprint: list[int]
+    fired_instances: int = 0
+    # Raw token-index -> value maps per sink (the pipeline's epilogue
+    # leaves ragged tails; index-keyed access avoids misalignment).
+    sink_token_maps: dict[int, dict[int, object]] = field(
+        default_factory=dict)
+
+
+class SwpExecutor:
+    """Execute a schedule functionally on the configured program."""
+
+    def __init__(self, program: ConfiguredProgram,
+                 schedule: Schedule) -> None:
+        if schedule.problem is not program.problem:
+            # Allow equal-shaped problems (e.g. coarsened copies).
+            if (schedule.problem.names != program.problem.names
+                    or schedule.problem.firings != program.problem.firings):
+                raise SchedulingError(
+                    "schedule does not match the configured program")
+        self.program = program
+        self.schedule = schedule
+        graph = program.graph
+
+        # Run initialization with the reference interpreter to obtain
+        # post-init channel contents and firing counts.
+        interp = Interpreter(graph)
+        self._channels: list[_ChannelState] = []
+        self._channel_offsets: list[int] = []
+        for channel in graph.channels:
+            contents = list(interp.buffer_of(channel))
+            self._channels.append(_ChannelState(contents))
+            # Steady-phase production appends after the primed tokens;
+            # steady-phase consumption starts at index 0 (the oldest
+            # live token).
+            self._channel_offsets.append(len(contents))
+        self._init_fires = dict(interp.fire_counts)
+        self._steady_fires = {node.uid: 0 for node in graph.nodes}
+
+        # Map problem node index -> (node, input channels, output channels)
+        self._in_channels: dict[int, list[int]] = {}
+        self._out_channels: dict[int, list[int]] = {}
+        channel_pos = {id(ch): i for i, ch in enumerate(graph.channels)}
+        for node in graph.nodes:
+            idx = program.index_of(node)
+            self._in_channels[idx] = [channel_pos[id(ch)]
+                                      for ch in graph.input_channels(node)]
+            self._out_channels[idx] = [channel_pos[id(ch)]
+                                       for ch in graph.output_channels(node)]
+        self._sink_tokens: dict[int, dict[int, object]] = {
+            node.uid: {} for node in graph.sinks}
+        self._fired = 0
+
+    # ------------------------------------------------------------------
+    def run(self, invocations: int) -> SwpRunResult:
+        """Execute ``invocations`` kernel invocations."""
+        if invocations < 1:
+            raise SchedulingError("need at least one invocation")
+        order_per_sm = {sm: self.schedule.sm_order(sm)
+                        for sm in self.schedule.used_sms}
+        for n in range(invocations):
+            for sm, placements in order_per_sm.items():
+                for seq, placement in enumerate(placements):
+                    j = n - placement.stage
+                    if j < 0:
+                        continue  # staging predicate off (prologue)
+                    self._execute_instance(placement.node, placement.k,
+                                           j, n, sm, seq)
+        sink_outputs = {}
+        for node in self.program.graph.sinks:
+            by_index = self._sink_tokens[node.uid]
+            sink_outputs[node.uid] = [by_index[i]
+                                      for i in sorted(by_index)]
+        return SwpRunResult(
+            invocations=invocations,
+            completed_iterations=max(0,
+                                     invocations - self.schedule.max_stage),
+            sink_outputs=sink_outputs,
+            channel_peak_tokens=[ch.max_alive for ch in self._channels],
+            channel_peak_footprint=[ch.max_footprint
+                                    for ch in self._channels],
+            fired_instances=self._fired,
+            sink_token_maps={uid: dict(tokens) for uid, tokens
+                             in self._sink_tokens.items()})
+
+    # ------------------------------------------------------------------
+    def _execute_instance(self, node_idx: int, k: int, j: int,
+                          invocation: int, sm: int, seq: int) -> None:
+        program = self.program
+        node = program.nodes[node_idx]
+        threads = program.config.threads[node.uid]
+        k_v = program.problem.firings[node_idx]
+        macro_index = j * k_v + k
+        tag = _Tag(invocation, sm, seq)
+
+        for c in range(threads):
+            base = macro_index * threads + c
+            windows = []
+            for port, channel_idx in enumerate(self._in_channels[node_idx]):
+                state = self._channels[channel_idx]
+                pop = node.pop_rate(port)
+                peek = node.peek_depth(port)
+                start = base * pop
+                window = [state.read(start + d, invocation, sm, seq)
+                          for d in range(peek)]
+                windows.append(window)
+            fire_index = self._init_fires[node.uid] + base
+            outputs = node.fire(windows, index=fire_index)
+            for port, channel_idx in enumerate(self._in_channels[node_idx]):
+                state = self._channels[channel_idx]
+                pop = node.pop_rate(port)
+                start = base * pop
+                if node.num_outputs == 0:
+                    sink_store = self._sink_tokens[node.uid]
+                    for d in range(pop):
+                        sink_store[start + d] = state.tokens[start + d]
+                for d in range(pop):
+                    state.consume(start + d)
+            for port, channel_idx in enumerate(
+                    self._out_channels[node_idx]):
+                state = self._channels[channel_idx]
+                push = node.push_rate(port)
+                start = self._channel_offsets[channel_idx] + base * push
+                for d, value in enumerate(outputs[port]):
+                    state.produce(start + d, value, tag)
+        self._fired += 1
+
+
+def verify_against_reference(program: ConfiguredProgram,
+                             schedule: Schedule,
+                             invocations: int = None) -> SwpRunResult:
+    """Run the pipelined executor and the reference interpreter on the
+    same program and assert the sink streams agree token-for-token.
+
+    Returns the pipelined run result (with buffer statistics) on
+    success; raises :class:`SchedulingError` on any divergence.
+    """
+    if invocations is None:
+        invocations = schedule.max_stage + 4
+    executor = SwpExecutor(program, schedule)
+    result = executor.run(invocations)
+
+    graph = program.graph
+    # One macro steady iteration corresponds to L base iterations.
+    base_iters = (result.completed_iterations
+                  * program.base_iterations_per_macro)
+    if base_iters == 0:
+        raise SchedulingError(
+            "run too short: no steady iteration completed; increase "
+            "invocations beyond the pipeline depth")
+    reference = Interpreter(graph)
+    reference.run(iterations=base_iters)
+
+    for sink in graph.sinks:
+        expected = reference.sink_outputs[sink.uid]
+        token_map = result.sink_token_maps[sink.uid]
+        for index, value in enumerate(expected):
+            if index not in token_map:
+                raise SchedulingError(
+                    f"sink {sink.name}: pipelined run never produced "
+                    f"token {index} (reference produced {len(expected)} "
+                    f"tokens)")
+            if token_map[index] != value:
+                raise SchedulingError(
+                    f"sink {sink.name}: output diverges at token "
+                    f"{index}: pipelined={token_map[index]!r} "
+                    f"reference={value!r}")
+    return result

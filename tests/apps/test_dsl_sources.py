@@ -1,0 +1,78 @@
+"""End-to-end tests for the bundled DSL example programs."""
+
+import math
+
+import pytest
+
+from repro.apps.dsl_sources import ALL_SOURCES
+from repro.compiler import CompileOptions, compile_stream_program
+from repro.graph import solve_rates
+from repro.gpu import GEFORCE_8600_GTS
+from repro.lang import build_graph
+from repro.runtime import run_reference
+
+
+class TestAllSources:
+    @pytest.mark.parametrize("name", sorted(ALL_SOURCES))
+    def test_builds_and_rates_solve(self, name):
+        graph = build_graph(ALL_SOURCES[name])
+        steady = solve_rates(graph)
+        assert steady.total_firings > 0
+
+    @pytest.mark.parametrize("name", sorted(ALL_SOURCES))
+    def test_executes(self, name):
+        graph = build_graph(ALL_SOURCES[name])
+        outputs = run_reference(graph, iterations=2)
+        for sink in graph.sinks:
+            assert outputs[sink.uid]
+            assert all(math.isfinite(v) for v in outputs[sink.uid])
+
+
+class TestMovingAverage:
+    def test_constant_signal_averages_to_itself(self):
+        graph = build_graph(ALL_SOURCES["moving_average"])
+        outputs = run_reference(graph, iterations=4)
+        sink = graph.sinks[0]
+        assert outputs[sink.uid] == pytest.approx([1.0] * 4)
+
+
+class TestDownsamplingChain:
+    def test_rates(self):
+        graph = build_graph(ALL_SOURCES["downsampling_chain"])
+        steady = solve_rates(graph)
+        burst = next(n for n in graph.nodes if n.name == "Burst")
+        halves = [n for n in graph.nodes if n.name == "Halve"]
+        # decimation: the three halvers fire 4x, 2x, 1x per burst
+        counts = sorted(steady[h] for h in halves)
+        assert counts == [steady[burst], 2 * steady[burst],
+                          4 * steady[burst]]
+
+    def test_average_of_ramp(self):
+        graph = build_graph(ALL_SOURCES["downsampling_chain"])
+        outputs = run_reference(graph, iterations=1)
+        # mean of 0..7 = 3.5
+        assert outputs[graph.sinks[0].uid] == pytest.approx([3.5])
+
+
+class TestRunningMax:
+    def test_monotone_output(self):
+        graph = build_graph(ALL_SOURCES["running_max"])
+        outputs = run_reference(graph, iterations=5)
+        values = outputs[graph.sinks[0].uid]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(3.0)
+
+
+class TestEqualizerCompiles:
+    def test_full_compilation(self):
+        """A DSL program through the complete Fig. 5 trajectory."""
+        graph = build_graph(ALL_SOURCES["equalizer"])
+        compiled = compile_stream_program(
+            graph, CompileOptions(scheme="swp", coarsening=4,
+                                  device=GEFORCE_8600_GTS,
+                                  macro_iterations=32,
+                                  attempt_budget_seconds=10))
+        assert compiled.speedup > 0
+        compiled.schedule.validate()
+        # peeking WindowAvg filters got primed channels
+        assert graph.num_peeking_filters >= 6

@@ -1,0 +1,86 @@
+"""Tests for the uniprocessor C backend (the paper's CPU baseline)."""
+
+import pytest
+
+from repro.codegen import generate_c_source
+from repro.graph import Filter, Pipeline, flatten, indexed_source
+from repro.lang import build_graph
+
+from ..helpers import sink
+
+DSL = """
+void->float filter Gen() { work push 1 { push(1.0); } }
+float->float filter Avg(int N) {
+    work pop 1 push 1 peek N {
+        float s = 0.0;
+        for (int i = 0; i < N; i++) s += peek(i);
+        push(s / N);
+        pop();
+    }
+}
+float->void filter Out() { work pop 1 { pop(); } }
+void->void pipeline Main() { add Gen(); add Avg(4); add Out(); }
+"""
+
+
+class TestCBackend:
+    def test_complete_translation_unit(self):
+        text = generate_c_source(build_graph(DSL))
+        assert "#include <stdio.h>" in text
+        assert "int main(" in text
+        assert text.count("static void work_") == 3
+
+    def test_ring_buffers_per_channel(self):
+        g = build_graph(DSL)
+        text = generate_c_source(g)
+        assert text.count("static float buf") == len(g.channels)
+        assert "#define CAP0" in text
+
+    def test_dsl_bodies_emitted(self):
+        text = generate_c_source(build_graph(DSL))
+        assert "s += PEEK(i);" in text
+        assert "PUSH((s / 4));" in text
+        assert "(void)POP();" in text
+
+    def test_init_schedule_emitted_for_peeking(self):
+        text = generate_c_source(build_graph(DSL))
+        # Avg peeks 4, pops 1: 3 priming firings of Gen.
+        assert "for (int i = 0; i < 3; ++i) work_Gen" in text
+
+    def test_steady_schedule_in_topological_order(self):
+        text = generate_c_source(build_graph(DSL))
+        main = text[text.index("int main"):]
+        steady = main[main.index("steady state"):]
+        assert steady.index("work_Gen") < steady.index("work_Avg") \
+            < steady.index("work_Out")
+
+    def test_multirate_firing_counts(self):
+        g = flatten(Pipeline([
+            indexed_source("gen", push=3),
+            Filter("triple", pop=1, push=1, work=lambda w: [w[0]]),
+            sink(3, "out"),
+        ]))
+        text = generate_c_source(g)
+        assert "for (int i = 0; i < 3; ++i) work_triple" in text
+
+    def test_native_filters_get_scaffolds(self):
+        g = flatten(Pipeline([
+            indexed_source("gen", push=1),
+            Filter("magic", pop=1, push=1, work=lambda w: [w[0]]),
+            sink(1, "out"),
+        ]))
+        text = generate_c_source(g)
+        assert "native Python filter" in text
+
+    def test_macros_scoped_per_function(self):
+        text = generate_c_source(build_graph(DSL))
+        # every define is undefined again before the next node
+        assert text.count("#undef POP") == text.count("#define PUSH") \
+            or text.count("#undef POP") >= 3
+
+    def test_buffer_capacity_power_of_two(self):
+        import re
+        text = generate_c_source(build_graph(DSL))
+        for match in re.finditer(r"#define CAP\d+ (\d+)", text):
+            cap = int(match.group(1))
+            assert cap & (cap - 1) == 0

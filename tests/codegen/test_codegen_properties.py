@@ -1,0 +1,89 @@
+"""Structural property tests over the generated sources."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import generate_c_source, generate_sources
+from repro.core import configure_program, search_ii, uniform_config
+from repro.core.buffers import ChannelBuffer
+from repro.graph import Filter, Pipeline, flatten, indexed_source
+
+from ..helpers import sink
+
+
+def make_graph(num_stages: int, rate: int):
+    elements = [indexed_source("gen", push=rate)]
+    for i in range(num_stages):
+        elements.append(Filter(f"s{i}", pop=1, push=1,
+                               work=lambda w: [w[0]]))
+    elements.append(sink(rate, "out"))
+    return flatten(Pipeline(elements))
+
+
+def balanced(text: str) -> bool:
+    depth = 0
+    for ch in text:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+class TestCSourceProperties:
+    @given(stages=st.integers(1, 4), rate=st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_braces_balanced_and_all_nodes_emitted(self, stages, rate):
+        graph = make_graph(stages, rate)
+        text = generate_c_source(graph)
+        assert balanced(text)
+        for node in graph.nodes:
+            assert f"work_" in text
+        assert text.count("static void work_") == len(graph.nodes)
+
+    @given(stages=st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_buffer_count_matches_channels(self, stages):
+        graph = make_graph(stages, 1)
+        text = generate_c_source(graph)
+        assert text.count("static float buf") == len(graph.channels)
+        assert len(re.findall(r"#define CAP\d+", text)) \
+            == len(graph.channels)
+
+
+class TestCudaSourceProperties:
+    def compiled(self, stages=2):
+        graph = make_graph(stages, 1)
+        program = configure_program(graph,
+                                    uniform_config(graph, threads=2), 2)
+        schedule = search_ii(program.problem,
+                             attempt_budget_seconds=10).schedule
+        buffers = [ChannelBuffer(f"c{i}", 128, 512, "shuffled")
+                   for i in range(len(graph.channels))]
+        return program, schedule, buffers
+
+    def test_every_instance_appears_exactly_once(self):
+        program, schedule, buffers = self.compiled()
+        sources = generate_sources(program, schedule, buffers)
+        for (v, k) in program.problem.instances():
+            tag = f"{program.problem.names[v]}[{k}]"
+            assert sources.swp_kernel.count(f"/* {tag} ") == 1
+
+    def test_braces_balanced(self):
+        program, schedule, buffers = self.compiled()
+        sources = generate_sources(program, schedule, buffers)
+        assert balanced(sources.swp_kernel)
+        assert balanced(sources.device_functions)
+        assert balanced(sources.host_driver)
+
+    def test_combined_has_all_sections(self):
+        program, schedule, buffers = self.compiled()
+        text = generate_sources(program, schedule, buffers).combined()
+        for marker in ("POP_INDEX", "__device__", "__global__",
+                       "swp_kernel", "int main"):
+            assert marker in text

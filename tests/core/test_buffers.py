@@ -1,0 +1,138 @@
+"""Tests for the buffer layout (eqs. 9-11) and buffer sizing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffers import (
+    CLUSTER,
+    ChannelBuffer,
+    apply_shuffle,
+    inverse_shuffle,
+    layout_is_bijective,
+    natural_index,
+    pop_index,
+    push_index,
+    shuffle_permutation,
+    swp_buffer_requirements,
+    total_buffer_bytes,
+)
+from repro.core.problem import EdgeSpec
+from repro.errors import CodegenError
+from repro.gpu import GEFORCE_8800_GTS_512 as DEV
+
+
+class TestIndexMaps:
+    def test_figure9_example(self):
+        """Fig. 9: pop rate 4; thread tid's slot-n token sits so that the
+        first pops of threads 0..127 are contiguous."""
+        rate = 4
+        first_pops = [pop_index(tid, 0, rate) for tid in range(128)]
+        assert first_pops == list(range(128))
+        second_pops = [pop_index(tid, 1, rate) for tid in range(128)]
+        assert second_pops == list(range(128, 256))
+
+    def test_second_cluster_offsets(self):
+        rate = 4
+        # Thread 128 (second cluster) starts after the whole first
+        # cluster's working set: 128 * rate tokens.
+        assert pop_index(128, 0, rate) == 128 * rate
+
+    def test_push_equals_pop_shape(self):
+        assert push_index(37, 2, 5) == pop_index(37, 2, 5)
+
+    def test_natural_index(self):
+        assert natural_index(3, 1, 4) == 13
+
+    def test_bad_slot_rejected(self):
+        with pytest.raises(CodegenError):
+            pop_index(0, 4, 4)
+        with pytest.raises(CodegenError):
+            natural_index(0, 5, 5)
+        with pytest.raises(CodegenError):
+            pop_index(-1, 0, 4)
+
+    @pytest.mark.parametrize("rate", [1, 2, 3, 4, 8])
+    @pytest.mark.parametrize("threads", [128, 256, 384, 512])
+    def test_bijection(self, rate, threads):
+        assert layout_is_bijective(rate, threads)
+
+    @given(rate=st.integers(1, 12),
+           threads=st.sampled_from([128, 256, 384, 512]))
+    @settings(max_examples=30, deadline=None)
+    def test_bijection_property(self, rate, threads):
+        assert layout_is_bijective(rate, threads)
+
+    def test_warp_access_is_warpbase_plus_tid(self):
+        """The paper's guarantee: 'The access pattern of each warp is
+        exactly WarpBaseAddress + tid'."""
+        rate = 7
+        for slot in range(rate):
+            for warp_start in range(0, 128, 32):
+                addrs = [pop_index(tid, slot, rate)
+                         for tid in range(warp_start, warp_start + 32)]
+                base = addrs[0]
+                assert addrs == list(range(base, base + 32))
+                assert base % 16 == 0
+
+
+class TestShuffle:
+    def test_roundtrip(self):
+        tokens = list(range(512))
+        assert inverse_shuffle(apply_shuffle(tokens)) == tokens
+
+    def test_shuffle_feeds_pop_index_consistently(self):
+        """Shuffled boundary buffer + eq. (10) pops == natural FIFO
+        order, for a 128-thread first filter."""
+        rate = 4
+        threads = 128
+        tokens = [f"t{i}" for i in range(threads * rate)]
+        shuffled = apply_shuffle(tokens)
+        for tid in range(threads):
+            for n in range(rate):
+                expected = tokens[natural_index(tid, n, rate)]
+                assert shuffled[pop_index(tid, n, rate)] == expected
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(CodegenError):
+            shuffle_permutation(100)
+        with pytest.raises(CodegenError):
+            shuffle_permutation(0)
+
+    @given(blocks=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_permutation_is_permutation(self, blocks):
+        perm = shuffle_permutation(blocks * CLUSTER)
+        assert sorted(perm) == list(range(blocks * CLUSTER))
+
+
+class TestBufferSizing:
+    def test_cluster_padding(self):
+        edges = [EdgeSpec(0, 1, 2, 2)]
+        buffers = swp_buffer_requirements(edges, ["a", "b"], [100], DEV)
+        assert buffers[0].tokens == 128
+        assert buffers[0].bytes == 512
+
+    def test_coarsening_scales_steady_not_history(self):
+        edges = [EdgeSpec(0, 1, 2, 2, initial_tokens=10)]
+        base = swp_buffer_requirements(edges, ["a", "b"], [130], DEV,
+                                       coarsening=1)
+        coarse = swp_buffer_requirements(edges, ["a", "b"], [130], DEV,
+                                         coarsening=4)
+        assert coarse[0].tokens >= base[0].tokens
+        # steady part 120 scales x4 -> 480 + 10 history = 490 -> 512
+        assert coarse[0].tokens == 512
+
+    def test_layout_label(self):
+        edges = [EdgeSpec(0, 1, 1, 1)]
+        opt = swp_buffer_requirements(edges, ["a", "b"], [1], DEV,
+                                      coalesced=True)
+        raw = swp_buffer_requirements(edges, ["a", "b"], [1], DEV,
+                                      coalesced=False)
+        assert opt[0].layout == "shuffled"
+        assert raw[0].layout == "natural"
+
+    def test_total(self):
+        buffers = [ChannelBuffer("x", 128, 512, "shuffled"),
+                   ChannelBuffer("y", 256, 1024, "shuffled")]
+        assert total_buffer_bytes(buffers) == 1536

@@ -1,0 +1,164 @@
+"""Tests for SWPn coarsening and the Serial (SAS) baseline."""
+
+import pytest
+
+from repro.core import configure_program, search_ii, uniform_config
+from repro.core.coarsen import coarsen_problem, coarsen_schedule
+from repro.core.sas import build_sas_schedule, sas_kernels, simulate_sas
+from repro.errors import SchedulingError
+from repro.graph import Filter, Pipeline, SplitJoin, flatten, indexed_source
+from repro.gpu import GEFORCE_8800_GTS_512 as DEV
+
+from ..helpers import sink
+
+
+def program(num_sms=4, threads=8):
+    g = flatten(Pipeline([
+        indexed_source("gen", push=1),
+        Filter("a", pop=1, push=1, work=lambda w: [w[0] + 1]),
+        Filter("b", pop=1, push=1, work=lambda w: [w[0] * 2]),
+        sink(1, "out"),
+    ]))
+    return configure_program(g, uniform_config(g, threads=threads),
+                             num_sms)
+
+
+class TestCoarsenProblem:
+    def test_identity_at_factor_one(self):
+        prog = program()
+        assert coarsen_problem(prog.problem, 1) is prog.problem
+
+    def test_delays_and_rates_scale(self):
+        prog = program()
+        coarse = coarsen_problem(prog.problem, 4)
+        assert coarse.delays == [d * 4 for d in prog.problem.delays]
+        for fine_edge, coarse_edge in zip(prog.problem.edges,
+                                          coarse.edges):
+            assert coarse_edge.production == 4 * fine_edge.production
+            assert coarse_edge.initial_tokens == fine_edge.initial_tokens
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(SchedulingError):
+            coarsen_problem(program().problem, 0)
+
+
+class TestCoarsenSchedule:
+    def test_scaling_preserves_validity(self):
+        prog = program()
+        schedule = search_ii(prog.problem).schedule
+        for n in (2, 4, 8, 16):
+            coarse = coarsen_schedule(schedule, n)
+            coarse.validate()
+            assert coarse.ii == pytest.approx(n * schedule.ii)
+            assert coarse.max_stage == schedule.max_stage
+
+    def test_assignments_unchanged(self):
+        prog = program()
+        schedule = search_ii(prog.problem).schedule
+        coarse = coarsen_schedule(schedule, 8)
+        for key, placement in schedule.placements.items():
+            assert coarse.placements[key].sm == placement.sm
+            assert coarse.placements[key].stage == placement.stage
+
+
+class TestSasSchedule:
+    def test_topological_order(self):
+        prog = program()
+        plan = build_sas_schedule(prog, DEV)
+        names = [prog.problem.names[i] for i in plan.order]
+        assert names.index("gen") < names.index("a") < names.index("b")
+        assert plan.rounds == 1
+
+    def test_buffer_budget_limits_rounds(self):
+        prog = program()
+        one_round = build_sas_schedule(prog, DEV).buffer_bytes
+        plan = build_sas_schedule(prog, DEV,
+                                  buffer_budget_bytes=one_round * 4)
+        assert plan.rounds >= 4
+        assert plan.buffer_bytes <= one_round * 4
+
+    def test_tiny_budget_still_runs(self):
+        prog = program()
+        plan = build_sas_schedule(prog, DEV, buffer_budget_bytes=1)
+        assert plan.rounds == 1
+
+    def test_kernels_one_per_node(self):
+        prog = program()
+        plan = build_sas_schedule(prog, DEV)
+        kernels = sas_kernels(plan, DEV)
+        assert len(kernels) == len(prog.problem.names)
+        for kernel in kernels:
+            assert kernel.active_sms >= 1
+
+    def test_simulation_pays_launch_per_filter(self):
+        prog = program()
+        plan = build_sas_schedule(prog, DEV)
+        result = simulate_sas(plan, DEV, macro_iterations=16)
+        expected_launches = 16 * plan.kernels_per_sweep
+        assert result.launch_cycles == pytest.approx(
+            expected_launches * DEV.kernel_launch_cycles)
+
+    def test_batched_sweeps_amortize_launches(self):
+        prog = program()
+        thin = build_sas_schedule(prog, DEV)
+        budget = thin.buffer_bytes * 8
+        fat = build_sas_schedule(prog, DEV, buffer_budget_bytes=budget)
+        t_thin = simulate_sas(thin, DEV, macro_iterations=64)
+        t_fat = simulate_sas(fat, DEV, macro_iterations=64)
+        assert t_fat.launch_cycles < t_thin.launch_cycles
+
+    def test_splitjoin_program(self):
+        g = flatten(Pipeline([
+            indexed_source("gen", push=2),
+            SplitJoin([Filter("l", pop=1, push=1, work=lambda w: [w[0]]),
+                       Filter("r", pop=1, push=1, work=lambda w: [w[0]])],
+                      split=[1, 1], join=[1, 1]),
+            sink(2, "out"),
+        ]))
+        prog = configure_program(g, uniform_config(g, threads=8), 4)
+        plan = build_sas_schedule(prog, DEV)
+        result = simulate_sas(plan, DEV, macro_iterations=4)
+        assert result.total_cycles > 0
+
+    def test_invalid_iterations(self):
+        prog = program()
+        plan = build_sas_schedule(prog, DEV)
+        with pytest.raises(SchedulingError):
+            simulate_sas(plan, DEV, macro_iterations=0)
+
+
+class TestSasParallelismCap:
+    def test_rounds_capped_by_device_thread_capacity(self):
+        """A kernel cannot expose more than 16 blocks x 512 threads of
+        data parallelism (the paper fixes blocks=16 and tunes threads),
+        so sweep batching stops at 8192 concurrent base firings even
+        under an unlimited buffer budget."""
+        g = flatten(Pipeline([
+            indexed_source("gen", push=1),
+            Filter("a", pop=1, push=1, work=lambda w: [w[0]]),
+            sink(1, "out"),
+        ]))
+        prog = configure_program(g, uniform_config(g, threads=512), 16)
+        plan = build_sas_schedule(prog, DEV,
+                                  buffer_budget_bytes=10 ** 12)
+        max_parallel = DEV.num_sms * DEV.max_threads_per_block
+        for node_idx in plan.order:
+            node = prog.nodes[node_idx]
+            per_sweep = (prog.problem.firings[node_idx]
+                         * prog.config.threads[node.uid] * plan.rounds)
+            assert per_sweep <= max_parallel
+
+    def test_small_threads_allow_more_rounds(self):
+        g = flatten(Pipeline([
+            indexed_source("gen", push=1),
+            Filter("a", pop=1, push=1, work=lambda w: [w[0]]),
+            sink(1, "out"),
+        ]))
+        wide = configure_program(g, uniform_config(g, threads=512), 16)
+        narrow = configure_program(g, uniform_config(g, threads=128), 16)
+        budget = 10 ** 12
+        plan_wide = build_sas_schedule(wide, DEV,
+                                       buffer_budget_bytes=budget)
+        plan_narrow = build_sas_schedule(narrow, DEV,
+                                         buffer_budget_bytes=budget)
+        assert plan_narrow.rounds >= plan_wide.rounds

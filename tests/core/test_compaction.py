@@ -1,0 +1,80 @@
+"""Tests for exact stage compaction (longest-path minimization of f)."""
+
+import pytest
+
+from repro.core import search_ii, solve_at_ii
+from repro.core.problem import EdgeSpec, ScheduleProblem
+from repro.core.schedule import Placement, Schedule
+
+
+def chain_problem(n=3, d=10.0, sms=2):
+    return ScheduleProblem(
+        names=[f"f{i}" for i in range(n)],
+        firings=[1] * n,
+        delays=[d] * n,
+        edges=[EdgeSpec(i, i + 1, 1, 1) for i in range(n - 1)],
+        num_sms=sms)
+
+
+class TestCompaction:
+    def test_inflated_stages_are_reduced(self):
+        p = chain_problem()
+        bloated = Schedule(problem=p, ii=30.0, placements={
+            (0, 0): Placement(0, 0, sm=0, offset=0.0, stage=5),
+            (1, 0): Placement(1, 0, sm=0, offset=10.0, stage=9),
+            (2, 0): Placement(2, 0, sm=1, offset=0.0, stage=14),
+        })
+        bloated.validate()
+        compact = bloated.compact_stages()
+        assert compact.max_stage < bloated.max_stage
+        # same-SM chain at increasing offsets: stages 0,0; cross-SM
+        # consumer one iteration later.
+        assert compact.placement(0, 0).stage == 0
+        assert compact.placement(1, 0).stage == 0
+        assert compact.placement(2, 0).stage == 1
+
+    def test_compaction_preserves_assignment_and_offsets(self):
+        p = chain_problem()
+        schedule = search_ii(p).schedule
+        compact = schedule.compact_stages()
+        for key, placement in schedule.placements.items():
+            assert compact.placements[key].sm == placement.sm
+            assert compact.placements[key].offset == placement.offset
+
+    def test_compaction_is_idempotent(self):
+        p = chain_problem()
+        schedule = search_ii(p).schedule
+        once = schedule.compact_stages()
+        twice = once.compact_stages()
+        for key in once.placements:
+            assert once.placements[key].stage == \
+                twice.placements[key].stage
+
+    def test_compacted_schedules_come_out_of_the_solver(self):
+        """extract_schedule compacts automatically: a relaxed-II chain
+        on one SM needs at most one stage per offset inversion (zero
+        when the feasibility solver happens to order offsets forward)."""
+        p = chain_problem(sms=1)
+        schedule = solve_at_ii(p, ii=35.0)
+        assert schedule is not None
+        assert schedule.max_stage <= 2
+        # and compaction left nothing on the table
+        recompacted = schedule.compact_stages()
+        assert recompacted.max_stage == schedule.max_stage
+
+    def test_cross_sm_minimum_is_one_stage(self):
+        p = chain_problem(n=2, sms=2)
+        schedule = solve_at_ii(p, ii=10.0)  # tight: must pipeline
+        assert schedule is not None
+        a = schedule.placement(0, 0)
+        b = schedule.placement(1, 0)
+        assert a.sm != b.sm
+        assert b.stage == a.stage + 1  # compaction: exactly one apart
+
+    def test_multirate_compaction_valid(self):
+        p = ScheduleProblem(
+            names=["A", "B"], firings=[3, 2], delays=[5.0, 7.0],
+            edges=[EdgeSpec(0, 1, 2, 3)], num_sms=4)
+        schedule = search_ii(p).schedule
+        compact = schedule.compact_stages()
+        compact.validate()

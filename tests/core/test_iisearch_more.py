@@ -1,0 +1,101 @@
+"""Additional II-search behaviour tests (adaptive schedule, sweeps)."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_swp_sweep
+from repro.core import search_ii
+from repro.core.problem import EdgeSpec, ScheduleProblem
+from repro.errors import SchedulingError
+from repro.graph import Filter, Pipeline, flatten, indexed_source
+from repro.gpu import GEFORCE_8600_GTS
+
+from ..helpers import sink
+
+
+def packing_problem(num_items=6, sms=2, d=10.0):
+    """A chain whose tight II needs several relaxations to pack."""
+    names = [f"f{i}" for i in range(num_items)]
+    edges = [EdgeSpec(i, i + 1, 1, 1) for i in range(num_items - 1)]
+    return ScheduleProblem(names=names, firings=[1] * num_items,
+                           delays=[d * (i % 3 + 1)
+                                   for i in range(num_items)],
+                           edges=edges, num_sms=sms)
+
+
+class TestAdaptiveSearch:
+    def test_adaptive_reaches_feasibility_with_fewer_attempts(self):
+        problem = packing_problem()
+        fixed = search_ii(problem, start_ii=1.0, adaptive=False,
+                          max_attempts=2000,
+                          attempt_budget_seconds=5)
+        adaptive = search_ii(problem, start_ii=1.0, adaptive=True,
+                             max_attempts=2000,
+                             attempt_budget_seconds=5)
+        assert adaptive.schedule is not None
+        assert len(adaptive.attempts) < len(fixed.attempts)
+
+    def test_adaptive_step_growth_pattern(self):
+        problem = packing_problem()
+        result = search_ii(problem, start_ii=1.0, adaptive=True,
+                           max_attempts=2000, attempt_budget_seconds=5)
+        iis = [a.ii for a in result.attempts]
+        ratios = [b / a for a, b in zip(iis, iis[1:])]
+        # first three steps at 0.5% (the 4th failure doubles the step)
+        for ratio in ratios[:3]:
+            assert ratio == pytest.approx(1.005)
+        if len(ratios) > 8:
+            assert ratios[8] > ratios[0]
+
+    def test_fixed_matches_paper_grid(self):
+        problem = packing_problem()
+        result = search_ii(problem, start_ii=50.0, adaptive=False)
+        iis = [a.ii for a in result.attempts]
+        for a, b in zip(iis, iis[1:]):
+            assert b / a == pytest.approx(1.005)
+
+    def test_all_attempts_recorded(self):
+        problem = packing_problem()
+        result = search_ii(problem, start_ii=1.0,
+                           attempt_budget_seconds=5)
+        assert all(not a.feasible for a in result.attempts[:-1])
+        assert result.attempts[-1].feasible
+        assert result.schedule.attempts == len(result.attempts)
+
+
+class TestSweep:
+    def graph(self):
+        return flatten(Pipeline([
+            indexed_source("gen", push=1),
+            Filter("a", pop=1, push=1, work=lambda w: [w[0]]),
+            sink(1, "out"),
+        ]))
+
+    def test_sweep_shares_one_ilp_solution(self):
+        sweep = compile_swp_sweep(
+            self.graph(),
+            CompileOptions(scheme="swp", device=GEFORCE_8600_GTS,
+                           macro_iterations=32),
+            factors=(1, 4, 8))
+        assert set(sweep) == {1, 4, 8}
+        searches = {id(c.search) for c in sweep.values()}
+        assert len(searches) == 1  # one ILP solve reused
+        for n, compiled in sweep.items():
+            assert compiled.options.coarsening == n
+            compiled.schedule.validate()
+
+    def test_sweep_launch_amortization_monotone(self):
+        sweep = compile_swp_sweep(
+            self.graph(),
+            CompileOptions(scheme="swp", device=GEFORCE_8600_GTS,
+                           macro_iterations=64),
+            factors=(1, 4, 8, 16))
+        launch_share = {
+            n: c.gpu_result.launch_cycles / c.gpu_result.total_cycles
+            for n, c in sweep.items()}
+        assert launch_share[1] > launch_share[4] > launch_share[8] \
+            > launch_share[16]
+
+    def test_sweep_rejects_serial(self):
+        with pytest.raises(SchedulingError):
+            compile_swp_sweep(self.graph(),
+                              CompileOptions(scheme="serial"), (1,))

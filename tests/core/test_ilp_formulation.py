@@ -1,0 +1,206 @@
+"""Tests for the ILP formulation (eqs. 1-8) and II search."""
+
+import pytest
+
+from repro.core.ilp_formulation import build_model, solve_at_ii, stage_bound
+from repro.core.iisearch import search_ii
+from repro.core.mii import compute_mii
+from repro.core.problem import EdgeSpec, ScheduleProblem
+from repro.core.schedule import Placement, Schedule
+from repro.errors import SchedulingError
+
+
+def two_stage(sms=2, d=10.0):
+    return ScheduleProblem(
+        names=["A", "B"], firings=[1, 1], delays=[d, d],
+        edges=[EdgeSpec(0, 1, 1, 1)], num_sms=sms)
+
+
+def fig4_problem(sms=4):
+    return ScheduleProblem(
+        names=["A", "B"], firings=[3, 2], delays=[10.0, 12.0],
+        edges=[EdgeSpec(0, 1, 2, 3)], num_sms=sms)
+
+
+class TestBuildModel:
+    def test_variable_counts(self):
+        p = two_stage()
+        model, variables = build_model(p, ii=20.0)
+        # w: 2 instances x 2 SMs; o, f: 2 each; g: 1 dependence class.
+        assert len(variables.w) == 4
+        assert len(variables.o) == 2
+        assert len(variables.f) == 2
+        assert len(variables.g) == 1
+        stats = model.stats()
+        assert stats["binaries"] == 4 + 1
+
+    def test_delay_exceeding_ii_raises(self):
+        with pytest.raises(SchedulingError, match="no schedule exists"):
+            build_model(two_stage(d=30.0), ii=20.0)
+
+    def test_bad_ii_rejected(self):
+        with pytest.raises(SchedulingError):
+            build_model(two_stage(), ii=0)
+
+    def test_stage_bound_positive(self):
+        assert stage_bound(fig4_problem()) >= 5
+
+
+class TestSolveAtII:
+    def test_relaxed_ii_same_sm_schedule(self):
+        p = two_stage(sms=2)
+        schedule = solve_at_ii(p, ii=20.0)
+        assert schedule is not None
+        schedule.validate()
+        assert schedule.ii == 20.0
+
+    def test_tight_ii_forces_pipelining_across_sms(self):
+        """The paper's core effect: at II = ResMII = 10, A and B cannot
+        share an SM, so the solver must pipeline across SMs, placing B
+        one stage later (cross-SM data is next-iteration visible)."""
+        p = two_stage(sms=2)
+        schedule = solve_at_ii(p, ii=10.0)
+        assert schedule is not None
+        a = schedule.placement(0, 0)
+        b = schedule.placement(1, 0)
+        assert a.sm != b.sm
+        assert b.stage >= a.stage + 1
+
+    def test_infeasible_ii_returns_none(self):
+        p = two_stage(sms=1)  # both instances on one SM: need II >= 20
+        assert solve_at_ii(p, ii=10.0) is None
+
+    def test_single_sm_serial_schedule(self):
+        p = two_stage(sms=1)
+        schedule = solve_at_ii(p, ii=20.0)
+        assert schedule is not None
+        a = schedule.placement(0, 0)
+        b = schedule.placement(1, 0)
+        assert a.sm == b.sm == 0
+        # same SM: producer must finish before consumer in stage time
+        assert (schedule.ii * b.stage + b.offset
+                >= schedule.ii * a.stage + a.offset + 10.0)
+
+    def test_fig4_multirate_schedules(self):
+        p = fig4_problem()
+        schedule = solve_at_ii(p, ii=compute_mii(p).lower_bound * 1.5)
+        assert schedule is not None
+        schedule.validate()
+
+    def test_bnb_backend_agrees_on_feasibility(self):
+        p = two_stage(sms=2)
+        highs = solve_at_ii(p, ii=10.0, backend="highs")
+        bnb = solve_at_ii(p, ii=10.0, backend="bnb")
+        assert (highs is None) == (bnb is None)
+        if bnb is not None:
+            bnb.validate()
+
+    def test_feedback_loop_schedules_with_recmii(self):
+        p = ScheduleProblem(
+            names=["A", "B"], firings=[1, 1], delays=[5.0, 5.0],
+            edges=[EdgeSpec(0, 1, 1, 1),
+                   EdgeSpec(1, 0, 1, 1, initial_tokens=1)],
+            num_sms=2)
+        mii = compute_mii(p)
+        assert mii.rec_mii == pytest.approx(10.0, rel=1e-6)
+        schedule = solve_at_ii(p, ii=10.0)
+        assert schedule is not None
+        schedule.validate()
+
+
+class TestIISearch:
+    def test_finds_mii_when_feasible(self):
+        p = two_stage(sms=2)
+        result = search_ii(p)
+        assert result.schedule.ii == pytest.approx(10.0)
+        assert result.relaxation == pytest.approx(0.0)
+        assert len(result.attempts) == 1
+
+    def test_relaxes_when_needed(self):
+        # One SM with two 10-cycle instances: ResMII=20 is feasible
+        # immediately; force relaxation by starting below it.
+        p = two_stage(sms=1)
+        result = search_ii(p, start_ii=18.0)
+        assert result.schedule.ii > 18.0
+        assert len(result.attempts) > 1
+        assert all(not a.feasible for a in result.attempts[:-1])
+        assert result.attempts[-1].feasible
+
+    def test_relaxation_step_matches_paper(self):
+        p = two_stage(sms=1)
+        result = search_ii(p, start_ii=19.95)
+        # one 0.5% relaxation: 19.95 * 1.005 = 20.05 >= 20 feasible
+        assert len(result.attempts) == 2
+        assert result.schedule.ii == pytest.approx(19.95 * 1.005)
+
+    def test_max_attempts_exhausted_raises(self):
+        p = two_stage(sms=1)
+        with pytest.raises(SchedulingError, match="no feasible schedule"):
+            search_ii(p, start_ii=1.0, max_attempts=3)
+
+    def test_schedule_records_diagnostics(self):
+        p = two_stage(sms=1)
+        result = search_ii(p, start_ii=19.0)
+        assert result.schedule.attempts == len(result.attempts)
+        assert result.schedule.relaxation > 0
+
+
+class TestScheduleValidation:
+    def make_schedule(self, overrides=None):
+        p = two_stage(sms=2)
+        placements = {
+            (0, 0): Placement(0, 0, sm=0, offset=0.0, stage=0),
+            (1, 0): Placement(1, 0, sm=1, offset=0.0, stage=1),
+        }
+        placements.update(overrides or {})
+        return Schedule(problem=p, ii=10.0, placements=placements)
+
+    def test_valid_schedule_passes(self):
+        self.make_schedule().validate()
+
+    def test_missing_placement_rejected(self):
+        p = two_stage()
+        with pytest.raises(SchedulingError, match="incomplete"):
+            Schedule(problem=p, ii=10.0, placements={})
+
+    def test_overload_detected(self):
+        s = self.make_schedule(
+            {(1, 0): Placement(1, 0, sm=0, offset=0.0, stage=1)})
+        with pytest.raises(SchedulingError, match="overloaded"):
+            s.validate()
+
+    def test_wraparound_detected(self):
+        s = self.make_schedule(
+            {(0, 0): Placement(0, 0, sm=0, offset=5.0, stage=0)})
+        with pytest.raises(SchedulingError, match="past the II"):
+            s.validate()
+
+    def test_cross_sm_same_stage_detected(self):
+        # B starts after A finishes (same-SM rule holds) but in the same
+        # invocation on a different SM — only the cross-SM rule trips.
+        p = two_stage(sms=2)
+        placements = {
+            (0, 0): Placement(0, 0, sm=0, offset=0.0, stage=0),
+            (1, 0): Placement(1, 0, sm=1, offset=10.0, stage=0),
+        }
+        s = Schedule(problem=p, ii=20.0, placements=placements)
+        with pytest.raises(SchedulingError, match="cross-SM"):
+            s.validate()
+
+    def test_same_sm_order_violation_detected(self):
+        p = two_stage(sms=1)
+        placements = {
+            (0, 0): Placement(0, 0, sm=0, offset=10.0, stage=0),
+            (1, 0): Placement(1, 0, sm=0, offset=0.0, stage=0),
+        }
+        s = Schedule(problem=p, ii=20.0, placements=placements)
+        with pytest.raises(SchedulingError, match="dependence violated"):
+            s.validate()
+
+    def test_sm_order_and_load(self):
+        s = self.make_schedule()
+        assert [p.node for p in s.sm_order(0)] == [0]
+        assert s.sm_load(0) == 10.0
+        assert s.max_stage == 1
+        assert s.used_sms == [0, 1]
+        assert "Schedule" in s.describe()

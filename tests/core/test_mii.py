@@ -1,0 +1,80 @@
+"""Tests for ResMII / RecMII."""
+
+import pytest
+
+from repro.core.mii import compute_mii, rec_mii, res_mii
+from repro.core.problem import EdgeSpec, ScheduleProblem
+from repro.errors import SchedulingError
+
+
+def linear_problem(sms=4):
+    return ScheduleProblem(
+        names=["A", "B", "C"],
+        firings=[1, 1, 1],
+        delays=[10.0, 20.0, 30.0],
+        edges=[EdgeSpec(0, 1, 1, 1), EdgeSpec(1, 2, 1, 1)],
+        num_sms=sms)
+
+
+def feedback_problem(back_tokens=1, d=5.0):
+    return ScheduleProblem(
+        names=["A", "B"],
+        firings=[1, 1],
+        delays=[d, d],
+        edges=[EdgeSpec(0, 1, 1, 1),
+               EdgeSpec(1, 0, 1, 1, initial_tokens=back_tokens)],
+        num_sms=4)
+
+
+class TestResMII:
+    def test_work_divided_by_sms(self):
+        p = linear_problem(sms=2)
+        assert res_mii(p) == 30.0  # max(60/2, max delay 30)
+
+    def test_longest_delay_floor(self):
+        p = linear_problem(sms=16)
+        assert res_mii(p) == 30.0  # 60/16 < longest filter delay
+
+    def test_single_sm(self):
+        p = linear_problem(sms=1)
+        assert res_mii(p) == 60.0
+
+    def test_multirate_weighting(self):
+        p = ScheduleProblem(names=["A", "B"], firings=[3, 2],
+                            delays=[10.0, 10.0],
+                            edges=[EdgeSpec(0, 1, 2, 3)], num_sms=1)
+        assert res_mii(p) == 50.0
+
+
+class TestRecMII:
+    def test_acyclic_is_zero(self):
+        assert rec_mii(linear_problem()) == 0.0
+
+    def test_simple_loop_ratio(self):
+        # cycle latency 10, distance 1 -> RecMII = 10
+        p = feedback_problem(back_tokens=1, d=5.0)
+        assert rec_mii(p) == pytest.approx(10.0, rel=1e-6)
+
+    def test_more_slack_lowers_recmii(self):
+        # two initial tokens -> distance 2 -> RecMII = 5
+        p = feedback_problem(back_tokens=2, d=5.0)
+        assert rec_mii(p) == pytest.approx(5.0, rel=1e-6)
+
+    def test_zero_distance_cycle_raises(self):
+        p = feedback_problem(back_tokens=0)
+        with pytest.raises(SchedulingError, match="deadlock"):
+            rec_mii(p)
+
+    def test_paper_benchmarks_have_zero_recmii(self):
+        # "RecMII was 0 for all the benchmarks, since none ... had
+        # feedback loops"
+        assert rec_mii(linear_problem()) == 0.0
+
+
+class TestCombined:
+    def test_lower_bound_is_max(self):
+        p = feedback_problem(back_tokens=1, d=5.0)
+        report = compute_mii(p)
+        assert report.lower_bound == max(report.res_mii, report.rec_mii)
+        assert report.rec_mii == pytest.approx(10.0, rel=1e-6)
+        assert report.res_mii == 5.0

@@ -1,0 +1,140 @@
+"""Tests for the stateful-filter extension (the paper's future work)."""
+
+import pytest
+
+from repro.core import configure_program, search_ii, solve_at_ii, uniform_config
+from repro.core.mii import res_mii
+from repro.core.problem import EdgeSpec, ScheduleProblem
+from repro.errors import SchedulingError
+from repro.graph import Filter, Pipeline, flatten, indexed_source
+from repro.runtime.swp_executor import verify_against_reference
+
+from ..helpers import sink
+
+
+def accumulator_filter():
+    """A genuinely stateful running-sum filter."""
+    state = {"acc": 0.0}
+
+    def work(window):
+        state["acc"] += window[0]
+        return [state["acc"]]
+
+    return Filter("acc", pop=1, push=1, work=work, stateful=True)
+
+
+def stateful_graph(threads=2):
+    g = flatten(Pipeline([
+        indexed_source("gen", push=1),
+        accumulator_filter(),
+        Filter("post", pop=1, push=1, work=lambda w: [w[0] * 2]),
+        sink(1, "out"),
+    ]))
+    return g
+
+
+def stateful_problem(kv=3, d=5.0, sms=4):
+    return ScheduleProblem(
+        names=["A", "S", "Z"],
+        firings=[kv, kv, kv],
+        delays=[d, d, d],
+        edges=[EdgeSpec(0, 1, 1, 1), EdgeSpec(1, 2, 1, 1)],
+        num_sms=sms,
+        stateful=[False, True, False])
+
+
+class TestProblemFlags:
+    def test_default_stateless(self):
+        p = ScheduleProblem(names=["A"], firings=[1], delays=[1.0],
+                            edges=[], num_sms=1)
+        assert p.stateful == [False]
+
+    def test_flag_length_checked(self):
+        with pytest.raises(SchedulingError):
+            ScheduleProblem(names=["A"], firings=[1], delays=[1.0],
+                            edges=[], num_sms=1, stateful=[True, False])
+
+    def test_res_mii_includes_state_chain(self):
+        p = stateful_problem(kv=3, d=5.0, sms=16)
+        # serialized chain: 3 x 5 = 15 > work/16
+        assert res_mii(p) == 15.0
+
+
+class TestStatefulScheduling:
+    def test_instances_share_one_sm(self):
+        p = stateful_problem(kv=3, d=5.0, sms=4)
+        schedule = search_ii(p).schedule
+        sms = {schedule.sm_of(1, k) for k in range(3)}
+        assert len(sms) == 1
+
+    def test_instances_serialize_in_time(self):
+        p = stateful_problem(kv=3, d=5.0, sms=4)
+        schedule = search_ii(p).schedule
+        times = [schedule.ii * schedule.placement(1, k).stage
+                 + schedule.placement(1, k).offset for k in range(3)]
+        for earlier, later in zip(times, times[1:]):
+            assert later >= earlier + 5.0 - 1e-6
+
+    def test_ii_below_state_chain_infeasible(self):
+        p = stateful_problem(kv=3, d=5.0, sms=4)
+        assert solve_at_ii(p, ii=14.0) is None
+
+    def test_validate_catches_spread_state(self):
+        from repro.core.schedule import Placement, Schedule
+        p = stateful_problem(kv=2, d=5.0, sms=4)
+        placements = {}
+        for v in range(3):
+            for k in range(2):
+                placements[(v, k)] = Placement(
+                    v, k, sm=k, offset=5.0 * v, stage=v + k)
+        s = Schedule(problem=p, ii=20.0, placements=placements)
+        with pytest.raises(SchedulingError, match="cannot migrate"):
+            s.validate()
+
+
+class TestStatefulEndToEnd:
+    def test_configure_rejects_without_flag(self):
+        g = stateful_graph()
+        with pytest.raises(SchedulingError, match="allow_stateful"):
+            configure_program(g, uniform_config(g, threads=2), 4)
+
+    def test_configure_pins_stateful_to_one_thread(self):
+        g = stateful_graph()
+        prog = configure_program(g, uniform_config(g, threads=2), 4,
+                                 allow_stateful=True)
+        acc = next(n for n in g.nodes if n.name == "acc")
+        assert prog.config.threads[acc.uid] == 1
+        idx = prog.index_of(acc)
+        assert prog.problem.stateful[idx]
+
+    def test_functional_equivalence_with_state(self):
+        """The pipelined executor must preserve the running-sum state
+        sequence exactly.
+
+        Stateful closures are mutated by execution, so the reference
+        runs on an independently built graph (verify_against_reference
+        shares one graph and would see polluted state).
+        """
+        from repro.runtime import Interpreter
+        from repro.runtime.swp_executor import SwpExecutor
+
+        g = stateful_graph()
+        prog = configure_program(g, uniform_config(g, threads=2), 4,
+                                 allow_stateful=True)
+        schedule = search_ii(prog.problem).schedule
+        schedule.validate()
+        executor = SwpExecutor(prog, schedule)
+        result = executor.run(invocations=schedule.max_stage + 5)
+        base_iters = (result.completed_iterations
+                      * prog.base_iterations_per_macro)
+        assert base_iters > 0
+
+        reference_graph = stateful_graph()
+        reference = Interpreter(reference_graph)
+        reference.run(iterations=base_iters)
+        ref_sink = reference_graph.sinks[0]
+        run_sink = g.sinks[0]
+        expected = reference.sink_outputs[ref_sink.uid]
+        token_map = result.sink_token_maps[run_sink.uid]
+        for index, value in enumerate(expected):
+            assert token_map[index] == value, index

@@ -1,0 +1,135 @@
+"""Tests for the event-driven shared-bus contention model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpu.bus import BusItem, BusResult, simulate_shared_bus
+
+BW = 10.0  # bytes per cycle for readable numbers
+
+
+class TestSingleSm:
+    def test_compute_only(self):
+        result = simulate_shared_bus([[BusItem(100, 0)]], BW)
+        assert result.total_cycles == pytest.approx(100)
+        assert result.bus_busy_cycles == 0
+
+    def test_memory_only(self):
+        result = simulate_shared_bus([[BusItem(0, 500)]], BW)
+        assert result.total_cycles == pytest.approx(50)
+        assert result.bus_busy_cycles == pytest.approx(50)
+        assert result.contended_cycles == 0
+
+    def test_compute_then_memory(self):
+        result = simulate_shared_bus([[BusItem(30, 200)]], BW)
+        assert result.total_cycles == pytest.approx(30 + 20)
+
+    def test_sequential_items(self):
+        result = simulate_shared_bus(
+            [[BusItem(10, 100), BusItem(20, 50)]], BW)
+        assert result.total_cycles == pytest.approx(10 + 10 + 20 + 5)
+
+    def test_repeat(self):
+        once = simulate_shared_bus([[BusItem(10, 100)]], BW)
+        four = simulate_shared_bus([[BusItem(10, 100, repeat=4)]], BW)
+        assert four.total_cycles == pytest.approx(4 * once.total_cycles)
+
+
+class TestContention:
+    def test_two_sms_share_bus(self):
+        items = [[BusItem(0, 100)], [BusItem(0, 100)]]
+        result = simulate_shared_bus(items, BW)
+        # 200 bytes through a 10 B/cy bus: 20 cycles, fully contended.
+        assert result.total_cycles == pytest.approx(20)
+        assert result.contended_cycles == pytest.approx(20)
+        assert result.contention_fraction == pytest.approx(1.0)
+
+    def test_compute_overlaps_memory(self):
+        """A data mover running beside a compute-heavy SM gets the whole
+        bus — the pipelining benefit the SWP schedule exploits."""
+        items = [[BusItem(0, 100)],      # mover: 10 cycles at full bus
+                 [BusItem(100, 0)]]      # cruncher: no bus use
+        result = simulate_shared_bus(items, BW)
+        assert result.finish_times[0] == pytest.approx(10)
+        assert result.finish_times[1] == pytest.approx(100)
+        assert result.contended_cycles == 0
+
+    def test_phase_aligned_movers_serialize(self):
+        """Fan-out phases where many SMs hit memory together collapse to
+        aggregate bandwidth (the paper's DCT/MatrixMult pathology)."""
+        items = [[BusItem(50, 100)] for _ in range(4)]
+        result = simulate_shared_bus(items, BW)
+        # All compute in lockstep, then 400 bytes through the bus.
+        assert result.total_cycles == pytest.approx(50 + 40)
+        assert result.contention_fraction == pytest.approx(1.0)
+
+    def test_staggered_movers_avoid_contention(self):
+        """Offsetting memory phases with compute restores full-bus
+        service to each SM in turn."""
+        items = [[BusItem(0, 100), BusItem(10, 0)],
+                 [BusItem(10, 100)]]
+        result = simulate_shared_bus(items, BW)
+        # SM0 memory 0-10 (full bus), SM1 computes 0-10 then memory
+        # 10-20 (full bus again).
+        assert result.total_cycles == pytest.approx(20)
+        assert result.contended_cycles == pytest.approx(0)
+
+    def test_proportional_slowdown(self):
+        solo = simulate_shared_bus([[BusItem(0, 1000)]], BW)
+        duo = simulate_shared_bus([[BusItem(0, 1000)],
+                                   [BusItem(0, 1000)]], BW)
+        assert duo.total_cycles == pytest.approx(2 * solo.total_cycles)
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(SimulationError):
+            simulate_shared_bus([[BusItem(1, 1)]], 0)
+
+    def test_negative_item(self):
+        with pytest.raises(SimulationError):
+            BusItem(-1, 0)
+        with pytest.raises(SimulationError):
+            BusItem(0, -1)
+        with pytest.raises(SimulationError):
+            BusItem(0, 0, repeat=0)
+
+    def test_empty_queues(self):
+        result = simulate_shared_bus([[], []], BW)
+        assert result.total_cycles == 0
+
+    def test_zero_work_items_terminate(self):
+        result = simulate_shared_bus([[BusItem(0, 0, repeat=5)]], BW)
+        assert result.total_cycles == 0
+
+
+class TestBusProperties:
+    @given(st.lists(st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)),
+        min_size=0, max_size=4), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, spec):
+        """Kernel time is bounded below by every SM's isolated time and
+        by the aggregate bandwidth floor, and above by full
+        serialization."""
+        items = [[BusItem(c, b) for c, b in queue] for queue in spec]
+        result = simulate_shared_bus(items, BW)
+        total_bytes = sum(b for queue in spec for _c, b in queue)
+        for queue in spec:
+            alone = sum(c + b / BW for c, b in queue)
+            assert result.total_cycles >= alone - 1e-6
+        assert result.total_cycles >= total_bytes / BW - 1e-6
+        serial_all = sum(c + b / BW for queue in spec for c, b in queue)
+        assert result.total_cycles <= serial_all + 1e-6
+
+    @given(st.integers(1, 8), st.floats(1, 1000), st.floats(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_identical_sms_finish_together(self, n, byts, compute):
+        items = [[BusItem(compute, byts)] for _ in range(n)]
+        result = simulate_shared_bus(items, BW)
+        expected = compute + n * byts / BW
+        assert result.total_cycles == pytest.approx(expected, rel=1e-6)
+        for finish in result.finish_times:
+            assert finish == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,132 @@
+"""Tests for device configs and the occupancy calculator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu import (
+    GEFORCE_8600_GTS,
+    GEFORCE_8800_GTS_512,
+    GEFORCE_8800_GTX,
+    PROFILE_REGISTER_BUDGETS,
+    PROFILE_THREAD_COUNTS,
+    DeviceConfig,
+    compute_occupancy,
+    config_is_feasible,
+    spill_registers,
+)
+
+
+class TestDeviceConfig:
+    def test_paper_device_shape(self):
+        dev = GEFORCE_8800_GTS_512
+        assert dev.num_sms == 16
+        assert dev.scalar_units_per_sm == 8
+        assert dev.registers_per_sm == 8192
+        assert dev.shared_mem_per_sm == 16 * 1024
+        assert dev.max_threads_per_block == 512
+        assert dev.max_threads_per_sm == 768
+        assert dev.max_blocks_per_sm == 8
+
+    def test_cycles_to_seconds(self):
+        dev = GEFORCE_8800_GTS_512
+        assert dev.cycles_to_seconds(dev.shader_clock_ghz * 1e9) == \
+            pytest.approx(1.0)
+
+    def test_with_sms(self):
+        half = GEFORCE_8800_GTS_512.with_sms(8)
+        assert half.num_sms == 8
+        assert GEFORCE_8800_GTS_512.num_sms == 16  # original untouched
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(SimulationError):
+            DeviceConfig(num_sms=0)
+        with pytest.raises(SimulationError):
+            DeviceConfig(mem_bandwidth_bytes_per_cycle=0)
+        with pytest.raises(SimulationError):
+            DeviceConfig(max_threads_per_block=1024, max_threads_per_sm=768)
+
+    def test_profile_grid_matches_paper(self):
+        assert PROFILE_REGISTER_BUDGETS == (16, 20, 32, 64)
+        assert PROFILE_THREAD_COUNTS == (128, 256, 384, 512)
+
+    def test_alternative_devices(self):
+        assert GEFORCE_8800_GTX.mem_bandwidth_bytes_per_cycle > \
+            GEFORCE_8800_GTS_512.mem_bandwidth_bytes_per_cycle
+        assert GEFORCE_8600_GTS.num_sms == 4
+
+
+class TestOccupancy:
+    dev = GEFORCE_8800_GTS_512
+
+    def test_paper_register_pairs_fit_exactly_one_block(self):
+        # The paper's (regs, threads) profile pairs are designed so one
+        # block exactly fills the register file.
+        for regs, threads in [(16, 512), (32, 256), (64, 128)]:
+            occ = compute_occupancy(self.dev, threads, regs)
+            assert occ.feasible
+            assert occ.blocks_per_sm * threads * regs <= 8192
+
+    def test_register_limited(self):
+        occ = compute_occupancy(self.dev, 512, 16)
+        assert occ.blocks_per_sm == 1
+        assert occ.limiting_factor in ("registers", "thread capacity")
+
+    def test_too_many_registers_infeasible(self):
+        occ = compute_occupancy(self.dev, 512, 17)
+        assert not occ.feasible
+        assert occ.limiting_factor == "registers"
+
+    def test_oversized_block_infeasible(self):
+        occ = compute_occupancy(self.dev, 1024, 8)
+        assert not occ.feasible
+        assert occ.limiting_factor == "block size"
+
+    def test_thread_capacity_limit(self):
+        occ = compute_occupancy(self.dev, 384, 8)
+        # 768 / 384 = 2 blocks by thread capacity
+        assert occ.blocks_per_sm == 2
+        assert occ.active_threads == 768
+
+    def test_shared_memory_limit(self):
+        occ = compute_occupancy(self.dev, 128, 8,
+                                shared_bytes_per_block=9000)
+        assert occ.blocks_per_sm == 1
+        assert occ.limiting_factor == "shared memory"
+
+    def test_shared_memory_overflow_infeasible(self):
+        occ = compute_occupancy(self.dev, 128, 8,
+                                shared_bytes_per_block=17 * 1024)
+        assert not occ.feasible
+
+    def test_block_slot_limit(self):
+        occ = compute_occupancy(self.dev, 32, 1)
+        assert occ.blocks_per_sm == 8
+        assert occ.limiting_factor == "block slots"
+
+    def test_active_warps_capped(self):
+        occ = compute_occupancy(self.dev, 384, 8)
+        assert occ.active_warps <= self.dev.max_warps_per_sm
+
+    def test_config_is_feasible_wrapper(self):
+        assert config_is_feasible(self.dev, 512, 16)
+        assert not config_is_feasible(self.dev, 512, 64)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            compute_occupancy(self.dev, 0, 8)
+        with pytest.raises(SimulationError):
+            compute_occupancy(self.dev, 128, 0)
+        with pytest.raises(SimulationError):
+            compute_occupancy(self.dev, 128, 8, shared_bytes_per_block=-1)
+
+
+class TestSpills:
+    def test_no_spill_under_cap(self):
+        assert spill_registers(12, 16) == 0
+
+    def test_spill_amount(self):
+        assert spill_registers(40, 32) == 8
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(SimulationError):
+            spill_registers(10, 0)

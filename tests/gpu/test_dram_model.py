@@ -1,0 +1,114 @@
+"""Tests for the DRAM-locality aspects of the memory model:
+scatter-stream efficiency and row-hit discounts for peeking reads."""
+
+import pytest
+
+from repro.graph import Joiner, SplitKind, Splitter, WorkEstimate
+from repro.graph.nodes import Filter
+from repro.gpu import GEFORCE_8800_GTS_512 as DEV
+from repro.gpu import estimate_filter_cycles
+from repro.gpu.bus import BusItem, simulate_shared_bus
+from repro.gpu.simulator import SCATTER_PORT_THRESHOLD, scatter_streams_of
+
+BW = 10.0
+
+
+class TestScatterClassification:
+    def test_wide_splitter_is_scatter(self):
+        s = Splitter(SplitKind.ROUND_ROBIN, [8] * 8)
+        assert scatter_streams_of(s) == 9
+
+    def test_wide_joiner_is_scatter(self):
+        j = Joiner([8] * 8)
+        assert scatter_streams_of(j) == 9
+
+    def test_narrow_splitter_is_not(self):
+        s = Splitter(SplitKind.ROUND_ROBIN, [2, 2])
+        assert scatter_streams_of(s) == 0
+
+    def test_compute_filter_is_not(self):
+        f = Filter("f", pop=64, push=64)
+        assert scatter_streams_of(f) == 0
+
+    def test_threshold_boundary(self):
+        wide_enough = Splitter(SplitKind.ROUND_ROBIN,
+                               [1] * (SCATTER_PORT_THRESHOLD - 1))
+        assert scatter_streams_of(wide_enough) == SCATTER_PORT_THRESHOLD
+
+
+class TestScatterBandwidth:
+    def mover(self, label, streams=9):
+        return BusItem(compute_cycles=0, bytes=100, label=label,
+                       scatter_streams=streams)
+
+    def test_single_scatter_full_bandwidth(self):
+        result = simulate_shared_bus([[self.mover("split")]], BW)
+        assert result.total_cycles == pytest.approx(10)
+
+    def test_same_scatter_on_all_sms_counted_once(self):
+        """The Serial scheme: one filter's coherent pattern over every
+        SM keeps full DRAM efficiency."""
+        items = [[self.mover("split")] for _ in range(4)]
+        result = simulate_shared_bus(items, BW)
+        assert result.total_cycles == pytest.approx(40)
+
+    def test_distinct_concurrent_scatters_lose_efficiency(self):
+        """The SWP pathology on DCT/MatrixMult: two different wide
+        movers thrash row locality."""
+        items = [[self.mover("split")], [self.mover("join")]]
+        result = simulate_shared_bus(items, BW)
+        # 18 streams > threshold 8: efficiency max(floor, 8/18) = 0.55
+        expected = 200 / (BW * 0.55)
+        assert result.total_cycles == pytest.approx(expected)
+
+    def test_efficiency_floor(self):
+        items = [[self.mover(f"m{i}", streams=9)] for i in range(8)]
+        result = simulate_shared_bus(items, BW)
+        expected = 800 / (BW * 0.55)  # floor
+        assert result.total_cycles == pytest.approx(expected)
+
+    def test_narrow_items_unaffected(self):
+        plain = [[BusItem(0, 100, label=f"f{i}")] for i in range(4)]
+        result = simulate_shared_bus(plain, BW)
+        assert result.total_cycles == pytest.approx(40)
+
+    def test_scatter_with_compute_neighbors_unaffected(self):
+        items = [[self.mover("split")],
+                 [BusItem(compute_cycles=50, bytes=0)]]
+        result = simulate_shared_bus(items, BW)
+        assert result.finish_times[0] == pytest.approx(10)
+
+
+class TestRowHitDiscount:
+    def fir(self, peek, pop=1):
+        return WorkEstimate(compute_ops=2 * peek, loads=peek, stores=1,
+                            registers=12, fresh_loads=pop)
+
+    def test_peeking_reads_cheaper_than_cold(self):
+        deep = estimate_filter_cycles(self.fir(peek=64), 256, DEV)
+        cold = estimate_filter_cycles(
+            WorkEstimate(compute_ops=128, loads=64, stores=1,
+                         registers=12), 256, DEV)
+        assert deep.bytes_moved < cold.bytes_moved
+
+    def test_discount_scales_with_overlap(self):
+        shallow = estimate_filter_cycles(self.fir(peek=4), 256, DEV)
+        deep = estimate_filter_cycles(self.fir(peek=64), 256, DEV)
+        # deeper windows re-read proportionally more; effective bytes
+        # grow sublinearly in peek depth
+        assert deep.bytes_moved < 16 * shallow.bytes_moved
+
+    def test_non_peeking_unaffected(self):
+        est = WorkEstimate(compute_ops=8, loads=4, stores=4, registers=10)
+        timing = estimate_filter_cycles(est, 256, DEV)
+        from repro.gpu import transactions_for_filter_access
+        expected = (transactions_for_filter_access(4, 256, DEV, True)
+                    .bytes_moved * 2)
+        assert timing.bytes_moved == expected
+
+    def test_uncoalesced_gets_no_discount(self):
+        good = estimate_filter_cycles(self.fir(peek=32), 128, DEV,
+                                      coalesced=True)
+        bad = estimate_filter_cycles(self.fir(peek=32), 128, DEV,
+                                     coalesced=False)
+        assert bad.bytes_moved > 4 * good.bytes_moved

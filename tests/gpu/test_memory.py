@@ -1,0 +1,148 @@
+"""Tests for coalescing analysis and bank conflicts (Figures 8/9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpu import (
+    GEFORCE_8800_GTS_512 as DEV,
+    AccessSpec,
+    analyze_access_pattern,
+    analyze_half_warp,
+    shared_bank_conflict_degree,
+    transactions_for_filter_access,
+)
+
+
+class TestHalfWarpAnalysis:
+    def test_contiguous_aligned_coalesces(self):
+        report = analyze_half_warp(list(range(16)), DEV)
+        assert report.coalesced
+        assert report.transactions == 1
+        assert report.bytes_moved == 64
+
+    def test_contiguous_unaligned_does_not_coalesce(self):
+        report = analyze_half_warp(list(range(1, 17)), DEV)
+        assert not report.coalesced
+        assert report.transactions == 16
+
+    def test_strided_does_not_coalesce(self):
+        report = analyze_half_warp([i * 4 for i in range(16)], DEV)
+        assert not report.coalesced
+        assert report.transactions == 16
+        assert report.bytes_moved == 16 * 32
+
+    def test_partial_half_warp(self):
+        report = analyze_half_warp(list(range(16, 24)), DEV)
+        assert report.coalesced  # base 16 is aligned, 8 threads contiguous
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            analyze_half_warp([], DEV)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(SimulationError):
+            analyze_half_warp(list(range(17)), DEV)
+
+    def test_efficiency(self):
+        good = analyze_half_warp(list(range(16)), DEV)
+        bad = analyze_half_warp([i * 4 for i in range(16)], DEV)
+        assert good.efficiency == 1.0
+        assert bad.efficiency == 64 / (16 * 32)
+
+
+class TestAccessPattern:
+    def test_identity_pattern_coalesces_all_warps(self):
+        report = analyze_access_pattern(lambda tid: tid, 512, DEV)
+        assert report.coalesced
+        assert report.transactions == 512 // 16
+
+    def test_strided_pattern_explodes(self):
+        report = analyze_access_pattern(lambda tid: 4 * tid, 128, DEV)
+        assert not report.coalesced
+        assert report.transactions == 128
+
+
+class TestBufferLayoutAccessSpecs:
+    """The two layouts of paper Figures 8 (sequential) and 9 (shuffled)."""
+
+    def test_sequential_layout_conflicts(self):
+        # pop rate 4: thread tid's first pop hits address 4*tid —
+        # uncoalesced (Figure 8's bank-conflict scenario).
+        spec = AccessSpec("strided", rate=4, slot=0)
+        report = analyze_access_pattern(spec.address_fn(), 128, DEV)
+        assert not report.coalesced
+
+    def test_sequential_layout_rate1_is_fine(self):
+        spec = AccessSpec("strided", rate=1, slot=0)
+        report = analyze_access_pattern(spec.address_fn(), 128, DEV)
+        assert report.coalesced
+
+    @pytest.mark.parametrize("rate", [1, 2, 4, 7, 64])
+    @pytest.mark.parametrize("threads", [128, 256, 384, 512])
+    def test_shuffled_layout_always_coalesces(self, rate, threads):
+        # Paper: "With this buffer layout scheme, we totally avoid all
+        # bank conflicts ... the efficiency of the scheme is oblivious
+        # to the push and pop rates of the individual filters."
+        for slot in range(min(rate, 3)):
+            spec = AccessSpec("shuffled", rate=rate, slot=slot)
+            report = analyze_access_pattern(spec.address_fn(), threads, DEV)
+            assert report.coalesced, (rate, threads, slot)
+
+    def test_transactions_for_filter_access_totals(self):
+        coalesced = transactions_for_filter_access(4, 128, DEV, True)
+        uncoalesced = transactions_for_filter_access(4, 128, DEV, False)
+        assert coalesced.coalesced
+        assert not uncoalesced.coalesced
+        # 4 slots x 8 half-warps = 32 transactions when coalesced...
+        assert coalesced.transactions == 4 * (128 // 16)
+        # ... vs one per thread per slot otherwise.
+        assert uncoalesced.transactions == 4 * 128
+
+    def test_zero_rate_moves_nothing(self):
+        report = transactions_for_filter_access(0, 128, DEV, True)
+        assert report.transactions == 0
+        assert report.bytes_moved == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            AccessSpec("diagonal", 1).address_fn()
+
+
+class TestSharedBanks:
+    def test_conflict_free(self):
+        assert shared_bank_conflict_degree(list(range(16)), DEV) == 1
+
+    def test_full_conflict(self):
+        assert shared_bank_conflict_degree([16 * i for i in range(16)],
+                                           DEV) == 16
+
+    def test_two_way(self):
+        addrs = [i % 8 for i in range(16)]
+        assert shared_bank_conflict_degree(addrs, DEV) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            shared_bank_conflict_degree([], DEV)
+
+
+class TestLayoutProperties:
+    @given(rate=st.integers(1, 32), threads=st.sampled_from([128, 256, 512]))
+    @settings(max_examples=40, deadline=None)
+    def test_shuffled_always_coalesced(self, rate, threads):
+        report = transactions_for_filter_access(rate, threads, DEV, True)
+        assert report.coalesced
+
+    @given(rate=st.integers(2, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_natural_layout_never_coalesced_beyond_rate1(self, rate):
+        report = transactions_for_filter_access(rate, 128, DEV, False)
+        assert not report.coalesced
+
+    @given(rate=st.integers(1, 16), threads=st.sampled_from([128, 256]))
+    @settings(max_examples=30, deadline=None)
+    def test_coalesced_never_moves_more_bytes(self, rate, threads):
+        good = transactions_for_filter_access(rate, threads, DEV, True)
+        bad = transactions_for_filter_access(rate, threads, DEV, False)
+        assert good.bytes_moved <= bad.bytes_moved

@@ -1,0 +1,192 @@
+"""Tests for the SM timing model and the kernel simulator."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph import WorkEstimate
+from repro.gpu import (
+    GEFORCE_8800_GTS_512 as DEV,
+    FilterWork,
+    GpuSimulator,
+    Kernel,
+    estimate_filter_cycles,
+)
+
+
+def est(ops=32, loads=4, stores=4, regs=12):
+    return WorkEstimate(compute_ops=ops, loads=loads, stores=stores,
+                        registers=regs)
+
+
+class TestFilterTiming:
+    def test_more_threads_more_compute_cycles(self):
+        t128 = estimate_filter_cycles(est(), 128, DEV)
+        t512 = estimate_filter_cycles(est(), 512, DEV)
+        assert t512.compute_cycles > t128.compute_cycles
+
+    def test_uncoalesced_is_slower(self):
+        good = estimate_filter_cycles(est(loads=8, stores=8), 256, DEV,
+                                      coalesced=True)
+        bad = estimate_filter_cycles(est(loads=8, stores=8), 256, DEV,
+                                     coalesced=False)
+        assert bad.cycles > good.cycles
+        assert bad.bytes_moved > good.bytes_moved
+
+    def test_register_spill_adds_traffic(self):
+        free = estimate_filter_cycles(est(regs=16), 256, DEV,
+                                      register_cap=16)
+        spilled = estimate_filter_cycles(est(regs=48), 256, DEV,
+                                         register_cap=16)
+        assert spilled.bytes_moved > free.bytes_moved
+        assert spilled.cycles > free.cycles
+
+    def test_infeasible_config_returns_inf(self):
+        timing = estimate_filter_cycles(est(regs=64), 512, DEV,
+                                        register_cap=64)
+        assert math.isinf(timing.cycles)
+        assert not timing.occupancy.feasible
+
+    def test_bandwidth_share_scales_memory_time(self):
+        alone = estimate_filter_cycles(est(loads=64, stores=64), 512, DEV,
+                                       bandwidth_share=1.0)
+        contended = estimate_filter_cycles(est(loads=64, stores=64), 512,
+                                           DEV, bandwidth_share=1 / 16)
+        assert contended.memory_cycles == pytest.approx(
+            alone.memory_cycles * 16)
+
+    def test_shared_staging_coalesces_traffic(self):
+        # An uncoalesced filter whose working set fits in shared memory
+        # gets most of its bandwidth back via staged coalesced copies.
+        uncoalesced = estimate_filter_cycles(est(loads=8, stores=8), 128,
+                                             DEV, coalesced=False)
+        staged = estimate_filter_cycles(est(loads=8, stores=8), 128, DEV,
+                                        coalesced=False,
+                                        use_shared_staging=True)
+        assert staged.bytes_moved < uncoalesced.bytes_moved
+
+    def test_shared_staging_infeasible_for_huge_working_set(self):
+        # 64 in + 64 out tokens x 128 threads x 4B = 64 KB > 16 KB.
+        timing = estimate_filter_cycles(est(loads=64, stores=64), 128, DEV,
+                                        use_shared_staging=True)
+        assert math.isinf(timing.cycles)
+
+    def test_latency_bound_at_low_occupancy(self):
+        # Few threads, tiny compute, some memory: latency dominates.
+        timing = estimate_filter_cycles(
+            WorkEstimate(compute_ops=1, loads=2, stores=1, registers=8),
+            32, DEV)
+        assert timing.bound == "latency"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            estimate_filter_cycles(est(), 0, DEV)
+        with pytest.raises(SimulationError):
+            estimate_filter_cycles(est(), 128, DEV, bandwidth_share=0)
+
+
+class TestKernelSimulator:
+    sim = GpuSimulator(DEV)
+
+    def work(self, name="w", **kw):
+        return FilterWork(name, est(), 128, **kw)
+
+    def test_single_sm_kernel(self):
+        kernel = Kernel("k", [[self.work()]] + [[] for _ in range(15)])
+        result = self.sim.simulate_kernel(kernel)
+        assert result.cycles > 0
+        assert result.per_sm_cycles[0] > 0
+        assert all(c == 0 for c in result.per_sm_cycles[1:])
+        assert result.critical_sm == 0
+
+    def test_kernel_time_is_max_over_sms(self):
+        heavy = FilterWork("heavy", est(ops=512), 256)
+        light = FilterWork("light", est(ops=8), 128)
+        kernel = Kernel("k", [[heavy], [light]])
+        result = self.sim.simulate_kernel(kernel)
+        assert result.cycles >= max(result.per_sm_cycles)
+
+    def test_repeat_scales_time(self):
+        k1 = Kernel("k1", [[self.work()]])
+        k4 = Kernel("k4", [[FilterWork("w", est(), 128, repeat=4)]])
+        r1 = self.sim.simulate_kernel(k1)
+        r4 = self.sim.simulate_kernel(k4)
+        assert r4.cycles == pytest.approx(4 * r1.cycles)
+
+    def test_empty_kernel(self):
+        kernel = Kernel("empty", [[] for _ in range(16)])
+        result = self.sim.simulate_kernel(kernel)
+        assert result.cycles == 0
+
+    def test_contention_hurts_bandwidth_heavy_kernels(self):
+        mover = FilterWork("mover", WorkEstimate(
+            compute_ops=0, loads=32, stores=32, registers=8), 256)
+        one_sm = Kernel("one", [[mover]])
+        all_sms = Kernel.uniform("all", mover, 16)
+        r_one = self.sim.simulate_kernel(one_sm)
+        r_all = self.sim.simulate_kernel(all_sms)
+        # 16 SMs move 16x the data but share one bus: per-SM time rises.
+        assert r_all.cycles > r_one.cycles
+        assert r_all.bytes_moved == 16 * r_one.bytes_moved
+
+    def test_too_many_sm_programs_rejected(self):
+        with pytest.raises(SimulationError):
+            self.sim.simulate_kernel(Kernel("big", [[]] * 17))
+
+    def test_infeasible_item_raises(self):
+        bad = FilterWork("bad", est(regs=64), 512, register_cap=64)
+        with pytest.raises(SimulationError, match="cannot launch"):
+            self.sim.simulate_kernel(Kernel("k", [[bad]]))
+
+
+class TestRunSimulation:
+    sim = GpuSimulator(DEV)
+
+    def test_launch_overhead_amortization(self):
+        """Fewer, fatter invocations beat many thin ones — the effect
+        behind SWPn coarsening (paper Fig. 11)."""
+        work = FilterWork("w", est(), 128)
+        kernel = Kernel("k", [[work]])
+        fat_kernel = Kernel("k8", [[FilterWork("w", est(), 128, repeat=8)]])
+        thin = self.sim.simulate_run([kernel], invocations=80)
+        fat = self.sim.simulate_run([fat_kernel], invocations=10)
+        assert fat.kernel_cycles == pytest.approx(thin.kernel_cycles)
+        assert fat.launch_cycles < thin.launch_cycles
+        assert fat.total_cycles < thin.total_cycles
+
+    def test_serial_pays_launch_per_filter(self):
+        work = FilterWork("w", est(), 128)
+        kernels = [Kernel(f"f{i}", [[work]]) for i in range(5)]
+        result = self.sim.simulate_run(kernels, invocations=3)
+        assert result.invocations == 15
+        assert result.launch_cycles == 15 * DEV.kernel_launch_cycles
+
+    def test_seconds_conversion(self):
+        work = FilterWork("w", est(), 128)
+        result = self.sim.simulate_run([Kernel("k", [[work]])], 1)
+        assert result.seconds(DEV) == pytest.approx(
+            DEV.cycles_to_seconds(result.total_cycles))
+
+    def test_zero_invocations_rejected(self):
+        with pytest.raises(SimulationError):
+            self.sim.simulate_run([], 0)
+
+
+class TestProfilePrimitive:
+    sim = GpuSimulator(DEV)
+
+    def test_profile_returns_finite_for_feasible(self):
+        cycles = self.sim.profile_filter(est(regs=12), 128, 16,
+                                         firings=128 * 16)
+        assert math.isfinite(cycles)
+        assert cycles > 0
+
+    def test_profile_infeasible_config(self):
+        cycles = self.sim.profile_filter(est(regs=64), 512, 64,
+                                         firings=512 * 16)
+        assert math.isinf(cycles)
+
+    def test_profile_requires_multiple(self):
+        with pytest.raises(SimulationError):
+            self.sim.profile_filter(est(), 128, 16, firings=1000)

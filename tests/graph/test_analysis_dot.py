@@ -1,0 +1,123 @@
+"""Tests for graph analyses and DOT export."""
+
+import pytest
+
+from repro.apps import benchmark_by_name
+from repro.core import configure_program, search_ii, uniform_config
+from repro.graph import Filter, Pipeline, SplitJoin, flatten, indexed_source
+from repro.graph.analysis import (
+    critical_path,
+    load_balance_bound,
+    pipeline_depth,
+    summarize,
+    work_profile,
+)
+from repro.graph.dot import schedule_to_dot, to_dot
+from repro.graph.rates import solve_rates
+
+from ..helpers import sink
+
+
+def chain(n=3):
+    elements = [indexed_source("gen", push=1)]
+    for i in range(n):
+        elements.append(Filter(f"f{i}", pop=1, push=1,
+                               work=lambda w: [w[0]]))
+    elements.append(sink(1, "out"))
+    return flatten(Pipeline(elements))
+
+
+class TestWorkProfile:
+    def test_counts(self):
+        g = chain(2)
+        profile = work_profile(g)
+        assert profile.num_nodes == 4
+        assert profile.total_memory_ops > 0
+        assert 0 <= profile.movement_fraction <= 1
+
+    def test_mover_heavy_benchmarks_rank_highest(self):
+        """DCT/MatrixMult carry the largest pure-data-movement share —
+        the paper's predictor for Serial competitiveness."""
+        fractions = {}
+        for name in ("MatrixMult", "DCT", "FMRadio", "Filterbank"):
+            g = benchmark_by_name(name).build()
+            fractions[name] = work_profile(g).movement_fraction
+        assert fractions["MatrixMult"] > fractions["FMRadio"]
+        assert fractions["DCT"] > fractions["FMRadio"]
+        assert fractions["MatrixMult"] > fractions["Filterbank"]
+
+    def test_ops_per_token(self):
+        g = chain(1)
+        profile = work_profile(g)
+        assert profile.ops_per_token >= 0
+
+
+class TestDepthAndPath:
+    def test_chain_depth(self):
+        assert pipeline_depth(chain(3)) == 5
+
+    def test_splitjoin_depth(self):
+        sj = SplitJoin([Filter("a", pop=1, push=1, work=lambda w: [w[0]]),
+                        Filter("b", pop=1, push=1, work=lambda w: [w[0]])],
+                       split=[1, 1], join=[1, 1])
+        g = flatten(Pipeline([indexed_source("gen", push=2), sj,
+                              sink(2, "out")]))
+        assert pipeline_depth(g) == 5  # gen, split, branch, join, sink
+
+    def test_critical_path_endpoints(self):
+        g = chain(3)
+        path = critical_path(g)
+        assert path[0].name == "gen"
+        assert path[-1].name == "out"
+
+    def test_critical_path_picks_heavy_branch(self):
+        from repro.graph import WorkEstimate
+        heavy = Filter("heavy", pop=1, push=1, work=lambda w: [w[0]],
+                       estimate=WorkEstimate(compute_ops=1000, loads=1,
+                                             stores=1, registers=8))
+        light = Filter("light", pop=1, push=1, work=lambda w: [w[0]])
+        sj = SplitJoin([heavy, light], split=[1, 1], join=[1, 1])
+        g = flatten(Pipeline([indexedsource_safe(), sj, sink(2, "out")]))
+        names = [n.name for n in critical_path(g)]
+        assert "heavy" in names
+        assert "light" not in names
+
+    def test_load_balance_bound(self):
+        g = chain(6)
+        bound = load_balance_bound(g, num_sms=4)
+        assert 1.0 <= bound <= 4.0
+
+    def test_summarize(self):
+        text = summarize(chain(2))
+        assert "pipeline depth" in text
+        assert "critical path" in text
+
+
+def indexedsource_safe():
+    return indexed_source("gen", push=2)
+
+
+class TestDot:
+    def test_graph_dot(self):
+        g = chain(2)
+        dot = to_dot(g, steady=solve_rates(g))
+        assert dot.startswith("digraph")
+        assert dot.count("->") == len(g.channels)
+        assert "k=1" in dot
+
+    def test_dot_marks_peek_and_initial_tokens(self):
+        fir = Filter("fir", pop=1, push=1, peek=4,
+                     work=lambda w: [sum(w[:4])])
+        g = flatten(Pipeline([indexed_source("gen", push=1), fir,
+                              sink(1, "out")]))
+        dot = to_dot(g)
+        assert "peek=4" in dot
+
+    def test_schedule_dot(self):
+        g = chain(2)
+        program = configure_program(g, uniform_config(g, threads=2), 2)
+        schedule = search_ii(program.problem,
+                             attempt_budget_seconds=10).schedule
+        dot = schedule_to_dot(program, schedule)
+        assert "fillcolor" in dot
+        assert "SM" in dot

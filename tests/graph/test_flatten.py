@@ -1,0 +1,157 @@
+"""Tests for hierarchical structures and flattening."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    FeedbackLoop,
+    Filter,
+    Joiner,
+    Pipeline,
+    SplitJoin,
+    Splitter,
+    flatten,
+    solve_rates,
+)
+from repro.runtime import run_reference
+
+from ..helpers import adder, scale_filter, sink, src
+
+
+class TestPipelineFlatten:
+    def test_linear_pipeline(self):
+        g = flatten(Pipeline([src(1), scale_filter(), sink()]))
+        assert len(g.nodes) == 3
+        assert len(g.channels) == 2
+
+    def test_nested_pipeline(self):
+        inner = Pipeline([scale_filter(2.0, "a"), scale_filter(3.0, "b")])
+        g = flatten(Pipeline([src(1), inner, sink()]))
+        assert len(g.nodes) == 4
+        names = [n.name for n in g.topological_order()]
+        assert names.index("a") < names.index("b")
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(GraphError):
+            Pipeline([])
+
+    def test_source_in_middle_rejected(self):
+        with pytest.raises(GraphError, match="source"):
+            flatten(Pipeline([src(1), src(1), sink()]))
+
+    def test_sink_in_middle_rejected(self):
+        with pytest.raises(GraphError, match="sink"):
+            flatten(Pipeline([src(1), sink(), sink()]))
+
+    def test_open_input_rejected(self):
+        with pytest.raises(GraphError, match="unconnected input"):
+            flatten(Pipeline([scale_filter(), sink()]))
+
+    def test_open_output_rejected(self):
+        with pytest.raises(GraphError, match="unconnected output"):
+            flatten(Pipeline([src(1), scale_filter()]))
+
+    def test_filters_are_cloned(self):
+        proto = scale_filter()
+        g1 = flatten(Pipeline([src(1), proto, sink()]))
+        g2 = flatten(Pipeline([src(1), proto, sink()]))
+        uids1 = {n.uid for n in g1}
+        uids2 = {n.uid for n in g2}
+        assert not uids1 & uids2
+
+    def test_same_prototype_twice_in_one_pipeline(self):
+        proto = scale_filter(2.0, "x2")
+        g = flatten(Pipeline([src(1), proto, proto, sink()]))
+        assert len([n for n in g if n.name == "x2"]) == 2
+
+
+class TestSplitJoinFlatten:
+    def test_duplicate_splitjoin(self):
+        sj = SplitJoin([scale_filter(2.0), scale_filter(3.0)])
+        g = flatten(Pipeline([src(1), sj, sink(2)]))
+        assert len(g.splitters) == 1
+        assert len(g.joiners) == 1
+        steady = solve_rates(g)
+        assert all(steady[n] == 1 for n in g)
+
+    def test_functional_output(self):
+        sj = SplitJoin([scale_filter(2.0), scale_filter(3.0)])
+        g = flatten(Pipeline([src(1, value=1.0), sj, sink(2)]))
+        outputs = run_reference(g, iterations=2)
+        sink_node = g.sinks[0]
+        assert outputs[sink_node.uid] == [2.0, 3.0, 2.0, 3.0]
+
+    def test_weighted_roundrobin(self):
+        sj = SplitJoin(
+            [scale_filter(1.0, "left"), scale_filter(1.0, "right")],
+            split=[2, 1], join=[2, 1])
+        g = flatten(Pipeline([src(3), sj, sink(3)]))
+        steady = solve_rates(g)
+        left = next(n for n in g if n.name == "left")
+        right = next(n for n in g if n.name == "right")
+        assert steady[left] == 2
+        assert steady[right] == 1
+
+    def test_branch_count_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            SplitJoin([scale_filter()], split=[1, 2])
+
+    def test_branch_must_be_open(self):
+        with pytest.raises(GraphError, match="branch"):
+            flatten(Pipeline([src(1),
+                              SplitJoin([sink(1), scale_filter()]),
+                              sink(2)]))
+
+    def test_nested_splitjoins(self):
+        inner = SplitJoin([scale_filter(2.0), scale_filter(3.0)])
+        outer = SplitJoin([inner, scale_filter(5.0)], split="duplicate",
+                          join=[2, 1])
+        g = flatten(Pipeline([src(1), outer, sink(3)]))
+        assert len(g.splitters) == 2
+        assert len(g.joiners) == 2
+        solve_rates(g)  # must be consistent
+
+
+class TestFeedbackLoopFlatten:
+    def make_loop(self):
+        body = Filter("body", pop=1, push=1, work=lambda w: [w[0] + 1])
+        loop = Filter("loop", pop=1, push=1, work=lambda w: [w[0]])
+        return FeedbackLoop(body, loop, join_weights=[1, 1],
+                            split_weights=[1, 1], initial_tokens=[0.0])
+
+    def test_structure(self):
+        g = flatten(Pipeline([src(1), self.make_loop(), sink(1)]))
+        assert len(g.splitters) == 1
+        assert len(g.joiners) == 1
+        assert g.has_feedback()
+        back = [ch for ch in g.channels if ch.num_initial_tokens][0]
+        assert back.initial_tokens == [0.0]
+
+    def test_rates_solve(self):
+        g = flatten(Pipeline([src(1), self.make_loop(), sink(1)]))
+        steady = solve_rates(g)
+        assert all(steady[n] >= 1 for n in g)
+
+    def test_executes_without_deadlock(self):
+        g = flatten(Pipeline([src(1, value=1.0), self.make_loop(), sink(1)]))
+        outputs = run_reference(g, iterations=3)
+        assert len(outputs[g.sinks[0].uid]) == 3
+
+    def test_missing_initial_tokens_rejected(self):
+        body = Filter("body", pop=1, push=1, work=lambda w: [w[0]])
+        loop = Filter("loop", pop=1, push=1, work=lambda w: [w[0]])
+        with pytest.raises(GraphError, match="initial tokens"):
+            FeedbackLoop(body, loop, initial_tokens=[])
+
+    def test_bad_weight_arity_rejected(self):
+        body = Filter("body", pop=1, push=1, work=lambda w: [w[0]])
+        loop = Filter("loop", pop=1, push=1, work=lambda w: [w[0]])
+        with pytest.raises(GraphError):
+            FeedbackLoop(body, loop, join_weights=[1, 1, 1],
+                         initial_tokens=[0.0])
+
+
+class TestFlattenErrors:
+    def test_unknown_element_rejected(self):
+        with pytest.raises(GraphError, match="cannot flatten"):
+            flatten(Pipeline([src(1), object(), sink()]))

@@ -1,0 +1,174 @@
+"""Unit tests for the flat StreamGraph container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Filter,
+    Joiner,
+    Pipeline,
+    SplitJoin,
+    SplitKind,
+    Splitter,
+    StreamGraph,
+    flatten,
+)
+
+from ..helpers import scale_filter, simple_pipeline_graph, sink, src
+
+
+def build_linear() -> StreamGraph:
+    g = StreamGraph("linear")
+    a = g.add_node(src(2, "a"))
+    b = g.add_node(Filter("b", pop=2, push=1, work=lambda w: [w[0] + w[1]]))
+    c = g.add_node(sink(1, "c"))
+    g.connect(a, b)
+    g.connect(b, c)
+    return g
+
+
+class TestConstruction:
+    def test_connect_and_query(self):
+        g = build_linear()
+        g.validate()
+        a, b, c = g.nodes
+        assert g.successors(a) == [b]
+        assert g.predecessors(c) == [b]
+        assert g.output_channel(a).dst is b
+        assert g.input_channel(c).src is b
+
+    def test_channel_rates(self):
+        g = build_linear()
+        ch = g.output_channel(g.nodes[0])
+        assert ch.production_rate == 2
+        assert ch.consumption_rate == 2
+        assert ch.num_initial_tokens == 0
+
+    def test_initial_tokens(self):
+        g = StreamGraph()
+        a = g.add_node(src(1, "a"))
+        b = g.add_node(sink(1, "b"))
+        ch = g.connect(a, b, initial_tokens=[5, 6])
+        assert ch.num_initial_tokens == 2
+        assert ch.initial_tokens == [5, 6]
+
+    def test_double_connect_same_port_rejected(self):
+        g = StreamGraph()
+        a = g.add_node(src(1, "a"))
+        b = g.add_node(sink(1, "b"))
+        c = g.add_node(sink(1, "c"))
+        g.connect(a, b)
+        with pytest.raises(GraphError, match="already connected"):
+            g.connect(a, c)
+
+    def test_connect_unknown_node_rejected(self):
+        g = StreamGraph()
+        a = g.add_node(src(1, "a"))
+        stray = sink(1, "stray")
+        with pytest.raises(GraphError, match="not in graph"):
+            g.connect(a, stray)
+
+    def test_connect_bad_port_rejected(self):
+        g = StreamGraph()
+        a = g.add_node(src(1, "a"))
+        b = g.add_node(sink(1, "b"))
+        with pytest.raises(GraphError, match="no output port"):
+            g.connect(a, b, src_port=1)
+
+    def test_add_node_twice_rejected(self):
+        g = StreamGraph()
+        a = src(1, "a")
+        g.add_node(a)
+        with pytest.raises(GraphError, match="already in graph"):
+            g.add_node(a)
+
+
+class TestValidation:
+    def test_unconnected_port_detected(self):
+        g = StreamGraph()
+        g.add_node(src(1, "a"))
+        g.add_node(sink(1, "b"))
+        with pytest.raises(GraphError, match="unconnected"):
+            g.validate()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError, match="no nodes"):
+            StreamGraph().validate()
+
+    def test_disconnected_components_detected(self):
+        g = StreamGraph()
+        a = g.add_node(src(1, "a"))
+        b = g.add_node(sink(1, "b"))
+        c = g.add_node(src(1, "c"))
+        d = g.add_node(sink(1, "d"))
+        g.connect(a, b)
+        g.connect(c, d)
+        with pytest.raises(GraphError, match="not connected"):
+            g.validate()
+
+    def test_no_source_detected(self):
+        g = StreamGraph()
+        a = g.add_node(Filter("a", pop=1, push=1))
+        b = g.add_node(Filter("b", pop=1, push=1))
+        g.connect(a, b)
+        g.connect(b, a)
+        with pytest.raises(GraphError, match="no source"):
+            g.validate()
+
+
+class TestTraversal:
+    def test_topological_order_linear(self):
+        g = build_linear()
+        order = [n.name for n in g.topological_order()]
+        assert order == ["a", "b", "c"]
+
+    def test_topological_order_ignores_initial_token_edges(self):
+        g = StreamGraph()
+        a = g.add_node(src(1, "a"))
+        j = g.add_node(Joiner([1, 1], "j"))
+        f = g.add_node(Filter("f", pop=1, push=1, work=lambda w: [w[0]]))
+        s = g.add_node(Splitter(SplitKind.ROUND_ROBIN, [1, 1], "s"))
+        k = g.add_node(sink(1, "k"))
+        g.connect(a, j, dst_port=0)
+        g.connect(j, f)
+        g.connect(f, s)
+        g.connect(s, k, src_port=0)
+        g.connect(s, j, src_port=1, dst_port=1, initial_tokens=[0.0])
+        order = g.topological_order()
+        names = [n.name for n in order]
+        assert names.index("j") < names.index("f") < names.index("s")
+
+    def test_zero_delay_cycle_deadlocks(self):
+        g = StreamGraph()
+        a = g.add_node(src(1, "a"))
+        j = g.add_node(Joiner([1, 1], "j"))
+        s = g.add_node(Splitter(SplitKind.ROUND_ROBIN, [1, 1], "s"))
+        k = g.add_node(sink(1, "k"))
+        g.connect(a, j, dst_port=0)
+        g.connect(j, s)
+        g.connect(s, k, src_port=0)
+        g.connect(s, j, src_port=1, dst_port=1)  # no initial tokens
+        with pytest.raises(GraphError, match="zero-delay cycle"):
+            g.topological_order()
+
+    def test_has_feedback(self):
+        g = build_linear()
+        assert not g.has_feedback()
+
+    def test_properties(self):
+        g = simple_pipeline_graph()
+        assert len(g.filters) == 3
+        assert len(g.sources) == 1
+        assert len(g.sinks) == 1
+        assert g.num_peeking_filters == 0
+        assert "StreamGraph" in g.summary()
+
+    def test_peeking_filter_count(self):
+        g = StreamGraph()
+        a = g.add_node(src(1, "a"))
+        f = g.add_node(Filter("fir", pop=1, push=1, peek=8,
+                              work=lambda w: [sum(w[:8])]))
+        k = g.add_node(sink(1, "k"))
+        g.connect(a, f)
+        g.connect(f, k)
+        assert g.num_peeking_filters == 1

@@ -1,0 +1,108 @@
+"""Tests for peek-priming initialization schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    Filter,
+    Pipeline,
+    SplitJoin,
+    compute_init_schedule,
+    flatten,
+    requires_init,
+    solve_rates,
+)
+from repro.runtime import Interpreter
+
+from ..helpers import sink, src
+
+
+def peeking_chain(peek=4, pop=1, push=1):
+    fir = Filter("fir", pop=pop, push=1, peek=peek,
+                 work=lambda w, _p=peek: [sum(w[:_p])])
+    return flatten(Pipeline([src(push, "s"), fir, sink(1, "k")]))
+
+
+class TestInitSchedule:
+    def test_no_peeking_no_init(self):
+        g = flatten(Pipeline([src(2), Filter("f", pop=2, push=1,
+                                             work=lambda w: [w[0]]),
+                              sink(1)]))
+        init = compute_init_schedule(g)
+        assert init.total_firings == 0
+        assert not requires_init(g)
+
+    def test_simple_peek_priming(self):
+        g = peeking_chain(peek=4, pop=1, push=1)
+        init = compute_init_schedule(g)
+        source = g.sources[0]
+        # 3 history tokens needed; source pushes 1 per firing.
+        assert init[source] == 3
+        assert requires_init(g)
+
+    def test_post_init_occupancy(self):
+        g = peeking_chain(peek=4, pop=1, push=1)
+        init = compute_init_schedule(g)
+        channel = g.output_channel(g.sources[0])
+        assert init.tokens_after_init(channel) == 3
+
+    def test_wide_source_needs_fewer_firings(self):
+        g = peeking_chain(peek=9, pop=1, push=4)
+        init = compute_init_schedule(g)
+        source = g.sources[0]
+        assert init[source] == 2  # ceil(8 / 4)
+
+    def test_demand_propagates_upstream(self):
+        mid = Filter("mid", pop=1, push=1, work=lambda w: [w[0]])
+        fir = Filter("fir", pop=1, push=1, peek=5,
+                     work=lambda w: [sum(w[:5])])
+        g = flatten(Pipeline([src(1, "s"), mid, fir, sink(1)]))
+        init = compute_init_schedule(g)
+        source, mid_node = g.nodes[0], g.nodes[1]
+        assert init[mid_node] == 4
+        assert init[source] == 4
+
+    def test_interpreter_runs_init_automatically(self):
+        g = peeking_chain(peek=6)
+        interp = Interpreter(g)
+        assert len(interp.init_log) == interp.init_schedule.total_firings
+        # steady iterations now run without deadlock
+        interp.run(iterations=2)
+
+    def test_init_preserves_steady_state_property(self):
+        """After init, one steady iteration leaves occupancy unchanged."""
+        g = peeking_chain(peek=7, pop=2, push=3)
+        interp = Interpreter(g)
+        before = interp.channel_occupancy()
+        interp.run(iterations=1)
+        assert interp.channel_occupancy() == before
+
+    def test_splitjoin_with_peeking_branch(self):
+        branches = [Filter("deep", pop=1, push=1, peek=6,
+                           work=lambda w: [sum(w[:6])]),
+                    Filter("flat", pop=1, push=1, work=lambda w: [w[0]])]
+        sj = SplitJoin(branches, split="duplicate", join=[1, 1])
+        g = flatten(Pipeline([src(1), sj, sink(2)]))
+        init = compute_init_schedule(g)
+        # the flat branch's channel also accumulates tokens during init
+        interp = Interpreter(g)
+        interp.run(iterations=2)
+
+    @given(peek=st.integers(1, 12), pop=st.integers(1, 4),
+           push=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_init_is_minimal_and_sufficient(self, peek, pop, push):
+        if peek < pop:
+            peek = pop
+        g = peeking_chain(peek=peek, pop=pop, push=push)
+        init = compute_init_schedule(g)
+        channel = g.output_channel(g.sources[0])
+        history = peek - pop
+        # sufficient: at least the history is primed
+        assert init.tokens_after_init(channel) >= history
+        # minimal: no more than one extra source firing's worth
+        assert init.tokens_after_init(channel) < history + push
+        # and it actually executes
+        Interpreter(g).run(iterations=1)

@@ -1,0 +1,252 @@
+"""Unit tests for flat stream-graph node types."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Filter,
+    Joiner,
+    SplitKind,
+    Splitter,
+    WorkEstimate,
+    counter_source,
+    default_estimate,
+    identity_filter,
+    source_from_sequence,
+)
+
+
+class TestFilter:
+    def test_basic_rates(self):
+        f = Filter("f", pop=3, push=2, peek=5)
+        assert f.pop_rate(0) == 3
+        assert f.push_rate(0) == 2
+        assert f.peek_depth(0) == 5
+
+    def test_peek_defaults_to_pop(self):
+        f = Filter("f", pop=4, push=1)
+        assert f.peek == 4
+
+    def test_peek_below_pop_rejected(self):
+        with pytest.raises(GraphError):
+            Filter("f", pop=4, push=1, peek=2)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(GraphError):
+            Filter("f", pop=-1, push=1)
+        with pytest.raises(GraphError):
+            Filter("f", pop=1, push=-1)
+
+    def test_source_cannot_peek(self):
+        with pytest.raises(GraphError):
+            Filter("f", pop=0, push=1, peek=2)
+
+    def test_source_and_sink_arity(self):
+        source = Filter("s", pop=0, push=4, work=lambda w: [0] * 4)
+        sink = Filter("k", pop=2, push=0, work=lambda w: [])
+        assert source.is_source and source.num_inputs == 0
+        assert sink.is_sink and sink.num_outputs == 0
+
+    def test_fire_produces_declared_push(self):
+        f = Filter("f", pop=1, push=2, work=lambda w: [w[0], w[0] + 1])
+        out = f.fire([[10]])
+        assert out == [[10, 11]]
+
+    def test_fire_wrong_arity_raises(self):
+        f = Filter("f", pop=1, push=2, work=lambda w: [w[0]])
+        with pytest.raises(GraphError, match="declared push rate"):
+            f.fire([[10]])
+
+    def test_fire_short_window_raises(self):
+        f = Filter("f", pop=2, push=1, work=lambda w: [w[0]])
+        with pytest.raises(GraphError, match="peek depth"):
+            f.fire([[1]])
+
+    def test_fire_without_work_raises(self):
+        f = Filter("f", pop=1, push=1)
+        with pytest.raises(GraphError, match="work function"):
+            f.fire([[1]])
+
+    def test_peek_window_sees_beyond_pop(self):
+        f = Filter("f", pop=1, push=1, peek=3,
+                   work=lambda w: [w[0] + w[1] + w[2]])
+        assert f.fire([[1, 2, 3]]) == [[6]]
+
+    def test_copy_is_fresh_node(self):
+        f = Filter("f", pop=1, push=1, peek=2, work=lambda w: [w[0]])
+        g = f.copy()
+        assert g.uid != f.uid
+        assert (g.pop, g.push, g.peek) == (1, 1, 2)
+        assert g.work is f.work
+
+    def test_bad_port_raises(self):
+        f = Filter("f", pop=1, push=1)
+        with pytest.raises(GraphError):
+            f.pop_rate(1)
+        with pytest.raises(GraphError):
+            f.push_rate(-1)
+
+    def test_identity_filter(self):
+        f = identity_filter()
+        assert f.fire([[42]]) == [[42]]
+
+
+class TestWorkEstimate:
+    def test_default_estimate_counts_tokens(self):
+        est = default_estimate(pop=3, push=2, peek=5)
+        assert est.loads == 5
+        assert est.stores == 2
+        assert est.compute_ops == 2 * (5 + 2)
+
+    def test_scaled(self):
+        est = WorkEstimate(compute_ops=10, loads=3, stores=2, registers=12)
+        scaled = est.scaled(4)
+        assert scaled.compute_ops == 40
+        assert scaled.loads == 12
+        assert scaled.stores == 8
+        assert scaled.registers == 12  # registers do not scale with firings
+
+    def test_scaled_rejects_zero(self):
+        est = WorkEstimate(compute_ops=1, loads=1, stores=1)
+        with pytest.raises(GraphError):
+            est.scaled(0)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(GraphError):
+            WorkEstimate(compute_ops=-1, loads=0, stores=0)
+
+    def test_registers_capped_sanely(self):
+        est = default_estimate(pop=1000, push=1000, peek=1000)
+        assert est.registers <= 64
+
+
+class TestSplitter:
+    def test_duplicate_rates(self):
+        s = Splitter(SplitKind.DUPLICATE, [1, 1, 1])
+        assert s.pop_rate(0) == 1
+        assert all(s.push_rate(i) == 1 for i in range(3))
+        assert s.num_outputs == 3
+
+    def test_duplicate_fire_copies(self):
+        s = Splitter(SplitKind.DUPLICATE, [1, 1])
+        assert s.fire([[7]]) == [[7], [7]]
+
+    def test_roundrobin_rates(self):
+        s = Splitter(SplitKind.ROUND_ROBIN, [4, 4])
+        assert s.pop_rate(0) == 8
+        assert s.push_rate(0) == 4
+        assert s.push_rate(1) == 4
+
+    def test_roundrobin_fire_distributes(self):
+        s = Splitter(SplitKind.ROUND_ROBIN, [2, 1])
+        assert s.fire([[1, 2, 3]]) == [[1, 2], [3]]
+
+    def test_roundrobin_weighted_example_from_paper(self):
+        # "a two way splitter with weights {4, 4} would copy the first
+        # four elements ... to its first output FIFO and the next four
+        # to its second"
+        s = Splitter(SplitKind.ROUND_ROBIN, [4, 4])
+        outs = s.fire([list(range(8))])
+        assert outs == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_duplicate_requires_unit_weights(self):
+        with pytest.raises(GraphError):
+            Splitter(SplitKind.DUPLICATE, [2, 1])
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(GraphError):
+            Splitter(SplitKind.ROUND_ROBIN, [])
+
+    def test_all_zero_roundrobin_rejected(self):
+        with pytest.raises(GraphError):
+            Splitter(SplitKind.ROUND_ROBIN, [0, 0])
+
+    def test_is_data_movement(self):
+        s = Splitter(SplitKind.ROUND_ROBIN, [1, 1])
+        assert s.is_data_movement
+        assert s.estimate.compute_ops == 0
+
+
+class TestJoiner:
+    def test_rates(self):
+        j = Joiner([2, 3])
+        assert j.pop_rate(0) == 2
+        assert j.pop_rate(1) == 3
+        assert j.push_rate(0) == 5
+
+    def test_fire_interleaves_by_weight(self):
+        j = Joiner([2, 1])
+        assert j.fire([[1, 2], [9]]) == [[1, 2, 9]]
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(GraphError):
+            Joiner([])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(GraphError):
+            Joiner([1, -1])
+
+    def test_is_data_movement(self):
+        j = Joiner([1, 1])
+        assert j.is_data_movement
+        assert j.estimate.compute_ops == 0
+
+
+class TestTestSources:
+    def test_sequence_source_cycles(self):
+        s = source_from_sequence([1, 2, 3], push=2)
+        assert s.fire([()]) if False else True
+        assert s.fire([])[0] == [1, 2]
+        assert s.fire([])[0] == [3, 1]
+
+    def test_counter_source(self):
+        c = counter_source(push=3)
+        assert c.fire([])[0] == [0, 1, 2]
+        assert c.fire([])[0] == [3, 4, 5]
+
+    def test_sources_are_stateful(self):
+        assert source_from_sequence([1]).is_stateful
+        assert counter_source().is_stateful
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(GraphError):
+            source_from_sequence([])
+
+    def test_unique_uids(self):
+        a = identity_filter()
+        b = identity_filter()
+        assert a.uid != b.uid
+
+
+class TestBlockDuplicate:
+    def test_block_duplicate_rates(self):
+        s = Splitter(SplitKind.DUPLICATE, [64, 64])
+        assert s.pop_rate(0) == 64
+        assert s.push_rate(0) == 64
+        assert s.push_rate(1) == 64
+
+    def test_block_duplicate_fire_copies_block(self):
+        s = Splitter(SplitKind.DUPLICATE, [3, 3])
+        outs = s.fire([[1, 2, 3]])
+        assert outs == [[1, 2, 3], [1, 2, 3]]
+        assert outs[0] is not outs[1]  # independent copies
+
+    def test_block_duplicate_equivalent_to_unit_firings(self):
+        block = Splitter(SplitKind.DUPLICATE, [4, 4])
+        unit = Splitter(SplitKind.DUPLICATE, [1, 1])
+        tokens = [10, 20, 30, 40]
+        block_out = block.fire([tokens])
+        unit_out = [[], []]
+        for token in tokens:
+            outs = unit.fire([[token]])
+            unit_out[0].extend(outs[0])
+            unit_out[1].extend(outs[1])
+        assert block_out == unit_out
+
+    def test_nonuniform_duplicate_weights_rejected(self):
+        with pytest.raises(GraphError, match="uniform"):
+            Splitter(SplitKind.DUPLICATE, [2, 3])
+
+    def test_zero_block_rejected(self):
+        with pytest.raises(GraphError):
+            Splitter(SplitKind.DUPLICATE, [0, 0])

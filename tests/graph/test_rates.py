@@ -1,0 +1,117 @@
+"""Tests for the steady-state rate solver, including property tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RateError
+from repro.graph import (
+    Filter,
+    Pipeline,
+    SplitJoin,
+    StreamGraph,
+    check_balance,
+    flatten,
+    is_primitive,
+    solve_rates,
+)
+
+from ..helpers import multirate_graph, simple_pipeline_graph, sink, src
+
+
+class TestSolveRates:
+    def test_unit_rate_pipeline(self):
+        g = simple_pipeline_graph()
+        steady = solve_rates(g)
+        assert all(steady[n] == 1 for n in g)
+
+    def test_paper_figure4_rates(self):
+        # A pushes 2, B pops 3 => k_A = 3, k_B = 2 (paper Fig. 4 has
+        # instances A0..A2 and B0..B1 per steady state).
+        g = multirate_graph()
+        steady = solve_rates(g)
+        a, b, out = g.nodes
+        assert steady[a] == 3
+        assert steady[b] == 2
+        assert steady[out] == 2
+        assert is_primitive(steady)
+
+    def test_balance_holds(self):
+        g = multirate_graph()
+        check_balance(solve_rates(g))
+
+    def test_splitjoin_rates(self):
+        branches = [Filter("up", pop=1, push=3, work=lambda w: [w[0]] * 3),
+                    Filter("id", pop=1, push=1, work=lambda w: [w[0]])]
+        sj = SplitJoin(branches, split=[1, 1], join=[3, 1])
+        g = flatten(Pipeline([src(2), sj, sink(4)]))
+        steady = solve_rates(g)
+        check_balance(steady)
+        assert is_primitive(steady)
+
+    def test_inconsistent_rates_rejected(self):
+        # duplicate splitter into branches with different amplification,
+        # joined 1:1 — classic sample-rate mismatch.
+        branches = [Filter("up", pop=1, push=2, work=lambda w: [w[0]] * 2),
+                    Filter("id", pop=1, push=1, work=lambda w: [w[0]])]
+        sj = SplitJoin(branches, split="duplicate", join=[1, 1])
+        g = flatten(Pipeline([src(1), sj, sink(2)]))
+        with pytest.raises(RateError, match="inconsistent"):
+            solve_rates(g)
+
+    def test_channel_tokens(self):
+        g = multirate_graph()
+        steady = solve_rates(g)
+        ch = g.output_channel(g.nodes[0])
+        assert steady.channel_tokens(ch) == 6  # 3 firings x push 2
+
+    def test_scaled(self):
+        steady = solve_rates(multirate_graph())
+        doubled = steady.scaled(2)
+        assert doubled.total_firings == 2 * steady.total_firings
+        with pytest.raises(RateError):
+            steady.scaled(0)
+
+    def test_total_firings(self):
+        steady = solve_rates(multirate_graph())
+        assert steady.total_firings == 3 + 2 + 2
+
+
+class TestRateProperties:
+    @given(push=st.integers(1, 12), pop=st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_two_filter_rates_are_lcm_reduced(self, push, pop):
+        a = Filter("a", pop=0, push=push, work=lambda _w: [0] * push)
+        b = Filter("b", pop=pop, push=0, work=lambda _w: [])
+        g = flatten(Pipeline([a, b]))
+        steady = solve_rates(g)
+        na, nb = g.nodes
+        lcm = math.lcm(push, pop)
+        assert steady[na] == lcm // push
+        assert steady[nb] == lcm // pop
+        assert is_primitive(steady)
+
+    @given(rates=st.lists(st.integers(1, 6), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_of_upsamplers_balances(self, rates):
+        stages = [src(1, "s0")]
+        for i, r in enumerate(rates):
+            stages.append(Filter(f"up{i}", pop=1, push=r,
+                                 work=lambda w, _r=r: [w[0]] * _r))
+        stages.append(sink(1, "end"))
+        g = flatten(Pipeline(stages))
+        steady = solve_rates(g)
+        check_balance(steady)
+        assert is_primitive(steady)
+
+    @given(weights=st.lists(st.integers(1, 5), min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_roundrobin_splitjoin_always_balances(self, weights):
+        branches = [Filter(f"b{i}", pop=1, push=1, work=lambda w: [w[0]])
+                    for i in range(len(weights))]
+        sj = SplitJoin(branches, split=list(weights), join=list(weights))
+        g = flatten(Pipeline([src(sum(weights)), sj, sink(sum(weights))]))
+        steady = solve_rates(g)
+        check_balance(steady)

@@ -1,0 +1,71 @@
+"""Shared graph-building helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph import (
+    Filter,
+    Pipeline,
+    SplitJoin,
+    StreamGraph,
+    flatten,
+)
+
+
+def src(push: int = 1, name: str = "src", value: float = 1.0) -> Filter:
+    """A stateless source pushing ``push`` copies of ``value``."""
+    return Filter(name, pop=0, push=push,
+                  work=lambda _w, _v=value, _p=push: [_v] * _p)
+
+
+def ramp_src(push: int = 1, name: str = "ramp") -> Filter:
+    """A stateless source pushing 0..push-1 each firing (same every time)."""
+    return Filter(name, pop=0, push=push,
+                  work=lambda _w, _p=push: list(range(_p)))
+
+
+def sink(pop: int = 1, name: str = "sink") -> Filter:
+    return Filter(name, pop=pop, push=0, work=lambda _w: [])
+
+
+def scale_filter(factor: float = 2.0, name: str = "scale") -> Filter:
+    return Filter(name, pop=1, push=1,
+                  work=lambda w, _f=factor: [w[0] * _f])
+
+
+def adder(pop: int = 2, name: str = "add") -> Filter:
+    return Filter(name, pop=pop, push=1,
+                  work=lambda w, _p=pop: [sum(w[:_p])])
+
+
+def upsample(factor: int = 2, name: str = "up") -> Filter:
+    return Filter(name, pop=1, push=factor,
+                  work=lambda w, _f=factor: [w[0]] * _f)
+
+
+def downsample(factor: int = 2, name: str = "down") -> Filter:
+    return Filter(name, pop=factor, push=1, work=lambda w: [w[0]])
+
+
+def simple_pipeline_graph(push: int = 1) -> StreamGraph:
+    """source -> scale -> sink, all unit rate (times ``push``)."""
+    return flatten(Pipeline([src(push), scale_filter(), sink()],
+                            name="simple"), name="simple")
+
+
+def multirate_graph() -> StreamGraph:
+    """The paper's Figure 4 example: A pushes 2, B pops 3."""
+    a = Filter("A", pop=0, push=2, work=lambda _w: [1.0, 2.0])
+    b = Filter("B", pop=3, push=1, work=lambda w: [w[0] + w[1] + w[2]])
+    out = sink()
+    return flatten(Pipeline([a, b, out], name="fig4"), name="fig4")
+
+
+def splitjoin_graph(duplicate: bool = True) -> StreamGraph:
+    branches = [scale_filter(2.0, "x2"), scale_filter(3.0, "x3")]
+    sj = SplitJoin(branches,
+                   split="duplicate" if duplicate else [1, 1],
+                   name="sj")
+    return flatten(Pipeline([src(1), sj, sink(2 if duplicate else 2)],
+                            name="sjgraph"), name="sjgraph")

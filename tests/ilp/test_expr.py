@@ -1,0 +1,132 @@
+"""Unit tests for the linear-expression algebra."""
+
+import pytest
+
+from repro.errors import IlpError
+from repro.ilp import LinearExpr, Sense, Variable, VarType, lin_sum
+
+
+def make_vars(n=3):
+    return [Variable(f"x{i}") for i in range(n)]
+
+
+class TestVariable:
+    def test_bounds_validation(self):
+        with pytest.raises(IlpError):
+            Variable("x", lower=2, upper=1)
+
+    def test_binary_clamps_bounds(self):
+        v = Variable("b", VarType.BINARY, lower=-5, upper=9)
+        assert v.lower == 0
+        assert v.upper == 1
+
+    def test_identity_hash(self):
+        a = Variable("x")
+        b = Variable("x")
+        assert a is not b
+        assert len({a, b}) == 2
+
+
+class TestLinearExpr:
+    def test_add_variables(self):
+        x, y, _ = make_vars()
+        e = x + y
+        assert e.coeffs[x] == 1
+        assert e.coeffs[y] == 1
+        assert e.constant == 0
+
+    def test_add_constant(self):
+        x, *_ = make_vars()
+        e = x + 5
+        assert e.constant == 5
+        e2 = 5 + x
+        assert e2.constant == 5
+
+    def test_subtract(self):
+        x, y, _ = make_vars()
+        e = (x - y) - 2
+        assert e.coeffs[x] == 1
+        assert e.coeffs[y] == -1
+        assert e.constant == -2
+
+    def test_rsub(self):
+        x, *_ = make_vars()
+        e = 10 - x
+        assert e.coeffs[x] == -1
+        assert e.constant == 10
+
+    def test_scalar_multiply(self):
+        x, y, _ = make_vars()
+        e = 3 * (x + 2 * y + 1)
+        assert e.coeffs[x] == 3
+        assert e.coeffs[y] == 6
+        assert e.constant == 3
+
+    def test_negation(self):
+        x, *_ = make_vars()
+        e = -(x + 1)
+        assert e.coeffs[x] == -1
+        assert e.constant == -1
+
+    def test_coefficients_merge(self):
+        x, *_ = make_vars()
+        e = x + x + x
+        assert e.coeffs[x] == 3
+
+    def test_multiply_by_expr_rejected(self):
+        x, y, _ = make_vars()
+        with pytest.raises(IlpError):
+            (x + 1) * (y + 1)
+
+    def test_evaluate(self):
+        x, y, _ = make_vars()
+        e = 2 * x - 3 * y + 4
+        assert e.evaluate({x: 1, y: 2}) == 2 - 6 + 4
+
+    def test_lin_sum(self):
+        xs = make_vars(4)
+        e = lin_sum(xs)
+        assert all(e.coeffs[x] == 1 for x in xs)
+        assert lin_sum([]).constant == 0
+
+    def test_simplified_drops_zeros(self):
+        x, y, _ = make_vars()
+        e = (x + y) - y
+        assert y in e.coeffs
+        s = e.simplified()
+        assert y not in s.coeffs
+
+
+class TestConstraint:
+    def test_le_constraint(self):
+        x, y, _ = make_vars()
+        c = (x + y) <= 4
+        assert c.sense is Sense.LE
+        assert c.expr.constant == -4
+
+    def test_ge_constraint(self):
+        x, *_ = make_vars()
+        c = x >= 2
+        assert c.sense is Sense.GE
+
+    def test_equals_constraint(self):
+        x, y, _ = make_vars()
+        c = (x + y).equals(3)
+        assert c.sense is Sense.EQ
+
+    def test_satisfied_by(self):
+        x, y, _ = make_vars()
+        c = (x + 2 * y) <= 10
+        assert c.satisfied_by({x: 2, y: 4})
+        assert not c.satisfied_by({x: 3, y: 4})
+
+    def test_eq_satisfied_by(self):
+        x, *_ = make_vars()
+        c = (2 * x).equals(6)
+        assert c.satisfied_by({x: 3})
+        assert not c.satisfied_by({x: 2})
+
+    def test_named(self):
+        x, *_ = make_vars()
+        c = (x >= 0).named("nonneg")
+        assert c.name == "nonneg"

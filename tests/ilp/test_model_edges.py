@@ -1,0 +1,109 @@
+"""Edge-case tests for the ILP model layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IlpError
+from repro.ilp import Model, SolveStatus, VarType, lin_sum
+
+
+class TestMatrixForm:
+    def test_shapes(self):
+        m = Model()
+        x = m.binary("x")
+        y = m.continuous("y", upper=5)
+        m.add(x + y <= 3)
+        m.add((x - y).equals(0))
+        m.add(x >= 0)
+        c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = \
+            m.to_matrix_form()
+        assert a_ub.shape == (2, 2)  # LE + negated GE
+        assert a_eq.shape == (1, 2)
+        assert list(integrality) == [1, 0]
+        assert bounds[0] == (0, 1)
+
+    def test_maximization_negates_costs(self):
+        m = Model()
+        x = m.continuous("x", upper=1)
+        m.set_objective(2 * x, minimize=False)
+        c, *_ = m.to_matrix_form()
+        assert c[0] == -2
+
+    def test_no_constraints(self):
+        m = Model()
+        m.continuous("x", upper=1)
+        c, a_ub, b_ub, a_eq, b_eq, *_ = m.to_matrix_form()
+        assert a_ub.shape[0] == 0
+        assert a_eq.shape[0] == 0
+
+
+class TestUnbounded:
+    def test_unbounded_detected_highs(self):
+        m = Model()
+        x = m.continuous("x")  # [0, inf)
+        m.set_objective(x, minimize=False)
+        solution = m.solve(backend="highs")
+        assert solution.status in (SolveStatus.UNBOUNDED,
+                                   SolveStatus.ERROR)
+
+    def test_unbounded_detected_bnb(self):
+        m = Model()
+        x = m.continuous("x")
+        m.set_objective(x, minimize=False)
+        solution = m.solve(backend="bnb")
+        assert solution.status is SolveStatus.UNBOUNDED
+
+
+class TestSolutionAccess:
+    def test_value_helpers(self):
+        m = Model()
+        x = m.integer("x", upper=10)
+        m.add(x >= 3)
+        m.set_objective(x)
+        solution = m.solve()
+        assert solution[x] == 3
+        assert solution.int_value(x) == 3
+        assert solution.value(x) == 3
+        other = Model().binary("y")
+        assert solution.value(other, default=7) == 7
+
+    def test_solve_seconds_recorded(self):
+        m = Model()
+        x = m.binary("x")
+        m.add(x >= 0)
+        solution = m.solve()
+        assert solution.solve_seconds >= 0
+
+
+class TestDefenseInDepth:
+    def test_backend_answers_are_rechecked(self):
+        """Model._check_solution catches violated constraints; feed it a
+        corrupted solution to prove the check is alive."""
+        from repro.ilp.model import Solution
+
+        m = Model()
+        x = m.binary("x")
+        m.add(x >= 1)
+        bogus = Solution(SolveStatus.OPTIMAL, values={x: 0.0})
+        with pytest.raises(IlpError, match="infeasible point"):
+            m._check_solution(bogus)
+
+    def test_fractional_integer_detected(self):
+        from repro.ilp.model import Solution
+
+        m = Model()
+        x = m.integer("x", upper=5)
+        bogus = Solution(SolveStatus.OPTIMAL, values={x: 2.5})
+        with pytest.raises(IlpError, match="fractional"):
+            m._check_solution(bogus)
+
+
+class TestMipGap:
+    def test_loose_gap_still_feasible(self):
+        m = Model()
+        xs = [m.binary(f"x{i}") for i in range(6)]
+        m.add(lin_sum(xs) >= 3)
+        m.set_objective(lin_sum(xs))
+        solution = m.solve(mip_rel_gap=5.0)
+        assert solution.status.has_solution
+        assert sum(solution.int_value(x) for x in xs) >= 3

@@ -1,0 +1,161 @@
+"""Tests for both ILP backends, including cross-checking properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IlpError
+from repro.ilp import Model, SolveStatus, VarType, lin_sum
+
+BACKENDS = ["highs", "bnb"]
+
+
+def knapsack_model():
+    """3-item 0/1 knapsack with known optimum: items 0 and 2."""
+    m = Model("knapsack")
+    x = [m.binary(f"x{i}") for i in range(3)]
+    values = [10, 6, 9]
+    weights = [5, 4, 4]
+    m.add(lin_sum(w * xi for w, xi in zip(weights, x)) <= 9)
+    m.set_objective(lin_sum(v * xi for v, xi in zip(values, x)),
+                    minimize=False)
+    return m, x
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackends:
+    def test_knapsack_optimum(self, backend):
+        m, x = knapsack_model()
+        sol = m.solve(backend=backend)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert [sol.int_value(v) for v in x] == [1, 0, 1]
+        assert sol.objective == pytest.approx(19)
+
+    def test_pure_lp(self, backend):
+        m = Model()
+        x = m.continuous("x", upper=4)
+        y = m.continuous("y", upper=4)
+        m.add(x + y <= 6)
+        m.set_objective(x + 2 * y, minimize=False)
+        sol = m.solve(backend=backend)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(10)  # x=2, y=4
+
+    def test_infeasible_detected(self, backend):
+        m = Model()
+        x = m.integer("x", lower=0, upper=5)
+        m.add(x >= 3)
+        m.add(x <= 2)
+        sol = m.solve(backend=backend)
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_equality_constraints(self, backend):
+        m = Model()
+        x = m.integer("x", upper=10)
+        y = m.integer("y", upper=10)
+        m.add((x + y).equals(7))
+        m.add((x - y).equals(1))
+        sol = m.solve(backend=backend)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.int_value(x) == 4
+        assert sol.int_value(y) == 3
+
+    def test_integrality_enforced(self, backend):
+        # LP relaxation optimum is fractional (x = 3.5); ILP must not be.
+        m = Model()
+        x = m.integer("x", upper=10)
+        m.add(2 * x <= 7)
+        m.set_objective(x, minimize=False)
+        sol = m.solve(backend=backend)
+        assert sol.int_value(x) == 3
+
+    def test_feasibility_problem_no_objective(self, backend):
+        m = Model()
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y >= 1)
+        sol = m.solve(backend=backend)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol[x] + sol[y] >= 1
+
+    def test_assignment_problem(self, backend):
+        """2x2 assignment: verify both backends pick the cheap matching."""
+        m = Model()
+        cost = {(0, 0): 1, (0, 1): 10, (1, 0): 10, (1, 1): 1}
+        x = {key: m.binary(f"x{key}") for key in cost}
+        for i in range(2):
+            m.add(lin_sum(x[i, j] for j in range(2)).equals(1))
+            m.add(lin_sum(x[j, i] for j in range(2)).equals(1))
+        m.set_objective(lin_sum(cost[k] * x[k] for k in cost))
+        sol = m.solve(backend=backend)
+        assert sol.objective == pytest.approx(2)
+
+
+class TestModelValidation:
+    def test_empty_model_rejected(self):
+        with pytest.raises(IlpError, match="no variables"):
+            Model().solve()
+
+    def test_foreign_variable_rejected(self):
+        m1 = Model()
+        m2 = Model()
+        x = m1.binary("x")
+        with pytest.raises(IlpError, match="not.*created"):
+            m2.add(x <= 1)
+
+    def test_non_constraint_rejected(self):
+        m = Model()
+        m.binary("x")
+        with pytest.raises(IlpError, match="expected a Constraint"):
+            m.add(True)  # the classic `==` mistake yields a bool
+
+    def test_unknown_backend_rejected(self):
+        m = Model()
+        m.binary("x")
+        with pytest.raises(IlpError, match="unknown ILP backend"):
+            m.solve(backend="cplex")
+
+    def test_stats(self):
+        m, _ = knapsack_model()
+        stats = m.stats()
+        assert stats["binaries"] == 3
+        assert stats["constraints"] == 1
+
+
+class TestBackendAgreement:
+    @given(
+        weights=st.lists(st.integers(1, 9), min_size=2, max_size=5),
+        capacity=st.integers(3, 20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_knapsack_backends_agree(self, weights, capacity):
+        """Property: both backends find the same optimal objective."""
+        solutions = []
+        for backend in BACKENDS:
+            m = Model()
+            x = [m.binary(f"x{i}") for i in range(len(weights))]
+            m.add(lin_sum(w * xi for w, xi in zip(weights, x)) <= capacity)
+            # value == weight: maximize used capacity
+            m.set_objective(
+                lin_sum(w * xi for w, xi in zip(weights, x)),
+                minimize=False)
+            sol = m.solve(backend=backend)
+            assert sol.status is SolveStatus.OPTIMAL
+            solutions.append(sol.objective)
+        assert solutions[0] == pytest.approx(solutions[1])
+
+    @given(
+        rhs=st.integers(-3, 12),
+        coeffs=st.lists(st.integers(1, 4), min_size=2, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_feasibility_agreement(self, rhs, coeffs):
+        """Both backends agree on feasibility of covering problems."""
+        statuses = []
+        for backend in BACKENDS:
+            m = Model()
+            x = [m.binary(f"x{i}") for i in range(len(coeffs))]
+            m.add(lin_sum(c * xi for c, xi in zip(coeffs, x)) >= rhs)
+            sol = m.solve(backend=backend)
+            statuses.append(sol.status)
+        assert statuses[0] == statuses[1]

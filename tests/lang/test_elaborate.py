@@ -1,0 +1,268 @@
+"""Elaboration + execution tests: DSL programs through the whole stack."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.graph import solve_rates
+from repro.lang import build_graph, parse_program, elaborate
+from repro.runtime import run_reference
+
+MOVING_AVG = """
+void->float filter Ramp(int N) {
+    work push N {
+        for (int i = 0; i < N; i++) {
+            push(1.0 * i);
+        }
+    }
+}
+
+float->float filter MovingAverage(int N) {
+    work pop 1 push 1 peek N {
+        float sum = 0.0;
+        for (int i = 0; i < N; i++) {
+            sum += peek(i);
+        }
+        push(sum / N);
+        pop();
+    }
+}
+
+float->void filter Sink() {
+    work pop 1 { pop(); }
+}
+
+void->void pipeline Main() {
+    add Ramp(4);
+    add MovingAverage(4);
+    add Sink();
+}
+"""
+
+
+class TestElaboration:
+    def test_graph_shape(self):
+        g = build_graph(MOVING_AVG)
+        assert len(g.nodes) == 3
+        assert g.num_peeking_filters == 1
+        solve_rates(g)
+
+    def test_functional_output(self):
+        g = build_graph(MOVING_AVG)
+        out = run_reference(g, iterations=4)
+        values = out[g.sinks[0].uid]
+        # Ramp pushes 0,1,2,3 repeatedly; window averages of 4.
+        assert values[0] == pytest.approx((0 + 1 + 2 + 3) / 4)
+        assert values[1] == pytest.approx((1 + 2 + 3 + 0) / 4)
+
+    def test_parameterization(self):
+        src = MOVING_AVG + """
+        void->void pipeline Wide() {
+            add Ramp(8);
+            add MovingAverage(2);
+            add Sink();
+        }
+        """
+        g = build_graph(src, root="Wide")
+        steady = solve_rates(g)
+        ramp = next(n for n in g.nodes if n.name == "Ramp")
+        sink = next(n for n in g.nodes if n.name == "Sink")
+        assert steady[sink] == 8 * steady[ramp]
+
+    def test_splitjoin_program(self):
+        src = """
+        void->float filter One() { work push 1 { push(1.0); } }
+        float->float filter Mul(float k) {
+            work pop 1 push 1 { push(pop() * k); }
+        }
+        float->void filter Sink2() { work pop 2 { pop(); pop(); } }
+        float->float splitjoin Fan() {
+            split duplicate;
+            add Mul(2.0);
+            add Mul(3.0);
+            join roundrobin(1, 1);
+        }
+        void->void pipeline Main() {
+            add One();
+            add Fan();
+            add Sink2();
+        }
+        """
+        g = build_graph(src)
+        out = run_reference(g, iterations=2)
+        assert out[g.sinks[0].uid] == [2.0, 3.0, 2.0, 3.0]
+
+    def test_feedbackloop_program(self):
+        src = """
+        void->float filter One() { work push 1 { push(1.0); } }
+        float->float filter SumDup() {
+            work pop 2 push 2 {
+                float s = pop() + pop();
+                push(s);
+                push(s);
+            }
+        }
+        float->float filter Id() { work pop 1 push 1 { push(pop()); } }
+        float->void filter Out() { work pop 1 { pop(); } }
+        float->float feedbackloop Acc() {
+            join roundrobin(1, 1);
+            body add SumDup();
+            loop add Id();
+            split roundrobin(1, 1);
+            enqueue 0.0;
+        }
+        void->void pipeline Main() {
+            add One();
+            add Acc();
+            add Out();
+        }
+        """
+        g = build_graph(src)
+        out = run_reference(g, iterations=4)
+        # running sum: 1, 2, 3, 4
+        assert out[g.sinks[0].uid] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_rate_expressions_evaluated(self):
+        src = """
+        void->float filter Src(int N) {
+            work push N * 2 {
+                for (int i = 0; i < N * 2; i++) push(0.0);
+            }
+        }
+        float->void filter Snk(int N) {
+            work pop N { for (int i = 0; i < N; i++) pop(); }
+        }
+        void->void pipeline Main() {
+            add Src(3);
+            add Snk(2);
+        }
+        """
+        g = build_graph(src)
+        steady = solve_rates(g)
+        src_node, snk_node = g.nodes
+        assert steady[src_node] * 6 == steady[snk_node] * 2
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(SemanticError, match="no stream named"):
+            build_graph(MOVING_AVG, root="Nope")
+
+    def test_unknown_child_rejected(self):
+        src = "void->void pipeline Main() { add Ghost(); }"
+        with pytest.raises(SemanticError, match="unknown stream"):
+            build_graph(src)
+
+    def test_wrong_arity_rejected(self):
+        src = MOVING_AVG.replace("add Ramp(4);", "add Ramp();")
+        with pytest.raises(SemanticError, match="expects 1 arguments"):
+            build_graph(src)
+
+    def test_void_input_filter_cannot_pop(self):
+        src = """
+        void->float filter Bad() { work pop 1 push 1 { push(pop()); } }
+        float->void filter S() { work pop 1 { pop(); } }
+        void->void pipeline Main() { add Bad(); add S(); }
+        """
+        with pytest.raises(SemanticError, match="cannot pop"):
+            build_graph(src)
+
+
+class TestWorkBodySemantics:
+    def run_filter(self, src, name, window):
+        program = parse_program(src)
+        element = elaborate(program, name)
+        return element.fire([window])[0]
+
+    def test_push_count_checked(self):
+        src = """
+        float->float filter F() {
+            work pop 1 push 2 { push(pop()); }
+        }
+        """
+        with pytest.raises(Exception, match="push"):
+            self.run_filter(src, "F", [1.0])
+
+    def test_array_locals(self):
+        src = """
+        float->float filter F() {
+            work pop 4 push 1 {
+                float acc[4];
+                for (int i = 0; i < 4; i++) acc[i] = pop() * 2.0;
+                push(acc[0] + acc[1] + acc[2] + acc[3]);
+            }
+        }
+        """
+        out = self.run_filter(src, "F", [1.0, 2.0, 3.0, 4.0])
+        assert out == [20.0]
+
+    def test_array_bounds_checked(self):
+        src = """
+        float->float filter F() {
+            work pop 1 push 1 {
+                float a[2];
+                a[5] = pop();
+                push(a[0]);
+            }
+        }
+        """
+        with pytest.raises(SemanticError, match="out of bounds"):
+            self.run_filter(src, "F", [1.0])
+
+    def test_peek_beyond_window_checked(self):
+        src = """
+        float->float filter F() {
+            work pop 1 push 1 { push(peek(3)); pop(); }
+        }
+        """
+        with pytest.raises(SemanticError, match="peek"):
+            self.run_filter(src, "F", [1.0])
+
+    def test_integer_division_truncates(self):
+        src = """
+        float->float filter F() {
+            work pop 1 push 1 {
+                int a = 7 / 2;
+                pop();
+                push(1.0 * a);
+            }
+        }
+        """
+        assert self.run_filter(src, "F", [0.0]) == [3.0]
+
+    def test_division_by_zero_raises(self):
+        src = """
+        float->float filter F() {
+            work pop 1 push 1 { push(pop() / 0.0); }
+        }
+        """
+        with pytest.raises(SemanticError, match="division by zero"):
+            self.run_filter(src, "F", [1.0])
+
+    def test_intrinsics(self):
+        src = """
+        float->float filter F() {
+            work pop 1 push 1 { push(sqrt(pop()) + max(1.0, 0.5)); }
+        }
+        """
+        assert self.run_filter(src, "F", [9.0]) == [4.0]
+
+
+class TestCudaEmission:
+    def test_cuda_body_attached_and_plausible(self):
+        g = build_graph(MOVING_AVG)
+        avg = next(n for n in g.nodes if n.name == "MovingAverage")
+        body = avg.cuda_body
+        assert "POP_INDEX" in body
+        assert "PUSH_INDEX" in body
+        assert "for (" in body
+
+    def test_cuda_params_inlined(self):
+        src = """
+        void->float filter S() { work push 1 { push(0.0); } }
+        float->float filter Mul(float k) {
+            work pop 1 push 1 { push(pop() * k); }
+        }
+        float->void filter O() { work pop 1 { pop(); } }
+        void->void pipeline Main() { add S(); add Mul(2.5); add O(); }
+        """
+        g = build_graph(src)
+        mul = next(n for n in g.nodes if n.name == "Mul")
+        assert "2.5f" in mul.cuda_body

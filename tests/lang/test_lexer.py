@@ -1,0 +1,67 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang import Token, TokenType, tokenize
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_and_idents(self):
+        toks = kinds("filter Foo work pop")
+        assert toks == [
+            (TokenType.KEYWORD, "filter"),
+            (TokenType.IDENT, "Foo"),
+            (TokenType.KEYWORD, "work"),
+            (TokenType.KEYWORD, "pop"),
+        ]
+
+    def test_numbers(self):
+        toks = kinds("42 3.14 1e3 2.5e-2 .5")
+        assert toks[0] == (TokenType.INT, "42")
+        assert toks[1] == (TokenType.FLOAT, "3.14")
+        assert toks[2] == (TokenType.FLOAT, "1e3")
+        assert toks[3] == (TokenType.FLOAT, "2.5e-2")
+        assert toks[4] == (TokenType.FLOAT, ".5")
+
+    def test_arrow_and_operators(self):
+        toks = kinds("float->float a<=b!=c&&d")
+        values = [v for _, v in toks]
+        assert "->" in values
+        assert "<=" in values
+        assert "!=" in values
+        assert "&&" in values
+
+    def test_compound_assign(self):
+        values = [v for _, v in kinds("a += 1; b++")]
+        assert "+=" in values
+        assert "++" in values
+
+    def test_line_comment(self):
+        toks = kinds("a // comment\n b")
+        assert [v for _, v in toks] == ["a", "b"]
+
+    def test_block_comment(self):
+        toks = kinds("a /* multi\nline */ b")
+        assert [v for _, v in toks] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("a /* oops")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_line_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[1].column == 3
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF

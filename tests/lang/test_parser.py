@@ -1,0 +1,178 @@
+"""Parser tests for the StreamIt-like language."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import parse_program
+from repro.lang import ast
+
+
+FILTER_SRC = """
+float->float filter Scale(float k) {
+    work pop 1 push 1 {
+        push(pop() * k);
+    }
+}
+"""
+
+
+class TestFilterParsing:
+    def test_basic_filter(self):
+        program = parse_program(FILTER_SRC)
+        decl = program.find("Scale")
+        assert isinstance(decl, ast.FilterDecl)
+        assert decl.stream_type == ast.StreamType("float", "float")
+        assert decl.params == (ast.Param("float", "k"),)
+        assert decl.work.pop == ast.IntLit(1)
+        assert decl.work.push == ast.IntLit(1)
+        assert decl.work.peek is None
+
+    def test_peek_clause(self):
+        src = """
+        float->float filter F() {
+            work pop 1 push 1 peek 8 { push(peek(7)); pop(); }
+        }
+        """
+        decl = parse_program(src).find("F")
+        assert decl.work.peek == ast.IntLit(8)
+
+    def test_rates_from_params(self):
+        src = """
+        float->float filter F(int N) {
+            work pop N push N*2 { push(pop()); }
+        }
+        """
+        decl = parse_program(src).find("F")
+        assert decl.work.pop == ast.Name("N")
+        assert isinstance(decl.work.push, ast.Binary)
+
+    def test_source_filter(self):
+        src = "void->float filter S() { work push 1 { push(0.0); } }"
+        decl = parse_program(src).find("S")
+        assert decl.work.pop == ast.IntLit(0)
+
+    def test_missing_work_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("float->float filter F() { }")
+
+
+class TestCompositeParsing:
+    def test_pipeline(self):
+        src = """
+        void->void pipeline Main() {
+            add A();
+            add B(1, 2.5);
+        }
+        """
+        decl = parse_program(src).find("Main")
+        assert isinstance(decl, ast.PipelineDecl)
+        assert len(decl.adds) == 2
+        assert decl.adds[1].args == (ast.IntLit(1), ast.FloatLit(2.5))
+
+    def test_splitjoin_duplicate(self):
+        src = """
+        float->float splitjoin SJ() {
+            split duplicate;
+            add A();
+            add B();
+            join roundrobin(1, 1);
+        }
+        """
+        decl = parse_program(src).find("SJ")
+        assert decl.split.kind == "duplicate"
+        assert len(decl.adds) == 2
+        assert decl.join.weights == (ast.IntLit(1), ast.IntLit(1))
+
+    def test_splitjoin_roundrobin(self):
+        src = """
+        float->float splitjoin SJ(int W) {
+            split roundrobin(W, W);
+            add A();
+            add B();
+            join roundrobin(W);
+        }
+        """
+        decl = parse_program(src).find("SJ")
+        assert decl.split.kind == "roundrobin"
+        assert decl.split.weights == (ast.Name("W"), ast.Name("W"))
+
+    def test_feedbackloop(self):
+        src = """
+        float->float feedbackloop FB() {
+            join roundrobin(1, 1);
+            body add B();
+            loop add L();
+            split roundrobin(1, 1);
+            enqueue 0.0;
+            enqueue 1.0;
+        }
+        """
+        decl = parse_program(src).find("FB")
+        assert isinstance(decl, ast.FeedbackLoopDecl)
+        assert len(decl.enqueue) == 2
+
+    def test_unknown_toplevel_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("float->float widget W() {}")
+
+
+class TestStatementParsing:
+    def parse_body(self, body):
+        src = f"""
+        float->float filter F() {{
+            work pop 1 push 1 {{ {body} }}
+        }}
+        """
+        return parse_program(src).find("F").work.body
+
+    def test_var_decls(self):
+        body = self.parse_body("int i = 0; float x; float arr[8]; push(pop());")
+        assert isinstance(body[0], ast.VarDecl)
+        assert body[0].init == ast.IntLit(0)
+        assert body[1].init is None
+        assert body[2].array_size == ast.IntLit(8)
+
+    def test_for_loop(self):
+        body = self.parse_body(
+            "float a = 0.0; for (int i = 0; i < 4; i++) { a += peek(i); }"
+            " push(a); pop();")
+        loop = body[1]
+        assert isinstance(loop, ast.ForStmt)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert isinstance(loop.update, ast.Assign)
+
+    def test_if_else(self):
+        body = self.parse_body(
+            "float v = pop(); if (v > 0.0) { push(v); } else { push(-v); }")
+        cond = body[1]
+        assert isinstance(cond, ast.IfStmt)
+        assert cond.else_body
+
+    def test_while(self):
+        body = self.parse_body(
+            "int i = 0; while (i < 3) { i++; } push(pop());")
+        assert isinstance(body[1], ast.WhileStmt)
+
+    def test_precedence(self):
+        body = self.parse_body("push(1 + 2 * 3); pop();")
+        expr = body[0].value
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_and_logic(self):
+        body = self.parse_body("push(pop()); int ok = 1 < 2 && 3 != 4;")
+        decl = body[1]
+        assert decl.init.op == "&&"
+
+    def test_unary(self):
+        body = self.parse_body("push(-pop());")
+        assert isinstance(body[0].value, ast.Unary)
+
+    def test_intrinsic_call(self):
+        body = self.parse_body("push(sin(pop()) + max(1.0, 2.0));")
+        call = body[0].value.left
+        assert call == ast.Call("sin", (ast.PopExpr(),))
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            self.parse_body("1 = 2;")

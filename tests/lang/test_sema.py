@@ -1,0 +1,148 @@
+"""Type-checker tests for the surface language."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang import parse_program
+from repro.lang.sema import analyze_program
+
+
+def check(src):
+    analyze_program(parse_program(src))
+
+
+def filter_body(body, stream="float->float", rates="pop 1 push 1",
+                params=""):
+    return f"""
+    {stream} filter F({params}) {{
+        work {rates} {{ {body} }}
+    }}
+    """
+
+
+class TestWellTyped:
+    def test_basic_filter(self):
+        check(filter_body("push(pop() * 2.0);"))
+
+    def test_int_to_float_widening(self):
+        check(filter_body("float x = 1; push(pop() + x);"))
+
+    def test_arrays(self):
+        check(filter_body(
+            "float a[4]; a[0] = pop(); push(a[0]);"))
+
+    def test_param_typed(self):
+        check(filter_body("push(pop() * k);", params="float k"))
+
+    def test_loops_and_conditions(self):
+        check(filter_body(
+            "float s = 0.0;"
+            "for (int i = 0; i < 4; i++) { if (i > 1) { s += 1.0; } }"
+            "push(pop() + s);"))
+
+    def test_intrinsics(self):
+        check(filter_body("push(max(sin(pop()), 0.0));"))
+
+    def test_block_scoping_allows_shadow_in_inner(self):
+        check(filter_body(
+            "int i = 0; for (int j = 0; j < 2; j++) { int k = j; }"
+            "push(pop());"))
+
+
+class TestTypeErrors:
+    def test_float_to_int_narrowing_rejected(self):
+        with pytest.raises(SemanticError, match="cannot assign float"):
+            check(filter_body("int i = 1.5; push(pop());"))
+
+    def test_undefined_variable(self):
+        with pytest.raises(SemanticError, match="undefined variable"):
+            check(filter_body("push(ghost);"))
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(SemanticError, match="duplicate declaration"):
+            check(filter_body("int x = 0; float x = 1.0; push(pop());"))
+
+    def test_non_boolean_condition(self):
+        with pytest.raises(SemanticError, match="must be boolean"):
+            check(filter_body("if (1) { } push(pop());"))
+
+    def test_logical_on_numbers(self):
+        with pytest.raises(SemanticError, match="boolean operands"):
+            check(filter_body("int ok = 1 && 2; push(pop());"))
+
+    def test_comparing_bool_with_number(self):
+        with pytest.raises(SemanticError, match="cannot compare"):
+            check(filter_body("int ok = (true < 1); push(pop());"))
+
+    def test_indexing_scalar(self):
+        with pytest.raises(SemanticError, match="cannot index"):
+            check(filter_body("float x = 0.0; push(x[0]);"))
+
+    def test_float_array_size(self):
+        with pytest.raises(SemanticError, match="array size must be int"):
+            check(filter_body("float a[2.5]; push(pop());"))
+
+    def test_negating_boolean(self):
+        with pytest.raises(SemanticError, match="cannot negate"):
+            check(filter_body("push(pop() + (-true));"))
+
+    def test_bad_intrinsic_arity(self):
+        with pytest.raises(SemanticError, match="takes one argument"):
+            check(filter_body("push(sin(1.0, 2.0));"))
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="unknown function"):
+            check(filter_body("push(fft(pop()));"))
+
+
+class TestStreamTypeRules:
+    def test_void_input_cannot_pop(self):
+        with pytest.raises(SemanticError, match="cannot pop"):
+            check(filter_body("push(pop());", stream="void->float",
+                              rates="push 1"))
+
+    def test_void_input_cannot_peek(self):
+        with pytest.raises(SemanticError, match="cannot peek"):
+            check(filter_body("push(peek(0));", stream="void->float",
+                              rates="push 1"))
+
+    def test_void_output_cannot_push(self):
+        with pytest.raises(SemanticError, match="cannot push"):
+            check(filter_body("push(pop());", stream="float->void",
+                              rates="pop 1"))
+
+    def test_int_stream_push_float_rejected(self):
+        with pytest.raises(SemanticError, match="cannot assign float"):
+            check(filter_body("pop(); push(1.5);", stream="int->int"))
+
+    def test_rate_must_be_int(self):
+        with pytest.raises(SemanticError, match="rate must be"):
+            check(filter_body("push(pop());", rates="pop 1.5 push 1"))
+
+    def test_rate_from_int_param_ok(self):
+        check(filter_body(
+            "for (int i = 0; i < N; i++) { push(pop()); }",
+            rates="pop N push N", params="int N"))
+
+
+class TestProgramLevel:
+    def test_duplicate_stream_names(self):
+        src = """
+        void->void pipeline Main() { add Main(); }
+        void->void pipeline Main() { add Main(); }
+        """
+        with pytest.raises(SemanticError, match="duplicate stream"):
+            check(src)
+
+    def test_unknown_add_target(self):
+        src = "void->void pipeline Main() { add Ghost(); }"
+        with pytest.raises(SemanticError, match="unknown stream"):
+            check(src)
+
+    def test_wrong_add_arity(self):
+        src = """
+        void->float filter S(int n) { work push 1 { push(1.0); } }
+        void->void pipeline Main() { add S(); }
+        """
+        with pytest.raises(SemanticError, match="expects 1 arguments"):
+            check(src)

@@ -1,0 +1,141 @@
+"""Tests for stateful filters in the surface language (fields + init)."""
+
+import pytest
+
+from repro.errors import ParseError, SemanticError
+from repro.lang import build_graph, parse_program
+from repro.lang.sema import analyze_program
+from repro.runtime import run_reference
+
+ACCUMULATOR = """
+void->float filter Ones() { work push 1 { push(1.0); } }
+
+float->float filter Accumulate(float start) {
+    float total;
+    init {
+        total = start;
+    }
+    work pop 1 push 1 {
+        total += pop();
+        push(total);
+    }
+}
+
+float->void filter Out() { work pop 1 { pop(); } }
+
+void->void pipeline Main() {
+    add Ones();
+    add Accumulate(10.0);
+    add Out();
+}
+"""
+
+HISTOGRAM = """
+void->int filter Digits() { work push 1 { push(3); } }
+
+int->int filter CountUp() {
+    int seen;
+    int bins[4];
+    work pop 1 push 1 {
+        int v = pop();
+        bins[v] += 1;
+        seen += 1;
+        push(bins[v]);
+    }
+}
+
+int->void filter Out() { work pop 1 { pop(); } }
+
+void->void pipeline Main() {
+    add Digits();
+    add CountUp();
+    add Out();
+}
+"""
+
+
+class TestParsing:
+    def test_fields_and_init_parsed(self):
+        decl = parse_program(ACCUMULATOR).find("Accumulate")
+        assert decl.is_stateful
+        assert len(decl.fields) == 1
+        assert decl.fields[0].name == "total"
+        assert decl.init_body
+
+    def test_stateless_filters_have_no_fields(self):
+        decl = parse_program(ACCUMULATOR).find("Ones")
+        assert not decl.is_stateful
+
+    def test_fields_without_init_allowed(self):
+        decl = parse_program(HISTOGRAM).find("CountUp")
+        assert decl.is_stateful
+        assert decl.init_body == ()
+        assert len(decl.fields) == 2
+
+
+class TestSemantics:
+    def test_init_cannot_pop(self):
+        src = """
+        float->float filter Bad() {
+            float x;
+            init { x = pop(); }
+            work pop 1 push 1 { push(pop() + x); }
+        }
+        """
+        with pytest.raises(SemanticError, match="init blocks cannot pop"):
+            analyze_program(parse_program(src))
+
+    def test_init_cannot_push(self):
+        src = """
+        float->float filter Bad() {
+            float x;
+            init { push(1.0); }
+            work pop 1 push 1 { push(pop()); }
+        }
+        """
+        with pytest.raises(SemanticError,
+                           match="init blocks cannot push"):
+            analyze_program(parse_program(src))
+
+    def test_fields_typechecked(self):
+        src = """
+        float->float filter Bad() {
+            int n;
+            init { n = 1.5; }
+            work pop 1 push 1 { push(pop()); }
+        }
+        """
+        with pytest.raises(SemanticError, match="cannot assign float"):
+            analyze_program(parse_program(src))
+
+    def test_fields_visible_in_work(self):
+        analyze_program(parse_program(ACCUMULATOR))
+
+
+class TestExecution:
+    def test_running_sum_with_seed(self):
+        graph = build_graph(ACCUMULATOR)
+        acc = next(n for n in graph.nodes if n.name == "Accumulate")
+        assert acc.is_stateful
+        outputs = run_reference(graph, iterations=4)
+        assert outputs[graph.sinks[0].uid] == [11.0, 12.0, 13.0, 14.0]
+
+    def test_array_state_persists(self):
+        graph = build_graph(HISTOGRAM)
+        outputs = run_reference(graph, iterations=3)
+        # every token is 3; bins[3] counts 1, 2, 3
+        assert outputs[graph.sinks[0].uid] == [1, 2, 3]
+
+    def test_stateful_scheduling_end_to_end(self):
+        """DSL stateful filter through the serializing ILP extension."""
+        from repro.core import configure_program, search_ii, uniform_config
+
+        graph = build_graph(ACCUMULATOR)
+        program = configure_program(
+            graph, uniform_config(graph, threads=2), 2,
+            allow_stateful=True)
+        acc = next(n for n in graph.nodes if n.name == "Accumulate")
+        assert program.config.threads[acc.uid] == 1
+        schedule = search_ii(program.problem,
+                             attempt_budget_seconds=10).schedule
+        schedule.validate()

@@ -1,0 +1,71 @@
+"""Tests for the single-threaded CPU baseline cost model."""
+
+import pytest
+
+from repro.graph import Filter, Pipeline, WorkEstimate, flatten
+from repro.runtime import (
+    CpuConfig,
+    execution_time,
+    firing_cycles,
+    steady_state_cycles,
+)
+
+from ..helpers import sink, src
+
+
+def graph_with_ops(ops=100, loads=4, stores=4):
+    f = Filter("f", pop=1, push=1, work=lambda w: [w[0]],
+               estimate=WorkEstimate(compute_ops=ops, loads=loads,
+                                     stores=stores, registers=8))
+    return flatten(Pipeline([src(1), f, sink(1)]))
+
+
+class TestCpuConfig:
+    def test_defaults_match_paper_host(self):
+        config = CpuConfig()
+        assert config.clock_ghz == pytest.approx(2.83)  # the Xeon used
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            CpuConfig(clock_ghz=0)
+        with pytest.raises(ValueError):
+            CpuConfig(ops_per_cycle=0)
+
+
+class TestCosts:
+    def test_firing_cycles_combines_compute_and_memory(self):
+        config = CpuConfig(ops_per_cycle=2.0, mem_cycles=1.5,
+                           loop_overhead_cycles=4.0)
+        f = Filter("f", pop=1, push=1,
+                   estimate=WorkEstimate(compute_ops=100, loads=4,
+                                         stores=4, registers=8))
+        cycles = firing_cycles(f, config)
+        assert cycles == pytest.approx(100 / 2 + 8 * 1.5 + 4)
+
+    def test_steady_state_weights_by_firing_counts(self):
+        up = Filter("up", pop=1, push=3, work=lambda w: [w[0]] * 3,
+                    estimate=WorkEstimate(compute_ops=30, loads=1,
+                                          stores=3, registers=8))
+        g = flatten(Pipeline([src(1), up, sink(1)]))
+        total = steady_state_cycles(g)
+        # sink fires 3x per iteration, others once
+        per_node = {n.name: firing_cycles(n) for n in g.nodes}
+        expected = per_node["src"] + per_node["up"] + 3 * per_node["sink"]
+        assert total == pytest.approx(expected)
+
+    def test_execution_time_scales_linearly(self):
+        g = graph_with_ops()
+        t1 = execution_time(g, iterations=10)
+        t2 = execution_time(g, iterations=20)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_more_work_costs_more(self):
+        light = execution_time(graph_with_ops(ops=10), 100)
+        heavy = execution_time(graph_with_ops(ops=1000), 100)
+        assert heavy > light
+
+    def test_faster_clock_is_faster(self):
+        g = graph_with_ops()
+        slow = execution_time(g, 100, config=CpuConfig(clock_ghz=1.0))
+        fast = execution_time(g, 100, config=CpuConfig(clock_ghz=4.0))
+        assert fast == pytest.approx(slow / 4)

@@ -1,0 +1,177 @@
+"""Tests for the reference interpreter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import Filter, Pipeline, SplitJoin, flatten, solve_rates
+from repro.runtime import Interpreter, run_reference
+
+from ..helpers import (
+    adder,
+    downsample,
+    multirate_graph,
+    ramp_src,
+    simple_pipeline_graph,
+    sink,
+    src,
+    upsample,
+)
+
+
+class TestBasicExecution:
+    def test_unit_pipeline_output(self):
+        g = flatten(Pipeline([src(1, value=3.0),
+                              Filter("x2", pop=1, push=1,
+                                     work=lambda w: [w[0] * 2]),
+                              sink()]))
+        outputs = run_reference(g, iterations=4)
+        assert outputs[g.sinks[0].uid] == [6.0] * 4
+
+    def test_multirate_firing_counts(self):
+        g = multirate_graph()
+        interp = Interpreter(g)
+        interp.run(iterations=1)
+        counts = {}
+        for record in interp.firing_log:
+            counts[record.node.name] = counts.get(record.node.name, 0) + 1
+        assert counts == {"A": 3, "B": 2, "sink": 2}
+
+    def test_multirate_output_values(self):
+        # A pushes [1, 2] per firing; B sums windows of 3.
+        g = multirate_graph()
+        outputs = run_reference(g, iterations=1)
+        # stream: 1 2 1 2 1 2 -> windows (1,2,1), (2,1,2)
+        assert outputs[g.sinks[0].uid] == [4.0, 5.0]
+
+    def test_iterations_accumulate(self):
+        g = multirate_graph()
+        interp = Interpreter(g)
+        interp.run(iterations=3)
+        assert interp.iterations_run == 3
+        assert len(interp.sink_outputs[g.sinks[0].uid]) == 6
+
+    def test_channel_occupancy_returns_to_initial(self):
+        # After a full steady-state iteration, every channel holds as
+        # many tokens as it started with (the defining SDF property).
+        g = multirate_graph()
+        interp = Interpreter(g)
+        before = interp.channel_occupancy()
+        interp.run(iterations=1)
+        assert interp.channel_occupancy() == before
+
+    def test_peeking_filter_keeps_history(self):
+        source = ramp_src(push=1)
+        fir = Filter("fir", pop=1, push=1, peek=3,
+                     work=lambda w: [w[0] + w[1] + w[2]])
+        g = flatten(Pipeline([source, fir, sink()]))
+        # Peeking filter needs 3 tokens before first firing; source pushes
+        # 0 each firing (ramp restarts per firing: [0]).
+        outputs = run_reference(g, iterations=5)
+        assert len(outputs[g.sinks[0].uid]) == 5
+
+    def test_upsample_downsample_roundtrip(self):
+        g = flatten(Pipeline([src(1, value=7.0), upsample(3),
+                              downsample(3), sink()]))
+        outputs = run_reference(g, iterations=2)
+        assert outputs[g.sinks[0].uid] == [7.0, 7.0]
+
+
+class TestSplitJoinExecution:
+    def test_duplicate_then_join(self):
+        sj = SplitJoin([Filter("a", pop=1, push=1, work=lambda w: [w[0] + 1]),
+                        Filter("b", pop=1, push=1, work=lambda w: [w[0] - 1])])
+        g = flatten(Pipeline([src(1, value=10.0), sj, sink(2)]))
+        outputs = run_reference(g, iterations=1)
+        assert outputs[g.sinks[0].uid] == [11.0, 9.0]
+
+    def test_roundrobin_preserves_order(self):
+        sj = SplitJoin([Filter("a", pop=1, push=1, work=lambda w: [w[0]]),
+                        Filter("b", pop=1, push=1, work=lambda w: [w[0]])],
+                       split=[1, 1], join=[1, 1])
+        source = Filter("numbers", pop=0, push=2, work=lambda _w: [1.0, 2.0])
+        g = flatten(Pipeline([source, sj, sink(2)]))
+        outputs = run_reference(g, iterations=2)
+        assert outputs[g.sinks[0].uid] == [1.0, 2.0, 1.0, 2.0]
+
+
+class TestInterpreterValidation:
+    def test_steady_state_fires_exactly_kv_times(self):
+        g = flatten(Pipeline([src(4), downsample(2), sink(1)]))
+        interp = Interpreter(g)
+        interp.run(iterations=2)
+        steady = interp.steady
+        counts = {}
+        for record in interp.firing_log:
+            counts[record.node.uid] = counts.get(record.node.uid, 0) + 1
+        for node in g:
+            assert counts[node.uid] == 2 * steady[node]
+
+    def test_fire_checks_firing_rule(self):
+        g = simple_pipeline_graph()
+        interp = Interpreter(g)
+        middle = g.nodes[1]
+        with pytest.raises(GraphError, match="firing rule"):
+            interp.fire(middle)
+
+    def test_can_fire(self):
+        g = simple_pipeline_graph()
+        interp = Interpreter(g)
+        source, middle, out = g.nodes
+        assert interp.can_fire(source)
+        assert not interp.can_fire(middle)
+        interp.fire(source)
+        assert interp.can_fire(middle)
+
+
+class TestInterpreterProperties:
+    @given(push=st.integers(1, 6), pop=st.integers(1, 6),
+           iters=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_token_conservation(self, push, pop, iters):
+        """Tokens produced == tokens consumed at the sink over any run."""
+        a = Filter("a", pop=0, push=push,
+                   work=lambda _w, _p=push: list(range(_p)))
+        b = Filter("b", pop=pop, push=0, work=lambda _w: [])
+        g = flatten(Pipeline([a, b]))
+        interp = Interpreter(g)
+        interp.run(iterations=iters)
+        produced = sum(1 for r in interp.firing_log
+                       if r.node.name == "a") * push
+        consumed = len(interp.sink_outputs[g.sinks[0].uid])
+        assert produced == consumed
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, seed):
+        g1 = multirate_graph()
+        g2 = multirate_graph()
+        out1 = run_reference(g1, iterations=2)
+        out2 = run_reference(g2, iterations=2)
+        assert list(out1.values()) == list(out2.values())
+
+
+class TestDeadlockDetection:
+    def test_unbalanced_feedback_deadlocks_cleanly(self):
+        """A feedback loop with too few initial tokens must fail with a
+        diagnostic, not hang."""
+        from repro.graph import Joiner, SplitKind, Splitter, StreamGraph
+        from repro.errors import GraphError
+
+        g = StreamGraph("dead")
+        a = g.add_node(src(1, "a"))
+        j = g.add_node(Joiner([1, 2], "j"))
+        f = g.add_node(Filter("f", pop=3, push=3,
+                              work=lambda w: list(w[:3])))
+        s = g.add_node(Splitter(SplitKind.ROUND_ROBIN, [1, 2], "s"))
+        k = g.add_node(sink(1, "k"))
+        g.connect(a, j, dst_port=0)
+        g.connect(j, f)
+        g.connect(f, s)
+        g.connect(s, k, src_port=0)
+        # the joiner needs 2 loop tokens per firing but only 1 is
+        # enqueued: the loop can never start
+        g.connect(s, j, src_port=1, dst_port=1, initial_tokens=[0.0])
+        with pytest.raises(GraphError, match="deadlock"):
+            Interpreter(g).run(iterations=1)

@@ -1,0 +1,68 @@
+"""CLI tests (direct main() invocation, no subprocess)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Bitonic", "DES", "FMRadio", "MatrixMult"):
+            assert name in out
+
+
+class TestInfo:
+    def test_info_fft(self, capsys):
+        assert main(["info", "FFT"]) == 0
+        out = capsys.readouterr().out
+        assert "Fast Fourier Transform" in out
+        assert "steady iteration" in out
+        assert "critical path" in out
+
+    def test_unknown_benchmark_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["info", "Quake"])
+
+
+class TestRun:
+    def test_run_bitonic(self, capsys):
+        assert main(["run", "Bitonic", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "output:" in out
+        assert "firings" in out
+
+
+class TestDsl:
+    def test_dsl_file(self, tmp_path, capsys):
+        source = """
+        void->float filter S() { work push 1 { push(2.0); } }
+        float->void filter K() { work pop 1 { pop(); } }
+        void->void pipeline Main() { add S(); add K(); }
+        """
+        path = tmp_path / "prog.str"
+        path.write_text(source)
+        assert main(["dsl", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "StreamGraph" in out
+        assert "2.0" in out
+
+
+class TestCodegen:
+    def test_codegen_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.cu"
+        assert main(["codegen", "FFT", "--output", str(target)]) == 0
+        text = target.read_text()
+        assert "swp_kernel" in text
+        assert "POP_INDEX" in text

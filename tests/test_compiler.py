@@ -1,0 +1,164 @@
+"""Integration tests for the end-to-end compilation driver (Fig. 5)."""
+
+import pytest
+
+from repro.compiler import (
+    SCHEMES,
+    CompileOptions,
+    CompiledProgram,
+    compile_stream_program,
+)
+from repro.errors import SchedulingError
+from repro.graph import Filter, Pipeline, SplitJoin, flatten, indexed_source
+from repro.gpu import GEFORCE_8600_GTS
+
+from .helpers import sink
+
+
+def small_graph():
+    return flatten(Pipeline([
+        indexed_source("gen", push=2),
+        Filter("work", pop=1, push=1, work=lambda w: [w[0] * 2]),
+        Filter("fold", pop=2, push=1, work=lambda w: [w[0] + w[1]]),
+        sink(1, "out"),
+    ], name="small"), name="small")
+
+
+# A 4-SM device keeps the ILP tiny for fast tests.
+FAST = dict(device=GEFORCE_8600_GTS, macro_iterations=32)
+
+
+class TestOptions:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown scheme"):
+            CompileOptions(scheme="turbo")
+
+    def test_bad_coarsening_rejected(self):
+        with pytest.raises(SchedulingError):
+            CompileOptions(coarsening=0)
+
+    def test_serial_cannot_coarsen(self):
+        with pytest.raises(SchedulingError):
+            CompileOptions(scheme="serial", coarsening=8)
+
+    def test_scheme_names_match_paper(self):
+        assert SCHEMES == ("swp", "swpnc", "serial")
+
+
+class TestSwpCompilation:
+    def test_produces_valid_schedule(self):
+        compiled = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swp", **FAST))
+        assert isinstance(compiled, CompiledProgram)
+        compiled.schedule.validate()
+        assert compiled.speedup > 0
+        assert compiled.buffer_bytes > 0
+        assert compiled.search is not None
+
+    def test_coarsening_scales_ii(self):
+        base = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swp", coarsening=1,
+                                          **FAST))
+        coarse = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swp", coarsening=8,
+                                          **FAST))
+        assert coarse.schedule.ii == pytest.approx(8 * base.schedule.ii,
+                                                   rel=0.05)
+
+    def test_coarsening_improves_or_holds_speedup(self):
+        base = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swp", coarsening=1,
+                                          **FAST))
+        coarse = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swp", coarsening=8,
+                                          **FAST))
+        assert coarse.speedup >= base.speedup * 0.95
+
+    def test_gpu_and_cpu_times_positive(self):
+        compiled = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swp", **FAST))
+        assert compiled.gpu_seconds > 0
+        assert compiled.cpu_seconds > 0
+        assert compiled.speedup == pytest.approx(
+            compiled.cpu_seconds / compiled.gpu_seconds)
+
+
+class TestSwpncCompilation:
+    def test_not_coalesced(self):
+        compiled = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swpnc", **FAST))
+        assert not compiled.config.coalesced
+        assert all(b.layout == "natural" for b in compiled.buffers)
+
+    def test_slower_than_swp(self):
+        # Compare at SWP8 like the paper's Fig. 10 (at coarsening 1 the
+        # kernel-launch overhead dominates both schemes and masks the
+        # coalescing effect).
+        swp = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swp", coarsening=8,
+                                          **FAST))
+        swpnc = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swpnc", coarsening=8,
+                                          **FAST))
+        assert swpnc.speedup < swp.speedup
+
+    def test_peeking_filters_staged(self):
+        fir = Filter("fir", pop=1, push=1, peek=16,
+                     work=lambda w: [sum(w[:16])])
+        g = flatten(Pipeline([indexed_source("gen", push=1), fir,
+                              sink(1, "out")]))
+        compiled = compile_stream_program(
+            g, CompileOptions(scheme="swpnc", **FAST))
+        fir_node = next(n for n in g.nodes if n.name == "fir")
+        assert compiled.config.uses_shared_staging(fir_node)
+
+
+class TestSerialCompilation:
+    def test_produces_sas_plan(self):
+        swp = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swp", coarsening=8,
+                                          **FAST))
+        serial = compile_stream_program(
+            small_graph(), CompileOptions(scheme="serial", **FAST),
+            swp_buffer_budget=swp.buffer_bytes)
+        assert serial.sas_plan is not None
+        assert serial.schedule is None
+        assert serial.sas_plan.buffer_bytes <= max(swp.buffer_bytes,
+                                                   serial.sas_plan
+                                                   .buffer_bytes)
+
+    def test_reference_budget_computed_when_missing(self):
+        serial = compile_stream_program(
+            small_graph(), CompileOptions(scheme="serial", **FAST))
+        assert serial.sas_plan.rounds >= 1
+
+    def test_serial_pays_more_launches(self):
+        swp = compile_stream_program(
+            small_graph(), CompileOptions(scheme="swp", coarsening=8,
+                                          **FAST))
+        serial = compile_stream_program(
+            small_graph(), CompileOptions(scheme="serial", **FAST),
+            swp_buffer_budget=swp.buffer_bytes)
+        swp_launch_share = swp.gpu_result.launch_cycles \
+            / swp.gpu_result.total_cycles
+        serial_launch_share = serial.gpu_result.launch_cycles \
+            / serial.gpu_result.total_cycles
+        assert serial_launch_share > swp_launch_share
+
+
+class TestSplitJoinPrograms:
+    def test_splitjoin_compiles_all_schemes(self):
+        g = flatten(Pipeline([
+            indexed_source("gen", push=2),
+            SplitJoin([Filter("l", pop=1, push=1, work=lambda w: [w[0]]),
+                       Filter("r", pop=1, push=1, work=lambda w: [w[0]])],
+                      split=[1, 1], join=[1, 1]),
+            sink(2, "out"),
+        ]))
+        swp = compile_stream_program(
+            g, CompileOptions(scheme="swp", **FAST))
+        serial = compile_stream_program(
+            g, CompileOptions(scheme="serial", **FAST),
+            swp_buffer_budget=swp.buffer_bytes)
+        assert swp.speedup > 0
+        assert serial.speedup > 0

@@ -1,0 +1,70 @@
+"""Sanity tests for the bundled examples (import + cheap pieces).
+
+The examples run full compilations (tens of seconds each); the test
+suite exercises their importability and their graph-building pieces,
+while the heavy `main()` paths are covered by running the scripts
+directly (documented in the README).
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+EXAMPLES = [
+    "quickstart",
+    "fm_radio_pipeline",
+    "custom_dsl_program",
+    "profiling_study",
+    "scheduling_visualizer",
+]
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_imports_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+    def test_quickstart_graph_builds(self):
+        module = load_example("quickstart")
+        graph = module.build_program()
+        assert graph.num_peeking_filters == 1
+        from repro.runtime import run_reference
+        outputs = run_reference(graph, iterations=2)
+        assert outputs[graph.sinks[0].uid]
+
+    def test_dsl_example_source_compiles(self):
+        module = load_example("custom_dsl_program")
+        from repro.lang import build_graph
+        graph = build_graph(module.SOURCE)
+        assert graph.num_peeking_filters >= 1
+
+    def test_visualizer_render(self):
+        module = load_example("scheduling_visualizer")
+        from repro.core import configure_program, search_ii, uniform_config
+        from repro.graph import Filter, Pipeline, flatten, indexed_source
+        from tests.helpers import sink
+
+        g = flatten(Pipeline([
+            indexed_source("gen", push=1),
+            Filter("a", pop=1, push=1, work=lambda w: [w[0]]),
+            sink(1, "out"),
+        ]))
+        program = configure_program(g, uniform_config(g, threads=2), 2)
+        schedule = search_ii(program.problem).schedule
+        text = module.render(schedule, program.problem.names)
+        assert "SM" in text
+        assert "% busy" in text
