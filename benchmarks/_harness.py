@@ -10,10 +10,11 @@ EXPERIMENTS.md verbatim.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import os
-from typing import Optional
 
+from repro import obs
 from repro.apps import all_benchmarks, benchmark_by_name
 from repro.compiler import (
     CompileOptions,
@@ -42,38 +43,69 @@ _swpnc: dict[str, CompiledProgram] = {}
 _serial: dict[str, CompiledProgram] = {}
 
 
+#: Set REPRO_BENCH_STATS=1 (or pass collect_stats=True) to compile the
+#: cached rows with the observability layer on; each CompiledProgram
+#: then carries its counter-snapshot delta in ``.stats``.
+COLLECT_STATS = os.environ.get("REPRO_BENCH_STATS", "") not in ("", "0")
+
+
+@contextlib.contextmanager
+def _observability(collect: bool):
+    """Enable repro.obs around one cached compile, restoring the prior
+    enabled state afterwards (so opting in per-call cannot leak)."""
+    if not collect:
+        yield
+        return
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    try:
+        yield
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+
 def benchmark_names() -> list[str]:
     return [info.name for info in all_benchmarks()]
 
 
-def swp_sweep(name: str) -> dict[int, CompiledProgram]:
+def swp_sweep(name: str,
+              collect_stats: bool = COLLECT_STATS
+              ) -> dict[int, CompiledProgram]:
     """SWP results for all coarsening factors (one ILP solve)."""
     if name not in _swp_sweeps:
         graph = benchmark_by_name(name).build()
         options = CompileOptions(scheme="swp", **_options_base)
-        _swp_sweeps[name] = compile_swp_sweep(graph, options, COARSENINGS)
+        with _observability(collect_stats):
+            _swp_sweeps[name] = compile_swp_sweep(graph, options,
+                                                  COARSENINGS)
     return _swp_sweeps[name]
 
 
-def swp8(name: str) -> CompiledProgram:
-    return swp_sweep(name)[8]
+def swp8(name: str, collect_stats: bool = COLLECT_STATS) -> CompiledProgram:
+    return swp_sweep(name, collect_stats=collect_stats)[8]
 
 
-def swpnc8(name: str) -> CompiledProgram:
+def swpnc8(name: str,
+           collect_stats: bool = COLLECT_STATS) -> CompiledProgram:
     if name not in _swpnc:
         graph = benchmark_by_name(name).build()
         options = CompileOptions(scheme="swpnc", coarsening=8,
                                  **_options_base)
-        _swpnc[name] = compile_stream_program(graph, options)
+        with _observability(collect_stats):
+            _swpnc[name] = compile_stream_program(graph, options)
     return _swpnc[name]
 
 
-def serial(name: str) -> CompiledProgram:
+def serial(name: str,
+           collect_stats: bool = COLLECT_STATS) -> CompiledProgram:
     if name not in _serial:
         graph = benchmark_by_name(name).build()
         options = CompileOptions(scheme="serial", **_options_base)
-        _serial[name] = compile_stream_program(
-            graph, options, swp_buffer_budget=swp8(name).buffer_bytes)
+        budget = swp8(name, collect_stats=collect_stats).buffer_bytes
+        with _observability(collect_stats):
+            _serial[name] = compile_stream_program(
+                graph, options, swp_buffer_budget=budget)
     return _serial[name]
 
 

@@ -8,7 +8,6 @@ stateless variant of the same chain (the IIR replaced by an equivalent-
 work FIR), showing the II inflation the state chain forces.
 """
 
-import pytest
 
 from repro.core import configure_program, search_ii, uniform_config
 from repro.core.mii import res_mii

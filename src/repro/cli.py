@@ -6,9 +6,18 @@ Usage::
     python -m repro info FMRadio
     python -m repro run FMRadio --iterations 2
     python -m repro compile FMRadio --scheme swp --coarsening 8
+    python -m repro compile FMRadio --trace out.json --stats
     python -m repro compare DCT
+    python -m repro stats DCT --scheme swpnc
     python -m repro codegen FFT --output fft.cu
     python -m repro dsl program.str --root Main
+
+``--trace FILE`` writes a Chrome trace-event JSON (load it in
+``chrome://tracing`` or https://ui.perfetto.dev) covering the compile
+phases; ``--stats`` prints the phase/counter summary after the normal
+output.  ``stats`` is the counter-first view: it compiles one benchmark
+with the observability layer on and prints per-SM cycle, bus
+transaction, stall and solver telemetry.
 """
 
 from __future__ import annotations
@@ -17,13 +26,13 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from . import obs
 from .apps import all_benchmarks, benchmark_by_name
 from .compiler import CompileOptions, compile_stream_program
 from .gpu.device import (
     GEFORCE_8600_GTS,
     GEFORCE_8800_GTS_512,
     GEFORCE_8800_GTX,
-    DeviceConfig,
 )
 from .runtime import Interpreter
 
@@ -41,6 +50,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Observability flags shared by the compiling subcommands.
+    observe = argparse.ArgumentParser(add_help=False)
+    observe.add_argument("--trace", metavar="FILE", default=None,
+                         help="write a Chrome trace-event JSON of the "
+                              "compile phases to FILE")
+    observe.add_argument("--stats", action="store_true",
+                         help="print the observability summary "
+                              "(phases + counters) after the output")
+
     sub.add_parser("list", help="list the benchmark suite")
 
     info = sub.add_parser("info", help="describe one benchmark's graph")
@@ -53,8 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--show", type=int, default=8,
                      help="output tokens to print")
 
-    comp = sub.add_parser("compile", help="compile one benchmark under "
-                                          "one scheme")
+    comp = sub.add_parser("compile", parents=[observe],
+                          help="compile one benchmark under one scheme")
     comp.add_argument("benchmark")
     comp.add_argument("--scheme", choices=("swp", "swpnc", "serial"),
                       default="swp")
@@ -64,10 +82,23 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--budget", type=float, default=10.0,
                       help="seconds per ILP attempt")
 
-    compare = sub.add_parser("compare", help="compare all three schemes "
-                                             "(one Fig. 10 row)")
+    compare = sub.add_parser("compare", parents=[observe],
+                             help="compare all three schemes "
+                                  "(one Fig. 10 row)")
     compare.add_argument("benchmark")
     compare.add_argument("--budget", type=float, default=10.0)
+
+    stats = sub.add_parser("stats", parents=[observe],
+                           help="compile one benchmark with full "
+                                "observability and print its counters")
+    stats.add_argument("benchmark")
+    stats.add_argument("--scheme", choices=("swp", "swpnc", "serial"),
+                       default="swp")
+    stats.add_argument("--coarsening", type=int, default=8)
+    stats.add_argument("--device", choices=sorted(DEVICES),
+                       default="8800gts512")
+    stats.add_argument("--budget", type=float, default=10.0,
+                       help="seconds per ILP attempt")
 
     codegen = sub.add_parser("codegen", help="emit CUDA sources for a "
                                              "compiled benchmark")
@@ -100,6 +131,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compile(args)
     if command == "compare":
         return _cmd_compare(args)
+    if command == "stats":
+        return _cmd_stats(args)
     if command == "codegen":
         return _cmd_codegen(args)
     if command == "dsl":
@@ -139,6 +172,23 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _wants_observability(args) -> bool:
+    return bool(getattr(args, "trace", None)) \
+        or bool(getattr(args, "stats", False))
+
+
+def _emit_observability(args) -> None:
+    """Write/print the requested exports, then switch the layer off."""
+    if getattr(args, "trace", None):
+        obs.write_chrome_trace(args.trace)
+        print(f"wrote Chrome trace to {args.trace} "
+              f"(load in chrome://tracing)")
+    if getattr(args, "stats", False):
+        print()
+        print(obs.summary())
+    obs.disable()
+
+
 def _cmd_compile(args) -> int:
     _info, graph = _load_graph(args.benchmark)
     options = CompileOptions(scheme=args.scheme,
@@ -146,6 +196,8 @@ def _cmd_compile(args) -> int:
                                          else args.coarsening),
                              device=DEVICES[args.device],
                              attempt_budget_seconds=args.budget)
+    if _wants_observability(args):
+        obs.enable(reset=True)
     compiled = compile_stream_program(graph, options)
     print(f"scheme={args.scheme} device={options.device.name}")
     if compiled.schedule is not None:
@@ -157,11 +209,14 @@ def _cmd_compile(args) -> int:
               f"x {compiled.sas_plan.rounds} iterations")
     print(f"buffers: {compiled.buffer_bytes:,} bytes")
     print(f"speedup over 1-thread CPU: {compiled.speedup:.2f}x")
+    _emit_observability(args)
     return 0
 
 
 def _cmd_compare(args) -> int:
     _info, graph = _load_graph(args.benchmark)
+    if _wants_observability(args):
+        obs.enable(reset=True)
     base = dict(attempt_budget_seconds=args.budget)
     swp = compile_stream_program(
         graph, CompileOptions(scheme="swp", coarsening=8, **base))
@@ -174,6 +229,32 @@ def _cmd_compare(args) -> int:
     print(f"{'SWPNC':<8} {swpnc.speedup:>8.2f}")
     print(f"{'Serial':<8} {serial.speedup:>8.2f}")
     print(f"{'SWP8':<8} {swp.speedup:>8.2f}")
+    _emit_observability(args)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Compile with the observability layer on; print the summary."""
+    _info, graph = _load_graph(args.benchmark)
+    options = CompileOptions(scheme=args.scheme,
+                             coarsening=(1 if args.scheme == "serial"
+                                         else args.coarsening),
+                             device=DEVICES[args.device],
+                             attempt_budget_seconds=args.budget)
+    obs.enable(reset=True)
+    compiled = compile_stream_program(graph, options)
+    print(f"{args.benchmark}: scheme={args.scheme} "
+          f"device={options.device.name} "
+          f"speedup={compiled.speedup:.2f}x")
+    if compiled.search is not None:
+        search = compiled.search
+        print(f"II search: {len(search.attempts)} attempt(s), "
+              f"{search.solver_nodes} solver node(s), "
+              f"{100 * search.relaxation:.2f}% relaxation, "
+              f"{search.total_seconds:.1f} s")
+    print()
+    print(obs.summary())
+    _emit_observability(args)
     return 0
 
 

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from . import obs
 from .core.buffers import (
     ChannelBuffer,
     analytic_channel_footprints,
@@ -70,6 +71,21 @@ class CompileOptions:
         if self.scheme == "serial" and self.coarsening != 1:
             raise SchedulingError(
                 "coarsening applies to software-pipelined schemes only")
+        if self.attempt_budget_seconds <= 0:
+            raise SchedulingError(
+                f"attempt_budget_seconds must be positive, got "
+                f"{self.attempt_budget_seconds!r} (the paper allots each "
+                f"ILP attempt a 20-second budget)")
+        if self.relaxation_step <= 0:
+            raise SchedulingError(
+                f"relaxation_step must be positive, got "
+                f"{self.relaxation_step!r} (the paper relaxes the II by "
+                f"0.5% per failed attempt)")
+        if self.macro_iterations < 1:
+            raise SchedulingError(
+                f"macro_iterations must be >= 1, got "
+                f"{self.macro_iterations!r} (at least one timed steady "
+                f"iteration is required)")
 
 
 @dataclass
@@ -87,6 +103,9 @@ class CompiledProgram:
     gpu_result: RunResult
     gpu_seconds: float
     cpu_seconds: float
+    #: Metric-snapshot delta for this compile (populated only while the
+    #: observability layer is enabled; see repro.obs).
+    stats: Optional[dict] = None
 
     @property
     def speedup(self) -> float:
@@ -107,8 +126,27 @@ def compile_stream_program(graph: StreamGraph,
 
     ``swp_buffer_budget`` (bytes) feeds the Serial scheme's fairness
     rule; when omitted, a reference SWP8 compile supplies it.
+
+    While the observability layer is on (``repro.obs.enable()``), each
+    of the six phases — profile, config-select, II-search/SAS, coarsen,
+    buffers, simulate — runs under a tracer span, and the returned
+    program's ``stats`` carries the metric delta of this compile.
     """
     options = options or CompileOptions()
+    collect = obs.is_enabled()
+    before = obs.metrics_snapshot() if collect else None
+    with obs.span("compile", scheme=options.scheme,
+                  coarsening=options.coarsening,
+                  device=options.device.name):
+        compiled = _compile(graph, options, swp_buffer_budget)
+    if collect:
+        compiled.stats = obs.diff_snapshots(before,
+                                            obs.metrics_snapshot())
+    return compiled
+
+
+def _compile(graph: StreamGraph, options: CompileOptions,
+             swp_buffer_budget: Optional[int]) -> CompiledProgram:
     device = options.device
     graph.validate()
 
@@ -117,12 +155,18 @@ def compile_stream_program(graph: StreamGraph,
     if options.scheme == "swpnc":
         staging = shared_staging_candidates(graph, device)
 
-    profile = profile_graph(graph, device, numfirings=options.numfirings,
-                            coalesced=coalesced,
-                            shared_staging=staging if staging else None)
-    selection = select_configuration(graph, profile, coalesced=coalesced,
-                                     shared_staging=staging)
-    program = configure_program(graph, selection.config, device.num_sms)
+    with obs.span("profile", coalesced=coalesced,
+                  staged_nodes=sum(1 for v in staging.values() if v)):
+        profile = profile_graph(
+            graph, device, numfirings=options.numfirings,
+            coalesced=coalesced,
+            shared_staging=staging if staging else None)
+    with obs.span("config_select"):
+        selection = select_configuration(graph, profile,
+                                         coalesced=coalesced,
+                                         shared_staging=staging)
+        program = configure_program(graph, selection.config,
+                                    device.num_sms)
 
     if options.scheme == "serial":
         return _compile_serial(graph, options, program, swp_buffer_budget)
@@ -132,10 +176,11 @@ def compile_stream_program(graph: StreamGraph,
 # ----------------------------------------------------------------------
 def _compile_swp(graph: StreamGraph, options: CompileOptions,
                  program: ConfiguredProgram) -> CompiledProgram:
-    search = search_ii(
-        program.problem, backend=options.ilp_backend,
-        attempt_budget_seconds=options.attempt_budget_seconds,
-        relaxation_step=options.relaxation_step)
+    with obs.span("ii_search", backend=options.ilp_backend):
+        search = search_ii(
+            program.problem, backend=options.ilp_backend,
+            attempt_budget_seconds=options.attempt_budget_seconds,
+            relaxation_step=options.relaxation_step)
     return _finalize_swp(graph, options, program, search)
 
 
@@ -145,14 +190,16 @@ def _finalize_swp(graph: StreamGraph, options: CompileOptions,
     """Everything after the ILP: coarsen, size buffers, simulate."""
     device = options.device
     base_schedule = search.schedule
-    schedule = coarsen_schedule(base_schedule, options.coarsening)
+    with obs.span("coarsen", factor=options.coarsening):
+        schedule = coarsen_schedule(base_schedule, options.coarsening)
 
-    footprints = analytic_channel_footprints(base_schedule,
-                                             program.problem)
-    buffers = swp_buffer_requirements(
-        program.problem.edges, program.problem.names, footprints,
-        device, coarsening=options.coarsening,
-        coalesced=program.config.coalesced)
+    with obs.span("buffers"):
+        footprints = analytic_channel_footprints(base_schedule,
+                                                 program.problem)
+        buffers = swp_buffer_requirements(
+            program.problem.edges, program.problem.names, footprints,
+            device, coarsening=options.coarsening,
+            coalesced=program.config.coalesced)
 
     kernel = swp_kernel(program, schedule, options)
     simulator = GpuSimulator(device)
@@ -161,9 +208,11 @@ def _finalize_swp(graph: StreamGraph, options: CompileOptions,
     # invocations) is amortized away.  Simulate one invocation and
     # scale: each invocation covers `coarsening` steady iterations.
     invocations = math.ceil(options.macro_iterations / options.coarsening)
-    gpu_result = simulator.simulate_run([kernel], invocations=invocations)
-    gpu_seconds = gpu_result.seconds(device)
-    cpu_seconds = _cpu_baseline_seconds(graph, program, options)
+    with obs.span("simulate", invocations=invocations):
+        gpu_result = simulator.simulate_run([kernel],
+                                            invocations=invocations)
+        gpu_seconds = gpu_result.seconds(device)
+        cpu_seconds = _cpu_baseline_seconds(graph, program, options)
 
     return CompiledProgram(
         graph=graph, options=options, config=program.config,
@@ -189,23 +238,36 @@ def compile_swp_sweep(graph: StreamGraph, options: CompileOptions | None,
     staging = {}
     if options.scheme == "swpnc":
         staging = shared_staging_candidates(graph, options.device)
-    profile = profile_graph(graph, options.device,
-                            numfirings=options.numfirings,
-                            coalesced=coalesced,
-                            shared_staging=staging if staging else None)
-    selection = select_configuration(graph, profile, coalesced=coalesced,
-                                     shared_staging=staging)
-    program = configure_program(graph, selection.config,
-                                options.device.num_sms)
-    search = search_ii(
-        program.problem, backend=options.ilp_backend,
-        attempt_budget_seconds=options.attempt_budget_seconds,
-        relaxation_step=options.relaxation_step)
+    with obs.span("profile", coalesced=coalesced):
+        profile = profile_graph(
+            graph, options.device, numfirings=options.numfirings,
+            coalesced=coalesced,
+            shared_staging=staging if staging else None)
+    with obs.span("config_select"):
+        selection = select_configuration(graph, profile,
+                                         coalesced=coalesced,
+                                         shared_staging=staging)
+        program = configure_program(graph, selection.config,
+                                    options.device.num_sms)
+    with obs.span("ii_search", backend=options.ilp_backend):
+        search = search_ii(
+            program.problem, backend=options.ilp_backend,
+            attempt_budget_seconds=options.attempt_budget_seconds,
+            relaxation_step=options.relaxation_step)
 
+    collect = obs.is_enabled()
     results = {}
     for factor in factors:
         variant = replace_options(options, coarsening=factor)
-        results[factor] = _finalize_swp(graph, variant, program, search)
+        before = obs.metrics_snapshot() if collect else None
+        with obs.span("finalize", coarsening=factor):
+            results[factor] = _finalize_swp(graph, variant, program,
+                                            search)
+        if collect:
+            # Per-factor delta only; the shared profile + II search
+            # happened once, before the sweep loop.
+            results[factor].stats = obs.diff_snapshots(
+                before, obs.metrics_snapshot())
     return results
 
 
@@ -258,23 +320,26 @@ def _compile_serial(graph: StreamGraph, options: CompileOptions,
                                   numfirings=options.numfirings))
         swp_buffer_budget = reference.buffer_bytes
 
-    plan = build_sas_schedule(program, device,
-                              buffer_budget_bytes=swp_buffer_budget)
-    gpu_result = simulate_sas(plan, device, options.macro_iterations)
-    gpu_seconds = gpu_result.seconds(device)
-    cpu_seconds = _cpu_baseline_seconds(graph, program, options)
-
-    from .core.buffers import CLUSTER, ChannelBuffer
-    buffers = []
-    for edge in program.problem.edges:
-        per_iter = program.problem.firings[edge.src] * edge.production
-        tokens = edge.initial_tokens + per_iter * plan.rounds
-        padded = math.ceil(max(1, tokens) / CLUSTER) * CLUSTER
-        buffers.append(ChannelBuffer(
-            name=f"{program.problem.names[edge.src]}->"
-                 f"{program.problem.names[edge.dst]}",
-            tokens=padded, bytes=padded * device.token_bytes,
-            layout="shuffled"))
+    with obs.span("sas"):
+        plan = build_sas_schedule(program, device,
+                                  buffer_budget_bytes=swp_buffer_budget)
+    with obs.span("buffers"):
+        from .core.buffers import CLUSTER, ChannelBuffer
+        buffers = []
+        for edge in program.problem.edges:
+            per_iter = (program.problem.firings[edge.src]
+                        * edge.production)
+            tokens = edge.initial_tokens + per_iter * plan.rounds
+            padded = math.ceil(max(1, tokens) / CLUSTER) * CLUSTER
+            buffers.append(ChannelBuffer(
+                name=f"{program.problem.names[edge.src]}->"
+                     f"{program.problem.names[edge.dst]}",
+                tokens=padded, bytes=padded * device.token_bytes,
+                layout="shuffled"))
+    with obs.span("simulate", rounds=plan.rounds):
+        gpu_result = simulate_sas(plan, device, options.macro_iterations)
+        gpu_seconds = gpu_result.seconds(device)
+        cpu_seconds = _cpu_baseline_seconds(graph, program, options)
 
     return CompiledProgram(
         graph=graph, options=options, config=program.config,

@@ -18,8 +18,9 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..errors import SchedulingError
-from .ilp_formulation import solve_at_ii
+from .ilp_formulation import attempt_at_ii
 from .mii import compute_mii
 from .problem import ScheduleProblem
 from .schedule import Schedule
@@ -27,11 +28,19 @@ from .schedule import Schedule
 
 @dataclass(frozen=True)
 class Attempt:
-    """One ILP attempt in the search."""
+    """One ILP attempt in the search.
+
+    ``relaxation`` is the fraction this attempt's II sits above the
+    search's lower bound; ``nodes`` is the branch-and-bound node count
+    the solver reported for the attempt (0 when the model was trivially
+    infeasible and never reached a solver).
+    """
 
     ii: float
     feasible: bool
     seconds: float
+    relaxation: float = 0.0
+    nodes: int = 0
 
 
 @dataclass
@@ -49,6 +58,11 @@ class IISearchResult:
         if self.mii == 0:
             return 0.0
         return self.schedule.ii / self.mii - 1.0
+
+    @property
+    def solver_nodes(self) -> int:
+        """Total branch-and-bound nodes across every attempt."""
+        return sum(attempt.nodes for attempt in self.attempts)
 
 
 def search_ii(problem: ScheduleProblem, *,
@@ -80,17 +94,31 @@ def search_ii(problem: ScheduleProblem, *,
     ii = lower
     step = relaxation_step
     consecutive_failures = 0
+    telemetry = obs.is_enabled()
     for _ in range(max_attempts):
         attempt_start = time.perf_counter()
-        schedule = solve_at_ii(problem, ii, backend=backend,
-                               time_limit=attempt_budget_seconds)
+        with obs.span("ilp_attempt", ii=round(ii, 2), backend=backend):
+            schedule, solution = attempt_at_ii(
+                problem, ii, backend=backend,
+                time_limit=attempt_budget_seconds)
         seconds = time.perf_counter() - attempt_start
+        nodes = solution.nodes if solution is not None else 0
+        relaxation = (ii / lower - 1.0) if lower else 0.0
         attempts.append(Attempt(ii=ii, feasible=schedule is not None,
-                                seconds=seconds))
+                                seconds=seconds, relaxation=relaxation,
+                                nodes=nodes))
+        if telemetry:
+            obs.counter("ii_search.attempts").add(1)
+            obs.counter("ii_search.solver_nodes").add(nodes)
+            obs.histogram("ii_search.attempt_seconds").record(seconds)
         if schedule is not None:
-            schedule.relaxation = (ii / lower - 1.0) if lower else 0.0
+            schedule.relaxation = relaxation
             schedule.attempts = len(attempts)
             total = time.perf_counter() - started
+            if telemetry:
+                obs.gauge("ii_search.final_ii").set(schedule.ii)
+                obs.gauge("ii_search.relaxation").set(relaxation)
+                obs.gauge("ii_search.mii").set(report.lower_bound)
             return IISearchResult(schedule=schedule,
                                   mii=report.lower_bound,
                                   attempts=attempts, total_seconds=total)

@@ -199,18 +199,22 @@ def extract_schedule(problem: ScheduleProblem, ii: float,
     return schedule.compact_stages()
 
 
-def solve_at_ii(problem: ScheduleProblem, ii: float, *,
-                backend: str = "highs",
-                time_limit: Optional[float] = None) -> Optional[Schedule]:
-    """One ILP attempt at a fixed II.
+def attempt_at_ii(problem: ScheduleProblem, ii: float, *,
+                  backend: str = "highs",
+                  time_limit: Optional[float] = None
+                  ) -> tuple[Optional[Schedule], Optional[Solution]]:
+    """One ILP attempt at a fixed II, keeping the solver diagnostics.
 
-    Returns the validated schedule, or None when the model is
-    infeasible at this II or the solver ran out of time.
+    Returns ``(schedule, solution)``: the schedule is None when the
+    model is infeasible at this II or the solver ran out of time; the
+    solution is None only when the model could not even be built (a
+    filter delay exceeds the II).  The II search reads node counts and
+    solve times off the solution for its per-attempt telemetry.
     """
     try:
         model, variables = build_model(problem, ii)
     except SchedulingError:
-        return None  # a delay exceeds the II: trivially infeasible
+        return None, None  # a delay exceeds the II: trivially infeasible
     gap = 3.0 if backend == "highs" else None
     if gap is None:
         solution = model.solve(backend=backend, time_limit=time_limit)
@@ -220,5 +224,18 @@ def solve_at_ii(problem: ScheduleProblem, ii: float, *,
         solution = model.solve(backend=backend, time_limit=time_limit,
                                mip_rel_gap=gap)
     if not solution.status.has_solution:
-        return None
-    return extract_schedule(problem, ii, solution, variables)
+        return None, solution
+    return extract_schedule(problem, ii, solution, variables), solution
+
+
+def solve_at_ii(problem: ScheduleProblem, ii: float, *,
+                backend: str = "highs",
+                time_limit: Optional[float] = None) -> Optional[Schedule]:
+    """One ILP attempt at a fixed II.
+
+    Returns the validated schedule, or None when the model is
+    infeasible at this II or the solver ran out of time.
+    """
+    schedule, _solution = attempt_at_ii(problem, ii, backend=backend,
+                                        time_limit=time_limit)
+    return schedule

@@ -69,6 +69,7 @@ class BusResult:
     total_cycles: float
     bus_busy_cycles: float           # time with >= 1 active memory phase
     contended_cycles: float          # time with >= 2 SMs sharing the bus
+    per_sm_mem_wait: tuple[float, ...] = ()  # per-SM memory-phase time
 
     @property
     def contention_fraction(self) -> float:
@@ -79,7 +80,7 @@ class BusResult:
 
 class _SmState:
     __slots__ = ("queue", "index", "rep", "phase", "phase_end",
-                 "remaining_bytes", "finish")
+                 "remaining_bytes", "finish", "mem_wait")
 
     def __init__(self, queue: Sequence[BusItem]) -> None:
         self.queue = queue
@@ -89,6 +90,7 @@ class _SmState:
         self.phase_end = 0.0
         self.remaining_bytes = 0.0
         self.finish = 0.0
+        self.mem_wait = 0.0   # cycles spent waiting on the shared bus
 
     def start_next(self, now: float) -> None:
         """Enter the compute phase of the next (item, repetition)."""
@@ -173,6 +175,7 @@ def simulate_shared_bus(per_sm_items: Sequence[Sequence[BusItem]],
             share = bandwidth / len(memory)
             for sm in memory:
                 sm.remaining_bytes -= share * dt
+                sm.mem_wait += dt
         now += dt
 
         for sm in sms:
@@ -188,4 +191,5 @@ def simulate_shared_bus(per_sm_items: Sequence[Sequence[BusItem]],
     return BusResult(finish_times=finish,
                      total_cycles=max(finish) if finish else 0.0,
                      bus_busy_cycles=busy,
-                     contended_cycles=contended)
+                     contended_cycles=contended,
+                     per_sm_mem_wait=tuple(sm.mem_wait for sm in sms))

@@ -40,6 +40,24 @@ class CoalescingReport:
         return useful / self.bytes_moved if self.bytes_moved else 1.0
 
 
+def transaction_split(*reports: CoalescingReport) -> tuple[int, int]:
+    """``(coalesced, uncoalesced)`` transaction totals across reports.
+
+    Feeds the simulator's bus-transaction counters: a report whose
+    accesses all coalesced contributes to the first bucket, anything
+    else to the second (on G80 a partially-coalesced pattern is
+    serviced one transaction per thread, i.e. uncoalesced).
+    """
+    coalesced = 0
+    uncoalesced = 0
+    for report in reports:
+        if report.coalesced:
+            coalesced += report.transactions
+        else:
+            uncoalesced += report.transactions
+    return coalesced, uncoalesced
+
+
 def analyze_half_warp(addresses: Sequence[int],
                       device: DeviceConfig) -> CoalescingReport:
     """Classify one half-warp's simultaneous word accesses.

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from .. import obs
 from ..errors import SimulationError
 from ..graph.nodes import WorkEstimate
 from .bus import BusItem, simulate_shared_bus
@@ -145,6 +146,7 @@ class GpuSimulator:
             return KernelResult(kernel.name, 0.0,
                                 tuple(0.0 for _ in kernel.sm_programs),
                                 0, False)
+        telemetry = obs.is_enabled()
         per_sm_items: list[list[BusItem]] = []
         total_bytes = 0
         for program in kernel.sm_programs:
@@ -165,16 +167,49 @@ class GpuSimulator:
                     label=item.stream_label or item.name,
                     scatter_streams=item.scatter_streams))
                 total_bytes += timing.bytes_moved * item.repeat
+                if telemetry:
+                    self._record_item(item, timing)
             per_sm_items.append(items)
         result = simulate_shared_bus(
             per_sm_items, self.device.mem_bandwidth_bytes_per_cycle)
         bandwidth_floor = total_bytes \
             / self.device.mem_bandwidth_bytes_per_cycle
+        if telemetry:
+            self._record_kernel(kernel, result, total_bytes)
         return KernelResult(
             kernel.name, result.total_cycles, result.finish_times,
             total_bytes,
             bandwidth_bound=bandwidth_floor >= 0.5 * result.total_cycles,
             contention_fraction=result.contention_fraction)
+
+    # ------------------------------------------------------------------
+    # observability accumulation (only reached while obs is enabled)
+    # ------------------------------------------------------------------
+    def _record_item(self, item: FilterWork, timing: FilterTiming) -> None:
+        """Per-filter counters for one work item of one invocation."""
+        label = item.stream_label or item.name
+        obs.counter("gpu.bus.transactions", kind="coalesced") \
+            .add(timing.coalesced_transactions * item.repeat)
+        obs.counter("gpu.bus.transactions", kind="uncoalesced") \
+            .add(timing.uncoalesced_transactions * item.repeat)
+        obs.counter("gpu.filter.cycles", filter=label) \
+            .add(timing.cycles * item.repeat)
+        obs.counter("gpu.filter.bytes", filter=label) \
+            .add(timing.bytes_moved * item.repeat)
+        obs.histogram("gpu.occupancy.active_warps") \
+            .record(timing.occupancy.active_warps)
+
+    def _record_kernel(self, kernel: Kernel, result, total_bytes) -> None:
+        """Per-SM counters for one simulated kernel invocation."""
+        obs.counter("gpu.kernels.simulated").add(1)
+        obs.counter("gpu.bus.bytes").add(total_bytes)
+        obs.counter("gpu.bus.busy_cycles").add(result.bus_busy_cycles)
+        obs.counter("gpu.bus.contended_cycles") \
+            .add(result.contended_cycles)
+        for sm, cycles in enumerate(result.finish_times):
+            obs.counter("gpu.sm.cycles", sm=sm).add(cycles)
+        for sm, wait in enumerate(result.per_sm_mem_wait):
+            obs.counter("gpu.sm.stall_cycles", sm=sm).add(wait)
 
     def _time_item(self, item: FilterWork, share: float) -> FilterTiming:
         return estimate_filter_cycles(
@@ -201,6 +236,11 @@ class GpuSimulator:
             per_round += self.simulate_kernel(kernel).cycles
         launch_per_round = len(kernels) * self.device.kernel_launch_cycles
         total = invocations * (per_round + launch_per_round)
+        if obs.is_enabled():
+            obs.counter("gpu.launches").add(invocations * len(kernels))
+            obs.counter("gpu.launch_cycles") \
+                .add(invocations * launch_per_round)
+            obs.counter("gpu.run.cycles").add(total)
         return RunResult(total_cycles=total,
                          kernel_cycles=invocations * per_round,
                          launch_cycles=invocations * launch_per_round,

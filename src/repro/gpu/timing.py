@@ -27,13 +27,17 @@ from dataclasses import dataclass
 from ..errors import SimulationError
 from ..graph.nodes import WorkEstimate
 from .device import DeviceConfig
-from .memory import transactions_for_filter_access
+from .memory import transaction_split, transactions_for_filter_access
 from .occupancy import Occupancy, compute_occupancy, spill_registers
 
 
 @dataclass(frozen=True)
 class FilterTiming:
-    """Cycle breakdown for one filter execution on one SM."""
+    """Cycle breakdown for one filter execution on one SM.
+
+    ``coalesced_transactions`` / ``uncoalesced_transactions`` split the
+    global-memory traffic by coalescing outcome (the counter pair the
+    observability layer aggregates per kernel)."""
 
     cycles: float
     compute_cycles: float
@@ -41,6 +45,8 @@ class FilterTiming:
     latency_cycles: float
     bytes_moved: int
     occupancy: Occupancy
+    coalesced_transactions: int = 0
+    uncoalesced_transactions: int = 0
 
     @property
     def bound(self) -> str:
@@ -117,6 +123,7 @@ def estimate_filter_cycles(estimate: WorkEstimate, threads: int,
         unique_out = threads * stores
         segments = math.ceil(unique_in / device.half_warp) \
             + math.ceil(unique_out / device.half_warp)
+        coalesced_tx, uncoalesced_tx = segments, 0
         in_bytes = segments * device.coalesced_segment_bytes
         out_bytes = 0
         global_accesses_per_thread = estimate.fresh_loads + stores
@@ -132,6 +139,8 @@ def estimate_filter_cycles(estimate: WorkEstimate, threads: int,
             loads, threads, device, coalesced_layout=coalesced)
         report_out = transactions_for_filter_access(
             stores, threads, device, coalesced_layout=coalesced)
+        coalesced_tx, uncoalesced_tx = transaction_split(report_in,
+                                                         report_out)
         in_bytes = report_in.bytes_moved
         if coalesced and estimate.window_overlap > 0 and loads > 0:
             # Peeking filters re-read bytes their neighbour threads just
@@ -169,7 +178,9 @@ def estimate_filter_cycles(estimate: WorkEstimate, threads: int,
     cycles = max(compute_cycles, memory_cycles, latency_cycles) \
         + device.firing_overhead_cycles
     return FilterTiming(cycles, compute_cycles, memory_cycles,
-                        latency_cycles, bytes_moved, occupancy)
+                        latency_cycles, bytes_moved, occupancy,
+                        coalesced_transactions=coalesced_tx,
+                        uncoalesced_transactions=uncoalesced_tx)
 
 
 def cpu_reference_cycles(estimate: WorkEstimate, firings: int,

@@ -353,7 +353,6 @@ class Splitter(Node):
 
     @property
     def estimate(self) -> WorkEstimate:
-        moved = self.pop_rate(0) + sum(self.weights)
         return WorkEstimate(compute_ops=0, loads=self.pop_rate(0),
                             stores=sum(self.weights), registers=6)
 

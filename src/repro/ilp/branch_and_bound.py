@@ -40,7 +40,6 @@ class _Node:
 def solve_branch_and_bound(model: Model,
                            time_limit: Optional[float] = None) -> Solution:
     c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_matrix_form()
-    n = len(model.variables)
     started = time.perf_counter()
     deadline = None if time_limit is None else started + time_limit
 
@@ -51,14 +50,18 @@ def solve_branch_and_bound(model: Model,
     best_x: Optional[np.ndarray] = None
     best_obj = math.inf
     timed_out = False
+    explored = 0           # LP relaxations solved (root + tree nodes)
 
     root_relax = _solve_lp(c, a_ub, b_ub, a_eq, b_eq, root_lower, root_upper)
+    explored += 1
     if root_relax is None:
         return Solution(SolveStatus.INFEASIBLE,
-                        solve_seconds=time.perf_counter() - started)
+                        solve_seconds=time.perf_counter() - started,
+                        nodes=explored)
     if root_relax == "unbounded":
         return Solution(SolveStatus.UNBOUNDED,
-                        solve_seconds=time.perf_counter() - started)
+                        solve_seconds=time.perf_counter() - started,
+                        nodes=explored)
 
     heap: list[_Node] = [
         _Node(root_relax[1], next(counter), root_lower, root_upper)]
@@ -71,6 +74,7 @@ def solve_branch_and_bound(model: Model,
         if node.bound >= best_obj - 1e-9:
             continue  # cannot improve on the incumbent
         relax = _solve_lp(c, a_ub, b_ub, a_eq, b_eq, node.lower, node.upper)
+        explored += 1
         if relax is None or relax == "unbounded":
             continue
         x, objective = relax
@@ -98,7 +102,7 @@ def solve_branch_and_bound(model: Model,
     elapsed = time.perf_counter() - started
     if best_x is None:
         status = SolveStatus.TIMEOUT if timed_out else SolveStatus.INFEASIBLE
-        return Solution(status, solve_seconds=elapsed)
+        return Solution(status, solve_seconds=elapsed, nodes=explored)
 
     values = {}
     for i, var in enumerate(model.variables):
@@ -109,7 +113,7 @@ def solve_branch_and_bound(model: Model,
     objective = model.objective.evaluate(values)
     status = SolveStatus.FEASIBLE if timed_out else SolveStatus.OPTIMAL
     return Solution(status, values=values, objective=objective,
-                    solve_seconds=elapsed)
+                    solve_seconds=elapsed, nodes=explored)
 
 
 def _solve_lp(c, a_ub, b_ub, a_eq, b_eq, lower, upper):
@@ -139,7 +143,6 @@ def _most_fractional(x: np.ndarray, integrality: np.ndarray) -> Optional[int]:
         frac = abs(x[i] - round(x[i]))
         # distance from the nearest half-integer point measures how
         # undecided the variable is
-        score = min(frac, 1 - frac) if frac <= 0.5 else frac
         distance = abs(x[i] - math.floor(x[i]) - 0.5)
         if frac > _INT_TOL and (0.5 - distance) > best_frac - _INT_TOL:
             if best_index is None or (0.5 - distance) > best_frac:

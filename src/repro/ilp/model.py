@@ -39,12 +39,19 @@ class SolveStatus(enum.Enum):
 
 @dataclass
 class Solution:
-    """Result of a solve: status, variable values, objective value."""
+    """Result of a solve: status, variable values, objective value.
+
+    ``nodes`` counts branch-and-bound nodes the backend explored (HiGHS
+    reports its own MIP node count; the ``bnb`` backend counts LP
+    relaxations it solved) — the solver-effort telemetry the II search
+    aggregates per attempt.
+    """
 
     status: SolveStatus
     values: Mapping[Variable, float] = field(default_factory=dict)
     objective: Optional[float] = None
     solve_seconds: float = 0.0
+    nodes: int = 0
 
     def __getitem__(self, var: Variable) -> float:
         return self.values[var]
@@ -181,6 +188,16 @@ class Model:
                            f"expected 'highs' or 'bnb'")
         if solution.status.has_solution:
             self._check_solution(solution)
+        from .. import obs
+        if obs.is_enabled():
+            obs.counter("ilp.solves", backend=backend).add(1)
+            obs.counter("ilp.solver_nodes", backend=backend) \
+                .add(solution.nodes)
+            obs.histogram("ilp.solve_seconds", backend=backend) \
+                .record(solution.solve_seconds)
+            size = self.stats()
+            obs.gauge("ilp.model.variables").set(size["variables"])
+            obs.gauge("ilp.model.constraints").set(size["constraints"])
         return solution
 
     def _check_solution(self, solution: Solution,

@@ -38,6 +38,7 @@ def solve_highs(model: Model, time_limit: Optional[float] = None,
     elapsed = time.perf_counter() - started
 
     status = _map_status(result)
+    nodes = int(getattr(result, "mip_node_count", 0) or 0)
     values = {}
     objective = None
     if result.x is not None:
@@ -51,7 +52,7 @@ def solve_highs(model: Model, time_limit: Optional[float] = None,
         if not model.minimize and objective is not None:
             pass  # objective already evaluated in user orientation
     return Solution(status=status, values=values, objective=objective,
-                    solve_seconds=elapsed)
+                    solve_seconds=elapsed, nodes=nodes)
 
 
 def _map_status(result) -> SolveStatus:

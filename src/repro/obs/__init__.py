@@ -1,0 +1,120 @@
+"""Observability: compile-phase tracing, simulator counters, solver
+telemetry.
+
+One switch governs the whole layer::
+
+    from repro import obs
+
+    obs.enable()
+    compiled = compile_stream_program(graph, options)
+    print(obs.summary())                   # phases + counters
+    obs.write_chrome_trace("trace.json")   # load in chrome://tracing
+    obs.disable()
+
+While disabled (the default) every instrumentation site reduces to a
+single boolean check: ``obs.span(...)`` returns a shared no-op context
+manager and no metric is touched, so the compile pipeline's wall time
+is unaffected.
+
+The layer has three parts:
+
+* :mod:`repro.obs.tracer` — nested wall-clock spans (the six compile
+  phases, per-ILP-attempt spans, nested reference compiles);
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges and histograms fed by the GPU simulator, the shared-bus
+  model, and both ILP backends (see docs/observability.md for the
+  catalog);
+* :mod:`repro.obs.export` — Chrome trace-event JSON, plain JSON, and
+  a human-readable summary table.
+"""
+
+from __future__ import annotations
+
+from .export import chrome_trace, summary, to_json, write_chrome_trace
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    metric_key,
+)
+from .tracer import NULL_SPAN, TRACER, SpanRecord, Tracer
+
+_enabled = False
+
+
+def enable(reset: bool = False) -> None:
+    """Turn the observability layer on (optionally from a clean slate)."""
+    global _enabled
+    if reset:
+        clear()
+    _enabled = True
+    TRACER.enable()
+
+
+def disable() -> None:
+    """Turn the layer off; recorded data stays readable."""
+    global _enabled
+    _enabled = False
+    TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def clear() -> None:
+    """Drop all recorded spans and metrics."""
+    TRACER.clear()
+    REGISTRY.reset()
+
+
+def span(name: str, **attrs):
+    """Open a span on the global tracer (no-op while disabled)."""
+    return TRACER.span(name, **attrs)
+
+
+def counter(name: str, **labels) -> Counter:
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels) -> Gauge:
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels) -> Histogram:
+    return REGISTRY.histogram(name, **labels)
+
+
+def metrics_snapshot() -> dict:
+    return REGISTRY.snapshot()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "REGISTRY",
+    "SpanRecord",
+    "TRACER",
+    "Tracer",
+    "chrome_trace",
+    "clear",
+    "counter",
+    "diff_snapshots",
+    "disable",
+    "enable",
+    "gauge",
+    "histogram",
+    "is_enabled",
+    "metric_key",
+    "metrics_snapshot",
+    "span",
+    "summary",
+    "to_json",
+    "write_chrome_trace",
+]

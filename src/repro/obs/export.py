@@ -1,0 +1,141 @@
+"""Exporters for the observability layer.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace` — the Chrome/Perfetto trace-event JSON format
+  (load via ``chrome://tracing`` or https://ui.perfetto.dev): complete
+  ("X") events whose nesting renders as a flame graph, with the metric
+  snapshot attached under ``otherData``.
+* :func:`to_json` — a plain structured dump (spans + metrics) for
+  programmatic post-processing.
+* :func:`summary` — a human-readable text report: the compile-phase
+  span tree with wall times, then every counter/gauge/histogram.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .metrics import REGISTRY, MetricsRegistry
+from .tracer import TRACER, Tracer
+
+
+def _span_dicts(tracer: Tracer) -> list[dict]:
+    base = tracer.spans[0].start if tracer.spans else 0.0
+    out = []
+    for span in tracer.spans:
+        out.append({
+            "name": span.name,
+            "start_s": span.start - base,
+            "duration_s": span.duration,
+            "depth": span.depth,
+            "parent": span.parent,
+            "attrs": dict(span.attrs),
+        })
+    return out
+
+
+# ----------------------------------------------------------------------
+def chrome_trace(tracer: Optional[Tracer] = None,
+                 registry: Optional[MetricsRegistry] = None) -> dict:
+    """Build a ``chrome://tracing``-loadable trace-event document."""
+    tracer = tracer if tracer is not None else TRACER
+    registry = registry if registry is not None else REGISTRY
+    base = tracer.spans[0].start if tracer.spans else 0.0
+    events = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": 0,
+        "args": {"name": "repro compile"},
+    }]
+    for span in tracer.spans:
+        if span.end is None:
+            continue
+        events.append({
+            "name": span.name,
+            "cat": "compile",
+            "ph": "X",
+            "ts": (span.start - base) * 1e6,    # microseconds
+            "dur": span.duration * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "args": {str(k): v for k, v in span.attrs.items()},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": registry.snapshot()},
+    }
+
+
+def write_chrome_trace(path: str, tracer: Optional[Tracer] = None,
+                       registry: Optional[MetricsRegistry] = None) -> None:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(tracer, registry), handle, indent=1)
+
+
+# ----------------------------------------------------------------------
+def to_json(tracer: Optional[Tracer] = None,
+            registry: Optional[MetricsRegistry] = None) -> dict:
+    """Structured dump: every span and the full metric snapshot."""
+    tracer = tracer if tracer is not None else TRACER
+    registry = registry if registry is not None else REGISTRY
+    return {"spans": _span_dicts(tracer), "metrics": registry.snapshot()}
+
+
+# ----------------------------------------------------------------------
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.3f}"
+
+
+def summary(tracer: Optional[Tracer] = None,
+            registry: Optional[MetricsRegistry] = None) -> str:
+    """Human-readable report: span tree, counters, gauges, histograms."""
+    tracer = tracer if tracer is not None else TRACER
+    registry = registry if registry is not None else REGISTRY
+    lines: list[str] = []
+
+    completed = tracer.completed()
+    if completed:
+        lines.append("== phases ==")
+        width = max(len("  " * s.depth + s.name) for s in completed)
+        for span in completed:
+            label = "  " * span.depth + span.name
+            attrs = ""
+            if span.attrs:
+                attrs = "  (" + ", ".join(
+                    f"{k}={v}" for k, v in span.attrs.items()) + ")"
+            lines.append(f"{label:<{width}}  "
+                         f"{span.duration * 1e3:>10.2f} ms{attrs}")
+
+    snap = registry.snapshot()
+    if snap["counters"]:
+        lines.append("")
+        lines.append("== counters ==")
+        width = max(len(k) for k in snap["counters"])
+        for key in sorted(snap["counters"]):
+            lines.append(f"{key:<{width}}  "
+                         f"{_format_value(snap['counters'][key]):>16}")
+    if snap["gauges"]:
+        lines.append("")
+        lines.append("== gauges ==")
+        width = max(len(k) for k in snap["gauges"])
+        for key in sorted(snap["gauges"]):
+            lines.append(f"{key:<{width}}  "
+                         f"{_format_value(snap['gauges'][key]):>16}")
+    if snap["histograms"]:
+        lines.append("")
+        lines.append("== histograms ==")
+        for key in sorted(snap["histograms"]):
+            stats = snap["histograms"][key]
+            lines.append(
+                f"{key}  count={int(stats['count'])} "
+                f"mean={stats['mean']:,.2f} min={stats['min']:,.2f} "
+                f"max={stats['max']:,.2f}")
+    if not lines:
+        return "(no observability data recorded)"
+    return "\n".join(lines)

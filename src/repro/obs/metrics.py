@@ -1,0 +1,187 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+The instrumented subsystems (GPU simulator, ILP solvers, II search)
+accumulate into one :data:`REGISTRY`; exporters and the CLI read
+snapshots out of it.  Metrics are identified by a name plus optional
+label key/values, Prometheus style::
+
+    REGISTRY.counter("gpu.bus.transactions", kind="coalesced").add(5)
+
+renders in snapshots as ``gpu.bus.transactions{kind=coalesced}``.
+
+The registry itself never checks an enabled flag — callers on hot
+paths guard with :func:`repro.obs.is_enabled` *once* and then issue
+their updates, which keeps the disabled path at a single branch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+#: Histograms keep raw samples up to this count (aggregates keep
+#: updating beyond it), bounding memory for long sessions.
+HISTOGRAM_SAMPLE_CAP = 4096
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus capped samples."""
+
+    __slots__ = ("count", "total", "min", "max", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the retained samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1,
+                   max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+def metric_key(name: str, labels: Mapping[str, Any]) -> str:
+    """Canonical flat key: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Holds all metric instruments, keyed by their flat name."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = metric_key(name, labels)
+        instrument = self.counters.get(key)
+        if instrument is None:
+            instrument = self.counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = metric_key(name, labels)
+        instrument = self.gauges.get(key)
+        if instrument is None:
+            instrument = self.gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = metric_key(name, labels)
+        instrument = self.histograms.get(key)
+        if instrument is None:
+            instrument = self.histograms[key] = Histogram()
+        return instrument
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-data copy of every instrument's current state."""
+        return {
+            "counters": {k: c.value for k, c in self.counters.items()},
+            "gauges": {k: g.value for k, g in self.gauges.items()},
+            "histograms": {k: h.stats()
+                           for k, h in self.histograms.items()},
+        }
+
+
+def diff_snapshots(before: Mapping[str, dict],
+                   after: Mapping[str, dict]) -> dict[str, dict]:
+    """What happened between two snapshots.
+
+    Counters and histogram count/sum subtract; gauges and histogram
+    min/max/mean take the *after* value (they are instantaneous and
+    approximate over an interval, respectively).
+    """
+    counters = {}
+    for key, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(key, 0.0)
+        if delta:
+            counters[key] = delta
+    gauges = dict(after.get("gauges", {}))
+    histograms = {}
+    for key, stats in after.get("histograms", {}).items():
+        prior = before.get("histograms", {}).get(key)
+        if prior is None:
+            histograms[key] = dict(stats)
+            continue
+        delta_count = stats["count"] - prior["count"]
+        if delta_count <= 0:
+            continue
+        delta_sum = stats["sum"] - prior["sum"]
+        histograms[key] = {
+            "count": delta_count,
+            "sum": delta_sum,
+            "min": stats["min"],
+            "max": stats["max"],
+            "mean": delta_sum / delta_count,
+        }
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
+
+
+#: Process-global registry used by the instrumented subsystems.
+REGISTRY = MetricsRegistry()

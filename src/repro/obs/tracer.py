@@ -1,0 +1,139 @@
+"""Lightweight nested-span tracer.
+
+A :class:`Tracer` records *spans* — named wall-clock intervals with
+optional attributes — organized as a tree by lexical nesting::
+
+    with tracer.span("compile", scheme="swp"):
+        with tracer.span("profile"):
+            ...
+
+Design constraints (this sits on the compile hot path):
+
+* **Zero overhead when disabled.**  ``span()`` on a disabled tracer
+  returns one shared, state-free null context manager — no allocation,
+  no clock read, no stack manipulation.
+* **Exception safe.**  A span's end time is stamped in ``__exit__``
+  regardless of how the block terminates, and the nesting stack is
+  always popped.
+* **Export friendly.**  Completed spans keep their start time, depth
+  and parent index, which is exactly what the Chrome trace-event
+  exporter (:mod:`repro.obs.export`) needs.
+
+Times come from ``time.perf_counter()`` and are recorded in seconds
+relative to the tracer's first span (the exporters convert units).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    name: str
+    start: float                      # perf_counter seconds
+    end: Optional[float] = None       # None while the span is open
+    depth: int = 0                    # nesting level, root = 0
+    parent: Optional[int] = None      # index into Tracer.spans
+    index: int = 0                    # position in Tracer.spans
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The singleton null span — identity-comparable in tests.
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager for one live span on one tracer."""
+
+    __slots__ = ("_tracer", "record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self.record = record
+
+    def __enter__(self) -> SpanRecord:
+        return self.record
+
+    def __exit__(self, *exc) -> bool:
+        self.record.end = time.perf_counter()
+        stack = self._tracer._stack
+        if stack and stack[-1] is self.record:
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects a tree of timed spans; disabled (and free) by default."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.spans: list[SpanRecord] = []
+        self._stack: list[SpanRecord] = []
+
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.spans = []
+        self._stack = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a span; use as ``with tracer.span("phase"):``.
+
+        Returns the shared :data:`NULL_SPAN` when disabled, so the
+        disabled path costs one attribute load and one branch.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            name=name,
+            start=time.perf_counter(),
+            depth=len(self._stack),
+            parent=parent.index if parent is not None else None,
+            index=len(self.spans),
+            attrs=attrs)
+        self.spans.append(record)
+        self._stack.append(record)
+        return _ActiveSpan(self, record)
+
+    # ------------------------------------------------------------------
+    def completed(self) -> list[SpanRecord]:
+        """Spans that have both endpoints, in start order."""
+        return [s for s in self.spans if s.end is not None]
+
+    def find(self, name: str) -> list[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+
+#: Process-global tracer used by the instrumented compile pipeline.
+TRACER = Tracer()

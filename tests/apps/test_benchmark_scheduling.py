@@ -7,7 +7,6 @@ reference interpreter.  Thread counts are tiny to keep the token volume
 manageable; the schedule structure exercised is the real one.
 """
 
-import pytest
 
 from repro.apps import benchmark_by_name
 from repro.core import configure_program, search_ii, uniform_config

@@ -1,6 +1,5 @@
 """Functional correctness tests for all eight benchmark applications."""
 
-import cmath
 import math
 
 import pytest
@@ -71,7 +70,6 @@ class TestBitonic:
         g = bitonic.build()
         interp = Interpreter(g)
         interp.run(iterations=2)
-        src = next(n for n in g.nodes if n.name == "input")
         inputs = []
         for i in range(2):
             inputs.extend(source_block(g, "input", i))

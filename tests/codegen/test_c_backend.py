@@ -1,6 +1,5 @@
 """Tests for the uniprocessor C backend (the paper's CPU baseline)."""
 
-import pytest
 
 from repro.codegen import generate_c_source
 from repro.graph import Filter, Pipeline, flatten, indexed_source

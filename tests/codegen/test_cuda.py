@@ -1,6 +1,5 @@
 """Tests for the CUDA source emitter."""
 
-import pytest
 
 from repro.codegen import (
     emit_filter_device_functions,

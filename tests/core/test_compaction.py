@@ -1,6 +1,5 @@
 """Tests for exact stage compaction (longest-path minimization of f)."""
 
-import pytest
 
 from repro.core import search_ii, solve_at_ii
 from repro.core.problem import EdgeSpec, ScheduleProblem

@@ -24,7 +24,7 @@ from repro.graph import (
 )
 from repro.gpu import GEFORCE_8800_GTS_512 as DEV
 
-from ..helpers import sink, src
+from ..helpers import sink
 
 
 def small_graph():

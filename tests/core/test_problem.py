@@ -106,7 +106,7 @@ class TestDependencePairsGeneral:
         # tokens after the one it consumes.
         no_peek = chain(firings=(2, 2), o=1, i=1)
         with_peek = chain(firings=(2, 2), o=1, i=1, peek=3)
-        plain = with_no = no_peek.dependence_pairs(no_peek.edges[0], 0)
+        plain = no_peek.dependence_pairs(no_peek.edges[0], 0)
         deep = with_peek.dependence_pairs(with_peek.edges[0], 0)
         assert plain == [(0, 0)]
         # needs tokens 1..3 => producer firings 0,1,2 => instances

@@ -7,7 +7,6 @@ from repro.core.mii import res_mii
 from repro.core.problem import EdgeSpec, ScheduleProblem
 from repro.errors import SchedulingError
 from repro.graph import Filter, Pipeline, flatten, indexed_source
-from repro.runtime.swp_executor import verify_against_reference
 
 from ..helpers import sink
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SimulationError
-from repro.gpu.bus import BusItem, BusResult, simulate_shared_bus
+from repro.gpu.bus import BusItem, simulate_shared_bus
 
 BW = 10.0  # bytes per cycle for readable numbers
 

@@ -1,6 +1,5 @@
 """Tests for graph analyses and DOT export."""
 
-import pytest
 
 from repro.apps import benchmark_by_name
 from repro.core import configure_program, search_ii, uniform_config

@@ -6,16 +6,14 @@ from repro.errors import GraphError
 from repro.graph import (
     FeedbackLoop,
     Filter,
-    Joiner,
     Pipeline,
     SplitJoin,
-    Splitter,
     flatten,
     solve_rates,
 )
 from repro.runtime import run_reference
 
-from ..helpers import adder, scale_filter, sink, src
+from ..helpers import scale_filter, sink, src
 
 
 class TestPipelineFlatten:

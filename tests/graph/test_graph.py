@@ -3,18 +3,9 @@
 import pytest
 
 from repro.errors import GraphError
-from repro.graph import (
-    Filter,
-    Joiner,
-    Pipeline,
-    SplitJoin,
-    SplitKind,
-    Splitter,
-    StreamGraph,
-    flatten,
-)
+from repro.graph import Filter, Joiner, SplitKind, Splitter, StreamGraph
 
-from ..helpers import scale_filter, simple_pipeline_graph, sink, src
+from ..helpers import simple_pipeline_graph, sink, src
 
 
 def build_linear() -> StreamGraph:

@@ -1,10 +1,8 @@
 """Tests for peek-priming initialization schedules."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import GraphError
 from repro.graph import (
     Filter,
     Pipeline,
@@ -12,7 +10,6 @@ from repro.graph import (
     compute_init_schedule,
     flatten,
     requires_init,
-    solve_rates,
 )
 from repro.runtime import Interpreter
 
@@ -85,7 +82,7 @@ class TestInitSchedule:
                     Filter("flat", pop=1, push=1, work=lambda w: [w[0]])]
         sj = SplitJoin(branches, split="duplicate", join=[1, 1])
         g = flatten(Pipeline([src(1), sj, sink(2)]))
-        init = compute_init_schedule(g)
+        compute_init_schedule(g)
         # the flat branch's channel also accumulates tokens during init
         interp = Interpreter(g)
         interp.run(iterations=2)

@@ -11,7 +11,6 @@ from repro.graph import (
     Filter,
     Pipeline,
     SplitJoin,
-    StreamGraph,
     check_balance,
     flatten,
     is_primitive,

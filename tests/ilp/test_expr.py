@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import IlpError
-from repro.ilp import LinearExpr, Sense, Variable, VarType, lin_sum
+from repro.ilp import Sense, Variable, VarType, lin_sum
 
 
 def make_vars(n=3):

@@ -1,10 +1,9 @@
 """Edge-case tests for the ILP model layer."""
 
-import numpy as np
 import pytest
 
 from repro.errors import IlpError
-from repro.ilp import Model, SolveStatus, VarType, lin_sum
+from repro.ilp import Model, SolveStatus, lin_sum
 
 
 class TestMatrixForm:

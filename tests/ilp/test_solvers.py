@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import IlpError
-from repro.ilp import Model, SolveStatus, VarType, lin_sum
+from repro.ilp import Model, SolveStatus, lin_sum
 
 BACKENDS = ["highs", "bnb"]
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LexError
-from repro.lang import Token, TokenType, tokenize
+from repro.lang import TokenType, tokenize
 
 
 def kinds(source):

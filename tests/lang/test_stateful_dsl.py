@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ParseError, SemanticError
+from repro.errors import SemanticError
 from repro.lang import build_graph, parse_program
 from repro.lang.sema import analyze_program
 from repro.runtime import run_reference

@@ -1,0 +1,15 @@
+"""Keep the process-global observability state test-local."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    """Every test starts disabled and empty, and leaves no residue."""
+    obs.disable()
+    obs.clear()
+    yield
+    obs.disable()
+    obs.clear()

@@ -1,0 +1,90 @@
+"""Exporter tests against a synthetic tracer + registry."""
+
+import json
+
+from repro.obs.export import chrome_trace, summary, to_json
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def _populated():
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("compile", scheme="swp"):
+        with tracer.span("profile"):
+            pass
+        with tracer.span("ii_search", backend="highs"):
+            pass
+    registry = MetricsRegistry()
+    registry.counter("gpu.sm.cycles", sm=0).add(1000)
+    registry.gauge("ii_search.final_ii").set(42.5)
+    registry.histogram("ilp.solve_seconds").record(0.25)
+    return tracer, registry
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        tracer, registry = _populated()
+        doc = chrome_trace(tracer, registry)
+        assert "traceEvents" in doc
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in events] \
+            == ["compile", "profile", "ii_search"]
+        for event in events:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["pid"] == 0
+        # Child spans nest inside the parent's interval (flame layout).
+        compile_ev = events[0]
+        for child in events[1:]:
+            assert child["ts"] >= compile_ev["ts"]
+            assert (child["ts"] + child["dur"]
+                    <= compile_ev["ts"] + compile_ev["dur"] + 1e-3)
+
+    def test_json_serializable(self):
+        tracer, registry = _populated()
+        text = json.dumps(chrome_trace(tracer, registry))
+        parsed = json.loads(text)
+        assert parsed["otherData"]["metrics"]["counters"][
+            "gpu.sm.cycles{sm=0}"] == 1000
+
+    def test_attrs_become_args(self):
+        tracer, registry = _populated()
+        doc = chrome_trace(tracer, registry)
+        compile_ev = next(e for e in doc["traceEvents"]
+                          if e.get("name") == "compile" and e["ph"] == "X")
+        assert compile_ev["args"] == {"scheme": "swp"}
+
+    def test_open_spans_excluded(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.span("open").__enter__()
+        doc = chrome_trace(tracer, MetricsRegistry())
+        assert all(e["ph"] != "X" for e in doc["traceEvents"])
+
+
+class TestToJson:
+    def test_spans_and_metrics(self):
+        tracer, registry = _populated()
+        doc = to_json(tracer, registry)
+        assert [s["name"] for s in doc["spans"]] \
+            == ["compile", "profile", "ii_search"]
+        assert doc["spans"][1]["depth"] == 1
+        assert doc["metrics"]["gauges"]["ii_search.final_ii"] == 42.5
+        json.dumps(doc)  # must be serializable as-is
+
+
+class TestSummary:
+    def test_sections(self):
+        tracer, registry = _populated()
+        text = summary(tracer, registry)
+        assert "== phases ==" in text
+        assert "compile" in text
+        assert "== counters ==" in text
+        assert "gpu.sm.cycles{sm=0}" in text
+        assert "== gauges ==" in text
+        assert "== histograms ==" in text
+
+    def test_empty(self):
+        assert "no observability data" \
+            in summary(Tracer(), MetricsRegistry())

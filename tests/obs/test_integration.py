@@ -1,0 +1,139 @@
+"""End-to-end observability: instrumented compiles on small graphs."""
+
+import pytest
+
+from repro import obs
+from repro.compiler import CompileOptions, compile_stream_program
+
+from ..helpers import simple_pipeline_graph, splitjoin_graph
+
+FAST = dict(attempt_budget_seconds=5.0, macro_iterations=16)
+
+#: The six compile phases of the SWP trajectory (paper Fig. 5 order).
+SWP_PHASES = ["profile", "config_select", "ii_search", "coarsen",
+              "buffers", "simulate"]
+
+
+def _compile(scheme: str, coarsening: int = 1, **kwargs):
+    graph = simple_pipeline_graph(push=4)
+    options = CompileOptions(scheme=scheme, coarsening=coarsening, **FAST)
+    return compile_stream_program(graph, options, **kwargs)
+
+
+class TestCompileSpans:
+    def test_swp_emits_all_six_phases(self):
+        obs.enable(reset=True)
+        _compile("swp")
+        names = [s.name for s in obs.TRACER.completed()]
+        assert names.count("compile") == 1
+        for phase in SWP_PHASES:
+            assert phase in names, f"missing phase span {phase!r}"
+        # At least the root + six phases + one ILP attempt.
+        assert len(names) >= 8
+
+    def test_serial_emits_sas_phase(self):
+        obs.enable(reset=True)
+        _compile("serial", swp_buffer_budget=10 ** 9)
+        names = [s.name for s in obs.TRACER.completed()]
+        assert "sas" in names
+        assert "ii_search" not in names
+        assert "simulate" in names
+
+    def test_phase_spans_nest_under_compile(self):
+        obs.enable(reset=True)
+        _compile("swp")
+        root = obs.TRACER.find("compile")[0]
+        for phase in SWP_PHASES:
+            span = obs.TRACER.find(phase)[0]
+            assert span.depth == 1
+            assert span.parent == root.index
+
+
+class TestDisabledIsInert:
+    def test_no_spans_no_metrics_no_stats(self):
+        obs.disable()
+        obs.clear()
+        compiled = _compile("swp")
+        assert obs.TRACER.spans == []
+        assert obs.metrics_snapshot() == {"counters": {}, "gauges": {},
+                                          "histograms": {}}
+        assert compiled.stats is None
+
+
+class TestSimulatorCounters:
+    def test_per_sm_cycles_and_transactions_nonzero(self):
+        obs.enable(reset=True)
+        _compile("swp")
+        snap = obs.metrics_snapshot()
+        sm_cycles = {k: v for k, v in snap["counters"].items()
+                     if k.startswith("gpu.sm.cycles")}
+        assert sm_cycles, "no per-SM cycle counters recorded"
+        assert any(v > 0 for v in sm_cycles.values())
+        assert snap["counters"][
+            "gpu.bus.transactions{kind=coalesced}"] > 0
+        assert snap["counters"]["gpu.launches"] >= 1
+        assert snap["histograms"][
+            "gpu.occupancy.active_warps"]["count"] > 0
+
+    def test_swpnc_has_more_uncoalesced_transactions(self):
+        key = "gpu.bus.transactions{kind=uncoalesced}"
+        obs.enable(reset=True)
+        swp = _compile("swp").stats
+        swpnc = _compile("swpnc").stats
+        assert swpnc["counters"].get(key, 0.0) \
+            > swp["counters"].get(key, 0.0)
+
+    def test_per_filter_counters_use_stream_labels(self):
+        obs.enable(reset=True)
+        _compile("swp")
+        snap = obs.metrics_snapshot()
+        assert any(k.startswith("gpu.filter.cycles{filter=")
+                   for k in snap["counters"])
+
+
+class TestSolverTelemetry:
+    def test_attempts_carry_relaxation_and_nodes(self):
+        compiled = _compile("swp")
+        search = compiled.search
+        assert search.attempts
+        final = search.attempts[-1]
+        assert final.feasible
+        assert final.relaxation == pytest.approx(search.relaxation)
+        assert all(a.nodes >= 0 for a in search.attempts)
+        assert search.solver_nodes \
+            == sum(a.nodes for a in search.attempts)
+
+    def test_ii_search_metrics(self):
+        obs.enable(reset=True)
+        compiled = _compile("swp")
+        snap = obs.metrics_snapshot()
+        assert snap["counters"]["ii_search.attempts"] \
+            == len(compiled.search.attempts)
+        assert snap["gauges"]["ii_search.final_ii"] \
+            == pytest.approx(compiled.search.schedule.ii)
+        assert "ilp.solves{backend=highs}" in snap["counters"]
+        assert snap["histograms"][
+            "ii_search.attempt_seconds"]["count"] >= 1
+
+    def test_bnb_backend_counts_nodes(self):
+        graph = splitjoin_graph()
+        options = CompileOptions(scheme="swp", ilp_backend="bnb", **FAST)
+        compiled = compile_stream_program(graph, options)
+        # The bnb backend solves at least the root LP per attempt.
+        assert compiled.search.solver_nodes >= 1
+
+
+class TestCompileStats:
+    def test_stats_snapshot_attached_when_enabled(self):
+        obs.enable(reset=True)
+        compiled = _compile("swp")
+        assert compiled.stats is not None
+        assert compiled.stats["counters"]["gpu.kernels.simulated"] >= 1
+
+    def test_stats_are_per_compile_deltas(self):
+        obs.enable(reset=True)
+        first = _compile("swp")
+        second = _compile("swp")
+        key = "gpu.kernels.simulated"
+        assert first.stats["counters"][key] \
+            == second.stats["counters"][key]

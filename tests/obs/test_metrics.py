@@ -1,0 +1,115 @@
+"""Unit tests for the metrics registry and snapshot arithmetic."""
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    diff_snapshots,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("gpu.cycles", {}) == "gpu.cycles"
+
+    def test_labels_sorted(self):
+        assert metric_key("tx", {"kind": "c", "sm": 3}) \
+            == "tx{kind=c,sm=3}"
+        assert metric_key("tx", {"sm": 3, "kind": "c"}) \
+            == "tx{kind=c,sm=3}"
+
+
+class TestCounter:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").add(2)
+        registry.counter("hits").add(3)
+        assert registry.counter("hits").value == 5
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("tx", kind="coalesced").add(10)
+        registry.counter("tx", kind="uncoalesced").add(1)
+        assert registry.counter("tx", kind="coalesced").value == 10
+        assert registry.counter("tx", kind="uncoalesced").value == 1
+
+    def test_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("hits").add(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("ii").set(100)
+        registry.gauge("ii").set(42)
+        assert registry.gauge("ii").value == 42
+
+
+class TestHistogram:
+    def test_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("seconds")
+        for value in (1.0, 2.0, 3.0):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.mean == 2.0
+        assert hist.percentile(50) == 2.0
+
+    def test_empty(self):
+        hist = MetricsRegistry().histogram("x")
+        assert hist.mean == 0.0
+        assert hist.percentile(99) == 0.0
+        assert hist.stats()["min"] == 0.0
+
+
+class TestSnapshots:
+    def test_snapshot_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(4)
+        registry.gauge("g").set(7)
+        registry.histogram("h").record(2.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 4
+        assert snap["gauges"]["g"] == 7
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+
+    def test_diff_counters_subtract(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(4)
+        before = registry.snapshot()
+        registry.counter("c").add(6)
+        registry.counter("new").add(1)
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta["counters"]["c"] == 6
+        assert delta["counters"]["new"] == 1
+
+    def test_diff_drops_unchanged_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet").add(5)
+        before = registry.snapshot()
+        delta = diff_snapshots(before, registry.snapshot())
+        assert "quiet" not in delta["counters"]
+
+    def test_diff_histograms_subtract_counts(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").record(1.0)
+        before = registry.snapshot()
+        registry.histogram("h").record(3.0)
+        registry.histogram("h").record(5.0)
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta["histograms"]["h"]["count"] == 2
+        assert delta["histograms"]["h"]["sum"] == 8.0
+        assert delta["histograms"]["h"]["mean"] == 4.0

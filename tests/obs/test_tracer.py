@@ -1,0 +1,97 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs.tracer import NULL_SPAN, Tracer
+
+
+class TestDisabled:
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        tracer = Tracer()
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.span("other", attr=1) is NULL_SPAN
+
+    def test_disabled_span_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            pass
+        assert tracer.spans == []
+
+    def test_disabled_by_default(self):
+        assert not Tracer().enabled
+
+
+class TestNesting:
+    def test_depth_and_parent_links(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["root"].depth == 0
+        assert by_name["root"].parent is None
+        assert by_name["child"].depth == 1
+        assert by_name["child"].parent == by_name["root"].index
+        assert by_name["grandchild"].depth == 2
+        assert by_name["grandchild"].parent == by_name["child"].index
+        assert by_name["sibling"].depth == 1
+        assert by_name["sibling"].parent == by_name["root"].index
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.find("outer")[0], tracer.find("inner")[0]
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("compile", scheme="swp", coarsening=8):
+            pass
+        span = tracer.spans[0]
+        assert span.attrs == {"scheme": "swp", "coarsening": 8}
+
+
+class TestExceptionSafety:
+    def test_span_closed_and_stack_popped_on_raise(self):
+        tracer = Tracer()
+        tracer.enable()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("boom"):
+                    raise ValueError("bang")
+        assert all(s.end is not None for s in tracer.spans)
+        assert tracer._stack == []
+        # The tracer is still usable at depth 0 afterwards.
+        with tracer.span("after"):
+            pass
+        assert tracer.find("after")[0].depth == 0
+
+
+class TestLifecycle:
+    def test_clear_drops_everything(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.completed() == []
+
+    def test_completed_excludes_open_spans(self):
+        tracer = Tracer()
+        tracer.enable()
+        ctx = tracer.span("open")
+        ctx.__enter__()
+        assert tracer.completed() == []
+        ctx.__exit__(None, None, None)
+        assert len(tracer.completed()) == 1

@@ -5,11 +5,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import GraphError
-from repro.graph import Filter, Pipeline, SplitJoin, flatten, solve_rates
+from repro.graph import Filter, Pipeline, SplitJoin, flatten
 from repro.runtime import Interpreter, run_reference
 
 from ..helpers import (
-    adder,
     downsample,
     multirate_graph,
     ramp_src,

@@ -1,8 +1,19 @@
 """CLI tests (direct main() invocation, no subprocess)."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """The CLI toggles the global observability layer; keep tests clean."""
+    yield
+    obs.disable()
+    obs.clear()
 
 
 class TestParser:
@@ -66,3 +77,73 @@ class TestCodegen:
         text = target.read_text()
         assert "swp_kernel" in text
         assert "POP_INDEX" in text
+
+    def test_codegen_to_stdout(self, capsys):
+        assert main(["codegen", "FFT"]) == 0
+        out = capsys.readouterr().out
+        assert "swp_kernel" in out
+        assert "POP_INDEX" in out
+
+
+class TestCompile:
+    def test_compile_with_trace_and_stats(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["compile", "DCT", "--scheme", "swp",
+                     "--budget", "5", "--trace", str(trace),
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup over 1-thread CPU" in out
+        # --stats appends the observability summary.
+        assert "== phases ==" in out
+        assert "== counters ==" in out
+        assert "gpu.sm.cycles" in out
+        # --trace wrote a Chrome-trace-loadable document with the six
+        # compile phases.
+        doc = json.loads(trace.read_text())
+        names = {event["name"] for event in doc["traceEvents"]
+                 if event.get("ph") == "X"}
+        for phase in ("compile", "profile", "config_select",
+                      "ii_search", "coarsen", "buffers", "simulate"):
+            assert phase in names
+        # The CLI switches the layer back off afterwards.
+        assert not obs.is_enabled()
+
+    def test_compile_without_flags_stays_disabled(self, capsys):
+        assert main(["compile", "DCT", "--budget", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "== phases ==" not in out
+        assert not obs.is_enabled()
+        assert obs.TRACER.spans == []
+
+
+class TestCompare:
+    def test_compare_dct(self, capsys):
+        assert main(["compare", "DCT", "--budget", "5"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("SWPNC", "Serial", "SWP8"):
+            assert scheme in out
+
+    def test_compare_with_stats(self, capsys):
+        assert main(["compare", "DCT", "--budget", "5", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "SWP8" in out
+        # Three compiles' phases all land in one summary.
+        assert out.count("ii_search") >= 2
+        assert "sas" in out
+
+
+class TestStats:
+    def test_stats_swp(self, capsys):
+        assert main(["stats", "DCT", "--budget", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "II search:" in out
+        assert "gpu.sm.cycles{sm=0}" in out
+        assert "gpu.bus.transactions{kind=coalesced}" in out
+        # Per-SM cycles are nonzero for the SWP scheme.
+        for line in out.splitlines():
+            if line.startswith("gpu.sm.cycles{sm=0}"):
+                assert line.split()[-1] != "0"
+
+    def test_stats_unknown_benchmark_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stats", "Quake"])

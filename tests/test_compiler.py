@@ -44,6 +44,29 @@ class TestOptions:
     def test_scheme_names_match_paper(self):
         assert SCHEMES == ("swp", "swpnc", "serial")
 
+    @pytest.mark.parametrize("budget", (0.0, -1.0))
+    def test_non_positive_attempt_budget_rejected(self, budget):
+        with pytest.raises(SchedulingError,
+                           match="attempt_budget_seconds"):
+            CompileOptions(attempt_budget_seconds=budget)
+
+    @pytest.mark.parametrize("step", (0.0, -0.005))
+    def test_non_positive_relaxation_step_rejected(self, step):
+        with pytest.raises(SchedulingError, match="relaxation_step"):
+            CompileOptions(relaxation_step=step)
+
+    @pytest.mark.parametrize("iterations", (0, -256))
+    def test_non_positive_macro_iterations_rejected(self, iterations):
+        with pytest.raises(SchedulingError, match="macro_iterations"):
+            CompileOptions(macro_iterations=iterations)
+
+    def test_replace_options_revalidates(self):
+        from repro.compiler import replace_options
+
+        options = CompileOptions()
+        with pytest.raises(SchedulingError, match="relaxation_step"):
+            replace_options(options, relaxation_step=-1.0)
+
 
 class TestSwpCompilation:
     def test_produces_valid_schedule(self):

@@ -9,7 +9,6 @@ analysis, the formulation, the init schedule or the executor shows up
 as a concrete counterexample graph.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
