@@ -16,6 +16,7 @@ import os
 
 from repro import obs
 from repro.apps import all_benchmarks, benchmark_by_name
+from repro.cache import CompileCache
 from repro.compiler import (
     CompileOptions,
     CompiledProgram,
@@ -23,8 +24,18 @@ from repro.compiler import (
     compile_swp_sweep,
 )
 from repro.gpu import GEFORCE_8800_GTS_512
+from repro.parallel import default_jobs
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Worker count for profiling + II search (REPRO_JOBS, default serial).
+JOBS = default_jobs()
+
+#: Set REPRO_BENCH_CACHE to a directory to reuse profiles/configs/ILP
+#: schedules across benchmark sessions (off by default so published
+#: numbers always reflect cold compiles).
+_cache_dir = os.environ.get("REPRO_BENCH_CACHE", "").strip()
+CACHE = CompileCache(_cache_dir) if _cache_dir else None
 
 #: Coarsening factors of paper Fig. 11.
 COARSENINGS = (1, 4, 8, 16)
@@ -78,7 +89,8 @@ def swp_sweep(name: str,
         options = CompileOptions(scheme="swp", **_options_base)
         with _observability(collect_stats):
             _swp_sweeps[name] = compile_swp_sweep(graph, options,
-                                                  COARSENINGS)
+                                                  COARSENINGS,
+                                                  jobs=JOBS, cache=CACHE)
     return _swp_sweeps[name]
 
 
@@ -93,7 +105,8 @@ def swpnc8(name: str,
         options = CompileOptions(scheme="swpnc", coarsening=8,
                                  **_options_base)
         with _observability(collect_stats):
-            _swpnc[name] = compile_stream_program(graph, options)
+            _swpnc[name] = compile_stream_program(graph, options,
+                                                  jobs=JOBS, cache=CACHE)
     return _swpnc[name]
 
 
@@ -105,7 +118,8 @@ def serial(name: str,
         budget = swp8(name, collect_stats=collect_stats).buffer_bytes
         with _observability(collect_stats):
             _serial[name] = compile_stream_program(
-                graph, options, swp_buffer_budget=budget)
+                graph, options, swp_buffer_budget=budget,
+                jobs=JOBS, cache=CACHE)
     return _serial[name]
 
 

@@ -1,0 +1,142 @@
+"""Quick-mode benchmark runner for the CI perf-regression gate.
+
+Compiles a fixed subset of the paper's benchmark suite at reduced
+scale (4-SM GeForce 8600 GTS, one coarsening factor, small macro
+window) so the whole run fits in a couple of CI minutes, then writes a
+``BENCH_ci.json`` artifact with per-app compile wall time and the
+final II.  When a committed baseline is present the run **fails** if
+total wall time regresses more than ``--threshold`` (default 25%)
+over the baseline.
+
+The baseline is machine-relative: refresh it with ``--write-baseline``
+on the reference machine (CI runners are mutually comparable; a local
+workstation generally is not).  DES and MatrixMult are excluded —
+their ILP solves dominate wall time and would drown the signal from
+the other six apps.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/ci_quick.py                 # gate
+    PYTHONPATH=src python benchmarks/ci_quick.py --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps import benchmark_by_name                      # noqa: E402
+from repro.compiler import CompileOptions, compile_stream_program  # noqa: E402
+from repro.gpu import GEFORCE_8600_GTS                        # noqa: E402
+
+#: Apps in the quick set (DES and MatrixMult are deliberately absent).
+QUICK_APPS = ("Bitonic", "BitonicRec", "DCT", "FFT", "Filterbank",
+              "FMRadio")
+
+#: Reduced-scale compile settings shared by every quick-mode run.
+QUICK_OPTIONS = dict(scheme="swp", device=GEFORCE_8600_GTS, coarsening=4,
+                     macro_iterations=8, attempt_budget_seconds=10.0)
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline",
+                                "bench_baseline.json")
+DEFAULT_OUTPUT = "BENCH_ci.json"
+DEFAULT_THRESHOLD = 1.25
+
+
+def run_quick(jobs: int | None = None) -> dict:
+    """Compile every quick-set app cold and collect wall times."""
+    apps = {}
+    total = 0.0
+    for name in QUICK_APPS:
+        graph = benchmark_by_name(name).build()
+        options = CompileOptions(**QUICK_OPTIONS)
+        started = time.perf_counter()
+        compiled = compile_stream_program(graph, options, jobs=jobs)
+        seconds = time.perf_counter() - started
+        total += seconds
+        apps[name] = {"seconds": round(seconds, 3),
+                      "ii": compiled.schedule.ii}
+        print(f"  {name:<12} {seconds:7.2f}s  II={compiled.schedule.ii:.1f}",
+              flush=True)
+    return {
+        "suite": "ci_quick",
+        "python": platform.python_version(),
+        "apps": apps,
+        "total_seconds": round(total, 3),
+    }
+
+
+def compare(result: dict, baseline: dict, threshold: float) -> bool:
+    """Print the per-app and total ratios; return True when within gate."""
+    base_apps = baseline.get("apps", {})
+    print(f"\n{'app':<12} {'base':>8} {'now':>8} {'ratio':>7}")
+    for name, row in result["apps"].items():
+        base = base_apps.get(name, {}).get("seconds")
+        if base:
+            print(f"{name:<12} {base:8.2f} {row['seconds']:8.2f} "
+                  f"{row['seconds'] / base:6.2f}x")
+        else:
+            print(f"{name:<12} {'-':>8} {row['seconds']:8.2f}       -")
+    base_total = baseline.get("total_seconds", 0.0)
+    total = result["total_seconds"]
+    if not base_total:
+        print("baseline has no total_seconds; skipping gate")
+        return True
+    ratio = total / base_total
+    print(f"{'TOTAL':<12} {base_total:8.2f} {total:8.2f} {ratio:6.2f}x "
+          f"(gate {threshold:.2f}x)")
+    return ratio <= threshold
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="artifact JSON path (default BENCH_ci.json)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline JSON to gate against")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="max total-wall-time ratio vs baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="refresh the baseline instead of gating")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker count for profiling + II search")
+    args = parser.parse_args(argv)
+
+    print(f"quick-mode benchmark compile ({len(QUICK_APPS)} apps)")
+    result = run_quick(jobs=args.jobs)
+
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"refreshed baseline {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; skipping gate")
+        return 0
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    if compare(result, baseline, args.threshold):
+        print("perf gate: PASS")
+        return 0
+    print(f"perf gate: FAIL (total wall time regressed more than "
+          f"{(args.threshold - 1) * 100:.0f}% over baseline)")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

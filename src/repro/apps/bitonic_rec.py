@@ -70,6 +70,12 @@ def _sort(n: int, ascending: bool):
 
 
 def build() -> StreamGraph:
+    # The suffix counter exists only to disambiguate same-shaped
+    # structures *within* one graph; restart it per build so node names
+    # (and thus generated code and cache keys) are identical across
+    # independent builds.
+    global _uid
+    _uid = itertools.count()
     return flatten(Pipeline([
         int_source("input", push=N),
         _sort(N, True),

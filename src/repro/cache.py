@@ -1,0 +1,583 @@
+"""Content-addressed on-disk compile cache.
+
+Profiling (Fig. 6) and the ILP-based II search (Section V-B) dominate
+compile time, yet their outputs are pure functions of their inputs:
+the flattened stream graph, the device model, and a handful of
+:class:`~repro.compiler.CompileOptions` knobs.  This module caches the
+three expensive stage outputs on disk, keyed by a stable content hash
+of exactly the inputs that determine them:
+
+``profile``
+    :class:`~repro.core.profiling.ProfileTable` — keyed by the graph
+    signature, the device, ``numfirings``, coalescing, and the
+    shared-staging flags.
+``execution_config``
+    The selected :class:`~repro.core.configure.ExecutionConfig`
+    (Alg. 7's output) — keyed by the profile key (selection is a
+    deterministic function of the profile and the graph).
+``schedule``
+    The II search result (schedule + attempt diagnostics) — keyed by
+    the *scheduling problem* signature plus the ILP knobs (backend,
+    per-attempt budget, relaxation step).
+
+Because each stage is keyed by its own inputs, an edit invalidates
+only downstream stages: changing ``relaxation_step`` re-solves the ILP
+but reuses the profile; changing the device re-runs everything.
+
+Entries are single JSON files under ``<root>/<stage>/<hh>/<hash>.json``
+written atomically (temp file + ``os.replace``), so concurrent readers
+never observe a half-written entry and concurrent writers of the same
+key converge to identical content.  A corrupted entry (truncated file,
+bad JSON, key mismatch, schedule that fails validation) is treated as
+a miss, deleted, and recomputed.
+
+Node identity: live graphs number nodes with a process-global uid
+counter, so uids differ between runs.  All payloads and signatures use
+the node's *index* in ``graph.nodes`` order instead, and loaders remap
+indices back onto the live graph's uids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+import threading
+import types
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from . import obs
+from .core.configure import ExecutionConfig
+from .core.iisearch import Attempt, IISearchResult
+from .core.problem import ScheduleProblem
+from .core.profiling import ProfileTable
+from .core.schedule import Placement, Schedule
+from .errors import SchedulingError
+from .gpu.device import DeviceConfig
+from .graph.graph import StreamGraph
+from .graph.nodes import Filter, Joiner, Node, Splitter
+
+#: Bump when any payload format or signature scheme changes; the
+#: version participates in every key, so old entries become unreachable
+#: rather than misread.
+CACHE_FORMAT_VERSION = 1
+
+#: The pipeline stages with cacheable outputs, in dependency order.
+STAGES = ("profile", "execution_config", "schedule")
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+# ----------------------------------------------------------------------
+# stable hashing and input signatures
+# ----------------------------------------------------------------------
+def stable_hash(obj: Any) -> str:
+    """SHA-256 of the canonical JSON rendering of ``obj``."""
+    text = json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _code_fingerprint(code) -> list:
+    """Bytecode + constants + names, with nested code objects recursed
+    into (their default repr embeds a memory address)."""
+    consts = [_code_fingerprint(c) if isinstance(c, types.CodeType)
+              else repr(c) for c in code.co_consts]
+    return [code.co_code.hex(), consts, repr(code.co_names),
+            repr(code.co_varnames)]
+
+
+def _captured_value(value, depth: int):
+    """Render one captured value (closure cell or default argument)
+    address-free: callables recurse into their own fingerprint."""
+    if callable(value):
+        return work_fingerprint(value, _depth=depth + 1)
+    return repr(value)
+
+
+def work_fingerprint(fn, _depth: int = 0) -> Optional[str]:
+    """A stable fingerprint for a Python work function.
+
+    Compiled bytecode plus constants and referenced names capture the
+    computation; values captured by closure or by default argument are
+    folded in, recursing into captured *functions* (the benchmark apps
+    build work functions from shared helper closures) so the
+    fingerprint never depends on a function object's memory address
+    and is identical across independent graph builds.  Callables
+    without code objects (builtins, partials) fall back to their
+    qualified name.
+    """
+    if fn is None:
+        return None
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return f"name:{getattr(fn, '__qualname__', type(fn).__name__)}"
+    parts: list = [_code_fingerprint(code)]
+    if _depth < 8:
+        closure = getattr(fn, "__closure__", None)
+        if closure:
+            cells = []
+            for cell in closure:
+                try:
+                    value = cell.cell_contents
+                except ValueError:
+                    cells.append("unreadable-cell")
+                    continue
+                cells.append(_captured_value(value, _depth))
+            parts.append(cells)
+        defaults = getattr(fn, "__defaults__", None)
+        if defaults:
+            parts.append([_captured_value(v, _depth) for v in defaults])
+    return stable_hash(parts)
+
+
+def _node_signature(node: Node) -> list:
+    if isinstance(node, Filter):
+        est = node.estimate
+        return [
+            "filter", node.name, node.pop, node.push, node.peek,
+            bool(node.stateful), bool(node.indexed),
+            [est.compute_ops, est.loads, est.stores, est.registers,
+             est.fresh_loads],
+            work_fingerprint(node.work),
+            node.cuda_body, node.c_body,
+        ]
+    if isinstance(node, Splitter):
+        return ["splitter", node.name, node.kind.value,
+                list(node.weights)]
+    if isinstance(node, Joiner):
+        return ["joiner", node.name, list(node.weights)]
+    # Unknown node subclass: include the type name and its public rates
+    # so at minimum distinct structures never collide.
+    return [type(node).__name__, node.name,
+            [node.pop_rate(p) for p in range(node.num_inputs)],
+            [node.push_rate(p) for p in range(node.num_outputs)]]
+
+
+def graph_signature(graph: StreamGraph) -> dict:
+    """Canonical, uid-free description of a flattened stream graph."""
+    index = {node.uid: i for i, node in enumerate(graph.nodes)}
+    return {
+        "name": graph.name,
+        "nodes": [_node_signature(node) for node in graph.nodes],
+        "channels": [
+            [index[ch.src.uid], ch.src_port, index[ch.dst.uid],
+             ch.dst_port, len(ch.initial_tokens),
+             repr(list(ch.initial_tokens))]
+            for ch in graph.channels
+        ],
+    }
+
+
+def device_signature(device: DeviceConfig) -> dict:
+    return dataclasses.asdict(device)
+
+
+def problem_signature(problem: ScheduleProblem) -> dict:
+    """Canonical description of a scheduling problem (already index
+    based, so it is directly hashable)."""
+    return {
+        "names": list(problem.names),
+        "firings": list(problem.firings),
+        "delays": list(problem.delays),
+        "edges": [[e.src, e.dst, e.production, e.consumption,
+                   e.initial_tokens, e.peek] for e in problem.edges],
+        "num_sms": problem.num_sms,
+        "stateful": list(problem.stateful),
+    }
+
+
+#: Which cache stages each CompileOptions field can invalidate.  Fields
+#: mapping to an empty tuple affect only post-ILP work (coarsening,
+#: simulation volume, the CPU baseline), whose outputs are never
+#: cached.  tests/test_cache.py audits this table against the dataclass
+#: fields, so adding an options field without classifying it here fails
+#: the suite.
+OPTIONS_FIELD_STAGES: dict[str, tuple[str, ...]] = {
+    "device": ("profile", "execution_config", "schedule"),
+    "scheme": ("profile", "execution_config", "schedule"),
+    "numfirings": ("profile", "execution_config", "schedule"),
+    "ilp_backend": ("schedule",),
+    "attempt_budget_seconds": ("schedule",),
+    "relaxation_step": ("schedule",),
+    "coarsening": (),
+    "macro_iterations": (),
+    "cpu": (),
+}
+
+
+def options_signature(options) -> dict:
+    """Every CompileOptions field, canonically rendered.
+
+    Used by the audit test to guarantee no output-affecting field can
+    be added without the cache (and CompileOptions equality) seeing it.
+    """
+    sig = {}
+    for f in dataclasses.fields(options):
+        value = getattr(options, f.name)
+        if dataclasses.is_dataclass(value):
+            value = dataclasses.asdict(value)
+        sig[f.name] = value
+    return sig
+
+
+# ----------------------------------------------------------------------
+# stage keys
+# ----------------------------------------------------------------------
+def profile_stage_key(graph: StreamGraph, device: DeviceConfig,
+                      numfirings: int, coalesced: bool,
+                      shared_staging: Optional[Mapping[int, bool]]
+                      ) -> str:
+    staging = shared_staging or {}
+    flags = [bool(staging.get(node.uid, False)) for node in graph.nodes]
+    return stable_hash(["profile", CACHE_FORMAT_VERSION,
+                        graph_signature(graph), device_signature(device),
+                        numfirings, bool(coalesced), flags])
+
+
+def config_stage_key(profile_key: str) -> str:
+    return stable_hash(["execution_config", CACHE_FORMAT_VERSION,
+                        profile_key])
+
+
+def schedule_stage_key(problem: ScheduleProblem, *, backend: str,
+                       attempt_budget_seconds: float,
+                       relaxation_step: float) -> str:
+    return stable_hash(["schedule", CACHE_FORMAT_VERSION,
+                        problem_signature(problem), backend,
+                        attempt_budget_seconds, relaxation_step])
+
+
+# ----------------------------------------------------------------------
+# payload (de)serialization
+# ----------------------------------------------------------------------
+_INF = "inf"
+
+
+def _dump_cycles(value: float):
+    return _INF if math.isinf(value) else value
+
+
+def _load_cycles(value) -> float:
+    return math.inf if value == _INF else float(value)
+
+
+def profile_payload(graph: StreamGraph, profile: ProfileTable) -> dict:
+    index = {node.uid: i for i, node in enumerate(graph.nodes)}
+    entries = []
+    for (uid, regs, threads), run_time in sorted(
+            profile.run_times.items()):
+        entries.append([index[uid], regs, threads,
+                        _dump_cycles(run_time),
+                        _dump_cycles(profile.macro_delays[
+                            (uid, regs, threads)])])
+    return {
+        "numfirings": profile.numfirings,
+        "register_budgets": list(profile.register_budgets),
+        "thread_counts": list(profile.thread_counts),
+        "entries": entries,
+    }
+
+
+def profile_from_payload(payload: dict,
+                         graph: StreamGraph) -> ProfileTable:
+    nodes = graph.nodes
+    run_times = {}
+    macro_delays = {}
+    for node_index, regs, threads, run_time, delay in payload["entries"]:
+        uid = nodes[node_index].uid
+        run_times[(uid, regs, threads)] = _load_cycles(run_time)
+        macro_delays[(uid, regs, threads)] = _load_cycles(delay)
+    return ProfileTable(
+        run_times=run_times, macro_delays=macro_delays,
+        numfirings=payload["numfirings"],
+        register_budgets=tuple(payload["register_budgets"]),
+        thread_counts=tuple(payload["thread_counts"]))
+
+
+def config_payload(graph: StreamGraph, config: ExecutionConfig) -> dict:
+    index = {node.uid: i for i, node in enumerate(graph.nodes)}
+    return {
+        "register_cap": config.register_cap,
+        "coalesced": config.coalesced,
+        "threads": [config.threads[node.uid] for node in graph.nodes],
+        "delays": [config.delays[node.uid] for node in graph.nodes],
+        # Stored sparsely, exactly as held: a loaded config must compare
+        # equal to the one selection produced (swp leaves this empty,
+        # swpnc carries an entry per candidate node).
+        "shared_staging": sorted(
+            [index[uid], bool(flag)]
+            for uid, flag in config.shared_staging.items()),
+    }
+
+
+def config_from_payload(payload: dict,
+                        graph: StreamGraph) -> ExecutionConfig:
+    nodes = graph.nodes
+    return ExecutionConfig(
+        register_cap=payload["register_cap"],
+        coalesced=payload["coalesced"],
+        threads={node.uid: payload["threads"][i]
+                 for i, node in enumerate(nodes)},
+        delays={node.uid: payload["delays"][i]
+                for i, node in enumerate(nodes)},
+        shared_staging={nodes[i].uid: flag
+                        for i, flag in payload["shared_staging"]})
+
+
+def search_payload(search: IISearchResult) -> dict:
+    schedule = search.schedule
+    return {
+        "mii": search.mii,
+        "total_seconds": search.total_seconds,
+        "attempts": [[a.ii, a.feasible, a.seconds, a.relaxation, a.nodes]
+                     for a in search.attempts],
+        "schedule": {
+            "ii": schedule.ii,
+            "solve_seconds": schedule.solve_seconds,
+            "relaxation": schedule.relaxation,
+            "attempts": schedule.attempts,
+            "placements": [[p.node, p.k, p.sm, p.offset, p.stage]
+                           for p in sorted(schedule.placements.values(),
+                                           key=lambda p: (p.node, p.k))],
+        },
+    }
+
+
+def search_from_payload(payload: dict,
+                        problem: ScheduleProblem) -> IISearchResult:
+    """Rebind a cached search result to a freshly built problem.
+
+    The schedule is re-validated against the problem; a stale or
+    corrupted payload raises :class:`SchedulingError` (the cache layer
+    turns that into a miss).
+    """
+    data = payload["schedule"]
+    placements = {}
+    for node, k, sm, offset, stage in data["placements"]:
+        placements[(node, k)] = Placement(node=node, k=k, sm=sm,
+                                          offset=offset, stage=stage)
+    schedule = Schedule(problem=problem, ii=data["ii"],
+                        placements=placements,
+                        solve_seconds=data["solve_seconds"],
+                        relaxation=data["relaxation"],
+                        attempts=data["attempts"])
+    schedule.validate()
+    attempts = [Attempt(ii=ii, feasible=feasible, seconds=seconds,
+                        relaxation=relaxation, nodes=nodes)
+                for ii, feasible, seconds, relaxation, nodes
+                in payload["attempts"]]
+    return IISearchResult(schedule=schedule, mii=payload["mii"],
+                          attempts=attempts,
+                          total_seconds=payload["total_seconds"])
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class CompileCache:
+    """A directory of per-stage, content-addressed JSON entries."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- paths ----------------------------------------------------------
+    def _entry_path(self, stage: str, key: str) -> Path:
+        if stage not in STAGES:
+            raise ValueError(f"unknown cache stage {stage!r}; expected "
+                             f"one of {STAGES}")
+        return self.root / stage / key[:2] / f"{key}.json"
+
+    # -- raw entry access ----------------------------------------------
+    def get(self, stage: str, key: str) -> Optional[dict]:
+        """The stored payload, or None on miss/corruption."""
+        path = self._entry_path(stage, key)
+        telemetry = obs.is_enabled()
+        try:
+            text = path.read_text(encoding="utf-8")
+            envelope = json.loads(text)
+            if (envelope.get("format") != CACHE_FORMAT_VERSION
+                    or envelope.get("key") != key
+                    or "data" not in envelope):
+                raise ValueError("cache envelope mismatch")
+        except FileNotFoundError:
+            if telemetry:
+                obs.counter("cache.misses", stage=stage).add(1)
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            # Corrupted entry: drop it and treat as a miss so the stage
+            # recomputes and overwrites.
+            if telemetry:
+                obs.counter("cache.corrupt", stage=stage).add(1)
+                obs.counter("cache.misses", stage=stage).add(1)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if telemetry:
+            obs.counter("cache.hits", stage=stage).add(1)
+        return envelope["data"]
+
+    def put(self, stage: str, key: str, data: dict) -> None:
+        """Atomically write one entry (readers never see partials)."""
+        path = self._entry_path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"format": CACHE_FORMAT_VERSION, "stage": stage,
+                    "key": key, "data": data}
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        try:
+            tmp.write_text(json.dumps(envelope), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full cache directory must never fail the
+            # compile; the result simply is not cached.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        if obs.is_enabled():
+            obs.counter("cache.stores", stage=stage).add(1)
+
+    def drop(self, stage: str, key: str) -> None:
+        """Remove one entry (used when a payload fails validation)."""
+        try:
+            self._entry_path(stage, key).unlink()
+        except OSError:
+            pass
+
+    # -- maintenance ----------------------------------------------------
+    def _entries(self, stage: str):
+        stage_dir = self.root / stage
+        if not stage_dir.is_dir():
+            return
+        yield from sorted(stage_dir.glob("*/*.json"))
+
+    def stats(self) -> dict:
+        """Entry counts and byte totals, per stage and overall."""
+        stages = {}
+        total_entries = 0
+        total_bytes = 0
+        for stage in STAGES:
+            entries = 0
+            size = 0
+            for path in self._entries(stage):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+            stages[stage] = {"entries": entries, "bytes": size}
+            total_entries += entries
+            total_bytes += size
+        return {"root": str(self.root), "stages": stages,
+                "entries": total_entries, "bytes": total_bytes}
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for stage in STAGES:
+            for path in self._entries(stage):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    # -- typed stage helpers -------------------------------------------
+    def load_profile(self, key: str,
+                     graph: StreamGraph) -> Optional[ProfileTable]:
+        payload = self.get("profile", key)
+        if payload is None:
+            return None
+        try:
+            return profile_from_payload(payload, graph)
+        except (KeyError, IndexError, TypeError, ValueError):
+            self.drop("profile", key)
+            return None
+
+    def store_profile(self, key: str, graph: StreamGraph,
+                      profile: ProfileTable) -> None:
+        self.put("profile", key, profile_payload(graph, profile))
+
+    def load_config(self, key: str,
+                    graph: StreamGraph) -> Optional[ExecutionConfig]:
+        payload = self.get("execution_config", key)
+        if payload is None:
+            return None
+        try:
+            return config_from_payload(payload, graph)
+        except (KeyError, IndexError, TypeError, ValueError):
+            self.drop("execution_config", key)
+            return None
+
+    def store_config(self, key: str, graph: StreamGraph,
+                     config: ExecutionConfig) -> None:
+        self.put("execution_config", key, config_payload(graph, config))
+
+    def load_search(self, key: str, problem: ScheduleProblem
+                    ) -> Optional[IISearchResult]:
+        payload = self.get("schedule", key)
+        if payload is None:
+            return None
+        try:
+            return search_from_payload(payload, problem)
+        except (KeyError, IndexError, TypeError, ValueError,
+                SchedulingError):
+            self.drop("schedule", key)
+            return None
+
+    def store_search(self, key: str, search: IISearchResult) -> None:
+        self.put("schedule", key, search_payload(search))
+
+
+def resolve_cache(cache: Union[CompileCache, str, Path, None]
+                  ) -> Optional[CompileCache]:
+    """Normalize a cache argument: pass through, wrap a path, or None."""
+    if cache is None or isinstance(cache, CompileCache):
+        return cache
+    return CompileCache(cache)
+
+
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "CACHE_FORMAT_VERSION",
+    "CompileCache",
+    "OPTIONS_FIELD_STAGES",
+    "STAGES",
+    "config_from_payload",
+    "config_payload",
+    "config_stage_key",
+    "default_cache_dir",
+    "device_signature",
+    "graph_signature",
+    "options_signature",
+    "problem_signature",
+    "profile_from_payload",
+    "profile_payload",
+    "profile_stage_key",
+    "resolve_cache",
+    "schedule_stage_key",
+    "search_from_payload",
+    "search_payload",
+    "stable_hash",
+    "work_fingerprint",
+]

@@ -7,8 +7,11 @@ Usage::
     python -m repro run FMRadio --iterations 2
     python -m repro compile FMRadio --scheme swp --coarsening 8
     python -m repro compile FMRadio --trace out.json --stats
+    python -m repro compile FMRadio --jobs 4 --cache-dir /tmp/repro-cache
     python -m repro compare DCT
     python -m repro stats DCT --scheme swpnc
+    python -m repro cache stats
+    python -m repro cache clear
     python -m repro codegen FFT --output fft.cu
     python -m repro dsl program.str --root Main
 
@@ -18,6 +21,14 @@ phases; ``--stats`` prints the phase/counter summary after the normal
 output.  ``stats`` is the counter-first view: it compiles one benchmark
 with the observability layer on and prints per-SM cycle, bus
 transaction, stall and solver telemetry.
+
+``--jobs N`` fans per-filter profiling and ILP attempts out over N
+worker threads (0 = all cores; default ``REPRO_JOBS`` or 1) without
+changing the produced artifacts.  Compiling subcommands reuse cached
+profiles, execution configs and ILP schedules from ``--cache-dir``
+(default ``REPRO_CACHE_DIR`` or ``~/.cache/repro``); ``--no-cache``
+disables the cache, and ``repro cache stats`` / ``repro cache clear``
+inspect or empty it.  See docs/parallel-and-caching.md.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ from typing import Optional, Sequence
 
 from . import obs
 from .apps import all_benchmarks, benchmark_by_name
+from .cache import CompileCache, default_cache_dir
 from .compiler import CompileOptions, compile_stream_program
 from .gpu.device import (
     GEFORCE_8600_GTS,
@@ -59,6 +71,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the observability summary "
                               "(phases + counters) after the output")
 
+    # Parallelism + compile-cache flags shared by compiling subcommands.
+    perf = argparse.ArgumentParser(add_help=False)
+    perf.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker threads for profiling and the II "
+                           "search (0 = all cores; default REPRO_JOBS "
+                           "or 1)")
+    perf.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="compile-cache directory (default "
+                           "REPRO_CACHE_DIR or ~/.cache/repro)")
+    perf.add_argument("--no-cache", action="store_true",
+                      help="skip the compile cache entirely")
+
     sub.add_parser("list", help="list the benchmark suite")
 
     info = sub.add_parser("info", help="describe one benchmark's graph")
@@ -71,7 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--show", type=int, default=8,
                      help="output tokens to print")
 
-    comp = sub.add_parser("compile", parents=[observe],
+    comp = sub.add_parser("compile", parents=[observe, perf],
                           help="compile one benchmark under one scheme")
     comp.add_argument("benchmark")
     comp.add_argument("--scheme", choices=("swp", "swpnc", "serial"),
@@ -82,13 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--budget", type=float, default=10.0,
                       help="seconds per ILP attempt")
 
-    compare = sub.add_parser("compare", parents=[observe],
+    compare = sub.add_parser("compare", parents=[observe, perf],
                              help="compare all three schemes "
                                   "(one Fig. 10 row)")
     compare.add_argument("benchmark")
     compare.add_argument("--budget", type=float, default=10.0)
 
-    stats = sub.add_parser("stats", parents=[observe],
+    stats = sub.add_parser("stats", parents=[observe, perf],
                            help="compile one benchmark with full "
                                 "observability and print its counters")
     stats.add_argument("benchmark")
@@ -99,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="8800gts512")
     stats.add_argument("--budget", type=float, default=10.0,
                        help="seconds per ILP attempt")
+
+    cache = sub.add_parser("cache", help="inspect or empty the compile "
+                                         "cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="compile-cache directory (default "
+                            "REPRO_CACHE_DIR or ~/.cache/repro)")
 
     codegen = sub.add_parser("codegen", help="emit CUDA sources for a "
                                              "compiled benchmark")
@@ -133,6 +164,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if command == "stats":
         return _cmd_stats(args)
+    if command == "cache":
+        return _cmd_cache(args)
     if command == "codegen":
         return _cmd_codegen(args)
     if command == "dsl":
@@ -172,6 +205,13 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cache_from(args) -> Optional[CompileCache]:
+    """The compile cache the flags select (None when disabled)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return CompileCache(args.cache_dir or default_cache_dir())
+
+
 def _wants_observability(args) -> bool:
     return bool(getattr(args, "trace", None)) \
         or bool(getattr(args, "stats", False))
@@ -198,7 +238,8 @@ def _cmd_compile(args) -> int:
                              attempt_budget_seconds=args.budget)
     if _wants_observability(args):
         obs.enable(reset=True)
-    compiled = compile_stream_program(graph, options)
+    compiled = compile_stream_program(graph, options, jobs=args.jobs,
+                                      cache=_cache_from(args))
     print(f"scheme={args.scheme} device={options.device.name}")
     if compiled.schedule is not None:
         print(f"II={compiled.schedule.ii:.0f} cycles, stages "
@@ -218,13 +259,15 @@ def _cmd_compare(args) -> int:
     if _wants_observability(args):
         obs.enable(reset=True)
     base = dict(attempt_budget_seconds=args.budget)
+    run = dict(jobs=args.jobs, cache=_cache_from(args))
     swp = compile_stream_program(
-        graph, CompileOptions(scheme="swp", coarsening=8, **base))
+        graph, CompileOptions(scheme="swp", coarsening=8, **base), **run)
     serial = compile_stream_program(
         graph, CompileOptions(scheme="serial", **base),
-        swp_buffer_budget=swp.buffer_bytes)
+        swp_buffer_budget=swp.buffer_bytes, **run)
     swpnc = compile_stream_program(
-        graph, CompileOptions(scheme="swpnc", coarsening=8, **base))
+        graph, CompileOptions(scheme="swpnc", coarsening=8, **base),
+        **run)
     print(f"{'scheme':<8} {'speedup':>8}")
     print(f"{'SWPNC':<8} {swpnc.speedup:>8.2f}")
     print(f"{'Serial':<8} {serial.speedup:>8.2f}")
@@ -242,7 +285,8 @@ def _cmd_stats(args) -> int:
                              device=DEVICES[args.device],
                              attempt_budget_seconds=args.budget)
     obs.enable(reset=True)
-    compiled = compile_stream_program(graph, options)
+    compiled = compile_stream_program(graph, options, jobs=args.jobs,
+                                      cache=_cache_from(args))
     print(f"{args.benchmark}: scheme={args.scheme} "
           f"device={options.device.name} "
           f"speedup={compiled.speedup:.2f}x")
@@ -255,6 +299,22 @@ def _cmd_stats(args) -> int:
     print()
     print(obs.summary())
     _emit_observability(args)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = CompileCache(args.cache_dir or default_cache_dir())
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"compile cache at {stats['root']}")
+    print(f"{'stage':<18} {'entries':>8} {'bytes':>12}")
+    for stage, row in stats["stages"].items():
+        print(f"{stage:<18} {row['entries']:>8} {row['bytes']:>12,}")
+    print(f"{'total':<18} {stats['entries']:>8} {stats['bytes']:>12,}")
     return 0
 
 

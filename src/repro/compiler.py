@@ -22,9 +22,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from . import cache as cache_mod
 from . import obs
+from .cache import CompileCache, resolve_cache
 from .core.buffers import (
     ChannelBuffer,
     analytic_channel_footprints,
@@ -35,7 +37,11 @@ from .core.coarsen import coarsen_schedule
 from .core.config_select import select_configuration
 from .core.configure import ConfiguredProgram, ExecutionConfig, configure_program
 from .core.iisearch import IISearchResult, search_ii
-from .core.profiling import profile_graph, shared_staging_candidates
+from .core.profiling import (
+    default_numfirings,
+    profile_graph,
+    shared_staging_candidates,
+)
 from .core.sas import SasSchedule, build_sas_schedule, simulate_sas
 from .core.schedule import Schedule
 from .errors import SchedulingError
@@ -47,9 +53,19 @@ from .runtime.cpu_model import CpuConfig, execution_time
 SCHEMES = ("swp", "swpnc", "serial")
 
 
-@dataclass
+@dataclass(frozen=True)
 class CompileOptions:
-    """Knobs for one compilation run."""
+    """Knobs for one compilation run.
+
+    The dataclass is frozen: instances are hashable and compare field
+    by field, and **every** field affects compilation output — which is
+    exactly what the compile cache requires (two options that differ
+    anywhere must never share a final artifact; see
+    ``repro.cache.OPTIONS_FIELD_STAGES`` for the per-stage breakdown).
+    Execution-level knobs that cannot change the artifacts — worker
+    count, cache location — are deliberately *not* fields here; they
+    are keyword arguments of :func:`compile_stream_program`.
+    """
 
     device: DeviceConfig = GEFORCE_8800_GTS_512
     scheme: str = "swp"
@@ -117,15 +133,29 @@ class CompiledProgram:
         return total_buffer_bytes(self.buffers)
 
 
+#: Accepted forms of the ``cache`` argument: an instance, a directory
+#: path, or None (caching off).
+CacheArg = Union[CompileCache, str, None]
+
+
 def compile_stream_program(graph: StreamGraph,
                            options: CompileOptions | None = None,
                            *,
-                           swp_buffer_budget: Optional[int] = None
+                           swp_buffer_budget: Optional[int] = None,
+                           jobs: Optional[int] = None,
+                           cache: CacheArg = None
                            ) -> CompiledProgram:
     """Compile and time ``graph`` under one scheme.
 
     ``swp_buffer_budget`` (bytes) feeds the Serial scheme's fairness
     rule; when omitted, a reference SWP8 compile supplies it.
+
+    ``jobs`` fans per-filter profiling and II-search attempts out over
+    a worker pool (see :mod:`repro.parallel`; ``None`` defers to
+    ``REPRO_JOBS``, 1 is serial).  Artifacts are identical for any job
+    count.  ``cache`` (a :class:`repro.cache.CompileCache` or a
+    directory path) reuses profiles, execution configs and ILP
+    schedules across invocations; ``None`` disables caching.
 
     While the observability layer is on (``repro.obs.enable()``), each
     of the six phases — profile, config-select, II-search/SAS, coarsen,
@@ -133,54 +163,105 @@ def compile_stream_program(graph: StreamGraph,
     program's ``stats`` carries the metric delta of this compile.
     """
     options = options or CompileOptions()
+    cache = resolve_cache(cache)
     collect = obs.is_enabled()
     before = obs.metrics_snapshot() if collect else None
     with obs.span("compile", scheme=options.scheme,
                   coarsening=options.coarsening,
                   device=options.device.name):
-        compiled = _compile(graph, options, swp_buffer_budget)
+        compiled = _compile(graph, options, swp_buffer_budget,
+                            jobs=jobs, cache=cache)
     if collect:
         compiled.stats = obs.diff_snapshots(before,
                                             obs.metrics_snapshot())
     return compiled
 
 
-def _compile(graph: StreamGraph, options: CompileOptions,
-             swp_buffer_budget: Optional[int]) -> CompiledProgram:
+def _configure(graph: StreamGraph, options: CompileOptions,
+               jobs: Optional[int],
+               cache: Optional[CompileCache]) -> ConfiguredProgram:
+    """Profile + configuration selection, with per-stage caching."""
     device = options.device
-    graph.validate()
-
     coalesced = options.scheme != "swpnc"
     staging = {}
     if options.scheme == "swpnc":
         staging = shared_staging_candidates(graph, device)
 
-    with obs.span("profile", coalesced=coalesced,
-                  staged_nodes=sum(1 for v in staging.values() if v)):
-        profile = profile_graph(
-            graph, device, numfirings=options.numfirings,
-            coalesced=coalesced,
-            shared_staging=staging if staging else None)
-    with obs.span("config_select"):
-        selection = select_configuration(graph, profile,
-                                         coalesced=coalesced,
-                                         shared_staging=staging)
-        program = configure_program(graph, selection.config,
-                                    device.num_sms)
+    firings = options.numfirings if options.numfirings is not None \
+        else default_numfirings(device)
+    profile_key = config_key = None
+    config = None
+    if cache is not None:
+        profile_key = cache_mod.profile_stage_key(
+            graph, device, firings, coalesced, staging)
+        config_key = cache_mod.config_stage_key(profile_key)
+        config = cache.load_config(config_key, graph)
 
-    if options.scheme == "serial":
-        return _compile_serial(graph, options, program, swp_buffer_budget)
-    return _compile_swp(graph, options, program)
+    if config is None:
+        profile = cache.load_profile(profile_key, graph) \
+            if cache is not None else None
+        if profile is None:
+            with obs.span("profile", coalesced=coalesced,
+                          staged_nodes=sum(1 for v in staging.values()
+                                           if v)):
+                profile = profile_graph(
+                    graph, device, numfirings=firings,
+                    coalesced=coalesced,
+                    shared_staging=staging if staging else None,
+                    jobs=jobs)
+            if cache is not None:
+                cache.store_profile(profile_key, graph, profile)
+        with obs.span("config_select"):
+            selection = select_configuration(graph, profile,
+                                             coalesced=coalesced,
+                                             shared_staging=staging)
+            config = selection.config
+        if cache is not None:
+            cache.store_config(config_key, graph, config)
+    return configure_program(graph, config, device.num_sms)
 
 
-# ----------------------------------------------------------------------
-def _compile_swp(graph: StreamGraph, options: CompileOptions,
-                 program: ConfiguredProgram) -> CompiledProgram:
+def _search(program: ConfiguredProgram, options: CompileOptions,
+            jobs: Optional[int],
+            cache: Optional[CompileCache]) -> IISearchResult:
+    """The II search, consulting the schedule stage of the cache."""
+    search_key = None
+    if cache is not None:
+        search_key = cache_mod.schedule_stage_key(
+            program.problem, backend=options.ilp_backend,
+            attempt_budget_seconds=options.attempt_budget_seconds,
+            relaxation_step=options.relaxation_step)
+        cached = cache.load_search(search_key, program.problem)
+        if cached is not None:
+            return cached
     with obs.span("ii_search", backend=options.ilp_backend):
         search = search_ii(
             program.problem, backend=options.ilp_backend,
             attempt_budget_seconds=options.attempt_budget_seconds,
-            relaxation_step=options.relaxation_step)
+            relaxation_step=options.relaxation_step, jobs=jobs)
+    if cache is not None:
+        cache.store_search(search_key, search)
+    return search
+
+
+def _compile(graph: StreamGraph, options: CompileOptions,
+             swp_buffer_budget: Optional[int], *,
+             jobs: Optional[int] = None,
+             cache: Optional[CompileCache] = None) -> CompiledProgram:
+    graph.validate()
+    program = _configure(graph, options, jobs, cache)
+    if options.scheme == "serial":
+        return _compile_serial(graph, options, program, swp_buffer_budget,
+                               jobs=jobs, cache=cache)
+    return _compile_swp(graph, options, program, jobs=jobs, cache=cache)
+
+
+# ----------------------------------------------------------------------
+def _compile_swp(graph: StreamGraph, options: CompileOptions,
+                 program: ConfiguredProgram, *,
+                 jobs: Optional[int] = None,
+                 cache: Optional[CompileCache] = None) -> CompiledProgram:
+    search = _search(program, options, jobs, cache)
     return _finalize_swp(graph, options, program, search)
 
 
@@ -222,38 +303,25 @@ def _finalize_swp(graph: StreamGraph, options: CompileOptions,
 
 
 def compile_swp_sweep(graph: StreamGraph, options: CompileOptions | None,
-                      factors: Sequence[int]) -> dict[int, CompiledProgram]:
+                      factors: Sequence[int], *,
+                      jobs: Optional[int] = None,
+                      cache: CacheArg = None
+                      ) -> dict[int, CompiledProgram]:
     """Compile once, evaluate several SWPn coarsening factors.
 
     The coarsening study of paper Fig. 11 re-uses one ILP solution:
     coarsening scales the schedule without affecting its optimality
-    (Section V-B), so only profiling + one II search run here.
+    (Section V-B), so only profiling + one II search run here.  The
+    ``jobs``/``cache`` knobs behave as in :func:`compile_stream_program`.
     """
     options = options or CompileOptions()
     if options.scheme not in ("swp", "swpnc"):
         raise SchedulingError("coarsening sweeps apply to SWP schemes")
     graph.validate()
+    cache = resolve_cache(cache)
 
-    coalesced = options.scheme != "swpnc"
-    staging = {}
-    if options.scheme == "swpnc":
-        staging = shared_staging_candidates(graph, options.device)
-    with obs.span("profile", coalesced=coalesced):
-        profile = profile_graph(
-            graph, options.device, numfirings=options.numfirings,
-            coalesced=coalesced,
-            shared_staging=staging if staging else None)
-    with obs.span("config_select"):
-        selection = select_configuration(graph, profile,
-                                         coalesced=coalesced,
-                                         shared_staging=staging)
-        program = configure_program(graph, selection.config,
-                                    options.device.num_sms)
-    with obs.span("ii_search", backend=options.ilp_backend):
-        search = search_ii(
-            program.problem, backend=options.ilp_backend,
-            attempt_budget_seconds=options.attempt_budget_seconds,
-            relaxation_step=options.relaxation_step)
+    program = _configure(graph, options, jobs, cache)
+    search = _search(program, options, jobs, cache)
 
     collect = obs.is_enabled()
     results = {}
@@ -307,7 +375,10 @@ def swp_kernel(program: ConfiguredProgram, schedule: Schedule,
 # ----------------------------------------------------------------------
 def _compile_serial(graph: StreamGraph, options: CompileOptions,
                     program: ConfiguredProgram,
-                    swp_buffer_budget: Optional[int]) -> CompiledProgram:
+                    swp_buffer_budget: Optional[int], *,
+                    jobs: Optional[int] = None,
+                    cache: Optional[CompileCache] = None
+                    ) -> CompiledProgram:
     device = options.device
     if swp_buffer_budget is None:
         reference = compile_stream_program(
@@ -317,7 +388,8 @@ def _compile_serial(graph: StreamGraph, options: CompileOptions,
                                   attempt_budget_seconds=options
                                   .attempt_budget_seconds,
                                   macro_iterations=options.macro_iterations,
-                                  numfirings=options.numfirings))
+                                  numfirings=options.numfirings),
+            jobs=jobs, cache=cache)
         swp_buffer_budget = reference.buffer_bytes
 
     with obs.span("sas"):

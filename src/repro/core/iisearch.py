@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 from .. import obs
 from ..errors import SchedulingError
+from ..parallel import parallel_map, resolve_jobs
 from .ilp_formulation import attempt_at_ii
 from .mii import compute_mii
 from .problem import ScheduleProblem
@@ -65,13 +66,34 @@ class IISearchResult:
         return sum(attempt.nodes for attempt in self.attempts)
 
 
+def relaxation_ladder(lower: float, relaxation_step: float,
+                      adaptive: bool) -> Iterator[float]:
+    """The deterministic sequence of candidate IIs the search visits.
+
+    Position ``n`` of the ladder assumes positions ``0..n-1`` all
+    failed (the search stops at the first success, so the prefix it
+    actually visits is always a prefix of this sequence).  With
+    ``adaptive`` the step doubles after every four failures.
+    """
+    ii = lower
+    step = relaxation_step
+    failures = 0
+    while True:
+        yield ii
+        failures += 1
+        if adaptive and failures % 4 == 0:
+            step *= 2
+        ii = ii * (1.0 + step)
+
+
 def search_ii(problem: ScheduleProblem, *,
               backend: str = "highs",
               attempt_budget_seconds: float = 20.0,
               relaxation_step: float = 0.005,
               max_attempts: int = 200,
               start_ii: Optional[float] = None,
-              adaptive: bool = True) -> IISearchResult:
+              adaptive: bool = True,
+              jobs: Optional[int] = None) -> IISearchResult:
     """Find the smallest feasible II by the paper's relax-and-retry loop.
 
     ``start_ii`` overrides the computed MII lower bound (used by tests
@@ -83,19 +105,26 @@ def search_ii(problem: ScheduleProblem, *,
     visits a sparser superset of the same II grid so the search stays
     fast when the resource bound is loose (deep bin-packing gaps, as in
     DES), at the cost of a slightly coarser final II.
+
+    ``jobs`` > 1 evaluates the relaxation ladder *speculatively*: the
+    next ``jobs`` candidate IIs solve concurrently on a worker pool,
+    and the first feasible candidate **in ladder order** wins, so the
+    chosen II (and therefore the schedule) is identical to the serial
+    search — speculation only changes wall-clock time.  Speculative
+    attempts past the winner are discarded from the diagnostics (the
+    serial search would never have run them) and surface only through
+    the ``ii_search.speculative_wasted`` counter.
     """
     report = compute_mii(problem)
     lower = start_ii if start_ii is not None else report.lower_bound
     if lower <= 0:
         raise SchedulingError("II lower bound must be positive")
 
-    attempts: list[Attempt] = []
     started = time.perf_counter()
-    ii = lower
-    step = relaxation_step
-    consecutive_failures = 0
+    workers = resolve_jobs(jobs)
     telemetry = obs.is_enabled()
-    for _ in range(max_attempts):
+
+    def run_attempt(ii: float) -> tuple[Attempt, Optional[Schedule]]:
         attempt_start = time.perf_counter()
         with obs.span("ilp_attempt", ii=round(ii, 2), backend=backend):
             schedule, solution = attempt_at_ii(
@@ -104,28 +133,51 @@ def search_ii(problem: ScheduleProblem, *,
         seconds = time.perf_counter() - attempt_start
         nodes = solution.nodes if solution is not None else 0
         relaxation = (ii / lower - 1.0) if lower else 0.0
-        attempts.append(Attempt(ii=ii, feasible=schedule is not None,
-                                seconds=seconds, relaxation=relaxation,
-                                nodes=nodes))
+        attempt = Attempt(ii=ii, feasible=schedule is not None,
+                          seconds=seconds, relaxation=relaxation,
+                          nodes=nodes)
+        return attempt, schedule
+
+    def finalize(schedule: Schedule,
+                 attempts: list[Attempt]) -> IISearchResult:
+        final = attempts[-1]
+        schedule.relaxation = final.relaxation
+        schedule.attempts = len(attempts)
+        total = time.perf_counter() - started
+        if telemetry:
+            obs.gauge("ii_search.final_ii").set(schedule.ii)
+            obs.gauge("ii_search.relaxation").set(final.relaxation)
+            obs.gauge("ii_search.mii").set(report.lower_bound)
+        return IISearchResult(schedule=schedule, mii=report.lower_bound,
+                              attempts=attempts, total_seconds=total)
+
+    def record(attempt: Attempt) -> None:
         if telemetry:
             obs.counter("ii_search.attempts").add(1)
-            obs.counter("ii_search.solver_nodes").add(nodes)
-            obs.histogram("ii_search.attempt_seconds").record(seconds)
-        if schedule is not None:
-            schedule.relaxation = relaxation
-            schedule.attempts = len(attempts)
-            total = time.perf_counter() - started
-            if telemetry:
-                obs.gauge("ii_search.final_ii").set(schedule.ii)
-                obs.gauge("ii_search.relaxation").set(relaxation)
-                obs.gauge("ii_search.mii").set(report.lower_bound)
-            return IISearchResult(schedule=schedule,
-                                  mii=report.lower_bound,
-                                  attempts=attempts, total_seconds=total)
-        consecutive_failures += 1
-        if adaptive and consecutive_failures % 4 == 0:
-            step *= 2
-        ii = ii * (1.0 + step)
+            obs.counter("ii_search.solver_nodes").add(attempt.nodes)
+            obs.histogram("ii_search.attempt_seconds").record(
+                attempt.seconds)
+
+    ladder = relaxation_ladder(lower, relaxation_step, adaptive)
+    attempts: list[Attempt] = []
+    last_ii = lower
+    remaining = max_attempts
+    while remaining > 0:
+        batch = [next(ladder)
+                 for _ in range(min(workers, remaining))]
+        remaining -= len(batch)
+        last_ii = batch[-1]
+        outcomes = parallel_map(run_attempt, batch, jobs=workers,
+                                label="ilp_attempt")
+        for position, (attempt, schedule) in enumerate(outcomes):
+            attempts.append(attempt)
+            record(attempt)
+            if schedule is not None:
+                wasted = len(outcomes) - position - 1
+                if telemetry and wasted:
+                    obs.counter("ii_search.speculative_wasted").add(
+                        wasted)
+                return finalize(schedule, attempts)
     raise SchedulingError(
         f"no feasible schedule found after {max_attempts} II relaxations "
-        f"(reached II={ii:.1f} from lower bound {lower:.1f})")
+        f"(reached II={last_ii:.1f} from lower bound {lower:.1f})")

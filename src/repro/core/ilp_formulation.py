@@ -189,9 +189,14 @@ def extract_schedule(problem: ScheduleProblem, ii: float,
     for v, k in problem.instances():
         sm = next(p for p in range(problem.num_sms)
                   if solution.int_value(variables.w[k, v, p]) == 1)
+        offset = float(solution.value(variables.o[k, v]))
+        if -1e-6 < offset < 0.0:
+            # Solver noise on the o >= 0 bound.  Snap to zero so that
+            # coarsening (which scales offsets) cannot amplify it past
+            # the validator's tolerance.
+            offset = 0.0
         placements[(v, k)] = Placement(
-            node=v, k=k, sm=sm,
-            offset=float(solution.value(variables.o[k, v])),
+            node=v, k=k, sm=sm, offset=offset,
             stage=solution.int_value(variables.f[k, v]))
     schedule = Schedule(problem=problem, ii=ii, placements=placements,
                         solve_seconds=solution.solve_seconds)

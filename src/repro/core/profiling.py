@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Optional
 
+from .. import obs
 from ..errors import SchedulingError
+from ..parallel import parallel_map
 from ..graph.graph import StreamGraph
 from ..graph.nodes import Node
 from ..gpu.device import (
@@ -60,16 +62,21 @@ class ProfileTable:
 def profile_graph(graph: StreamGraph, device: DeviceConfig, *,
                   numfirings: int | None = None,
                   coalesced: bool = True,
-                  shared_staging: Mapping[int, bool] | None = None) -> ProfileTable:
+                  shared_staging: Mapping[int, bool] | None = None,
+                  jobs: Optional[int] = None) -> ProfileTable:
     """Run the Fig. 6 profiling loop for every node of ``graph``.
 
     ``coalesced=False`` profiles the SWPNC variant ("the profile runs
     are also executed without memory access coalescing"), optionally
     with per-node shared-memory staging flags for nodes whose working
     set fits (Section V-B).
+
+    ``jobs`` fans the per-filter loop out over a worker pool: filters
+    are profiled independently (Fig. 6's outer loop carries no state
+    across filters), and results are merged back in node order, so the
+    table is identical for any job count.
     """
     graph.validate()
-    simulator = GpuSimulator(device)
     firings = numfirings if numfirings is not None \
         else default_numfirings(device)
     for threads in PROFILE_THREAD_COUNTS:
@@ -79,25 +86,40 @@ def profile_graph(graph: StreamGraph, device: DeviceConfig, *,
                 f"thread count {threads}")
     staging = dict(shared_staging or {})
 
-    run_times: dict[tuple[int, int, int], float] = {}
-    macro_delays: dict[tuple[int, int, int], float] = {}
-    for node in graph.nodes:
+    def profile_node(node) -> dict[tuple[int, int, int], tuple[float,
+                                                               float]]:
+        # One simulator per task: it is stateless beyond the device
+        # reference, but constructing locally keeps workers isolated.
+        simulator = GpuSimulator(device)
         stage_node = staging.get(node.uid, False)
+        entries: dict[tuple[int, int, int], tuple[float, float]] = {}
         for regs in PROFILE_REGISTER_BUDGETS:
             for threads in PROFILE_THREAD_COUNTS:
                 total = simulator.profile_filter(
                     node.estimate, threads, regs, firings,
                     coalesced=coalesced,
                     use_shared_staging=stage_node)
-                key = (node.uid, regs, threads)
-                run_times[key] = total
                 if math.isinf(total):
-                    macro_delays[key] = math.inf
+                    delay = math.inf
                 else:
                     iterations = firings // threads
                     per_sm_iterations = math.ceil(
                         iterations / device.num_sms)
-                    macro_delays[key] = total / per_sm_iterations
+                    delay = total / per_sm_iterations
+                entries[(node.uid, regs, threads)] = (total, delay)
+        if obs.is_enabled():
+            obs.counter("profile.filters").add(1)
+        return entries
+
+    per_node = parallel_map(profile_node, graph.nodes, jobs=jobs,
+                            label="profile")
+
+    run_times: dict[tuple[int, int, int], float] = {}
+    macro_delays: dict[tuple[int, int, int], float] = {}
+    for entries in per_node:
+        for key, (total, delay) in entries.items():
+            run_times[key] = total
+            macro_delays[key] = delay
     return ProfileTable(run_times=run_times, macro_delays=macro_delays,
                         numfirings=firings)
 

@@ -17,11 +17,19 @@ their updates, which keeps the disabled path at a single branch.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Mapping
 
 #: Histograms keep raw samples up to this count (aggregates keep
 #: updating beyond it), bounding memory for long sessions.
 HISTOGRAM_SAMPLE_CAP = 4096
+
+#: One lock shared by every instrument: updates can arrive from
+#: repro.parallel worker threads, and read-modify-write sequences like
+#: ``self.value += amount`` are not atomic.  Contention is negligible
+#: at the layer's update rates, and a single lock keeps the instruments
+#: slot-sized.
+_LOCK = threading.Lock()
 
 
 class Counter:
@@ -35,7 +43,8 @@ class Counter:
     def add(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only increase; use a gauge")
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
 
 class Gauge:
@@ -64,12 +73,13 @@ class Histogram:
 
     def record(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
-            self.samples.append(value)
+        with _LOCK:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
+                self.samples.append(value)
 
     @property
     def mean(self) -> float:
@@ -115,21 +125,24 @@ class MetricsRegistry:
         key = metric_key(name, labels)
         instrument = self.counters.get(key)
         if instrument is None:
-            instrument = self.counters[key] = Counter()
+            with _LOCK:
+                instrument = self.counters.setdefault(key, Counter())
         return instrument
 
     def gauge(self, name: str, **labels) -> Gauge:
         key = metric_key(name, labels)
         instrument = self.gauges.get(key)
         if instrument is None:
-            instrument = self.gauges[key] = Gauge()
+            with _LOCK:
+                instrument = self.gauges.setdefault(key, Gauge())
         return instrument
 
     def histogram(self, name: str, **labels) -> Histogram:
         key = metric_key(name, labels)
         instrument = self.histograms.get(key)
         if instrument is None:
-            instrument = self.histograms[key] = Histogram()
+            with _LOCK:
+                instrument = self.histograms.setdefault(key, Histogram())
         return instrument
 
     # ------------------------------------------------------------------

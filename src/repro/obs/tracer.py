@@ -21,10 +21,17 @@ Design constraints (this sits on the compile hot path):
 
 Times come from ``time.perf_counter()`` and are recorded in seconds
 relative to the tracer's first span (the exporters convert units).
+
+The tracer is thread-safe: the completed-span list is guarded by a
+lock, and the nesting stack is *per thread*, so spans opened inside
+:mod:`repro.parallel` worker threads nest under their own thread's
+context instead of corrupting the main thread's stack.  Each span
+records the opening thread's name so exporters can lane-split traces.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -41,6 +48,7 @@ class SpanRecord:
     parent: Optional[int] = None      # index into Tracer.spans
     index: int = 0                    # position in Tracer.spans
     attrs: dict[str, Any] = field(default_factory=dict)
+    thread: str = "MainThread"        # name of the opening thread
 
     @property
     def duration(self) -> float:
@@ -80,7 +88,7 @@ class _ActiveSpan:
 
     def __exit__(self, *exc) -> bool:
         self.record.end = time.perf_counter()
-        stack = self._tracer._stack
+        stack = self._tracer._thread_stack()
         if stack and stack[-1] is self.record:
             stack.pop()
         return False
@@ -92,7 +100,14 @@ class Tracer:
     def __init__(self) -> None:
         self.enabled = False
         self.spans: list[SpanRecord] = []
-        self._stack: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _thread_stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     def enable(self) -> None:
@@ -102,8 +117,9 @@ class Tracer:
         self.enabled = False
 
     def clear(self) -> None:
-        self.spans = []
-        self._stack = []
+        with self._lock:
+            self.spans = []
+            self._local = threading.local()
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs):
@@ -114,16 +130,19 @@ class Tracer:
         """
         if not self.enabled:
             return NULL_SPAN
-        parent = self._stack[-1] if self._stack else None
+        stack = self._thread_stack()
+        parent = stack[-1] if stack else None
         record = SpanRecord(
             name=name,
             start=time.perf_counter(),
-            depth=len(self._stack),
+            depth=len(stack),
             parent=parent.index if parent is not None else None,
-            index=len(self.spans),
-            attrs=attrs)
-        self.spans.append(record)
-        self._stack.append(record)
+            attrs=attrs,
+            thread=threading.current_thread().name)
+        with self._lock:
+            record.index = len(self.spans)
+            self.spans.append(record)
+        stack.append(record)
         return _ActiveSpan(self, record)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,142 @@
+"""Worker-pool layer for the compile pipeline's embarrassingly
+parallel loops.
+
+The paper's compile flow (Fig. 5) contains two independent fan-outs:
+per-filter profiling (Fig. 6 runs 4 register budgets x 4 thread counts
+for every filter, and filters do not interact) and the II search's
+relaxation ladder (each ILP attempt at a candidate II is an independent
+feasibility problem).  :func:`parallel_map` is the single primitive
+both use:
+
+* **Deterministic ordering.**  Results come back in *submission*
+  order, never completion order, so a parallel compile produces
+  byte-identical artifacts to a serial one (`--jobs 4` == `--jobs 1`).
+* **Graceful serial fallback.**  ``jobs=1`` (the default), a single
+  item, or a pool that fails to start all degrade to a plain in-order
+  loop — no thread is ever required for correctness.
+* **Observability.**  While :mod:`repro.obs` is enabled, each pooled
+  task runs under a per-worker span and the layer maintains
+  ``parallel.*`` counters/gauges (tasks, pool size, fallbacks).
+
+Job-count resolution: an explicit ``jobs`` argument wins, otherwise
+the ``REPRO_JOBS`` environment variable, otherwise 1 (serial).
+``jobs=0`` means "one worker per CPU core".
+
+Threads, not processes: stream graphs carry arbitrary Python work
+functions (closures, lambdas) that do not pickle, and the expensive
+pooled work — HiGHS solves inside :mod:`scipy`, which release the GIL
+— runs concurrently under threads anyway.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+from . import obs
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Ceiling on the worker count, to keep a typo like ``--jobs 10000``
+#: from exhausting thread handles.
+MAX_JOBS = 64
+
+
+def default_jobs() -> int:
+    """Job count from ``REPRO_JOBS``, or 1 (serial) when unset/invalid."""
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        return resolve_jobs(int(raw))
+    except ValueError:
+        return 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a job-count request to a concrete worker count.
+
+    ``None`` defers to :func:`default_jobs`; ``0`` means one worker per
+    CPU core; values are clamped to ``[1, MAX_JOBS]``.  Negative counts
+    are a caller error.
+    """
+    if jobs is None:
+        return default_jobs()
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(MAX_JOBS, jobs))
+
+
+def _run_serial(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    return [fn(item) for item in items]
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
+                 jobs: Optional[int] = None,
+                 label: str = "task") -> list[R]:
+    """Apply ``fn`` to every item, preserving input order in the result.
+
+    With an effective job count above 1 the items run on a thread
+    pool; exceptions propagate for the *earliest* failing item (later
+    in-flight items are awaited, pending ones cancelled), matching
+    what a serial loop would raise first.
+    """
+    items = list(items)
+    workers = min(resolve_jobs(jobs), len(items))
+    telemetry = obs.is_enabled()
+    if telemetry:
+        obs.counter("parallel.tasks", label=label).add(len(items))
+    if workers <= 1:
+        return _run_serial(fn, items)
+
+    try:
+        executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=f"repro-{label}")
+    except Exception:
+        # Thread-starved environments (RuntimeError at interpreter
+        # shutdown, OS thread limits) degrade to the serial path.
+        if telemetry:
+            obs.counter("parallel.fallbacks", label=label).add(1)
+        return _run_serial(fn, items)
+
+    if telemetry:
+        obs.gauge("parallel.pool_size", label=label).set(workers)
+
+    def run_one(index: int, item: T) -> R:
+        if obs.is_enabled():
+            with obs.span("worker", label=label, index=index,
+                          thread=threading.current_thread().name):
+                return fn(item)
+        return fn(item)
+
+    futures: list[Future] = []
+    try:
+        for index, item in enumerate(items):
+            futures.append(executor.submit(run_one, index, item))
+        results: list[R] = []
+        for future in futures:
+            # Gathering in submission order keeps both the results and
+            # the first-raised exception deterministic.
+            results.append(future.result())
+        return results
+    finally:
+        for future in futures:
+            future.cancel()
+        executor.shutdown(wait=True)
+
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "MAX_JOBS",
+    "default_jobs",
+    "parallel_map",
+    "resolve_jobs",
+]

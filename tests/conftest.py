@@ -1,0 +1,19 @@
+"""Suite-wide fixtures.
+
+The CLI's compiling subcommands consult a persistent compile cache
+(``REPRO_CACHE_DIR`` or ``~/.cache/repro``) and a worker-pool job
+count (``REPRO_JOBS``) by default.  Tests must neither read state left
+by previous runs nor write outside pytest's tmp tree, so every test
+gets a private, initially empty cache directory and a clean jobs
+environment.  Tests that exercise warm-cache behaviour opt in by
+compiling twice inside one test.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_parallel_and_cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path / "compile-cache"))
+    monkeypatch.delenv("REPRO_JOBS", raising=False)

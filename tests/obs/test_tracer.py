@@ -70,7 +70,7 @@ class TestExceptionSafety:
                 with tracer.span("boom"):
                     raise ValueError("bang")
         assert all(s.end is not None for s in tracer.spans)
-        assert tracer._stack == []
+        assert tracer._thread_stack() == []
         # The tracer is still usable at depth 0 afterwards.
         with tracer.span("after"):
             pass

@@ -1,0 +1,333 @@
+"""The content-addressed compile cache: storage semantics, stage
+invalidation, corruption recovery, concurrency, and the end-to-end
+warm-recompile guarantee."""
+
+import json
+import threading
+
+from repro import obs
+from repro.cache import (
+    CACHE_FORMAT_VERSION,
+    CompileCache,
+    STAGES,
+    graph_signature,
+    profile_stage_key,
+    resolve_cache,
+    stable_hash,
+    work_fingerprint,
+)
+from repro.compiler import CompileOptions, compile_stream_program, \
+    replace_options
+from repro.gpu import GEFORCE_8600_GTS
+from tests.helpers import multirate_graph, simple_pipeline_graph
+
+
+def small_options(**changes) -> CompileOptions:
+    base = CompileOptions(scheme="swp", device=GEFORCE_8600_GTS,
+                          macro_iterations=8,
+                          attempt_budget_seconds=10.0)
+    return replace_options(base, **changes) if changes else base
+
+
+def counters(snapshot_before, snapshot_after=None) -> dict:
+    after = snapshot_after or obs.metrics_snapshot()
+    return obs.diff_snapshots(snapshot_before, after)["counters"]
+
+
+# ----------------------------------------------------------------------
+# raw entry store
+# ----------------------------------------------------------------------
+class TestStore:
+    def test_miss_then_roundtrip(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        assert cache.get("profile", "ab" * 32) is None
+        cache.put("profile", "ab" * 32, {"x": 1})
+        assert cache.get("profile", "ab" * 32) == {"x": 1}
+
+    def test_unknown_stage_rejected(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        try:
+            cache.get("nope", "ab" * 32)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("unknown stage must raise")
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.put("profile", "aa" * 32, {"x": 1})
+        cache.put("schedule", "bb" * 32, {"y": 2})
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["stages"]["profile"]["entries"] == 1
+        assert stats["stages"]["schedule"]["entries"] == 1
+        assert stats["stages"]["execution_config"]["entries"] == 0
+        assert stats["bytes"] > 0
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+
+    def test_corrupted_entry_is_dropped_and_missed(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        key = "cd" * 32
+        cache.put("profile", key, {"x": 1})
+        path = cache._entry_path("profile", key)
+        path.write_text("{ not json", encoding="utf-8")
+        obs.enable(reset=True)
+        try:
+            assert cache.get("profile", key) is None
+            deltas = obs.metrics_snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert not path.exists()
+        assert deltas["cache.corrupt{stage=profile}"] == 1
+        assert deltas["cache.misses{stage=profile}"] == 1
+
+    def test_key_mismatch_counts_as_corruption(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        key, other = "ee" * 32, "ff" * 32
+        cache.put("profile", key, {"x": 1})
+        src = cache._entry_path("profile", key)
+        dst = cache._entry_path("profile", other)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_text(src.read_text(encoding="utf-8"), encoding="utf-8")
+        assert cache.get("profile", other) is None
+
+    def test_format_version_participates(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        key = "aa" * 32
+        cache.put("profile", key, {"x": 1})
+        path = cache._entry_path("profile", key)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        assert envelope["format"] == CACHE_FORMAT_VERSION
+        envelope["format"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get("profile", key) is None
+
+    def test_concurrent_readers_and_writers(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        key = "ab" * 32
+        payload = {"rows": list(range(200))}
+        cache.put("schedule", key, payload)
+        failures = []
+
+        def reader():
+            for _ in range(50):
+                got = cache.get("schedule", key)
+                if got != payload:
+                    failures.append(got)
+
+        def writer():
+            for _ in range(50):
+                cache.put("schedule", key, payload)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)] \
+            + [threading.Thread(target=writer) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Atomic replace means a reader sees either the full old or the
+        # full new entry — here both are identical, so never a partial.
+        assert failures == []
+
+    def test_unwritable_cache_never_fails(self, tmp_path):
+        root = tmp_path / "ro"
+        root.mkdir()
+        cache = CompileCache(root)
+        cache.put("profile", "aa" * 32, {"x": 1})
+        root.chmod(0o500)
+        try:
+            cache.put("profile", "bb" * 32, {"x": 2})  # must not raise
+        finally:
+            root.chmod(0o700)
+
+    def test_resolve_cache_forms(self, tmp_path):
+        assert resolve_cache(None) is None
+        cache = CompileCache(tmp_path)
+        assert resolve_cache(cache) is cache
+        wrapped = resolve_cache(str(tmp_path))
+        assert isinstance(wrapped, CompileCache)
+        assert wrapped.root == cache.root
+
+
+# ----------------------------------------------------------------------
+# signatures
+# ----------------------------------------------------------------------
+class TestSignatures:
+    def test_graph_signature_is_uid_free(self):
+        # Two independently built copies get different node uids but
+        # must hash identically.
+        a = stable_hash(graph_signature(simple_pipeline_graph()))
+        b = stable_hash(graph_signature(simple_pipeline_graph()))
+        assert a == b
+
+    def test_different_graphs_differ(self):
+        a = stable_hash(graph_signature(simple_pipeline_graph()))
+        b = stable_hash(graph_signature(multirate_graph()))
+        assert a != b
+
+    def test_work_function_participates(self):
+        fast = lambda w: [w[0] * 2]    # noqa: E731
+        slow = lambda w: [w[0] * 3]    # noqa: E731
+        assert work_fingerprint(fast) != work_fingerprint(slow)
+        assert work_fingerprint(None) is None
+        assert work_fingerprint(len).startswith("name:")
+
+    def test_closure_values_participate(self):
+        def make(f):
+            return lambda w: [w[0] * f]
+        assert work_fingerprint(make(2.0)) != work_fingerprint(make(3.0))
+
+    def test_every_app_signature_is_build_stable(self):
+        # Node uids and helper-closure identities differ between two
+        # builds of the same app; the signature must not.
+        from repro.apps import all_benchmarks, benchmark_by_name
+        for info in all_benchmarks():
+            a = stable_hash(graph_signature(info.build()))
+            b = stable_hash(graph_signature(
+                benchmark_by_name(info.name).build()))
+            assert a == b, info.name
+
+    def test_profile_key_sees_staging_flags(self):
+        graph = simple_pipeline_graph()
+        device = GEFORCE_8600_GTS
+        uid = graph.nodes[1].uid
+        plain = profile_stage_key(graph, device, 4, True, None)
+        staged = profile_stage_key(graph, device, 4, True, {uid: True})
+        assert plain != staged
+
+
+# ----------------------------------------------------------------------
+# end-to-end: warm recompiles and stage invalidation
+# ----------------------------------------------------------------------
+class TestCompilePipeline:
+    def test_warm_recompile_skips_profile_and_ilp(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        options = small_options()
+        cold = compile_stream_program(multirate_graph(), options,
+                                      cache=cache)
+
+        obs.enable(reset=True)
+        try:
+            before = obs.metrics_snapshot()
+            warm = compile_stream_program(multirate_graph(), options,
+                                          cache=cache)
+            deltas = counters(before)
+        finally:
+            obs.disable()
+
+        assert deltas["cache.hits{stage=execution_config}"] == 1
+        assert deltas["cache.hits{stage=schedule}"] == 1
+        # The expensive stages never ran: no filter was profiled, no
+        # ILP attempt was made.
+        assert "profile.filters" not in deltas
+        assert "ii_search.attempts" not in deltas
+        assert warm.schedule.ii == cold.schedule.ii
+        assert warm.schedule.placements.keys() \
+            == cold.schedule.placements.keys()
+
+    def test_warm_artifacts_match_cold(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        options = small_options()
+        cold = compile_stream_program(multirate_graph(), options,
+                                      cache=cache)
+        warm = compile_stream_program(multirate_graph(), options,
+                                      cache=cache)
+        # Configs are keyed by node uid, which differs between two
+        # independently built graphs; compare per node in graph order.
+        for cold_node, warm_node in zip(cold.graph.nodes,
+                                        warm.graph.nodes):
+            assert warm.config.threads[warm_node.uid] \
+                == cold.config.threads[cold_node.uid]
+            assert warm.config.delays[warm_node.uid] \
+                == cold.config.delays[cold_node.uid]
+        assert warm.config.register_cap == cold.config.register_cap
+        assert warm.config.coalesced == cold.config.coalesced
+        assert warm.schedule.ii == cold.schedule.ii
+        for key, p in cold.schedule.placements.items():
+            q = warm.schedule.placements[key]
+            assert (p.sm, p.offset, p.stage) == (q.sm, q.offset, q.stage)
+        assert warm.gpu_seconds == cold.gpu_seconds
+        assert [b.bytes for b in warm.buffers] \
+            == [b.bytes for b in cold.buffers]
+
+    def test_ilp_knob_invalidates_only_the_schedule_stage(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        compile_stream_program(multirate_graph(), small_options(),
+                               cache=cache)
+        obs.enable(reset=True)
+        try:
+            before = obs.metrics_snapshot()
+            compile_stream_program(
+                multirate_graph(),
+                small_options(relaxation_step=0.01), cache=cache)
+            deltas = counters(before)
+        finally:
+            obs.disable()
+        # Profile + config reused; the II search re-ran.
+        assert deltas["cache.hits{stage=execution_config}"] == 1
+        assert deltas.get("cache.hits{stage=schedule}", 0) == 0
+        assert deltas["cache.misses{stage=schedule}"] == 1
+        assert deltas["ii_search.attempts"] >= 1
+        assert "profile.filters" not in deltas
+
+    def test_device_change_invalidates_everything(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        compile_stream_program(multirate_graph(), small_options(),
+                               cache=cache)
+        obs.enable(reset=True)
+        try:
+            before = obs.metrics_snapshot()
+            compile_stream_program(
+                multirate_graph(),
+                small_options(device=GEFORCE_8600_GTS.with_sms(2)),
+                cache=cache)
+            deltas = counters(before)
+        finally:
+            obs.disable()
+        assert deltas["cache.misses{stage=execution_config}"] == 1
+        assert deltas["cache.misses{stage=schedule}"] == 1
+        assert deltas["profile.filters"] >= 1
+        assert deltas["ii_search.attempts"] >= 1
+
+    def test_corrupted_schedule_entry_recovers(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        options = small_options()
+        cold = compile_stream_program(multirate_graph(), options,
+                                      cache=cache)
+        # Corrupt every schedule entry on disk.
+        for path in (tmp_path / "schedule").glob("*/*.json"):
+            path.write_text("garbage", encoding="utf-8")
+        warm = compile_stream_program(multirate_graph(), options,
+                                      cache=cache)
+        assert warm.schedule.ii == cold.schedule.ii
+        # The recompute overwrote the corrupted entry with a good one.
+        again = compile_stream_program(multirate_graph(), options,
+                                       cache=cache)
+        assert again.schedule.ii == cold.schedule.ii
+
+    def test_semantically_stale_entry_is_revalidated(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        options = small_options()
+        compile_stream_program(multirate_graph(), options, cache=cache)
+        # Tamper *inside* the JSON: break a placement's SM assignment
+        # so the payload parses but the schedule fails validation.
+        [path] = list((tmp_path / "schedule").glob("*/*.json"))
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        for row in envelope["data"]["schedule"]["placements"]:
+            row[2] = 9999  # sm out of range
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        # The loader must reject it and recompute rather than hand the
+        # simulator a nonsense schedule.
+        recompiled = compile_stream_program(multirate_graph(), options,
+                                            cache=cache)
+        assert all(p.sm < options.device.num_sms
+                   for p in recompiled.schedule.placements.values())
+
+    def test_stage_entry_counts(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        compile_stream_program(multirate_graph(), small_options(),
+                               cache=cache)
+        stats = cache.stats()
+        for stage in STAGES:
+            assert stats["stages"][stage]["entries"] == 1, stage

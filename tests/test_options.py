@@ -1,0 +1,146 @@
+"""CompileOptions equality/hashing audited against the compile cache.
+
+The cache is only sound if two options objects that differ in any
+output-affecting knob (a) compare unequal, and (b) never map an
+affected stage onto the same cache key.  These tests pin that contract
+so a new ``CompileOptions`` field cannot land without being classified
+in ``repro.cache.OPTIONS_FIELD_STAGES`` and covered by equality.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cache import (
+    OPTIONS_FIELD_STAGES,
+    STAGES,
+    config_stage_key,
+    options_signature,
+    profile_stage_key,
+    schedule_stage_key,
+    stable_hash,
+)
+from repro.compiler import CompileOptions, replace_options
+from repro.core.problem import EdgeSpec, ScheduleProblem
+from repro.gpu import GEFORCE_8600_GTS
+from repro.runtime.cpu_model import CpuConfig
+from tests.helpers import simple_pipeline_graph
+
+#: A distinct, valid value per CompileOptions field, used to flip each
+#: field one at a time.  A new field must be added here (the audit
+#: below fails otherwise).
+CHANGED_VALUES = {
+    "device": GEFORCE_8600_GTS,
+    "scheme": "swpnc",
+    "coarsening": 4,
+    "ilp_backend": "greedy",
+    "attempt_budget_seconds": 5.0,
+    "relaxation_step": 0.01,
+    "macro_iterations": 64,
+    "numfirings": 3,
+    "cpu": CpuConfig(clock_ghz=3.2),
+}
+
+FIELDS = [f.name for f in dataclasses.fields(CompileOptions)]
+
+
+def test_every_field_is_classified_for_the_cache():
+    assert set(OPTIONS_FIELD_STAGES) == set(FIELDS)
+    for field, stages in OPTIONS_FIELD_STAGES.items():
+        assert set(stages) <= set(STAGES), field
+
+
+def test_every_field_has_a_changed_value_fixture():
+    assert set(CHANGED_VALUES) == set(FIELDS)
+    base = CompileOptions()
+    for field, value in CHANGED_VALUES.items():
+        assert getattr(base, field) != value, (
+            f"CHANGED_VALUES[{field!r}] equals the default; the flip "
+            f"tests below would silently test nothing")
+
+
+def test_options_signature_covers_every_field():
+    sig = options_signature(CompileOptions())
+    assert set(sig) == set(FIELDS)
+
+
+@pytest.mark.parametrize("field", FIELDS)
+def test_equality_and_hash_see_every_field(field):
+    base = CompileOptions()
+    changed = replace_options(base, **{field: CHANGED_VALUES[field]})
+    assert base != changed
+    assert hash(base) != hash(changed) or base == changed
+    assert options_signature(base) != options_signature(changed)
+    # hashability round-trips through a dict (the frozen dataclass
+    # contract the sweep/caching code relies on)
+    assert {base: "a", changed: "b"}[changed] == "b"
+
+
+def test_equal_options_are_interchangeable():
+    assert CompileOptions() == CompileOptions()
+    assert hash(CompileOptions()) == hash(CompileOptions())
+    assert stable_hash(options_signature(CompileOptions())) \
+        == stable_hash(options_signature(CompileOptions()))
+
+
+# ----------------------------------------------------------------------
+# stage keys: differing options never share an affected cache entry
+# ----------------------------------------------------------------------
+def _problem() -> ScheduleProblem:
+    return ScheduleProblem(
+        names=["src", "mid", "sink"], firings=[1, 2, 1],
+        delays=[10.0, 20.0, 10.0],
+        edges=[EdgeSpec(0, 1, 2, 1), EdgeSpec(1, 2, 1, 2)],
+        num_sms=2)
+
+
+def _profile_key(options: CompileOptions, graph) -> str:
+    firings = options.numfirings if options.numfirings is not None else 4
+    return profile_stage_key(graph, options.device, firings,
+                             coalesced=options.scheme != "swpnc",
+                             shared_staging=None)
+
+
+def _schedule_key(options: CompileOptions) -> str:
+    return schedule_stage_key(
+        _problem(), backend=options.ilp_backend,
+        attempt_budget_seconds=options.attempt_budget_seconds,
+        relaxation_step=options.relaxation_step)
+
+
+@pytest.mark.parametrize("field", [
+    f for f, stages in OPTIONS_FIELD_STAGES.items() if "profile" in stages
+])
+def test_profile_affecting_fields_change_the_profile_key(field):
+    graph = simple_pipeline_graph()
+    base = CompileOptions()
+    changed = replace_options(base, **{field: CHANGED_VALUES[field]})
+    assert _profile_key(base, graph) != _profile_key(changed, graph)
+    # and therefore the derived execution-config key diverges too
+    assert config_stage_key(_profile_key(base, graph)) \
+        != config_stage_key(_profile_key(changed, graph))
+
+
+@pytest.mark.parametrize("field", [
+    f for f, stages in OPTIONS_FIELD_STAGES.items()
+    if "schedule" in stages and "profile" not in stages
+])
+def test_ilp_knobs_change_the_schedule_key(field):
+    base = CompileOptions()
+    changed = replace_options(base, **{field: CHANGED_VALUES[field]})
+    assert _schedule_key(base) != _schedule_key(changed)
+
+
+def test_different_problems_never_share_a_schedule_key():
+    base = _problem()
+    slower = ScheduleProblem(
+        names=list(base.names), firings=list(base.firings),
+        delays=[10.0, 25.0, 10.0], edges=list(base.edges),
+        num_sms=base.num_sms)
+    key = schedule_stage_key(base, backend="highs",
+                             attempt_budget_seconds=20.0,
+                             relaxation_step=0.005)
+    other = schedule_stage_key(slower, backend="highs",
+                               attempt_budget_seconds=20.0,
+                               relaxation_step=0.005)
+    assert key != other

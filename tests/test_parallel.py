@@ -1,0 +1,119 @@
+"""The worker-pool layer: ordering, resolution, fallbacks."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs, parallel
+from repro.parallel import (
+    MAX_JOBS,
+    default_jobs,
+    parallel_map,
+    resolve_jobs,
+)
+
+
+class TestResolveJobs:
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_one_is_serial(self):
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 7)
+        assert resolve_jobs(0) == 7
+
+    def test_clamped_to_max(self):
+        assert resolve_jobs(10_000) == MAX_JOBS
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_none_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_env_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    def test_env_garbage_means_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        assert default_jobs() == 1
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(lambda x: x * x, range(6), jobs=1) \
+            == [0, 1, 4, 9, 16, 25]
+
+    def test_pool_preserves_submission_order(self):
+        # Earlier items sleep longer, so completion order is the
+        # reverse of submission order — results must not be.
+        def slow_identity(x):
+            time.sleep((5 - x) * 0.01)
+            return x
+
+        assert parallel_map(slow_identity, range(6), jobs=6) \
+            == list(range(6))
+
+    def test_pool_and_serial_agree(self):
+        items = list(range(20))
+        fn = lambda x: (x * 37) % 11  # noqa: E731
+        assert parallel_map(fn, items, jobs=4) \
+            == parallel_map(fn, items, jobs=1)
+
+    def test_actually_runs_on_worker_threads(self):
+        names = parallel_map(
+            lambda _: threading.current_thread().name, range(8), jobs=4)
+        assert all(name.startswith("repro-") for name in names)
+
+    def test_single_item_stays_serial(self):
+        names = parallel_map(
+            lambda _: threading.current_thread().name, [0], jobs=8)
+        assert names == [threading.current_thread().name]
+
+    def test_earliest_exception_wins(self):
+        def fail_on_even(x):
+            if x % 2 == 0:
+                raise ValueError(f"boom {x}")
+            return x
+
+        with pytest.raises(ValueError, match="boom 0"):
+            parallel_map(fail_on_even, range(10), jobs=4)
+
+    def test_pool_creation_failure_falls_back_to_serial(self, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise RuntimeError("cannot start new thread")
+
+        monkeypatch.setattr(parallel, "ThreadPoolExecutor", refuse)
+        obs.enable(reset=True)
+        try:
+            assert parallel_map(lambda x: x + 1, range(4), jobs=4) \
+                == [1, 2, 3, 4]
+            snapshot = obs.metrics_snapshot()
+        finally:
+            obs.disable()
+        counters = snapshot["counters"]
+        assert counters["parallel.fallbacks{label=task}"] == 1
+
+    def test_counters_and_worker_spans(self):
+        obs.enable(reset=True)
+        try:
+            parallel_map(lambda x: x, range(4), jobs=2, label="unit")
+            snapshot = obs.metrics_snapshot()
+            spans = [s.name for s in obs.TRACER.spans]
+        finally:
+            obs.disable()
+        assert snapshot["counters"]["parallel.tasks{label=unit}"] == 4
+        assert snapshot["gauges"]["parallel.pool_size{label=unit}"] == 2
+        assert spans.count("worker") == 4
+
+    def test_disabled_obs_adds_nothing(self):
+        obs.clear()
+        parallel_map(lambda x: x, range(4), jobs=2)
+        assert obs.TRACER.spans == []
+        assert obs.metrics_snapshot()["counters"] == {}
