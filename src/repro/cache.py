@@ -40,6 +40,7 @@ indices back onto the live graph's uids.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import json
 import math
@@ -114,16 +115,25 @@ def work_fingerprint(fn, _depth: int = 0) -> Optional[str]:
     """A stable fingerprint for a Python work function.
 
     Compiled bytecode plus constants and referenced names capture the
-    computation; values captured by closure or by default argument are
-    folded in, recursing into captured *functions* (the benchmark apps
-    build work functions from shared helper closures) so the
-    fingerprint never depends on a function object's memory address
-    and is identical across independent graph builds.  Callables
-    without code objects (builtins, partials) fall back to their
-    qualified name.
+    computation; values captured by closure or by default argument
+    (positional and keyword-only) are folded in, recursing into
+    captured *functions* (the benchmark apps build work functions from
+    shared helper closures) so the fingerprint never depends on a
+    function object's memory address and is identical across
+    independent graph builds.  ``functools.partial`` objects fold in
+    the wrapped callable and the bound arguments; other callables
+    without code objects (builtins) fall back to their qualified name.
     """
     if fn is None:
         return None
+    if isinstance(fn, functools.partial) and _depth < 8:
+        return stable_hash([
+            "partial",
+            work_fingerprint(fn.func, _depth=_depth + 1),
+            [_captured_value(v, _depth) for v in fn.args],
+            sorted([k, _captured_value(v, _depth)]
+                   for k, v in fn.keywords.items()),
+        ])
     code = getattr(fn, "__code__", None)
     if code is None:
         return f"name:{getattr(fn, '__qualname__', type(fn).__name__)}"
@@ -143,6 +153,10 @@ def work_fingerprint(fn, _depth: int = 0) -> Optional[str]:
         defaults = getattr(fn, "__defaults__", None)
         if defaults:
             parts.append([_captured_value(v, _depth) for v in defaults])
+        kwdefaults = getattr(fn, "__kwdefaults__", None)
+        if kwdefaults:
+            parts.append(sorted([k, _captured_value(v, _depth)]
+                                for k, v in kwdefaults.items()))
     return stable_hash(parts)
 
 
@@ -411,6 +425,8 @@ class CompileCache:
         try:
             text = path.read_text(encoding="utf-8")
             envelope = json.loads(text)
+            if not isinstance(envelope, dict):
+                raise ValueError("cache envelope is not an object")
             if (envelope.get("format") != CACHE_FORMAT_VERSION
                     or envelope.get("key") != key
                     or "data" not in envelope):

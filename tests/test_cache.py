@@ -82,6 +82,18 @@ class TestStore:
         assert deltas["cache.corrupt{stage=profile}"] == 1
         assert deltas["cache.misses{stage=profile}"] == 1
 
+    def test_non_object_json_counts_as_corruption(self, tmp_path):
+        # Valid JSON that is not an object ('null', a list) must be a
+        # miss, not an AttributeError on envelope.get().
+        cache = CompileCache(tmp_path)
+        key = "dc" * 32
+        for text in ("null", "[1, 2, 3]", '"a string"', "42"):
+            cache.put("profile", key, {"x": 1})
+            path = cache._entry_path("profile", key)
+            path.write_text(text, encoding="utf-8")
+            assert cache.get("profile", key) is None
+            assert not path.exists()
+
     def test_key_mismatch_counts_as_corruption(self, tmp_path):
         cache = CompileCache(tmp_path)
         key, other = "ee" * 32, "ff" * 32
@@ -177,6 +189,33 @@ class TestSignatures:
         def make(f):
             return lambda w: [w[0] * f]
         assert work_fingerprint(make(2.0)) != work_fingerprint(make(3.0))
+
+    def test_partial_bound_args_participate(self):
+        import functools
+
+        def scale(w, factor, *, offset=0):
+            return [w[0] * factor + offset]
+
+        by2 = functools.partial(scale, factor=2)
+        by3 = functools.partial(scale, factor=3)
+        assert work_fingerprint(by2) != work_fingerprint(by3)
+        # Positional binding differs from a different positional value.
+        assert (work_fingerprint(functools.partial(scale, 2))
+                != work_fingerprint(functools.partial(scale, 3)))
+        # Same wrapped function + same bound args → same fingerprint,
+        # across distinct partial objects.
+        assert (work_fingerprint(functools.partial(scale, factor=2))
+                == work_fingerprint(by2))
+        # A partial never degrades to the shared 'name:partial' key.
+        fp = work_fingerprint(by2)
+        assert fp is not None and not fp.startswith("name:")
+
+    def test_kwonly_defaults_participate(self):
+        def make(offset):
+            def work(w, *, offset=offset):
+                return [w[0] + offset]
+            return work
+        assert work_fingerprint(make(1)) != work_fingerprint(make(2))
 
     def test_every_app_signature_is_build_stable(self):
         # Node uids and helper-closure identities differ between two
