@@ -1,0 +1,236 @@
+"""Serving load harness: batched throughput, tail latency, shedding.
+
+Drives every benchmark app through the ``repro.serve`` runtime under
+two synthetic workloads and gates the results:
+
+* **steady traffic** — Poisson arrivals over three tenants.  Gates:
+  every served window byte-equal to the reference interpreter, the
+  simulated batched GPU time at least ``--min-speedup`` (default 2x)
+  below the per-request no-batching baseline on at least
+  ``--min-passing`` apps (default 6 of 8), and p99 latency bounded by
+  the batching delay plus a small multiple of one cold per-request
+  execution.
+* **overload burst** — a burst far over the admission bound.  Gates:
+  shedding actually happens, every shed request carries a typed
+  :class:`ServerOverloaded` rejection, and requests + responses
+  balance exactly (nothing is ever dropped silently).
+
+``--quick`` runs a two-app subset for CI (every quick app must clear
+the speedup gate); the full run covers all eight apps.  Results land
+in ``BENCH_serve.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps import all_benchmarks, benchmark_by_name  # noqa: E402
+from repro.cache import CompileCache                      # noqa: E402
+from repro.errors import ServerOverloaded                 # noqa: E402
+from repro.gpu import GEFORCE_8600_GTS                    # noqa: E402
+from repro.runtime import Interpreter                     # noqa: E402
+from repro.serve import (                                 # noqa: E402
+    BatchPolicy,
+    StreamServer,
+    default_session_options,
+    synthetic_workload,
+)
+
+QUICK_APPS = ("Bitonic", "DCT")
+
+#: Filterbank's 4-SM ILP ladder has a feasible-but-slow candidate
+#: (see tests/test_determinism.py); 2 SMs keeps the run fast.
+APP_DEVICES = {"Filterbank": GEFORCE_8600_GTS.with_sms(2)}
+
+POLICY = BatchPolicy(max_wait_ms=0.2, max_batch_iterations=16,
+                     max_batch_requests=32, max_queue_requests=64)
+OVERLOAD_POLICY = BatchPolicy(max_wait_ms=0.2, max_queue_requests=4,
+                              max_tenant_requests=3)
+
+DEFAULT_OUTPUT = "BENCH_serve.json"
+
+
+def _serve_one(name: str) -> dict:
+    """Serve one app under steady traffic, then under an overload
+    burst, and measure everything the gates need."""
+    options = default_session_options(
+        device=APP_DEVICES.get(name, GEFORCE_8600_GTS),
+        attempt_budget_seconds=10.0)
+
+    # One server, two sessions of the same graph: steady traffic under
+    # the wide policy, the overload burst under a 4-deep queue.  The
+    # shared cache makes the second session a warm restart.
+    cache = CompileCache(tempfile.mkdtemp(prefix="bench-serve-cache-"))
+    burst_name = f"{name}:burst"
+    started = time.perf_counter()
+    server = StreamServer(options=options, cache=cache)
+    server.register(name, benchmark_by_name(name).build(),
+                    policy=POLICY)
+    server.register(burst_name, benchmark_by_name(name).build(),
+                    policy=OVERLOAD_POLICY)
+    server.start()
+    compile_seconds = time.perf_counter() - started
+
+    workload = synthetic_workload([name], requests=32, seed=7,
+                                  tenants=3, iterations_range=(1, 3),
+                                  burst=8)
+    report = server.play(workload)
+    stats = report.sessions[name]
+    session = server.session(name)
+    percentiles = stats.latency_percentiles()
+
+    # Byte-equality against the reference interpreter.
+    served = [r for r in report.responses if r.ok]
+    total = max(r.start_iteration + r.request.iterations for r in served)
+    ref_graph = benchmark_by_name(name).build()
+    reference = Interpreter(ref_graph)
+    reference.run(iterations=total)
+    ref_uid = {node.name: node.uid for node in ref_graph.sinks}
+    byte_equal = True
+    for sink_name, uid, per in session.sinks:
+        stream = reference.sink_outputs[ref_uid[sink_name]]
+        offset = session.sink_init_tokens[uid]
+        for response in served:
+            lo = offset + response.start_iteration * per
+            hi = lo + response.request.iterations * per
+            if response.outputs[sink_name] != list(stream[lo:hi]):
+                byte_equal = False
+
+    # Tail-latency bound: waiting for batchmates plus a few cold
+    # executions' worth of queueing — batching must not starve tails.
+    cold_ms = session.ms(session.unbatched_request_cycles(3))
+    p99_bound_ms = POLICY.max_wait_ms + 10.0 * cold_ms
+
+    # Overload burst: 24 simultaneous requests into a 4-deep queue.
+    burst = synthetic_workload([burst_name], requests=24, seed=11,
+                               tenants=2, burst=24)
+    overload = server.play(burst)
+    rejected = [r for r in overload.responses if not r.ok]
+    typed = all(isinstance(r.error, ServerOverloaded) for r in rejected)
+    balanced = (len(report.responses) == len(workload)
+                and len(overload.responses) == len(burst))
+
+    return {
+        "compile_seconds": round(compile_seconds, 3),
+        "requests": stats.requests,
+        "served": stats.served,
+        "shed": stats.shed,
+        "batches": stats.batch_count,
+        "mean_batch_requests": round(stats.mean_batch_requests, 2),
+        "busy_ms": round(stats.busy_ms, 4),
+        "unbatched_baseline_ms": round(stats.unbatched_baseline_ms, 4),
+        "speedup": round(stats.batching_speedup, 2),
+        "p50_ms": round(percentiles["p50"], 4),
+        "p95_ms": round(percentiles["p95"], 4),
+        "p99_ms": round(percentiles["p99"], 4),
+        "p99_bound_ms": round(p99_bound_ms, 4),
+        "byte_equal": byte_equal,
+        "overload_shed": len(rejected),
+        "overload_typed": typed,
+        "responses_balanced": balanced,
+    }
+
+
+def run(apps: tuple[str, ...], *, min_speedup: float,
+        min_passing: int) -> tuple[dict, bool]:
+    rows = {}
+    print(f"{'app':<12} {'speedup':>8} {'p99ms':>8} {'bound':>8} "
+          f"{'bytes':>6} {'shed':>5} {'typed':>6}")
+    for name in apps:
+        row = _serve_one(name)
+        rows[name] = row
+        print(f"{name:<12} {row['speedup']:>7.2f}x "
+              f"{row['p99_ms']:>8.3f} {row['p99_bound_ms']:>8.3f} "
+              f"{'ok' if row['byte_equal'] else 'FAIL':>6} "
+              f"{row['overload_shed']:>5} "
+              f"{'ok' if row['overload_typed'] else 'FAIL':>6}",
+              flush=True)
+
+    passing = [n for n, r in rows.items() if r["speedup"] >= min_speedup]
+    failures = []
+    if len(passing) < min_passing:
+        failures.append(
+            f"only {len(passing)}/{len(apps)} apps reach "
+            f"{min_speedup:.1f}x batched speedup "
+            f"(need {min_passing}): {sorted(passing)}")
+    for name, row in rows.items():
+        if not row["byte_equal"]:
+            failures.append(f"{name}: served windows diverge from the "
+                            f"reference interpreter")
+        if row["p99_ms"] > row["p99_bound_ms"]:
+            failures.append(f"{name}: p99 {row['p99_ms']:.3f} ms over "
+                            f"bound {row['p99_bound_ms']:.3f} ms")
+        if row["overload_shed"] == 0:
+            failures.append(f"{name}: overload burst shed nothing — "
+                            f"admission control not engaging")
+        if not row["overload_typed"]:
+            failures.append(f"{name}: shed requests lack typed "
+                            f"ServerOverloaded rejections")
+        if not row["responses_balanced"]:
+            failures.append(f"{name}: requests and responses do not "
+                            f"balance — silent drop")
+
+    result = {
+        "suite": "bench_serve",
+        "python": platform.python_version(),
+        "apps": rows,
+        "gates": {
+            "min_speedup": min_speedup,
+            "min_passing": min_passing,
+            "passing": sorted(passing),
+            "failures": failures,
+        },
+    }
+    return result, not failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="two-app CI subset (all must pass)")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--min-passing", type=int, default=None,
+                        help="apps that must clear the speedup gate "
+                             "(default: 6 full, all of them quick)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        apps = QUICK_APPS
+        min_passing = args.min_passing if args.min_passing is not None \
+            else len(apps)
+    else:
+        apps = tuple(info.name for info in all_benchmarks())
+        min_passing = args.min_passing if args.min_passing is not None \
+            else 6
+    result, ok = run(apps, min_speedup=args.min_speedup,
+                     min_passing=min_passing)
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+    if not ok:
+        for failure in result["gates"]["failures"]:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print(f"all serving gates passed "
+          f"({len(result['gates']['passing'])}/{len(apps)} apps at "
+          f">={args.min_speedup:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,8 @@ Usage::
     python -m repro cache clear
     python -m repro codegen FFT --output fft.cu
     python -m repro dsl program.str --root Main
+    python -m repro serve DCT FFT --requests 64 --seed 7
+    python -m repro serve DCT --request-file load.json --stats
 
 ``--trace FILE`` writes a Chrome trace-event JSON (load it in
 ``chrome://tracing`` or https://ui.perfetto.dev) covering the compile
@@ -29,6 +31,13 @@ profiles, execution configs and ILP schedules from ``--cache-dir``
 (default ``REPRO_CACHE_DIR`` or ``~/.cache/repro``); ``--no-cache``
 disables the cache, and ``repro cache stats`` / ``repro cache clear``
 inspect or empty it.  See docs/parallel-and-caching.md.
+
+``serve`` drives the streaming serving runtime: it compiles the named
+benchmarks into warm pipeline sessions, replays a request workload
+(synthetic Poisson traffic, or ``--request-file``) through the dynamic
+batcher in simulated GPU time, and prints the per-session report —
+requests served/shed, batch sizes, batching speedup, and latency
+percentiles.  See docs/serving.md.
 """
 
 from __future__ import annotations
@@ -55,6 +64,32 @@ DEVICES = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, with a friendly error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
+def _job_count(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 0 (0 = all cores)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a worker count >= 0 (0 = all cores), got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -73,7 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     # Parallelism + compile-cache flags shared by compiling subcommands.
     perf = argparse.ArgumentParser(add_help=False)
-    perf.add_argument("--jobs", type=int, default=None, metavar="N",
+    perf.add_argument("--jobs", type=_job_count, default=None,
+                      metavar="N",
                       help="worker threads for profiling and the II "
                            "search (0 = all cores; default REPRO_JOBS "
                            "or 1)")
@@ -91,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run a benchmark on the reference "
                                      "interpreter")
     run.add_argument("benchmark")
-    run.add_argument("--iterations", type=int, default=1)
+    run.add_argument("--iterations", type=_positive_int, default=1)
     run.add_argument("--show", type=int, default=8,
                      help="output tokens to print")
 
@@ -100,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("benchmark")
     comp.add_argument("--scheme", choices=("swp", "swpnc", "serial"),
                       default="swp")
-    comp.add_argument("--coarsening", type=int, default=8)
+    comp.add_argument("--coarsening", type=_positive_int, default=8)
     comp.add_argument("--device", choices=sorted(DEVICES),
                       default="8800gts512")
     comp.add_argument("--budget", type=float, default=10.0,
@@ -118,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("benchmark")
     stats.add_argument("--scheme", choices=("swp", "swpnc", "serial"),
                        default="swp")
-    stats.add_argument("--coarsening", type=int, default=8)
+    stats.add_argument("--coarsening", type=_positive_int, default=8)
     stats.add_argument("--device", choices=sorted(DEVICES),
                        default="8800gts512")
     stats.add_argument("--budget", type=float, default=10.0,
@@ -136,13 +172,53 @@ def build_parser() -> argparse.ArgumentParser:
     codegen.add_argument("benchmark")
     codegen.add_argument("--output", default="-",
                          help="file path or '-' for stdout")
-    codegen.add_argument("--coarsening", type=int, default=8)
+    codegen.add_argument("--coarsening", type=_positive_int, default=8)
 
     dsl = sub.add_parser("dsl", help="compile a StreamIt-like source "
                                      "file")
     dsl.add_argument("path")
     dsl.add_argument("--root", default="Main")
-    dsl.add_argument("--iterations", type=int, default=1)
+    dsl.add_argument("--iterations", type=_positive_int, default=1)
+
+    serve = sub.add_parser("serve", parents=[observe, perf],
+                           help="serve benchmarks under simulated "
+                                "request load (dynamic batching)")
+    serve.add_argument("benchmarks", nargs="+",
+                       help="benchmark pipelines to serve")
+    serve.add_argument("--request-file", default=None, metavar="FILE",
+                       help="JSON request list (default: synthetic "
+                            "Poisson traffic)")
+    serve.add_argument("--requests", type=_positive_int, default=32,
+                       help="synthetic workload size")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="synthetic workload seed")
+    serve.add_argument("--mean-interarrival-ms", type=float,
+                       default=0.05, metavar="MS",
+                       help="synthetic mean request gap")
+    serve.add_argument("--tenants", type=_positive_int, default=2,
+                       help="synthetic tenant count")
+    serve.add_argument("--burst", type=_positive_int, default=None,
+                       metavar="N",
+                       help="release the first N requests at t=0")
+    serve.add_argument("--max-wait-ms", type=float, default=0.5,
+                       metavar="MS",
+                       help="batching delay bound")
+    serve.add_argument("--max-batch-iterations", type=_positive_int,
+                       default=16, metavar="N",
+                       help="steady iterations per batch")
+    serve.add_argument("--max-batch-requests", type=_positive_int,
+                       default=32, metavar="N",
+                       help="requests coalesced per batch")
+    serve.add_argument("--max-queue-requests", type=_positive_int,
+                       default=64, metavar="N",
+                       help="admission queue bound per session")
+    serve.add_argument("--max-tenant-requests", type=_positive_int,
+                       default=None, metavar="N",
+                       help="per-tenant admission quota")
+    serve.add_argument("--device", choices=sorted(DEVICES),
+                       default="8800gts512")
+    serve.add_argument("--budget", type=float, default=10.0,
+                       help="seconds per ILP attempt")
     return parser
 
 
@@ -170,6 +246,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_codegen(args)
     if command == "dsl":
         return _cmd_dsl(args)
+    if command == "serve":
+        return _cmd_serve(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -345,6 +423,58 @@ def _cmd_codegen(args) -> int:
         with open(args.output, "w") as handle:
             handle.write(text)
         print(f"wrote {len(text)} bytes to {args.output}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Serve benchmarks under a simulated request load."""
+    from .errors import ServeError
+    from .serve import (
+        BatchPolicy,
+        StreamServer,
+        default_session_options,
+        load_request_file,
+        synthetic_workload,
+    )
+
+    names = list(dict.fromkeys(args.benchmarks))
+    graphs = {name: _load_graph(name)[1] for name in names}
+    options = default_session_options(
+        device=DEVICES[args.device],
+        attempt_budget_seconds=args.budget)
+    try:
+        policy = BatchPolicy(
+            max_batch_iterations=args.max_batch_iterations,
+            max_batch_requests=args.max_batch_requests,
+            max_wait_ms=args.max_wait_ms,
+            max_queue_requests=args.max_queue_requests,
+            max_tenant_requests=args.max_tenant_requests)
+        if args.request_file:
+            workload = load_request_file(args.request_file)
+            unknown = sorted({r.pipeline for r in workload} - set(names))
+            if unknown:
+                raise ServeError(
+                    f"{args.request_file}: requests name pipelines not "
+                    f"being served: {', '.join(unknown)}")
+        else:
+            workload = synthetic_workload(
+                names, requests=args.requests, seed=args.seed,
+                mean_interarrival_ms=args.mean_interarrival_ms,
+                tenants=args.tenants, burst=args.burst)
+    except (OSError, ServeError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if _wants_observability(args):
+        obs.enable(reset=True)
+    server = StreamServer(policy=policy, options=options,
+                          jobs=args.jobs, cache=_cache_from(args))
+    for name, graph in graphs.items():
+        server.register(name, graph)
+    server.start()
+    report = server.play(workload)
+    print(report.describe())
+    server.shutdown()
+    _emit_observability(args)
     return 0
 
 

@@ -41,6 +41,32 @@ class CodegenError(ReproError):
     """Raised when CUDA code generation encounters an unsupported construct."""
 
 
+class ServeError(ReproError):
+    """Base class for errors from the serving runtime (repro.serve)."""
+
+
+class ServerOverloaded(ServeError):
+    """Typed load-shedding rejection: the request was *not* queued.
+
+    Carries enough context for the client to back off intelligently:
+    which session rejected, why (global queue vs per-tenant quota), and
+    the queue depth observed at rejection time.
+    """
+
+    def __init__(self, message: str, *, session: str = "",
+                 tenant: str = "", reason: str = "queue_full",
+                 queue_depth: int = 0) -> None:
+        super().__init__(message)
+        self.session = session
+        self.tenant = tenant
+        self.reason = reason
+        self.queue_depth = queue_depth
+
+
+class SessionClosed(ServeError):
+    """Raised when work is submitted to a drained/shut-down session."""
+
+
 class LanguageError(ReproError):
     """Base class for errors from the StreamIt-like language front end."""
 

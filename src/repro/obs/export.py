@@ -132,10 +132,14 @@ def summary(tracer: Optional[Tracer] = None,
         lines.append("== histograms ==")
         for key in sorted(snap["histograms"]):
             stats = snap["histograms"][key]
+            quantiles = " ".join(
+                f"{name}={stats[name]:,.2f}"
+                for name in ("p50", "p95", "p99") if name in stats)
             lines.append(
                 f"{key}  count={int(stats['count'])} "
                 f"mean={stats['mean']:,.2f} min={stats['min']:,.2f} "
-                f"max={stats['max']:,.2f}")
+                f"max={stats['max']:,.2f}"
+                + (f" {quantiles}" if quantiles else ""))
     if not lines:
         return "(no observability data recorded)"
     return "\n".join(lines)

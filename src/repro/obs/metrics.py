@@ -18,11 +18,15 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 #: Histograms keep raw samples up to this count (aggregates keep
 #: updating beyond it), bounding memory for long sessions.
 HISTOGRAM_SAMPLE_CAP = 4096
+
+#: Quantiles every histogram reports in snapshots and summaries (the
+#: serving layer's latency SLO view: median, tail, extreme tail).
+REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
 
 #: One lock shared by every instrument: updates can arrive from
 #: repro.parallel worker threads, and read-modify-write sequences like
@@ -94,14 +98,30 @@ class Histogram:
                    max(0, round(q / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
+    def percentiles(self, qs: Sequence[float] = REPORTED_PERCENTILES
+                    ) -> dict[str, float]:
+        """The reporting quantiles (p50/p95/p99 by default), computed
+        in one pass over the sorted retained samples."""
+        if not self.samples:
+            return {f"p{q:g}": 0.0 for q in qs}
+        ordered = sorted(self.samples)
+        out = {}
+        for q in qs:
+            rank = min(len(ordered) - 1,
+                       max(0, round(q / 100.0 * (len(ordered) - 1))))
+            out[f"p{q:g}"] = ordered[rank]
+        return out
+
     def stats(self) -> dict[str, float]:
-        return {
+        stats = {
             "count": float(self.count),
             "sum": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
         }
+        stats.update(self.percentiles())
+        return stats
 
 
 def metric_key(name: str, labels: Mapping[str, Any]) -> str:
@@ -185,13 +205,19 @@ def diff_snapshots(before: Mapping[str, dict],
         if delta_count <= 0:
             continue
         delta_sum = stats["sum"] - prior["sum"]
-        histograms[key] = {
+        row = {
             "count": delta_count,
             "sum": delta_sum,
             "min": stats["min"],
             "max": stats["max"],
             "mean": delta_sum / delta_count,
         }
+        # Percentiles are over the retained samples, not the interval;
+        # like min/max they carry the *after* value.
+        for name, value in stats.items():
+            if name.startswith("p"):
+                row[name] = value
+        histograms[key] = row
     return {"counters": counters, "gauges": gauges,
             "histograms": histograms}
 

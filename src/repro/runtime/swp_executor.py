@@ -175,15 +175,43 @@ class SwpExecutor:
         self._sink_tokens: dict[int, dict[int, object]] = {
             node.uid: {} for node in graph.sinks}
         self._fired = 0
+        self._invocations_done = 0
+
+    @property
+    def invocations_done(self) -> int:
+        """Total kernel invocations executed over this instance's life."""
+        return self._invocations_done
+
+    @property
+    def sink_tokens(self) -> dict[int, dict[int, object]]:
+        """Live sink token maps (uid -> token index -> value).  Callers
+        must treat the maps as read-only; the serving layer slices
+        drained stream windows out of them without copying."""
+        return self._sink_tokens
+
+    @property
+    def completed_iterations(self) -> int:
+        """Steady iterations fully drained through the pipeline so far."""
+        return max(0, self._invocations_done - self.schedule.max_stage)
 
     # ------------------------------------------------------------------
     def run(self, invocations: int) -> SwpRunResult:
-        """Execute ``invocations`` kernel invocations."""
+        """Execute ``invocations`` *further* kernel invocations.
+
+        The executor is resumable: channel state, firing counts and sink
+        streams persist across calls, and each call continues from the
+        invocation index where the previous one stopped, so
+        ``run(n); run(n)`` is state-for-state identical to ``run(2n)``
+        (a warm serving session relies on this — the pipeline stays
+        full between batches instead of re-paying the prologue).  The
+        returned result is cumulative over the executor's lifetime.
+        """
         if invocations < 1:
             raise SchedulingError("need at least one invocation")
         order_per_sm = {sm: self.schedule.sm_order(sm)
                         for sm in self.schedule.used_sms}
-        for n in range(invocations):
+        start = self._invocations_done
+        for n in range(start, start + invocations):
             for sm, placements in order_per_sm.items():
                 for seq, placement in enumerate(placements):
                     j = n - placement.stage
@@ -191,15 +219,15 @@ class SwpExecutor:
                         continue  # staging predicate off (prologue)
                     self._execute_instance(placement.node, placement.k,
                                            j, n, sm, seq)
+        self._invocations_done += invocations
         sink_outputs = {}
         for node in self.program.graph.sinks:
             by_index = self._sink_tokens[node.uid]
             sink_outputs[node.uid] = [by_index[i]
                                       for i in sorted(by_index)]
         return SwpRunResult(
-            invocations=invocations,
-            completed_iterations=max(0,
-                                     invocations - self.schedule.max_stage),
+            invocations=self._invocations_done,
+            completed_iterations=self.completed_iterations,
             sink_outputs=sink_outputs,
             channel_peak_tokens=[ch.max_alive for ch in self._channels],
             channel_peak_footprint=[ch.max_footprint

@@ -1,0 +1,69 @@
+"""``repro.serve`` — a streaming serving runtime over compiled
+pipelines.
+
+The paper's schedules describe *steady-state* execution over an
+unbounded stream; this package is the subsystem that actually runs
+them that way.  It keeps compiled pipelines warm in
+:class:`PipelineSession`\\ s, coalesces request traffic into
+steady-state-multiple batches (:class:`DynamicBatcher` /
+:class:`BatchPolicy`), sheds overload with typed
+:class:`~repro.errors.ServerOverloaded` rejections
+(:class:`AdmissionQueue`), and serves several graphs concurrently
+from one :class:`StreamServer` with round-robin GPU arbitration.
+Timing is fully simulated (GPU timing model cycles), outputs are
+token-exact against the reference interpreter, and per-session
+metrics flow through :mod:`repro.obs`.
+
+Quickstart::
+
+    from repro.apps import benchmark_by_name
+    from repro.serve import StreamServer, synthetic_workload
+
+    server = StreamServer()
+    server.register("DCT", benchmark_by_name("DCT").build())
+    server.start()
+    report = server.play(synthetic_workload(["DCT"], requests=32,
+                                            seed=7))
+    print(report.describe())
+
+See docs/serving.md for the architecture and tuning guide.
+"""
+
+from __future__ import annotations
+
+from ..errors import ServeError, ServerOverloaded, SessionClosed
+from .admission import AdmissionQueue
+from .batcher import BatchPolicy, DynamicBatcher, PlannedBatch
+from .loadgen import load_request_file, synthetic_workload
+from .request import (
+    STATUS_OK,
+    STATUS_REJECTED,
+    BatchRecord,
+    Response,
+    ServeRequest,
+)
+from .server import ServeReport, SessionReport, StreamServer, percentile
+from .session import PipelineSession, default_session_options
+
+__all__ = [
+    "AdmissionQueue",
+    "BatchPolicy",
+    "BatchRecord",
+    "DynamicBatcher",
+    "PipelineSession",
+    "PlannedBatch",
+    "Response",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "ServeError",
+    "ServeReport",
+    "ServeRequest",
+    "ServerOverloaded",
+    "SessionClosed",
+    "SessionReport",
+    "StreamServer",
+    "default_session_options",
+    "load_request_file",
+    "percentile",
+    "synthetic_workload",
+]

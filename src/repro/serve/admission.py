@@ -1,0 +1,145 @@
+"""Admission control: bounded queues, per-tenant quotas, load shedding.
+
+One :class:`AdmissionQueue` guards each session.  Admission is decided
+*at arrival time* against two bounds from the batching policy:
+
+* a **global** bound (``max_queue_requests``) — the session never
+  holds more queued work than it can drain within its latency budget,
+  and
+* a **per-tenant** quota (``max_tenant_requests``) — one chatty tenant
+  cannot occupy the whole queue and starve the others.
+
+A rejected request is *never* silently dropped: admission returns a
+typed :class:`~repro.errors.ServerOverloaded` carrying the session,
+tenant, reason and observed queue depth, which the server wraps in a
+``rejected`` response.  Queued requests are stored per tenant and
+drained round-robin (see :meth:`AdmissionQueue.take`), which gives
+each tenant an equal share of every batch the dynamic batcher forms.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Optional
+
+from ..errors import ServerOverloaded, SessionClosed
+from .request import ServeRequest
+
+
+class AdmissionQueue:
+    """Bounded, tenant-fair FIFO feeding one session's batcher."""
+
+    def __init__(self, session: str, *, max_requests: int,
+                 max_tenant_requests: Optional[int] = None) -> None:
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        if max_tenant_requests is not None and max_tenant_requests < 1:
+            raise ValueError("max_tenant_requests must be >= 1")
+        self.session = session
+        self.max_requests = max_requests
+        self.max_tenant_requests = max_tenant_requests or max_requests
+        # Tenant -> FIFO of its queued requests; OrderedDict so the
+        # round-robin rotation order is deterministic (first-seen order).
+        self._tenants: "OrderedDict[str, deque[ServeRequest]]" \
+            = OrderedDict()
+        self._depth = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._depth
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def tenant_depth(self, tenant: str) -> int:
+        queue = self._tenants.get(tenant)
+        return len(queue) if queue else 0
+
+    def earliest_arrival_ms(self) -> Optional[float]:
+        """Arrival time of the oldest queued request (the batcher's
+        max-wait deadline anchors on it), or None when empty."""
+        oldest = None
+        for queue in self._tenants.values():
+            if queue and (oldest is None
+                          or queue[0].arrival_ms < oldest):
+                oldest = queue[0].arrival_ms
+        return oldest
+
+    def close(self) -> None:
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def admit(self, request: ServeRequest) -> None:
+        """Queue ``request`` or raise a typed rejection."""
+        if self._closed:
+            raise SessionClosed(
+                f"session {self.session!r} is draining; request "
+                f"{request.request_id} not accepted")
+        if self._depth >= self.max_requests:
+            raise ServerOverloaded(
+                f"session {self.session!r} queue full "
+                f"({self._depth}/{self.max_requests} requests); "
+                f"request {request.request_id} shed",
+                session=self.session, tenant=request.tenant,
+                reason="queue_full", queue_depth=self._depth)
+        held = self.tenant_depth(request.tenant)
+        if held >= self.max_tenant_requests:
+            raise ServerOverloaded(
+                f"session {self.session!r}: tenant {request.tenant!r} "
+                f"exceeds its quota ({held}/{self.max_tenant_requests} "
+                f"queued requests); request {request.request_id} shed",
+                session=self.session, tenant=request.tenant,
+                reason="tenant_quota", queue_depth=self._depth)
+        self._tenants.setdefault(request.tenant, deque()) \
+            .append(request)
+        self._depth += 1
+
+    def queued_base_iterations(self) -> int:
+        """Total base iterations currently queued across all tenants."""
+        return sum(request.iterations
+                   for queue in self._tenants.values()
+                   for request in queue)
+
+    # ------------------------------------------------------------------
+    def take_batch(self, max_requests: int,
+                   base_budget: Optional[int] = None
+                   ) -> list[ServeRequest]:
+        """Dequeue up to ``max_requests``, one per tenant per round
+        (round-robin), preserving each tenant's FIFO order.
+
+        With a ``base_budget``, a tenant's lane stops contributing once
+        its head request would push the total past the budget (the
+        request stays queued, in order, for the next batch).  The first
+        request always fits regardless of budget, so an oversized
+        request forms its own batch instead of starving.
+        """
+        taken: list[ServeRequest] = []
+        total = 0
+        blocked: set[str] = set()
+        while len(taken) < max_requests:
+            progressed = False
+            for tenant in list(self._tenants):
+                if tenant in blocked:
+                    continue
+                queue = self._tenants[tenant]
+                if not queue:
+                    continue
+                head = queue[0]
+                if taken and base_budget is not None \
+                        and total + head.iterations > base_budget:
+                    blocked.add(tenant)
+                    continue
+                taken.append(queue.popleft())
+                total += head.iterations
+                self._depth -= 1
+                progressed = True
+                if len(taken) >= max_requests:
+                    break
+            if not progressed:
+                break
+        # Drop exhausted tenant lanes so rotation stays compact.
+        for tenant in [t for t, q in self._tenants.items() if not q]:
+            del self._tenants[tenant]
+        return taken

@@ -1,0 +1,143 @@
+"""Dynamic batching policy and batch formation.
+
+The batcher turns queued requests into *steady-state-multiple*
+batches: execution is only meaningful in whole steady iterations of
+the stream graph (the steady-state input rate is the quantum of
+input consumption), so a batch's size is the number of fresh macro
+iterations needed to cover its requests' stream windows.  Two knobs
+bound the classic batching-vs-latency tradeoff:
+
+* ``max_batch_iterations`` — cap on fresh steady iterations per
+  launch.  Larger batches amortize the kernel-launch overhead over
+  more iterations (the paper's SWPn coarsening argument) but stretch
+  the latency of the requests at the front of the batch.
+* ``max_wait_ms`` — how long the oldest queued request may wait for
+  batchmates before the batch is dispatched anyway.  ``0`` disables
+  coalescing delay entirely (batches still form from whatever is
+  queued at dispatch time).
+
+The policy also carries the admission bounds
+(``max_queue_requests`` / ``max_tenant_requests``) so one object
+describes a session's full traffic contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ServeError
+from .admission import AdmissionQueue
+from .request import ServeRequest
+from .session import PipelineSession
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Traffic contract of one served pipeline."""
+
+    max_batch_iterations: int = 16     # fresh macro iterations / launch
+    max_batch_requests: int = 32       # requests coalesced per batch
+    max_wait_ms: float = 0.5           # batching delay bound
+    max_queue_requests: int = 64       # admission: global queue bound
+    max_tenant_requests: Optional[int] = None  # admission: tenant quota
+
+    def __post_init__(self) -> None:
+        if self.max_batch_iterations < 1:
+            raise ServeError("max_batch_iterations must be >= 1")
+        if self.max_batch_requests < 1:
+            raise ServeError("max_batch_requests must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ServeError("max_wait_ms must be >= 0")
+        if self.max_queue_requests < 1:
+            raise ServeError("max_queue_requests must be >= 1")
+        if self.max_tenant_requests is not None \
+                and self.max_tenant_requests < 1:
+            raise ServeError("max_tenant_requests must be >= 1")
+
+
+@dataclass
+class PlannedBatch:
+    """A formed batch: the chosen requests plus their stream windows."""
+
+    requests: list[ServeRequest]
+    windows: list[tuple[int, int]]     # per request: (start, iterations)
+    through_base: int                  # stream must drain [0, through)
+    new_macro_iterations: int          # fresh steady iterations to run
+
+    @property
+    def base_iterations(self) -> int:
+        return sum(n for _, n in self.windows)
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(sorted({r.tenant for r in self.requests}))
+
+
+class DynamicBatcher:
+    """Forms steady-state-multiple batches for one session."""
+
+    def __init__(self, session: PipelineSession,
+                 policy: BatchPolicy) -> None:
+        self.session = session
+        self.policy = policy
+        self.queue = AdmissionQueue(
+            session.name,
+            max_requests=policy.max_queue_requests,
+            max_tenant_requests=policy.max_tenant_requests)
+
+    # ------------------------------------------------------------------
+    def wait_deadline_ms(self) -> Optional[float]:
+        """Latest dispatch time the oldest queued request tolerates."""
+        oldest = self.queue.earliest_arrival_ms()
+        if oldest is None:
+            return None
+        return oldest + self.policy.max_wait_ms
+
+    def batch_is_full(self) -> bool:
+        """Whether waiting longer cannot grow the next batch."""
+        if self.queue.depth >= self.policy.max_batch_requests:
+            return True
+        pending = self.session.pending_macro_iterations(
+            self.session.cursor + self.queue.queued_base_iterations())
+        return pending >= self.policy.max_batch_iterations
+
+    def _base_budget(self) -> int:
+        """Base-iteration budget of the next batch: the macro cap plus
+        any already-drained slack left over from previous batches'
+        round-up to whole steady iterations."""
+        session = self.session
+        slack = session.macro_iterations_done * session.base_per_macro \
+            - session.cursor
+        return self.policy.max_batch_iterations * session.base_per_macro \
+            + max(0, slack)
+
+    # ------------------------------------------------------------------
+    def form_batch(self) -> PlannedBatch:
+        """Dequeue tenant-fairly and claim stream windows.
+
+        Requests come off the admission queue round-robin across
+        tenants until the batch reaches either cap; window claim order
+        equals dequeue order, so a tenant's own requests always stream
+        in FIFO order.  At least one request is always taken — a single
+        request larger than ``max_batch_iterations`` becomes its own
+        (oversized) batch rather than starving.
+        """
+        if not self.queue.depth:
+            raise ServeError(
+                f"session {self.session.name!r}: no queued requests")
+        session = self.session
+        chosen = self.queue.take_batch(self.policy.max_batch_requests,
+                                       self._base_budget())
+        windows = [(session.claim(r.iterations), r.iterations)
+                   for r in chosen]
+        through = max(start + n for start, n in windows)
+        new_macro = session.pending_macro_iterations(through)
+        return PlannedBatch(requests=chosen, windows=windows,
+                            through_base=through,
+                            new_macro_iterations=new_macro)
+
+    @staticmethod
+    def macro_for(session: PipelineSession, base_iterations: int) -> int:
+        return math.ceil(base_iterations / session.base_per_macro)

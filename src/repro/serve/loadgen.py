@@ -1,0 +1,93 @@
+"""Workload construction: synthetic traffic and request files.
+
+Synthetic traffic is a seeded Poisson process — deterministic for a
+given seed, so load-harness results and CI gates are reproducible.
+Request files are plain JSON lists, one object per request::
+
+    [{"pipeline": "DCT", "tenant": "alice", "iterations": 2,
+      "arrival_ms": 0.0}, ...]
+
+``tenant`` defaults to ``"default"``, ``iterations`` to 1 and
+``arrival_ms`` to 0; ``pipeline`` is required.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Optional, Sequence
+
+from ..errors import ServeError
+from .request import ServeRequest
+
+
+def synthetic_workload(pipelines: Sequence[str], *,
+                       requests: int,
+                       seed: int = 0,
+                       mean_interarrival_ms: float = 0.05,
+                       iterations_range: tuple[int, int] = (1, 4),
+                       tenants: int = 2,
+                       burst: Optional[int] = None
+                       ) -> list[ServeRequest]:
+    """Seeded Poisson traffic over ``pipelines``.
+
+    Arrival gaps are exponential with the given mean; each request
+    picks a pipeline and tenant uniformly and asks for a uniform
+    number of base iterations in ``iterations_range``.  ``burst``
+    releases the first ``burst`` requests at time 0 (admission-control
+    stress).
+    """
+    if not pipelines:
+        raise ServeError("synthetic workload needs at least one pipeline")
+    if requests < 1:
+        raise ServeError("synthetic workload needs at least one request")
+    lo, hi = iterations_range
+    if lo < 1 or hi < lo:
+        raise ServeError(
+            f"bad iterations_range {iterations_range}; need 1 <= lo <= hi")
+    if mean_interarrival_ms <= 0:
+        raise ServeError("mean_interarrival_ms must be positive")
+    if tenants < 1:
+        raise ServeError("tenants must be >= 1")
+    rng = random.Random(seed)
+    workload = []
+    clock = 0.0
+    for index in range(requests):
+        if burst is not None and index < burst:
+            arrival = 0.0
+        else:
+            clock += rng.expovariate(1.0 / mean_interarrival_ms)
+            arrival = clock
+        workload.append(ServeRequest(
+            pipeline=pipelines[rng.randrange(len(pipelines))],
+            tenant=f"tenant{rng.randrange(tenants)}",
+            iterations=rng.randint(lo, hi),
+            arrival_ms=arrival))
+    return workload
+
+
+def load_request_file(path: str) -> list[ServeRequest]:
+    """Parse a JSON request file (see module docstring for the shape)."""
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(data, list):
+        raise ServeError(f"{path}: expected a JSON list of requests")
+    workload = []
+    for index, row in enumerate(data):
+        if not isinstance(row, dict) or "pipeline" not in row:
+            raise ServeError(
+                f"{path}: request {index} must be an object with at "
+                f"least a 'pipeline' key")
+        try:
+            workload.append(ServeRequest(
+                pipeline=str(row["pipeline"]),
+                tenant=str(row.get("tenant", "default")),
+                iterations=int(row.get("iterations", 1)),
+                arrival_ms=float(row.get("arrival_ms", 0.0))))
+        except (TypeError, ValueError) as exc:
+            raise ServeError(
+                f"{path}: request {index} is malformed: {exc}") from None
+    return workload

@@ -1,0 +1,91 @@
+"""Request/response types of the serving runtime.
+
+A *request* asks one served pipeline for a window of its output
+stream: ``iterations`` base steady-state iterations' worth of sink
+tokens.  Requests are denominated in base iterations — the natural
+unit of the stream programs' semantics — while execution happens in
+macro (steady-state) iterations; the dynamic batcher does the
+rounding, so a request never has to know the compiled thread
+configuration.
+
+Every submitted request produces exactly one :class:`Response`:
+``ok`` with the output tokens and latency accounting, or ``rejected``
+with a typed :class:`~repro.errors.ServerOverloaded` error.  There is
+no third outcome — the no-silent-drops invariant the load harness
+asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ServeError
+
+#: Response statuses (the complete set; see module docstring).
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One unit of client traffic against a served pipeline."""
+
+    pipeline: str          # registry name of the target session
+    tenant: str            # fairness/quota identity
+    iterations: int        # base steady-state iterations of output
+    arrival_ms: float      # simulated arrival time
+    request_id: int = -1   # assigned by the server at submission
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ServeError(
+                f"request iterations must be >= 1, got {self.iterations}")
+        if self.arrival_ms < 0:
+            raise ServeError(
+                f"request arrival_ms must be >= 0, got {self.arrival_ms}")
+
+
+@dataclass
+class Response:
+    """The single, mandatory outcome of one request."""
+
+    request: ServeRequest
+    status: str                                  # STATUS_OK / STATUS_REJECTED
+    #: Sink-name -> output tokens for the request's stream window
+    #: (None on rejection).
+    outputs: Optional[dict[str, list]] = None
+    #: Base-iteration window [start, start + iterations) this request
+    #: received (meaningful only when status is ok).
+    start_iteration: int = -1
+    #: Completion time and queue-to-completion latency in simulated ms.
+    completed_ms: float = 0.0
+    latency_ms: float = 0.0
+    #: Index of the batch that served the request (-1 on rejection).
+    batch_index: int = -1
+    #: Typed rejection error (ServerOverloaded), None when served.
+    error: Optional[ServeError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
+class BatchRecord:
+    """Execution accounting for one dynamically formed batch."""
+
+    index: int
+    session: str
+    requests: int
+    base_iterations: int       # requested base iterations in the batch
+    macro_iterations: int      # *new* macro iterations actually run
+    invocations: int           # executor invocations issued (incl. fill)
+    started_ms: float
+    duration_ms: float
+    cycles: float
+    tenants: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def finished_ms(self) -> float:
+        return self.started_ms + self.duration_ms

@@ -1,0 +1,364 @@
+"""Multi-tenant serving front end: registry, event loop, reporting.
+
+A :class:`StreamServer` owns several :class:`PipelineSession`\\ s (one
+per registered graph), compiles them concurrently over the shared
+:mod:`repro.parallel` worker pool at :meth:`start`, and serves a
+workload — a list of timestamped :class:`ServeRequest`\\ s — through a
+deterministic discrete-event loop in *simulated* time:
+
+1. arrivals are admitted (or shed, with typed rejections) the moment
+   the simulated clock reaches them;
+2. each session's dynamic batcher decides when its next batch is
+   dispatchable — immediately when full, otherwise when the oldest
+   queued request's ``max_wait_ms`` grace expires;
+3. the single simulated GPU executes one batch at a time; sessions
+   take turns round-robin when several are dispatchable, so one hot
+   pipeline cannot starve the others.
+
+Every simulated millisecond comes from the GPU timing model via the
+sessions' cycle accounting; no wall-clock time is involved, so a
+workload replays bit-identically.  ``play`` returns a
+:class:`ServeReport` with per-session batching/latency/shedding
+statistics; the same numbers flow into :mod:`repro.obs` metrics
+(queue depth gauge, batch-size and latency histograms, shed counters)
+when the observability layer is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .. import obs
+from ..compiler import CompileOptions
+from ..errors import ServeError, ServerOverloaded, SessionClosed
+from ..graph.graph import StreamGraph
+from ..parallel import parallel_map
+from .batcher import BatchPolicy, DynamicBatcher
+from .request import (
+    STATUS_OK,
+    STATUS_REJECTED,
+    BatchRecord,
+    Response,
+    ServeRequest,
+)
+from .session import PipelineSession
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1,
+               max(0, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class SessionReport:
+    """Serving statistics of one session over one ``play``."""
+
+    name: str
+    requests: int = 0
+    served: int = 0
+    shed: int = 0
+    base_iterations: int = 0       # base iterations delivered to clients
+    macro_iterations: int = 0      # fresh steady iterations executed
+    invocations: int = 0           # executor invocations (incl. fill)
+    busy_ms: float = 0.0           # simulated GPU time spent
+    unbatched_baseline_ms: float = 0.0
+    batches: list[BatchRecord] = field(default_factory=list)
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def batch_count(self) -> int:
+        return len(self.batches)
+
+    @property
+    def mean_batch_requests(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.requests for b in self.batches) / len(self.batches)
+
+    @property
+    def batching_speedup(self) -> float:
+        """Simulated-throughput gain over per-request execution."""
+        if self.busy_ms <= 0.0:
+            return float("inf") if self.unbatched_baseline_ms > 0 else 1.0
+        return self.unbatched_baseline_ms / self.busy_ms
+
+    def latency_percentiles(self) -> dict[str, float]:
+        return {f"p{q:g}": percentile(self.latencies_ms, q)
+                for q in (50.0, 95.0, 99.0)}
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one workload replay."""
+
+    responses: list[Response]
+    sessions: dict[str, SessionReport]
+    duration_ms: float
+
+    @property
+    def served(self) -> int:
+        return sum(1 for r in self.responses if r.ok)
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for r in self.responses if not r.ok)
+
+    def describe(self) -> str:
+        lines = [f"{'session':<12} {'req':>5} {'ok':>5} {'shed':>5} "
+                 f"{'batches':>7} {'req/batch':>9} {'speedup':>8} "
+                 f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8}"]
+        for name in sorted(self.sessions):
+            s = self.sessions[name]
+            p = s.latency_percentiles()
+            lines.append(
+                f"{name:<12} {s.requests:>5} {s.served:>5} {s.shed:>5} "
+                f"{s.batch_count:>7} {s.mean_batch_requests:>9.1f} "
+                f"{s.batching_speedup:>7.1f}x "
+                f"{p['p50']:>8.3f} {p['p95']:>8.3f} {p['p99']:>8.3f}")
+        lines.append(f"total: {len(self.responses)} requests, "
+                     f"{self.served} served, {self.shed} shed, "
+                     f"{self.duration_ms:.3f} simulated ms")
+        return "\n".join(lines)
+
+
+@dataclass
+class _SessionSpec:
+    name: str
+    graph: StreamGraph
+    policy: BatchPolicy
+    options: Optional[CompileOptions]
+
+
+class StreamServer:
+    """Registry of served pipelines plus the simulated event loop."""
+
+    def __init__(self, *, policy: Optional[BatchPolicy] = None,
+                 options: Optional[CompileOptions] = None,
+                 jobs: Optional[int] = None, cache=None) -> None:
+        self.default_policy = policy or BatchPolicy()
+        self.default_options = options
+        self.jobs = jobs
+        self.cache = cache
+        self._specs: dict[str, _SessionSpec] = {}
+        self._batchers: dict[str, DynamicBatcher] = {}
+        self._order: list[str] = []       # registration = rotation order
+        self._rr = 0                      # round-robin pointer
+        self._started = False
+        self._shut_down = False
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, graph: StreamGraph, *,
+                 policy: Optional[BatchPolicy] = None,
+                 options: Optional[CompileOptions] = None) -> None:
+        """Declare a pipeline to serve (compiled at :meth:`start`)."""
+        if self._started:
+            raise ServeError("register() must precede start()")
+        if name in self._specs:
+            raise ServeError(f"pipeline {name!r} already registered")
+        self._specs[name] = _SessionSpec(
+            name=name, graph=graph, policy=policy or self.default_policy,
+            options=options or self.default_options)
+        self._order.append(name)
+
+    def start(self) -> None:
+        """Compile every registered pipeline, fanning the compiles out
+        over the shared worker pool; sessions come up warm-ready."""
+        if self._started:
+            raise ServeError("server already started")
+        if not self._specs:
+            raise ServeError("no pipelines registered")
+
+        def build(spec: _SessionSpec) -> PipelineSession:
+            return PipelineSession(spec.name, spec.graph,
+                                   options=spec.options, jobs=self.jobs,
+                                   cache=self.cache)
+
+        specs = [self._specs[name] for name in self._order]
+        sessions = parallel_map(build, specs, jobs=self.jobs,
+                                label="serve-compile")
+        for spec, session in zip(specs, sessions):
+            self._batchers[spec.name] = DynamicBatcher(session,
+                                                       spec.policy)
+        self._started = True
+
+    def session(self, name: str) -> PipelineSession:
+        return self._batchers[name].session
+
+    @property
+    def sessions(self) -> dict[str, PipelineSession]:
+        return {name: b.session for name, b in self._batchers.items()}
+
+    def shutdown(self) -> None:
+        """Close every session; later ``play`` calls are refused.
+        ``play`` itself always drains its queues before returning, so
+        shutting down after a replay never abandons queued work."""
+        for batcher in self._batchers.values():
+            batcher.queue.close()
+            batcher.session.close()
+        self._shut_down = True
+
+    # ------------------------------------------------------------------
+    def play(self, requests: Sequence[ServeRequest]) -> ServeReport:
+        """Replay a workload through the event loop; every submitted
+        request yields exactly one response (served or typed-rejected),
+        and all queues drain before the report is returned."""
+        if not self._started:
+            raise ServeError("call start() before play()")
+        if self._shut_down:
+            raise SessionClosed("server has shut down")
+        telemetry = obs.is_enabled()
+        arrivals = sorted(
+            enumerate(requests),
+            key=lambda pair: (pair[1].arrival_ms, pair[0]))
+        ordered = [
+            ServeRequest(pipeline=r.pipeline, tenant=r.tenant,
+                         iterations=r.iterations,
+                         arrival_ms=r.arrival_ms, request_id=i)
+            for i, (_, r) in enumerate(arrivals)]
+        reports = {name: SessionReport(name=name) for name in self._order}
+        responses: list[Response] = []
+        clock = 0.0
+        next_arrival = 0
+        batch_counter = 0
+
+        def admit_until(now: float) -> None:
+            nonlocal next_arrival
+            while next_arrival < len(ordered) \
+                    and ordered[next_arrival].arrival_ms <= now:
+                request = ordered[next_arrival]
+                next_arrival += 1
+                batcher = self._batchers.get(request.pipeline)
+                if batcher is None:
+                    error = ServeError(
+                        f"unknown pipeline {request.pipeline!r}; "
+                        f"serving: {sorted(self._batchers)}")
+                    responses.append(Response(
+                        request=request, status=STATUS_REJECTED,
+                        completed_ms=request.arrival_ms, error=error))
+                    continue
+                report = reports[request.pipeline]
+                report.requests += 1
+                if telemetry:
+                    obs.counter("serve.requests",
+                                session=request.pipeline).add(1)
+                try:
+                    batcher.queue.admit(request)
+                except ServerOverloaded as overloaded:
+                    report.shed += 1
+                    if telemetry:
+                        obs.counter("serve.shed",
+                                    session=request.pipeline,
+                                    reason=overloaded.reason).add(1)
+                    responses.append(Response(
+                        request=request, status=STATUS_REJECTED,
+                        completed_ms=request.arrival_ms,
+                        error=overloaded))
+                if telemetry:
+                    obs.gauge("serve.queue_depth",
+                              session=request.pipeline) \
+                        .set(batcher.queue.depth)
+
+        while True:
+            admit_until(clock)
+            ready = [name for name in self._order
+                     if self._batchers[name].queue.depth]
+            if not ready:
+                if next_arrival >= len(ordered):
+                    break
+                clock = max(clock, ordered[next_arrival].arrival_ms)
+                continue
+
+            # When is each ready session willing to dispatch?
+            dispatch_at = {}
+            for name in ready:
+                batcher = self._batchers[name]
+                deadline = batcher.wait_deadline_ms()
+                if batcher.batch_is_full() or clock >= deadline:
+                    dispatch_at[name] = clock
+                else:
+                    dispatch_at[name] = deadline
+            now_ready = [name for name in ready
+                         if dispatch_at[name] <= clock]
+            if not now_ready:
+                horizon = min(dispatch_at.values())
+                if next_arrival < len(ordered):
+                    horizon = min(horizon,
+                                  ordered[next_arrival].arrival_ms)
+                clock = horizon
+                continue
+
+            # Round-robin among dispatchable sessions.
+            name = self._pick(now_ready)
+            batcher = self._batchers[name]
+            batch = batcher.form_batch()
+            session = batcher.session
+            cycles = session.batch_cycles(batch.new_macro_iterations)
+            new_macro, invocations = session.advance_to(
+                batch.through_base)
+            duration = session.ms(cycles)
+            completed = clock + duration
+
+            report = reports[name]
+            record = BatchRecord(
+                index=batch_counter, session=name,
+                requests=len(batch.requests),
+                base_iterations=batch.base_iterations,
+                macro_iterations=new_macro,
+                invocations=invocations, started_ms=clock,
+                duration_ms=duration, cycles=cycles,
+                tenants=batch.tenants)
+            batch_counter += 1
+            report.batches.append(record)
+            report.macro_iterations += new_macro
+            report.invocations += invocations
+            report.busy_ms += duration
+            for request, (start, count) in zip(batch.requests,
+                                               batch.windows):
+                outputs = session.outputs_for(start, count)
+                latency = completed - request.arrival_ms
+                report.served += 1
+                report.base_iterations += count
+                report.latencies_ms.append(latency)
+                report.unbatched_baseline_ms += session.ms(
+                    session.unbatched_request_cycles(count))
+                responses.append(Response(
+                    request=request, status=STATUS_OK, outputs=outputs,
+                    start_iteration=start, completed_ms=completed,
+                    latency_ms=latency, batch_index=record.index))
+            if telemetry:
+                obs.counter("serve.batches", session=name).add(1)
+                obs.histogram("serve.batch_requests", session=name) \
+                    .record(len(batch.requests))
+                obs.histogram("serve.batch_iterations", session=name) \
+                    .record(new_macro)
+                for latency in report.latencies_ms[-len(batch.requests):]:
+                    obs.histogram("serve.latency_ms", session=name) \
+                        .record(latency)
+                obs.gauge("serve.queue_depth", session=name) \
+                    .set(batcher.queue.depth)
+            clock = completed
+
+        responses.sort(key=lambda r: r.request.request_id)
+        if len(responses) != len(ordered):  # pragma: no cover - invariant
+            raise ServeError(
+                f"response accounting broken: {len(ordered)} requests, "
+                f"{len(responses)} responses")
+        return ServeReport(responses=responses, sessions=reports,
+                           duration_ms=clock)
+
+    # ------------------------------------------------------------------
+    def _pick(self, candidates: list[str]) -> str:
+        """Next dispatchable session in registration rotation order."""
+        order = self._order
+        for step in range(len(order)):
+            name = order[(self._rr + step) % len(order)]
+            if name in candidates:
+                self._rr = (order.index(name) + 1) % len(order)
+                return name
+        raise ServeError("no dispatchable session")  # pragma: no cover

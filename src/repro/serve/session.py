@@ -1,0 +1,223 @@
+"""One warm, compiled pipeline plus its incremental execution state.
+
+A :class:`PipelineSession` is the serving runtime's unit of tenancy:
+it compiles a stream graph once (through :func:`repro.compiler
+.compile_stream_program`, so a shared :mod:`repro.cache` makes warm
+restarts skip profiling and the ILP entirely), then keeps a resumable
+:class:`~repro.runtime.swp_executor.SwpExecutor` alive across request
+batches.  The pipeline is filled exactly once — after that, every
+batch of ``m`` steady iterations is a *single* simulated kernel launch
+with ``repeat=m``, which is the paper's SWPn coarsening argument
+(Section V-B) applied dynamically to live traffic instead of at
+compile time.
+
+Timing comes from the GPU timing model, not wall clock: the session
+asks :class:`~repro.gpu.simulator.GpuSimulator` for the cycle cost of
+its kernel at each batch size (memoized — traffic revisits a small set
+of sizes) and converts cycles to simulated milliseconds through the
+device clock.  The per-request baseline the load harness compares
+against — a cold executor per request, one launch per invocation,
+pipeline fill every time — uses the same model, so batching speedups
+are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .. import obs
+from ..compiler import (
+    CompileOptions,
+    CompiledProgram,
+    compile_stream_program,
+    replace_options,
+    swp_kernel,
+)
+from ..errors import ServeError, SessionClosed
+from ..gpu.simulator import GpuSimulator
+from ..graph.graph import StreamGraph
+from ..graph.rates import solve_rates
+from ..runtime.interpreter import Interpreter
+from ..runtime.swp_executor import SwpExecutor
+
+
+def default_session_options(**changes) -> CompileOptions:
+    """The serving compile profile: plain SWP, no static coarsening
+    (the dynamic batcher chooses the per-launch repeat), minimal timed
+    window (the session does its own cycle accounting)."""
+    base = CompileOptions(scheme="swp", coarsening=1, macro_iterations=1)
+    return replace_options(base, **changes) if changes else base
+
+
+class PipelineSession:
+    """A compiled pipeline held warm for incremental request traffic."""
+
+    def __init__(self, name: str, graph: StreamGraph, *,
+                 options: Optional[CompileOptions] = None,
+                 jobs: Optional[int] = None,
+                 cache=None) -> None:
+        options = options or default_session_options()
+        if options.scheme not in ("swp", "swpnc"):
+            raise ServeError(
+                f"session {name!r}: serving requires a software-"
+                f"pipelined scheme, got {options.scheme!r}")
+        if options.coarsening != 1:
+            raise ServeError(
+                f"session {name!r}: compile with coarsening=1 — the "
+                f"dynamic batcher chooses the per-launch repeat factor")
+        self.name = name
+        self.graph = graph
+        with obs.span("serve.compile", session=name):
+            self.compiled: CompiledProgram = compile_stream_program(
+                graph, options, jobs=jobs, cache=cache)
+        self.options = options
+        self.device = options.device
+        self.program = self.compiled.program
+        self.schedule = self.compiled.search.schedule
+        self.executor = SwpExecutor(self.program, self.schedule)
+        self._simulator = GpuSimulator(self.device)
+        self._kernel_cycles: dict[int, float] = {}
+
+        #: Pipeline depth: invocations before the first iteration drains.
+        self.fill_invocations = self.schedule.max_stage
+        #: Base steady iterations covered by one macro iteration (one
+        #: executor invocation).
+        self.base_per_macro = self.program.base_iterations_per_macro
+
+        # Sink stream geometry: tokens per base iteration, and how many
+        # tokens each sink consumed during graph initialization (the
+        # executor's token index 0 is the first *steady* token).
+        steady = solve_rates(graph)
+        init_probe = Interpreter(graph)
+        self.sinks: list[tuple[str, int, int]] = []
+        for node in graph.sinks:
+            per_iteration = steady[node] * sum(
+                node.pop_rate(port) for port in range(node.num_inputs))
+            self.sinks.append((node.name, node.uid, per_iteration))
+        self.sink_init_tokens: dict[int, int] = {
+            node.uid: len(init_probe.sink_outputs[node.uid])
+            for node in graph.sinks}
+
+        self._cursor = 0          # next unassigned base iteration
+        self._macro_done = 0      # macro iterations completed (drained)
+        self._warmed = False
+        self._closed = False
+
+    # -- stream-window bookkeeping -------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def cursor(self) -> int:
+        """Next base iteration of the output stream to be assigned."""
+        return self._cursor
+
+    @property
+    def macro_iterations_done(self) -> int:
+        return self._macro_done
+
+    def claim(self, iterations: int) -> int:
+        """Reserve the next ``iterations`` base iterations of the
+        stream for one request; returns the window start."""
+        if self._closed:
+            raise SessionClosed(f"session {self.name!r} is closed")
+        start = self._cursor
+        self._cursor += iterations
+        return start
+
+    def pending_macro_iterations(self, through_base: int) -> int:
+        """Macro iterations still to run for the stream to cover base
+        iterations ``[0, through_base)``."""
+        return max(0, math.ceil(through_base / self.base_per_macro)
+                   - self._macro_done)
+
+    # -- execution -----------------------------------------------------
+    def advance_to(self, through_base: int) -> tuple[int, int]:
+        """Run the pipeline until base iterations ``[0, through_base)``
+        have fully drained; returns ``(new_macro_iterations,
+        invocations_issued)`` — both 0 when already covered."""
+        if self._closed:
+            raise SessionClosed(f"session {self.name!r} is closed")
+        macro_needed = math.ceil(through_base / self.base_per_macro)
+        new_macro = macro_needed - self._macro_done
+        if new_macro <= 0:
+            return 0, 0
+        target_invocations = macro_needed + self.fill_invocations
+        delta = target_invocations - self.executor.invocations_done
+        if delta > 0:
+            self.executor.run(delta)
+        self._macro_done = macro_needed
+        self._warmed = True
+        return new_macro, max(0, delta)
+
+    def outputs_for(self, start: int, iterations: int) -> dict[str, list]:
+        """Sink tokens of base-iteration window ``[start,
+        start + iterations)``; the window must already be drained."""
+        outputs: dict[str, list] = {}
+        result_maps = self.executor.sink_tokens
+        for sink_name, uid, per_iteration in self.sinks:
+            token_map = result_maps[uid]
+            lo = start * per_iteration
+            hi = (start + iterations) * per_iteration
+            try:
+                outputs[sink_name] = [token_map[i] for i in range(lo, hi)]
+            except KeyError as exc:
+                raise ServeError(
+                    f"session {self.name!r}: sink {sink_name!r} window "
+                    f"[{lo}, {hi}) not fully drained (missing token "
+                    f"{exc.args[0]})") from None
+        return outputs
+
+    def close(self) -> None:
+        self._closed = True
+
+    # -- simulated-cycle accounting ------------------------------------
+    def kernel_cycles(self, repeat: int) -> float:
+        """Cycle cost of one launch executing ``repeat`` steady
+        iterations (GPU timing model, memoized per repeat)."""
+        if repeat < 1:
+            raise ServeError(f"kernel repeat must be >= 1, got {repeat}")
+        cycles = self._kernel_cycles.get(repeat)
+        if cycles is None:
+            kernel = swp_kernel(
+                self.program, self.schedule,
+                replace_options(self.options, coarsening=repeat))
+            cycles = self._simulator.simulate_kernel(kernel).cycles
+            self._kernel_cycles[repeat] = cycles
+        return cycles
+
+    @property
+    def launch_cycles(self) -> float:
+        return float(self.device.kernel_launch_cycles)
+
+    def fill_cycles(self) -> float:
+        """One-time pipeline-fill cost: the prologue invocations run as
+        individual launches before the first iteration drains."""
+        if self.fill_invocations == 0:
+            return 0.0
+        return self.fill_invocations \
+            * (self.kernel_cycles(1) + self.launch_cycles)
+
+    def batch_cycles(self, new_macro_iterations: int) -> float:
+        """Cost of serving one batch that needs ``new_macro_iterations``
+        fresh steady iterations: the one-time fill (first batch only)
+        plus a single launch with ``repeat=new_macro_iterations``."""
+        cycles = 0.0
+        if not self._warmed and new_macro_iterations > 0:
+            cycles += self.fill_cycles()
+        if new_macro_iterations > 0:
+            cycles += self.launch_cycles \
+                + self.kernel_cycles(new_macro_iterations)
+        return cycles
+
+    def unbatched_request_cycles(self, base_iterations: int) -> float:
+        """The no-batching baseline for one request: a cold executor,
+        pipeline fill included, one launch per steady iteration."""
+        macro = math.ceil(base_iterations / self.base_per_macro)
+        invocations = macro + self.fill_invocations
+        return invocations * (self.kernel_cycles(1) + self.launch_cycles)
+
+    def ms(self, cycles: float) -> float:
+        return self.device.cycles_to_seconds(cycles) * 1e3

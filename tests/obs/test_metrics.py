@@ -66,6 +66,36 @@ class TestHistogram:
         assert hist.mean == 0.0
         assert hist.percentile(99) == 0.0
         assert hist.stats()["min"] == 0.0
+        assert hist.stats()["p99"] == 0.0
+
+    def test_stats_report_p50_p95_p99(self):
+        hist = MetricsRegistry().histogram("latency")
+        for value in range(101):             # 0..100
+            hist.record(float(value))
+        stats = hist.stats()
+        assert stats["p50"] == 50.0
+        assert stats["p95"] == 95.0
+        assert stats["p99"] == 99.0
+
+    def test_percentiles_helper_matches_percentile(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (5.0, 1.0, 9.0, 3.0):
+            hist.record(value)
+        rounded = hist.percentiles()
+        assert rounded["p50"] == hist.percentile(50)
+        assert rounded["p95"] == hist.percentile(95)
+        assert rounded["p99"] == hist.percentile(99)
+
+    def test_diff_snapshot_carries_percentiles(self):
+        from repro.obs.metrics import diff_snapshots
+
+        registry = MetricsRegistry()
+        registry.histogram("h").record(1.0)
+        before = registry.snapshot()
+        registry.histogram("h").record(10.0)
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["p99"] == 10.0
 
 
 class TestSnapshots:

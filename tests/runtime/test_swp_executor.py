@@ -101,6 +101,51 @@ class TestPipelinedExecution:
         assert result.completed_iterations == 0
 
 
+class TestIncrementalRuns:
+    """The executor resumes from persisted channel state: a serving
+    session feeds invocations in whenever a batch forms, and the split
+    must be invisible in the produced streams."""
+
+    def test_two_half_runs_equal_one_full_run(self):
+        prog = make_program()
+        schedule = search_ii(prog.problem).schedule
+        n = schedule.max_stage + 3
+
+        whole = SwpExecutor(prog, schedule).run(2 * n)
+        split_exec = SwpExecutor(prog, schedule)
+        first = split_exec.run(n)
+        second = split_exec.run(n)
+
+        assert first.invocations == n
+        assert second.invocations == 2 * n
+        assert second.completed_iterations == whole.completed_iterations
+        assert second.sink_outputs == whole.sink_outputs
+        assert second.sink_token_maps == whole.sink_token_maps
+        assert second.fired_instances == whole.fired_instances
+        assert second.channel_peak_tokens == whole.channel_peak_tokens
+        assert second.channel_peak_footprint \
+            == whole.channel_peak_footprint
+
+    def test_many_single_invocation_runs_equal_one_run(self):
+        g = flatten(Pipeline([
+            indexed_source("gen", push=2),
+            Filter("pair", pop=2, push=1, work=lambda w: [w[0] + w[1]]),
+            sink(1, "out"),
+        ]))
+        prog = configure_program(g, uniform_config(g, threads=3), 4)
+        schedule = search_ii(prog.problem).schedule
+        n = schedule.max_stage + 4
+
+        whole = SwpExecutor(prog, schedule).run(n)
+        stepped = SwpExecutor(prog, schedule)
+        for _ in range(n):
+            result = stepped.run(1)
+        assert result.invocations == n
+        assert result.sink_outputs == whole.sink_outputs
+        assert stepped.invocations_done == n
+        assert stepped.completed_iterations == whole.completed_iterations
+
+
 class TestVisibilityEnforcement:
     def test_illegal_cross_sm_schedule_detected(self):
         """Hand-build a schedule whose cross-SM consumer reads data from

@@ -1,0 +1,49 @@
+"""Shared serve-test fixtures.
+
+Serving tests need *live* compiled sessions, and sessions are
+stateful (the stream cursor only moves forward), so tests can't share
+one session object.  Instead they share a compile cache: the first
+session of a graph pays for profiling and the ILP once, and every
+later session of the same graph starts warm (the cache replays the
+stored stages).  The toy pipeline compiles in well under a second
+warm, so each test gets its own fresh session cheaply.
+"""
+
+import pytest
+
+from repro.cache import CompileCache
+from repro.graph import Filter, Pipeline, flatten, indexed_source
+from repro.gpu import GEFORCE_8600_GTS
+from repro.serve import PipelineSession, default_session_options
+
+
+def toy_graph(name="toy", scale=2):
+    """indexed source -> x*scale -> sink; one token per iteration."""
+    return flatten(Pipeline([
+        indexed_source("gen", push=1),
+        Filter("work", pop=1, push=1,
+               work=lambda w, s=scale: [w[0] * s]),
+        Filter("out", pop=1, push=0, work=lambda w: []),
+    ], name=name), name=name)
+
+
+SERVE_OPTIONS = default_session_options(
+    device=GEFORCE_8600_GTS, attempt_budget_seconds=10.0)
+
+
+@pytest.fixture(scope="session")
+def serve_cache(tmp_path_factory):
+    return CompileCache(tmp_path_factory.mktemp("serve-cache"))
+
+
+@pytest.fixture
+def make_session(serve_cache):
+    """Factory for fresh (cache-warm) sessions of the toy pipeline."""
+
+    def make(name="toy", graph=None, **kwargs):
+        kwargs.setdefault("options", SERVE_OPTIONS)
+        kwargs.setdefault("cache", serve_cache)
+        return PipelineSession(name, graph if graph is not None
+                               else toy_graph(name), **kwargs)
+
+    return make

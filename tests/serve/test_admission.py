@@ -1,0 +1,102 @@
+"""AdmissionQueue: bounded admission, tenant quotas, fair dequeue."""
+
+import pytest
+
+from repro.errors import ServerOverloaded, SessionClosed
+from repro.serve import AdmissionQueue, ServeRequest
+
+
+def request(tenant="a", iterations=1, arrival=0.0, rid=-1):
+    return ServeRequest(pipeline="p", tenant=tenant,
+                        iterations=iterations, arrival_ms=arrival,
+                        request_id=rid)
+
+
+class TestAdmission:
+    def test_admit_and_depth(self):
+        queue = AdmissionQueue("p", max_requests=4)
+        queue.admit(request("a"))
+        queue.admit(request("b"))
+        assert queue.depth == len(queue) == 2
+        assert queue.tenant_depth("a") == 1
+        assert queue.tenant_depth("zzz") == 0
+
+    def test_queue_full_is_typed_not_silent(self):
+        queue = AdmissionQueue("p", max_requests=2)
+        queue.admit(request())
+        queue.admit(request())
+        with pytest.raises(ServerOverloaded) as excinfo:
+            queue.admit(request(rid=7))
+        error = excinfo.value
+        assert error.reason == "queue_full"
+        assert error.session == "p"
+        assert error.tenant == "a"
+        assert error.queue_depth == 2
+        # The rejected request left no trace in the queue.
+        assert queue.depth == 2
+
+    def test_tenant_quota(self):
+        queue = AdmissionQueue("p", max_requests=10,
+                               max_tenant_requests=2)
+        queue.admit(request("greedy"))
+        queue.admit(request("greedy"))
+        with pytest.raises(ServerOverloaded) as excinfo:
+            queue.admit(request("greedy"))
+        assert excinfo.value.reason == "tenant_quota"
+        # Other tenants are unaffected by one tenant's quota.
+        queue.admit(request("polite"))
+        assert queue.depth == 3
+
+    def test_closed_queue_raises_session_closed(self):
+        queue = AdmissionQueue("p", max_requests=4)
+        queue.close()
+        with pytest.raises(SessionClosed):
+            queue.admit(request())
+
+    def test_earliest_arrival(self):
+        queue = AdmissionQueue("p", max_requests=8)
+        assert queue.earliest_arrival_ms() is None
+        queue.admit(request("a", arrival=3.0))
+        queue.admit(request("b", arrival=1.0))
+        queue.admit(request("a", arrival=5.0))
+        assert queue.earliest_arrival_ms() == 1.0
+
+
+class TestTakeBatch:
+    def test_round_robin_across_tenants(self):
+        queue = AdmissionQueue("p", max_requests=16)
+        for rid in range(3):
+            queue.admit(request("a", rid=rid))
+        for rid in range(3, 5):
+            queue.admit(request("b", rid=rid))
+        taken = queue.take_batch(16)
+        assert [(r.tenant, r.request_id) for r in taken] \
+            == [("a", 0), ("b", 3), ("a", 1), ("b", 4), ("a", 2)]
+        assert queue.depth == 0
+
+    def test_max_requests_cap(self):
+        queue = AdmissionQueue("p", max_requests=16)
+        for rid in range(6):
+            queue.admit(request("a", rid=rid))
+        taken = queue.take_batch(4)
+        assert [r.request_id for r in taken] == [0, 1, 2, 3]
+        assert queue.depth == 2
+
+    def test_budget_blocks_lane_preserving_fifo(self):
+        queue = AdmissionQueue("p", max_requests=16)
+        queue.admit(request("a", iterations=2, rid=0))
+        queue.admit(request("a", iterations=5, rid=1))
+        queue.admit(request("a", iterations=1, rid=2))
+        queue.admit(request("b", iterations=1, rid=3))
+        taken = queue.take_batch(16, base_budget=4)
+        # a's 5-iteration head blocks the whole lane (FIFO within a
+        # tenant); b still fits.
+        assert [r.request_id for r in taken] == [0, 3]
+        # The blocked requests are still queued, in order.
+        assert [r.request_id for r in queue.take_batch(16)] == [1, 2]
+
+    def test_oversized_first_request_always_fits(self):
+        queue = AdmissionQueue("p", max_requests=4)
+        queue.admit(request("a", iterations=100, rid=0))
+        taken = queue.take_batch(4, base_budget=10)
+        assert [r.request_id for r in taken] == [0]

@@ -1,0 +1,107 @@
+"""BatchPolicy validation and DynamicBatcher batch formation."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import BatchPolicy, DynamicBatcher, ServeRequest
+
+
+def request(tenant="a", iterations=1, arrival=0.0, rid=-1):
+    return ServeRequest(pipeline="toy", tenant=tenant,
+                        iterations=iterations, arrival_ms=arrival,
+                        request_id=rid)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(max_batch_iterations=0),
+        dict(max_batch_requests=0),
+        dict(max_wait_ms=-0.1),
+        dict(max_queue_requests=0),
+        dict(max_tenant_requests=0),
+    ])
+    def test_rejects_nonsense(self, bad):
+        with pytest.raises(ServeError):
+            BatchPolicy(**bad)
+
+    def test_defaults_are_valid(self):
+        policy = BatchPolicy()
+        assert policy.max_batch_iterations >= 1
+        assert policy.max_tenant_requests is None
+
+
+class TestBatchFormation:
+    def test_windows_follow_dequeue_order(self, make_session):
+        batcher = DynamicBatcher(make_session(), BatchPolicy())
+        for rid, (tenant, n) in enumerate([("a", 2), ("a", 3), ("b", 1)]):
+            batcher.queue.admit(request(tenant, iterations=n, rid=rid))
+        batch = batcher.form_batch()
+        assert [r.request_id for r in batch.requests] == [0, 2, 1]
+        assert batch.windows == [(0, 2), (2, 1), (3, 3)]
+        assert batch.through_base == 6
+        assert batch.base_iterations == 6
+        assert batch.tenants == ("a", "b")
+
+    def test_empty_queue_refuses(self, make_session):
+        batcher = DynamicBatcher(make_session(), BatchPolicy())
+        with pytest.raises(ServeError, match="no queued requests"):
+            batcher.form_batch()
+
+    def test_macro_iteration_rounding(self, make_session):
+        session = make_session()
+        batcher = DynamicBatcher(session, BatchPolicy())
+        batcher.queue.admit(request(iterations=1))
+        batch = batcher.form_batch()
+        # One base iteration still needs a whole steady iteration.
+        assert batch.new_macro_iterations == 1
+        assert batch.through_base == 1
+
+    def test_drained_slack_is_reused(self, make_session):
+        session = make_session()
+        batcher = DynamicBatcher(session, BatchPolicy())
+        batcher.queue.admit(request(iterations=1, rid=0))
+        first = batcher.form_batch()
+        session.advance_to(first.through_base)
+        # The macro iteration covered base_per_macro iterations; the
+        # next small request is already drained — zero fresh work.
+        assert session.base_per_macro > 2
+        batcher.queue.admit(request(iterations=1, rid=1))
+        second = batcher.form_batch()
+        assert second.new_macro_iterations == 0
+
+    def test_budget_caps_fresh_macro_iterations(self, make_session):
+        session = make_session()
+        per = session.base_per_macro
+        policy = BatchPolicy(max_batch_iterations=2)
+        batcher = DynamicBatcher(session, policy)
+        for rid in range(3):
+            batcher.queue.admit(request(iterations=per, rid=rid))
+        batch = batcher.form_batch()
+        assert [r.request_id for r in batch.requests] == [0, 1]
+        assert batch.new_macro_iterations == 2
+        assert batcher.queue.depth == 1
+
+
+class TestDispatchSignals:
+    def test_wait_deadline_anchors_oldest(self, make_session):
+        policy = BatchPolicy(max_wait_ms=0.25)
+        batcher = DynamicBatcher(make_session(), policy)
+        assert batcher.wait_deadline_ms() is None
+        batcher.queue.admit(request("a", arrival=2.0))
+        batcher.queue.admit(request("b", arrival=1.0))
+        assert batcher.wait_deadline_ms() == pytest.approx(1.25)
+
+    def test_batch_is_full_by_request_count(self, make_session):
+        policy = BatchPolicy(max_batch_requests=2)
+        batcher = DynamicBatcher(make_session(), policy)
+        batcher.queue.admit(request(rid=0))
+        assert not batcher.batch_is_full()
+        batcher.queue.admit(request(rid=1))
+        assert batcher.batch_is_full()
+
+    def test_batch_is_full_by_macro_iterations(self, make_session):
+        session = make_session()
+        policy = BatchPolicy(max_batch_iterations=1)
+        batcher = DynamicBatcher(session, policy)
+        batcher.queue.admit(request(iterations=session.base_per_macro))
+        assert batcher.batch_is_full()

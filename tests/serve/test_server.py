@@ -1,0 +1,224 @@
+"""StreamServer: event loop, fairness, shedding, drain, metrics."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ServeError, ServerOverloaded, SessionClosed
+from repro.runtime import Interpreter
+from repro.serve import (
+    BatchPolicy,
+    ServeRequest,
+    StreamServer,
+    synthetic_workload,
+)
+
+from .conftest import SERVE_OPTIONS, toy_graph
+
+
+@pytest.fixture
+def make_server(serve_cache):
+    def make(names=("toy",), policy=None, **kwargs):
+        kwargs.setdefault("options", SERVE_OPTIONS)
+        kwargs.setdefault("cache", serve_cache)
+        server = StreamServer(policy=policy or BatchPolicy(), **kwargs)
+        for name in names:
+            server.register(name, toy_graph(name))
+        return server
+    return make
+
+
+def request(pipeline="toy", tenant="a", iterations=1, arrival=0.0):
+    return ServeRequest(pipeline=pipeline, tenant=tenant,
+                        iterations=iterations, arrival_ms=arrival)
+
+
+def assert_outputs_match_reference(server, responses):
+    """Every served window must be byte-equal to the reference
+    interpreter's slice of the same (continuous) output stream."""
+    by_pipeline = {}
+    for response in responses:
+        if response.ok:
+            by_pipeline.setdefault(response.request.pipeline, []) \
+                .append(response)
+    for name, served in by_pipeline.items():
+        session = server.session(name)
+        total = max(r.start_iteration + r.request.iterations
+                    for r in served)
+        ref_graph = toy_graph(name)
+        reference = Interpreter(ref_graph)
+        reference.run(iterations=total)
+        # A fresh graph gets fresh node uids; match sinks by name.
+        ref_uid = {node.name: node.uid for node in ref_graph.sinks}
+        for sink_name, uid, per in session.sinks:
+            stream = reference.sink_outputs[ref_uid[sink_name]]
+            offset = session.sink_init_tokens[uid]
+            for r in served:
+                lo = offset + r.start_iteration * per
+                hi = lo + r.request.iterations * per
+                assert r.outputs[sink_name] == list(stream[lo:hi]), name
+
+
+class TestLifecycle:
+    def test_register_after_start_refused(self, make_server):
+        server = make_server()
+        server.start()
+        with pytest.raises(ServeError, match="precede"):
+            server.register("late", toy_graph("late"))
+
+    def test_duplicate_registration_refused(self, make_server):
+        server = make_server()
+        with pytest.raises(ServeError, match="already registered"):
+            server.register("toy", toy_graph("toy"))
+
+    def test_play_requires_start(self, make_server):
+        with pytest.raises(ServeError, match="start"):
+            make_server().play([request()])
+
+    def test_start_requires_registrations(self):
+        with pytest.raises(ServeError, match="no pipelines"):
+            StreamServer().start()
+
+    def test_shutdown_refuses_further_play(self, make_server):
+        server = make_server()
+        server.start()
+        server.play([request()])
+        server.shutdown()
+        with pytest.raises(SessionClosed):
+            server.play([request()])
+
+
+class TestReplay:
+    def test_every_request_gets_one_response(self, make_server):
+        server = make_server()
+        server.start()
+        workload = synthetic_workload(["toy"], requests=20, seed=1,
+                                      tenants=3)
+        report = server.play(workload)
+        assert len(report.responses) == 20
+        assert report.served + report.shed == 20
+        assert [r.request.request_id for r in report.responses] \
+            == list(range(20))
+        assert_outputs_match_reference(server, report.responses)
+
+    def test_batches_coalesce_bursts(self, make_server):
+        server = make_server(policy=BatchPolicy(max_wait_ms=1.0))
+        server.start()
+        report = server.play([request(arrival=0.0) for _ in range(10)])
+        session_report = report.sessions["toy"]
+        assert session_report.batch_count == 1
+        assert session_report.batches[0].requests == 10
+        assert session_report.batching_speedup > 2.0
+
+    def test_graceful_drain_of_late_arrivals(self, make_server):
+        server = make_server(policy=BatchPolicy(max_wait_ms=0.1))
+        server.start()
+        # The second request arrives long after the first batch is done;
+        # the loop must keep running until the queue drains.
+        report = server.play([request(arrival=0.0),
+                              request(arrival=50.0)])
+        assert report.served == 2
+        assert report.duration_ms >= 50.0
+
+    def test_unknown_pipeline_rejected_with_typed_error(
+            self, make_server):
+        server = make_server()
+        server.start()
+        report = server.play([request(pipeline="ghost"), request()])
+        ghost, ok = report.responses
+        assert not ghost.ok and isinstance(ghost.error, ServeError)
+        assert ok.ok
+
+    def test_replay_is_deterministic(self, make_server):
+        workload = synthetic_workload(["toy"], requests=16, seed=9,
+                                      tenants=2)
+
+        def run():
+            server = make_server()
+            server.start()
+            report = server.play(workload)
+            return [(r.request.request_id, r.status, r.latency_ms,
+                     tuple(map(tuple, (r.outputs or {}).values())))
+                    for r in report.responses]
+
+        assert run() == run()
+
+    def test_submission_order_does_not_change_outputs(self, make_server):
+        workload = synthetic_workload(["toy"], requests=12, seed=4)
+        shuffled = list(reversed(workload))
+
+        def outputs(load):
+            server = make_server()
+            server.start()
+            report = server.play(load)
+            return sorted(
+                (r.request.arrival_ms, r.request.iterations,
+                 tuple(map(tuple, (r.outputs or {}).values())))
+                for r in report.responses if r.ok)
+
+        assert outputs(workload) == outputs(shuffled)
+
+
+class TestOverload:
+    def test_burst_sheds_with_typed_rejections(self, make_server):
+        policy = BatchPolicy(max_queue_requests=4,
+                             max_tenant_requests=3, max_wait_ms=0.5)
+        server = make_server(policy=policy)
+        server.start()
+        workload = [request(tenant=f"t{i % 2}") for i in range(12)]
+        report = server.play(workload)
+        assert len(report.responses) == 12
+        assert report.shed > 0
+        for response in report.responses:
+            if not response.ok:
+                assert isinstance(response.error, ServerOverloaded)
+                assert response.error.reason in ("queue_full",
+                                                 "tenant_quota")
+        assert_outputs_match_reference(server, report.responses)
+
+    def test_report_counts_add_up(self, make_server):
+        server = make_server(policy=BatchPolicy(max_queue_requests=2))
+        server.start()
+        report = server.play([request() for _ in range(8)])
+        s = report.sessions["toy"]
+        assert s.requests == 8
+        assert s.served + s.shed == 8
+        assert s.served == len(s.latencies_ms)
+
+
+class TestMultiSession:
+    def test_round_robin_serves_both_pipelines(self, make_server):
+        server = make_server(names=("alpha", "beta"),
+                             policy=BatchPolicy(max_wait_ms=0.0))
+        server.start()
+        workload = synthetic_workload(["alpha", "beta"], requests=24,
+                                      seed=2)
+        report = server.play(workload)
+        assert report.sessions["alpha"].batch_count > 0
+        assert report.sessions["beta"].batch_count > 0
+        assert report.served == 24
+        assert_outputs_match_reference(server, report.responses)
+
+
+class TestMetrics:
+    def test_obs_metrics_emitted_when_enabled(self, make_server):
+        server = make_server(policy=BatchPolicy(max_queue_requests=2))
+        server.start()
+        obs.enable(reset=True)
+        try:
+            server.play([request() for _ in range(6)])
+            snapshot = obs.metrics_snapshot()
+        finally:
+            obs.disable()
+            obs.clear()
+        assert snapshot["counters"]["serve.requests{session=toy}"] == 6
+        shed = sum(value for key, value in snapshot["counters"].items()
+                   if key.startswith("serve.shed"))
+        assert shed > 0
+        assert "serve.latency_ms{session=toy}" in snapshot["histograms"]
+        assert "serve.queue_depth{session=toy}" in snapshot["gauges"]
+
+    def test_silent_when_disabled(self, make_server):
+        server = make_server()
+        server.start()
+        server.play([request()])
+        assert obs.metrics_snapshot()["counters"] == {}

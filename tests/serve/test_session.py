@@ -1,0 +1,136 @@
+"""PipelineSession: stream windows, incremental execution, cycle model."""
+
+import pytest
+
+from repro import obs
+from repro.compiler import replace_options
+from repro.errors import ServeError, SessionClosed
+from repro.runtime import Interpreter
+
+from .conftest import SERVE_OPTIONS, toy_graph
+
+
+class TestConstruction:
+    def test_rejects_serial_scheme(self, make_session):
+        with pytest.raises(ServeError, match="software-pipelined"):
+            make_session(options=replace_options(SERVE_OPTIONS,
+                                                 scheme="serial",
+                                                 coarsening=1))
+
+    def test_rejects_static_coarsening(self, make_session):
+        with pytest.raises(ServeError, match="coarsening=1"):
+            make_session(options=replace_options(SERVE_OPTIONS,
+                                                 coarsening=4))
+
+    def test_session_geometry(self, make_session):
+        session = make_session()
+        assert session.base_per_macro >= 1
+        assert session.fill_invocations == session.schedule.max_stage
+        # The toy sink consumes one token per base iteration.
+        assert [per for _, _, per in session.sinks] == [1]
+
+
+class TestStreamWindows:
+    def test_claims_are_contiguous(self, make_session):
+        session = make_session()
+        assert session.claim(3) == 0
+        assert session.claim(2) == 3
+        assert session.claim(1) == 5
+        assert session.cursor == 6
+
+    def test_pending_macro_iterations(self, make_session):
+        session = make_session()
+        per = session.base_per_macro
+        assert session.pending_macro_iterations(0) == 0
+        assert session.pending_macro_iterations(1) == 1
+        assert session.pending_macro_iterations(per) == 1
+        assert session.pending_macro_iterations(per + 1) == 2
+
+    def test_closed_session_rejects_claims(self, make_session):
+        session = make_session()
+        session.close()
+        with pytest.raises(SessionClosed):
+            session.claim(1)
+        with pytest.raises(SessionClosed):
+            session.advance_to(1)
+
+
+class TestExecution:
+    def test_outputs_match_reference_interpreter(self, make_session):
+        session = make_session()
+        start = session.claim(5)
+        session.advance_to(session.cursor)
+        outputs = session.outputs_for(start, 5)
+        ref_graph = toy_graph()
+        reference = Interpreter(ref_graph)
+        reference.run(iterations=5)
+        (sink_name, uid, per), = session.sinks
+        # A fresh graph gets fresh node uids; match sinks by name.
+        ref_uid = {node.name: node.uid for node in ref_graph.sinks}
+        offset = session.sink_init_tokens[uid]
+        stream = reference.sink_outputs[ref_uid[sink_name]]
+        assert outputs[sink_name] == list(stream[offset:offset + 5 * per])
+
+    def test_advance_is_incremental(self, make_session):
+        session = make_session()
+        per = session.base_per_macro
+        new_macro, invocations = session.advance_to(1)
+        assert new_macro == 1
+        assert invocations == 1 + session.fill_invocations
+        # The next macro iteration costs exactly one more invocation.
+        new_macro, invocations = session.advance_to(per + 1)
+        assert (new_macro, invocations) == (1, 1)
+        # Already-covered windows run nothing.
+        assert session.advance_to(per) == (0, 0)
+
+    def test_undrained_window_raises(self, make_session):
+        session = make_session()
+        session.claim(session.base_per_macro + 1)
+        session.advance_to(1)  # covers only the first macro iteration
+        with pytest.raises(ServeError, match="not fully drained"):
+            session.outputs_for(session.base_per_macro, 1)
+
+
+class TestCycleModel:
+    def test_fill_charged_once(self, make_session):
+        session = make_session()
+        cold = session.batch_cycles(1)
+        assert cold == pytest.approx(
+            session.fill_cycles() + session.launch_cycles
+            + session.kernel_cycles(1))
+        session.advance_to(1)
+        warm = session.batch_cycles(1)
+        assert warm == pytest.approx(session.launch_cycles
+                                     + session.kernel_cycles(1))
+        assert warm < cold
+
+    def test_batched_launch_beats_per_iteration_launches(
+            self, make_session):
+        session = make_session()
+        batched = session.launch_cycles + session.kernel_cycles(8)
+        serial = 8 * (session.launch_cycles + session.kernel_cycles(1))
+        assert batched < serial
+
+    def test_empty_batch_costs_nothing(self, make_session):
+        assert make_session().batch_cycles(0) == 0.0
+
+    def test_unbatched_baseline_includes_fill(self, make_session):
+        session = make_session()
+        per_invocation = session.kernel_cycles(1) + session.launch_cycles
+        assert session.unbatched_request_cycles(1) == pytest.approx(
+            (1 + session.fill_invocations) * per_invocation)
+
+
+class TestWarmRestart:
+    def test_warm_restart_skips_profiling_and_ilp(self, make_session):
+        make_session()  # populate the shared cache
+        obs.enable(reset=True)
+        try:
+            make_session()
+            snapshot = obs.metrics_snapshot()
+        finally:
+            obs.disable()
+            obs.clear()
+        assert "profile.filters" not in snapshot["counters"]
+        assert not any(key.startswith("ilp.solve_seconds")
+                       for key in snapshot["histograms"])

@@ -132,6 +132,93 @@ class TestCompare:
         assert "sas" in out
 
 
+class TestValidation:
+    """Friendly argparse rejections for nonsensical numeric flags."""
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "DCT", "--iterations", "0"],
+        ["run", "DCT", "--iterations", "-3"],
+        ["dsl", "prog.str", "--iterations", "0"],
+        ["compile", "DCT", "--coarsening", "0"],
+        ["compile", "DCT", "--coarsening", "-8"],
+        ["stats", "DCT", "--coarsening", "0"],
+        ["codegen", "DCT", "--coarsening", "-1"],
+        ["compile", "DCT", "--jobs", "-1"],
+        ["serve", "DCT", "--requests", "0"],
+        ["serve", "DCT", "--tenants", "-2"],
+        ["serve", "DCT", "--max-batch-iterations", "0"],
+        ["serve", "DCT", "--max-queue-requests", "-1"],
+    ])
+    def test_rejected_at_parse_time(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "expected a positive integer" in err \
+            or "worker count >= 0" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "DCT", "--iterations", "four"],
+        ["compile", "DCT", "--jobs", "many"],
+    ])
+    def test_non_integers_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_jobs_zero_means_all_cores(self):
+        args = build_parser().parse_args(["compile", "DCT", "--jobs", "0"])
+        assert args.jobs == 0
+
+    def test_valid_values_pass(self):
+        args = build_parser().parse_args(
+            ["serve", "DCT", "FFT", "--requests", "9", "--tenants", "3"])
+        assert args.benchmarks == ["DCT", "FFT"]
+        assert args.requests == 9
+
+
+class TestServe:
+    def test_serve_synthetic(self, capsys):
+        assert main(["serve", "DCT", "--requests", "12", "--seed", "3",
+                     "--device", "8600gts", "--budget", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "DCT" in out
+        assert "12 requests" in out
+        assert "speedup" in out
+        assert "p99" in out
+
+    def test_serve_request_file(self, tmp_path, capsys):
+        load = [{"pipeline": "DCT", "tenant": "a", "iterations": 2},
+                {"pipeline": "DCT", "arrival_ms": 0.1}]
+        path = tmp_path / "load.json"
+        path.write_text(json.dumps(load))
+        assert main(["serve", "DCT", "--request-file", str(path),
+                     "--device", "8600gts", "--budget", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "2 requests, 2 served, 0 shed" in out
+
+    def test_serve_request_file_unknown_pipeline(self, tmp_path, capsys):
+        path = tmp_path / "load.json"
+        path.write_text(json.dumps([{"pipeline": "Quake"}]))
+        assert main(["serve", "DCT", "--request-file", str(path)]) == 2
+        assert "Quake" in capsys.readouterr().err
+
+    def test_serve_malformed_request_file(self, tmp_path, capsys):
+        path = tmp_path / "load.json"
+        path.write_text("{not json")
+        assert main(["serve", "DCT", "--request-file", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_serve_with_stats(self, capsys):
+        assert main(["serve", "DCT", "--requests", "8",
+                     "--device", "8600gts", "--budget", "5",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "serve.requests{session=DCT}" in out
+        assert "serve.latency_ms{session=DCT}" in out
+        assert not obs.is_enabled()
+
+
 class TestStats:
     def test_stats_swp(self, capsys):
         assert main(["stats", "DCT", "--budget", "5"]) == 0
