@@ -1,0 +1,212 @@
+"""Execution-backend harness: compiled/vectorized throughput + bytes.
+
+Measures steady-state host firing throughput of the three execution
+backends (``interp``, ``compiled``, ``vectorized``) over the bundled
+DSL programs — the serve workload's pipelines, where work functions
+are checked ASTs and the lowering applies — and gates the results:
+
+* **speedup** — the geometric-mean firing throughput of the compiled
+  AND the vectorized backend must each be at least ``--min-speedup``
+  (default 3x) over the reference interpreter;
+* **byte equality** — every benchmark app's sink streams under both
+  non-reference backends must be byte-identical (values *and* token
+  types) to the interpreter's.
+
+``--quick`` runs a reduced subset for CI (two DSL programs, two apps);
+the full run covers all four DSL programs and all eight apps.
+Results land in ``BENCH_exec.json``; ``--write-baseline`` refreshes
+the committed ``benchmarks/baseline/bench_exec_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_exec.py           # full
+    PYTHONPATH=src python benchmarks/bench_exec.py --quick   # CI gate
+    PYTHONPATH=src python benchmarks/bench_exec.py --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps import all_benchmarks, benchmark_by_name  # noqa: E402
+from repro.apps.dsl_sources import ALL_SOURCES            # noqa: E402
+from repro.core.profiling import profile_host_throughput  # noqa: E402
+from repro.exec import BACKENDS                           # noqa: E402
+from repro.lang import build_graph                        # noqa: E402
+from repro.runtime import Interpreter                     # noqa: E402
+
+QUICK_DSL = ("moving_average", "equalizer")
+QUICK_APPS = ("Bitonic", "DCT")
+
+#: Steady iterations timed per backend per program (after warmup).
+ITERATIONS = 40
+WARMUP = 5
+
+#: Steady iterations checked for byte equality per app.
+EQUALITY_ITERATIONS = 4
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline",
+                                "bench_exec_baseline.json")
+DEFAULT_OUTPUT = "BENCH_exec.json"
+
+
+def geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _throughput_one(name: str, source: str) -> dict:
+    """Firings/second of each backend over one DSL program."""
+    row = {}
+    for backend in BACKENDS:
+        graph = build_graph(source, root="Main")
+        t = profile_host_throughput(graph, iterations=ITERATIONS,
+                                    warmup_iterations=WARMUP,
+                                    exec_backend=backend)
+        row[backend] = {
+            "firings": t.firings,
+            "seconds": round(t.seconds, 6),
+            "firings_per_second": round(t.firings_per_second, 1),
+        }
+    base = row["interp"]["firings_per_second"]
+    for backend in ("compiled", "vectorized"):
+        row[backend]["speedup"] = round(
+            row[backend]["firings_per_second"] / base, 2) if base else 0.0
+    return row
+
+
+def _equality_one(name: str) -> dict:
+    """Byte-compare one app's sink streams across the backends."""
+    ref_graph = benchmark_by_name(name).build()
+    reference = Interpreter(ref_graph).run(EQUALITY_ITERATIONS)
+    ref = {n.name: reference[n.uid] for n in ref_graph.sinks}
+    row = {"tokens": sum(len(v) for v in ref.values())}
+    for backend in ("compiled", "vectorized"):
+        graph = benchmark_by_name(name).build()
+        outputs = Interpreter(graph, exec_backend=backend) \
+            .run(EQUALITY_ITERATIONS)
+        got = {n.name: outputs[n.uid] for n in graph.sinks}
+        equal = got == ref and all(
+            [type(t) for t in got[k]] == [type(t) for t in ref[k]]
+            for k in ref)
+        row[backend] = bool(equal)
+    return row
+
+
+def run(dsl_names, app_names, *, min_speedup: float) -> tuple[dict, bool]:
+    throughput = {}
+    print(f"{'program':<20} {'interp':>10} {'compiled':>10} "
+          f"{'vector':>10} {'comp-x':>7} {'vec-x':>7}")
+    for name in dsl_names:
+        row = _throughput_one(name, ALL_SOURCES[name])
+        throughput[name] = row
+        print(f"{name:<20} "
+              f"{row['interp']['firings_per_second']:>10,.0f} "
+              f"{row['compiled']['firings_per_second']:>10,.0f} "
+              f"{row['vectorized']['firings_per_second']:>10,.0f} "
+              f"{row['compiled']['speedup']:>6.2f}x "
+              f"{row['vectorized']['speedup']:>6.2f}x", flush=True)
+
+    speedups = {
+        backend: round(geomean(
+            throughput[n][backend]["speedup"] for n in dsl_names), 2)
+        for backend in ("compiled", "vectorized")}
+    print(f"{'geomean':<20} {'':>10} {'':>10} {'':>10} "
+          f"{speedups['compiled']:>6.2f}x "
+          f"{speedups['vectorized']:>6.2f}x")
+
+    equality = {}
+    print(f"\n{'app':<12} {'tokens':>7} {'compiled':>9} {'vector':>7}")
+    for name in app_names:
+        row = _equality_one(name)
+        equality[name] = row
+        print(f"{name:<12} {row['tokens']:>7} "
+              f"{'ok' if row['compiled'] else 'FAIL':>9} "
+              f"{'ok' if row['vectorized'] else 'FAIL':>7}", flush=True)
+
+    failures = []
+    for backend in ("compiled", "vectorized"):
+        if speedups[backend] < min_speedup:
+            failures.append(
+                f"{backend} backend geomean speedup "
+                f"{speedups[backend]:.2f}x below the "
+                f"{min_speedup:.1f}x gate")
+    for name, row in equality.items():
+        for backend in ("compiled", "vectorized"):
+            if not row[backend]:
+                failures.append(f"{name}: {backend} sink streams "
+                                f"diverge from the interpreter")
+
+    result = {
+        "suite": "bench_exec",
+        "python": platform.python_version(),
+        "throughput": throughput,
+        "geomean_speedups": speedups,
+        "equality": equality,
+        "gates": {
+            "min_speedup": min_speedup,
+            "failures": failures,
+        },
+    }
+    return result, not failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced CI subset")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required geomean firing-throughput gain "
+                             "over interp (default 3x)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline JSON (informational "
+                             "comparison)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="refresh the committed baseline instead "
+                             "of gating")
+    args = parser.parse_args(argv)
+
+    dsl_names = QUICK_DSL if args.quick else tuple(ALL_SOURCES)
+    app_names = QUICK_APPS if args.quick \
+        else tuple(info.name for info in all_benchmarks())
+    result, ok = run(dsl_names, app_names, min_speedup=args.min_speedup)
+
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote baseline {args.baseline}")
+    elif os.path.exists(args.baseline):
+        with open(args.baseline) as handle:
+            base = json.load(handle).get("geomean_speedups", {})
+        for backend in ("compiled", "vectorized"):
+            if base.get(backend):
+                now = result["geomean_speedups"][backend]
+                print(f"baseline {backend}: {base[backend]:.2f}x -> "
+                      f"{now:.2f}x ({now / base[backend]:.2f} ratio)")
+
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+    if not ok:
+        for failure in result["gates"]["failures"]:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print(f"all execution-backend gates passed (compiled "
+          f"{result['geomean_speedups']['compiled']:.2f}x, vectorized "
+          f"{result['geomean_speedups']['vectorized']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,19 @@ from typing import Callable, Sequence
 from ..errors import GraphError
 from ..graph.nodes import Filter, WorkEstimate, indexed_source
 
+try:  # NumPy powers the optional batch (vectorized) work kernels.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the image
+    _np = None
+
+
+def _as_arith(column):
+    """Bool window columns behave like Python bools under arithmetic."""
+    if _np is not None and isinstance(column, _np.ndarray) \
+            and column.dtype == _np.bool_:
+        return column.astype(_np.int64)
+    return column
+
 
 @dataclass(frozen=True)
 class BenchmarkInfo:
@@ -38,7 +51,26 @@ def float_source(name: str, push: int) -> Filter:
         h ^= h >> 16
         return (h / 2 ** 31) - 1.0
 
-    return indexed_source(name, push=push, fn=value)
+    batch = None
+    if _np is not None:
+        # The hash stays below 2**32, so uint64 lanes never truncate
+        # and the final /2**31 is exact in float64 — bit-for-bit the
+        # scalar value().
+        def batch(matrix, first, _push=push):
+            firings = matrix.shape[0]
+            base = _np.arange(first, first + firings,
+                              dtype=_np.uint64) * _np.uint64(_push)
+            columns = []
+            for offset in range(_push):
+                h = ((base + _np.uint64(offset))
+                     * _np.uint64(2654435761)) & _np.uint64(0xFFFFFFFF)
+                h = h ^ (h >> _np.uint64(16))
+                h = (h * _np.uint64(0x45D9F3B)) & _np.uint64(0xFFFFFFFF)
+                h = h ^ (h >> _np.uint64(16))
+                columns.append(h / 2.0 ** 31 - 1.0)
+            return columns
+
+    return indexed_source(name, push=push, fn=value, batch_work=batch)
 
 
 def int_source(name: str, push: int, modulus: int = 251) -> Filter:
@@ -47,7 +79,16 @@ def int_source(name: str, push: int, modulus: int = 251) -> Filter:
     def value(position: int) -> int:
         return (position * 7919 + 13) % modulus
 
-    return indexed_source(name, push=push, fn=value)
+    batch = None
+    if _np is not None:
+        def batch(matrix, first, _push=push, _mod=modulus):
+            firings = matrix.shape[0]
+            base = _np.arange(first, first + firings,
+                              dtype=_np.int64) * _push
+            return [((base + offset) * 7919 + 13) % _mod
+                    for offset in range(_push)]
+
+    return indexed_source(name, push=push, fn=value, batch_work=batch)
 
 
 def bit_source(name: str, push: int) -> Filter:
@@ -58,13 +99,29 @@ def bit_source(name: str, push: int) -> Filter:
         h ^= h >> 13
         return h & 1
 
-    return indexed_source(name, push=push, fn=value)
+    batch = None
+    if _np is not None:
+        def batch(matrix, first, _push=push):
+            firings = matrix.shape[0]
+            base = _np.arange(first, first + firings,
+                              dtype=_np.uint64) * _np.uint64(_push)
+            columns = []
+            for offset in range(_push):
+                h = ((base + _np.uint64(offset))
+                     * _np.uint64(0x9E3779B1)
+                     + _np.uint64(0x7F4A7C15)) & _np.uint64(0xFFFFFFFF)
+                h = h ^ (h >> _np.uint64(13))
+                columns.append((h & _np.uint64(1)).astype(_np.int64))
+            return columns
+
+    return indexed_source(name, push=push, fn=value, batch_work=batch)
 
 
 def null_sink(pop: int, name: str = "sink") -> Filter:
     """Consume ``pop`` tokens per firing (the benchmark harness reads
     the interpreter's sink capture instead of filter output)."""
     return Filter(name, pop=pop, push=0, work=lambda _w: [],
+                  batch_work=(None if _np is None else lambda _m: []),
                   estimate=WorkEstimate(compute_ops=0, loads=pop,
                                         stores=0, registers=4))
 
@@ -78,14 +135,27 @@ def permutation_filter(name: str, order: Sequence[int]) -> Filter:
         raise GraphError(f"{name}: order must be a permutation of 0..{n-1}")
     return Filter(name, pop=n, push=n,
                   work=lambda w, _o=order: [w[i] for i in _o],
+                  batch_work=(None if _np is None else
+                              lambda W, _o=order: [W[:, i] for i in _o]),
                   estimate=WorkEstimate(compute_ops=n, loads=n, stores=n,
                                         registers=8))
 
 
 def adder_filter(name: str, arity: int) -> Filter:
     """Sum ``arity`` tokens into one (the equalizer/filterbank adders)."""
+    batch = None
+    if _np is not None:
+        # Left-to-right adds, exactly like Python's sum() — np.sum's
+        # pairwise reduction would round differently.
+        def batch(W, _n=arity):
+            acc = _as_arith(W[:, 0])
+            for i in range(1, _n):
+                acc = acc + _as_arith(W[:, i])
+            return [acc]
+
     return Filter(name, pop=arity, push=1,
                   work=lambda w, _n=arity: [sum(w[:_n])],
+                  batch_work=batch,
                   estimate=WorkEstimate(compute_ops=arity, loads=arity,
                                         stores=1, registers=6))
 
@@ -93,6 +163,9 @@ def adder_filter(name: str, arity: int) -> Filter:
 def subtracter_filter(name: str = "sub") -> Filter:
     """out = in[1] - in[0] (the band-pass construction in FMRadio)."""
     return Filter(name, pop=2, push=1, work=lambda w: [w[1] - w[0]],
+                  batch_work=(None if _np is None else
+                              lambda W: [_as_arith(W[:, 1])
+                                         - _as_arith(W[:, 0])]),
                   estimate=WorkEstimate(compute_ops=2, loads=2, stores=1,
                                         registers=6))
 
@@ -116,7 +189,18 @@ def fir_filter(name: str, taps: Sequence[float], *,
             acc += taps[i] * window[i]
         return [acc]
 
+    batch = None
+    if _np is not None:
+        # Same accumulation order as the scalar loop (a dot product
+        # reduces in a different order and drifts by ulps).
+        def batch(W, _taps=tuple(taps), _n=n):
+            acc = _np.zeros(W.shape[0])
+            for i in range(_n):
+                acc = acc + _taps[i] * W[:, i]
+            return [acc]
+
     return Filter(name, pop=decimation, push=1, peek=peek, work=work,
+                  batch_work=batch,
                   estimate=WorkEstimate(compute_ops=2 * n, loads=peek,
                                         stores=1,
                                         registers=min(48, 10 + n // 8),
@@ -155,6 +239,9 @@ def upsample_filter(name: str, factor: int) -> Filter:
         raise GraphError(f"{name}: factor must be >= 1")
     return Filter(name, pop=1, push=factor,
                   work=lambda w, _f=factor: [w[0]] + [0.0] * (_f - 1),
+                  batch_work=(None if _np is None else
+                              lambda W, _f=factor:
+                              [W[:, 0]] + [0.0] * (_f - 1)),
                   estimate=WorkEstimate(compute_ops=factor, loads=1,
                                         stores=factor, registers=6))
 
@@ -164,6 +251,8 @@ def downsample_filter(name: str, factor: int) -> Filter:
     if factor < 1:
         raise GraphError(f"{name}: factor must be >= 1")
     return Filter(name, pop=factor, push=1, work=lambda w: [w[0]],
+                  batch_work=(None if _np is None else
+                              lambda W: [W[:, 0]]),
                   estimate=WorkEstimate(compute_ops=1, loads=1, stores=1,
                                         registers=6))
 
@@ -172,5 +261,8 @@ def identity_block(name: str, size: int) -> Filter:
     """Pass ``size`` tokens through unchanged (wiring helper)."""
     return Filter(name, pop=size, push=size,
                   work=lambda w, _n=size: list(w[:_n]),
+                  batch_work=(None if _np is None else
+                              lambda W, _n=size:
+                              [W[:, i] for i in range(_n)]),
                   estimate=WorkEstimate(compute_ops=0, loads=size,
                                         stores=size, registers=6))

@@ -67,7 +67,10 @@ from .graph.nodes import Filter, Joiner, Node, Splitter
 CACHE_FORMAT_VERSION = 1
 
 #: The pipeline stages with cacheable outputs, in dependency order.
-STAGES = ("profile", "execution_config", "schedule")
+#: ``kernel`` holds lowered execution-backend kernel sources
+#: (:mod:`repro.exec`), keyed by the work-function fingerprint; unlike
+#: the compile stages it is populated at *execution* time.
+STAGES = ("profile", "execution_config", "schedule", "kernel")
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro info FMRadio
     python -m repro run FMRadio --iterations 2
+    python -m repro run FMRadio --exec-backend compiled
     python -m repro compile FMRadio --scheme swp --coarsening 8
     python -m repro compile FMRadio --trace out.json --stats
     python -m repro compile FMRadio --jobs 4 --cache-dir /tmp/repro-cache
@@ -38,6 +39,12 @@ benchmarks into warm pipeline sessions, replays a request workload
 batcher in simulated GPU time, and prints the per-session report —
 requests served/shed, batch sizes, batching speedup, and latency
 percentiles.  See docs/serving.md.
+
+``--exec-backend {interp,compiled,vectorized}`` (default
+``REPRO_EXEC_BACKEND`` or ``interp``) selects how filter work
+functions execute on the host: the reference AST interpreter, per-
+filter compiled kernels, or NumPy-vectorized batch firing.  Outputs
+are byte-identical across backends.  See docs/execution-backends.md.
 """
 
 from __future__ import annotations
@@ -90,6 +97,17 @@ def _job_count(text: str) -> int:
     return value
 
 
+def _exec_backend(text: str) -> str:
+    """argparse type for ``--exec-backend``: one of the known backends,
+    rejected with a typed error listing the choices."""
+    from .exec import BACKENDS
+    if text not in BACKENDS:
+        raise argparse.ArgumentTypeError(
+            f"unknown execution backend {text!r}; choose from "
+            f"{', '.join(BACKENDS)}")
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -119,13 +137,22 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--no-cache", action="store_true",
                       help="skip the compile cache entirely")
 
+    # Execution-backend flag shared by token-moving subcommands.
+    execflags = argparse.ArgumentParser(add_help=False)
+    execflags.add_argument("--exec-backend", type=_exec_backend,
+                           default=None, metavar="BACKEND",
+                           help="filter execution backend: interp, "
+                                "compiled, or vectorized (default "
+                                "REPRO_EXEC_BACKEND or interp)")
+
     sub.add_parser("list", help="list the benchmark suite")
 
     info = sub.add_parser("info", help="describe one benchmark's graph")
     info.add_argument("benchmark")
 
-    run = sub.add_parser("run", help="run a benchmark on the reference "
-                                     "interpreter")
+    run = sub.add_parser("run", parents=[execflags],
+                         help="run a benchmark on the reference "
+                              "interpreter")
     run.add_argument("benchmark")
     run.add_argument("--iterations", type=_positive_int, default=1)
     run.add_argument("--show", type=int, default=8,
@@ -148,7 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("benchmark")
     compare.add_argument("--budget", type=float, default=10.0)
 
-    stats = sub.add_parser("stats", parents=[observe, perf],
+    stats = sub.add_parser("stats", parents=[observe, perf, execflags],
                            help="compile one benchmark with full "
                                 "observability and print its counters")
     stats.add_argument("benchmark")
@@ -174,13 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="file path or '-' for stdout")
     codegen.add_argument("--coarsening", type=_positive_int, default=8)
 
-    dsl = sub.add_parser("dsl", help="compile a StreamIt-like source "
-                                     "file")
+    dsl = sub.add_parser("dsl", parents=[execflags],
+                         help="compile a StreamIt-like source file")
     dsl.add_argument("path")
     dsl.add_argument("--root", default="Main")
     dsl.add_argument("--iterations", type=_positive_int, default=1)
 
-    serve = sub.add_parser("serve", parents=[observe, perf],
+    serve = sub.add_parser("serve", parents=[observe, perf, execflags],
                            help="serve benchmarks under simulated "
                                 "request load (dynamic batching)")
     serve.add_argument("benchmarks", nargs="+",
@@ -273,13 +300,16 @@ def _cmd_info(args) -> int:
 
 def _cmd_run(args) -> int:
     _info, graph = _load_graph(args.benchmark)
-    interp = Interpreter(graph)
+    from .exec import resolve_backend
+    backend = resolve_backend(args.exec_backend)
+    interp = Interpreter(graph, exec_backend=backend,
+                         cache=_cache_from(args))
     outputs = interp.run(iterations=args.iterations)
     for sink in graph.sinks:
         tokens = outputs[sink.uid][:args.show]
         print(f"{sink.name}: {tokens}")
     print(f"({len(interp.firing_log)} firings over {args.iterations} "
-          f"steady iterations)")
+          f"steady iterations, backend={backend})")
     return 0
 
 
@@ -287,7 +317,8 @@ def _cache_from(args) -> Optional[CompileCache]:
     """The compile cache the flags select (None when disabled)."""
     if getattr(args, "no_cache", False):
         return None
-    return CompileCache(args.cache_dir or default_cache_dir())
+    return CompileCache(getattr(args, "cache_dir", None)
+                        or default_cache_dir())
 
 
 def _wants_observability(args) -> bool:
@@ -365,6 +396,18 @@ def _cmd_stats(args) -> int:
     obs.enable(reset=True)
     compiled = compile_stream_program(graph, options, jobs=args.jobs,
                                       cache=_cache_from(args))
+    from .exec import resolve_backend
+    backend = resolve_backend(args.exec_backend)
+    if backend != "interp":
+        # Exercise the execution backend so its kernel-compile span and
+        # exec.* firing counters appear in the summary below.
+        from .core.profiling import profile_host_throughput
+        throughput = profile_host_throughput(
+            graph, iterations=10, warmup_iterations=2,
+            exec_backend=backend, cache=_cache_from(args))
+        print(f"host throughput ({backend}): "
+              f"{throughput.firings_per_second:,.0f} firings/s "
+              f"({throughput.firings} firings)")
     print(f"{args.benchmark}: scheme={args.scheme} "
           f"device={options.device.name} "
           f"speedup={compiled.speedup:.2f}x")
@@ -467,7 +510,8 @@ def _cmd_serve(args) -> int:
     if _wants_observability(args):
         obs.enable(reset=True)
     server = StreamServer(policy=policy, options=options,
-                          jobs=args.jobs, cache=_cache_from(args))
+                          jobs=args.jobs, cache=_cache_from(args),
+                          exec_backend=args.exec_backend)
     for name, graph in graphs.items():
         server.register(name, graph)
     server.start()
@@ -485,7 +529,8 @@ def _cmd_dsl(args) -> int:
         source = handle.read()
     graph = build_graph(source, root=args.root)
     print(graph.summary())
-    interp = Interpreter(graph)
+    interp = Interpreter(graph, exec_backend=args.exec_backend,
+                         cache=_cache_from(args))
     outputs = interp.run(iterations=args.iterations)
     for sink in graph.sinks:
         print(f"{sink.name}: {outputs[sink.uid][:8]}")

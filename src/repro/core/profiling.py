@@ -12,6 +12,7 @@ exactly as Fig. 6 line 6 does.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
@@ -122,6 +123,60 @@ def profile_graph(graph: StreamGraph, device: DeviceConfig, *,
             macro_delays[key] = delay
     return ProfileTable(run_times=run_times, macro_delays=macro_delays,
                         numfirings=firings)
+
+
+@dataclass
+class HostThroughput:
+    """Measured host-side firing throughput of one execution backend.
+
+    This is *wall-clock* profiling of the Python host executing the
+    graph — entirely separate from the GPU timing model above, and
+    never part of any cached compile artifact.  It is what
+    ``benchmarks/bench_exec.py`` and ``repro stats`` report when
+    comparing ``--exec-backend`` choices.
+    """
+
+    backend: str
+    iterations: int
+    firings: int
+    seconds: float
+
+    @property
+    def firings_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return float("inf") if self.firings else 0.0
+        return self.firings / self.seconds
+
+
+def profile_host_throughput(graph: StreamGraph, *,
+                            iterations: int = 50,
+                            warmup_iterations: int = 5,
+                            exec_backend: Optional[str] = None,
+                            cache=None) -> HostThroughput:
+    """Measure steady-state firings/second of ``graph`` on the host
+    under the given execution backend.
+
+    Runs ``warmup_iterations`` first on a throwaway interpreter (which
+    also pays any kernel-lowering cost), then times ``iterations``
+    steady iterations on a fresh one.  The returned firing count is the
+    rate-solution total, identical across backends.
+    """
+    # Lazy import: the interpreter lives above this module in the
+    # package graph once repro.exec is in the picture.
+    from ..exec import resolve_backend
+    from ..runtime.interpreter import Interpreter
+
+    backend = resolve_backend(exec_backend)
+    if warmup_iterations > 0:
+        Interpreter(graph, exec_backend=backend,
+                    cache=cache).run(warmup_iterations)
+    interp = Interpreter(graph, exec_backend=backend, cache=cache)
+    start = time.perf_counter()
+    interp.run(iterations)
+    seconds = time.perf_counter() - start
+    return HostThroughput(backend=backend, iterations=iterations,
+                          firings=len(interp.firing_log),
+                          seconds=seconds)
 
 
 def shared_staging_candidates(graph: StreamGraph,

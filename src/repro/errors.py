@@ -37,6 +37,11 @@ class SimulationError(ReproError):
     """Raised for invalid GPU simulator inputs (bad kernels, configs...)."""
 
 
+class ExecBackendError(ReproError):
+    """Raised for an unknown or misconfigured execution backend
+    (``--exec-backend`` / ``REPRO_EXEC_BACKEND``)."""
+
+
 class CodegenError(ReproError):
     """Raised when CUDA code generation encounters an unsupported construct."""
 

@@ -1,0 +1,64 @@
+"""Compiled + vectorized filter-kernel execution backends.
+
+Steady-state firing throughput in the interpreter, the SWP executor
+and the serving runtime is bounded by AST tree-walking.  This package
+removes that bound two ways, selected with
+``--exec-backend {interp,compiled,vectorized}`` (env
+``REPRO_EXEC_BACKEND``):
+
+* :mod:`repro.exec.lowering` — per-filter specialization: the checked
+  work AST is lowered to Python source (constants folded, peek/pop/
+  push turned into direct window indexing) and compiled once;
+* :mod:`repro.exec.vectorize` — batch firing: all data-parallel
+  firings of a stateless filter run as one NumPy pass over a
+  ``(firings, peek)`` window matrix;
+* :mod:`repro.exec.plan` — backend resolution, per-graph kernel
+  tables, the per-filter interpreter fallback, kernel caching and the
+  ``exec.*`` telemetry counters.
+
+Every backend is byte-identical to the reference interpreter on valid
+programs; constructs outside a lowering's coverage fall back per
+filter, never silently change behavior.
+"""
+
+from .lowering import (
+    LoweringError,
+    compile_kernel_source,
+    lower_work_function,
+    lower_work_source,
+)
+from .plan import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    ExecPlan,
+    kernel_stage_key,
+    make_plan,
+    resolve_backend,
+)
+from .vectorize import (
+    HAS_NUMPY,
+    VectorFallback,
+    build_batch_kernel,
+    columns_to_rows,
+    flatten_columns,
+    token_matrix,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "ExecPlan",
+    "HAS_NUMPY",
+    "LoweringError",
+    "VectorFallback",
+    "build_batch_kernel",
+    "columns_to_rows",
+    "compile_kernel_source",
+    "flatten_columns",
+    "kernel_stage_key",
+    "lower_work_function",
+    "lower_work_source",
+    "make_plan",
+    "resolve_backend",
+    "token_matrix",
+]

@@ -1,0 +1,584 @@
+"""Lower checked work-function ASTs to specialized Python closures.
+
+The tree-walking interpreter in :mod:`repro.lang.interp` evaluates one
+AST node per token operation; for steady-state execution that dispatch
+overhead dominates.  This module instead *generates Python source* for
+each stateless work body — constants folded, ``peek``/``pop`` turned
+into direct window indexing, ``push`` into a bound ``list.append`` —
+and compiles it once with :func:`compile`/``exec``.
+
+The contract is strict: on every input, the compiled kernel must
+behave **byte-identically** to the closure built by
+:func:`repro.lang.interp.compile_work_function`, including the exact
+:class:`~repro.errors.SemanticError` messages for out-of-window
+accesses, division by zero, rate violations and runaway loops.  Any
+construct whose exact semantics cannot be reproduced raises
+:class:`LoweringError` at lowering time, and the caller falls back to
+the interpreter closure for that filter (never a silent behavior
+change).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import SemanticError
+from ..lang import ast
+from ..lang.interp import INTRINSICS, _MAX_LOOP_STEPS, WorkAstSpec
+from ..lang.interp import _apply_binop as _interp_binop
+
+
+class LoweringError(Exception):
+    """The body uses a construct the lowering does not cover; the
+    caller must fall back to the interpreter closure."""
+
+
+# ---------------------------------------------------------------------------
+# runtime helpers shared by every generated kernel
+# ---------------------------------------------------------------------------
+def _rt_div(left, right):
+    """C-style division, replicating ``interp._apply_binop('/')``."""
+    if isinstance(left, int) and isinstance(right, int):
+        if right == 0:
+            raise SemanticError("integer division by zero")
+        return left // right if (left >= 0) == (right >= 0) \
+            else -((-left) // right) if left < 0 else -(left // (-right))
+    if right == 0:
+        raise SemanticError("division by zero")
+    return left / right
+
+
+def _rt_mod(left, right):
+    """fmod-style modulo, replicating ``interp._apply_binop('%')``."""
+    import math
+    if right == 0:
+        raise SemanticError("modulo by zero")
+    return math.fmod(left, right) if isinstance(left, float) \
+        or isinstance(right, float) else int(math.fmod(left, right))
+
+
+def _rt_pop_fail():
+    raise SemanticError("pop() past the declared peek window")
+
+
+def _rt_peek_fail(depth):
+    raise SemanticError(f"peek({depth}) outside the declared peek window")
+
+
+def _rt_index_fail(index, length):
+    raise SemanticError(
+        f"array index {index} out of bounds [0, {length})")
+
+
+def _rt_runaway(kind):
+    raise SemanticError(f"runaway {kind} loop in work body")
+
+
+def _rt_undefined(exc):
+    """Convert a NameError from the kernel into the interpreter's
+    'undefined variable' SemanticError (demangling the ``v_`` prefix)."""
+    name = getattr(exc, "name", None) or ""
+    if name.startswith("v_"):
+        name = name[2:]
+    raise SemanticError(f"undefined variable {name!r}") from None
+
+
+#: Names injected into every kernel's global namespace.
+_KERNEL_GLOBALS = {
+    "__r_div": _rt_div,
+    "__r_mod": _rt_mod,
+    "__r_popfail": _rt_pop_fail,
+    "__r_peekfail": _rt_peek_fail,
+    "__r_idxfail": _rt_index_fail,
+    "__r_runaway": _rt_runaway,
+    "__r_undef": _rt_undefined,
+    "__r_SemanticError": SemanticError,
+}
+_KERNEL_GLOBALS.update(
+    {f"__r_{name}": fn for name, fn in INTRINSICS.items()})
+
+
+# ---------------------------------------------------------------------------
+# static int-type inference (lets the lowering skip int() coercions)
+# ---------------------------------------------------------------------------
+def _collect_decls(stmts, scalars, arrays, assigns):
+    """Walk every statement collecting declarations and scalar assigns."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.array_size is not None:
+                arrays.add(stmt.name)
+                scalars.pop(stmt.name, None)
+            else:
+                # A redeclaration overwrites; track the *set* of types
+                # a name is declared with.
+                scalars.setdefault(stmt.name, set()).add(stmt.type_name)
+                arrays.discard(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            if isinstance(stmt.target, ast.Name):
+                assigns.append((stmt.target.ident, stmt.op, stmt.value))
+        elif isinstance(stmt, ast.IfStmt):
+            _collect_decls(stmt.then_body, scalars, arrays, assigns)
+            _collect_decls(stmt.else_body, scalars, arrays, assigns)
+        elif isinstance(stmt, ast.ForStmt):
+            inner = [s for s in (stmt.init, stmt.update) if s is not None]
+            _collect_decls(inner, scalars, arrays, assigns)
+            _collect_decls(stmt.body, scalars, arrays, assigns)
+        elif isinstance(stmt, ast.WhileStmt):
+            _collect_decls(stmt.body, scalars, arrays, assigns)
+
+
+def _static_int(expr, int_vars) -> bool:
+    """True when ``expr`` provably evaluates to a Python int."""
+    if isinstance(expr, ast.IntLit):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.ident in int_vars
+    if isinstance(expr, ast.Unary):
+        return expr.op == "-" and _static_int(expr.operand, int_vars)
+    if isinstance(expr, ast.Binary):
+        if expr.op in ("+", "-", "*", "/", "%"):
+            return (_static_int(expr.left, int_vars)
+                    and _static_int(expr.right, int_vars))
+        return False
+    if isinstance(expr, ast.Call):
+        if expr.func in ("floor", "ceil"):
+            return True
+        if expr.func == "round" and len(expr.args) == 1:
+            return True
+        if expr.func in ("abs", "min", "max"):
+            return all(_static_int(a, int_vars) for a in expr.args)
+        return False
+    return False
+
+
+def _infer_int_vars(body, params) -> set:
+    """Fixpoint set of scalar variables that always hold Python ints.
+
+    A scalar is int when it is only ever declared ``int`` (``VarDecl``
+    coerces with ``int()``) and every assignment to it stores a
+    provably-int value.  Conservative by construction: anything
+    uncertain drops out, which only disables an optimization.
+    """
+    scalars: dict[str, set] = {}
+    arrays: set = set()
+    assigns: list = []
+    _collect_decls(body, scalars, arrays, assigns)
+    int_vars = {name for name, types in scalars.items()
+                if types == {"int"}}
+    int_vars |= {name for name, value in params.items()
+                 if isinstance(value, int) and not isinstance(value, bool)
+                 and name not in scalars and name not in arrays}
+    changed = True
+    while changed:
+        changed = False
+        for name, op, value in assigns:
+            if name in int_vars and not _static_int(value, int_vars):
+                # Compound int-op-int stays int, so only a non-int
+                # right-hand side demotes.
+                int_vars.discard(name)
+                changed = True
+    return int_vars
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+def _fold(expr, params):
+    """Fold parameter references and constant subtrees to literals.
+
+    Returns either an AST node or a Python constant (int/float/bool).
+    Folding never raises: a subtree whose evaluation would error is
+    left unfolded so the error still surfaces at run time, exactly
+    where the interpreter would raise it.
+    """
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        value = params.get(expr.ident, _MISSING)
+        if value is not _MISSING and isinstance(value, (int, float, bool)) \
+                and _finite(value):
+            return value
+        return expr
+    if isinstance(expr, ast.Unary):
+        operand = _fold(expr.operand, params)
+        if _is_const(operand):
+            value = -operand if expr.op == "-" else (not operand)
+            if _finite(value):
+                return value
+            operand = _unfold(operand)
+        return ast.Unary(expr.op, _unfold(operand))
+    if isinstance(expr, ast.Binary):
+        left = _fold(expr.left, params)
+        right = _fold(expr.right, params)
+        if _is_const(left) and _is_const(right) \
+                and expr.op not in ("&&", "||"):
+            try:
+                value = _interp_binop(expr.op, left, right)
+            except SemanticError:
+                value = _MISSING
+            if value is not _MISSING and _finite(value):
+                return value
+        return ast.Binary(expr.op, _unfold(left), _unfold(right))
+    if isinstance(expr, ast.Call):
+        args = [_fold(a, params) for a in expr.args]
+        fn = INTRINSICS.get(expr.func)
+        if fn is not None and all(_is_const(a) for a in args):
+            try:
+                value = fn(*args)
+            except (ValueError, OverflowError, ZeroDivisionError,
+                    TypeError):
+                value = _MISSING
+            if value is not _MISSING \
+                    and isinstance(value, (int, float, bool)) \
+                    and _finite(value):
+                return value
+        return ast.Call(expr.func, tuple(_unfold(a) for a in args))
+    if isinstance(expr, ast.Index):
+        return ast.Index(_unfold(_fold(expr.base, params)),
+                         _unfold(_fold(expr.index, params)))
+    if isinstance(expr, ast.PeekExpr):
+        return ast.PeekExpr(_unfold(_fold(expr.depth, params)))
+    return expr
+
+
+_MISSING = object()
+
+
+def _is_const(value) -> bool:
+    return isinstance(value, (int, float, bool))
+
+
+def _finite(value) -> bool:
+    if isinstance(value, float):
+        return value == value and value not in (float("inf"),
+                                                float("-inf"))
+    return True
+
+
+def _unfold(value):
+    """Wrap a folded Python constant back into a literal AST node."""
+    if isinstance(value, bool):
+        return ast.BoolLit(value)
+    if isinstance(value, int):
+        return ast.IntLit(value)
+    if isinstance(value, float):
+        return ast.FloatLit(value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# the lowering pass
+# ---------------------------------------------------------------------------
+class _Lowerer:
+    """One lowering pass over a work body; emits Python source lines."""
+
+    def __init__(self, spec: WorkAstSpec) -> None:
+        self.spec = spec
+        self.params = dict(spec.params)
+        self.lines: list[str] = []
+        self.temp = 0
+        self.int_vars = _infer_int_vars(spec.work.body, self.params)
+        # Names declared so far, in lowering order.  A reference to a
+        # name outside this set may be a dynamically-undefined variable
+        # (the interpreter raises at run time); UnboundLocalError in
+        # the kernel reproduces that, see the generated except clause.
+        self.arrays: set = {name for name, value in self.params.items()
+                            if isinstance(value, list)}
+
+    # -- emission helpers ----------------------------------------------
+    def fresh(self) -> str:
+        self.temp += 1
+        return f"__r_t{self.temp}"
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    # -- expressions ----------------------------------------------------
+    def expr(self, node) -> str:
+        node = _fold(node, self.params)
+        if _is_const(node):
+            return repr(node)
+        if isinstance(node, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+            return repr(node.value)
+        if isinstance(node, ast.Name):
+            if node.ident in self.params:
+                # Non-literal parameter (e.g. a list): bind through the
+                # kernel globals under its mangled name.
+                return f"v_{node.ident}"
+            return f"v_{node.ident}"
+        if isinstance(node, ast.Index):
+            return self.index_read(node)
+        if isinstance(node, ast.Unary):
+            op = "-" if node.op == "-" else "not "
+            return f"({op}{self.expr(node.operand)})"
+        if isinstance(node, ast.Binary):
+            return self.binary(node)
+        if isinstance(node, ast.Call):
+            if node.func not in INTRINSICS:
+                raise LoweringError(f"unknown function {node.func!r}")
+            args = ", ".join(self.expr(a) for a in node.args)
+            return f"__r_{node.func}({args})"
+        if isinstance(node, ast.PeekExpr):
+            return self.peek(node)
+        if isinstance(node, ast.PopExpr):
+            return self.pop_expr()
+        raise LoweringError(
+            f"cannot lower expression {type(node).__name__}")
+
+    def binary(self, node: ast.Binary) -> str:
+        if node.op == "&&":
+            return (f"(bool({self.expr(node.left)}) and "
+                    f"bool({self.expr(node.right)}))")
+        if node.op == "||":
+            return (f"(bool({self.expr(node.left)}) or "
+                    f"bool({self.expr(node.right)}))")
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        if node.op == "/":
+            return f"__r_div({left}, {right})"
+        if node.op == "%":
+            return f"__r_mod({left}, {right})"
+        if node.op in ("+", "-", "*", "<", "<=", ">", ">=", "==", "!="):
+            return f"({left} {node.op} {right})"
+        raise LoweringError(f"unknown operator {node.op!r}")
+
+    def pop_expr(self) -> str:
+        return ("(__r_w[(__r_c := __r_c + 1) - 1] "
+                "if __r_c < __r_n else __r_popfail())")
+
+    def peek(self, node: ast.PeekExpr) -> str:
+        depth = _fold(node.depth, self.params)
+        if _is_const(depth) and not isinstance(depth, bool):
+            d = int(depth)
+            t = self.fresh()
+            if d >= 0:
+                return (f"(__r_w[{t}] if ({t} := __r_c + {d}) < __r_n "
+                        f"else __r_peekfail({d}))")
+            return (f"(__r_w[{t}] if 0 <= ({t} := __r_c + ({d})) "
+                    f"< __r_n else __r_peekfail({d}))")
+        depth = _unfold(depth)
+        t = self.fresh()
+        if _static_int(depth, self.int_vars):
+            src = self.expr(depth)
+            return (f"(__r_w[{t}] if 0 <= ({t} := __r_c + ({src})) "
+                    f"< __r_n else __r_peekfail({t} - __r_c))")
+        d = self.fresh()
+        src = self.expr(depth)
+        return (f"(__r_w[{t}] if 0 <= ({t} := __r_c + "
+                f"({d} := int({src}))) < __r_n "
+                f"else __r_peekfail({d}))")
+
+    def index_parts(self, node: ast.Index) -> tuple[str, str, str]:
+        """Lower an array subscript: (base, guarded index, temp)."""
+        if not isinstance(node.base, ast.Name):
+            raise LoweringError("indexing a non-name base")
+        name = node.base.ident
+        if name not in self.arrays:
+            # Either a non-array variable or a dynamically-undefined
+            # name; the interpreter raises at run time, so fall back.
+            raise LoweringError(f"indexing non-array {name!r}")
+        base = f"v_{name}"
+        idx = _fold(node.index, self.params)
+        idx = _unfold(idx)
+        src = self.expr(idx)
+        if not _static_int(idx, self.int_vars):
+            src = f"int({src})"
+        t = self.fresh()
+        return base, src, t
+
+    def index_read(self, node: ast.Index) -> str:
+        base, src, t = self.index_parts(node)
+        return (f"({base}[{t}] if 0 <= ({t} := {src}) < len({base}) "
+                f"else __r_idxfail({t}, len({base})))")
+
+    # -- statements -----------------------------------------------------
+    def block(self, stmts, indent: int) -> None:
+        for stmt in stmts:
+            self.stmt(stmt, indent)
+
+    def stmt(self, node, indent: int) -> None:
+        if isinstance(node, ast.VarDecl):
+            self.var_decl(node, indent)
+        elif isinstance(node, ast.Assign):
+            self.assign(node, indent)
+        elif isinstance(node, ast.PushStmt):
+            self.emit(indent, f"__r_push({self.expr(node.value)})")
+        elif isinstance(node, ast.PopStmt):
+            self.emit(indent, "if __r_c >= __r_n: __r_popfail()")
+            self.emit(indent, "__r_c += 1")
+        elif isinstance(node, ast.ExprStmt):
+            self.emit(indent, f"__r_e = {self.expr(node.expr)}")
+        elif isinstance(node, ast.IfStmt):
+            self.emit(indent, f"if {self.expr(node.condition)}:")
+            self.block(node.then_body, indent + 1)
+            if not node.then_body:
+                self.emit(indent + 1, "pass")
+            if node.else_body:
+                self.emit(indent, "else:")
+                self.block(node.else_body, indent + 1)
+        elif isinstance(node, ast.ForStmt):
+            self.loop(node, indent, kind="for")
+        elif isinstance(node, ast.WhileStmt):
+            self.loop(node, indent, kind="while")
+        else:
+            raise LoweringError(
+                f"cannot lower statement {type(node).__name__}")
+
+    def var_decl(self, node: ast.VarDecl, indent: int) -> None:
+        name = f"v_{node.name}"
+        if node.array_size is not None:
+            size = _fold(node.array_size, self.params)
+            fill = "0" if node.type_name == "int" else "0.0"
+            if _is_const(size) and not isinstance(size, bool):
+                self.emit(indent, f"{name} = [{fill}] * {int(size)}")
+            else:
+                src = self.expr(_unfold(size))
+                self.emit(indent, f"{name} = [{fill}] * int({src})")
+            self.arrays.add(node.name)
+            return
+        self.arrays.discard(node.name)
+        if node.init is None:
+            default = "0" if node.type_name == "int" else "0.0"
+            self.emit(indent, f"{name} = {default}")
+            return
+        init = _fold(node.init, self.params)
+        if node.type_name == "int":
+            if _is_const(init) and not isinstance(init, bool):
+                self.emit(indent, f"{name} = {int(init)}")
+            else:
+                init = _unfold(init)
+                src = self.expr(init)
+                if _static_int(init, self.int_vars):
+                    self.emit(indent, f"{name} = {src}")
+                else:
+                    self.emit(indent, f"{name} = int({src})")
+        else:
+            self.emit(indent, f"{name} = {self.expr(_unfold(init))}")
+
+    def assign(self, node: ast.Assign, indent: int) -> None:
+        if isinstance(node.target, ast.Name):
+            name = f"v_{node.target.ident}"
+            if node.op == "=":
+                self.emit(indent, f"{name} = {self.expr(node.value)}")
+                return
+            # Compound: the interpreter evaluates the value first, then
+            # the current target; reading a plain name is side-effect
+            # free, so left-to-right application is equivalent.
+            op = node.op[0]
+            value = self.expr(node.value)
+            if op == "/":
+                self.emit(indent, f"{name} = __r_div({name}, {value})")
+            elif op == "%":
+                self.emit(indent, f"{name} = __r_mod({name}, {value})")
+            elif op in ("+", "-", "*"):
+                self.emit(indent, f"{name} {op}= {value}")
+            else:
+                raise LoweringError(f"unknown compound op {node.op!r}")
+            return
+        if not isinstance(node.target, ast.Index):
+            raise LoweringError("invalid assignment target")
+        # Indexed target: replicate the interpreter's exact order —
+        # value first, then (for compound ops) a bounds-checked read of
+        # the target, then a second index evaluation for the store.
+        v = self.fresh()
+        self.emit(indent, f"{v} = {self.expr(node.value)}")
+        if node.op != "=":
+            op = node.op[0]
+            current = self.index_read(node.target)
+            if op == "/":
+                self.emit(indent, f"{v} = __r_div({current}, {v})")
+            elif op == "%":
+                self.emit(indent, f"{v} = __r_mod({current}, {v})")
+            elif op in ("+", "-", "*"):
+                self.emit(indent, f"{v} = {current} {op} {v}")
+            else:
+                raise LoweringError(f"unknown compound op {node.op!r}")
+        base, src, t = self.index_parts(node.target)
+        self.emit(indent, f"if not 0 <= ({t} := {src}) < len({base}): "
+                          f"__r_idxfail({t}, len({base}))")
+        self.emit(indent, f"{base}[{t}] = {v}")
+
+    def loop(self, node, indent: int, *, kind: str) -> None:
+        if kind == "for" and node.init is not None:
+            self.stmt(node.init, indent)
+        steps = self.fresh()
+        self.emit(indent, f"{steps} = 0")
+        condition = "True"
+        if getattr(node, "condition", None) is not None:
+            condition = self.expr(node.condition)
+        self.emit(indent, f"while {condition}:")
+        self.block(node.body, indent + 1)
+        if kind == "for" and node.update is not None:
+            self.stmt(node.update, indent + 1)
+        self.emit(indent + 1, f"{steps} += 1")
+        self.emit(indent + 1,
+                  f"if {steps} > {_MAX_LOOP_STEPS}: "
+                  f"__r_runaway({kind!r})")
+
+
+def lower_work_source(spec: WorkAstSpec,
+                      name: str = "kernel") -> Optional[str]:
+    """Generate kernel source for ``spec``, or None when not lowerable.
+
+    The generated module defines one function ``__r_kernel(window)``
+    with the same contract as the interpreter closure: truncate the
+    window to the peek depth, run the body, enforce the declared
+    push/pop rates, return the pushed tokens.
+    """
+    low = _Lowerer(spec)
+    try:
+        low.block(spec.work.body, indent=2)
+    except LoweringError:
+        return None
+    body = low.lines or ["        pass"]
+    header = [
+        f"def __r_kernel(window):  # {name}",
+        f"    __r_w = list(window[:{spec.peek}])",
+        "    __r_n = len(__r_w)",
+        "    __r_c = 0",
+        "    __r_out = []",
+        "    __r_push = __r_out.append",
+        "    try:",
+    ]
+    footer = [
+        "    except NameError as __r_x:",
+        "        __r_undef(__r_x)",
+        f"    if len(__r_out) != {spec.push}:",
+        "        raise __r_SemanticError("
+        "f'work body pushed {len(__r_out)} tokens, "
+        f"declared push {spec.push}')",
+        f"    if __r_c > {spec.pop}:",
+        "        raise __r_SemanticError("
+        "f'work body popped {__r_c} tokens, "
+        f"declared pop {spec.pop}')",
+        "    return __r_out",
+    ]
+    return "\n".join(header + body + footer) + "\n"
+
+
+def compile_kernel_source(source: str,
+                          spec: Optional[WorkAstSpec] = None):
+    """Compile generated kernel source into a callable.
+
+    Non-literal parameters (array constants) are bound into the module
+    namespace under their mangled ``v_`` names.
+    """
+    namespace = dict(_KERNEL_GLOBALS)
+    if spec is not None:
+        for pname, value in spec.params.items():
+            if isinstance(value, list):
+                namespace[f"v_{pname}"] = value
+            elif not (isinstance(value, (int, float, bool))
+                      and _finite(value)):
+                namespace[f"v_{pname}"] = value
+    code = compile(source, "<repro.exec kernel>", "exec")
+    exec(code, namespace)
+    return namespace["__r_kernel"]
+
+
+def lower_work_function(spec: WorkAstSpec, name: str = "kernel"):
+    """Lower and compile in one step; None when not lowerable."""
+    source = lower_work_source(spec, name)
+    if source is None:
+        return None
+    return compile_kernel_source(source, spec)

@@ -1,0 +1,242 @@
+"""Execution-backend selection and per-graph kernel plans.
+
+A :class:`ExecPlan` is built once per executor from the flattened
+graph and the selected backend:
+
+``interp``
+    No plan at all (executors keep their original code paths and pay
+    zero overhead — the reference semantics).
+``compiled``
+    Every stateless DSL filter whose work AST lowers cleanly gets a
+    specialized Python closure (:mod:`repro.exec.lowering`); all other
+    filters fall back to their interpreter closure, per filter.
+``vectorized``
+    Everything ``compiled`` does, plus batch kernels that execute all
+    data-parallel firings of a filter in one NumPy pass — either the
+    AST-derived vector kernel (:mod:`repro.exec.vectorize`) or a
+    hand-written ``batch_work`` attached to the node.
+
+Compiled kernels are cached in :mod:`repro.cache` under the ``kernel``
+stage, keyed by the existing work-function fingerprint, so a warm
+cache skips the lowering pass entirely (negative results — bodies that
+do not lower — are cached too).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+from .. import obs
+from ..cache import (
+    CACHE_FORMAT_VERSION,
+    CompileCache,
+    stable_hash,
+    work_fingerprint,
+)
+from ..errors import ExecBackendError, GraphError, SemanticError
+from ..graph.nodes import Filter, Node
+from .lowering import compile_kernel_source, lower_work_source
+from .vectorize import HAS_NUMPY, VectorFallback, build_batch_kernel
+
+#: The selectable execution backends, reference semantics first.
+BACKENDS = ("interp", "compiled", "vectorized")
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
+
+
+def resolve_backend(value: Optional[str] = None) -> str:
+    """Normalize and validate a backend choice.
+
+    Explicit ``value`` wins; otherwise ``$REPRO_EXEC_BACKEND``;
+    otherwise ``interp``.  Unknown names raise
+    :class:`~repro.errors.ExecBackendError`.
+    """
+    if value is None:
+        value = os.environ.get(BACKEND_ENV_VAR, "").strip() or "interp"
+    name = str(value).strip().lower()
+    if name not in BACKENDS:
+        raise ExecBackendError(
+            f"unknown execution backend {value!r}; expected one of "
+            f"{', '.join(BACKENDS)}")
+    return name
+
+
+def kernel_stage_key(node: Filter) -> str:
+    """Cache key of a filter's compiled kernel, fingerprint-based."""
+    return stable_hash(["kernel", CACHE_FORMAT_VERSION,
+                        work_fingerprint(node.work),
+                        node.pop, node.push, node.peek])
+
+
+class ExecPlan:
+    """Per-graph kernel table plus firing counters for one executor."""
+
+    def __init__(self, nodes: Iterable[Node], backend: str, *,
+                 cache: Optional[CompileCache] = None) -> None:
+        self.backend = resolve_backend(backend)
+        if self.backend == "interp":
+            raise ExecBackendError(
+                "the interp backend needs no plan; callers must pass "
+                "plan=None")
+        # uid -> (kernel, peek, has_input, has_output, name)
+        self._kernels: dict[int, tuple] = {}
+        # uid -> (batch_kernel, indexed, push)
+        self._batch: dict[int, tuple] = {}
+        self.compiled_firings = 0
+        self.fallback_firings = 0
+        self.vectorized_firings = 0
+        self.batches = 0
+        self.batch_fallbacks = 0
+        with obs.span("exec.kernel_compile", backend=self.backend):
+            for node in nodes:
+                if isinstance(node, Filter):
+                    self._prepare(node, cache)
+
+    # -- plan construction ---------------------------------------------
+    def _prepare(self, node: Filter,
+                 cache: Optional[CompileCache]) -> None:
+        spec = getattr(node, "work_ast", None)
+        if spec is not None and not node.stateful and not node.indexed:
+            kernel = self._compiled_kernel(node, spec, cache)
+            if kernel is not None:
+                self._kernels[node.uid] = (
+                    kernel, node.peek, node.num_inputs > 0,
+                    node.num_outputs > 0, node.name)
+        if self.backend != "vectorized" or node.stateful:
+            return
+        if node.batch_work is not None:
+            self._batch[node.uid] = (node.batch_work, node.indexed,
+                                     node.push)
+        elif spec is not None and not node.indexed and HAS_NUMPY:
+            batch = build_batch_kernel(spec)
+            if batch is not None:
+                self._batch[node.uid] = (batch, False, node.push)
+
+    def _compiled_kernel(self, node: Filter, spec, cache):
+        source = None
+        key = None
+        if cache is not None:
+            key = kernel_stage_key(node)
+            payload = cache.get("kernel", key)
+            if payload is not None:
+                if not payload.get("lowerable", False):
+                    return None
+                source = payload.get("source")
+        if source is None:
+            source = lower_work_source(spec, node.name)
+            if cache is not None and key is not None:
+                cache.put("kernel", key,
+                          {"lowerable": source is not None,
+                           "source": source})
+            if source is None:
+                return None
+        try:
+            return compile_kernel_source(source, spec)
+        except SyntaxError:
+            # A corrupted cached source must never break execution.
+            if cache is not None and key is not None:
+                cache.drop("kernel", key)
+            fresh = lower_work_source(spec, node.name)
+            if fresh is None:
+                return None
+            return compile_kernel_source(fresh, spec)
+
+    # -- scalar dispatch ------------------------------------------------
+    def has_kernel(self, node: Node) -> bool:
+        return node.uid in self._kernels
+
+    def fire(self, node: Node, windows, index=None) -> list[list]:
+        """One firing: compiled kernel when available, else the node's
+        own work function (counted as a fallback for filters)."""
+        entry = self._kernels.get(node.uid)
+        if entry is None:
+            if isinstance(node, Filter):
+                self.fallback_firings += 1
+            return node.fire(windows, index=index)
+        kernel, peek, has_input, has_output, name = entry
+        window = windows[0] if has_input else ()
+        if len(window) < peek:
+            raise GraphError(
+                f"filter {name}: window of {len(window)} tokens is "
+                f"smaller than peek depth {peek}")
+        self.compiled_firings += 1
+        out = kernel(window)
+        return [out] if has_output else []
+
+    # -- batched dispatch -----------------------------------------------
+    def wants_batch(self, node: Node) -> bool:
+        return node.uid in self._batch
+
+    def batch_fire(self, node: Node, window_matrix,
+                   first_index: int = 0):
+        """Execute all firings in ``window_matrix`` in one pass.
+
+        Returns the per-push-slot columns, or None when the batch must
+        be replayed through the scalar path (non-widenable construct —
+        sticky per filter — or a semantic error that scalar replay will
+        re-raise with per-firing attribution).
+        """
+        entry = self._batch.get(node.uid)
+        if entry is None:
+            return None
+        batch, indexed, push = entry
+        try:
+            if indexed:
+                columns = batch(window_matrix, first_index)
+            else:
+                columns = batch(window_matrix)
+        except VectorFallback:
+            del self._batch[node.uid]
+            self.batch_fallbacks += 1
+            return None
+        except SemanticError:
+            return None
+        if len(columns) != push:
+            del self._batch[node.uid]
+            self.batch_fallbacks += 1
+            return None
+        self.vectorized_firings += window_matrix.shape[0]
+        self.batches += 1
+        return columns
+
+    # -- telemetry -------------------------------------------------------
+    def flush_counters(self) -> None:
+        """Publish accumulated firing counts to the obs registry.
+
+        Executors keep plain-int counters on the hot path and flush
+        once per run, so telemetry costs nothing per firing.
+        """
+        if not obs.is_enabled():
+            return
+        if self.compiled_firings:
+            obs.counter("exec.compiled_firings",
+                        backend=self.backend).add(self.compiled_firings)
+        if self.fallback_firings:
+            obs.counter("exec.fallback_firings",
+                        backend=self.backend).add(self.fallback_firings)
+        if self.vectorized_firings:
+            obs.counter("exec.vectorized_firings",
+                        backend=self.backend).add(self.vectorized_firings)
+        if self.batches:
+            obs.counter("exec.batches",
+                        backend=self.backend).add(self.batches)
+        if self.batch_fallbacks:
+            obs.counter("exec.batch_fallbacks",
+                        backend=self.backend).add(self.batch_fallbacks)
+        self.compiled_firings = 0
+        self.fallback_firings = 0
+        self.vectorized_firings = 0
+        self.batches = 0
+        self.batch_fallbacks = 0
+
+
+def make_plan(nodes: Iterable[Node], backend: Optional[str] = None, *,
+              cache: Optional[CompileCache] = None
+              ) -> Optional[ExecPlan]:
+    """Resolve ``backend`` and build a plan; None for ``interp``."""
+    name = resolve_backend(backend)
+    if name == "interp":
+        return None
+    return ExecPlan(nodes, name, cache=cache)

@@ -1,0 +1,440 @@
+"""NumPy-vectorized batch execution of stateless work functions.
+
+All data-parallel firings of a stateless filter see disjoint input
+windows and compute independently, so they can execute as *one* pass
+over a ``(firings, peek)`` window matrix with every scalar in the work
+body widened to a length-``firings`` column (Lin et al.'s
+memory-constrained vectorization insight applied at the executor
+level).
+
+Byte-identity with the reference interpreter is the hard constraint,
+so the vector evaluator is deliberately conservative:
+
+* only operations that are **exact** under IEEE-754 vectorization are
+  widened (``+ - * /`` on float64, ``fmod``, comparisons, ``abs``,
+  ``min``/``max`` on uniform kinds, ``sqrt``, ``floor``/``ceil``/
+  ``round`` with an int cast);
+* transcendental intrinsics (``sin``, ``exp``, ...) on columns raise
+  :class:`VectorFallback` — NumPy's SIMD paths may differ from libm by
+  1 ulp, which would break byte-equality;
+* any construct needing a per-firing branch (a column used as an
+  ``if``/loop condition or array index, short-circuit ``&&``/``||`` on
+  columns, int division/modulo on columns, a zero anywhere in a
+  divisor) raises :class:`VectorFallback`.
+
+On fallback the caller replays the batch through the scalar path —
+always safe because the evaluator never mutates executor state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _np = None
+
+from ..errors import SemanticError
+from ..lang import ast
+from ..lang.interp import INTRINSICS, _MAX_LOOP_STEPS, WorkAstSpec
+from ..lang.interp import _apply_binop as _scalar_binop
+
+HAS_NUMPY = _np is not None
+
+
+class VectorFallback(Exception):
+    """The body needs a per-firing decision the vector path cannot
+    make; the caller must replay the batch through the scalar path."""
+
+
+def token_matrix(tokens, firings: int, pop: int,
+                 peek: int) -> Optional["_np.ndarray"]:
+    """Build the ``(firings, peek)`` window matrix for a batch.
+
+    ``tokens`` is the flat channel region covering all ``firings``
+    windows (length ``peek + (firings - 1) * pop``).  Returns None when
+    the tokens are not of one uniform numeric type — mixed or exotic
+    token streams must take the scalar path to preserve bytes.
+    """
+    if _np is None:
+        return None
+    tokens = list(tokens)
+    if peek == 0:
+        return _np.empty((firings, 0))
+    t0 = type(tokens[0])
+    if t0 not in (float, int, bool):
+        return None
+    for tok in tokens:
+        if type(tok) is not t0:
+            return None
+    dtype = {float: _np.float64, int: _np.int64, bool: _np.bool_}[t0]
+    try:
+        flat = _np.array(tokens, dtype=dtype)
+    except OverflowError:
+        return None
+    idx = (_np.arange(firings)[:, None] * pop + _np.arange(peek))
+    return flat[idx]
+
+
+def columns_to_rows(columns, firings: int) -> list[list]:
+    """Expand per-push-slot columns into per-firing output lists."""
+    expanded = []
+    for col in columns:
+        if _np is not None and isinstance(col, _np.ndarray):
+            expanded.append(col.tolist())
+        elif _np is not None and isinstance(col, _np.generic):
+            expanded.append([col.item()] * firings)
+        else:
+            expanded.append([col] * firings)
+    return [[col[f] for col in expanded] for f in range(firings)]
+
+
+def flatten_columns(columns, firings: int) -> list:
+    """Flatten columns firing-major: firing f's tokens are contiguous."""
+    if not columns:
+        return []
+    cols = []
+    for col in columns:
+        if _np is not None and isinstance(col, _np.ndarray):
+            cols.append(col.tolist())
+        elif _np is not None and isinstance(col, _np.generic):
+            cols.append([col.item()] * firings)
+        else:
+            cols.append([col] * firings)
+    out = []
+    for f in range(firings):
+        for col in cols:
+            out.append(col[f])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the vector evaluator
+# ---------------------------------------------------------------------------
+def _is_vec(value) -> bool:
+    return isinstance(value, _np.ndarray)
+
+
+def _as_arith(value):
+    """Bool columns behave like Python bools under arithmetic (ints)."""
+    if _is_vec(value) and value.dtype == _np.bool_:
+        return value.astype(_np.int64)
+    return value
+
+
+def _is_intlike(value) -> bool:
+    if _is_vec(value):
+        return value.dtype == _np.int64
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_floatlike(value) -> bool:
+    if _is_vec(value):
+        return value.dtype == _np.float64
+    return isinstance(value, float)
+
+
+def _vec_binop(op: str, left, right):
+    if not (_is_vec(left) or _is_vec(right)):
+        return _scalar_binop(op, left, right)
+    if op in ("+", "-", "*"):
+        left, right = _as_arith(left), _as_arith(right)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        return left * right
+    if op == "/":
+        left, right = _as_arith(left), _as_arith(right)
+        if _is_vec(right):
+            if bool((right == 0).any()):
+                raise VectorFallback("zero in divisor column")
+        elif right == 0:
+            raise VectorFallback("division by zero")
+        if _is_intlike(left) and _is_intlike(right):
+            raise VectorFallback("int division on columns")
+        return left / right
+    if op == "%":
+        left, right = _as_arith(left), _as_arith(right)
+        if _is_vec(right):
+            if bool((right == 0).any()):
+                raise VectorFallback("zero in modulo column")
+        elif right == 0:
+            raise VectorFallback("modulo by zero")
+        # np.fmod is C fmod elementwise, matching math.fmod; int%int
+        # stays int64 (trunc remainder) exactly like int(math.fmod).
+        return _np.fmod(left, right)
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    raise VectorFallback(f"operator {op!r} on columns")
+
+
+def _vec_call(func: str, args):
+    if not any(_is_vec(a) for a in args):
+        fn = INTRINSICS.get(func)
+        if fn is None:
+            raise SemanticError(f"unknown function {func!r}")
+        return fn(*args)
+    if func == "abs" and len(args) == 1:
+        return _np.abs(_as_arith(args[0]))
+    if func == "sqrt" and len(args) == 1:
+        return _np.sqrt(_as_arith(args[0]))
+    if func in ("min", "max") and len(args) >= 1:
+        # Python min/max return an *argument* unconverted, so mixing
+        # int and float operands could change the winner's type.
+        if all(_is_floatlike(a) for a in args) \
+                or all(_is_intlike(a) for a in args):
+            fn = _np.minimum if func == "min" else _np.maximum
+            result = args[0]
+            for arg in args[1:]:
+                result = fn(result, arg)
+            return result
+        raise VectorFallback(f"{func} on mixed-kind columns")
+    if func in ("floor", "ceil") and len(args) == 1:
+        fn = _np.floor if func == "floor" else _np.ceil
+        return fn(_as_arith(args[0])).astype(_np.int64)
+    if func == "round" and len(args) == 1:
+        arg = _as_arith(args[0])
+        if _is_intlike(arg):
+            return arg
+        return _np.round(arg).astype(_np.int64)
+    # sin/cos/tan/atan/exp/log/pow: NumPy's vector routines are not
+    # guaranteed bit-identical to libm — scalar replay keeps the bytes.
+    raise VectorFallback(f"intrinsic {func!r} on columns")
+
+
+class _VecEnv:
+    __slots__ = ("values",)
+
+    def __init__(self, params) -> None:
+        self.values = dict(params)
+
+    def get(self, name: str):
+        try:
+            return self.values[name]
+        except KeyError:
+            raise SemanticError(f"undefined variable {name!r}") from None
+
+    def set(self, name: str, value) -> None:
+        self.values[name] = value
+
+
+class _VecState:
+    """Window matrix cursor + pushed-columns accumulator."""
+
+    __slots__ = ("window", "width", "cursor", "pushed")
+
+    def __init__(self, window) -> None:
+        self.window = window            # (firings, peek) matrix
+        self.width = window.shape[1]
+        self.cursor = 0
+        self.pushed: list = []
+
+    def pop(self):
+        if self.cursor >= self.width:
+            raise SemanticError("pop() past the declared peek window")
+        column = self.window[:, self.cursor]
+        self.cursor += 1
+        return column
+
+    def peek(self, depth: int):
+        index = self.cursor + depth
+        if not 0 <= index < self.width:
+            raise SemanticError(
+                f"peek({depth}) outside the declared peek window")
+        return self.window[:, index]
+
+
+def _vec_eval(expr, env: _VecEnv, state: _VecState):
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        return env.get(expr.ident)
+    if isinstance(expr, ast.Index):
+        base = _vec_eval(expr.base, env, state)
+        index = _vec_eval(expr.index, env, state)
+        if _is_vec(index):
+            raise VectorFallback("column-valued array index")
+        index = int(index)
+        if not isinstance(base, list):
+            raise SemanticError("indexing a non-array value")
+        if not 0 <= index < len(base):
+            raise SemanticError(
+                f"array index {index} out of bounds [0, {len(base)})")
+        return base[index]
+    if isinstance(expr, ast.Unary):
+        value = _vec_eval(expr.operand, env, state)
+        if expr.op == "-":
+            return -_as_arith(value) if _is_vec(value) else -value
+        if _is_vec(value):
+            return _np.logical_not(value)
+        return not value
+    if isinstance(expr, ast.Binary):
+        if expr.op in ("&&", "||"):
+            left = _vec_eval(expr.left, env, state)
+            if _is_vec(left):
+                raise VectorFallback("short-circuit on a column")
+            if expr.op == "&&":
+                if not left:
+                    return False
+            elif left:
+                return True
+            right = _vec_eval(expr.right, env, state)
+            if _is_vec(right):
+                raise VectorFallback("short-circuit on a column")
+            return bool(right)
+        left = _vec_eval(expr.left, env, state)
+        right = _vec_eval(expr.right, env, state)
+        return _vec_binop(expr.op, left, right)
+    if isinstance(expr, ast.Call):
+        args = [_vec_eval(a, env, state) for a in expr.args]
+        return _vec_call(expr.func, args)
+    if isinstance(expr, ast.PeekExpr):
+        depth = _vec_eval(expr.depth, env, state)
+        if _is_vec(depth):
+            raise VectorFallback("column-valued peek depth")
+        return state.peek(int(depth))
+    if isinstance(expr, ast.PopExpr):
+        return state.pop()
+    raise SemanticError(f"unknown expression {type(expr).__name__}")
+
+
+def _vec_store(target, value, env: _VecEnv, state: _VecState) -> None:
+    if isinstance(target, ast.Name):
+        env.set(target.ident, value)
+        return
+    if isinstance(target, ast.Index):
+        base = _vec_eval(target.base, env, state)
+        index = _vec_eval(target.index, env, state)
+        if _is_vec(index):
+            raise VectorFallback("column-valued array index")
+        index = int(index)
+        if not isinstance(base, list):
+            raise SemanticError("indexed assignment into a non-array")
+        if not 0 <= index < len(base):
+            raise SemanticError(
+                f"array index {index} out of bounds [0, {len(base)})")
+        base[index] = value
+        return
+    raise SemanticError("invalid assignment target")
+
+
+def _vec_exec(stmt, env: _VecEnv, state: _VecState) -> None:
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.array_size is not None:
+            size = _vec_eval(stmt.array_size, env, state)
+            if _is_vec(size):
+                raise VectorFallback("column-valued array size")
+            fill = 0 if stmt.type_name == "int" else 0.0
+            env.set(stmt.name, [fill] * int(size))
+        else:
+            value = _vec_eval(stmt.init, env, state) \
+                if stmt.init is not None \
+                else (0 if stmt.type_name == "int" else 0.0)
+            if stmt.type_name == "int":
+                if _is_vec(value):
+                    if value.dtype != _np.int64:
+                        raise VectorFallback("int() cast of a column")
+                else:
+                    value = int(value)
+            env.set(stmt.name, value)
+    elif isinstance(stmt, ast.Assign):
+        value = _vec_eval(stmt.value, env, state)
+        if stmt.op != "=":
+            current = _vec_eval(stmt.target, env, state)
+            value = _vec_binop(stmt.op[0], current, value)
+        _vec_store(stmt.target, value, env, state)
+    elif isinstance(stmt, ast.PushStmt):
+        state.pushed.append(_vec_eval(stmt.value, env, state))
+    elif isinstance(stmt, ast.PopStmt):
+        state.pop()
+    elif isinstance(stmt, ast.ExprStmt):
+        _vec_eval(stmt.expr, env, state)
+    elif isinstance(stmt, ast.IfStmt):
+        condition = _vec_eval(stmt.condition, env, state)
+        if _is_vec(condition):
+            raise VectorFallback("column-valued if condition")
+        if condition:
+            for inner in stmt.then_body:
+                _vec_exec(inner, env, state)
+        else:
+            for inner in stmt.else_body:
+                _vec_exec(inner, env, state)
+    elif isinstance(stmt, ast.ForStmt):
+        if stmt.init is not None:
+            _vec_exec(stmt.init, env, state)
+        steps = 0
+        while True:
+            if stmt.condition is not None:
+                condition = _vec_eval(stmt.condition, env, state)
+                if _is_vec(condition):
+                    raise VectorFallback("column-valued loop condition")
+                if not condition:
+                    break
+            for inner in stmt.body:
+                _vec_exec(inner, env, state)
+            if stmt.update is not None:
+                _vec_exec(stmt.update, env, state)
+            steps += 1
+            if steps > _MAX_LOOP_STEPS:
+                raise SemanticError("runaway for loop in work body")
+    elif isinstance(stmt, ast.WhileStmt):
+        steps = 0
+        while True:
+            condition = _vec_eval(stmt.condition, env, state)
+            if _is_vec(condition):
+                raise VectorFallback("column-valued loop condition")
+            if not condition:
+                break
+            for inner in stmt.body:
+                _vec_exec(inner, env, state)
+            steps += 1
+            if steps > _MAX_LOOP_STEPS:
+                raise SemanticError("runaway while loop in work body")
+    else:
+        raise SemanticError(f"unknown statement {type(stmt).__name__}")
+
+
+def build_batch_kernel(spec: WorkAstSpec):
+    """A batch kernel evaluating the work AST over a window matrix.
+
+    The kernel takes the ``(firings, peek)`` matrix and returns the
+    pushed columns (length ``push``); it raises :class:`VectorFallback`
+    when the body cannot be widened and :class:`SemanticError` exactly
+    where the interpreter would (the caller replays the batch through
+    the scalar path in both cases, so errors keep their per-firing
+    attribution).  Returns None when NumPy is unavailable.
+    """
+    if _np is None:
+        return None
+    params = dict(spec.params)
+    body = spec.work.body
+    push, pop = spec.push, spec.pop
+
+    def batch(window_matrix):
+        state = _VecState(window_matrix)
+        env = _VecEnv(params)
+        for stmt in body:
+            _vec_exec(stmt, env, state)
+        if len(state.pushed) != push:
+            raise SemanticError(
+                f"work body pushed {len(state.pushed)} tokens, declared "
+                f"push {push}")
+        if state.cursor > pop:
+            raise SemanticError(
+                f"work body popped {state.cursor} tokens, declared pop "
+                f"{pop}")
+        return state.pushed
+
+    return batch

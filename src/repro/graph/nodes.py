@@ -187,7 +187,8 @@ class Filter(Node):
                  work: Optional[WorkFunction] = None,
                  estimate: Optional[WorkEstimate] = None,
                  stateful: bool = False,
-                 indexed: bool = False) -> None:
+                 indexed: bool = False,
+                 batch_work: Optional[Callable] = None) -> None:
         super().__init__(name)
         if pop < 0 or push < 0:
             raise GraphError(f"filter {name}: rates must be non-negative")
@@ -215,6 +216,15 @@ class Filter(Node):
         # device / uniprocessor work functions.
         self.cuda_body: Optional[str] = None
         self.c_body: Optional[str] = None
+        # Optional execution-backend attachments (repro.exec).
+        # ``work_ast`` is the checked work AST + elaboration context
+        # (lang.interp.WorkAstSpec) attached to stateless DSL filters;
+        # ``batch_work`` maps a (firings, peek) window matrix to the
+        # per-firing outputs of ``firings`` independent firings at once
+        # (indexed filters receive (matrix, first_index)).  Both are
+        # hints: executors that ignore them stay correct.
+        self.work_ast = None
+        self.batch_work: Optional[Callable] = batch_work
 
     # --- arity ----------------------------------------------------------
     @property
@@ -288,9 +298,10 @@ class Filter(Node):
         clone = Filter(name or self.name, pop=self.pop, push=self.push,
                        peek=self.peek, work=self.work,
                        estimate=self._estimate, stateful=self.stateful,
-                       indexed=self.indexed)
+                       indexed=self.indexed, batch_work=self.batch_work)
         clone.cuda_body = self.cuda_body
         clone.c_body = self.c_body
+        clone.work_ast = self.work_ast
         return clone
 
 
@@ -458,13 +469,18 @@ def source_from_sequence(values: Sequence, name: str = "source",
 
 
 def indexed_source(name: str = "source", push: int = 1,
-                   fn: Optional[Callable[[int], object]] = None) -> Filter:
+                   fn: Optional[Callable[[int], object]] = None,
+                   batch_work: Optional[Callable] = None) -> Filter:
     """A *stateless* source whose tokens are a pure function of their
     global position: firing ``i`` pushes ``fn(i*push) .. fn(i*push +
     push - 1)``.  Independent firings make it schedulable by the SWP
     framework while still producing distinguishable tokens — the
     benchmark graphs use these so functional-equivalence checks catch
     token reordering.
+
+    ``batch_work`` (optional) receives ``(matrix, first_index)`` and
+    must return the same tokens as ``firings`` consecutive scalar
+    firings starting at ``first_index``.
     """
     if fn is None:
         fn = float
@@ -473,7 +489,8 @@ def indexed_source(name: str = "source", push: int = 1,
         base = index * push
         return [fn(base + offset) for offset in range(push)]
 
-    return Filter(name, pop=0, push=push, work=work, indexed=True)
+    return Filter(name, pop=0, push=push, work=work, indexed=True,
+                  batch_work=batch_work)
 
 
 def counter_source(name: str = "counter", push: int = 1,

@@ -20,6 +20,7 @@ from ..graph.nodes import Filter, default_estimate
 from ..graph.structures import FeedbackLoop, Pipeline, SplitJoin
 from . import ast
 from .interp import (
+    WorkAstSpec,
     compile_stateful_work_function,
     compile_work_function,
     evaluate_const,
@@ -137,6 +138,13 @@ def _make_filter(decl: ast.FilterDecl, params: Mapping[str, object],
                   stateful=decl.is_stateful)
     node.cuda_body = work_body_to_cuda(decl.work, params, pop, push)
     node.c_body = work_body_to_c(decl.work, params, pop, push)
+    if not decl.is_stateful:
+        # Stateless filters expose their checked AST so repro.exec can
+        # re-lower the body; stateful bodies keep their field state in
+        # the interpreter closure and are never re-lowered.
+        node.work_ast = WorkAstSpec(work=decl.work, params=dict(params),
+                                    pop=pop, push=push,
+                                    peek=max(peek, pop))
     return node
 
 

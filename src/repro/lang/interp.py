@@ -16,6 +16,7 @@ source cannot drift apart.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from ..errors import SemanticError
@@ -40,6 +41,26 @@ INTRINSICS: dict[str, Callable] = {
 }
 
 _MAX_LOOP_STEPS = 1_000_000
+
+
+@dataclass(frozen=True, eq=False)
+class WorkAstSpec:
+    """The checked work-function AST plus its elaboration context.
+
+    The elaborator attaches one of these to every *stateless* DSL
+    filter so downstream execution backends (:mod:`repro.exec`) can
+    re-lower the body — to specialized Python source or to a
+    NumPy-vectorized batch kernel — instead of tree-walking it.  The
+    interpreter closure built by :func:`compile_work_function` stays
+    the semantic reference; every other lowering must match it
+    byte-for-byte on valid programs.
+    """
+
+    work: ast.WorkDecl
+    params: Mapping[str, object]
+    pop: int
+    push: int
+    peek: int
 
 
 class _Env:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import Optional
 
 from ..errors import GraphError
@@ -50,9 +51,15 @@ class Interpreter:
 
     def __init__(self, graph: StreamGraph,
                  steady: Optional[SteadyState] = None,
-                 run_init: bool = True) -> None:
+                 run_init: bool = True, *,
+                 exec_backend: Optional[str] = None,
+                 cache=None) -> None:
         graph.validate()
         self.graph = graph
+        # Lazy import: repro.exec pulls in repro.cache, which imports
+        # this module transitively through the compiler.
+        from ..exec import make_plan
+        self._plan = make_plan(graph.nodes, exec_backend, cache=cache)
         self.steady = steady or solve_rates(graph)
         self.init_schedule: InitSchedule = compute_init_schedule(graph)
         self._buffers: dict[int, deque] = {}
@@ -93,7 +100,11 @@ class Interpreter:
                     f"firing rule violated: {node.name} input {port} has "
                     f"{len(buf)} tokens, needs {depth}")
             windows.append([buf[i] for i in range(depth)])
-        outputs = node.fire(windows, index=self.fire_counts[node.uid])
+        if self._plan is not None:
+            outputs = self._plan.fire(node, windows,
+                                      index=self.fire_counts[node.uid])
+        else:
+            outputs = node.fire(windows, index=self.fire_counts[node.uid])
         self.fire_counts[node.uid] += 1
         for port in range(node.num_inputs):
             channel = self.graph.input_channel(node, port)
@@ -110,7 +121,58 @@ class Interpreter:
         """Run ``iterations`` steady-state iterations; return sink outputs."""
         for _ in range(iterations):
             self._run_one_iteration()
+        if self._plan is not None:
+            self._plan.flush_counters()
         return self.sink_outputs
+
+    def _fire_batch(self, node: Node, limit: int) -> int:
+        """Fire ``node`` up to ``limit`` times in one vectorized pass.
+
+        Returns how many firings actually executed (0 sends the caller
+        down the scalar path).  Only single-input, at-most-single-
+        output filters batch; the sink capture and all channel updates
+        use the original Python token objects, so outputs stay
+        byte-identical to firing one at a time.
+        """
+        if node.num_inputs > 1 or node.num_outputs > 1:
+            return 0
+        from ..exec import flatten_columns, token_matrix
+        if node.num_inputs:
+            channel = self.graph.input_channel(node, 0)
+            buf = self.buffer_of(channel)
+            p = node.pop_rate(0)
+            k = node.peek_depth(0)
+            available = len(buf)
+            if available < k:
+                return 0
+            m = min(limit, (available - k) // p + 1) if p else 1
+            if m <= 1:
+                return 0
+            region = list(islice(buf, k + (m - 1) * p))
+            matrix = token_matrix(region, m, p, k)
+        else:
+            buf = None
+            p = k = 0
+            m = limit
+            if m <= 1:
+                return 0
+            matrix = token_matrix((), m, 0, 0)
+        if matrix is None:
+            return 0
+        columns = self._plan.batch_fire(node, matrix,
+                                        self.fire_counts[node.uid])
+        if columns is None:
+            return 0
+        self.fire_counts[node.uid] += m
+        if node.num_inputs:
+            popped = [buf.popleft() for _ in range(m * p)]
+            if node.num_outputs == 0:
+                self.sink_outputs[node.uid].extend(popped)
+        if node.num_outputs:
+            out_channel = self.graph.output_channel(node, 0)
+            self.buffer_of(out_channel).extend(
+                flatten_columns(columns, m))
+        return m
 
     def _run_initialization(self) -> None:
         """Prime peek history by running the initialization schedule.
@@ -151,6 +213,16 @@ class Interpreter:
             for node in self.graph:
                 while remaining[node.uid] and self.can_fire(node):
                     index = self.steady[node] - remaining[node.uid]
+                    if (self._plan is not None and remaining[node.uid] > 1
+                            and self._plan.wants_batch(node)):
+                        fired = self._fire_batch(node, remaining[node.uid])
+                        if fired:
+                            for j in range(fired):
+                                self.firing_log.append(FiringRecord(
+                                    node, self.iterations_run, index + j))
+                            remaining[node.uid] -= fired
+                            fired_something = True
+                            continue
                     self.fire(node)
                     self.firing_log.append(FiringRecord(
                         node, self.iterations_run, index))

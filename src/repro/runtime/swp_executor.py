@@ -25,25 +25,23 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Optional
+
 from ..core.configure import ConfiguredProgram
 from ..core.schedule import Schedule
 from ..errors import SchedulingError
 from .interpreter import Interpreter
 
-
-@dataclass(frozen=True)
-class _Tag:
-    """Provenance of a token: when/where it was produced."""
-
-    invocation: int   # -1 for initialization tokens
-    sm: int
-    seq: int          # execution order within (invocation, sm)
-
-    def visible_to(self, invocation: int, sm: int, seq: int) -> bool:
-        if self.invocation < invocation:
-            return True
-        return (self.invocation == invocation and self.sm == sm
-                and self.seq < seq)
+# A token's provenance tag is a plain ``(invocation, sm, seq)`` tuple —
+# one interned-small-int triple instead of a frozen dataclass per
+# token.  Every instance's firings share one tuple, and the visibility
+# rule is inlined at the read sites:
+#
+#     visible  <=>  tag_inv < inv  or
+#                   (tag_inv == inv and tag_sm == sm and tag_seq < seq)
+#
+# ``invocation`` is -1 for initialization tokens (visible to everyone).
+_INIT_TAG = (-1, -1, -1)
 
 
 class _ChannelState:
@@ -54,7 +52,7 @@ class _ChannelState:
 
     def __init__(self, initial_tokens: list) -> None:
         self.tokens: dict[int, object] = {}
-        self.tags: dict[int, _Tag] = {}
+        self.tags: dict[int, tuple] = {}
         self.live: set[int] = set()
         self._min_heap: list[int] = []
         self._max_index = -1
@@ -62,11 +60,10 @@ class _ChannelState:
         self.max_alive = 0
         self.produced = 0
         self.consumed = 0
-        init_tag = _Tag(-1, -1, -1)
         for index, value in enumerate(initial_tokens):
-            self._put(index, value, init_tag)
+            self._put(index, value, _INIT_TAG)
 
-    def _put(self, index: int, value, tag: _Tag) -> None:
+    def _put(self, index: int, value, tag: tuple) -> None:
         if index in self.tokens:
             raise SchedulingError(
                 f"token {index} produced twice — schedule or rate bug")
@@ -77,9 +74,39 @@ class _ChannelState:
         self._max_index = max(self._max_index, index)
         self._update_stats()
 
-    def produce(self, index: int, value, tag: _Tag) -> None:
+    def produce(self, index: int, value, tag: tuple) -> None:
         self._put(index, value, tag)
         self.produced += 1
+
+    def produce_block(self, start: int, values, tag: tuple) -> None:
+        """Produce consecutive tokens with one stats update.
+
+        Indices within the block rise monotonically and nothing is
+        consumed meanwhile, so the footprint and live-set peaks are
+        attained at the end of the block — updating the statistics once
+        there observes the same maxima as per-token updates.
+        """
+        tokens = self.tokens
+        tags = self.tags
+        live = self.live
+        heap = self._min_heap
+        index = start
+        for value in values:
+            if index in tokens:
+                raise SchedulingError(
+                    f"token {index} produced twice — schedule or rate "
+                    f"bug")
+            tokens[index] = value
+            tags[index] = tag
+            live.add(index)
+            heapq.heappush(heap, index)
+            index += 1
+        count = index - start
+        if count:
+            if index - 1 > self._max_index:
+                self._max_index = index - 1
+            self.produced += count
+            self._update_stats()
 
     def read(self, index: int, invocation: int, sm: int, seq: int):
         tag = self.tags.get(index)
@@ -87,12 +114,40 @@ class _ChannelState:
             raise SchedulingError(
                 f"read of token {index} that was never produced (or was "
                 f"already consumed) — the schedule violates a dependence")
-        if not tag.visible_to(invocation, sm, seq):
+        tag_inv, tag_sm, tag_seq = tag
+        if not (tag_inv < invocation
+                or (tag_inv == invocation and tag_sm == sm
+                    and tag_seq < seq)):
             raise SchedulingError(
-                f"token {index} produced on SM {tag.sm} in invocation "
-                f"{tag.invocation} is not yet visible to SM {sm} in "
+                f"token {index} produced on SM {tag_sm} in invocation "
+                f"{tag_inv} is not yet visible to SM {sm} in "
                 f"invocation {invocation} — cross-SM rule violated")
         return self.tokens[index]
+
+    def read_block(self, start: int, count: int, invocation: int,
+                   sm: int, seq: int) -> list:
+        """Visibility-checked read of ``count`` consecutive tokens."""
+        tokens = self.tokens
+        tags = self.tags
+        out = []
+        for index in range(start, start + count):
+            tag = tags.get(index)
+            if tag is None or index not in tokens:
+                raise SchedulingError(
+                    f"read of token {index} that was never produced (or "
+                    f"was already consumed) — the schedule violates a "
+                    f"dependence")
+            tag_inv, tag_sm, tag_seq = tag
+            if not (tag_inv < invocation
+                    or (tag_inv == invocation and tag_sm == sm
+                        and tag_seq < seq)):
+                raise SchedulingError(
+                    f"token {index} produced on SM {tag_sm} in "
+                    f"invocation {tag_inv} is not yet visible to SM "
+                    f"{sm} in invocation {invocation} — cross-SM rule "
+                    f"violated")
+            out.append(tokens[index])
+        return out
 
     def consume(self, index: int) -> None:
         if index not in self.live:
@@ -106,6 +161,14 @@ class _ChannelState:
         # it.  The footprint statistic already spans these retained
         # tokens because windows only reach forward of the lowest
         # unpopped index.
+
+    def consume_block(self, start: int, count: int) -> None:
+        live = self.live
+        for index in range(start, start + count):
+            if index not in live:
+                raise SchedulingError(f"token {index} consumed twice")
+            live.discard(index)
+        self.consumed += count
 
     def _update_stats(self) -> None:
         while self._min_heap and self._min_heap[0] not in self.live:
@@ -136,7 +199,9 @@ class SwpExecutor:
     """Execute a schedule functionally on the configured program."""
 
     def __init__(self, program: ConfiguredProgram,
-                 schedule: Schedule) -> None:
+                 schedule: Schedule, *,
+                 exec_backend: Optional[str] = None,
+                 cache=None) -> None:
         if schedule.problem is not program.problem:
             # Allow equal-shaped problems (e.g. coarsened copies).
             if (schedule.problem.names != program.problem.names
@@ -147,9 +212,13 @@ class SwpExecutor:
         self.schedule = schedule
         graph = program.graph
 
+        from ..exec import make_plan
+        self._plan = make_plan(graph.nodes, exec_backend, cache=cache)
+
         # Run initialization with the reference interpreter to obtain
-        # post-init channel contents and firing counts.
-        interp = Interpreter(graph)
+        # post-init channel contents and firing counts (init firing
+        # counts are tiny, so the reference backend is always used).
+        interp = Interpreter(graph, exec_backend="interp")
         self._channels: list[_ChannelState] = []
         self._channel_offsets: list[int] = []
         for channel in graph.channels:
@@ -220,6 +289,8 @@ class SwpExecutor:
                     self._execute_instance(placement.node, placement.k,
                                            j, n, sm, seq)
         self._invocations_done += invocations
+        if self._plan is not None:
+            self._plan.flush_counters()
         sink_outputs = {}
         for node in self.program.graph.sinks:
             by_index = self._sink_tokens[node.uid]
@@ -244,7 +315,15 @@ class SwpExecutor:
         threads = program.config.threads[node.uid]
         k_v = program.problem.firings[node_idx]
         macro_index = j * k_v + k
-        tag = _Tag(invocation, sm, seq)
+        tag = (invocation, sm, seq)
+        plan = self._plan
+
+        if (plan is not None and threads > 1
+                and plan.wants_batch(node)
+                and self._execute_instance_batched(
+                    node_idx, node, macro_index, threads, tag)):
+            self._fired += 1
+            return
 
         for c in range(threads):
             base = macro_index * threads + c
@@ -253,12 +332,13 @@ class SwpExecutor:
                 state = self._channels[channel_idx]
                 pop = node.pop_rate(port)
                 peek = node.peek_depth(port)
-                start = base * pop
-                window = [state.read(start + d, invocation, sm, seq)
-                          for d in range(peek)]
-                windows.append(window)
+                windows.append(state.read_block(base * pop, peek,
+                                                invocation, sm, seq))
             fire_index = self._init_fires[node.uid] + base
-            outputs = node.fire(windows, index=fire_index)
+            if plan is not None:
+                outputs = plan.fire(node, windows, index=fire_index)
+            else:
+                outputs = node.fire(windows, index=fire_index)
             for port, channel_idx in enumerate(self._in_channels[node_idx]):
                 state = self._channels[channel_idx]
                 pop = node.pop_rate(port)
@@ -267,16 +347,69 @@ class SwpExecutor:
                     sink_store = self._sink_tokens[node.uid]
                     for d in range(pop):
                         sink_store[start + d] = state.tokens[start + d]
-                for d in range(pop):
-                    state.consume(start + d)
+                state.consume_block(start, pop)
             for port, channel_idx in enumerate(
                     self._out_channels[node_idx]):
                 state = self._channels[channel_idx]
                 push = node.push_rate(port)
                 start = self._channel_offsets[channel_idx] + base * push
-                for d, value in enumerate(outputs[port]):
-                    state.produce(start + d, value, tag)
+                state.produce_block(start, outputs[port], tag)
         self._fired += 1
+
+    def _execute_instance_batched(self, node_idx: int, node,
+                                  macro_index: int, threads: int,
+                                  tag: tuple) -> bool:
+        """All ``threads`` firings of one instance in a single pass.
+
+        Reads (with the same visibility checks) happen before any
+        mutation, so returning False — the window tokens are not
+        uniformly numeric, or the kernel hit a non-widenable construct
+        — safely sends the caller down the scalar path.  A filter's
+        input and output channels are always distinct, so batching the
+        reads ahead of the consumes/produces observes exactly the
+        per-firing token values.
+        """
+        from ..exec import flatten_columns, token_matrix
+        invocation, sm, seq = tag
+        first = macro_index * threads
+        in_channels = self._in_channels[node_idx]
+        if len(in_channels) > 1 or node.num_outputs > 1:
+            return False
+        if in_channels:
+            state = self._channels[in_channels[0]]
+            pop = node.pop_rate(0)
+            peek = node.peek_depth(0)
+            region = state.read_block(first * pop,
+                                      (threads - 1) * pop + peek,
+                                      invocation, sm, seq)
+            matrix = token_matrix(region, threads, pop, peek)
+        else:
+            pop = peek = 0
+            matrix = token_matrix((), threads, 0, 0)
+        if matrix is None:
+            return False
+        first_index = self._init_fires[node.uid] + first
+        columns = self._plan.batch_fire(node, matrix, first_index)
+        if columns is None:
+            return False
+        if in_channels:
+            state = self._channels[in_channels[0]]
+            start = first * pop
+            count = threads * pop
+            if node.num_outputs == 0:
+                sink_store = self._sink_tokens[node.uid]
+                tokens = state.tokens
+                for d in range(count):
+                    sink_store[start + d] = tokens[start + d]
+            state.consume_block(start, count)
+        if node.num_outputs:
+            channel_idx = self._out_channels[node_idx][0]
+            state = self._channels[channel_idx]
+            push = node.push_rate(0)
+            start = self._channel_offsets[channel_idx] + first * push
+            state.produce_block(start, flatten_columns(columns, threads),
+                                tag)
+        return True
 
 
 def verify_against_reference(program: ConfiguredProgram,

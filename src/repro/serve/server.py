@@ -140,11 +140,13 @@ class StreamServer:
 
     def __init__(self, *, policy: Optional[BatchPolicy] = None,
                  options: Optional[CompileOptions] = None,
-                 jobs: Optional[int] = None, cache=None) -> None:
+                 jobs: Optional[int] = None, cache=None,
+                 exec_backend: Optional[str] = None) -> None:
         self.default_policy = policy or BatchPolicy()
         self.default_options = options
         self.jobs = jobs
         self.cache = cache
+        self.exec_backend = exec_backend
         self._specs: dict[str, _SessionSpec] = {}
         self._batchers: dict[str, DynamicBatcher] = {}
         self._order: list[str] = []       # registration = rotation order
@@ -177,7 +179,8 @@ class StreamServer:
         def build(spec: _SessionSpec) -> PipelineSession:
             return PipelineSession(spec.name, spec.graph,
                                    options=spec.options, jobs=self.jobs,
-                                   cache=self.cache)
+                                   cache=self.cache,
+                                   exec_backend=self.exec_backend)
 
         specs = [self._specs[name] for name in self._order]
         sessions = parallel_map(build, specs, jobs=self.jobs,

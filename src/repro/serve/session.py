@@ -56,7 +56,8 @@ class PipelineSession:
     def __init__(self, name: str, graph: StreamGraph, *,
                  options: Optional[CompileOptions] = None,
                  jobs: Optional[int] = None,
-                 cache=None) -> None:
+                 cache=None,
+                 exec_backend: Optional[str] = None) -> None:
         options = options or default_session_options()
         if options.scheme not in ("swp", "swpnc"):
             raise ServeError(
@@ -75,7 +76,9 @@ class PipelineSession:
         self.device = options.device
         self.program = self.compiled.program
         self.schedule = self.compiled.search.schedule
-        self.executor = SwpExecutor(self.program, self.schedule)
+        self.exec_backend = exec_backend
+        self.executor = SwpExecutor(self.program, self.schedule,
+                                    exec_backend=exec_backend, cache=cache)
         self._simulator = GpuSimulator(self.device)
         self._kernel_cycles: dict[int, float] = {}
 

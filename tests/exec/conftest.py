@@ -1,0 +1,108 @@
+"""Shared helpers for the execution-backend suite.
+
+Every test here compares a program's sink streams under the compiled
+and vectorized backends against the reference interpreter — equality
+means token *values and types*, because a backend that silently turns
+ints into floats (or Python floats into NumPy scalars) would poison
+downstream filters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import build_graph
+from repro.runtime import Interpreter
+
+#: A stateful float source whose tokens vary chaotically per firing —
+#: stateful on purpose, so only the filter under test gets a kernel.
+FLOAT_FEED = """
+void->float filter Feed() {
+    float state;
+    init { state = 0.37; }
+    work push 1 {
+        state = 3.9 * state * (1.0 - state);
+        push(state * 2.0 - 1.0);
+    }
+}
+"""
+
+#: A stateful int source cycling through small signed values.
+INT_FEED = """
+void->int filter Feed() {
+    int n;
+    init { n = 0; }
+    work push 1 {
+        push(n % 17 - 8);
+        n += 1;
+    }
+}
+"""
+
+
+def make_program(body: str, *, pop: int = 1, push: int = 1,
+                 peek: int | None = None, in_type: str = "float",
+                 out_type: str = "float", params: str = "",
+                 args: str = "") -> str:
+    feed = FLOAT_FEED if in_type == "float" else INT_FEED
+    rates = f"pop {pop} push {push}"
+    if peek is not None:
+        rates += f" peek {peek}"
+    return f"""
+{feed}
+{in_type}->{out_type} filter Test({params}) {{
+    work {rates} {{
+{body}
+    }}
+}}
+{out_type}->void filter Out() {{ work pop 1 {{ pop(); }} }}
+void->void pipeline Main() {{
+    add Feed();
+    add Test({args});
+    add Out();
+}}
+"""
+
+
+def sink_streams(source: str, backend: str | None,
+                 iterations: int) -> dict[str, list]:
+    graph = build_graph(source, root="Main")
+    outputs = Interpreter(graph, exec_backend=backend).run(iterations)
+    return {node.name: outputs[node.uid] for node in graph.sinks}
+
+
+def assert_backends_match(source: str, iterations: int = 6) -> None:
+    ref = sink_streams(source, "interp", iterations)
+    assert any(ref.values()), "program produced no sink tokens"
+    for backend in ("compiled", "vectorized"):
+        got = sink_streams(source, backend, iterations)
+        assert got == ref, f"{backend} token values diverge"
+        for name in ref:
+            assert [type(t) for t in got[name]] \
+                == [type(t) for t in ref[name]], \
+                f"{backend} token types diverge on {name}"
+
+
+def run_outcome(source: str, backend: str, iterations: int = 4):
+    """(None, streams) on success, (exc_type, message) on failure."""
+    try:
+        return None, sink_streams(source, backend, iterations)
+    except Exception as exc:  # noqa: BLE001 - comparing behaviours
+        return type(exc), str(exc)
+
+
+def assert_same_outcome(source: str, iterations: int = 4) -> None:
+    """Backends must agree even when the program faults: same
+    exception type and same message as the interpreter."""
+    ref = run_outcome(source, "interp", iterations)
+    for backend in ("compiled", "vectorized"):
+        assert run_outcome(source, backend, iterations) == ref, \
+            f"{backend} outcome diverges"
+
+
+@pytest.fixture
+def fresh_backend_env(monkeypatch):
+    """Tests asserting backend resolution must not inherit the CI
+    matrix's REPRO_EXEC_BACKEND."""
+    monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+    return monkeypatch

@@ -1,0 +1,144 @@
+"""Execution backends through the SWP executor, the serving runtime
+and the kernel cache — equality end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.apps.dsl_sources import MOVING_AVERAGE
+from repro.cache import CompileCache
+from repro.cli import main as cli_main
+from repro.exec import ExecPlan, kernel_stage_key
+from repro.gpu import GEFORCE_8600_GTS
+from repro.lang import build_graph
+from repro.runtime import Interpreter
+from repro.runtime.swp_executor import SwpExecutor
+from repro.serve import PipelineSession, default_session_options
+
+OPTIONS = default_session_options(device=GEFORCE_8600_GTS,
+                                  attempt_budget_seconds=10.0)
+
+
+@pytest.fixture(scope="module")
+def compiled_ma(tmp_path_factory):
+    from repro.compiler import compile_stream_program
+
+    graph = build_graph(MOVING_AVERAGE, root="Main")
+    cache = CompileCache(tmp_path_factory.mktemp("exec-cache"))
+    compiled = compile_stream_program(graph, OPTIONS, cache=cache)
+    return graph, compiled, cache
+
+
+class TestSwpExecutorBackends:
+    def test_sink_tokens_identical(self, compiled_ma):
+        graph, compiled, cache = compiled_ma
+        schedule = compiled.search.schedule
+        results = {}
+        for backend in ("interp", "compiled", "vectorized"):
+            executor = SwpExecutor(compiled.program, schedule,
+                                   exec_backend=backend, cache=cache)
+            executor.run(8)
+            results[backend] = executor.sink_tokens
+        assert results["compiled"] == results["interp"]
+        assert results["vectorized"] == results["interp"]
+        # Token types survive the NumPy round trip.
+        for uid, tokens in results["interp"].items():
+            for index, token in tokens.items():
+                assert type(results["vectorized"][uid][index]) \
+                    is type(token)
+
+    def test_executor_matches_reference_interpreter(self, compiled_ma):
+        graph, compiled, cache = compiled_ma
+        executor = SwpExecutor(compiled.program, compiled.search.schedule,
+                               exec_backend="vectorized", cache=cache)
+        executor.run(8)
+        # Drained steady tokens must prefix-match the reference stream.
+        reference = Interpreter(build_graph(MOVING_AVERAGE, root="Main"))
+        reference.run(iterations=64)
+        (ref_stream,) = [reference.sink_outputs[node.uid]
+                         for node in reference.graph.sinks]
+        (sink_uid, tokens), = executor.sink_tokens.items()
+        init_offset = len(Interpreter(graph).sink_outputs[sink_uid])
+        expected = ref_stream[init_offset:]
+        assert expected
+        drained = [tokens[i] for i in range(len(expected))
+                   if i in tokens]
+        assert drained == expected[:len(drained)]
+        assert len(drained) > 8
+
+
+class TestServingBackends:
+    def test_session_outputs_identical(self, compiled_ma, tmp_path):
+        graph, compiled, cache = compiled_ma
+        windows = {}
+        for backend in (None, "compiled", "vectorized"):
+            session = PipelineSession(
+                "ma", build_graph(MOVING_AVERAGE, root="Main"),
+                options=OPTIONS, cache=cache, exec_backend=backend)
+            session.advance_to(6)
+            windows[backend] = session.outputs_for(0, 6)
+        assert windows["compiled"] == windows[None]
+        assert windows["vectorized"] == windows[None]
+
+
+class TestKernelCache:
+    def test_kernel_entries_cached_and_hit(self, tmp_path):
+        graph = build_graph(MOVING_AVERAGE, root="Main")
+        cache = CompileCache(tmp_path / "kc")
+        assert cache.stats()["stages"]["kernel"]["entries"] == 0
+
+        obs.enable(reset=True)
+        try:
+            before = obs.metrics_snapshot()
+            ExecPlan(graph.nodes, "compiled", cache=cache)
+            cold = obs.diff_snapshots(
+                before, obs.metrics_snapshot())["counters"]
+            entries = cache.stats()["stages"]["kernel"]["entries"]
+            assert entries > 0
+
+            before = obs.metrics_snapshot()
+            ExecPlan(graph.nodes, "compiled", cache=cache)
+            warm = obs.diff_snapshots(
+                before, obs.metrics_snapshot())["counters"]
+        finally:
+            obs.disable()
+        assert any("cache.misses" in k and "kernel" in k for k in cold)
+        assert any("cache.hits" in k and "kernel" in k for k in warm)
+        assert not any("cache.misses" in k and "kernel" in k
+                       for k in warm)
+
+    def test_corrupt_cached_source_recovers(self, tmp_path):
+        graph = build_graph(MOVING_AVERAGE, root="Main")
+        cache = CompileCache(tmp_path / "kc")
+        ExecPlan(graph.nodes, "compiled", cache=cache)
+        # Poison every kernel entry with unparseable source.
+        poisoned = 0
+        for node in graph.nodes:
+            if getattr(node, "work_ast", None) is None:
+                continue
+            key = kernel_stage_key(node)
+            if cache.get("kernel", key) is not None:
+                cache.put("kernel", key,
+                          {"lowerable": True, "source": "def ("})
+                poisoned += 1
+        assert poisoned > 0
+        plan = ExecPlan(graph.nodes, "compiled", cache=cache)
+        # Kernels still built (fresh lowering), outputs still correct.
+        assert any(plan.has_kernel(n) for n in graph.nodes)
+
+    def test_kernel_row_in_cli_cache_stats(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli"))
+        assert cli_main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out
+
+
+class TestStatsCommand:
+    def test_stats_surfaces_exec_telemetry(self, capsys):
+        assert cli_main(["stats", "Bitonic", "--exec-backend",
+                         "compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "host throughput (compiled)" in out
+        assert "exec." in out

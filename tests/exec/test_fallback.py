@@ -1,0 +1,156 @@
+"""Backend resolution, typed errors, and the per-filter fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.errors import ExecBackendError
+from repro.exec import (
+    BACKEND_ENV_VAR,
+    ExecPlan,
+    make_plan,
+    resolve_backend,
+)
+from repro.graph.nodes import Filter
+from repro.lang import build_graph
+from repro.runtime import Interpreter
+
+from .conftest import FLOAT_FEED, make_program
+
+
+class TestResolveBackend:
+    def test_default_is_interp(self, fresh_backend_env):
+        assert resolve_backend() == "interp"
+        assert resolve_backend(None) == "interp"
+
+    def test_explicit_wins_over_env(self, fresh_backend_env):
+        fresh_backend_env.setenv(BACKEND_ENV_VAR, "compiled")
+        assert resolve_backend("vectorized") == "vectorized"
+
+    def test_env_consulted(self, fresh_backend_env):
+        fresh_backend_env.setenv(BACKEND_ENV_VAR, "compiled")
+        assert resolve_backend() == "compiled"
+
+    def test_unknown_name_typed_error(self, fresh_backend_env):
+        with pytest.raises(ExecBackendError,
+                           match="unknown execution backend 'turbo'"):
+            resolve_backend("turbo")
+
+    def test_unknown_env_typed_error(self, fresh_backend_env):
+        fresh_backend_env.setenv(BACKEND_ENV_VAR, "warp")
+        with pytest.raises(ExecBackendError,
+                           match="unknown execution backend"):
+            resolve_backend()
+
+    def test_interp_needs_no_plan(self, fresh_backend_env):
+        assert make_plan([], "interp") is None
+        assert make_plan([]) is None
+        with pytest.raises(ExecBackendError):
+            ExecPlan([], "interp")
+
+
+class TestCliValidation:
+    def test_exec_backend_flag_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["run", "Bitonic", "--exec-backend", "turbo"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown execution backend 'turbo'" in err
+        assert "interp, compiled, vectorized" in err
+
+    def test_exec_backend_flag_accepted(self, capsys):
+        assert cli_main(["run", "Bitonic", "--exec-backend",
+                         "compiled"]) == 0
+        assert "backend=compiled" in capsys.readouterr().out
+
+
+class TestPerFilterFallback:
+    def test_stateful_filter_falls_back(self):
+        # The Feed source is stateful: it must run on its interpreter
+        # closure while the stateless Test filter gets a kernel.
+        source = make_program("push(pop() * 2.0);")
+        graph = build_graph(source, root="Main")
+        interp = Interpreter(graph, exec_backend="compiled")
+        plan = interp._plan
+        by_name = {n.name: n for n in graph.nodes}
+        assert not plan.has_kernel(by_name["Feed"])
+        assert plan.has_kernel(by_name["Test"])
+        interp.run(4)
+        assert plan.compiled_firings > 0
+        assert plan.fallback_firings > 0
+
+    def test_lambda_filters_fall_back(self):
+        # Python-lambda filters carry no work AST; under the compiled
+        # backend every firing is a counted fallback and outputs match
+        # the plain interpreter exactly.
+        from tests.helpers import sink, src
+
+        from repro.graph import Pipeline, flatten
+
+        def build():
+            return flatten(Pipeline([
+                src(push=2), Filter("twice", pop=1, push=1,
+                                    work=lambda w: [w[0] * 2]),
+                sink(pop=2)]))
+
+        ref = Interpreter(build()).run(3)
+        interp = Interpreter(build(), exec_backend="compiled")
+        out = interp.run(3)
+        assert list(ref.values()) == list(out.values())
+        assert interp._plan.compiled_firings == 0
+        assert interp._plan.fallback_firings > 0
+
+    def test_counters_flushed_to_obs(self):
+        source = make_program("push(pop() * 2.0);")
+        graph = build_graph(source, root="Main")
+        obs.enable(reset=True)
+        try:
+            before = obs.metrics_snapshot()
+            interp = Interpreter(graph, exec_backend="compiled")
+            interp.run(3)
+            deltas = obs.diff_snapshots(
+                before, obs.metrics_snapshot())["counters"]
+        finally:
+            obs.disable()
+        compiled = [k for k in deltas if "exec.compiled_firings" in k]
+        fallback = [k for k in deltas if "exec.fallback_firings" in k]
+        assert compiled and fallback
+        # Flushing zeroes the plan-local counters.
+        assert interp._plan.compiled_firings == 0
+        assert interp._plan.fallback_firings == 0
+
+    def test_kernel_compile_span_recorded(self):
+        source = make_program("push(pop() * 2.0);")
+        graph = build_graph(source, root="Main")
+        obs.enable(reset=True)
+        try:
+            Interpreter(graph, exec_backend="compiled")
+            summary = obs.summary()
+        finally:
+            obs.disable()
+        assert "exec.kernel_compile" in summary
+
+    def test_vectorized_without_ast_uses_scalar_kernels(self):
+        # A program whose only stateless filter uses a transcendental:
+        # the batch kernel bails (sticky), but firing-level compiled
+        # kernels still apply and outputs stay identical.
+        source = make_program("push(sin(pop()));")
+        ref = Interpreter(build_graph(source, root="Main")).run(5)
+        got = Interpreter(build_graph(source, root="Main"),
+                          exec_backend="vectorized").run(5)
+        assert list(ref.values()) == list(got.values())
+
+
+class TestStatefulProgramsUnaffected:
+    def test_stateful_only_program_matches(self):
+        source = FLOAT_FEED + """
+float->void filter Out() { work pop 1 { pop(); } }
+void->void pipeline Main() { add Feed(); add Out(); }
+"""
+        ref = Interpreter(build_graph(source, root="Main")).run(6)
+        for backend in ("compiled", "vectorized"):
+            got = Interpreter(build_graph(source, root="Main"),
+                              exec_backend=backend).run(6)
+            assert list(ref.values()) == list(got.values())

@@ -1,0 +1,196 @@
+"""The compiled backend must be byte-equal to the interpreter for
+every DSL operator, intrinsic and statement form — including the
+exact error messages on faulting programs."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.exec.lowering as lowering_mod
+import repro.exec.vectorize as vectorize_mod
+import repro.lang.interp as interp_mod
+from repro.errors import SemanticError
+from repro.exec import compile_kernel_source, lower_work_source
+from repro.lang import ast, parse_program
+from repro.lang.interp import WorkAstSpec
+
+from .conftest import (
+    assert_backends_match,
+    assert_same_outcome,
+    make_program,
+    run_outcome,
+)
+
+FLOAT_BODIES = {
+    "add": "push(pop() + 1.25);",
+    "sub": "push(pop() - 0.5);",
+    "mul": "push(pop() * 3.0);",
+    "div": "push(pop() / 3.0);",
+    "mod": "push(pop() % 0.7);",
+    "neg": "push(-pop());",
+    "chain": "float v = pop(); push(v * v - v / 2.0 + 1.0);",
+    "compare_lt": "float v = pop(); if (v < 0.0) { push(-v); } "
+                  "else { push(v); }",
+    "compare_ge": "float v = pop(); if (v >= 0.25) { push(1.0); } "
+                  "else { push(0.0); }",
+    "eq_ne": "float v = pop(); if (v != v * 1.0) { push(9.0); } "
+             "else { push(v); }",
+    "and_or": "float v = pop(); if (v > -0.9 && v < 0.9 || v == 0.0) "
+              "{ push(v); } else { push(0.0); }",
+    "not": "float v = pop(); boolean b = v < 0.0; if (!b) { push(v); } "
+           "else { push(-v); }",
+    "while_loop": "float v = pop(); float acc = 0.0; int i = 0; "
+                  "while (i < 5) { acc += v; i += 1; } push(acc);",
+    "array": "float a[4]; float v = pop(); "
+             "for (int i = 0; i < 4; i++) { a[i] = v * i; } "
+             "push(a[0] + a[3]);",
+    "compound_assign": "float v = pop(); v += 2.0; v *= 3.0; v -= 1.0; "
+                       "v /= 4.0; push(v);",
+}
+
+INTRINSIC_BODIES = {
+    name: f"push({name}(pop() * 0.5 + 0.6));"
+    for name in ("sin", "cos", "tan", "atan", "exp", "sqrt", "abs")
+}
+INTRINSIC_BODIES["log"] = "push(log(abs(pop()) + 1.5));"
+INTRINSIC_BODIES["pow"] = "push(pow(abs(pop()) + 0.5, 1.5));"
+INTRINSIC_BODIES["min_max"] = \
+    "float v = pop(); push(min(v, 0.25) + max(v, -0.25));"
+
+INT_BODIES = {
+    "int_div_trunc": "int v = pop(); push(v / 3);",
+    "int_mod": "int v = pop(); push(v % 5);",
+    "int_arith": "int v = pop(); push(v * 2 + 7 - v / 2);",
+    "floor_ceil_round": "int v = pop(); push(floor(v / 4.0) + "
+                        "ceil(v / 4.0) + round(v / 4.0));",
+    "int_coerce": "int v = pop(); int w = v / 2 + 1; push(w * w);",
+}
+
+PEEK_BODIES = {
+    "sliding": "float acc = 0.0; for (int i = 0; i < 4; i++) "
+               "{ acc += peek(i); } push(acc / 4.0); pop();",
+    "peek_expr_index": "int j = 2; push(peek(j) - peek(j - 1)); pop();",
+    "multi_pop": "float a = pop(); float b = pop(); push(a - b); "
+                 "push(a + b);",
+}
+
+
+class TestOperatorEquivalence:
+    @pytest.mark.parametrize("body", FLOAT_BODIES.values(),
+                             ids=list(FLOAT_BODIES))
+    def test_float_ops(self, body):
+        assert_backends_match(make_program(body))
+
+    @pytest.mark.parametrize("body", INTRINSIC_BODIES.values(),
+                             ids=list(INTRINSIC_BODIES))
+    def test_intrinsics(self, body):
+        assert_backends_match(make_program(body))
+
+    @pytest.mark.parametrize("body", INT_BODIES.values(),
+                             ids=list(INT_BODIES))
+    def test_int_ops(self, body):
+        assert_backends_match(make_program(body, in_type="int",
+                                           out_type="int"))
+
+    def test_peek_window(self):
+        assert_backends_match(make_program(
+            PEEK_BODIES["sliding"], pop=1, push=1, peek=4))
+        assert_backends_match(make_program(
+            PEEK_BODIES["peek_expr_index"], pop=1, push=1, peek=3))
+        assert_backends_match(make_program(
+            PEEK_BODIES["multi_pop"], pop=2, push=2))
+
+    def test_params_fold_into_kernel(self):
+        source = make_program("push(pop() * G + B);",
+                              params="float G, float B",
+                              args="2.5, 0.125")
+        assert_backends_match(source)
+
+
+class TestErrorEquivalence:
+    def test_pop_past_window(self):
+        assert_same_outcome(make_program("push(pop() + pop());"))
+
+    def test_push_count_mismatch(self):
+        assert_same_outcome(make_program("push(pop()); push(0.0);"))
+
+    def test_pop_count_mismatch(self):
+        assert_same_outcome(make_program(
+            "float a = pop(); float b = pop(); push(a + b);",
+            pop=1, peek=2))
+
+    def test_peek_outside_window(self):
+        assert_same_outcome(make_program(
+            "push(peek(5)); pop();", pop=1, push=1, peek=2))
+
+    def test_array_index_out_of_bounds(self):
+        assert_same_outcome(make_program(
+            "float a[3]; a[7] = pop(); push(a[0]);"))
+
+    def test_integer_division_by_zero(self):
+        # INT_FEED emits 0 on its ninth firing (8 % 17 - 8).
+        assert_same_outcome(make_program(
+            "push(4 / pop());", in_type="int", out_type="int"),
+            iterations=12)
+
+    def test_modulo_by_zero(self):
+        assert_same_outcome(make_program(
+            "push(4 % pop());", in_type="int", out_type="int"),
+            iterations=12)
+
+    def test_float_division_by_zero(self):
+        assert_same_outcome(make_program(
+            "push(1.0 / (pop() * 0.0));"))
+
+    def test_runaway_loop(self, monkeypatch):
+        for mod in (interp_mod, lowering_mod, vectorize_mod):
+            monkeypatch.setattr(mod, "_MAX_LOOP_STEPS", 50)
+        source = make_program(
+            "int i = 0; while (i < 1000) { i += 1; } push(pop());")
+        ref = run_outcome(source, "interp")
+        assert ref[0] is SemanticError
+        assert "runaway while loop" in ref[1]
+        assert run_outcome(source, "compiled") == ref
+        assert run_outcome(source, "vectorized") == ref
+
+
+class TestLoweredSource:
+    def _spec(self, program_source: str) -> WorkAstSpec:
+        decl = parse_program(program_source).find("Test")
+        work = decl.work
+        return WorkAstSpec(work=work, params={}, pop=1, push=1, peek=1)
+
+    def test_constant_folding_inlines_params(self):
+        source = make_program("push(pop() * G);", params="float G",
+                              args="2.5")
+        from repro.lang import build_graph
+        graph = build_graph(source, root="Main")
+        node = next(n for n in graph.nodes if "Test" in n.name)
+        text = lower_work_source(node.work_ast, node.name)
+        assert text is not None
+        assert "2.5" in text
+        assert "v_G" not in text  # param folded away, not looked up
+
+    def test_kernel_checks_rates(self):
+        program = make_program("push(pop() + 1.0);")
+        spec = self._spec(program)
+        text = lower_work_source(spec, "Test")
+        kernel = compile_kernel_source(text, spec)
+        assert kernel([2.0]) == [3.0]
+        with pytest.raises(SemanticError,
+                           match=r"pop\(\) past the declared peek"):
+            kernel([])
+
+    def test_runtime_undefined_name_message(self):
+        # Sema catches undefined names at build time; the kernel keeps
+        # the interpreter's runtime message as a belt-and-braces check
+        # for hand-built ASTs.
+        work = ast.WorkDecl(
+            pop=ast.IntLit(1), push=ast.IntLit(1), peek=None,
+            body=(ast.PushStmt(ast.Name("ghost")), ast.PopStmt()))
+        spec = WorkAstSpec(work=work, params={}, pop=1, push=1, peek=1)
+        text = lower_work_source(spec, "ghostly")
+        kernel = compile_kernel_source(text, spec)
+        with pytest.raises(SemanticError,
+                           match="undefined variable 'ghost'"):
+            kernel([1.0])

@@ -1,0 +1,167 @@
+"""Unit tests for the NumPy batch-firing layer.
+
+The exactness rules matter more than the speed: a batch kernel may
+only exist where its column arithmetic is bit-identical to per-firing
+Python — everything else must raise ``VectorFallback`` so the plan
+drops to the scalar path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.errors import SemanticError  # noqa: E402
+from repro.exec import (                # noqa: E402
+    ExecPlan,
+    VectorFallback,
+    build_batch_kernel,
+    columns_to_rows,
+    flatten_columns,
+    token_matrix,
+)
+from repro.lang import parse_program    # noqa: E402
+from repro.lang.interp import (  # noqa: E402
+    WorkAstSpec,
+    compile_work_function,
+)
+
+from .conftest import make_program      # noqa: E402
+
+
+def _spec(body: str, *, pop=1, push=1, peek=None, in_type="float",
+          out_type="float") -> WorkAstSpec:
+    source = make_program(body, pop=pop, push=push, peek=peek,
+                          in_type=in_type, out_type=out_type)
+    decl = parse_program(source).find("Test")
+    return WorkAstSpec(work=decl.work, params={}, pop=pop, push=push,
+                       peek=max(peek or pop, pop))
+
+
+class TestTokenMatrix:
+    def test_windows_overlap(self):
+        matrix = token_matrix([1.0, 2.0, 3.0, 4.0], firings=3, pop=1,
+                              peek=2)
+        assert matrix.shape == (3, 2)
+        assert matrix.tolist() == [[1.0, 2.0], [2.0, 3.0], [3.0, 4.0]]
+
+    def test_zero_peek_sources(self):
+        matrix = token_matrix((), firings=5, pop=0, peek=0)
+        assert matrix.shape == (5, 0)
+
+    def test_mixed_types_refuse(self):
+        assert token_matrix([1.0, 2, 3.0], 3, 1, 1) is None
+        assert token_matrix(["a", "b"], 2, 1, 1) is None
+
+    def test_bool_tokens(self):
+        matrix = token_matrix([True, False], 2, 1, 1)
+        assert matrix.dtype == np.bool_
+
+    def test_huge_ints_refuse(self):
+        assert token_matrix([2 ** 70, 1], 2, 1, 1) is None
+
+
+class TestColumnHelpers:
+    def test_flatten_firing_major(self):
+        cols = [np.array([1.0, 2.0]), 9.0]
+        assert flatten_columns(cols, 2) == [1.0, 9.0, 2.0, 9.0]
+        # NumPy values come back as native Python scalars.
+        assert all(type(t) is float for t in flatten_columns(cols, 2))
+
+    def test_rows(self):
+        cols = [np.array([1, 2]), np.array([3, 4])]
+        assert columns_to_rows(cols, 2) == [[1, 3], [2, 4]]
+
+    def test_empty(self):
+        assert flatten_columns([], 4) == []
+
+
+class TestBatchKernel:
+    def _run_scalar(self, spec, window):
+        fn = compile_work_function(spec.work, spec.params, spec.pop,
+                                   spec.push, spec.peek)
+        return fn(list(window))
+
+    def test_matches_scalar_firings(self):
+        spec = _spec("float v = pop(); push(v * 2.0 + 1.0);")
+        batch = build_batch_kernel(spec)
+        assert batch is not None
+        tokens = [0.1 * i - 0.3 for i in range(6)]
+        matrix = token_matrix(tokens, 6, 1, 1)
+        cols = batch(matrix)
+        flat = flatten_columns(cols, 6)
+        expected = [self._run_scalar(spec, [t])[0] for t in tokens]
+        assert flat == expected
+        assert [type(t) for t in flat] == [type(t) for t in expected]
+
+    def test_transcendental_falls_back(self):
+        spec = _spec("push(sin(pop()));")
+        batch = build_batch_kernel(spec)
+        if batch is None:
+            return  # refused at build time: equally correct
+        with pytest.raises(VectorFallback):
+            batch(token_matrix([0.5, 0.7], 2, 1, 1))
+
+    def test_zero_divisor_falls_back(self):
+        spec = _spec("push(1.0 / pop());")
+        batch = build_batch_kernel(spec)
+        assert batch is not None
+        ok = batch(token_matrix([2.0, 4.0], 2, 1, 1))
+        assert flatten_columns(ok, 2) == [0.5, 0.25]
+        with pytest.raises(VectorFallback):
+            batch(token_matrix([2.0, 0.0], 2, 1, 1))
+
+    def test_push_count_checked(self):
+        spec = _spec("push(pop()); push(0.0);")  # declared push 1
+        batch = build_batch_kernel(spec)
+        assert batch is not None
+        with pytest.raises(SemanticError,
+                           match="pushed 2 tokens, declared push 1"):
+            batch(token_matrix([1.0, 2.0], 2, 1, 1))
+
+
+class TestStickyFallback:
+    def test_plan_drops_batch_after_fallback(self):
+        from repro.graph.nodes import Filter
+
+        calls = {"n": 0}
+
+        def batch(_matrix):
+            calls["n"] += 1
+            raise VectorFallback("not widenable")
+
+        node = Filter("f", pop=1, push=1, work=lambda w: [w[0]],
+                      batch_work=batch)
+        plan = ExecPlan([node], "vectorized")
+        assert plan.wants_batch(node)
+        matrix = token_matrix([1.0, 2.0], 2, 1, 1)
+        assert plan.batch_fire(node, matrix) is None
+        assert not plan.wants_batch(node)          # sticky
+        assert plan.batch_fallbacks == 1
+        assert plan.batch_fire(node, matrix) is None
+        assert calls["n"] == 1                     # never retried
+
+    def test_plan_drops_batch_on_wrong_arity(self):
+        from repro.graph.nodes import Filter
+
+        node = Filter("f", pop=1, push=2, work=lambda w: [w[0], w[0]],
+                      batch_work=lambda m: [m[:, 0]])  # 1 col, push 2
+        plan = ExecPlan([node], "vectorized")
+        matrix = token_matrix([1.0, 2.0], 2, 1, 1)
+        assert plan.batch_fire(node, matrix) is None
+        assert not plan.wants_batch(node)
+
+    def test_semantic_error_replays_scalar(self):
+        from repro.graph.nodes import Filter
+
+        def batch(_matrix):
+            raise SemanticError("division by zero")
+
+        node = Filter("f", pop=1, push=1, work=lambda w: [w[0]],
+                      batch_work=batch)
+        plan = ExecPlan([node], "vectorized")
+        matrix = token_matrix([1.0], 1, 1, 1)
+        assert plan.batch_fire(node, matrix) is None
+        # Not sticky: the error is the program's, not the kernel's.
+        assert plan.wants_batch(node)

@@ -369,4 +369,7 @@ class TestCompilePipeline:
                                cache=cache)
         stats = cache.stats()
         for stage in STAGES:
-            assert stats["stages"][stage]["entries"] == 1, stage
+            # The kernel stage is populated at execution time by
+            # repro.exec, not by the compile pipeline.
+            expected = 0 if stage == "kernel" else 1
+            assert stats["stages"][stage]["entries"] == expected, stage
