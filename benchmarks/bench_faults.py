@@ -1,0 +1,274 @@
+"""Chaos benchmark: the full app x fault-class injection matrix.
+
+For every benchmark app this runs a fault-free reference (compile +
+interpret) and then replays the same work under each fault class from
+:mod:`repro.faults`, once per seed.  Each faulted cell must end in one
+of exactly two documented states:
+
+* **recovered** — sink streams byte-identical to the fault-free
+  reference (possibly via a degradation-ladder step, which is counted),
+  or
+* **typed** — a :class:`~repro.errors.ReproError` subclass escaped.
+
+Anything else (wrong bytes without an error, an untyped exception, a
+hang) fails the gate.  Results — fault-free vs faulted wall time,
+injected/retried fault counts, and degradation events — land in
+``BENCH_faults.json`` for the CI ``chaos`` job to upload.
+
+Runtime fault classes (``filter.transient``) run over all eight apps;
+compile-path classes run over the quick six (DES and MatrixMult ILP
+solves would dominate the wall-time signal, as in ci_quick).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py --seeds 1,2
+    PYTHONPATH=src python benchmarks/bench_faults.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import faults                                      # noqa: E402
+from repro.apps import all_benchmarks, benchmark_by_name      # noqa: E402
+from repro.cache import CompileCache                          # noqa: E402
+from repro.compiler import (                                  # noqa: E402
+    CompileOptions,
+    compile_stream_program,
+)
+from repro.errors import ReproError                           # noqa: E402
+from repro.gpu import GEFORCE_8600_GTS                        # noqa: E402
+from repro.runtime.interpreter import Interpreter             # noqa: E402
+
+DEFAULT_OUTPUT = "BENCH_faults.json"
+DEFAULT_SEEDS = (1, 2, 3)
+
+#: Fault classes exercised at the interpreter (runtime) level — cheap,
+#: so these run over the full app suite.
+RUNTIME_CLASSES = {
+    "filter.transient": "filter.transient=0.2,filter.retries=4",
+}
+
+#: Compile-path classes that only make sense against a *warm* cache —
+#: injected corruption/IO trouble on real cache hits.
+CACHED_CLASSES = {
+    "cache.corrupt": "cache.corrupt=0.5",
+    "cache.io": "cache.io=0.5,cache.io.persist=1",
+}
+
+#: Compile-path classes that need the real stages to run (a warm cache
+#: would skip the solver, the worker pool, and the GPU profiler
+#: entirely), so these compile cold.
+COLD_CLASSES = {
+    "solver.timeout": "solver.timeout=1.0",
+    "worker.crash": "worker.crash=0.3,worker.retries=4",
+    "gpu.sm_error": "gpu.sm_error=0.2,gpu.retries=4",
+}
+
+#: Make injected retries free of real sleeping.
+FAST = "backoff_ms=0,hang_ms=0"
+
+QUICK_APPS = ("Bitonic", "BitonicRec", "DCT", "FFT", "Filterbank",
+              "FMRadio")
+
+QUICK_OPTIONS = dict(device=GEFORCE_8600_GTS, coarsening=4,
+                     macro_iterations=8, attempt_budget_seconds=10.0)
+
+
+def sink_streams(graph, outputs):
+    """uid-keyed interpreter outputs -> name-keyed (uids are a global
+    counter, so only names compare across two builds of one app)."""
+    return {node.name: outputs[node.uid] for node in graph.sinks}
+
+
+def run_interpreter(name, iterations=1):
+    graph = benchmark_by_name(name).build()
+    return sink_streams(graph, Interpreter(graph).run(iterations))
+
+
+def compile_app(name, cache, jobs):
+    graph = benchmark_by_name(name).build()
+    options = CompileOptions(scheme="swp", **QUICK_OPTIONS)
+    return compile_stream_program(graph, options, jobs=jobs,
+                                  cache=cache)
+
+
+def faulted_cell(work, reference, spec):
+    """Run ``work`` under ``spec``; classify the outcome.
+
+    Returns a result row with wall time, the injection/retry counters,
+    degradation-event count, and the verdict: ``recovered`` /
+    ``degraded`` / ``typed`` / ``WRONG_BYTES`` / ``UNTYPED``.
+    """
+    faults.configure(f"{spec},{FAST}")
+    started = time.perf_counter()
+    try:
+        produced, degradations = work()
+    except ReproError as error:
+        verdict, degradations = "typed", 0
+        produced, error_name = None, type(error).__name__
+    except Exception as error:                    # noqa: BLE001
+        verdict, degradations = "UNTYPED", 0
+        produced, error_name = None, type(error).__name__
+    else:
+        error_name = None
+        if reference is not None and produced != reference:
+            verdict = "WRONG_BYTES"
+        elif degradations:
+            verdict = "degraded"
+        else:
+            verdict = "recovered"
+    seconds = time.perf_counter() - started
+    row = {
+        "seconds": round(seconds, 3),
+        "verdict": verdict,
+        "error": error_name,
+        "degradation_events": degradations,
+        "injected": faults.counters(),
+        "retries": faults.retry_counters(),
+    }
+    faults.reset()
+    return row
+
+
+def run_matrix(app_names, seeds, jobs):
+    result = {"fault_free": {}, "classes": {}}
+
+    references = {}
+    for name in app_names:
+        started = time.perf_counter()
+        references[name] = run_interpreter(name)
+        run_seconds = time.perf_counter() - started
+        result["fault_free"][name] = {
+            "run_seconds": round(run_seconds, 3)}
+        print(f"  reference {name:<12} {run_seconds:6.2f}s", flush=True)
+
+    for cls, spec in RUNTIME_CLASSES.items():
+        rows = result["classes"].setdefault(cls, {})
+        for name in app_names:
+            for seed in seeds:
+                cell = faulted_cell(
+                    lambda name=name: (run_interpreter(name), 0),
+                    references[name], f"seed={seed},{spec}")
+                rows.setdefault(name, {})[str(seed)] = cell
+                print(f"  {cls:<16} {name:<12} seed={seed} "
+                      f"{cell['verdict']:<10} {cell['seconds']:6.2f}s",
+                      flush=True)
+
+    compile_apps = [n for n in app_names if n in QUICK_APPS]
+    with tempfile.TemporaryDirectory(prefix="bench-faults-") as tmp:
+        for name in compile_apps:
+            # Warm one per-app cache fault-free so cache fault classes
+            # exercise real hits/corruption rather than cold misses.
+            cache = CompileCache(os.path.join(tmp, name))
+            started = time.perf_counter()
+            compile_app(name, cache, jobs)
+            compile_seconds = time.perf_counter() - started
+            result["fault_free"][name]["compile_seconds"] = round(
+                compile_seconds, 3)
+            print(f"  compile   {name:<12} {compile_seconds:6.2f}s",
+                  flush=True)
+            for cls, spec in list(CACHED_CLASSES.items()) \
+                    + list(COLD_CLASSES.items()):
+                rows = result["classes"].setdefault(cls, {})
+                cell_cache = cache if cls in CACHED_CLASSES else None
+
+                def work(name=name, cache=cell_cache):
+                    compiled = compile_app(name, cache, jobs)
+                    return (None,
+                            len(compiled.degradation.events))
+
+                for seed in seeds:
+                    cell = faulted_cell(work, None,
+                                        f"seed={seed},{spec}")
+                    rows.setdefault(name, {})[str(seed)] = cell
+                    print(f"  {cls:<16} {name:<12} seed={seed} "
+                          f"{cell['verdict']:<10} "
+                          f"{cell['seconds']:6.2f}s", flush=True)
+    return result
+
+
+def summarize(result):
+    verdicts = {}
+    faulted_seconds = 0.0
+    degradations = 0
+    for rows in result["classes"].values():
+        for cells in rows.values():
+            for cell in cells.values():
+                verdicts[cell["verdict"]] = \
+                    verdicts.get(cell["verdict"], 0) + 1
+                faulted_seconds += cell["seconds"]
+                degradations += cell["degradation_events"]
+    fault_free_seconds = sum(
+        row.get("run_seconds", 0.0) + row.get("compile_seconds", 0.0)
+        for row in result["fault_free"].values())
+    return {
+        "verdicts": verdicts,
+        "fault_free_seconds": round(fault_free_seconds, 3),
+        "faulted_seconds": round(faulted_seconds, 3),
+        "degradation_events": degradations,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", default=",".join(
+        str(s) for s in DEFAULT_SEEDS),
+        help="comma-separated fault seeds (default 1,2,3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="one seed, quick app subset only")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker count for compile stages")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"artifact path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    app_names = list(QUICK_APPS) if args.quick \
+        else [info.name for info in all_benchmarks()]
+    if args.quick:
+        seeds = seeds[:1]
+
+    classes = (len(RUNTIME_CLASSES) + len(CACHED_CLASSES)
+               + len(COLD_CLASSES))
+    print(f"chaos matrix: {len(app_names)} apps x {classes} fault "
+          f"classes x seeds {seeds}")
+    result = run_matrix(app_names, seeds, args.jobs)
+    result.update(
+        suite="faults",
+        python=platform.python_version(),
+        seeds=seeds,
+        totals=summarize(result),
+    )
+
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+
+    totals = result["totals"]
+    print(f"verdicts: {totals['verdicts']}")
+    print(f"fault-free {totals['fault_free_seconds']}s vs faulted "
+          f"{totals['faulted_seconds']}s; "
+          f"{totals['degradation_events']} degradation events")
+    bad = {v: n for v, n in totals["verdicts"].items()
+           if v in ("WRONG_BYTES", "UNTYPED")}
+    if bad:
+        print(f"chaos gate: FAIL ({bad})")
+        return 1
+    print("chaos gate: PASS (every faulted cell recovered byte-"
+          "identically, degraded on the documented ladder, or raised "
+          "a typed ReproError)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

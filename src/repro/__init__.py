@@ -11,8 +11,14 @@ Top-level convenience imports cover the common workflow::
     from repro import Pipeline, Filter, flatten
 """
 
+from . import degrade, faults
+from .degrade import DegradationEvent, DegradationReport
 from .errors import (
+    CacheError,
     CodegenError,
+    ConfigError,
+    FaultSpecError,
+    GpuSmFault,
     GraphError,
     IlpError,
     InfeasibleError,
@@ -20,7 +26,10 @@ from .errors import (
     RateError,
     ReproError,
     SchedulingError,
+    ServeError,
     SimulationError,
+    SolverTimeout,
+    TransientFault,
 )
 from .graph import (
     Channel,
@@ -48,12 +57,20 @@ from .compiler import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheError",
     "Channel",
     "CodegenError",
     "CompileOptions",
     "CompiledProgram",
+    "ConfigError",
+    "DegradationEvent",
+    "DegradationReport",
+    "FaultSpecError",
+    "GpuSmFault",
     "compile_stream_program",
     "compile_swp_sweep",
+    "degrade",
+    "faults",
     "FeedbackLoop",
     "Filter",
     "GraphError",
@@ -65,7 +82,10 @@ __all__ = [
     "RateError",
     "ReproError",
     "SchedulingError",
+    "ServeError",
     "SimulationError",
+    "SolverTimeout",
+    "TransientFault",
     "SplitJoin",
     "SplitKind",
     "Splitter",

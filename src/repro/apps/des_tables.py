@@ -6,6 +6,8 @@ converted to 0-based indices at import time.
 
 from __future__ import annotations
 
+from ..errors import ConfigError
+
 # Initial permutation.
 IP = [58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
       62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
@@ -82,7 +84,7 @@ SHIFTS = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1]
 def key_schedule(key_bits: list[int]) -> list[list[int]]:
     """Derive the 16 round keys (48 bits each) from a 64-bit key."""
     if len(key_bits) != 64:
-        raise ValueError("DES key must be 64 bits")
+        raise ConfigError("DES key must be 64 bits")
     permuted = [key_bits[i - 1] for i in PC1]
     c, d = permuted[:28], permuted[28:]
     round_keys = []

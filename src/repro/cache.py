@@ -50,13 +50,13 @@ import types
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
-from . import obs
+from . import faults, obs
 from .core.configure import ExecutionConfig
 from .core.iisearch import Attempt, IISearchResult
 from .core.problem import ScheduleProblem
 from .core.profiling import ProfileTable
 from .core.schedule import Placement, Schedule
-from .errors import SchedulingError
+from .errors import CacheError, SchedulingError
 from .gpu.device import DeviceConfig
 from .graph.graph import StreamGraph
 from .graph.nodes import Filter, Joiner, Node, Splitter
@@ -232,9 +232,14 @@ OPTIONS_FIELD_STAGES: dict[str, tuple[str, ...]] = {
     "ilp_backend": ("schedule",),
     "attempt_budget_seconds": ("schedule",),
     "relaxation_step": ("schedule",),
+    "search_deadline_seconds": ("schedule",),
     "coarsening": (),
     "macro_iterations": (),
     "cpu": (),
+    # Degraded schedules are never written to the cache (a transient
+    # solver failure must not poison fault-free compiles), so this
+    # toggle cannot invalidate any cached stage.
+    "allow_degraded": (),
 }
 
 
@@ -274,10 +279,17 @@ def config_stage_key(profile_key: str) -> str:
 
 def schedule_stage_key(problem: ScheduleProblem, *, backend: str,
                        attempt_budget_seconds: float,
-                       relaxation_step: float) -> str:
-    return stable_hash(["schedule", CACHE_FORMAT_VERSION,
-                        problem_signature(problem), backend,
-                        attempt_budget_seconds, relaxation_step])
+                       relaxation_step: float,
+                       search_deadline_seconds: Optional[float] = None
+                       ) -> str:
+    parts: list = ["schedule", CACHE_FORMAT_VERSION,
+                   problem_signature(problem), backend,
+                   attempt_budget_seconds, relaxation_step]
+    # Appended only when set, so the default (no deadline) keeps its
+    # pre-existing keys and warm caches stay warm.
+    if search_deadline_seconds is not None:
+        parts.append(search_deadline_seconds)
+    return stable_hash(parts)
 
 
 # ----------------------------------------------------------------------
@@ -407,6 +419,17 @@ def search_from_payload(payload: dict,
 # ----------------------------------------------------------------------
 # the store
 # ----------------------------------------------------------------------
+class _EnvelopeError(ValueError):
+    """Internal: a cache entry's envelope failed validation (corrupt)."""
+
+
+def _io_retry_budget() -> int:
+    spec = faults.active()
+    if spec is not None:
+        return int(spec.param("cache.retries"))
+    return int(faults.PARAM_DEFAULTS["cache.retries"])
+
+
 class CompileCache:
     """A directory of per-stage, content-addressed JSON entries."""
 
@@ -416,62 +439,120 @@ class CompileCache:
     # -- paths ----------------------------------------------------------
     def _entry_path(self, stage: str, key: str) -> Path:
         if stage not in STAGES:
-            raise ValueError(f"unknown cache stage {stage!r}; expected "
+            raise CacheError(f"unknown cache stage {stage!r}; expected "
                              f"one of {STAGES}")
         return self.root / stage / key[:2] / f"{key}.json"
 
     # -- raw entry access ----------------------------------------------
     def get(self, stage: str, key: str) -> Optional[dict]:
-        """The stored payload, or None on miss/corruption."""
+        """The stored payload, or None on miss/corruption/I/O trouble.
+
+        Transient ``OSError`` reads (real, or injected via the
+        ``cache.io`` fault site) are retried with backoff up to the
+        ``cache.retries`` budget, then degrade to a miss — never to an
+        exception, and never by deleting an entry the disk may yet
+        yield intact.  Corrupt entries (bad JSON, envelope mismatch,
+        or the injected ``cache.corrupt`` site) are a miss immediately;
+        genuinely corrupt files are unlinked so the recompute
+        overwrites them, while injected corruption leaves the (real,
+        healthy) file alone.
+        """
         path = self._entry_path(stage, key)
         telemetry = obs.is_enabled()
-        try:
-            text = path.read_text(encoding="utf-8")
-            envelope = json.loads(text)
-            if not isinstance(envelope, dict):
-                raise ValueError("cache envelope is not an object")
-            if (envelope.get("format") != CACHE_FORMAT_VERSION
-                    or envelope.get("key") != key
-                    or "data" not in envelope):
-                raise ValueError("cache envelope mismatch")
-        except FileNotFoundError:
-            if telemetry:
-                obs.counter("cache.misses", stage=stage).add(1)
-            return None
-        except (OSError, ValueError, UnicodeDecodeError):
-            # Corrupted entry: drop it and treat as a miss so the stage
-            # recomputes and overwrites.
+        injecting = faults.is_active()
+        site_key = f"{stage}:{key}"
+        if injecting and faults.should("cache.corrupt", site_key):
             if telemetry:
                 obs.counter("cache.corrupt", stage=stage).add(1)
                 obs.counter("cache.misses", stage=stage).add(1)
-            try:
-                path.unlink()
-            except OSError:
-                pass
             return None
-        if telemetry:
-            obs.counter("cache.hits", stage=stage).add(1)
-        return envelope["data"]
+        retries = _io_retry_budget()
+        attempt = 0
+        while True:
+            try:
+                if injecting:
+                    faults.maybe_io_error("cache.io", site_key, attempt)
+                text = path.read_text(encoding="utf-8")
+                envelope = json.loads(text)
+                if not isinstance(envelope, dict):
+                    raise _EnvelopeError(
+                        "cache envelope is not an object")
+                if (envelope.get("format") != CACHE_FORMAT_VERSION
+                        or envelope.get("key") != key
+                        or "data" not in envelope):
+                    raise _EnvelopeError("cache envelope mismatch")
+            except FileNotFoundError:
+                if telemetry:
+                    obs.counter("cache.misses", stage=stage).add(1)
+                return None
+            except OSError:
+                if attempt < retries:
+                    attempt += 1
+                    if injecting:
+                        faults.count_retry("cache.io")
+                    faults.backoff_sleep(attempt)
+                    continue
+                # Persistent I/O trouble: degrade to a miss.  The entry
+                # is not unlinked — it may be perfectly fine once the
+                # disk recovers.
+                if telemetry:
+                    obs.counter("cache.io_errors", stage=stage).add(1)
+                    obs.counter("cache.misses", stage=stage).add(1)
+                return None
+            except (ValueError, UnicodeDecodeError):
+                # Corrupted entry: drop it and treat as a miss so the
+                # stage recomputes and overwrites.
+                if telemetry:
+                    obs.counter("cache.corrupt", stage=stage).add(1)
+                    obs.counter("cache.misses", stage=stage).add(1)
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+            if telemetry:
+                obs.counter("cache.hits", stage=stage).add(1)
+            return envelope["data"]
 
     def put(self, stage: str, key: str, data: dict) -> None:
-        """Atomically write one entry (readers never see partials)."""
+        """Atomically write one entry (readers never see partials).
+
+        Transient write errors (real or injected) are retried with
+        backoff; a write that keeps failing leaves the result simply
+        uncached — a read-only or full cache directory must never fail
+        the compile.
+        """
         path = self._entry_path(stage, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {"format": CACHE_FORMAT_VERSION, "stage": stage,
                     "key": key, "data": data}
         tmp = path.with_name(
             f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
-        try:
-            tmp.write_text(json.dumps(envelope), encoding="utf-8")
-            os.replace(tmp, path)
-        except OSError:
-            # A read-only or full cache directory must never fail the
-            # compile; the result simply is not cached.
+        injecting = faults.is_active()
+        retries = _io_retry_budget()
+        attempt = 0
+        while True:
             try:
-                tmp.unlink()
+                if injecting:
+                    faults.maybe_io_error("cache.io",
+                                          f"put:{stage}:{key}", attempt)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp.write_text(json.dumps(envelope), encoding="utf-8")
+                os.replace(tmp, path)
             except OSError:
-                pass
-            return
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                if attempt < retries:
+                    attempt += 1
+                    if injecting:
+                        faults.count_retry("cache.io")
+                    faults.backoff_sleep(attempt)
+                    continue
+                if obs.is_enabled():
+                    obs.counter("cache.io_errors", stage=stage).add(1)
+                return
+            break
         if obs.is_enabled():
             obs.counter("cache.stores", stage=stage).add(1)
 

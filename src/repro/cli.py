@@ -45,6 +45,14 @@ percentiles.  See docs/serving.md.
 functions execute on the host: the reference AST interpreter, per-
 filter compiled kernels, or NumPy-vectorized batch firing.  Outputs
 are byte-identical across backends.  See docs/execution-backends.md.
+
+``--fault-spec SPEC`` (default ``REPRO_FAULTS`` or off) turns on the
+deterministic fault-injection framework — e.g.
+``seed=42,solver.timeout=0.3,cache.corrupt=0.1`` — and
+``--search-deadline SECONDS`` bounds the whole II search with the
+ILP → heuristic → SAS degradation ladder underneath it.  Compiling
+subcommands print any degradation steps taken, and ``repro stats``
+adds a fault/degradation section.  See docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -53,7 +61,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from . import obs
+from . import faults, obs
 from .apps import all_benchmarks, benchmark_by_name
 from .cache import CompileCache, default_cache_dir
 from .compiler import CompileOptions, compile_stream_program
@@ -145,12 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
                                 "compiled, or vectorized (default "
                                 "REPRO_EXEC_BACKEND or interp)")
 
+    # Fault-injection flag shared by fault-aware subcommands.
+    faultflags = argparse.ArgumentParser(add_help=False)
+    faultflags.add_argument("--fault-spec", default=None, metavar="SPEC",
+                            help="deterministic fault-injection spec, "
+                                 "e.g. seed=42,solver.timeout=0.3 "
+                                 "(default REPRO_FAULTS or off)")
+
     sub.add_parser("list", help="list the benchmark suite")
 
     info = sub.add_parser("info", help="describe one benchmark's graph")
     info.add_argument("benchmark")
 
-    run = sub.add_parser("run", parents=[execflags],
+    run = sub.add_parser("run", parents=[execflags, faultflags],
                          help="run a benchmark on the reference "
                               "interpreter")
     run.add_argument("benchmark")
@@ -158,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--show", type=int, default=8,
                      help="output tokens to print")
 
-    comp = sub.add_parser("compile", parents=[observe, perf],
+    comp = sub.add_parser("compile", parents=[observe, perf, faultflags],
                           help="compile one benchmark under one scheme")
     comp.add_argument("benchmark")
     comp.add_argument("--scheme", choices=("swp", "swpnc", "serial"),
@@ -168,14 +183,21 @@ def build_parser() -> argparse.ArgumentParser:
                       default="8800gts512")
     comp.add_argument("--budget", type=float, default=10.0,
                       help="seconds per ILP attempt")
+    comp.add_argument("--search-deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="wall-clock bound on the whole II search "
+                           "(past it, the compiler degrades to the "
+                           "heuristic scheduler)")
 
-    compare = sub.add_parser("compare", parents=[observe, perf],
+    compare = sub.add_parser("compare", parents=[observe, perf,
+                                                 faultflags],
                              help="compare all three schemes "
                                   "(one Fig. 10 row)")
     compare.add_argument("benchmark")
     compare.add_argument("--budget", type=float, default=10.0)
 
-    stats = sub.add_parser("stats", parents=[observe, perf, execflags],
+    stats = sub.add_parser("stats", parents=[observe, perf, execflags,
+                                             faultflags],
                            help="compile one benchmark with full "
                                 "observability and print its counters")
     stats.add_argument("benchmark")
@@ -186,6 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="8800gts512")
     stats.add_argument("--budget", type=float, default=10.0,
                        help="seconds per ILP attempt")
+    stats.add_argument("--search-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock bound on the whole II search")
 
     cache = sub.add_parser("cache", help="inspect or empty the compile "
                                          "cache")
@@ -207,7 +232,8 @@ def build_parser() -> argparse.ArgumentParser:
     dsl.add_argument("--root", default="Main")
     dsl.add_argument("--iterations", type=_positive_int, default=1)
 
-    serve = sub.add_parser("serve", parents=[observe, perf, execflags],
+    serve = sub.add_parser("serve", parents=[observe, perf, execflags,
+                                             faultflags],
                            help="serve benchmarks under simulated "
                                 "request load (dynamic batching)")
     serve.add_argument("benchmarks", nargs="+",
@@ -242,6 +268,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-tenant-requests", type=_positive_int,
                        default=None, metavar="N",
                        help="per-tenant admission quota")
+    serve.add_argument("--request-deadline-ms", type=float,
+                       default=None, metavar="MS",
+                       help="shed queued requests older than this "
+                            "(simulated ms; default: no deadline)")
+    serve.add_argument("--breaker-failures", type=_positive_int,
+                       default=3, metavar="N",
+                       help="consecutive failed batches before a "
+                            "session's circuit breaker opens")
+    serve.add_argument("--breaker-cooldown-ms", type=float,
+                       default=100.0, metavar="MS",
+                       help="simulated ms an open breaker waits "
+                            "before a half-open probe")
     serve.add_argument("--device", choices=sorted(DEVICES),
                        default="8800gts512")
     serve.add_argument("--budget", type=float, default=10.0,
@@ -249,10 +287,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_fault_spec(args) -> None:
+    """Install ``--fault-spec`` (a bad spec is a usage error)."""
+    text = getattr(args, "fault_spec", None)
+    if text is None:
+        return
+    from .errors import FaultSpecError
+    try:
+        faults.configure(text)
+    except FaultSpecError as exc:
+        print(exc, file=sys.stderr)
+        raise SystemExit(2) from None
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     command = args.command
     out = sys.stdout
+    _apply_fault_spec(args)
     if command == "list":
         for info in all_benchmarks():
             print(f"{info.name:<12} {info.description}", file=out)
@@ -344,7 +396,8 @@ def _cmd_compile(args) -> int:
                              coarsening=(1 if args.scheme == "serial"
                                          else args.coarsening),
                              device=DEVICES[args.device],
-                             attempt_budget_seconds=args.budget)
+                             attempt_budget_seconds=args.budget,
+                             search_deadline_seconds=args.search_deadline)
     if _wants_observability(args):
         obs.enable(reset=True)
     compiled = compile_stream_program(graph, options, jobs=args.jobs,
@@ -359,6 +412,8 @@ def _cmd_compile(args) -> int:
               f"x {compiled.sas_plan.rounds} iterations")
     print(f"buffers: {compiled.buffer_bytes:,} bytes")
     print(f"speedup over 1-thread CPU: {compiled.speedup:.2f}x")
+    if compiled.degraded:
+        print(f"degraded: {compiled.degradation.describe()}")
     _emit_observability(args)
     return 0
 
@@ -392,7 +447,8 @@ def _cmd_stats(args) -> int:
                              coarsening=(1 if args.scheme == "serial"
                                          else args.coarsening),
                              device=DEVICES[args.device],
-                             attempt_budget_seconds=args.budget)
+                             attempt_budget_seconds=args.budget,
+                             search_deadline_seconds=args.search_deadline)
     obs.enable(reset=True)
     compiled = compile_stream_program(graph, options, jobs=args.jobs,
                                       cache=_cache_from(args))
@@ -417,6 +473,17 @@ def _cmd_stats(args) -> int:
               f"{search.solver_nodes} solver node(s), "
               f"{100 * search.relaxation:.2f}% relaxation, "
               f"{search.total_seconds:.1f} s")
+    print(f"degradation: {compiled.degradation.describe()}")
+    if faults.is_active():
+        faults.flush_counters()
+        injected = faults.counters()
+        retries = faults.retry_counters()
+        print(f"faults: spec {faults.active().describe()}")
+        for site in sorted(set(injected) | set(retries)):
+            print(f"  {site:<18} injected={injected.get(site, 0):<6} "
+                  f"retried={retries.get(site, 0)}")
+        if not injected and not retries:
+            print("  (no faults fired)")
     print()
     print(obs.summary())
     _emit_observability(args)
@@ -491,7 +558,10 @@ def _cmd_serve(args) -> int:
             max_batch_requests=args.max_batch_requests,
             max_wait_ms=args.max_wait_ms,
             max_queue_requests=args.max_queue_requests,
-            max_tenant_requests=args.max_tenant_requests)
+            max_tenant_requests=args.max_tenant_requests,
+            request_deadline_ms=args.request_deadline_ms,
+            breaker_failure_threshold=args.breaker_failures,
+            breaker_cooldown_ms=args.breaker_cooldown_ms)
         if args.request_file:
             workload = load_request_file(args.request_file)
             unknown = sorted({r.pipeline for r in workload} - set(names))

@@ -21,6 +21,7 @@ SAS execution, one kernel per filter).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -36,7 +37,9 @@ from .core.buffers import (
 from .core.coarsen import coarsen_schedule
 from .core.config_select import select_configuration
 from .core.configure import ConfiguredProgram, ExecutionConfig, configure_program
+from .core.heuristic import heuristic_schedule
 from .core.iisearch import IISearchResult, search_ii
+from .core.mii import compute_mii
 from .core.profiling import (
     default_numfirings,
     profile_graph,
@@ -44,7 +47,8 @@ from .core.profiling import (
 )
 from .core.sas import SasSchedule, build_sas_schedule, simulate_sas
 from .core.schedule import Schedule
-from .errors import SchedulingError
+from .degrade import DegradationReport
+from .errors import SchedulingError, SolverTimeout
 from .gpu.device import GEFORCE_8800_GTS_512, DeviceConfig
 from .gpu.simulator import FilterWork, GpuSimulator, Kernel, RunResult
 from .graph.graph import StreamGraph
@@ -76,6 +80,13 @@ class CompileOptions:
     macro_iterations: int = 256            # timed steady iterations
     numfirings: Optional[int] = None       # profiling volume (Fig. 6)
     cpu: CpuConfig = field(default_factory=CpuConfig)
+    #: Wall-clock budget for the *whole* II search (None = unbounded).
+    #: On expiry the compiler descends the degradation ladder (heuristic
+    #: modulo schedule, then SAS) instead of failing the compile.
+    search_deadline_seconds: Optional[float] = None
+    #: False turns the degradation ladder off: solver failures raise
+    #: typed errors instead of falling back (for tests and strict runs).
+    allow_degraded: bool = True
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -102,6 +113,11 @@ class CompileOptions:
                 f"macro_iterations must be >= 1, got "
                 f"{self.macro_iterations!r} (at least one timed steady "
                 f"iteration is required)")
+        if (self.search_deadline_seconds is not None
+                and self.search_deadline_seconds <= 0):
+            raise SchedulingError(
+                f"search_deadline_seconds must be positive when set, "
+                f"got {self.search_deadline_seconds!r}")
 
 
 @dataclass
@@ -122,6 +138,14 @@ class CompiledProgram:
     #: Metric-snapshot delta for this compile (populated only while the
     #: observability layer is enabled; see repro.obs).
     stats: Optional[dict] = None
+    #: Machine-readable record of every degradation-ladder step taken
+    #: while producing this artifact (empty report when none were).
+    degradation: DegradationReport = field(
+        default_factory=DegradationReport)
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation.degraded
 
     @property
     def speedup(self) -> float:
@@ -223,22 +247,51 @@ def _configure(graph: StreamGraph, options: CompileOptions,
 
 def _search(program: ConfiguredProgram, options: CompileOptions,
             jobs: Optional[int],
-            cache: Optional[CompileCache]) -> IISearchResult:
-    """The II search, consulting the schedule stage of the cache."""
+            cache: Optional[CompileCache],
+            degradation: Optional[DegradationReport] = None
+            ) -> IISearchResult:
+    """The II search, consulting the schedule stage of the cache.
+
+    When the ILP search fails (wall-clock deadline, exhausted
+    relaxation ladder, injected solver faults) and degradation is
+    allowed, descends one rung to the greedy heuristic modulo scheduler
+    and records the step on ``degradation``.  Degraded schedules are
+    deliberately **not** written to the cache: a transient solver
+    problem must not poison future fault-free compiles with a worse II.
+    """
     search_key = None
     if cache is not None:
         search_key = cache_mod.schedule_stage_key(
             program.problem, backend=options.ilp_backend,
             attempt_budget_seconds=options.attempt_budget_seconds,
-            relaxation_step=options.relaxation_step)
+            relaxation_step=options.relaxation_step,
+            search_deadline_seconds=options.search_deadline_seconds)
         cached = cache.load_search(search_key, program.problem)
         if cached is not None:
             return cached
-    with obs.span("ii_search", backend=options.ilp_backend):
-        search = search_ii(
-            program.problem, backend=options.ilp_backend,
-            attempt_budget_seconds=options.attempt_budget_seconds,
-            relaxation_step=options.relaxation_step, jobs=jobs)
+    started = time.perf_counter()
+    try:
+        with obs.span("ii_search", backend=options.ilp_backend):
+            search = search_ii(
+                program.problem, backend=options.ilp_backend,
+                attempt_budget_seconds=options.attempt_budget_seconds,
+                relaxation_step=options.relaxation_step, jobs=jobs,
+                search_deadline_seconds=options.search_deadline_seconds)
+    except (SolverTimeout, SchedulingError) as exc:
+        if degradation is None or not options.allow_degraded:
+            raise
+        reason = "solver_timeout" if isinstance(exc, SolverTimeout) \
+            else "search_exhausted"
+        degradation.add("schedule", f"ilp:{options.ilp_backend}",
+                        "heuristic", reason, str(exc))
+        with obs.span("heuristic_schedule"):
+            # May raise SchedulingError itself, in which case the
+            # caller descends the final rung (SAS).
+            schedule = heuristic_schedule(program.problem)
+        mii = compute_mii(program.problem).lower_bound
+        return IISearchResult(
+            schedule=schedule, mii=mii, attempts=[],
+            total_seconds=time.perf_counter() - started)
     if cache is not None:
         cache.store_search(search_key, search)
     return search
@@ -261,8 +314,37 @@ def _compile_swp(graph: StreamGraph, options: CompileOptions,
                  program: ConfiguredProgram, *,
                  jobs: Optional[int] = None,
                  cache: Optional[CompileCache] = None) -> CompiledProgram:
-    search = _search(program, options, jobs, cache)
-    return _finalize_swp(graph, options, program, search)
+    """SWP compilation behind the degradation ladder.
+
+    Rung 1 is the paper's ILP II search; rung 2 (on solver timeout or
+    search exhaustion) the greedy heuristic modulo scheduler; rung 3
+    (when even the heuristic has no feasible packing) the serialized
+    SAS schedule.  Every descent is recorded on the artifact's
+    ``degradation`` report and in the ``degradation.steps`` obs
+    counters — a degraded compile is never silent, and any rung yields
+    byte-identical program outputs (only throughput changes).
+    """
+    degradation = DegradationReport()
+    try:
+        search = _search(program, options, jobs, cache, degradation)
+    except SchedulingError as exc:
+        if not options.allow_degraded:
+            raise
+        from_rung = "heuristic" if degradation.degraded \
+            else f"ilp:{options.ilp_backend}"
+        degradation.add("schedule", from_rung, "sas",
+                        "no_feasible_packing", str(exc))
+        with obs.span("sas_fallback"):
+            # No buffer budget: the fairness rule needs a reference SWP
+            # compile, which is exactly what just failed — run the SAS
+            # plan at its minimal (1-round) footprint instead.
+            plan = build_sas_schedule(program, options.device,
+                                      buffer_budget_bytes=None)
+        compiled = _finalize_serial(graph, options, program, plan)
+    else:
+        compiled = _finalize_swp(graph, options, program, search)
+    compiled.degradation = degradation
+    return compiled
 
 
 def _finalize_swp(graph: StreamGraph, options: CompileOptions,
@@ -321,7 +403,11 @@ def compile_swp_sweep(graph: StreamGraph, options: CompileOptions | None,
     cache = resolve_cache(cache)
 
     program = _configure(graph, options, jobs, cache)
-    search = _search(program, options, jobs, cache)
+    # A sweep coarsens the one shared schedule, so the SAS rung (which
+    # has no schedule to coarsen) is not available here; the heuristic
+    # rung is, and its descent is shared by every factor's artifact.
+    degradation = DegradationReport()
+    search = _search(program, options, jobs, cache, degradation)
 
     collect = obs.is_enabled()
     results = {}
@@ -331,6 +417,7 @@ def compile_swp_sweep(graph: StreamGraph, options: CompileOptions | None,
         with obs.span("finalize", coarsening=factor):
             results[factor] = _finalize_swp(graph, variant, program,
                                             search)
+        results[factor].degradation = degradation
         if collect:
             # Per-factor delta only; the shared profile + II search
             # happened once, before the sweep loop.
@@ -395,6 +482,15 @@ def _compile_serial(graph: StreamGraph, options: CompileOptions,
     with obs.span("sas"):
         plan = build_sas_schedule(program, device,
                                   buffer_budget_bytes=swp_buffer_budget)
+    return _finalize_serial(graph, options, program, plan)
+
+
+def _finalize_serial(graph: StreamGraph, options: CompileOptions,
+                     program: ConfiguredProgram,
+                     plan: SasSchedule) -> CompiledProgram:
+    """Buffers + simulation for a SAS plan (shared by the Serial scheme
+    and the degradation ladder's final rung)."""
+    device = options.device
     with obs.span("buffers"):
         from .core.buffers import CLUSTER, ChannelBuffer
         buffers = []

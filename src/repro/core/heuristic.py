@@ -1,0 +1,140 @@
+"""Greedy heuristic modulo scheduler — the middle rung of the ladder.
+
+When the ILP-based II search cannot deliver (solver deadline expired,
+search exhausted, injected solver faults), the compiler degrades to
+this scheduler instead of failing the whole compile.  It trades II
+quality for unconditional, fast termination:
+
+* nodes are visited in a deterministic topological order (cycles broken
+  at the smallest node index), so producers tend to land at earlier
+  offsets than their consumers;
+* every instance goes to the least-loaded SM — except instances of a
+  stateful filter, which all follow instance 0's SM so state never
+  crosses the inter-SM boundary (the same rule the ILP encodes);
+* the II is the maximum per-SM load, offsets are cumulative per SM
+  (sequential packing trivially satisfies the per-SM budget and the
+  no-wraparound bound);
+* pipeline stages are then computed *exactly* by
+  :meth:`~repro.core.schedule.Schedule.compact_stages` — with SMs and
+  offsets fixed, the stage constraints are pure difference constraints
+  and Bellman–Ford yields the componentwise-minimal feasible stages.
+
+The result passes the same :meth:`Schedule.validate` admissibility
+checker as an ILP schedule, so the SWP executor runs it unchanged and
+produces byte-identical program outputs — only throughput differs.
+If even the multi-SM packing has no feasible stage assignment (a
+pathological dependence cycle), a single-SM packing is tried before
+giving up with a typed :class:`~repro.errors.SchedulingError` (at
+which point the compiler's ladder falls through to the SAS serial
+schedule).
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+from .mii import compute_mii
+from .problem import ScheduleProblem
+from .schedule import Placement, Schedule
+
+
+def _topo_order(problem: ScheduleProblem) -> list[int]:
+    """Deterministic topological node order; cycles broken at the
+    smallest remaining node index (feedback edges just cost stages)."""
+    indegree = [0] * problem.num_nodes
+    succs: list[list[int]] = [[] for _ in range(problem.num_nodes)]
+    for edge in problem.edges:
+        if edge.src == edge.dst:
+            continue
+        succs[edge.src].append(edge.dst)
+        indegree[edge.dst] += 1
+    ready = sorted(v for v in range(problem.num_nodes)
+                   if indegree[v] == 0)
+    remaining = set(range(problem.num_nodes)) - set(ready)
+    order: list[int] = []
+    while ready or remaining:
+        if not ready:  # cycle: break it deterministically
+            breaker = min(remaining)
+            remaining.discard(breaker)
+            ready = [breaker]
+        v = ready.pop(0)
+        order.append(v)
+        for w in succs[v]:
+            if w in remaining:
+                indegree[w] -= 1
+                if indegree[w] == 0:
+                    remaining.discard(w)
+                    ready.append(w)
+        ready.sort()
+    return order
+
+
+def _pack(problem: ScheduleProblem, num_sms: int) -> Schedule:
+    """Greedy least-loaded packing onto ``num_sms`` SMs; stages via
+    compact_stages (raises SchedulingError when no stages exist)."""
+    loads = [0.0] * num_sms
+    sm_of: dict[tuple[int, int], int] = {}
+    for v in _topo_order(problem):
+        delay = problem.delays[v]
+        if problem.stateful[v]:
+            # All instances on one SM, chosen once by least load.
+            target = min(range(num_sms), key=lambda p: (loads[p], p))
+            for k in range(problem.firings[v]):
+                sm_of[(v, k)] = target
+                loads[target] += delay
+        else:
+            for k in range(problem.firings[v]):
+                target = min(range(num_sms),
+                             key=lambda p: (loads[p], p))
+                sm_of[(v, k)] = target
+                loads[target] += delay
+
+    ii = max(loads)
+    if ii <= 0:
+        raise SchedulingError("heuristic packing produced empty SMs")
+
+    # Sequential per-SM offsets, in the same deterministic order the
+    # instances were packed (topological, so producers come early).
+    cursor = [0.0] * num_sms
+    placements: dict[tuple[int, int], Placement] = {}
+    for v in _topo_order(problem):
+        for k in range(problem.firings[v]):
+            sm = sm_of[(v, k)]
+            placements[(v, k)] = Placement(
+                node=v, k=k, sm=sm, offset=cursor[sm], stage=0)
+            cursor[sm] += problem.delays[v]
+
+    schedule = Schedule(problem=problem, ii=ii, placements=placements)
+    # compact_stages recomputes minimal feasible stages from the fixed
+    # (sm, offset, ii) and validates the result; it raises when the
+    # packing admits no stage assignment at all.
+    return schedule.compact_stages()
+
+
+def heuristic_schedule(problem: ScheduleProblem) -> Schedule:
+    """Build a valid (not optimal) modulo schedule without any solver.
+
+    Tries the full SM count first; if that packing has no feasible
+    stage assignment, retries with everything on one SM (always
+    stage-feasible for problems the SAS path can execute).  Raises
+    :class:`SchedulingError` if both fail.
+    """
+    report = compute_mii(problem)
+    last_error: SchedulingError | None = None
+    for num_sms in (problem.num_sms, 1):
+        if num_sms > problem.num_sms:
+            continue
+        try:
+            schedule = _pack(problem, num_sms)
+        except SchedulingError as exc:
+            last_error = exc
+            continue
+        if report.lower_bound > 0:
+            schedule.relaxation = schedule.ii / report.lower_bound - 1.0
+        schedule.attempts = 0  # no ILP attempts were spent
+        return schedule
+    raise SchedulingError(
+        f"heuristic scheduler found no feasible packing "
+        f"({last_error})")
+
+
+__all__ = ["heuristic_schedule"]

@@ -18,8 +18,8 @@ import time
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from .. import obs
-from ..errors import SchedulingError
+from .. import faults, obs
+from ..errors import SchedulingError, SolverTimeout
 from ..parallel import parallel_map, resolve_jobs
 from .ilp_formulation import attempt_at_ii
 from .mii import compute_mii
@@ -93,7 +93,9 @@ def search_ii(problem: ScheduleProblem, *,
               max_attempts: int = 200,
               start_ii: Optional[float] = None,
               adaptive: bool = True,
-              jobs: Optional[int] = None) -> IISearchResult:
+              jobs: Optional[int] = None,
+              search_deadline_seconds: Optional[float] = None
+              ) -> IISearchResult:
     """Find the smallest feasible II by the paper's relax-and-retry loop.
 
     ``start_ii`` overrides the computed MII lower bound (used by tests
@@ -114,6 +116,16 @@ def search_ii(problem: ScheduleProblem, *,
     attempts past the winner are discarded from the diagnostics (the
     serial search would never have run them) and surface only through
     the ``ii_search.speculative_wasted`` counter.
+
+    ``search_deadline_seconds`` is a wall-clock budget for the *whole*
+    search (all attempts together, unlike the per-attempt
+    ``attempt_budget_seconds``).  When it expires before any feasible
+    schedule was found the search raises a typed
+    :class:`~repro.errors.SolverTimeout` — the signal the compiler's
+    degradation ladder descends on.  Injected solver timeouts
+    (``solver.timeout`` fault site) charge the full attempt budget
+    against this deadline so chaos runs expire it deterministically
+    without burning real wall-clock time.
     """
     report = compute_mii(problem)
     lower = start_ii if start_ii is not None else report.lower_bound
@@ -123,16 +135,34 @@ def search_ii(problem: ScheduleProblem, *,
     started = time.perf_counter()
     workers = resolve_jobs(jobs)
     telemetry = obs.is_enabled()
+    injecting = faults.is_active()
+    fault_tag = "|".join(problem.names)
+    deadline_at = None if search_deadline_seconds is None \
+        else started + search_deadline_seconds
 
     def run_attempt(ii: float) -> tuple[Attempt, Optional[Schedule]]:
+        relaxation = (ii / lower - 1.0) if lower else 0.0
+        if injecting:
+            key = f"{fault_tag}@{ii:.6g}"
+            if faults.should("solver.timeout", key):
+                # Behaves exactly like a real per-attempt timeout
+                # (status-based: the ladder relaxes and retries), and
+                # reports the full budget as spent so the overall
+                # search deadline is consumed deterministically.
+                return Attempt(ii=ii, feasible=False,
+                               seconds=attempt_budget_seconds,
+                               relaxation=relaxation), None
+            if faults.should("solver.infeasible", key):
+                return Attempt(ii=ii, feasible=False, seconds=0.0,
+                               relaxation=relaxation), None
         attempt_start = time.perf_counter()
         with obs.span("ilp_attempt", ii=round(ii, 2), backend=backend):
             schedule, solution = attempt_at_ii(
                 problem, ii, backend=backend,
-                time_limit=attempt_budget_seconds)
+                time_limit=attempt_budget_seconds,
+                deadline=deadline_at)
         seconds = time.perf_counter() - attempt_start
         nodes = solution.nodes if solution is not None else 0
-        relaxation = (ii / lower - 1.0) if lower else 0.0
         attempt = Attempt(ii=ii, feasible=schedule is not None,
                           seconds=seconds, relaxation=relaxation,
                           nodes=nodes)
@@ -158,6 +188,29 @@ def search_ii(problem: ScheduleProblem, *,
             obs.histogram("ii_search.attempt_seconds").record(
                 attempt.seconds)
 
+    def check_deadline() -> None:
+        """Raise SolverTimeout once the whole-search budget is gone.
+
+        Elapsed time is the larger of the real wall clock and the sum
+        of per-attempt charges, so injected timeouts (which report the
+        full attempt budget without sleeping) expire the deadline
+        deterministically.
+        """
+        if search_deadline_seconds is None:
+            return
+        charged = sum(attempt.seconds for attempt in attempts)
+        elapsed = max(time.perf_counter() - started, charged)
+        if elapsed < search_deadline_seconds:
+            return
+        if telemetry:
+            obs.counter("ilp.deadline_hits", backend=backend).add(1)
+        raise SolverTimeout(
+            f"II search exceeded its {search_deadline_seconds:.1f}s "
+            f"deadline after {len(attempts)} attempts "
+            f"(lower bound {lower:.1f})",
+            deadline_seconds=search_deadline_seconds,
+            elapsed_seconds=elapsed)
+
     ladder = relaxation_ladder(lower, relaxation_step, adaptive)
     attempts: list[Attempt] = []
     last_ii = lower
@@ -178,6 +231,7 @@ def search_ii(problem: ScheduleProblem, *,
                     obs.counter("ii_search.speculative_wasted").add(
                         wasted)
                 return finalize(schedule, attempts)
+            check_deadline()
     raise SchedulingError(
         f"no feasible schedule found after {max_attempts} II relaxations "
         f"(reached II={last_ii:.1f} from lower bound {lower:.1f})")

@@ -206,7 +206,8 @@ def extract_schedule(problem: ScheduleProblem, ii: float,
 
 def attempt_at_ii(problem: ScheduleProblem, ii: float, *,
                   backend: str = "highs",
-                  time_limit: Optional[float] = None
+                  time_limit: Optional[float] = None,
+                  deadline: Optional[float] = None
                   ) -> tuple[Optional[Schedule], Optional[Solution]]:
     """One ILP attempt at a fixed II, keeping the solver diagnostics.
 
@@ -215,6 +216,11 @@ def attempt_at_ii(problem: ScheduleProblem, ii: float, *,
     solution is None only when the model could not even be built (a
     filter delay exceeds the II).  The II search reads node counts and
     solve times off the solution for its per-attempt telemetry.
+
+    ``deadline`` (absolute ``perf_counter`` instant) bounds the whole
+    attempt: the solve's time limit is clamped to the remaining wall
+    clock and :class:`~repro.errors.SolverTimeout` escapes when it has
+    already passed.
     """
     try:
         model, variables = build_model(problem, ii)
@@ -222,12 +228,13 @@ def attempt_at_ii(problem: ScheduleProblem, ii: float, *,
         return None, None  # a delay exceeds the II: trivially infeasible
     gap = 3.0 if backend == "highs" else None
     if gap is None:
-        solution = model.solve(backend=backend, time_limit=time_limit)
+        solution = model.solve(backend=backend, time_limit=time_limit,
+                               deadline=deadline)
     else:
         # Feasibility problem: accept any incumbent within a huge gap
         # of the (secondary) objective instead of proving optimality.
         solution = model.solve(backend=backend, time_limit=time_limit,
-                               mip_rel_gap=gap)
+                               mip_rel_gap=gap, deadline=deadline)
     if not solution.status.has_solution:
         return None, solution
     return extract_schedule(problem, ii, solution, variables), solution

@@ -1,0 +1,97 @@
+"""Machine-readable degradation reporting.
+
+When a stage of the toolchain falls back to a simpler strategy — the
+compiler's ILP → heuristic → SAS scheduling ladder, or the execution
+plan's vectorized → scalar kernel fallback — the fallback must never be
+silent: it changes performance characteristics, and an operator
+debugging "why is this pipeline slow" needs to see that the schedule in
+use is not the one the ILP would have produced.
+
+Every such step emits a :class:`DegradationEvent` into a
+:class:`DegradationReport` that rides on the produced artifact
+(``CompiledProgram.degradation``, ``ExecPlan`` counters) and is
+mirrored into :mod:`repro.obs` as ``degradation.steps{stage=...,
+to=...}`` counters, so both the CLI and the serving runtime can surface
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import obs
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One rung descended on a degradation ladder.
+
+    ``stage`` names the subsystem ("schedule", "exec", ...); ``from_`` /
+    ``to`` name the strategy abandoned and the strategy adopted;
+    ``reason`` is a short machine-greppable cause ("solver_timeout",
+    "infeasible", "vector_fallback", ...); ``detail`` is the
+    human-readable story (typically ``str(exception)``).
+    """
+
+    stage: str
+    from_: str
+    to: str
+    reason: str
+    detail: str = ""
+
+    def to_payload(self) -> dict:
+        return {
+            "stage": self.stage,
+            "from": self.from_,
+            "to": self.to,
+            "reason": self.reason,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class DegradationReport:
+    """All degradation events that shaped one artifact."""
+
+    events: list[DegradationEvent] = field(default_factory=list)
+
+    def record(self, event: DegradationEvent) -> DegradationEvent:
+        """Append ``event`` and mirror it into the obs registry."""
+        self.events.append(event)
+        if obs.is_enabled():
+            obs.counter("degradation.steps", stage=event.stage,
+                        to=event.to).add(1)
+        return event
+
+    def add(self, stage: str, from_: str, to: str, reason: str,
+            detail: str = "") -> DegradationEvent:
+        return self.record(DegradationEvent(
+            stage=stage, from_=from_, to=to, reason=reason,
+            detail=detail))
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def final_strategy(self) -> Optional[str]:
+        """The strategy actually in use, or None if never degraded."""
+        return self.events[-1].to if self.events else None
+
+    def to_payload(self) -> dict:
+        return {
+            "degraded": self.degraded,
+            "final_strategy": self.final_strategy,
+            "events": [event.to_payload() for event in self.events],
+        }
+
+    def describe(self) -> str:
+        if not self.events:
+            return "no degradation"
+        return "; ".join(
+            f"{e.stage}: {e.from_} -> {e.to} ({e.reason})"
+            for e in self.events)
+
+
+__all__ = ["DegradationEvent", "DegradationReport"]

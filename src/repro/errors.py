@@ -13,6 +13,42 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid configuration or parameter values.
+
+    Also subclasses :class:`ValueError` so call sites that historically
+    caught ``ValueError`` keep working.
+    """
+
+
+class FaultSpecError(ConfigError):
+    """Raised for a malformed ``--fault-spec`` / ``REPRO_FAULTS`` value."""
+
+
+class TransientFault(ReproError):
+    """Base class for retryable faults (injected or real).
+
+    The retry-with-backoff machinery in :mod:`repro.faults` only ever
+    retries exceptions of this family — arbitrary failures are not
+    assumed idempotent.
+    """
+
+
+class WorkerCrash(TransientFault):
+    """A worker-pool task died mid-flight (retryable)."""
+
+
+class WorkerHang(TransientFault):
+    """A worker-pool task exceeded its hang-detection deadline
+    (retryable; the stuck attempt is abandoned)."""
+
+
+class TransientFilterFault(TransientFault):
+    """One firing of a filter failed transiently (soft error); the
+    firing is side-effect-free until its outputs commit, so a bounded
+    re-fire is safe."""
+
+
 class GraphError(ReproError):
     """Raised for malformed stream graphs (bad arity, dangling channels...)."""
 
@@ -29,12 +65,45 @@ class InfeasibleError(IlpError):
     """Raised when an ILP model is proven infeasible."""
 
 
+class SolverTimeout(IlpError):
+    """Raised when a wall-clock deadline expires before the solver (or
+    the II search driving it) produced a usable solution.
+
+    Carries the deadline and how much was actually spent, so the
+    degradation ladder can report the budget that was exhausted.
+    """
+
+    def __init__(self, message: str, *, deadline_seconds: float = 0.0,
+                 elapsed_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
 class SchedulingError(ReproError):
     """Raised when no valid software-pipelined schedule can be constructed."""
 
 
+class CacheError(ReproError, ValueError):
+    """Raised for compile-cache misuse (unknown stage names...).
+
+    Also subclasses :class:`ValueError` so call sites that historically
+    caught ``ValueError`` keep working.
+    """
+
+
 class SimulationError(ReproError):
     """Raised for invalid GPU simulator inputs (bad kernels, configs...)."""
+
+
+class GpuSmFault(SimulationError):
+    """A simulated SM error persisted past the bounded relaunch budget."""
+
+    def __init__(self, message: str, *, kernel: str = "",
+                 sm: int = -1) -> None:
+        super().__init__(message)
+        self.kernel = kernel
+        self.sm = sm
 
 
 class ExecBackendError(ReproError):
@@ -70,6 +139,25 @@ class ServerOverloaded(ServeError):
 
 class SessionClosed(ServeError):
     """Raised when work is submitted to a drained/shut-down session."""
+
+
+class SessionUnhealthy(ServeError):
+    """Typed circuit-breaker rejection: the session's pipeline has been
+    failing and the breaker is open, so the request was shed at
+    admission instead of queuing behind a broken executor.
+
+    ``retry_after_ms`` tells the client when the breaker will admit a
+    half-open probe (simulated clock).
+    """
+
+    def __init__(self, message: str, *, session: str = "",
+                 tenant: str = "", failures: int = 0,
+                 retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.session = session
+        self.tenant = tenant
+        self.failures = failures
+        self.retry_after_ms = retry_after_ms
 
 
 class LanguageError(ReproError):

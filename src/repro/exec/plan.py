@@ -34,6 +34,7 @@ from ..cache import (
     stable_hash,
     work_fingerprint,
 )
+from ..degrade import DegradationReport
 from ..errors import ExecBackendError, GraphError, SemanticError
 from ..graph.nodes import Filter, Node
 from .lowering import compile_kernel_source, lower_work_source
@@ -89,6 +90,10 @@ class ExecPlan:
         self.vectorized_firings = 0
         self.batches = 0
         self.batch_fallbacks = 0
+        #: Sticky vectorized -> scalar fallbacks, one event per filter,
+        #: on the same ladder/reporting machinery as the compiler's
+        #: schedule fallbacks (mirrored to ``degradation.steps``).
+        self.degradation = DegradationReport()
         with obs.span("exec.kernel_compile", backend=self.backend):
             for node in nodes:
                 if isinstance(node, Filter):
@@ -187,19 +192,26 @@ class ExecPlan:
                 columns = batch(window_matrix, first_index)
             else:
                 columns = batch(window_matrix)
-        except VectorFallback:
-            del self._batch[node.uid]
-            self.batch_fallbacks += 1
+        except VectorFallback as exc:
+            self._demote(node, "vector_fallback", str(exc))
             return None
         except SemanticError:
             return None
         if len(columns) != push:
-            del self._batch[node.uid]
-            self.batch_fallbacks += 1
+            self._demote(node, "arity_mismatch",
+                         f"batch kernel produced {len(columns)} columns, "
+                         f"filter pushes {push}")
             return None
         self.vectorized_firings += window_matrix.shape[0]
         self.batches += 1
         return columns
+
+    def _demote(self, node: Node, reason: str, detail: str) -> None:
+        """Stickily drop ``node``'s batch kernel and report the step."""
+        del self._batch[node.uid]
+        self.batch_fallbacks += 1
+        self.degradation.add("exec", f"vectorized:{node.name}", "scalar",
+                             reason, detail)
 
     # -- telemetry -------------------------------------------------------
     def flush_counters(self) -> None:

@@ -1,0 +1,416 @@
+"""Deterministic fault injection for the whole toolchain.
+
+The compile pipeline (profiling → ILP → buffers → codegen), the
+compile cache, the worker pool, the execution backends and the serving
+runtime all have failure modes that are rare in tests and common in
+production: a solver that stalls, a cache entry that a crashed writer
+left torn, a worker thread that dies, a transient per-firing soft
+error, a flaky SM.  This module injects exactly those faults — on
+purpose, deterministically — so the resilience machinery (degradation
+ladder, bounded retries, circuit breaker) is exercised by the chaos
+suite instead of trusted on faith.
+
+Design rules:
+
+* **Zero cost when disabled.**  Every instrumented site guards with
+  ``faults.is_active()`` — one module-global check, exactly like
+  :mod:`repro.obs`.  No spec parsed, no hash computed, no counter
+  touched.
+* **Deterministic, order-free decisions.**  Whether a given site
+  injects is a pure function of ``(seed, site, key)``: the decision is
+  ``blake2b(seed:site:key) / 2^64 < rate``.  No shared RNG stream
+  means no dependence on thread interleaving — a parallel compile
+  injects the *same* faults as a serial one, and identical
+  ``--fault-spec`` strings reproduce identical failures.
+* **Typed faults only.**  Injections raise :class:`~repro.errors
+  .TransientFault` subclasses (or ``OSError`` for cache I/O, matching
+  what the real world throws there); nothing is ever silently
+  swallowed or silently dropped.
+
+Activation: pass a spec string to :func:`configure`, or set
+``REPRO_FAULTS`` (the CLI's ``--fault-spec`` flag does the former).
+The spec is a comma-separated list of ``key=value`` pairs::
+
+    seed=42,solver.timeout=0.5,cache.corrupt=1.0,worker.crash=0.25
+
+Rate keys (0..1 probability per decision) are the injection sites
+listed in :data:`SITES`; ``seed`` picks the deterministic universe;
+``<site>.persist=N`` makes a hit fault the first N attempts at that
+key (so ``persist`` at or above the retry budget turns a transient
+fault into a hard one); ``filter.retries`` / ``worker.retries`` /
+``cache.retries`` / ``gpu.retries`` and ``backoff_ms`` tune the
+bounded-retry machinery.  See docs/robustness.md.
+
+Injection counters accumulate in-process always (they are how the
+chaos suite asserts an injection actually happened) and are mirrored
+into :mod:`repro.obs` as ``faults.injected{site=...}`` /
+``faults.retries{site=...}`` whenever the observability layer is on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, TypeVar, Union
+
+from . import obs
+from .errors import (
+    FaultSpecError,
+    TransientFault,
+    TransientFilterFault,
+    WorkerCrash,
+    WorkerHang,
+)
+
+T = TypeVar("T")
+
+#: Environment variable consulted when no explicit spec is configured.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: The known injection sites (rate keys of the spec).
+SITES = (
+    "solver.timeout",      # an ILP attempt is forced to time out
+    "solver.infeasible",   # an ILP attempt is forced infeasible
+    "cache.corrupt",       # a cache read observes a corrupted entry
+    "cache.io",            # a cache read/write raises OSError
+    "worker.crash",        # a pooled task dies (WorkerCrash)
+    "worker.hang",         # a pooled task hangs (WorkerHang)
+    "filter.transient",    # one firing faults (TransientFilterFault)
+    "gpu.sm_error",        # one SM errors during a simulated kernel
+)
+
+#: Non-rate knobs the spec accepts, with defaults.
+PARAM_DEFAULTS: dict[str, float] = {
+    "filter.retries": 3.0,   # re-fires after a transient filter fault
+    "worker.retries": 2.0,   # re-runs of a crashed/hung pooled task
+    "cache.retries": 2.0,    # re-reads/re-writes after a cache I/O error
+    "gpu.retries": 2.0,      # SM relaunches after a simulated SM error
+    "backoff_ms": 1.0,       # base retry backoff (doubles per attempt)
+    "hang_ms": 1.0,          # how long an injected hang blocks
+}
+
+_LOCK = threading.Lock()
+
+
+@dataclass
+class FaultSpec:
+    """A parsed, immutable-in-spirit fault universe."""
+
+    seed: int = 0
+    rates: dict[str, float] = field(default_factory=dict)
+    params: dict[str, float] = field(default_factory=dict)
+    #: Injections actually performed, per site (process totals).
+    counters: dict[str, int] = field(default_factory=dict)
+    #: Retries consumed recovering from injected faults, per site.
+    retry_counters: dict[str, int] = field(default_factory=dict)
+
+    def rate(self, site: str) -> float:
+        return self.rates.get(site, 0.0)
+
+    def param(self, name: str) -> float:
+        value = self.params.get(name)
+        if value is None:
+            value = PARAM_DEFAULTS[name]
+        return value
+
+    def persist(self, site: str) -> int:
+        """How many attempts at one key a hit keeps faulting (>= 1)."""
+        return max(1, int(self.params.get(f"{site}.persist", 1)))
+
+    def describe(self) -> str:
+        rates = ",".join(f"{k}={self.rates[k]:g}"
+                         for k in sorted(self.rates))
+        return f"seed={self.seed},{rates}" if rates else f"seed={self.seed}"
+
+
+def parse_spec(text: Union[str, "FaultSpec", None]) -> Optional[FaultSpec]:
+    """Parse a ``--fault-spec`` string; None/"" disables injection."""
+    if text is None or isinstance(text, FaultSpec):
+        return text
+    text = text.strip()
+    if not text or text.lower() in ("off", "none", "0"):
+        return None
+    spec = FaultSpec()
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise FaultSpecError(
+                f"fault spec entry {chunk!r} is not key=value "
+                f"(full spec: {text!r})")
+        key, _, raw = chunk.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if key == "seed":
+            try:
+                spec.seed = int(raw)
+            except ValueError:
+                raise FaultSpecError(
+                    f"fault seed must be an integer, got {raw!r}") \
+                    from None
+            continue
+        try:
+            value = float(raw)
+        except ValueError:
+            raise FaultSpecError(
+                f"fault spec value for {key!r} must be numeric, got "
+                f"{raw!r}") from None
+        if key in SITES:
+            if not 0.0 <= value <= 1.0:
+                raise FaultSpecError(
+                    f"fault rate {key}={value:g} outside [0, 1]")
+            spec.rates[key] = value
+        elif key in PARAM_DEFAULTS or any(
+                key == f"{site}.persist" for site in SITES):
+            if value < 0:
+                raise FaultSpecError(
+                    f"fault knob {key}={value:g} must be >= 0")
+            spec.params[key] = value
+        else:
+            known = ", ".join(SITES)
+            raise FaultSpecError(
+                f"unknown fault spec key {key!r}; rate sites: {known}; "
+                f"knobs: {', '.join(sorted(PARAM_DEFAULTS))}, "
+                f"<site>.persist")
+    return spec
+
+
+# ----------------------------------------------------------------------
+# the active spec
+# ----------------------------------------------------------------------
+_UNSET = object()
+_active: object = _UNSET   # _UNSET -> consult env on first use
+
+
+def configure(spec: Union[str, FaultSpec, None]) -> Optional[FaultSpec]:
+    """Install ``spec`` (string or parsed) as the active fault universe.
+
+    ``None`` (or an empty/"off" string) disables injection.  Returns
+    the installed spec.
+    """
+    global _active
+    parsed = parse_spec(spec)
+    _active = parsed
+    return parsed
+
+
+def reset() -> None:
+    """Forget any configured spec; the next check re-reads the env."""
+    global _active
+    _active = _UNSET
+
+
+def active() -> Optional[FaultSpec]:
+    """The active spec (resolving ``REPRO_FAULTS`` on first use)."""
+    global _active
+    if _active is _UNSET:
+        _active = parse_spec(os.environ.get(FAULTS_ENV_VAR))
+    return _active  # type: ignore[return-value]
+
+
+def is_active() -> bool:
+    spec = active()
+    return spec is not None and bool(spec.rates)
+
+
+# ----------------------------------------------------------------------
+# deterministic decisions + counters
+# ----------------------------------------------------------------------
+def _roll(seed: int, site: str, key: str) -> float:
+    """Uniform [0, 1) value, a pure function of (seed, site, key)."""
+    digest = hashlib.blake2b(f"{seed}:{site}:{key}".encode("utf-8"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64
+
+
+def should(site: str, key: str, attempt: int = 0) -> bool:
+    """Decide (deterministically) whether ``site`` faults at ``key``.
+
+    ``attempt`` is the caller's retry counter: a hit faults attempts
+    ``0 .. persist-1`` and then stops, so bounded retry recovers unless
+    the spec's ``<site>.persist`` outlasts the retry budget.
+    """
+    spec = active()
+    if spec is None:
+        return False
+    rate = spec.rate(site)
+    if rate <= 0.0 or attempt >= spec.persist(site):
+        return False
+    if rate < 1.0 and _roll(spec.seed, site, key) >= rate:
+        return False
+    _count(spec, site)
+    return True
+
+
+def _count(spec: FaultSpec, site: str) -> None:
+    with _LOCK:
+        spec.counters[site] = spec.counters.get(site, 0) + 1
+    if obs.is_enabled():
+        obs.counter("faults.injected", site=site).add(1)
+
+
+def count_retry(site: str) -> None:
+    """Record one retry spent recovering from an injected fault."""
+    spec = active()
+    if spec is None:
+        return
+    with _LOCK:
+        spec.retry_counters[site] = spec.retry_counters.get(site, 0) + 1
+    if obs.is_enabled():
+        obs.counter("faults.retries", site=site).add(1)
+
+
+def counters() -> dict[str, int]:
+    """Injection totals per site (empty when no spec is active)."""
+    spec = active()
+    if spec is None:
+        return {}
+    with _LOCK:
+        return dict(spec.counters)
+
+
+def retry_counters() -> dict[str, int]:
+    spec = active()
+    if spec is None:
+        return {}
+    with _LOCK:
+        return dict(spec.retry_counters)
+
+
+def flush_counters() -> None:
+    """Publish current totals into the obs registry as gauges.
+
+    Injection/retry counters are mirrored incrementally while obs is
+    enabled; this additionally snapshots the totals (useful when obs
+    was switched on after injection started).
+    """
+    spec = active()
+    if spec is None or not obs.is_enabled():
+        return
+    with _LOCK:
+        for site, value in spec.counters.items():
+            obs.gauge("faults.injected_total", site=site).set(value)
+        for site, value in spec.retry_counters.items():
+            obs.gauge("faults.retries_total", site=site).set(value)
+
+
+# ----------------------------------------------------------------------
+# site-specific injection helpers
+# ----------------------------------------------------------------------
+def maybe_io_error(site: str, key: str, attempt: int = 0) -> None:
+    """Raise ``OSError`` when the cache-I/O site fires (the production
+    handling path for real disk trouble is exactly the injected one)."""
+    if should(site, key, attempt):
+        raise OSError(f"injected {site} fault at {key!r} "
+                      f"(attempt {attempt})")
+
+
+def maybe_worker_fault(label: str, index: int, attempt: int = 0) -> None:
+    """Raise a typed worker fault when either worker site fires."""
+    key = f"{label}:{index}"
+    if should("worker.crash", key, attempt):
+        raise WorkerCrash(
+            f"injected worker crash in task {label}[{index}] "
+            f"(attempt {attempt})")
+    if should("worker.hang", key, attempt):
+        spec = active()
+        hang_ms = spec.param("hang_ms") if spec is not None else 0.0
+        if hang_ms > 0:
+            time.sleep(hang_ms / 1e3)
+        raise WorkerHang(
+            f"injected worker hang in task {label}[{index}] "
+            f"(attempt {attempt}; blocked {hang_ms:g} ms before the "
+            f"hang detector fired)")
+
+
+def with_filter_retries(name: str, index: int,
+                        fire: Callable[[], T]) -> T:
+    """Run one firing under transient-fault injection + bounded retry.
+
+    A firing is side-effect-free until its outputs commit (the caller
+    pops/pushes only after ``fire`` returns), so re-firing after a
+    :class:`TransientFilterFault` is safe.  The retry budget comes from
+    the spec's ``filter.retries``; a fault persisting past it escapes
+    typed.
+    """
+    spec = active()
+    retries = int(spec.param("filter.retries")) if spec is not None else 0
+    key = f"{name}:{index}"
+    attempt = 0
+    while True:
+        try:
+            if should("filter.transient", key, attempt):
+                raise TransientFilterFault(
+                    f"injected transient fault in filter {name!r} "
+                    f"firing {index} (attempt {attempt})")
+            return fire()
+        except TransientFilterFault:
+            if attempt >= retries:
+                raise
+            attempt += 1
+            count_retry("filter.transient")
+            backoff_sleep(attempt)
+
+
+def backoff_sleep(attempt: int) -> None:
+    """Deterministic exponential backoff: ``backoff_ms * 2^(n-1)``.
+
+    No jitter — jitter would need a shared RNG stream and break the
+    order-free determinism guarantee; the backoff base is tiny and
+    configurable instead.
+    """
+    spec = active()
+    base_ms = spec.param("backoff_ms") if spec is not None else 1.0
+    if base_ms <= 0:
+        return
+    time.sleep(base_ms * (2 ** max(0, attempt - 1)) / 1e3)
+
+
+def with_retries(fn: Callable[[], T], *, site: str, key: str,
+                 retries: int,
+                 retry_on: tuple = (TransientFault,)) -> T:
+    """Run ``fn``, retrying typed-transient failures with backoff.
+
+    Only exceptions in ``retry_on`` are retried (arbitrary failures
+    are not assumed idempotent); the last failure propagates typed
+    once ``retries`` is exhausted.  ``site``/``key`` feed the injection
+    decision for the attempt (via the helpers ``fn`` itself calls) and
+    the retry counters.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on:
+            if attempt >= retries:
+                raise
+            attempt += 1
+            count_retry(site)
+            backoff_sleep(attempt)
+
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultSpec",
+    "PARAM_DEFAULTS",
+    "SITES",
+    "active",
+    "backoff_sleep",
+    "configure",
+    "count_retry",
+    "counters",
+    "flush_counters",
+    "is_active",
+    "maybe_io_error",
+    "maybe_worker_fault",
+    "parse_spec",
+    "reset",
+    "retry_counters",
+    "should",
+    "with_filter_retries",
+    "with_retries",
+]

@@ -22,8 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from .. import obs
-from ..errors import SimulationError
+from .. import faults, obs
+from ..errors import GpuSmFault, SimulationError
 from ..graph.nodes import WorkEstimate
 from .bus import BusItem, simulate_shared_bus
 from .device import DeviceConfig
@@ -172,15 +172,55 @@ class GpuSimulator:
             per_sm_items.append(items)
         result = simulate_shared_bus(
             per_sm_items, self.device.mem_bandwidth_bytes_per_cycle)
+        total_cycles, finish_times = self._apply_sm_faults(
+            kernel, result.total_cycles, result.finish_times)
         bandwidth_floor = total_bytes \
             / self.device.mem_bandwidth_bytes_per_cycle
         if telemetry:
             self._record_kernel(kernel, result, total_bytes)
         return KernelResult(
-            kernel.name, result.total_cycles, result.finish_times,
+            kernel.name, total_cycles, finish_times,
             total_bytes,
-            bandwidth_bound=bandwidth_floor >= 0.5 * result.total_cycles,
+            bandwidth_bound=bandwidth_floor >= 0.5 * total_cycles,
             contention_fraction=result.contention_fraction)
+
+    def _apply_sm_faults(self, kernel: Kernel, total_cycles: float,
+                         finish_times: tuple[float, ...]
+                         ) -> tuple[float, tuple[float, ...]]:
+        """Simulated per-SM errors (the ``gpu.sm_error`` fault site).
+
+        A faulted SM relaunches its whole program — the paper's
+        execution model has no finer-grained recovery unit than a
+        kernel's per-SM work list — so every retry adds that SM's
+        original finish time to its cycles.  An error persisting past
+        the ``gpu.retries`` relaunch budget escapes as a typed
+        :class:`~repro.errors.GpuSmFault`: timing degrades gracefully,
+        correctness failures never do.
+        """
+        if not faults.is_active():
+            return total_cycles, finish_times
+        spec = faults.active()
+        retries = int(spec.param("gpu.retries"))
+        finish = list(finish_times)
+        for sm, program in enumerate(kernel.sm_programs):
+            if not program or sm >= len(finish):
+                continue
+            key = f"{kernel.name}:{sm}"
+            penalty = finish[sm]
+            hits = 0
+            while faults.should("gpu.sm_error", key, hits):
+                hits += 1
+                if hits > retries:
+                    raise GpuSmFault(
+                        f"SM {sm} failed {hits} consecutive relaunches "
+                        f"of kernel {kernel.name!r}",
+                        kernel=kernel.name, sm=sm)
+                faults.count_retry("gpu.sm_error")
+                finish[sm] += penalty
+                if obs.is_enabled():
+                    obs.counter("gpu.sm_relaunches", sm=sm).add(1)
+            total_cycles = max(total_cycles, finish[sm])
+        return total_cycles, tuple(finish)
 
     # ------------------------------------------------------------------
     # observability accumulation (only reached while obs is enabled)

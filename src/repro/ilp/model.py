@@ -15,12 +15,13 @@ backends:
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 import numpy as np
 
-from ..errors import IlpError
+from ..errors import IlpError, SolverTimeout
 from .expr import Constraint, LinearExpr, Sense, Variable, VarType
 
 
@@ -166,7 +167,8 @@ class Model:
     # ------------------------------------------------------------------
     def solve(self, backend: str = "highs",
               time_limit: Optional[float] = None,
-              mip_rel_gap: Optional[float] = None) -> Solution:
+              mip_rel_gap: Optional[float] = None,
+              deadline: Optional[float] = None) -> Solution:
         """Solve the model.
 
         ``mip_rel_gap`` loosens the optimality requirement (HiGHS
@@ -174,9 +176,29 @@ class Model:
         problem, so the II search passes a large gap to stop at the
         first incumbent rather than burning the budget proving the
         (secondary) objective optimal.
+
+        ``deadline`` is an absolute ``time.perf_counter()`` instant; a
+        solve whose per-attempt ``time_limit`` would outlive it is
+        clamped to the remaining wall clock (both backends honour
+        ``time_limit``), and a solve started at or past the deadline
+        raises :class:`SolverTimeout` instead of running at all.
         """
         if not self.variables:
             raise IlpError("model has no variables")
+        if deadline is not None:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                from .. import obs
+                if obs.is_enabled():
+                    obs.counter("ilp.deadline_hits",
+                                backend=backend).add(1)
+                raise SolverTimeout(
+                    f"solver deadline expired before model "
+                    f"{self.name!r} could be attempted",
+                    deadline_seconds=max(0.0, remaining),
+                    elapsed_seconds=-remaining)
+            time_limit = remaining if time_limit is None \
+                else min(time_limit, remaining)
         if backend == "highs":
             from .scipy_backend import solve_highs
             solution = solve_highs(self, time_limit, mip_rel_gap)

@@ -20,6 +20,8 @@ import math
 import threading
 from typing import Any, Mapping, Sequence
 
+from ..errors import ConfigError
+
 #: Histograms keep raw samples up to this count (aggregates keep
 #: updating beyond it), bounding memory for long sessions.
 HISTOGRAM_SAMPLE_CAP = 4096
@@ -46,7 +48,7 @@ class Counter:
 
     def add(self, amount: float = 1.0) -> None:
         if amount < 0:
-            raise ValueError("counters only increase; use a gauge")
+            raise ConfigError("counters only increase; use a gauge")
         with _LOCK:
             self.value += amount
 

@@ -35,7 +35,8 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
-from . import obs
+from . import faults, obs
+from .errors import ConfigError, WorkerCrash, WorkerHang
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -69,14 +70,53 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is None:
         return default_jobs()
     if jobs < 0:
-        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+        raise ConfigError(
+            f"jobs must be >= 0 (0 = all cores), got {jobs}")
     if jobs == 0:
         jobs = os.cpu_count() or 1
     return max(1, min(MAX_JOBS, jobs))
 
 
-def _run_serial(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-    return [fn(item) for item in items]
+def _worker_retry_budget() -> int:
+    spec = faults.active()
+    if spec is not None:
+        return int(spec.param("worker.retries"))
+    return int(faults.PARAM_DEFAULTS["worker.retries"])
+
+
+def _run_task(fn: Callable[[T], R], item: T, label: str,
+              index: int) -> R:
+    """One pooled task under worker-fault injection + bounded retry.
+
+    Retries cover exactly the faults this layer injects (a crashed or
+    hung task — both side-effect-free to re-run, since pooled tasks
+    return values and never mutate shared state); anything else the
+    task raises propagates untouched on the first throw.  Runs on the
+    serial path too, so ``--jobs 4`` and ``--jobs 1`` see identical
+    injections.
+    """
+    if not faults.is_active():
+        return fn(item)
+    retries = _worker_retry_budget()
+    attempt = 0
+    while True:
+        try:
+            faults.maybe_worker_fault(label, index, attempt)
+            return fn(item)
+        except (WorkerCrash, WorkerHang) as exc:
+            if attempt >= retries:
+                raise
+            attempt += 1
+            faults.count_retry("worker.crash"
+                               if isinstance(exc, WorkerCrash)
+                               else "worker.hang")
+            faults.backoff_sleep(attempt)
+
+
+def _run_serial(fn: Callable[[T], R], items: Sequence[T],
+                label: str = "task") -> list[R]:
+    return [_run_task(fn, item, label, index)
+            for index, item in enumerate(items)]
 
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
@@ -88,6 +128,17 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
     pool; exceptions propagate for the *earliest* failing item (later
     in-flight items are awaited, pending ones cancelled), matching
     what a serial loop would raise first.
+
+    Shutdown is graceful on **every** exit path, including
+    ``KeyboardInterrupt`` and fatal task errors: pending futures are
+    cancelled (counted in ``parallel.cancelled``), in-flight workers
+    are drained, and the pool's threads are joined before the
+    exception propagates — the pool is never leaked.
+
+    Transient worker faults (injected ``worker.crash``/``worker.hang``
+    sites) are retried per task with backoff up to ``worker.retries``;
+    a fault persisting past the budget escapes as the typed
+    :class:`~repro.errors.WorkerCrash`/:class:`~repro.errors.WorkerHang`.
     """
     items = list(items)
     workers = min(resolve_jobs(jobs), len(items))
@@ -95,7 +146,7 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
     if telemetry:
         obs.counter("parallel.tasks", label=label).add(len(items))
     if workers <= 1:
-        return _run_serial(fn, items)
+        return _run_serial(fn, items, label)
 
     try:
         executor = ThreadPoolExecutor(
@@ -105,7 +156,7 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
         # shutdown, OS thread limits) degrade to the serial path.
         if telemetry:
             obs.counter("parallel.fallbacks", label=label).add(1)
-        return _run_serial(fn, items)
+        return _run_serial(fn, items, label)
 
     if telemetry:
         obs.gauge("parallel.pool_size", label=label).set(workers)
@@ -114,8 +165,8 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
         if obs.is_enabled():
             with obs.span("worker", label=label, index=index,
                           thread=threading.current_thread().name):
-                return fn(item)
-        return fn(item)
+                return _run_task(fn, item, label, index)
+        return _run_task(fn, item, label, index)
 
     futures: list[Future] = []
     try:
@@ -128,9 +179,12 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
             results.append(future.result())
         return results
     finally:
-        for future in futures:
-            future.cancel()
-        executor.shutdown(wait=True)
+        cancelled = sum(1 for future in futures if future.cancel())
+        if telemetry and cancelled:
+            obs.counter("parallel.cancelled", label=label).add(cancelled)
+        # Drain: join worker threads so no pool outlives the call, even
+        # when unwinding on KeyboardInterrupt or a task failure.
+        executor.shutdown(wait=True, cancel_futures=True)
 
 
 __all__ = [

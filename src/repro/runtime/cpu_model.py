@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ConfigError
 from ..graph.graph import StreamGraph
 from ..graph.rates import SteadyState, solve_rates
 
@@ -34,7 +35,7 @@ class CpuConfig:
 
     def __post_init__(self) -> None:
         if self.clock_ghz <= 0 or self.ops_per_cycle <= 0:
-            raise ValueError("CPU config parameters must be positive")
+            raise ConfigError("CPU config parameters must be positive")
 
 
 def firing_cycles(node, config: CpuConfig = CpuConfig()) -> float:

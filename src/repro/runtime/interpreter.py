@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from itertools import islice
 from typing import Optional
 
+from .. import faults
 from ..errors import GraphError
 from ..graph.graph import Channel, StreamGraph
 from ..graph.init_schedule import InitSchedule, compute_init_schedule
@@ -100,11 +101,19 @@ class Interpreter:
                     f"firing rule violated: {node.name} input {port} has "
                     f"{len(buf)} tokens, needs {depth}")
             windows.append([buf[i] for i in range(depth)])
+        index = self.fire_counts[node.uid]
         if self._plan is not None:
-            outputs = self._plan.fire(node, windows,
-                                      index=self.fire_counts[node.uid])
+            def run():
+                return self._plan.fire(node, windows, index=index)
         else:
-            outputs = node.fire(windows, index=self.fire_counts[node.uid])
+            def run():
+                return node.fire(windows, index=index)
+        if faults.is_active():
+            # A firing is side-effect-free until its outputs commit
+            # below, so transient per-firing faults are retried here.
+            outputs = faults.with_filter_retries(node.name, index, run)
+        else:
+            outputs = run()
         self.fire_counts[node.uid] += 1
         for port in range(node.num_inputs):
             channel = self.graph.input_channel(node, port)
@@ -159,8 +168,16 @@ class Interpreter:
             matrix = token_matrix((), m, 0, 0)
         if matrix is None:
             return 0
-        columns = self._plan.batch_fire(node, matrix,
-                                        self.fire_counts[node.uid])
+        base_index = self.fire_counts[node.uid]
+        if faults.is_active():
+            # The batch is keyed by its first firing index, so a spec
+            # that faults firing i faults the batch containing i; the
+            # whole (side-effect-free) batch re-fires on retry.
+            columns = faults.with_filter_retries(
+                node.name, base_index,
+                lambda: self._plan.batch_fire(node, matrix, base_index))
+        else:
+            columns = self._plan.batch_fire(node, matrix, base_index)
         if columns is None:
             return 0
         self.fire_counts[node.uid] += m

@@ -27,6 +27,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import faults
 from ..core.configure import ConfiguredProgram
 from ..core.schedule import Schedule
 from ..errors import SchedulingError
@@ -336,9 +337,18 @@ class SwpExecutor:
                                                 invocation, sm, seq))
             fire_index = self._init_fires[node.uid] + base
             if plan is not None:
-                outputs = plan.fire(node, windows, index=fire_index)
+                def run():
+                    return plan.fire(node, windows, index=fire_index)
             else:
-                outputs = node.fire(windows, index=fire_index)
+                def run():
+                    return node.fire(windows, index=fire_index)
+            if faults.is_active():
+                # Reads happened above without mutating channel state,
+                # so a transiently faulted firing re-fires cleanly.
+                outputs = faults.with_filter_retries(
+                    node.name, fire_index, run)
+            else:
+                outputs = run()
             for port, channel_idx in enumerate(self._in_channels[node_idx]):
                 state = self._channels[channel_idx]
                 pop = node.pop_rate(port)
@@ -389,7 +399,15 @@ class SwpExecutor:
         if matrix is None:
             return False
         first_index = self._init_fires[node.uid] + first
-        columns = self._plan.batch_fire(node, matrix, first_index)
+        if faults.is_active():
+            # Keyed by the batch's first firing index; the batch has no
+            # side effects before the consumes below, so it re-fires
+            # whole on retry.
+            columns = faults.with_filter_retries(
+                node.name, first_index,
+                lambda: self._plan.batch_fire(node, matrix, first_index))
+        else:
+            columns = self._plan.batch_fire(node, matrix, first_index)
         if columns is None:
             return False
         if in_channels:

@@ -31,11 +31,18 @@ See docs/serving.md for the architecture and tuning guide.
 
 from __future__ import annotations
 
-from ..errors import ServeError, ServerOverloaded, SessionClosed
+from ..errors import (
+    ServeError,
+    ServerOverloaded,
+    SessionClosed,
+    SessionUnhealthy,
+)
 from .admission import AdmissionQueue
 from .batcher import BatchPolicy, DynamicBatcher, PlannedBatch
+from .breaker import CircuitBreaker
 from .loadgen import load_request_file, synthetic_workload
 from .request import (
+    STATUS_FAILED,
     STATUS_OK,
     STATUS_REJECTED,
     BatchRecord,
@@ -49,10 +56,12 @@ __all__ = [
     "AdmissionQueue",
     "BatchPolicy",
     "BatchRecord",
+    "CircuitBreaker",
     "DynamicBatcher",
     "PipelineSession",
     "PlannedBatch",
     "Response",
+    "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_REJECTED",
     "ServeError",
@@ -60,6 +69,7 @@ __all__ = [
     "ServeRequest",
     "ServerOverloaded",
     "SessionClosed",
+    "SessionUnhealthy",
     "SessionReport",
     "StreamServer",
     "default_session_options",

@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Optional
 
-from ..errors import ServerOverloaded, SessionClosed
+from ..errors import ConfigError, ServerOverloaded, SessionClosed
 from .request import ServeRequest
 
 
@@ -32,9 +32,9 @@ class AdmissionQueue:
     def __init__(self, session: str, *, max_requests: int,
                  max_tenant_requests: Optional[int] = None) -> None:
         if max_requests < 1:
-            raise ValueError("max_requests must be >= 1")
+            raise ConfigError("max_requests must be >= 1")
         if max_tenant_requests is not None and max_tenant_requests < 1:
-            raise ValueError("max_tenant_requests must be >= 1")
+            raise ConfigError("max_tenant_requests must be >= 1")
         self.session = session
         self.max_requests = max_requests
         self.max_tenant_requests = max_tenant_requests or max_requests
@@ -95,6 +95,39 @@ class AdmissionQueue:
         self._tenants.setdefault(request.tenant, deque()) \
             .append(request)
         self._depth += 1
+
+    def purge_expired(self, now_ms: float,
+                      deadline_ms: float) -> list[ServeRequest]:
+        """Remove and return every queued request whose per-request
+        deadline (``arrival_ms + deadline_ms``) has passed at
+        ``now_ms``; FIFO order within each tenant is preserved for the
+        survivors.  The caller owes each purged request a typed
+        ``rejected`` response — nothing is dropped silently."""
+        expired: list[ServeRequest] = []
+        for tenant in list(self._tenants):
+            queue = self._tenants[tenant]
+            kept = deque(r for r in queue
+                         if r.arrival_ms + deadline_ms > now_ms)
+            if len(kept) != len(queue):
+                expired.extend(r for r in queue
+                               if r.arrival_ms + deadline_ms <= now_ms)
+                self._depth -= len(queue) - len(kept)
+                if kept:
+                    self._tenants[tenant] = kept
+                else:
+                    del self._tenants[tenant]
+        expired.sort(key=lambda r: (r.arrival_ms, r.request_id))
+        return expired
+
+    def drain(self) -> list[ServeRequest]:
+        """Remove and return *all* queued requests (breaker-open purge),
+        in arrival order."""
+        drained = [request for queue in self._tenants.values()
+                   for request in queue]
+        drained.sort(key=lambda r: (r.arrival_ms, r.request_id))
+        self._tenants.clear()
+        self._depth = 0
+        return drained
 
     def queued_base_iterations(self) -> int:
         """Total base iterations currently queued across all tenants."""

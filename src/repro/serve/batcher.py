@@ -17,8 +17,11 @@ bound the classic batching-vs-latency tradeoff:
   queued at dispatch time).
 
 The policy also carries the admission bounds
-(``max_queue_requests`` / ``max_tenant_requests``) so one object
-describes a session's full traffic contract.
+(``max_queue_requests`` / ``max_tenant_requests``) and the resilience
+contract (``request_deadline_ms`` per-request queueing deadline,
+``breaker_failure_threshold`` / ``breaker_cooldown_ms`` for the
+per-session :class:`~repro.serve.breaker.CircuitBreaker`) so one
+object describes a session's full traffic contract.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from typing import Optional
 
 from ..errors import ServeError
 from .admission import AdmissionQueue
+from .breaker import CircuitBreaker
 from .request import ServeRequest
 from .session import PipelineSession
 
@@ -42,6 +46,15 @@ class BatchPolicy:
     max_wait_ms: float = 0.5           # batching delay bound
     max_queue_requests: int = 64       # admission: global queue bound
     max_tenant_requests: Optional[int] = None  # admission: tenant quota
+    #: Per-request queueing deadline: a request still undispatched this
+    #: many simulated ms after arrival is shed (typed, reason
+    #: ``deadline``) instead of served arbitrarily late.  None disables.
+    request_deadline_ms: Optional[float] = None
+    #: Consecutive failed batches before the session's circuit breaker
+    #: opens and admissions shed with SessionUnhealthy.
+    breaker_failure_threshold: int = 3
+    #: Simulated ms an open breaker waits before a half-open probe.
+    breaker_cooldown_ms: float = 100.0
 
     def __post_init__(self) -> None:
         if self.max_batch_iterations < 1:
@@ -55,6 +68,13 @@ class BatchPolicy:
         if self.max_tenant_requests is not None \
                 and self.max_tenant_requests < 1:
             raise ServeError("max_tenant_requests must be >= 1")
+        if self.request_deadline_ms is not None \
+                and self.request_deadline_ms <= 0:
+            raise ServeError("request_deadline_ms must be > 0")
+        if self.breaker_failure_threshold < 1:
+            raise ServeError("breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown_ms < 0:
+            raise ServeError("breaker_cooldown_ms must be >= 0")
 
 
 @dataclass
@@ -86,6 +106,10 @@ class DynamicBatcher:
             session.name,
             max_requests=policy.max_queue_requests,
             max_tenant_requests=policy.max_tenant_requests)
+        self.breaker = CircuitBreaker(
+            session.name,
+            failure_threshold=policy.breaker_failure_threshold,
+            cooldown_ms=policy.breaker_cooldown_ms)
 
     # ------------------------------------------------------------------
     def wait_deadline_ms(self) -> Optional[float]:

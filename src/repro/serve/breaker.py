@@ -1,0 +1,103 @@
+"""Per-session circuit breaker over the simulated clock.
+
+When a session's pipeline starts failing batches (executor faults, GPU
+errors), queuing more traffic behind it only converts every queued
+request into another failure after a full batching delay.  The breaker
+implements the classic three-state contract, driven entirely by the
+server's *simulated* milliseconds so replays stay deterministic:
+
+``closed``
+    Normal service.  Failures are counted; ``failure_threshold``
+    consecutive failures trip the breaker.
+``open``
+    All admissions are rejected with a typed
+    :class:`~repro.errors.SessionUnhealthy` (carrying
+    ``retry_after_ms``) until ``cooldown_ms`` of simulated time has
+    passed.
+``half_open``
+    After the cooldown, exactly one probe batch is allowed through.
+    Success closes the breaker and resets the failure count; another
+    failure re-opens it for a fresh cooldown.
+
+State transitions are mirrored into :mod:`repro.obs` as
+``serve.breaker.transitions{session=..., to=...}`` counters.
+"""
+
+from __future__ import annotations
+
+from .. import obs
+
+#: The breaker states (see module docstring).
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one served session."""
+
+    def __init__(self, session: str, *, failure_threshold: int = 3,
+                 cooldown_ms: float = 100.0) -> None:
+        self.session = session
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms = 0.0
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if obs.is_enabled():
+            obs.counter("serve.breaker.transitions",
+                        session=self.session, to=state).add(1)
+
+    def allows(self, now_ms: float) -> bool:
+        """Whether a dispatch (or admission) may proceed at ``now_ms``.
+
+        An open breaker whose cooldown has elapsed moves to half-open
+        and allows the caller through as the single probe.
+        """
+        if self.state == STATE_CLOSED:
+            return True
+        if self.state == STATE_OPEN \
+                and now_ms >= self.opened_at_ms + self.cooldown_ms:
+            self._transition(STATE_HALF_OPEN)
+        return self.state == STATE_HALF_OPEN
+
+    def retry_after_ms(self, now_ms: float) -> float:
+        """Simulated ms until the next half-open probe is admitted."""
+        if self.state != STATE_OPEN:
+            return 0.0
+        return max(0.0, self.opened_at_ms + self.cooldown_ms - now_ms)
+
+    # ------------------------------------------------------------------
+    def record_success(self, now_ms: float) -> None:
+        self.consecutive_failures = 0
+        self._transition(STATE_CLOSED)
+
+    def record_failure(self, now_ms: float) -> bool:
+        """Count one failed batch; returns True when this failure
+        trips (or re-trips) the breaker open."""
+        self.consecutive_failures += 1
+        if self.state == STATE_HALF_OPEN \
+                or self.consecutive_failures >= self.failure_threshold:
+            self.opened_at_ms = now_ms
+            self.trips += 1
+            self._transition(STATE_OPEN)
+            if obs.is_enabled():
+                obs.counter("serve.breaker.trips",
+                            session=self.session).add(1)
+            return True
+        return False
+
+
+__all__ = [
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "CircuitBreaker",
+]

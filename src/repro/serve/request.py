@@ -9,10 +9,12 @@ rounding, so a request never has to know the compiled thread
 configuration.
 
 Every submitted request produces exactly one :class:`Response`:
-``ok`` with the output tokens and latency accounting, or ``rejected``
-with a typed :class:`~repro.errors.ServerOverloaded` error.  There is
-no third outcome — the no-silent-drops invariant the load harness
-asserts.
+``ok`` with the output tokens and latency accounting, ``rejected``
+with a typed shedding error (:class:`~repro.errors.ServerOverloaded`
+or :class:`~repro.errors.SessionUnhealthy`), or ``failed`` with the
+typed :class:`~repro.errors.ReproError` the pipeline raised while the
+request's batch executed.  There is no fourth outcome — the
+no-silent-drops invariant the load harness asserts.
 """
 
 from __future__ import annotations
@@ -20,11 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import ServeError
+from ..errors import ReproError, ServeError
 
 #: Response statuses (the complete set; see module docstring).
 STATUS_OK = "ok"
 STATUS_REJECTED = "rejected"
+STATUS_FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -63,8 +66,10 @@ class Response:
     latency_ms: float = 0.0
     #: Index of the batch that served the request (-1 on rejection).
     batch_index: int = -1
-    #: Typed rejection error (ServerOverloaded), None when served.
-    error: Optional[ServeError] = None
+    #: Typed rejection/failure error (ServerOverloaded,
+    #: SessionUnhealthy, or the pipeline's ReproError), None when
+    #: served.
+    error: Optional[ReproError] = None
 
     @property
     def ok(self) -> bool:

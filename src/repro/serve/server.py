@@ -31,11 +31,18 @@ from typing import Optional, Sequence
 
 from .. import obs
 from ..compiler import CompileOptions
-from ..errors import ServeError, ServerOverloaded, SessionClosed
+from ..errors import (
+    ReproError,
+    ServeError,
+    ServerOverloaded,
+    SessionClosed,
+    SessionUnhealthy,
+)
 from ..graph.graph import StreamGraph
 from ..parallel import parallel_map
 from .batcher import BatchPolicy, DynamicBatcher
 from .request import (
+    STATUS_FAILED,
     STATUS_OK,
     STATUS_REJECTED,
     BatchRecord,
@@ -63,6 +70,7 @@ class SessionReport:
     requests: int = 0
     served: int = 0
     shed: int = 0
+    failed: int = 0                # batch executed but pipeline faulted
     base_iterations: int = 0       # base iterations delivered to clients
     macro_iterations: int = 0      # fresh steady iterations executed
     invocations: int = 0           # executor invocations (incl. fill)
@@ -107,10 +115,17 @@ class ServeReport:
 
     @property
     def shed(self) -> int:
-        return sum(1 for r in self.responses if not r.ok)
+        return sum(1 for r in self.responses
+                   if r.status == STATUS_REJECTED)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.responses
+                   if r.status == STATUS_FAILED)
 
     def describe(self) -> str:
         lines = [f"{'session':<12} {'req':>5} {'ok':>5} {'shed':>5} "
+                 f"{'fail':>5} "
                  f"{'batches':>7} {'req/batch':>9} {'speedup':>8} "
                  f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8}"]
         for name in sorted(self.sessions):
@@ -118,11 +133,13 @@ class ServeReport:
             p = s.latency_percentiles()
             lines.append(
                 f"{name:<12} {s.requests:>5} {s.served:>5} {s.shed:>5} "
+                f"{s.failed:>5} "
                 f"{s.batch_count:>7} {s.mean_batch_requests:>9.1f} "
                 f"{s.batching_speedup:>7.1f}x "
                 f"{p['p50']:>8.3f} {p['p95']:>8.3f} {p['p99']:>8.3f}")
         lines.append(f"total: {len(self.responses)} requests, "
                      f"{self.served} served, {self.shed} shed, "
+                     f"{self.failed} failed, "
                      f"{self.duration_ms:.3f} simulated ms")
         return "\n".join(lines)
 
@@ -209,8 +226,9 @@ class StreamServer:
     # ------------------------------------------------------------------
     def play(self, requests: Sequence[ServeRequest]) -> ServeReport:
         """Replay a workload through the event loop; every submitted
-        request yields exactly one response (served or typed-rejected),
-        and all queues drain before the report is returned."""
+        request yields exactly one response (served, typed-rejected, or
+        typed-failed when its batch hit a pipeline fault), and all
+        queues drain before the report is returned."""
         if not self._started:
             raise ServeError("call start() before play()")
         if self._shut_down:
@@ -229,6 +247,17 @@ class StreamServer:
         clock = 0.0
         next_arrival = 0
         batch_counter = 0
+
+        def shed(request: ServeRequest, error: ServeError,
+                 reason: str, at_ms: float) -> None:
+            """Record one typed rejection (never a silent drop)."""
+            reports[request.pipeline].shed += 1
+            if telemetry:
+                obs.counter("serve.shed", session=request.pipeline,
+                            reason=reason).add(1)
+            responses.append(Response(
+                request=request, status=STATUS_REJECTED,
+                completed_ms=at_ms, error=error))
 
         def admit_until(now: float) -> None:
             nonlocal next_arrival
@@ -250,25 +279,52 @@ class StreamServer:
                 if telemetry:
                     obs.counter("serve.requests",
                                 session=request.pipeline).add(1)
+                breaker = batcher.breaker
+                if not breaker.allows(request.arrival_ms):
+                    # Circuit open: shed at admission instead of
+                    # queueing behind a failing pipeline.
+                    shed(request, SessionUnhealthy(
+                        f"session {request.pipeline!r} circuit breaker "
+                        f"open after {breaker.consecutive_failures} "
+                        f"consecutive failures; request "
+                        f"{request.request_id} shed",
+                        session=request.pipeline, tenant=request.tenant,
+                        failures=breaker.consecutive_failures,
+                        retry_after_ms=breaker.retry_after_ms(
+                            request.arrival_ms)),
+                        "unhealthy", request.arrival_ms)
+                    continue
                 try:
                     batcher.queue.admit(request)
                 except ServerOverloaded as overloaded:
-                    report.shed += 1
-                    if telemetry:
-                        obs.counter("serve.shed",
-                                    session=request.pipeline,
-                                    reason=overloaded.reason).add(1)
-                    responses.append(Response(
-                        request=request, status=STATUS_REJECTED,
-                        completed_ms=request.arrival_ms,
-                        error=overloaded))
+                    shed(request, overloaded, overloaded.reason,
+                         request.arrival_ms)
                 if telemetry:
                     obs.gauge("serve.queue_depth",
                               session=request.pipeline) \
                         .set(batcher.queue.depth)
 
+        def shed_expired(now: float) -> None:
+            """Per-request deadlines: purge queued requests that can no
+            longer be dispatched within their latency contract."""
+            for name in self._order:
+                batcher = self._batchers[name]
+                deadline = batcher.policy.request_deadline_ms
+                if deadline is None or not batcher.queue.depth:
+                    continue
+                for request in batcher.queue.purge_expired(now, deadline):
+                    shed(request, ServerOverloaded(
+                        f"session {name!r}: request "
+                        f"{request.request_id} missed its "
+                        f"{deadline:g} ms deadline "
+                        f"(queued {now - request.arrival_ms:g} ms)",
+                        session=name, tenant=request.tenant,
+                        reason="deadline",
+                        queue_depth=batcher.queue.depth), "deadline", now)
+
         while True:
             admit_until(clock)
+            shed_expired(clock)
             ready = [name for name in self._order
                      if self._batchers[name].queue.depth]
             if not ready:
@@ -301,13 +357,51 @@ class StreamServer:
             batcher = self._batchers[name]
             batch = batcher.form_batch()
             session = batcher.session
-            cycles = session.batch_cycles(batch.new_macro_iterations)
-            new_macro, invocations = session.advance_to(
-                batch.through_base)
-            duration = session.ms(cycles)
+            report = reports[name]
+            duration = 0.0
+            try:
+                cycles = session.batch_cycles(batch.new_macro_iterations)
+                duration = session.ms(cycles)
+                new_macro, invocations = session.advance_to(
+                    batch.through_base)
+            except ReproError as fault:
+                # The pipeline faulted while executing the batch: every
+                # request in it gets a typed ``failed`` response, the
+                # breaker records the failure, and — once it trips —
+                # the queue is purged so nothing waits behind a broken
+                # executor.
+                completed = clock + duration
+                report.failed += len(batch.requests)
+                if telemetry:
+                    obs.counter("serve.failed", session=name,
+                                error=type(fault).__name__) \
+                        .add(len(batch.requests))
+                for request in batch.requests:
+                    responses.append(Response(
+                        request=request, status=STATUS_FAILED,
+                        completed_ms=completed,
+                        latency_ms=completed - request.arrival_ms,
+                        error=fault))
+                if batcher.breaker.record_failure(completed):
+                    for dropped in batcher.queue.drain():
+                        shed(dropped, SessionUnhealthy(
+                            f"session {name!r} circuit breaker opened "
+                            f"while request {dropped.request_id} was "
+                            f"queued",
+                            session=name, tenant=dropped.tenant,
+                            failures=batcher
+                            .breaker.consecutive_failures,
+                            retry_after_ms=batcher.breaker
+                            .retry_after_ms(completed)),
+                            "unhealthy", completed)
+                if telemetry:
+                    obs.gauge("serve.queue_depth", session=name) \
+                        .set(batcher.queue.depth)
+                clock = completed
+                continue
+            batcher.breaker.record_success(clock + duration)
             completed = clock + duration
 
-            report = reports[name]
             record = BatchRecord(
                 index=batch_counter, session=name,
                 requests=len(batch.requests),

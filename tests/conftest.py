@@ -11,9 +11,17 @@ compiling twice inside one test.
 
 import pytest
 
+from repro import faults
+
 
 @pytest.fixture(autouse=True)
 def _isolated_parallel_and_cache_env(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR",
                        str(tmp_path / "compile-cache"))
     monkeypatch.delenv("REPRO_JOBS", raising=False)
+    # Fault injection must never leak across tests: clear both the
+    # environment spec and any spec a previous test configured.
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()

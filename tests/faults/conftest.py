@@ -1,0 +1,32 @@
+"""Shared helpers for the chaos (fault-injection) suite.
+
+Every test here installs a fault spec explicitly via :func:`inject`
+and relies on the suite-wide autouse fixture (tests/conftest.py) to
+reset the active spec afterwards, so specs never leak across tests.
+Backoffs are tuned to effectively zero to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro import faults
+
+#: Spec suffix that makes retries effectively free (no real sleeping).
+FAST = "backoff_ms=0,hang_ms=0"
+
+
+@contextlib.contextmanager
+def inject(spec: str):
+    """Install ``spec`` (with fast backoff) for the enclosed block."""
+    installed = faults.configure(f"{spec},{FAST}")
+    try:
+        yield installed
+    finally:
+        faults.reset()
+
+
+def sink_streams(graph, outputs):
+    """uid-keyed interpreter outputs -> name-keyed (uids differ
+    between two builds of the same app)."""
+    return {node.name: outputs[node.uid] for node in graph.sinks}

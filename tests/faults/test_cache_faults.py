@@ -1,0 +1,167 @@
+"""Cache resilience: corruption and I/O faults degrade to misses.
+
+The contract under test (see docs/robustness.md): a cache can lie,
+rot, or disappear, and the compiler must still produce the same
+artifact — corrupt entries become misses, transient I/O errors are
+retried with backoff, persistent I/O errors degrade to a miss (reads)
+or leave the result uncached (writes), and no reader ever observes a
+partially-written entry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import faults
+from repro.cache import CACHE_FORMAT_VERSION, CompileCache
+from repro.compiler import CompileOptions, compile_stream_program
+
+from .conftest import inject
+from .test_ladder import chain_graph
+
+KEY = "a" * 16
+PAYLOAD = {"ii": 42.0, "tiles": [1, 2, 3]}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    c = CompileCache(tmp_path / "cache")
+    c.put("schedule", KEY, PAYLOAD)
+    return c
+
+
+class TestCorruption:
+    def test_injected_corruption_is_a_miss(self, cache):
+        with inject("seed=1,cache.corrupt=1.0"):
+            assert cache.get("schedule", KEY) is None
+
+    def test_injected_corruption_never_unlinks_real_files(self, cache):
+        path = cache._entry_path("schedule", KEY)
+        with inject("seed=1,cache.corrupt=1.0"):
+            cache.get("schedule", KEY)
+        assert path.exists()
+        # Fault-free read afterwards: the healthy entry is intact.
+        assert cache.get("schedule", KEY) == PAYLOAD
+
+    def test_real_corruption_is_unlinked_for_overwrite(self, cache):
+        path = cache._entry_path("schedule", KEY)
+        path.write_text("{ not json", encoding="utf-8")
+        assert cache.get("schedule", KEY) is None
+        assert not path.exists()
+
+    def test_envelope_mismatch_is_a_miss(self, cache):
+        path = cache._entry_path("schedule", KEY)
+        envelope = {"format": CACHE_FORMAT_VERSION, "stage": "schedule",
+                    "key": "somebody-else", "data": PAYLOAD}
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get("schedule", KEY) is None
+
+
+class TestIoFaults:
+    def test_transient_read_error_retries_and_recovers(self, cache):
+        with inject("seed=1,cache.io=1.0,cache.io.persist=2,"
+                    "cache.retries=2"):
+            assert cache.get("schedule", KEY) == PAYLOAD
+            assert faults.retry_counters()["cache.io"] == 2
+
+    def test_persistent_read_error_degrades_to_miss(self, cache):
+        path = cache._entry_path("schedule", KEY)
+        with inject("seed=1,cache.io=1.0,cache.io.persist=99,"
+                    "cache.retries=2"):
+            assert cache.get("schedule", KEY) is None
+        assert path.exists()                     # never unlinked
+        assert cache.get("schedule", KEY) == PAYLOAD
+
+    def test_transient_write_error_retries_and_lands(self, tmp_path):
+        cache = CompileCache(tmp_path / "cache")
+        with inject("seed=1,cache.io=1.0,cache.io.persist=1,"
+                    "cache.retries=2"):
+            cache.put("schedule", KEY, PAYLOAD)
+        assert cache.get("schedule", KEY) == PAYLOAD
+
+    def test_persistent_write_error_leaves_uncached(self, tmp_path):
+        cache = CompileCache(tmp_path / "cache")
+        with inject("seed=1,cache.io=1.0,cache.io.persist=99,"
+                    "cache.retries=2"):
+            cache.put("schedule", KEY, PAYLOAD)  # must not raise
+        assert cache.get("schedule", KEY) is None
+        # No temp droppings either.
+        leftovers = [p for p in (tmp_path / "cache").rglob("*")
+                     if p.is_file()]
+        assert leftovers == []
+
+
+class TestCompileThroughFaultyCache:
+    OPTIONS = CompileOptions(scheme="swp", coarsening=1)
+
+    def test_corrupt_cache_recomputes_same_artifact(self, tmp_path):
+        cache = CompileCache(tmp_path / "cache")
+        reference = compile_stream_program(chain_graph(), self.OPTIONS,
+                                           cache=cache)
+        with inject("seed=1,cache.corrupt=1.0"):
+            faulted = compile_stream_program(chain_graph(),
+                                             self.OPTIONS, cache=cache)
+            assert faults.counters()["cache.corrupt"] > 0
+        assert not faulted.degraded
+        assert faulted.search.schedule.ii == reference.search.schedule.ii
+        # The poisoned run recomputed; the cache itself is unharmed.
+        warm = compile_stream_program(chain_graph(), self.OPTIONS,
+                                      cache=cache)
+        assert warm.search.schedule.ii == reference.search.schedule.ii
+
+    def test_io_faulted_compile_still_succeeds(self, tmp_path):
+        cache = CompileCache(tmp_path / "cache")
+        with inject("seed=2,cache.io=0.5"):
+            compiled = compile_stream_program(chain_graph(),
+                                              self.OPTIONS, cache=cache)
+        assert not compiled.degraded
+        assert compiled.search.schedule.ii > 0
+
+
+class TestTornWriteProperty:
+    """Satellite 3: racing writers + injected corruption never yield a
+    partial artifact — every read is a miss or the complete payload."""
+
+    def test_racing_writers_never_expose_partial_entries(self, tmp_path):
+        cache = CompileCache(tmp_path / "cache")
+        payloads = {f"{i:02d}" + "f" * 14: {"who": i,
+                                            "blob": list(range(50))}
+                    for i in range(4)}
+        stop = threading.Event()
+        bad = []
+
+        def writer(key, payload):
+            while not stop.is_set():
+                cache.put("schedule", key, payload)
+
+        def reader():
+            while not stop.is_set():
+                for key, expected in payloads.items():
+                    got = cache.get("schedule", key)
+                    if got is not None and got != expected:
+                        bad.append((key, got))
+
+        with inject("seed=7,cache.corrupt=0.3,cache.io=0.2,"
+                    "cache.io.persist=1"):
+            threads = [threading.Thread(target=writer, args=item)
+                       for item in payloads.items()]
+            threads.append(threading.Thread(target=reader))
+            threads.append(threading.Thread(target=reader))
+            for t in threads:
+                t.start()
+            for _ in range(200):
+                for key, expected in payloads.items():
+                    got = cache.get("schedule", key)
+                    if got is not None and got != expected:
+                        bad.append((key, got))
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        assert bad == []
+        # Once the dust settles, every entry reads back whole.
+        for key, expected in payloads.items():
+            assert cache.get("schedule", key) == expected

@@ -1,0 +1,58 @@
+"""Satellite: every error this library raises is a typed ReproError.
+
+Two guards: an import-level check that every exception class exported
+by :mod:`repro.errors` subclasses :class:`ReproError`, and a
+lint-style sweep of the source tree for bare ``raise ValueError`` /
+``raise RuntimeError`` statements, which would hand callers an
+untyped, uncatchable-by-family exception.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+from pathlib import Path
+
+import repro.errors as errors_mod
+from repro.errors import ConfigError, FaultSpecError, ReproError
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Raise statements that bypass the typed hierarchy.  ``_EnvelopeError``
+#: in cache.py is the sanctioned internal-control-flow exception (a
+#: ValueError subclass caught three lines below its raise), so only the
+#: builtin names are outlawed.
+BARE_RAISE = re.compile(
+    r"raise\s+(ValueError|RuntimeError|Exception)\s*\(")
+
+
+class TestHierarchy:
+    def test_every_exported_exception_is_a_repro_error(self):
+        classes = [obj for _, obj in inspect.getmembers(errors_mod)
+                   if inspect.isclass(obj)
+                   and issubclass(obj, BaseException)]
+        assert classes, "repro.errors exports no exceptions?"
+        rogue = [cls.__name__ for cls in classes
+                 if not issubclass(cls, ReproError)]
+        assert rogue == []
+
+    def test_config_errors_still_catchable_as_value_error(self):
+        # Callers written against the old bare-ValueError contract must
+        # keep working: the typed classes multiply inherit.
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(FaultSpecError, ValueError)
+
+
+class TestNoBareRaises:
+    def test_source_tree_has_no_untyped_raises(self):
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), 1):
+                if BARE_RAISE.search(line):
+                    offenders.append(
+                        f"{path.relative_to(SRC)}:{lineno}: "
+                        f"{line.strip()}")
+        assert offenders == [], (
+            "bare builtin raises found (use a repro.errors class "
+            "instead):\n" + "\n".join(offenders))

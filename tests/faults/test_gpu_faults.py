@@ -1,0 +1,104 @@
+"""Per-SM GPU fault injection: relaunches stretch timing, never lie.
+
+The execution model's recovery unit is a kernel's per-SM work list
+(there is nothing finer in the paper's machine model), so an injected
+``gpu.sm_error`` relaunches that SM's whole program — deterministic
+cycle penalties, typed :class:`GpuSmFault` once the relaunch budget is
+exhausted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults, obs
+from repro.errors import GpuSmFault, ReproError
+from repro.gpu import (
+    GEFORCE_8800_GTS_512 as DEV,
+    FilterWork,
+    GpuSimulator,
+    Kernel,
+)
+from repro.graph import WorkEstimate
+
+from .conftest import inject
+
+
+def work(name="w", ops=64):
+    return FilterWork(name, WorkEstimate(compute_ops=ops, loads=4,
+                                         stores=4, registers=12), 128)
+
+
+def make_kernel(num_sms=4):
+    return Kernel("k", [[work(f"f{i}", ops=32 * (i + 1))]
+                        for i in range(num_sms)])
+
+
+class TestSmRelaunch:
+    sim = GpuSimulator(DEV)
+
+    def test_relaunch_adds_deterministic_penalty(self):
+        kernel = make_kernel()
+        clean = self.sim.simulate_kernel(kernel)
+        with inject("seed=4,gpu.sm_error=1.0,gpu.sm_error.persist=1,"
+                    "gpu.retries=2"):
+            faulted = self.sim.simulate_kernel(kernel)
+            assert faults.counters()["gpu.sm_error"] > 0
+        # One relaunch per active SM: each SM's cycles exactly double.
+        for sm, baseline in enumerate(clean.per_sm_cycles):
+            assert faulted.per_sm_cycles[sm] == pytest.approx(
+                2 * baseline)
+        assert faulted.cycles >= clean.cycles
+
+    def test_same_seed_same_cycles(self):
+        kernel = make_kernel()
+
+        def run():
+            with inject("seed=21,gpu.sm_error=0.5,gpu.retries=4"):
+                return self.sim.simulate_kernel(kernel).cycles
+
+        assert run() == run()
+
+    def test_seed_selects_which_sms_fault(self):
+        kernel = make_kernel(num_sms=8)
+
+        def faulted_sms(seed):
+            with inject(f"seed={seed},gpu.sm_error=0.5,gpu.retries=4"):
+                result = self.sim.simulate_kernel(kernel)
+            clean = self.sim.simulate_kernel(kernel)
+            return {sm for sm in range(8)
+                    if result.per_sm_cycles[sm]
+                    != clean.per_sm_cycles[sm]}
+
+        assert faulted_sms(1) != faulted_sms(3)
+
+    def test_exhausted_relaunch_budget_escapes_typed(self):
+        kernel = make_kernel()
+        with inject("seed=4,gpu.sm_error=1.0,gpu.sm_error.persist=99,"
+                    "gpu.retries=2"):
+            with pytest.raises(GpuSmFault) as excinfo:
+                self.sim.simulate_kernel(kernel)
+        assert isinstance(excinfo.value, ReproError)
+        assert excinfo.value.kernel == "k"
+        assert excinfo.value.sm >= 0
+
+    def test_idle_sms_never_fault(self):
+        kernel = Kernel("k", [[work()]] + [[] for _ in range(15)])
+        with inject("seed=4,gpu.sm_error=1.0,gpu.sm_error.persist=1,"
+                    "gpu.retries=2"):
+            result = self.sim.simulate_kernel(kernel)
+        assert all(c == 0 for c in result.per_sm_cycles[1:])
+
+    def test_relaunches_counted_in_obs(self):
+        kernel = make_kernel()
+        obs.enable(reset=True)
+        try:
+            with inject("seed=4,gpu.sm_error=1.0,"
+                        "gpu.sm_error.persist=1,gpu.retries=2"):
+                self.sim.simulate_kernel(kernel)
+            counters = obs.REGISTRY.snapshot()["counters"]
+            relaunches = sum(v for k, v in counters.items()
+                             if k.startswith("gpu.sm_relaunches"))
+            assert relaunches == kernel.active_sms
+        finally:
+            obs.disable()

@@ -1,0 +1,199 @@
+"""The compiler's degradation ladder: ILP → heuristic → SAS.
+
+Every rung must (a) be recorded machine-readably on the compile
+artifact and in ``degradation.steps``, never silently, (b) produce a
+schedule whose pipelined execution is byte-identical to the reference
+interpreter, and (c) be disabled entirely by
+``allow_degraded=False`` — then the typed solver error escapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compiler as compiler_mod
+from repro import obs
+from repro.compiler import CompileOptions, compile_stream_program
+from repro.core import configure_program, uniform_config
+from repro.core.heuristic import heuristic_schedule
+from repro.errors import SchedulingError, SolverTimeout
+from repro.graph import Filter, Pipeline, flatten, indexed_source
+from repro.runtime.swp_executor import verify_against_reference
+
+from ..helpers import sink
+from .conftest import inject
+
+
+def chain_graph(name="chain", stages=3):
+    elements = [indexed_source("gen", push=1)]
+    for i in range(stages):
+        elements.append(Filter(f"f{i}", pop=1, push=1,
+                               work=lambda w, _i=i: [w[0] + _i]))
+    elements.append(sink(1, "out"))
+    return flatten(Pipeline(elements, name=name), name=name)
+
+
+OPTIONS = CompileOptions(scheme="swp", coarsening=1,
+                         attempt_budget_seconds=10.0)
+
+
+class TestHeuristicRung:
+    def test_injected_solver_timeouts_degrade_to_heuristic(self):
+        graph = chain_graph()
+        with inject("seed=1,solver.timeout=1.0"):
+            compiled = compile_stream_program(graph, OPTIONS)
+        assert compiled.degraded
+        (event,) = compiled.degradation.events
+        assert event.stage == "schedule"
+        assert event.from_.startswith("ilp:")
+        assert event.to == "heuristic"
+        assert event.reason in ("solver_timeout", "search_exhausted")
+        payload = compiled.degradation.to_payload()
+        assert payload["degraded"] is True
+        assert payload["final_strategy"] == "heuristic"
+        assert payload["events"][0]["from"] == event.from_
+
+    def test_degraded_schedule_executes_byte_identically(self):
+        graph = chain_graph()
+        with inject("seed=1,solver.timeout=1.0"):
+            compiled = compile_stream_program(graph, OPTIONS)
+        assert compiled.degraded
+        # verify_against_reference raises SchedulingError on any
+        # token-level divergence from the reference interpreter.
+        verify_against_reference(compiled.program,
+                                 compiled.search.schedule)
+
+    def test_search_deadline_without_faults_expires_typed(self):
+        graph = chain_graph()
+        options = CompileOptions(scheme="swp", coarsening=1,
+                                 search_deadline_seconds=1e-9,
+                                 allow_degraded=False)
+        with pytest.raises(SolverTimeout) as excinfo:
+            compile_stream_program(graph, options)
+        assert "deadline" in str(excinfo.value)
+        assert excinfo.value.deadline_seconds >= 0.0
+        assert excinfo.value.elapsed_seconds >= 0.0
+
+    def test_search_deadline_degrades_when_allowed(self):
+        graph = chain_graph()
+        options = CompileOptions(scheme="swp", coarsening=1,
+                                 search_deadline_seconds=1e-9)
+        compiled = compile_stream_program(graph, options)
+        assert compiled.degraded
+        assert compiled.degradation.final_strategy == "heuristic"
+        assert compiled.degradation.events[0].reason == "solver_timeout"
+
+    def test_allow_degraded_false_raises_typed(self):
+        graph = chain_graph()
+        options = CompileOptions(scheme="swp", coarsening=1,
+                                 attempt_budget_seconds=10.0,
+                                 allow_degraded=False)
+        with inject("seed=1,solver.timeout=1.0"):
+            with pytest.raises((SolverTimeout, SchedulingError)):
+                compile_stream_program(graph, options)
+
+    def test_degradation_steps_counted_in_obs(self):
+        graph = chain_graph()
+        obs.enable(reset=True)
+        try:
+            with inject("seed=1,solver.timeout=1.0"):
+                compile_stream_program(graph, OPTIONS)
+            counters = obs.REGISTRY.snapshot()["counters"]
+            assert any(key.startswith("degradation.steps")
+                       and "heuristic" in key
+                       for key in counters)
+        finally:
+            obs.disable()
+
+
+class TestSasRung:
+    def test_heuristic_failure_falls_through_to_sas(self, monkeypatch):
+        graph = chain_graph()
+
+        def broken(problem):
+            raise SchedulingError("injected: no feasible packing")
+
+        monkeypatch.setattr(compiler_mod, "heuristic_schedule", broken)
+        with inject("seed=1,solver.timeout=1.0"):
+            compiled = compile_stream_program(graph, OPTIONS)
+        assert compiled.degraded
+        stages = [(e.from_, e.to) for e in compiled.degradation.events]
+        assert stages[-1][1] == "sas"
+        assert compiled.degradation.final_strategy == "sas"
+        # The SAS rung produces a serial plan, not an SWP schedule.
+        assert compiled.sas_plan is not None
+        assert compiled.speedup > 0
+
+    def test_sas_rung_never_silent(self, monkeypatch, capsys):
+        graph = chain_graph()
+        monkeypatch.setattr(
+            compiler_mod, "heuristic_schedule",
+            lambda problem: (_ for _ in ()).throw(
+                SchedulingError("injected")))
+        with inject("seed=1,solver.timeout=1.0"):
+            compiled = compile_stream_program(graph, OPTIONS)
+        # Machine-readable: both ladder steps present with reasons.
+        reasons = [e.reason for e in compiled.degradation.events]
+        assert len(reasons) == 2
+        assert "no_feasible_packing" in reasons
+
+
+class TestHeuristicScheduler:
+    """The middle rung in isolation: valid schedules on real problems."""
+
+    def test_heuristic_schedule_is_valid_and_executes(self):
+        graph = chain_graph(stages=4)
+        program = configure_program(
+            graph, uniform_config(graph, threads=4), 4)
+        schedule = heuristic_schedule(program.problem)
+        schedule.validate()
+        verify_against_reference(program, schedule)
+
+    def test_heuristic_respects_mii_bound(self):
+        from repro.core.mii import compute_mii
+        graph = chain_graph(stages=4)
+        program = configure_program(
+            graph, uniform_config(graph, threads=4), 4)
+        schedule = heuristic_schedule(program.problem)
+        assert schedule.ii >= compute_mii(program.problem).lower_bound
+
+
+class TestDegradedNotCached:
+    def test_degraded_schedule_is_not_written_to_cache(self, tmp_path):
+        from repro.cache import CompileCache
+        graph = chain_graph()
+        cache = CompileCache(tmp_path / "cache")
+        with inject("seed=1,solver.timeout=1.0"):
+            degraded = compile_stream_program(graph, OPTIONS,
+                                              cache=cache)
+        assert degraded.degraded
+        # A fault-free compile against the same cache must not reuse a
+        # poisoned (heuristic) schedule: it runs the real ILP.
+        clean = compile_stream_program(chain_graph(), OPTIONS,
+                                       cache=cache)
+        assert not clean.degraded
+        assert clean.search.schedule.ii <= degraded.search.schedule.ii
+
+
+class TestExecPlanDegradation:
+    def test_batch_fallback_recorded_on_shared_ladder(self):
+        import numpy
+        from repro.exec.plan import ExecPlan
+        from repro.exec.vectorize import VectorFallback
+        from repro.graph.nodes import Filter as FilterNode
+
+        node = FilterNode("vec", pop=1, push=1, work=lambda w: [w[0]])
+        plan = ExecPlan([], "vectorized")
+        plan._batch[node.uid] = (
+            lambda matrix: (_ for _ in ()).throw(
+                VectorFallback("zero in divisor column")),
+            False, 1)
+        matrix = numpy.zeros((2, 1))
+        assert plan.batch_fire(node, matrix) is None
+        assert plan.degradation.degraded
+        (event,) = plan.degradation.events
+        assert event.stage == "exec"
+        assert event.to == "scalar"
+        assert event.reason == "vector_fallback"
+        assert not plan.wants_batch(node)      # sticky
+        assert plan.batch_fallbacks == 1

@@ -1,0 +1,203 @@
+"""Serving under fire: typed failures, circuit breaking, deadlines.
+
+The serving contract: every submitted request yields exactly one
+response — served, typed-rejected, or typed-failed — under every fault
+class, and a replay with identical spec and workload is bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ReproError,
+    ServerOverloaded,
+    SessionUnhealthy,
+    TransientFilterFault,
+)
+from repro.serve import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    BatchPolicy,
+    ServeRequest,
+    StreamServer,
+)
+
+from repro.cache import CompileCache
+
+from ..serve.conftest import SERVE_OPTIONS, toy_graph
+from .conftest import inject
+
+PERSISTENT = ("seed=9,filter.transient=1.0,"
+              "filter.transient.persist=99,filter.retries=1")
+
+
+@pytest.fixture(scope="module")
+def serve_cache(tmp_path_factory):
+    return CompileCache(tmp_path_factory.mktemp("faults-serve-cache"))
+
+
+@pytest.fixture
+def make_server(serve_cache):
+    def make(policy=None, **kwargs):
+        kwargs.setdefault("options", SERVE_OPTIONS)
+        kwargs.setdefault("cache", serve_cache)
+        server = StreamServer(policy=policy or BatchPolicy(), **kwargs)
+        server.register("toy", toy_graph("toy"))
+        server.start()
+        return server
+    return make
+
+
+def request(arrival=0.0, tenant="a", iterations=1):
+    return ServeRequest(pipeline="toy", tenant=tenant,
+                        iterations=iterations, arrival_ms=arrival)
+
+
+class TestTypedFailures:
+    def test_pipeline_fault_fails_batch_typed(self, make_server):
+        server = make_server(policy=BatchPolicy(
+            max_wait_ms=0.0, breaker_failure_threshold=100))
+        workload = [request(arrival=0.0) for _ in range(4)]
+        with inject(PERSISTENT):
+            report = server.play(workload)
+        assert len(report.responses) == len(workload)
+        assert report.failed == 4
+        for response in report.responses:
+            assert response.status == STATUS_FAILED
+            assert isinstance(response.error, TransientFilterFault)
+            assert isinstance(response.error, ReproError)
+
+    def test_no_silent_drops_under_mixed_faults(self, make_server):
+        server = make_server(policy=BatchPolicy(
+            max_wait_ms=0.5, max_queue_requests=6,
+            breaker_failure_threshold=2, breaker_cooldown_ms=20.0))
+        workload = [request(arrival=2.0 * i, tenant=f"t{i % 3}")
+                    for i in range(24)]
+        with inject("seed=17,filter.transient=0.3,filter.retries=0"):
+            report = server.play(workload)
+        assert len(report.responses) == len(workload)
+        statuses = {STATUS_OK: 0, STATUS_REJECTED: 0, STATUS_FAILED: 0}
+        for response in report.responses:
+            statuses[response.status] += 1
+            if response.status != STATUS_OK:
+                assert isinstance(response.error, ReproError)
+        assert sum(statuses.values()) == len(workload)
+
+    def test_replay_is_bit_identical(self, make_server):
+        def run():
+            server = make_server(policy=BatchPolicy(
+                max_wait_ms=0.5, breaker_failure_threshold=2,
+                breaker_cooldown_ms=20.0))
+            workload = [request(arrival=2.0 * i) for i in range(24)]
+            with inject("seed=17,filter.transient=0.3,"
+                        "filter.retries=0"):
+                report = server.play(workload)
+            return [(r.status, r.completed_ms, r.latency_ms,
+                     type(r.error).__name__ if r.error else None)
+                    for r in report.responses]
+
+        assert run() == run()
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_and_sheds_queued_and_arriving(
+            self, make_server):
+        server = make_server(policy=BatchPolicy(
+            max_wait_ms=0.0, breaker_failure_threshold=1,
+            breaker_cooldown_ms=1000.0))
+        workload = [request(arrival=2.0 * i) for i in range(12)]
+        with inject(PERSISTENT):
+            report = server.play(workload)
+        failed = [r for r in report.responses
+                  if r.status == STATUS_FAILED]
+        unhealthy = [r for r in report.responses
+                     if r.status == STATUS_REJECTED]
+        assert len(failed) >= 1
+        assert len(failed) + len(unhealthy) == len(workload)
+        for response in unhealthy:
+            assert isinstance(response.error, SessionUnhealthy)
+            assert response.error.retry_after_ms > 0
+        batcher = server._batchers["toy"]
+        assert batcher.breaker.trips == 1
+        assert batcher.breaker.state == "open"
+
+    def test_half_open_probe_recovers_session(self, make_server,
+                                              monkeypatch):
+        server = make_server(policy=BatchPolicy(
+            max_wait_ms=0.0, breaker_failure_threshold=1,
+            breaker_cooldown_ms=10.0))
+        session = server.session("toy")
+        real_advance = session.advance_to
+        failures = {"left": 1}
+
+        def flaky_advance(through_base):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise TransientFilterFault("injected executor fault")
+            return real_advance(through_base)
+
+        monkeypatch.setattr(session, "advance_to", flaky_advance)
+        # Request 0 fails and trips the breaker; request 1 lands inside
+        # the cooldown and is shed; request 2 arrives after cooldown,
+        # becomes the half-open probe, succeeds, and closes the circuit
+        # for the rest.
+        workload = [request(arrival=0.0), request(arrival=5.0),
+                    request(arrival=50.0), request(arrival=55.0)]
+        report = server.play(workload)
+        statuses = [r.status for r in report.responses]
+        assert statuses[0] == STATUS_FAILED
+        assert statuses[1] == STATUS_REJECTED
+        assert statuses[2] == STATUS_OK
+        assert statuses[3] == STATUS_OK
+        breaker = server._batchers["toy"].breaker
+        assert breaker.state == "closed"
+        assert breaker.trips == 1
+
+    def test_breaker_replay_deterministic(self, make_server):
+        def run():
+            server = make_server(policy=BatchPolicy(
+                max_wait_ms=0.0, breaker_failure_threshold=1,
+                breaker_cooldown_ms=1000.0))
+            with inject(PERSISTENT):
+                report = server.play(
+                    [request(arrival=2.0 * i) for i in range(12)])
+            return [(r.status, r.completed_ms)
+                    for r in report.responses]
+
+        assert run() == run()
+
+
+class TestRequestDeadlines:
+    def test_queued_requests_past_deadline_are_shed(self, make_server,
+                                                    monkeypatch):
+        server = make_server(policy=BatchPolicy(
+            max_wait_ms=0.0, max_batch_requests=1,
+            request_deadline_ms=10.0))
+        session = server.session("toy")
+        # Make every batch take far longer than the deadline, so the
+        # queued tail behind the first dispatch must expire.
+        monkeypatch.setattr(session, "batch_cycles",
+                            lambda new_macro: 1e9)
+        workload = [request(arrival=0.0) for _ in range(6)]
+        report = server.play(workload)
+        assert len(report.responses) == len(workload)
+        ok = [r for r in report.responses if r.status == STATUS_OK]
+        deadline = [r for r in report.responses
+                    if r.status == STATUS_REJECTED]
+        assert len(ok) == 1
+        assert len(deadline) == 5
+        for response in deadline:
+            assert isinstance(response.error, ServerOverloaded)
+            assert response.error.reason == "deadline"
+
+    def test_no_deadline_policy_never_sheds_for_age(self, make_server,
+                                                    monkeypatch):
+        server = make_server(policy=BatchPolicy(
+            max_wait_ms=0.0, max_batch_requests=1))
+        session = server.session("toy")
+        monkeypatch.setattr(session, "batch_cycles",
+                            lambda new_macro: 1e9)
+        report = server.play([request(arrival=0.0) for _ in range(6)])
+        assert all(r.status == STATUS_OK for r in report.responses)

@@ -1,0 +1,140 @@
+"""Fault-spec parsing, deterministic decisions, and zero-cost gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultSpecError, ReproError
+
+from .conftest import inject
+
+
+class TestParseSpec:
+    def test_empty_and_off_disable(self):
+        assert faults.parse_spec(None) is None
+        assert faults.parse_spec("") is None
+        assert faults.parse_spec("off") is None
+        assert faults.parse_spec("none") is None
+
+    def test_rates_params_and_seed(self):
+        spec = faults.parse_spec(
+            "seed=42,solver.timeout=0.5,cache.corrupt=1.0,"
+            "filter.retries=5,cache.io.persist=3")
+        assert spec.seed == 42
+        assert spec.rate("solver.timeout") == 0.5
+        assert spec.rate("cache.corrupt") == 1.0
+        assert spec.rate("worker.crash") == 0.0
+        assert spec.param("filter.retries") == 5
+        assert spec.persist("cache.io") == 3
+        assert spec.persist("cache.corrupt") == 1
+
+    def test_describe_round_trips_rates(self):
+        spec = faults.parse_spec("seed=7,worker.crash=0.25")
+        assert spec.describe() == "seed=7,worker.crash=0.25"
+
+    @pytest.mark.parametrize("bad", [
+        "solver.timeout",            # not key=value
+        "seed=abc",                  # non-integer seed
+        "solver.timeout=high",       # non-numeric rate
+        "solver.timeout=1.5",        # rate outside [0, 1]
+        "cache.corrupt=-0.1",        # rate outside [0, 1]
+        "warp.drive=1.0",            # unknown site
+        "backoff_ms=-1",             # negative knob
+    ])
+    def test_bad_specs_raise_typed(self, bad):
+        with pytest.raises(FaultSpecError):
+            faults.parse_spec(bad)
+
+    def test_fault_spec_error_is_repro_error(self):
+        assert issubclass(FaultSpecError, ReproError)
+        assert issubclass(FaultSpecError, ValueError)
+
+
+class TestDecisions:
+    def test_inactive_by_default(self):
+        assert not faults.is_active()
+        assert not faults.should("worker.crash", "any")
+        assert faults.counters() == {}
+
+    def test_env_var_activates(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR,
+                           "seed=1,worker.crash=1.0")
+        faults.reset()
+        assert faults.is_active()
+        assert faults.should("worker.crash", "k")
+
+    def test_rate_one_always_fires_rate_zero_never(self):
+        with inject("seed=3,worker.crash=1.0"):
+            assert all(faults.should("worker.crash", f"k{i}")
+                       for i in range(32))
+            assert not any(faults.should("worker.hang", f"k{i}")
+                           for i in range(32))
+
+    def test_decisions_are_deterministic_and_order_free(self):
+        def fire_set(keys):
+            with inject("seed=11,cache.corrupt=0.5"):
+                return {k for k in keys if
+                        faults.should("cache.corrupt", k)}
+
+        keys = [f"entry-{i}" for i in range(200)]
+        forward = fire_set(keys)
+        backward = fire_set(list(reversed(keys)))
+        assert forward == backward
+        # A fair-coin rate actually splits the key space.
+        assert 0 < len(forward) < len(keys)
+
+    def test_seed_changes_the_universe(self):
+        def fire_set(seed):
+            with inject(f"seed={seed},cache.corrupt=0.5"):
+                return {i for i in range(200)
+                        if faults.should("cache.corrupt", f"e{i}")}
+
+        assert fire_set(1) != fire_set(2)
+
+    def test_persist_gates_attempts(self):
+        with inject("seed=3,filter.transient=1.0,"
+                    "filter.transient.persist=2"):
+            assert faults.should("filter.transient", "f:0", attempt=0)
+            assert faults.should("filter.transient", "f:0", attempt=1)
+            assert not faults.should("filter.transient", "f:0",
+                                     attempt=2)
+
+    def test_counters_accumulate(self):
+        with inject("seed=3,worker.crash=1.0"):
+            for i in range(5):
+                faults.should("worker.crash", f"k{i}")
+            faults.count_retry("worker.crash")
+            assert faults.counters() == {"worker.crash": 5}
+            assert faults.retry_counters() == {"worker.crash": 1}
+
+
+class TestRetryHelpers:
+    def test_with_filter_retries_recovers(self):
+        calls = []
+        with inject("seed=3,filter.transient=1.0,filter.retries=3"):
+            result = faults.with_filter_retries(
+                "f", 0, lambda: calls.append(1) or "ok")
+        assert result == "ok"
+        assert calls == [1]          # the real firing ran exactly once
+
+    def test_with_filter_retries_persistent_escapes_typed(self):
+        from repro.errors import TransientFilterFault
+        with inject("seed=3,filter.transient=1.0,"
+                    "filter.transient.persist=99,filter.retries=2"):
+            with pytest.raises(TransientFilterFault):
+                faults.with_filter_retries("f", 0, lambda: "never")
+
+    def test_maybe_worker_fault_types(self):
+        from repro.errors import WorkerCrash, WorkerHang
+        with inject("seed=3,worker.crash=1.0"):
+            with pytest.raises(WorkerCrash):
+                faults.maybe_worker_fault("t", 0)
+        with inject("seed=3,worker.hang=1.0"):
+            with pytest.raises(WorkerHang):
+                faults.maybe_worker_fault("t", 0)
+
+    def test_maybe_io_error_raises_oserror(self):
+        with inject("seed=3,cache.io=1.0"):
+            with pytest.raises(OSError, match="injected cache.io"):
+                faults.maybe_io_error("cache.io", "k")

@@ -1,0 +1,110 @@
+"""Worker-pool resilience: crashes, hangs, and graceful shutdown."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import faults, obs
+from repro.compiler import CompileOptions, compile_stream_program
+from repro.errors import WorkerCrash, WorkerHang
+from repro.parallel import parallel_map
+
+from .conftest import inject
+from .test_ladder import chain_graph
+
+
+class TestRetries:
+    def test_transient_crashes_recover_with_identical_results(self):
+        items = list(range(16))
+        reference = parallel_map(lambda x: x * x, items, jobs=4)
+        with inject("seed=5,worker.crash=0.4,worker.retries=4,"
+                    "worker.crash.persist=1"):
+            faulted = parallel_map(lambda x: x * x, items, jobs=4)
+            assert faults.counters()["worker.crash"] > 0
+        assert faulted == reference
+
+    def test_serial_and_parallel_agree_under_injection(self):
+        items = list(range(12))
+        spec = ("seed=5,worker.crash=0.3,worker.hang=0.2,"
+                "worker.retries=4")
+        with inject(spec):
+            serial = parallel_map(lambda x: x + 1, items, jobs=1)
+            serial_counts = dict(faults.counters())
+        with inject(spec):
+            pooled = parallel_map(lambda x: x + 1, items, jobs=4)
+            pooled_counts = dict(faults.counters())
+        assert serial == pooled == [x + 1 for x in items]
+        # Order-free decisions: the pool saw the same fault universe.
+        assert serial_counts == pooled_counts
+
+    def test_persistent_crash_escapes_typed(self):
+        with inject("seed=5,worker.crash=1.0,worker.crash.persist=99,"
+                    "worker.retries=2"):
+            with pytest.raises(WorkerCrash):
+                parallel_map(lambda x: x, [1, 2, 3], jobs=2)
+
+    def test_persistent_hang_escapes_typed_not_hanging(self):
+        with inject("seed=5,worker.hang=1.0,worker.hang.persist=99,"
+                    "worker.retries=2"):
+            with pytest.raises(WorkerHang):
+                parallel_map(lambda x: x, [1, 2, 3], jobs=2)
+
+
+class TestGracefulShutdown:
+    """Satellite 1: every exit path drains workers and cancels the
+    pending tail — no leaked pools, no orphan threads."""
+
+    def _pool_threads(self):
+        return [t for t in threading.enumerate()
+                if t.name.startswith("repro-")]
+
+    def test_fatal_task_error_cancels_pending_and_joins(self):
+        obs.enable(reset=True)
+        try:
+            with pytest.raises(ZeroDivisionError):
+                parallel_map(lambda x: 1 // x, list(range(64)), jobs=2,
+                             label="chaos")
+            counters = obs.REGISTRY.snapshot()["counters"]
+            cancelled = sum(
+                v for k, v in counters.items()
+                if k.startswith("parallel.cancelled"))
+            assert cancelled > 0
+        finally:
+            obs.disable()
+        assert not any(t.is_alive() for t in self._pool_threads())
+
+    def test_keyboard_interrupt_unwinds_cleanly(self):
+        started = []
+
+        def task(x):
+            started.append(x)
+            if x == 0:
+                raise KeyboardInterrupt
+            return x
+
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(task, list(range(32)), jobs=2)
+        assert not any(t.is_alive() for t in self._pool_threads())
+        # The pending tail never ran: cancellation is real, not a
+        # drain-everything-then-raise.
+        assert len(started) < 32
+
+    def test_success_path_leaves_no_threads(self):
+        assert parallel_map(lambda x: -x, [1, 2, 3, 4], jobs=4) \
+            == [-1, -2, -3, -4]
+        assert not any(t.is_alive() for t in self._pool_threads())
+
+
+class TestCompileUnderWorkerFaults:
+    def test_parallel_compile_recovers_to_reference_ii(self):
+        options = CompileOptions(scheme="swp", coarsening=1)
+        reference = compile_stream_program(chain_graph(), options,
+                                           jobs=1)
+        with inject("seed=8,worker.crash=0.3,worker.retries=4"):
+            faulted = compile_stream_program(chain_graph(), options,
+                                             jobs=4)
+        assert not faulted.degraded
+        assert faulted.search.schedule.ii \
+            == reference.search.schedule.ii

@@ -39,6 +39,8 @@ CHANGED_VALUES = {
     "macro_iterations": 64,
     "numfirings": 3,
     "cpu": CpuConfig(clock_ghz=3.2),
+    "search_deadline_seconds": 30.0,
+    "allow_degraded": False,
 }
 
 FIELDS = [f.name for f in dataclasses.fields(CompileOptions)]
@@ -105,7 +107,8 @@ def _schedule_key(options: CompileOptions) -> str:
     return schedule_stage_key(
         _problem(), backend=options.ilp_backend,
         attempt_budget_seconds=options.attempt_budget_seconds,
-        relaxation_step=options.relaxation_step)
+        relaxation_step=options.relaxation_step,
+        search_deadline_seconds=options.search_deadline_seconds)
 
 
 @pytest.mark.parametrize("field", [
