@@ -1,0 +1,256 @@
+"""Noise-aware comparison of ``BENCH_*.json`` runs against baselines.
+
+Every benchmark suite in this repo writes one JSON document with the
+same rough shape — ``{"suite": ..., "apps": {name: {metric: value}},
+...}`` — and CI needs to answer one question about each fresh run: *did
+anything regress against the committed baseline, beyond what the metric
+can be expected to jitter?*  This tool owns that answer so the suites
+don't each grow an ad-hoc diff.
+
+Metrics are classified by name:
+
+* **wall-clock** (``*_seconds``, ``*seconds``) — host timing; noisy on
+  shared CI runners, so the default tolerance is wide (25 %).
+* **simulated / derived** (``*_ms``, ``speedup``, ``ii``, ``*_rps``)
+  — computed from the deterministic GPU timing model; the default
+  tolerance is tight (5 %).  ``*_pct`` overhead metrics jitter around
+  zero and are informational only (their suite gates them absolutely).
+* **deterministic counts** (``requests``, ``served``, ``shed``,
+  ``batches``, ``tokens``, ...) — bit-reproducible; any change at all
+  is a regression.
+* everything else (strings, booleans, gate metadata) is ignored.
+
+Direction also comes from the name: ``speedup``/``throughput``/
+``*_rps`` regress by *falling*, times and latencies regress by
+*rising*, counts regress by *changing*.  Improvements are reported but
+never fail the run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare.py BENCH_serve.json \
+        benchmarks/baseline/bench_serve_baseline.json
+    python benchmarks/compare.py BENCH_serve.json BASELINE \
+        --write-baseline        # refresh the baseline instead of diffing
+    python benchmarks/compare.py RUN BASELINE --json diff.json
+
+Exit status: 0 clean (or baseline written), 1 on any regression, 2 on
+unreadable/mismatched inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import re
+import sys
+
+#: Relative tolerance for wall-clock metrics (host-timing jitter on
+#: shared runners is routinely this large).
+WALL_CLOCK_TOLERANCE = 0.25
+
+#: Relative tolerance for simulated/derived metrics.  These come from
+#: the deterministic timing model, but ride on measured compile output
+#: (schedules can shift with solver timing), so a small band is kept.
+SIMULATED_TOLERANCE = 0.05
+
+#: Metric names that are bit-reproducible counts: any drift regresses.
+EXACT_NAMES = frozenset({
+    "requests", "served", "shed", "batches", "overload_shed",
+    "tokens", "invocations", "firings", "windows",
+})
+
+#: (pattern, direction, tolerance class) tried in order against the
+#: metric's final path segment; first hit wins.  Direction: "lower" =
+#: smaller is better, "higher" = bigger is better.
+RULES: tuple[tuple[re.Pattern, str, str], ...] = (
+    (re.compile(r"(^|_)seconds$"), "lower", "wall"),
+    (re.compile(r"_ms$"), "lower", "sim"),
+    (re.compile(r"^speedup$"), "higher", "sim"),
+    (re.compile(r"(^|_)throughput"), "higher", "sim"),
+    (re.compile(r"_rps$"), "higher", "sim"),
+    (re.compile(r"_per_second$"), "higher", "sim"),
+    (re.compile(r"^ii$"), "lower", "sim"),
+)
+
+#: Ignore these whole subtrees: gate config/outcomes are not metrics.
+SKIP_SEGMENTS = frozenset({"gates", "python", "suite"})
+
+#: Below this absolute magnitude a relative comparison is meaningless
+#: (0.0001 ms vs 0.00012 ms is a rounding artifact, not a regression).
+ABS_FLOOR = 1e-3
+
+
+def classify(path: str, wall_tolerance: float = WALL_CLOCK_TOLERANCE):
+    """(direction, tolerance) for a flattened metric path, or None when
+    the metric carries no gate (informational).  ``wall_tolerance``
+    overrides the band for wall-clock metrics — cross-machine compares
+    (a laptop baseline judged on a CI runner) need a wider one.
+    """
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf.startswith("obs_"):
+        # Telemetry-overhead timings: informational here; their suite
+        # gates them via a noise-stable decomposition of its own.
+        return None
+    if leaf in EXACT_NAMES:
+        return "exact", 0.0
+    for pattern, direction, kind in RULES:
+        if pattern.search(leaf):
+            return direction, (wall_tolerance if kind == "wall"
+                               else SIMULATED_TOLERANCE)
+    return None
+
+
+def flatten(node, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested JSON document as ``path -> value``.
+
+    Booleans are not numbers here (they are correctness gates, enforced
+    by the suite itself), and top-level metadata subtrees are skipped.
+    """
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key in sorted(node):
+            if not prefix and key in SKIP_SEGMENTS:
+                continue
+            path = f"{prefix}.{key}" if prefix else key
+            out.update(flatten(node[key], path))
+    elif isinstance(node, bool):
+        pass
+    elif isinstance(node, (int, float)) and math.isfinite(node):
+        out[prefix] = float(node)
+    return out
+
+
+def compare(current: dict, baseline: dict,
+            wall_tolerance: float = WALL_CLOCK_TOLERANCE) -> dict:
+    """Diff two benchmark documents; returns a machine-readable report
+    with ``regressions`` / ``improvements`` / ``missing`` lists."""
+    cur = flatten(current)
+    base = flatten(baseline)
+    regressions: list[dict] = []
+    improvements: list[dict] = []
+    for path in sorted(base):
+        rule = classify(path, wall_tolerance)
+        if rule is None:
+            continue
+        if path not in cur:
+            regressions.append({
+                "metric": path, "kind": "missing",
+                "baseline": base[path], "current": None,
+                "detail": "metric present in baseline, absent from run",
+            })
+            continue
+        direction, tolerance = rule
+        old, new = base[path], cur[path]
+        entry = {"metric": path, "baseline": old, "current": new,
+                 "direction": direction, "tolerance": tolerance}
+        if direction == "exact":
+            if new != old:
+                entry["kind"] = "drift"
+                entry["detail"] = (f"deterministic count changed "
+                                   f"{old:g} -> {new:g}")
+                regressions.append(entry)
+            continue
+        if max(abs(old), abs(new)) < ABS_FLOOR:
+            continue
+        denom = abs(old) if abs(old) >= ABS_FLOOR else ABS_FLOOR
+        delta = (new - old) / denom
+        entry["delta_pct"] = round(100.0 * delta, 2)
+        worse = delta > tolerance if direction == "lower" \
+            else delta < -tolerance
+        better = delta < -tolerance if direction == "lower" \
+            else delta > tolerance
+        if worse:
+            entry["kind"] = "regression"
+            entry["detail"] = (
+                f"{'rose' if delta > 0 else 'fell'} "
+                f"{abs(entry['delta_pct']):g}% "
+                f"(tolerance {100 * tolerance:g}%)")
+            regressions.append(entry)
+        elif better:
+            improvements.append(entry)
+    new_metrics = sorted(set(cur) - set(base))
+    return {
+        "suite": current.get("suite", "?"),
+        "baseline_suite": baseline.get("suite", "?"),
+        "compared": sum(1 for p in base if classify(p) is not None),
+        "regressions": regressions,
+        "improvements": improvements,
+        "new_metrics": new_metrics,
+        "ok": not regressions,
+    }
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"compare: cannot read {path}: {exc}")
+    if not isinstance(doc, dict):
+        raise SystemExit(f"compare: {path} is not a JSON object")
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run", help="fresh BENCH_*.json result")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="copy the run over the baseline and exit")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the diff report as JSON")
+    parser.add_argument("--wall-tolerance", type=float,
+                        default=WALL_CLOCK_TOLERANCE, metavar="FRAC",
+                        help="relative band for wall-clock metrics "
+                             "(default %(default)s; widen when the "
+                             "baseline came from different hardware)")
+    args = parser.parse_args(argv)
+
+    current = _load(args.run)
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(os.path.abspath(args.baseline)),
+                    exist_ok=True)
+        with open(args.baseline, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"compare: baseline written to {args.baseline}")
+        return 0
+
+    baseline = _load(args.baseline)
+    if current.get("suite") != baseline.get("suite"):
+        raise SystemExit(
+            f"compare: suite mismatch — run is "
+            f"{current.get('suite')!r}, baseline is "
+            f"{baseline.get('suite')!r}")
+
+    report = compare(current, baseline,
+                     wall_tolerance=args.wall_tolerance)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    print(f"compare: {report['compared']} gated metrics vs "
+          f"{args.baseline}")
+    for entry in report["improvements"]:
+        print(f"  improved   {entry['metric']}: "
+              f"{entry['baseline']:g} -> {entry['current']:g} "
+              f"({entry['delta_pct']:+g}%)")
+    for entry in report["regressions"]:
+        cur_txt = "absent" if entry["current"] is None \
+            else f"{entry['current']:g}"
+        print(f"  REGRESSION {entry['metric']}: "
+              f"{entry['baseline']:g} -> {cur_txt} — {entry['detail']}",
+              file=sys.stderr)
+    if report["regressions"]:
+        print(f"compare: {len(report['regressions'])} regression(s)",
+              file=sys.stderr)
+        return 1
+    print("compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,17 @@ batcher in simulated GPU time, and prints the per-session report —
 requests served/shed, batch sizes, batching speedup, and latency
 percentiles.  See docs/serving.md.
 
+Serve-side telemetry: ``--slo "p99_latency_ms<0.05,error_rate<0.01"``
+declares rolling-window SLOs (judged over ``--window-ms`` of simulated
+time, with burn-rate and error-budget accounting); ``--top`` prints
+the ``repro top`` dashboard after the replay; ``--health FILE`` writes
+the machine-readable health snapshot JSON; ``--metrics FILE`` writes
+an OpenMetrics text exposition; ``--trace-events FILE`` writes the
+request-lifecycle event log as JSONL.  With ``--trace`` the Chrome
+trace additionally carries one lane per concurrent request on the
+simulated clock, causally linked by trace id.  See
+docs/observability.md.
+
 ``--exec-backend {interp,compiled,vectorized}`` (default
 ``REPRO_EXEC_BACKEND`` or ``interp``) selects how filter work
 functions execute on the host: the reference AST interpreter, per-
@@ -284,6 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
                        default="8800gts512")
     serve.add_argument("--budget", type=float, default=10.0,
                        help="seconds per ILP attempt")
+    serve.add_argument("--slo", default=None, metavar="SPEC",
+                       help="rolling-window SLO spec, e.g. "
+                            "'p99_latency_ms<0.05,error_rate<0.01,"
+                            "budget=0.1'")
+    serve.add_argument("--window-ms", type=float, default=1.0,
+                       metavar="MS",
+                       help="rolling telemetry window in simulated ms")
+    serve.add_argument("--trace-events", default=None, metavar="FILE",
+                       help="write the request-lifecycle event log as "
+                            "JSONL to FILE")
+    serve.add_argument("--health", default=None, metavar="FILE",
+                       help="write the machine-readable health "
+                            "snapshot JSON to FILE")
+    serve.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write an OpenMetrics text exposition to "
+                            "FILE")
+    serve.add_argument("--top", action="store_true",
+                       help="print the repro-top dashboard after the "
+                            "replay")
     return parser
 
 
@@ -538,7 +568,10 @@ def _cmd_codegen(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Serve benchmarks under a simulated request load."""
+    import json
+
     from .errors import ServeError
+    from .obs.slo import SloError
     from .serve import (
         BatchPolicy,
         StreamServer,
@@ -577,16 +610,39 @@ def _cmd_serve(args) -> int:
     except (OSError, ServeError) as exc:
         print(exc, file=sys.stderr)
         return 2
-    if _wants_observability(args):
+    if _wants_observability(args) or args.trace_events or args.top:
         obs.enable(reset=True)
-    server = StreamServer(policy=policy, options=options,
-                          jobs=args.jobs, cache=_cache_from(args),
-                          exec_backend=args.exec_backend)
+    try:
+        server = StreamServer(policy=policy, options=options,
+                              jobs=args.jobs, cache=_cache_from(args),
+                              exec_backend=args.exec_backend,
+                              slo=args.slo, window_ms=args.window_ms)
+    except SloError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     for name, graph in graphs.items():
         server.register(name, graph)
     server.start()
     report = server.play(workload)
     print(report.describe())
+    if args.top:
+        print()
+        print(server.dashboard())
+    if args.slo is not None:
+        health = server.health_snapshot()
+        state = "OK" if health["slo_ok"] else "BREACH"
+        print(f"slo: {health['spec']} -> {state}")
+    if args.health:
+        with open(args.health, "w") as handle:
+            json.dump(server.health_snapshot(), handle, indent=1)
+        print(f"wrote health snapshot to {args.health}")
+    if args.metrics:
+        with open(args.metrics, "w") as handle:
+            handle.write(server.openmetrics())
+        print(f"wrote OpenMetrics exposition to {args.metrics}")
+    if args.trace_events:
+        obs.write_events_jsonl(args.trace_events)
+        print(f"wrote lifecycle events to {args.trace_events}")
     server.shutdown()
     _emit_observability(args)
     return 0

@@ -62,6 +62,12 @@ class DegradationReport:
         if obs.is_enabled():
             obs.counter("degradation.steps", stage=event.stage,
                         to=event.to).add(1)
+            # Lifecycle linkage: while a serve batch executes, the
+            # ambient trace id attributes the fallback to the request
+            # whose batch triggered it.
+            obs.emit("degradation", stage=event.stage,
+                     from_strategy=event.from_, to=event.to,
+                     reason=event.reason)
         return event
 
     def add(self, stage: str, from_: str, to: str, reason: str,

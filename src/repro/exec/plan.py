@@ -210,6 +210,14 @@ class ExecPlan:
         """Stickily drop ``node``'s batch kernel and report the step."""
         del self._batch[node.uid]
         self.batch_fallbacks += 1
+        if obs.is_enabled():
+            # Per-filter, per-reason fallback attribution (the flat
+            # batch_fallbacks total can't tell a dtype overflow on one
+            # filter from an arity bug on another).  The degradation
+            # report below additionally emits the lifecycle event,
+            # trace-linked when a serve batch is executing.
+            obs.counter("exec.vector_fallbacks", filter=node.name,
+                        reason=reason).add(1)
         self.degradation.add("exec", f"vectorized:{node.name}", "scalar",
                              reason, detail)
 

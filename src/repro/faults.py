@@ -251,6 +251,10 @@ def _count(spec: FaultSpec, site: str) -> None:
         spec.counters[site] = spec.counters.get(site, 0) + 1
     if obs.is_enabled():
         obs.counter("faults.injected", site=site).add(1)
+        # Causal attribution: the ambient trace id (set by the serving
+        # loop around batch execution) links the injection to the
+        # request batch it hit.
+        obs.emit("fault_injected", site=site)
 
 
 def count_retry(site: str) -> None:
@@ -262,6 +266,7 @@ def count_retry(site: str) -> None:
         spec.retry_counters[site] = spec.retry_counters.get(site, 0) + 1
     if obs.is_enabled():
         obs.counter("faults.retries", site=site).add(1)
+        obs.emit("retry", site=site)
 
 
 def counters() -> dict[str, int]:

@@ -1,5 +1,5 @@
 """Observability: compile-phase tracing, simulator counters, solver
-telemetry.
+telemetry, and serve-side request-lifecycle telemetry.
 
 One switch governs the whole layer::
 
@@ -13,34 +13,76 @@ One switch governs the whole layer::
 
 While disabled (the default) every instrumentation site reduces to a
 single boolean check: ``obs.span(...)`` returns a shared no-op context
-manager and no metric is touched, so the compile pipeline's wall time
-is unaffected.
+manager, ``obs.emit(...)`` returns without recording, and no metric is
+touched, so the compile pipeline's and serve loop's wall time is
+unaffected.
 
-The layer has three parts:
+The layer has six parts:
 
 * :mod:`repro.obs.tracer` — nested wall-clock spans (the six compile
   phases, per-ILP-attempt spans, nested reference compiles);
-* :mod:`repro.obs.metrics` — a process-global registry of counters,
-  gauges and histograms fed by the GPU simulator, the shared-bus
-  model, and both ILP backends (see docs/observability.md for the
-  catalog);
-* :mod:`repro.obs.export` — Chrome trace-event JSON, plain JSON, and
-  a human-readable summary table.
+* :mod:`repro.obs.metrics` — a process-global registry of all-time
+  counters, gauges and histograms fed by the GPU simulator, the
+  shared-bus model, and both ILP backends (see docs/observability.md
+  for the catalog);
+* :mod:`repro.obs.events` — the typed request-lifecycle event log
+  with contextvar trace-id propagation (admission, shedding, batch
+  firing, retries, breaker trips, degradation steps);
+* :mod:`repro.obs.windows` — rolling-window counters/histograms over
+  the serve runtime's simulated clock (the autoscaler/SLO signal);
+* :mod:`repro.obs.slo` — declarative SLO specs, burn-rate and
+  error-budget accounting, and the ``repro top`` dashboard renderer;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (wall lanes +
+  simulated request lanes), plain JSON, JSONL event stream,
+  OpenMetrics text exposition, and a human-readable summary table.
 """
 
 from __future__ import annotations
 
-from .export import chrome_trace, summary, to_json, write_chrome_trace
+from .events import (
+    EVENT_KINDS,
+    LIFECYCLE,
+    LifecycleEvent,
+    LifecycleLog,
+    current_trace,
+    reset_trace,
+    set_trace,
+    trace_context,
+)
+from .export import (
+    chrome_trace,
+    events_jsonl,
+    openmetrics,
+    parse_openmetrics,
+    summary,
+    to_json,
+    write_chrome_trace,
+    write_events_jsonl,
+)
 from .metrics import (
+    EMPTY,
     REGISTRY,
     Counter,
+    EmptySnapshot,
     Gauge,
     Histogram,
     MetricsRegistry,
     diff_snapshots,
     metric_key,
 )
+from .slo import (
+    SloError,
+    SloMonitor,
+    SloObjective,
+    SloSpec,
+    render_dashboard,
+)
 from .tracer import NULL_SPAN, TRACER, SpanRecord, Tracer
+from .windows import (
+    RollingCounter,
+    RollingHistogram,
+    WindowRegistry,
+)
 
 _enabled = False
 
@@ -52,6 +94,7 @@ def enable(reset: bool = False) -> None:
         clear()
     _enabled = True
     TRACER.enable()
+    LIFECYCLE.enable()
 
 
 def disable() -> None:
@@ -59,6 +102,7 @@ def disable() -> None:
     global _enabled
     _enabled = False
     TRACER.disable()
+    LIFECYCLE.disable()
 
 
 def is_enabled() -> bool:
@@ -66,9 +110,10 @@ def is_enabled() -> bool:
 
 
 def clear() -> None:
-    """Drop all recorded spans and metrics."""
+    """Drop all recorded spans, metrics, and lifecycle events."""
     TRACER.clear()
     REGISTRY.reset()
+    LIFECYCLE.clear()
 
 
 def span(name: str, **attrs):
@@ -88,33 +133,61 @@ def histogram(name: str, **labels) -> Histogram:
     return REGISTRY.histogram(name, **labels)
 
 
+def emit(kind: str, **kwargs):
+    """Record one lifecycle event (no-op while disabled)."""
+    return LIFECYCLE.emit(kind, **kwargs)
+
+
 def metrics_snapshot() -> dict:
     return REGISTRY.snapshot()
 
 
 __all__ = [
+    "EMPTY",
+    "EVENT_KINDS",
     "Counter",
+    "EmptySnapshot",
     "Gauge",
     "Histogram",
+    "LIFECYCLE",
+    "LifecycleEvent",
+    "LifecycleLog",
     "MetricsRegistry",
     "NULL_SPAN",
     "REGISTRY",
+    "RollingCounter",
+    "RollingHistogram",
+    "SloError",
+    "SloMonitor",
+    "SloObjective",
+    "SloSpec",
     "SpanRecord",
     "TRACER",
     "Tracer",
+    "WindowRegistry",
     "chrome_trace",
     "clear",
     "counter",
+    "current_trace",
     "diff_snapshots",
     "disable",
+    "emit",
     "enable",
+    "events_jsonl",
     "gauge",
     "histogram",
     "is_enabled",
     "metric_key",
     "metrics_snapshot",
+    "openmetrics",
+    "parse_openmetrics",
+    "render_dashboard",
+    "reset_trace",
+    "set_trace",
     "span",
     "summary",
     "to_json",
+    "trace_context",
     "write_chrome_trace",
+    "write_events_jsonl",
 ]

@@ -1,0 +1,199 @@
+"""Request-lifecycle event log with causal trace propagation.
+
+Compile-phase spans (:mod:`repro.obs.tracer`) answer "where did the
+wall time go"; a serving runtime also needs *causality*: which
+admission decision, batch, breaker trip and degradation step belong to
+which request.  This module records that as a flat, append-only log of
+typed :class:`LifecycleEvent`\\ s, each stamped with
+
+* a **trace id** — assigned per :class:`~repro.serve.request
+  .ServeRequest` by the server and propagated implicitly through a
+  :mod:`contextvars` context (so events emitted deep inside the
+  executor, the fault layer, or a worker-pool thread attach to the
+  request that caused them without threading ids through every call);
+* a **simulated timestamp** (``ts_ms``) where one exists — serving
+  events carry the server's deterministic clock; wall-side events
+  (fault retries during compile, cache corruption) carry ``None``;
+* a **kind** from the typed vocabulary in :data:`EVENT_KINDS` plus
+  free-form attributes.
+
+The log is enabled/disabled with the rest of :mod:`repro.obs` and
+costs one boolean check per call site while off.  Exporters turn it
+into a JSONL event stream and into causally-linked lanes of the
+Chrome trace (see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ConfigError
+
+#: The typed event vocabulary.  Emitting an unknown kind is a caller
+#: bug (caught loudly), so the log stays machine-greppable.
+EVENT_KINDS = frozenset({
+    "admit",           # request admitted into a session's queue
+    "enqueue",         # request stored by the admission queue
+    "shed",            # typed rejection (queue_full/quota/deadline/...)
+    "dispatch",        # request left the queue into a formed batch
+    "batch_form",      # a batch was formed (one per batch)
+    "batch_fire",      # a batch executed (one per batch, has duration)
+    "respond",         # terminal ok/failed response for a request
+    "retry",           # a bounded-retry ladder consumed one retry
+    "fault_injected",  # the fault layer injected at a site
+    "breaker",         # circuit-breaker state transition
+    "degradation",     # a degradation-ladder step (incl. vector fallback)
+    "slo_eval",        # one SLO evaluation over a rolling window
+    "slo_breach",      # an SLO objective observed out of bounds
+    "session_compile", # a serve session finished compiling
+})
+
+#: Implicit causal context: the trace id of the request currently
+#: being worked on.  ContextVar (not a threading.local) so
+#: repro.parallel can snapshot and restore it inside pool workers.
+_TRACE: ContextVar[Optional[str]] = ContextVar("repro_trace_id",
+                                               default=None)
+
+
+def current_trace() -> Optional[str]:
+    """Trace id of the active request context, if any."""
+    return _TRACE.get()
+
+
+def set_trace(trace_id: Optional[str]):
+    """Install ``trace_id`` as the ambient trace; returns a token for
+    :func:`reset_trace`."""
+    return _TRACE.set(trace_id)
+
+
+def reset_trace(token) -> None:
+    _TRACE.reset(token)
+
+
+@contextmanager
+def trace_context(trace_id: Optional[str]):
+    """``with trace_context(tid):`` — scope the ambient trace id."""
+    token = _TRACE.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE.reset(token)
+
+
+@dataclass
+class LifecycleEvent:
+    """One typed, causally-attributed point on a request's timeline."""
+
+    seq: int                       # global append order
+    kind: str                      # member of EVENT_KINDS
+    ts_ms: Optional[float]         # simulated clock; None = wall-side
+    trace_id: Optional[str]        # owning request, when known
+    attrs: dict[str, Any] = field(default_factory=dict)
+    thread: str = "MainThread"     # emitting thread (tid lanes)
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict (the JSONL record shape)."""
+        payload: dict[str, Any] = {"seq": self.seq, "kind": self.kind}
+        if self.ts_ms is not None:
+            payload["ts_ms"] = self.ts_ms
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.thread != "MainThread":
+            payload["thread"] = self.thread
+        payload.update(self.attrs)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LifecycleEvent":
+        """Inverse of :meth:`to_payload` (exporter round-trip)."""
+        data = dict(payload)
+        return cls(seq=data.pop("seq"), kind=data.pop("kind"),
+                   ts_ms=data.pop("ts_ms", None),
+                   trace_id=data.pop("trace_id", None),
+                   thread=data.pop("thread", "MainThread"),
+                   attrs=data)
+
+
+class LifecycleLog:
+    """Append-only event log; disabled (and free) by default."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.events: list[LifecycleEvent] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events = []
+            self._seq = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, *, ts_ms: Optional[float] = None,
+             trace_id: Optional[str] = None,
+             **attrs) -> Optional[LifecycleEvent]:
+        """Record one event (no-op while disabled).
+
+        ``trace_id`` defaults to the ambient :func:`current_trace`, so
+        deep call sites (fault retries inside a worker thread, vector
+        fallbacks inside the executor) attach to the request that
+        caused them without plumbing.
+        """
+        if not self.enabled:
+            return None
+        if kind not in EVENT_KINDS:
+            raise ConfigError(
+                f"unknown lifecycle event kind {kind!r}; known kinds: "
+                f"{', '.join(sorted(EVENT_KINDS))}")
+        if trace_id is None:
+            trace_id = _TRACE.get()
+        with self._lock:
+            event = LifecycleEvent(
+                seq=self._seq, kind=kind, ts_ms=ts_ms,
+                trace_id=trace_id, attrs=attrs,
+                thread=threading.current_thread().name)
+            self._seq += 1
+            self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[LifecycleEvent]:
+        with self._lock:
+            return list(self.events)
+
+    def for_trace(self, trace_id: str) -> list[LifecycleEvent]:
+        """Every event of one request, in emission order."""
+        return [e for e in self.snapshot() if e.trace_id == trace_id]
+
+    def of_kind(self, kind: str) -> list[LifecycleEvent]:
+        return [e for e in self.snapshot() if e.kind == kind]
+
+    def to_payloads(self) -> list[dict]:
+        return [e.to_payload() for e in self.snapshot()]
+
+
+#: Process-global lifecycle log, enabled alongside the tracer.
+LIFECYCLE = LifecycleLog()
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "LIFECYCLE",
+    "LifecycleEvent",
+    "LifecycleLog",
+    "current_trace",
+    "reset_trace",
+    "set_trace",
+    "trace_context",
+]

@@ -1,13 +1,21 @@
 """Exporters for the observability layer.
 
-Three consumers, three formats:
+Consumers and formats:
 
 * :func:`chrome_trace` — the Chrome/Perfetto trace-event JSON format
-  (load via ``chrome://tracing`` or https://ui.perfetto.dev): complete
-  ("X") events whose nesting renders as a flame graph, with the metric
-  snapshot attached under ``otherData``.
-* :func:`to_json` — a plain structured dump (spans + metrics) for
-  programmatic post-processing.
+  (load via ``chrome://tracing`` or https://ui.perfetto.dev).  Wall
+  -clock compile spans render as a flame graph on ``pid 0`` with one
+  ``tid`` per recording thread; serve-side request lifecycles render
+  on ``pid 1`` against the *simulated* clock, one lane per concurrent
+  request, causally linked by trace id.
+* :func:`to_json` — a plain structured dump (spans + metrics +
+  lifecycle events) for programmatic post-processing.
+* :func:`events_jsonl` — the lifecycle event log as JSON Lines, one
+  event per line (the machine-greppable audit stream).
+* :func:`openmetrics` — OpenMetrics/Prometheus-style text exposition
+  of the metric registry (plus optional rolling-window and SLO state),
+  with :func:`parse_openmetrics` as its lossless inverse at sample
+  granularity.
 * :func:`summary` — a human-readable text report: the compile-phase
   span tree with wall times, then every counter/gauge/histogram.
 """
@@ -15,10 +23,17 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
-from typing import Optional
+import re
+from typing import Any, Mapping, Optional
 
+from .events import LIFECYCLE, LifecycleLog
 from .metrics import REGISTRY, MetricsRegistry
 from .tracer import TRACER, Tracer
+
+#: pid of the wall-clock (compile) lanes in the Chrome trace.
+WALL_PID = 0
+#: pid of the simulated-time (serve lifecycle) lanes.
+SIM_PID = 1
 
 
 def _span_dicts(tracer: Tracer) -> list[dict]:
@@ -31,25 +46,139 @@ def _span_dicts(tracer: Tracer) -> list[dict]:
             "duration_s": span.duration,
             "depth": span.depth,
             "parent": span.parent,
+            "thread": span.thread,
             "attrs": dict(span.attrs),
         })
     return out
 
 
 # ----------------------------------------------------------------------
+def _thread_tids(tracer: Tracer) -> dict[str, int]:
+    """Stable thread-name → tid mapping, MainThread pinned to tid 0.
+
+    Spans recorded from repro.parallel worker threads get their own
+    rows instead of interleaving unreadably on one.
+    """
+    names: list[str] = []
+    for span in tracer.spans:
+        if span.thread not in names:
+            names.append(span.thread)
+    if "MainThread" in names:
+        names.remove("MainThread")
+    names.sort()
+    names.insert(0, "MainThread")
+    return {name: tid for tid, name in enumerate(names)}
+
+
+def _lifecycle_lanes(log: LifecycleLog) -> list[dict]:
+    """Chrome events for the request-lifecycle log on the simulated
+    clock: one complete ("X") span per request covering its first to
+    last event, with each typed event as an instant ("i") marker on
+    the same lane.  Lanes (tids) are allocated greedily so requests
+    that overlap in simulated time never share a row; events with no
+    trace id (server-side, e.g. batch formation) land on a dedicated
+    trailing ``server`` lane.
+    """
+    timed = [e for e in log.snapshot() if e.ts_ms is not None]
+    if not timed:
+        return []
+    traces: dict[str, list] = {}
+    anon = []
+    for event in timed:
+        if event.trace_id is not None:
+            traces.setdefault(event.trace_id, []).append(event)
+        else:
+            anon.append(event)
+    intervals = sorted(
+        ((min(e.ts_ms for e in evs), max(e.ts_ms for e in evs),
+          trace_id, evs) for trace_id, evs in traces.items()),
+        key=lambda row: (row[0], row[1], row[2]))
+    out: list[dict] = []
+    lane_busy_until: list[float] = []
+    for start, end, trace_id, evs in intervals:
+        lane = next((i for i, busy in enumerate(lane_busy_until)
+                     if busy <= start), None)
+        if lane is None:
+            lane = len(lane_busy_until)
+            lane_busy_until.append(end)
+        else:
+            lane_busy_until[lane] = end
+        out.append({
+            "name": f"request {trace_id}",
+            "cat": "serve",
+            "ph": "X",
+            "ts": start * 1e3,                # sim ms → trace µs
+            "dur": max((end - start) * 1e3, 1.0),
+            "pid": SIM_PID,
+            "tid": lane,
+            "args": {"trace_id": trace_id,
+                     "events": [e.kind for e in evs]},
+        })
+        for event in evs:
+            out.append({
+                "name": event.kind,
+                "cat": "serve",
+                "ph": "i",
+                "s": "t",
+                "ts": event.ts_ms * 1e3,
+                "pid": SIM_PID,
+                "tid": lane,
+                "args": dict(event.attrs,
+                             trace_id=trace_id, seq=event.seq),
+            })
+    server_lane = len(lane_busy_until)
+    for event in anon:
+        out.append({
+            "name": event.kind,
+            "cat": "serve",
+            "ph": "i",
+            "s": "t",
+            "ts": event.ts_ms * 1e3,
+            "pid": SIM_PID,
+            "tid": server_lane,
+            "args": dict(event.attrs, seq=event.seq),
+        })
+    meta = [{
+        "name": "process_name", "ph": "M", "pid": SIM_PID, "tid": 0,
+        "args": {"name": "repro serve (simulated time)"},
+    }]
+    for lane in range(len(lane_busy_until)):
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": SIM_PID,
+            "tid": lane, "args": {"name": f"request lane {lane}"},
+        })
+    if anon:
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": SIM_PID,
+            "tid": server_lane, "args": {"name": "server"},
+        })
+    return meta + out
+
+
 def chrome_trace(tracer: Optional[Tracer] = None,
-                 registry: Optional[MetricsRegistry] = None) -> dict:
+                 registry: Optional[MetricsRegistry] = None,
+                 lifecycle: Optional[LifecycleLog] = None) -> dict:
     """Build a ``chrome://tracing``-loadable trace-event document."""
     tracer = tracer if tracer is not None else TRACER
     registry = registry if registry is not None else REGISTRY
+    lifecycle = lifecycle if lifecycle is not None else LIFECYCLE
     base = tracer.spans[0].start if tracer.spans else 0.0
+    tids = _thread_tids(tracer)
     events = [{
         "name": "process_name",
         "ph": "M",
-        "pid": 0,
+        "pid": WALL_PID,
         "tid": 0,
-        "args": {"name": "repro compile"},
+        "args": {"name": "repro compile (wall time)"},
     }]
+    for name, tid in tids.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": WALL_PID,
+            "tid": tid,
+            "args": {"name": name},
+        })
     for span in tracer.spans:
         if span.end is None:
             continue
@@ -59,10 +188,11 @@ def chrome_trace(tracer: Optional[Tracer] = None,
             "ph": "X",
             "ts": (span.start - base) * 1e6,    # microseconds
             "dur": span.duration * 1e6,
-            "pid": 0,
-            "tid": 0,
+            "pid": WALL_PID,
+            "tid": tids.get(span.thread, 0),
             "args": {str(k): v for k, v in span.attrs.items()},
         })
+    events.extend(_lifecycle_lanes(lifecycle))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -71,18 +201,189 @@ def chrome_trace(tracer: Optional[Tracer] = None,
 
 
 def write_chrome_trace(path: str, tracer: Optional[Tracer] = None,
-                       registry: Optional[MetricsRegistry] = None) -> None:
+                       registry: Optional[MetricsRegistry] = None,
+                       lifecycle: Optional[LifecycleLog] = None) -> None:
     with open(path, "w") as handle:
-        json.dump(chrome_trace(tracer, registry), handle, indent=1)
+        json.dump(chrome_trace(tracer, registry, lifecycle), handle,
+                  indent=1)
 
 
 # ----------------------------------------------------------------------
 def to_json(tracer: Optional[Tracer] = None,
-            registry: Optional[MetricsRegistry] = None) -> dict:
-    """Structured dump: every span and the full metric snapshot."""
+            registry: Optional[MetricsRegistry] = None,
+            lifecycle: Optional[LifecycleLog] = None) -> dict:
+    """Structured dump: spans, metric snapshot, lifecycle events."""
     tracer = tracer if tracer is not None else TRACER
     registry = registry if registry is not None else REGISTRY
-    return {"spans": _span_dicts(tracer), "metrics": registry.snapshot()}
+    lifecycle = lifecycle if lifecycle is not None else LIFECYCLE
+    return {
+        "spans": _span_dicts(tracer),
+        "metrics": registry.snapshot(),
+        "events": lifecycle.to_payloads(),
+    }
+
+
+# ----------------------------------------------------------------------
+def events_jsonl(lifecycle: Optional[LifecycleLog] = None) -> str:
+    """The lifecycle log as JSON Lines (one event object per line)."""
+    lifecycle = lifecycle if lifecycle is not None else LIFECYCLE
+    return "\n".join(json.dumps(payload, sort_keys=True)
+                     for payload in lifecycle.to_payloads())
+
+
+def write_events_jsonl(path: str,
+                       lifecycle: Optional[LifecycleLog] = None) -> None:
+    text = events_jsonl(lifecycle)
+    with open(path, "w") as handle:
+        handle.write(text + ("\n" if text else ""))
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics-style text exposition
+# ----------------------------------------------------------------------
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+_QUANTILE_KEYS = {"p50": "0.5", "p95": "0.95", "p99": "0.99"}
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`repro.obs.metrics.metric_key`'s flat form."""
+    match = _KEY_RE.match(key)
+    if match is None:
+        return key, {}
+    labels: dict[str, str] = {}
+    raw = match.group("labels")
+    if raw:
+        for part in raw.split(","):
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return match.group("name"), labels
+
+
+def _render_labels(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_sanitize(str(k))}="{v}"'
+                     for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _om_number(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def openmetrics(registry: Optional[MetricsRegistry] = None,
+                window_snapshot: Optional[Mapping[str, Any]] = None,
+                slo_snapshot: Optional[Mapping[str, Any]] = None) -> str:
+    """OpenMetrics-style text exposition of the telemetry state.
+
+    All-time counters/gauges/histograms come from ``registry``;
+    ``window_snapshot`` (a :meth:`WindowRegistry.snapshot
+    <repro.obs.windows.WindowRegistry.snapshot>`) adds the rolling
+    -window series under a ``window_ms`` label; ``slo_snapshot`` (a
+    :meth:`SloMonitor.snapshot <repro.obs.slo.SloMonitor.snapshot>`)
+    adds burn-rate/budget gauges.  Ends with the standard ``# EOF``.
+    """
+    registry = registry if registry is not None else REGISTRY
+    snap = registry.snapshot()
+    lines: list[str] = []
+
+    def sample(name: str, labels: Mapping[str, Any],
+               value: float) -> None:
+        lines.append(f"{name}{_render_labels(labels)} "
+                     f"{_om_number(value)}")
+
+    def histogram_samples(base: str, labels: Mapping[str, Any],
+                          stats: Mapping[str, Any]) -> None:
+        sample(f"{base}_count", labels, stats.get("count", 0.0))
+        sample(f"{base}_sum", labels, stats.get("sum", 0.0))
+        if stats.get("empty") or not stats.get("count"):
+            return
+        for key, quantile in _QUANTILE_KEYS.items():
+            if key in stats:
+                sample(base, dict(labels, quantile=quantile),
+                       stats[key])
+        for key in ("min", "max", "mean"):
+            if key in stats:
+                sample(f"{base}_{key}", labels, stats[key])
+
+    for key in sorted(snap["counters"]):
+        name, labels = _split_key(key)
+        base = f"repro_{_sanitize(name)}"
+        lines.append(f"# TYPE {base} counter")
+        sample(f"{base}_total", labels, snap["counters"][key])
+    for key in sorted(snap["gauges"]):
+        name, labels = _split_key(key)
+        base = f"repro_{_sanitize(name)}"
+        lines.append(f"# TYPE {base} gauge")
+        sample(base, labels, snap["gauges"][key])
+    for key in sorted(snap["histograms"]):
+        name, labels = _split_key(key)
+        base = f"repro_{_sanitize(name)}"
+        lines.append(f"# TYPE {base} summary")
+        histogram_samples(base, labels, snap["histograms"][key])
+
+    if window_snapshot:
+        window_ms = window_snapshot.get("window_ms", 0.0)
+        for key in sorted(window_snapshot.get("counters", {})):
+            name, labels = _split_key(key)
+            base = f"repro_window_{_sanitize(name)}"
+            row = window_snapshot["counters"][key]
+            labels = dict(labels, window_ms=f"{window_ms:g}")
+            lines.append(f"# TYPE {base} gauge")
+            sample(f"{base}_total", labels, row.get("total", 0.0))
+            sample(f"{base}_rate_per_s", labels,
+                   row.get("rate_per_s", 0.0))
+        for key in sorted(window_snapshot.get("histograms", {})):
+            name, labels = _split_key(key)
+            base = f"repro_window_{_sanitize(name)}"
+            labels = dict(labels, window_ms=f"{window_ms:g}")
+            lines.append(f"# TYPE {base} summary")
+            stats = dict(window_snapshot["histograms"][key])
+            stats.pop("window_ms", None)
+            histogram_samples(base, labels, stats)
+
+    if slo_snapshot:
+        lines.append("# TYPE repro_slo_healthy gauge")
+        sample("repro_slo_healthy", {},
+               1.0 if slo_snapshot.get("healthy") else 0.0)
+        lines.append("# TYPE repro_slo_burn_rate gauge")
+        lines.append("# TYPE repro_slo_budget_spent gauge")
+        lines.append("# TYPE repro_slo_breaches gauge")
+        for session in sorted(slo_snapshot.get("sessions", {})):
+            for row in slo_snapshot["sessions"][session]:
+                labels = {"session": session,
+                          "objective": row["objective"]}
+                burn = row.get("burn_rate") or 0.0
+                if burn != float("inf"):
+                    sample("repro_slo_burn_rate", labels, burn)
+                sample("repro_slo_budget_spent", labels,
+                       min(row.get("budget_spent", 0.0), 1e9))
+                sample("repro_slo_breaches", labels,
+                       row.get("breaches", 0))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> dict[str, float]:
+    """Inverse of :func:`openmetrics` at sample granularity: a map
+    from ``name{labels}`` sample key to value.  Round-tripping the
+    exposition through this parser is lossless."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        samples[key] = float(value)
+    return samples
 
 
 # ----------------------------------------------------------------------
@@ -132,6 +433,9 @@ def summary(tracer: Optional[Tracer] = None,
         lines.append("== histograms ==")
         for key in sorted(snap["histograms"]):
             stats = snap["histograms"][key]
+            if stats.get("empty") or not stats.get("count"):
+                lines.append(f"{key}  count=0 (empty)")
+                continue
             quantiles = " ".join(
                 f"{name}={stats[name]:,.2f}"
                 for name in ("p50", "p95", "p99") if name in stats)

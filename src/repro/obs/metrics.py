@@ -38,6 +38,29 @@ REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
 _LOCK = threading.Lock()
 
 
+class EmptySnapshot:
+    """Typed marker for "no samples recorded".
+
+    A percentile of an empty histogram is not 0.0 — reporting it as
+    such makes a silent session look like a zero-latency one in
+    ``repro stats``.  Queries against empty distributions return the
+    :data:`EMPTY` singleton instead, which is falsy, renders as
+    ``(empty)``, and compares equal only to itself.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "(empty)"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The singleton empty-distribution marker.
+EMPTY = EmptySnapshot()
+
+
 class Counter:
     """Monotonically increasing value."""
 
@@ -91,10 +114,11 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def percentile(self, q: float) -> float:
-        """Approximate percentile from the retained samples."""
+    def percentile(self, q: float):
+        """Approximate percentile from the retained samples, or the
+        typed :data:`EMPTY` marker when nothing has been recorded."""
         if not self.samples:
-            return 0.0
+            return EMPTY
         ordered = sorted(self.samples)
         rank = min(len(ordered) - 1,
                    max(0, round(q / 100.0 * (len(ordered) - 1))))
@@ -103,9 +127,10 @@ class Histogram:
     def percentiles(self, qs: Sequence[float] = REPORTED_PERCENTILES
                     ) -> dict[str, float]:
         """The reporting quantiles (p50/p95/p99 by default), computed
-        in one pass over the sorted retained samples."""
+        in one pass over the sorted retained samples.  Empty
+        distributions map every quantile to :data:`EMPTY`."""
         if not self.samples:
-            return {f"p{q:g}": 0.0 for q in qs}
+            return {f"p{q:g}": EMPTY for q in qs}
         ordered = sorted(self.samples)
         out = {}
         for q in qs:
@@ -115,11 +140,16 @@ class Histogram:
         return out
 
     def stats(self) -> dict[str, float]:
+        """Plain-data summary.  An empty histogram reports only its
+        zero count plus an ``empty`` flag — no fabricated 0.0
+        min/max/mean/percentiles (see :class:`EmptySnapshot`)."""
+        if not self.count:
+            return {"count": 0.0, "sum": 0.0, "empty": True}
         stats = {
             "count": float(self.count),
             "sum": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min,
+            "max": self.max,
             "mean": self.mean,
         }
         stats.update(self.percentiles())

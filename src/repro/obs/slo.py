@@ -1,0 +1,380 @@
+"""Declarative SLOs: spec grammar, rolling evaluation, burn rates.
+
+An SLO spec is a comma-separated list of objectives over the serving
+runtime's *rolling-window* signals::
+
+    p99_latency_ms<0.5,error_rate<0.01,shed_rate<0.2,budget=0.1
+
+Each objective compares one windowed metric against a bound with one
+of ``<``, ``<=``, ``>``, ``>=``.  The optional ``budget`` knob is the
+allowed *breach fraction*: the share of evaluation windows that may
+violate their objective before the error budget is exhausted (default
+:data:`DEFAULT_BUDGET`).
+
+The :class:`SloMonitor` is fed one evaluation per session per window
+boundary by :class:`~repro.serve.server.StreamServer` and keeps, per
+(session, objective):
+
+* the latest observation and verdict,
+* cumulative evaluations/breaches → **breach fraction** and **budget
+  spent** (breach fraction over the allowed budget, 1.0 = exhausted),
+* the instantaneous **burn rate** — observed value over the bound for
+  upper-bound objectives (>= 1 means the window is breaching; the
+  classic "how fast is the budget burning" signal an alerting rule
+  pages on).
+
+Windows whose metric is unobservable (an empty latency window renders
+the typed :data:`~repro.obs.metrics.EMPTY` marker) are *skipped*, not
+counted as compliant — silence must never repair a budget.
+
+Everything the monitor knows is machine-readable via
+:meth:`SloMonitor.snapshot`; :func:`render_dashboard` turns a server
+health snapshot into the ``repro top``-style text frame the CLI
+prints.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+from ..errors import ConfigError
+
+#: Allowed breach fraction when the spec does not set ``budget=``.
+DEFAULT_BUDGET = 0.1
+
+#: Comparison operators an objective may use.
+OPS = ("<=", "<", ">=", ">")
+
+#: The windowed metrics an objective may bound, with a short
+#: description (docs + error messages) and the direction a *healthy*
+#: value lies in relative to the bound.
+SLO_METRICS: dict[str, str] = {
+    "p50_latency_ms": "median request latency over the window",
+    "p95_latency_ms": "p95 request latency over the window",
+    "p99_latency_ms": "p99 request latency over the window",
+    "mean_latency_ms": "mean request latency over the window",
+    "max_latency_ms": "worst request latency over the window",
+    "error_rate": "failed / (served + failed) over the window",
+    "shed_rate": "shed / admitted-or-shed requests over the window",
+    "throughput_rps": "served requests per second over the window",
+}
+
+
+class SloError(ConfigError):
+    """A malformed SLO spec (subclass of the repo-wide ConfigError)."""
+
+
+_OBJECTIVE_RE = re.compile(
+    r"^\s*(?P<metric>[a-z0-9_]+)\s*(?P<op><=|>=|<|>)\s*"
+    r"(?P<threshold>[-+0-9.eE]+)\s*$")
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One bound on one windowed metric."""
+
+    metric: str
+    op: str
+    threshold: float
+
+    def __str__(self) -> str:
+        return f"{self.metric}{self.op}{self.threshold:g}"
+
+    def holds(self, observed: float) -> bool:
+        if self.op == "<":
+            return observed < self.threshold
+        if self.op == "<=":
+            return observed <= self.threshold
+        if self.op == ">":
+            return observed > self.threshold
+        return observed >= self.threshold
+
+    def burn_rate(self, observed: float) -> float:
+        """How hot the window runs against the bound (1.0 = at the
+        bound, above 1.0 = breaching).  For lower-bound objectives
+        (``throughput_rps>X``) the ratio inverts so "bigger is worse"
+        stays true for alerting."""
+        if self.op in ("<", "<="):
+            if self.threshold == 0:
+                return float("inf") if observed > 0 else 0.0
+            return observed / self.threshold
+        if observed == 0:
+            return float("inf") if self.threshold > 0 else 0.0
+        return self.threshold / observed
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """A parsed ``--slo`` string: objectives plus the error budget."""
+
+    objectives: tuple[SloObjective, ...]
+    budget: float = DEFAULT_BUDGET
+
+    def __str__(self) -> str:
+        parts = [str(o) for o in self.objectives]
+        parts.append(f"budget={self.budget:g}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, text: Union[str, "SloSpec", None]
+              ) -> Optional["SloSpec"]:
+        """Parse a spec string; ``None``/empty disables monitoring."""
+        if text is None or isinstance(text, SloSpec):
+            return text
+        text = text.strip()
+        if not text or text.lower() in ("off", "none"):
+            return None
+        objectives: list[SloObjective] = []
+        budget = DEFAULT_BUDGET
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if chunk.lower().startswith("budget="):
+                raw = chunk.partition("=")[2]
+                try:
+                    budget = float(raw)
+                except ValueError:
+                    raise SloError(
+                        f"SLO budget must be numeric, got {raw!r}") \
+                        from None
+                if not 0.0 < budget <= 1.0:
+                    raise SloError(
+                        f"SLO budget {budget:g} outside (0, 1]")
+                continue
+            match = _OBJECTIVE_RE.match(chunk)
+            if match is None:
+                raise SloError(
+                    f"SLO objective {chunk!r} is not "
+                    f"metric{'|'.join(OPS)}value "
+                    f"(full spec: {text!r})")
+            metric = match.group("metric")
+            if metric not in SLO_METRICS:
+                raise SloError(
+                    f"unknown SLO metric {metric!r}; choose from: "
+                    f"{', '.join(sorted(SLO_METRICS))}")
+            try:
+                threshold = float(match.group("threshold"))
+            except ValueError:
+                raise SloError(
+                    f"SLO threshold in {chunk!r} is not numeric") \
+                    from None
+            objectives.append(SloObjective(metric=metric,
+                                           op=match.group("op"),
+                                           threshold=threshold))
+        if not objectives:
+            raise SloError(
+                f"SLO spec {text!r} declares no objectives")
+        return cls(objectives=tuple(objectives), budget=budget)
+
+
+def metric_from_window(metric: str, window: Mapping[str, Any]):
+    """Extract one SLO metric from a session's window-stats dict.
+
+    Returns ``None`` when the metric is unobservable in this window
+    (e.g. a latency percentile of a window that served nothing).
+    """
+    latency = window.get("latency_ms") or {}
+    if metric.endswith("_latency_ms"):
+        if latency.get("empty") or not latency:
+            return None
+        head = metric[:-len("_latency_ms")]
+        key = {"mean": "mean", "max": "max"}.get(head, head)
+        return latency.get(key)
+    return window.get(metric)
+
+
+@dataclass
+class _ObjectiveState:
+    """Cumulative accounting of one (session, objective) pair."""
+
+    evals: int = 0
+    breaches: int = 0
+    consecutive_breaches: int = 0
+    last_observed: Optional[float] = None
+    last_ok: Optional[bool] = None
+    last_burn_rate: float = 0.0
+
+
+@dataclass
+class SloVerdict:
+    """One machine-readable evaluation outcome."""
+
+    session: str
+    objective: SloObjective
+    observed: Optional[float]
+    ok: Optional[bool]             # None = unobservable this window
+    burn_rate: float
+    now_ms: float
+
+    def to_payload(self) -> dict:
+        return {
+            "session": self.session,
+            "objective": str(self.objective),
+            "metric": self.objective.metric,
+            "op": self.objective.op,
+            "threshold": self.objective.threshold,
+            "observed": self.observed,
+            "ok": self.ok,
+            "burn_rate": self.burn_rate,
+            "now_ms": self.now_ms,
+        }
+
+
+class SloMonitor:
+    """Evaluates an :class:`SloSpec` over per-session window stats."""
+
+    def __init__(self, spec: SloSpec) -> None:
+        self.spec = spec
+        self._state: dict[tuple[str, SloObjective], _ObjectiveState] = {}
+
+    # ------------------------------------------------------------------
+    def evaluate(self, session: str, window: Mapping[str, Any],
+                 now_ms: float) -> list[SloVerdict]:
+        """Judge every objective against one session's window stats."""
+        verdicts = []
+        for objective in self.spec.objectives:
+            state = self._state.setdefault((session, objective),
+                                           _ObjectiveState())
+            observed = metric_from_window(objective.metric, window)
+            if observed is None:
+                verdicts.append(SloVerdict(
+                    session=session, objective=objective, observed=None,
+                    ok=None, burn_rate=state.last_burn_rate,
+                    now_ms=now_ms))
+                continue
+            ok = objective.holds(observed)
+            burn = objective.burn_rate(observed)
+            state.evals += 1
+            state.last_observed = observed
+            state.last_ok = ok
+            state.last_burn_rate = burn
+            if ok:
+                state.consecutive_breaches = 0
+            else:
+                state.breaches += 1
+                state.consecutive_breaches += 1
+            verdicts.append(SloVerdict(
+                session=session, objective=objective, observed=observed,
+                ok=ok, burn_rate=burn, now_ms=now_ms))
+        return verdicts
+
+    # ------------------------------------------------------------------
+    def _row(self, session: str,
+             objective: SloObjective) -> dict[str, Any]:
+        state = self._state.get((session, objective), _ObjectiveState())
+        breach_fraction = (state.breaches / state.evals
+                           if state.evals else 0.0)
+        budget_spent = breach_fraction / self.spec.budget
+        return {
+            "objective": str(objective),
+            "metric": objective.metric,
+            "op": objective.op,
+            "threshold": objective.threshold,
+            "observed": state.last_observed,
+            "ok": state.last_ok,
+            "burn_rate": state.last_burn_rate,
+            "evals": state.evals,
+            "breaches": state.breaches,
+            "consecutive_breaches": state.consecutive_breaches,
+            "breach_fraction": breach_fraction,
+            "budget": self.spec.budget,
+            "budget_spent": budget_spent,
+            "budget_exhausted": budget_spent >= 1.0,
+        }
+
+    def session_rows(self, session: str) -> list[dict[str, Any]]:
+        return [self._row(session, objective)
+                for objective in self.spec.objectives]
+
+    def sessions(self) -> list[str]:
+        return sorted({session for session, _ in self._state})
+
+    def healthy(self) -> bool:
+        """True while no objective's latest verdict is a breach."""
+        return all(state.last_ok is not False
+                   for state in self._state.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        """The full machine-readable SLO state."""
+        return {
+            "spec": str(self.spec),
+            "budget": self.spec.budget,
+            "healthy": self.healthy(),
+            "sessions": {session: self.session_rows(session)
+                         for session in self.sessions()},
+        }
+
+
+# ----------------------------------------------------------------------
+# the `repro top`-style dashboard
+# ----------------------------------------------------------------------
+def _fmt(value, width: int = 7, digits: int = 3) -> str:
+    if value is None:
+        return f"{'-':>{width}}"
+    if value == float("inf"):
+        return f"{'inf':>{width}}"
+    return f"{value:>{width}.{digits}f}"
+
+
+def render_dashboard(health: Mapping[str, Any]) -> str:
+    """One ``repro top``-style text frame from a health snapshot
+    (:meth:`~repro.serve.server.StreamServer.health_snapshot`)."""
+    now = health.get("now_ms", 0.0)
+    window = health.get("window_ms", 0.0)
+    slo_ok = health.get("slo_ok")
+    state = ("no slo" if slo_ok is None
+             else "OK" if slo_ok else "BREACH")
+    lines = [f"repro top — t={now:.3f} ms  window={window:g} ms  "
+             f"sessions={len(health.get('sessions', {}))}  slo={state}"]
+    lines.append(
+        f"{'session':<12} {'q':>3} {'state':<9} {'rps':>9} "
+        f"{'p50ms':>7} {'p95ms':>7} {'p99ms':>7} "
+        f"{'shed%':>6} {'err%':>6} {'burn':>6}")
+    for name in sorted(health.get("sessions", {})):
+        row = health["sessions"][name]
+        win = row.get("window", {})
+        latency = win.get("latency_ms", {})
+        empty = latency.get("empty", not latency)
+        burn = max((slo.get("burn_rate") or 0.0
+                    for slo in row.get("slo", [])), default=None)
+        lines.append(
+            f"{name:<12} {row.get('queue_depth', 0):>3} "
+            f"{row.get('breaker', {}).get('state', '-'):<9} "
+            f"{win.get('throughput_rps', 0.0):>9.1f} "
+            f"{_fmt(None if empty else latency.get('p50'))} "
+            f"{_fmt(None if empty else latency.get('p95'))} "
+            f"{_fmt(None if empty else latency.get('p99'))} "
+            f"{100 * win.get('shed_rate', 0.0):>6.1f} "
+            f"{100 * win.get('error_rate', 0.0):>6.1f} "
+            f"{_fmt(burn, width=6, digits=2)}")
+    breaches = []
+    for name in sorted(health.get("sessions", {})):
+        for slo in health["sessions"][name].get("slo", []):
+            if slo.get("ok") is False or slo.get("budget_exhausted"):
+                breaches.append(
+                    f"  {name}: {slo['objective']} observed="
+                    f"{_fmt(slo.get('observed'), width=1)} "
+                    f"burn={slo.get('burn_rate', 0.0):.2f} "
+                    f"budget {100 * min(1.0, slo.get('budget_spent', 0.0)):.0f}% spent"
+                    + (" [EXHAUSTED]" if slo.get("budget_exhausted")
+                       else ""))
+    if breaches:
+        lines.append("slo breaches:")
+        lines.extend(breaches)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "SLO_METRICS",
+    "SloError",
+    "SloMonitor",
+    "SloObjective",
+    "SloSpec",
+    "SloVerdict",
+    "metric_from_window",
+    "render_dashboard",
+]

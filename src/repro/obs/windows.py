@@ -1,0 +1,265 @@
+"""Rolling-window metrics: ring-buffered buckets over a caller clock.
+
+The all-time instruments in :mod:`repro.obs.metrics` answer "what
+happened since the process started"; a serving runtime needs "what is
+happening *now*" — the p99 over the last second, the shed rate over
+the last ten windows — because that is the signal an autoscaler or an
+SLO monitor actually consumes.  This module provides that shape:
+
+* :class:`RollingCounter` — a windowed event count/sum, queryable as a
+  total or a per-second rate over the live window;
+* :class:`RollingHistogram` — a windowed distribution with
+  count/sum/min/max plus capped samples per bucket, queryable as
+  p50/p95/p99 over the live window;
+* :class:`WindowRegistry` — a labelled registry of both, mirroring the
+  ``name{label=value}`` keying of the all-time registry.
+
+Both instruments are a fixed ring of ``buckets`` buckets, each
+covering ``window_ms / buckets`` of clock time.  The clock is supplied
+by the *caller* on every update and query — the serving runtime feeds
+its deterministic simulated milliseconds, so a replayed workload
+produces bit-identical window snapshots; nothing here reads wall
+time.  A bucket is lazily reset when the clock re-enters its ring slot
+in a later epoch, so updates are O(1) and no background sweeper is
+needed.  Clocks that jump backwards (a fresh replay) simply recycle
+the stale buckets: snapshots only aggregate buckets whose epoch lies
+inside the current window.
+
+Queries on a window that saw no samples return the typed
+:data:`~repro.obs.metrics.EMPTY` marker for percentiles, never a
+fabricated 0.0 — identical to the all-time histogram contract.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Mapping, Optional, Sequence
+
+from ..errors import ConfigError
+from .metrics import EMPTY, REPORTED_PERCENTILES, metric_key
+
+#: Raw samples retained per bucket (aggregates keep updating past it).
+BUCKET_SAMPLE_CAP = 512
+
+#: Default bucket count of one rolling window.
+DEFAULT_BUCKETS = 10
+
+_LOCK = threading.Lock()
+
+
+class _Bucket:
+    """One ring slot: the aggregates of one bucket-sized time slice."""
+
+    __slots__ = ("epoch", "count", "total", "minimum", "maximum",
+                 "samples")
+
+    def __init__(self) -> None:
+        self.reset(-1)
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.samples: list[float] = []
+
+
+class _Ring:
+    """Shared ring mechanics of the two windowed instruments."""
+
+    __slots__ = ("window_ms", "bucket_ms", "_buckets")
+
+    def __init__(self, window_ms: float,
+                 buckets: int = DEFAULT_BUCKETS) -> None:
+        if window_ms <= 0:
+            raise ConfigError(
+                f"rolling window must be positive, got {window_ms!r} ms")
+        if buckets < 1:
+            raise ConfigError(
+                f"rolling window needs >= 1 bucket, got {buckets}")
+        self.window_ms = float(window_ms)
+        self.bucket_ms = self.window_ms / buckets
+        self._buckets = [_Bucket() for _ in range(buckets)]
+
+    def _bucket_at(self, now_ms: float) -> _Bucket:
+        """The live bucket for ``now_ms``, reset on epoch turnover."""
+        epoch = int(now_ms // self.bucket_ms)
+        bucket = self._buckets[epoch % len(self._buckets)]
+        if bucket.epoch != epoch:
+            bucket.reset(epoch)
+        return bucket
+
+    def record(self, now_ms: float, value: float) -> None:
+        value = float(value)
+        with _LOCK:
+            bucket = self._bucket_at(now_ms)
+            bucket.count += 1
+            bucket.total += value
+            bucket.minimum = min(bucket.minimum, value)
+            bucket.maximum = max(bucket.maximum, value)
+            if len(bucket.samples) < BUCKET_SAMPLE_CAP:
+                bucket.samples.append(value)
+
+    def _live(self, now_ms: float) -> list[_Bucket]:
+        """Buckets whose slice intersects ``(now - window, now]``."""
+        epoch = int(now_ms // self.bucket_ms)
+        lo = epoch - len(self._buckets) + 1
+        return [b for b in self._buckets if lo <= b.epoch <= epoch]
+
+
+class RollingCounter(_Ring):
+    """Windowed monotone count: events (and their summed amount) that
+    happened inside the live window."""
+
+    def add(self, now_ms: float, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError("rolling counters only increase")
+        self.record(now_ms, amount)
+
+    def total(self, now_ms: float) -> float:
+        """Summed amounts over the live window."""
+        with _LOCK:
+            return sum(b.total for b in self._live(now_ms))
+
+    def rate_per_s(self, now_ms: float) -> float:
+        """Amount per second of clock time over the live window."""
+        return self.total(now_ms) / (self.window_ms / 1e3)
+
+    def snapshot(self, now_ms: float) -> dict[str, float]:
+        total = self.total(now_ms)
+        return {"total": total,
+                "rate_per_s": total / (self.window_ms / 1e3),
+                "window_ms": self.window_ms}
+
+
+class RollingHistogram(_Ring):
+    """Windowed distribution: stats over the live window only."""
+
+    def stats(self, now_ms: float) -> dict[str, Any]:
+        """count/sum/min/max/mean plus the reporting percentiles, all
+        restricted to the live window.  An empty window reports only
+        its zero count plus an ``empty`` flag, and percentiles come
+        back as the typed :data:`~repro.obs.metrics.EMPTY` marker —
+        the same no-misleading-zeros contract as the all-time
+        histogram."""
+        with _LOCK:
+            live = self._live(now_ms)
+            count = sum(b.count for b in live)
+            if not count:
+                return {"count": 0.0, "sum": 0.0, "empty": True,
+                        "window_ms": self.window_ms}
+            total = sum(b.total for b in live)
+            samples = sorted(s for b in live for s in b.samples)
+        stats: dict[str, Any] = {
+            "count": float(count),
+            "sum": total,
+            "min": min(b.minimum for b in live),
+            "max": max(b.maximum for b in live),
+            "mean": total / count,
+            "window_ms": self.window_ms,
+        }
+        for q in REPORTED_PERCENTILES:
+            rank = min(len(samples) - 1,
+                       max(0, round(q / 100.0 * (len(samples) - 1))))
+            stats[f"p{q:g}"] = samples[rank]
+        return stats
+
+    def percentile(self, now_ms: float, q: float):
+        """One windowed percentile (:data:`EMPTY` when the window is
+        empty)."""
+        stats = self.stats(now_ms)
+        if stats.get("empty"):
+            return EMPTY
+        key = f"p{q:g}"
+        if key in stats:
+            return stats[key]
+        with _LOCK:
+            samples = sorted(s for b in self._live(now_ms)
+                             for s in b.samples)
+        if not samples:
+            return EMPTY
+        rank = min(len(samples) - 1,
+                   max(0, round(q / 100.0 * (len(samples) - 1))))
+        return samples[rank]
+
+
+class WindowRegistry:
+    """Labelled rolling instruments sharing one window geometry.
+
+    The serving runtime holds one registry per server; keys follow the
+    all-time registry's ``name{label=value,...}`` convention so the
+    two snapshot shapes line up in exports.
+    """
+
+    def __init__(self, window_ms: float,
+                 buckets: int = DEFAULT_BUCKETS) -> None:
+        if window_ms <= 0:
+            raise ConfigError(
+                f"rolling window must be positive, got {window_ms!r} ms")
+        self.window_ms = float(window_ms)
+        self.buckets = int(buckets)
+        self.counters: dict[str, RollingCounter] = {}
+        self.histograms: dict[str, RollingHistogram] = {}
+
+    def counter(self, name: str, **labels) -> RollingCounter:
+        key = metric_key(name, labels)
+        instrument = self.counters.get(key)
+        if instrument is None:
+            with _LOCK:
+                instrument = self.counters.setdefault(
+                    key, RollingCounter(self.window_ms, self.buckets))
+        return instrument
+
+    def histogram(self, name: str, **labels) -> RollingHistogram:
+        key = metric_key(name, labels)
+        instrument = self.histograms.get(key)
+        if instrument is None:
+            with _LOCK:
+                instrument = self.histograms.setdefault(
+                    key, RollingHistogram(self.window_ms, self.buckets))
+        return instrument
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+
+    def snapshot(self, now_ms: float) -> dict[str, dict]:
+        """Plain-data view of every instrument over its live window
+        at ``now_ms`` (JSON-safe: empty percentiles are omitted, not
+        faked)."""
+        histograms = {}
+        for key, hist in self.histograms.items():
+            stats = hist.stats(now_ms)
+            histograms[key] = {k: v for k, v in stats.items()
+                               if not isinstance(v, type(EMPTY))}
+        return {
+            "window_ms": self.window_ms,
+            "now_ms": now_ms,
+            "counters": {k: c.snapshot(now_ms)
+                         for k, c in self.counters.items()},
+            "histograms": histograms,
+        }
+
+
+def windowed_value(registry: WindowRegistry, now_ms: float, name: str,
+                   labels: Optional[Mapping[str, Any]] = None,
+                   percentiles: Sequence[float] = REPORTED_PERCENTILES):
+    """Convenience: one metric's windowed reading by flat key."""
+    key = metric_key(name, dict(labels or {}))
+    if key in registry.counters:
+        return registry.counters[key].snapshot(now_ms)
+    if key in registry.histograms:
+        return registry.histograms[key].stats(now_ms)
+    return None
+
+
+__all__ = [
+    "BUCKET_SAMPLE_CAP",
+    "DEFAULT_BUCKETS",
+    "RollingCounter",
+    "RollingHistogram",
+    "WindowRegistry",
+    "windowed_value",
+]

@@ -33,6 +33,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextvars import copy_context
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from . import faults, obs
@@ -171,7 +172,15 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
     futures: list[Future] = []
     try:
         for index, item in enumerate(items):
-            futures.append(executor.submit(run_one, index, item))
+            if telemetry:
+                # Snapshot the submitting thread's context (ambient
+                # trace id and friends) so events emitted inside the
+                # worker stay causally attributed; one copy per task,
+                # since a Context can only host one concurrent run.
+                futures.append(executor.submit(
+                    copy_context().run, run_one, index, item))
+            else:
+                futures.append(executor.submit(run_one, index, item))
         results: list[R] = []
         for future in futures:
             # Gathering in submission order keeps both the results and

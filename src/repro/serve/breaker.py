@@ -50,10 +50,14 @@ class CircuitBreaker:
     def _transition(self, state: str) -> None:
         if state == self.state:
             return
+        from_state = self.state
         self.state = state
         if obs.is_enabled():
             obs.counter("serve.breaker.transitions",
                         session=self.session, to=state).add(1)
+            obs.emit("breaker", session=self.session,
+                     from_state=from_state, to=state,
+                     consecutive_failures=self.consecutive_failures)
 
     def allows(self, now_ms: float) -> bool:
         """Whether a dispatch (or admission) may proceed at ``now_ms``.

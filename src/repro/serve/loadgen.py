@@ -8,7 +8,9 @@ Request files are plain JSON lists, one object per request::
       "arrival_ms": 0.0}, ...]
 
 ``tenant`` defaults to ``"default"``, ``iterations`` to 1 and
-``arrival_ms`` to 0; ``pipeline`` is required.
+``arrival_ms`` to 0; ``pipeline`` is required.  An optional
+``trace_id`` correlates the request with an upstream system's trace;
+without one the server assigns ``req-<id>`` at submission.
 """
 
 from __future__ import annotations
@@ -86,7 +88,8 @@ def load_request_file(path: str) -> list[ServeRequest]:
                 pipeline=str(row["pipeline"]),
                 tenant=str(row.get("tenant", "default")),
                 iterations=int(row.get("iterations", 1)),
-                arrival_ms=float(row.get("arrival_ms", 0.0))))
+                arrival_ms=float(row.get("arrival_ms", 0.0)),
+                trace_id=str(row.get("trace_id", ""))))
         except (TypeError, ValueError) as exc:
             raise ServeError(
                 f"{path}: request {index} is malformed: {exc}") from None

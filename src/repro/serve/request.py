@@ -39,6 +39,11 @@ class ServeRequest:
     iterations: int        # base steady-state iterations of output
     arrival_ms: float      # simulated arrival time
     request_id: int = -1   # assigned by the server at submission
+    #: Causal identity in the observability layer: every lifecycle
+    #: event and span this request causes carries this id.  Assigned
+    #: by the server at submission when telemetry is on (clients may
+    #: pre-assign one to correlate with an upstream system).
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if self.iterations < 1:

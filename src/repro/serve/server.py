@@ -22,14 +22,30 @@ workload replays bit-identically.  ``play`` returns a
 statistics; the same numbers flow into :mod:`repro.obs` metrics
 (queue depth gauge, batch-size and latency histograms, shed counters)
 when the observability layer is enabled.
+
+Telemetry rides the same loop.  With :mod:`repro.obs` enabled, every
+request gets a trace id and emits causally-linked lifecycle events
+(admit → dispatch → batch fire → respond, plus shed/retry/breaker/
+degradation events from the layers underneath); with rolling-window
+monitoring on (obs enabled, or an ``--slo`` spec configured), windowed
+counters/histograms accumulate over the *simulated* clock — monotone
+across successive ``play`` calls via ``_sim_base_ms`` — and a
+:class:`~repro.obs.slo.SloMonitor` judges each session at every window
+-bucket boundary.  :meth:`StreamServer.health_snapshot` is the
+machine-readable health endpoint, :meth:`StreamServer.openmetrics` the
+scrapable text exposition, and :meth:`StreamServer.dashboard` the
+``repro top`` frame.  With everything off, the loop pays one boolean
+check per site — the PR 1/PR 5 zero-overhead contract.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from .. import obs
+from ..obs.slo import SloMonitor, SloSpec, render_dashboard
+from ..obs.windows import DEFAULT_BUCKETS, WindowRegistry
 from ..compiler import CompileOptions
 from ..errors import (
     ReproError,
@@ -158,7 +174,10 @@ class StreamServer:
     def __init__(self, *, policy: Optional[BatchPolicy] = None,
                  options: Optional[CompileOptions] = None,
                  jobs: Optional[int] = None, cache=None,
-                 exec_backend: Optional[str] = None) -> None:
+                 exec_backend: Optional[str] = None,
+                 slo: Union[str, SloSpec, None] = None,
+                 window_ms: float = 1.0,
+                 window_buckets: int = DEFAULT_BUCKETS) -> None:
         self.default_policy = policy or BatchPolicy()
         self.default_options = options
         self.jobs = jobs
@@ -170,6 +189,17 @@ class StreamServer:
         self._rr = 0                      # round-robin pointer
         self._started = False
         self._shut_down = False
+        # -- telemetry state (inert unless obs or an SLO is on) --------
+        #: Rolling-window instruments over the simulated clock.
+        self.windows = WindowRegistry(window_ms, window_buckets)
+        self.slo_spec = SloSpec.parse(slo)
+        self.slo_monitor = (SloMonitor(self.slo_spec)
+                            if self.slo_spec is not None else None)
+        #: Simulated ms served before the current ``play`` — keeps the
+        #: window clock monotone across successive replays.
+        self._sim_base_ms = 0.0
+        #: The window clock's latest reading (health-snapshot "now").
+        self._now_ms = 0.0
 
     # ------------------------------------------------------------------
     def register(self, name: str, graph: StreamGraph, *,
@@ -234,19 +264,41 @@ class StreamServer:
         if self._shut_down:
             raise SessionClosed("server has shut down")
         telemetry = obs.is_enabled()
+        monitor = self.slo_monitor
+        # Rolling windows and SLO evaluation run whenever either obs
+        # or an SLO spec is on; with both off the loop only pays the
+        # boolean checks below (the zero-overhead contract).
+        monitoring = telemetry or monitor is not None
         arrivals = sorted(
             enumerate(requests),
             key=lambda pair: (pair[1].arrival_ms, pair[0]))
         ordered = [
             ServeRequest(pipeline=r.pipeline, tenant=r.tenant,
                          iterations=r.iterations,
-                         arrival_ms=r.arrival_ms, request_id=i)
+                         arrival_ms=r.arrival_ms, request_id=i,
+                         trace_id=((r.trace_id or f"req-{i:06d}")
+                                   if monitoring else r.trace_id))
             for i, (_, r) in enumerate(arrivals)]
         reports = {name: SessionReport(name=name) for name in self._order}
         responses: list[Response] = []
         clock = 0.0
         next_arrival = 0
         batch_counter = 0
+        # The window clock stays monotone across plays: this replay's
+        # simulated ms stack on top of everything served before it.
+        base = self._sim_base_ms
+        eval_ms = self.windows.window_ms / self.windows.buckets
+        slo_epoch = int(base // eval_ms)
+
+        def tick(now_clock: float) -> None:
+            """Advance the window clock; judge SLOs at bucket turns."""
+            nonlocal slo_epoch
+            now = base + now_clock
+            self._now_ms = now
+            epoch = int(now // eval_ms)
+            if monitor is not None and epoch != slo_epoch:
+                slo_epoch = epoch
+                self._eval_slo(now, telemetry)
 
         def shed(request: ServeRequest, error: ServeError,
                  reason: str, at_ms: float) -> None:
@@ -255,6 +307,14 @@ class StreamServer:
             if telemetry:
                 obs.counter("serve.shed", session=request.pipeline,
                             reason=reason).add(1)
+                obs.emit("shed", ts_ms=base + at_ms,
+                         trace_id=request.trace_id or None,
+                         session=request.pipeline, tenant=request.tenant,
+                         reason=reason)
+            if monitoring:
+                self.windows.counter(
+                    "serve.shed", session=request.pipeline) \
+                    .add(base + at_ms)
             responses.append(Response(
                 request=request, status=STATUS_REJECTED,
                 completed_ms=at_ms, error=error))
@@ -279,6 +339,10 @@ class StreamServer:
                 if telemetry:
                     obs.counter("serve.requests",
                                 session=request.pipeline).add(1)
+                if monitoring:
+                    self.windows.counter(
+                        "serve.requests", session=request.pipeline) \
+                        .add(base + request.arrival_ms)
                 breaker = batcher.breaker
                 if not breaker.allows(request.arrival_ms):
                     # Circuit open: shed at admission instead of
@@ -299,6 +363,14 @@ class StreamServer:
                 except ServerOverloaded as overloaded:
                     shed(request, overloaded, overloaded.reason,
                          request.arrival_ms)
+                else:
+                    if telemetry:
+                        obs.emit("admit",
+                                 ts_ms=base + request.arrival_ms,
+                                 trace_id=request.trace_id or None,
+                                 session=request.pipeline,
+                                 tenant=request.tenant,
+                                 queue_depth=batcher.queue.depth)
                 if telemetry:
                     obs.gauge("serve.queue_depth",
                               session=request.pipeline) \
@@ -325,6 +397,8 @@ class StreamServer:
         while True:
             admit_until(clock)
             shed_expired(clock)
+            if monitoring:
+                tick(clock)
             ready = [name for name in self._order
                      if self._batchers[name].queue.depth]
             if not ready:
@@ -359,6 +433,22 @@ class StreamServer:
             session = batcher.session
             report = reports[name]
             duration = 0.0
+            trace_token = None
+            if telemetry:
+                obs.emit("batch_form", ts_ms=base + clock, session=name,
+                         batch=batch_counter,
+                         requests=len(batch.requests),
+                         macro=batch.new_macro_iterations)
+                for request in batch.requests:
+                    obs.emit("dispatch", ts_ms=base + clock,
+                             trace_id=request.trace_id or None,
+                             session=name, batch=batch_counter,
+                             queued_ms=clock - request.arrival_ms)
+                # Execution-side events (fault injections, retries,
+                # vector fallbacks) attribute to the batch's oldest
+                # request — the one whose latency they extend most.
+                trace_token = obs.set_trace(
+                    batch.requests[0].trace_id or None)
             try:
                 cycles = session.batch_cycles(batch.new_macro_iterations)
                 duration = session.ms(cycles)
@@ -376,7 +466,25 @@ class StreamServer:
                     obs.counter("serve.failed", session=name,
                                 error=type(fault).__name__) \
                         .add(len(batch.requests))
+                    obs.reset_trace(trace_token)
+                    trace_token = None
+                    obs.emit("batch_fire", ts_ms=base + completed,
+                             session=name, batch=batch_counter, ok=False,
+                             duration_ms=duration,
+                             requests=len(batch.requests),
+                             error=type(fault).__name__)
+                if monitoring:
+                    self.windows.counter("serve.failed", session=name) \
+                        .add(base + completed, len(batch.requests))
                 for request in batch.requests:
+                    if telemetry:
+                        obs.emit("respond", ts_ms=base + completed,
+                                 trace_id=request.trace_id or None,
+                                 session=name, ok=False,
+                                 status=STATUS_FAILED,
+                                 error=type(fault).__name__,
+                                 latency_ms=completed
+                                 - request.arrival_ms)
                     responses.append(Response(
                         request=request, status=STATUS_FAILED,
                         completed_ms=completed,
@@ -398,7 +506,12 @@ class StreamServer:
                     obs.gauge("serve.queue_depth", session=name) \
                         .set(batcher.queue.depth)
                 clock = completed
+                if monitoring:
+                    tick(clock)
                 continue
+            if trace_token is not None:
+                obs.reset_trace(trace_token)
+                trace_token = None
             batcher.breaker.record_success(clock + duration)
             completed = clock + duration
 
@@ -415,6 +528,11 @@ class StreamServer:
             report.macro_iterations += new_macro
             report.invocations += invocations
             report.busy_ms += duration
+            if telemetry:
+                obs.emit("batch_fire", ts_ms=base + completed,
+                         session=name, batch=record.index, ok=True,
+                         duration_ms=duration,
+                         requests=len(batch.requests), macro=new_macro)
             for request, (start, count) in zip(batch.requests,
                                                batch.windows):
                 outputs = session.outputs_for(start, count)
@@ -424,10 +542,22 @@ class StreamServer:
                 report.latencies_ms.append(latency)
                 report.unbatched_baseline_ms += session.ms(
                     session.unbatched_request_cycles(count))
+                if telemetry:
+                    obs.emit("respond", ts_ms=base + completed,
+                             trace_id=request.trace_id or None,
+                             session=name, ok=True, status=STATUS_OK,
+                             latency_ms=latency, batch=record.index)
+                if monitoring:
+                    self.windows.histogram(
+                        "serve.latency_ms", session=name) \
+                        .record(base + completed, latency)
                 responses.append(Response(
                     request=request, status=STATUS_OK, outputs=outputs,
                     start_iteration=start, completed_ms=completed,
                     latency_ms=latency, batch_index=record.index))
+            if monitoring:
+                self.windows.counter("serve.served", session=name) \
+                    .add(base + completed, len(batch.requests))
             if telemetry:
                 obs.counter("serve.batches", session=name).add(1)
                 obs.histogram("serve.batch_requests", session=name) \
@@ -440,7 +570,17 @@ class StreamServer:
                 obs.gauge("serve.queue_depth", session=name) \
                     .set(batcher.queue.depth)
             clock = completed
+            if monitoring:
+                tick(clock)
 
+        if monitoring:
+            # Close the books: a final SLO evaluation at the replay's
+            # end, so short runs that never cross a bucket boundary
+            # still get judged.
+            self._now_ms = base + clock
+            if monitor is not None:
+                self._eval_slo(self._now_ms, telemetry)
+        self._sim_base_ms = base + clock
         responses.sort(key=lambda r: r.request.request_id)
         if len(responses) != len(ordered):  # pragma: no cover - invariant
             raise ServeError(
@@ -448,6 +588,99 @@ class StreamServer:
                 f"{len(responses)} responses")
         return ServeReport(responses=responses, sessions=reports,
                            duration_ms=clock)
+
+    # -- telemetry endpoints -------------------------------------------
+    def _window_stats(self, name: str, now_ms: float) -> dict:
+        """One session's rolling-window signals at ``now_ms`` — the
+        exact dict shape the SLO metrics are extracted from."""
+        windows = self.windows
+        requests = windows.counter("serve.requests",
+                                   session=name).total(now_ms)
+        served_counter = windows.counter("serve.served", session=name)
+        served = served_counter.total(now_ms)
+        failed = windows.counter("serve.failed",
+                                 session=name).total(now_ms)
+        shed = windows.counter("serve.shed", session=name).total(now_ms)
+        finished = served + failed
+        return {
+            "requests": requests,
+            "served": served,
+            "failed": failed,
+            "shed": shed,
+            "throughput_rps": served_counter.rate_per_s(now_ms),
+            "error_rate": failed / finished if finished else 0.0,
+            "shed_rate": shed / requests if requests else 0.0,
+            "latency_ms": windows.histogram(
+                "serve.latency_ms", session=name).stats(now_ms),
+        }
+
+    def _eval_slo(self, now_ms: float, telemetry: bool) -> None:
+        """Judge every objective against every session's live window."""
+        monitor = self.slo_monitor
+        if monitor is None:
+            return
+        for name in self._order:
+            stats = self._window_stats(name, now_ms)
+            for verdict in monitor.evaluate(name, stats, now_ms):
+                if not telemetry:
+                    continue
+                obs.emit("slo_eval", ts_ms=now_ms, session=name,
+                         objective=str(verdict.objective),
+                         ok=verdict.ok, observed=verdict.observed,
+                         burn_rate=verdict.burn_rate)
+                if verdict.ok is False:
+                    obs.emit("slo_breach", ts_ms=now_ms, session=name,
+                             objective=str(verdict.objective),
+                             observed=verdict.observed,
+                             burn_rate=verdict.burn_rate)
+
+    def health_snapshot(self) -> dict:
+        """Machine-readable health endpoint: per-session rolling-window
+        signals, breaker state, queue depth, and SLO verdicts, all at
+        the window clock's latest reading.  JSON-safe (empty latency
+        windows report ``empty: true`` instead of fake percentiles)."""
+        now_ms = self._now_ms
+        monitor = self.slo_monitor
+        sessions = {}
+        for name in self._order:
+            batcher = self._batchers.get(name)
+            row: dict = {
+                "queue_depth": batcher.queue.depth if batcher else 0,
+                "window": self._window_stats(name, now_ms),
+                "slo": (monitor.session_rows(name)
+                        if monitor is not None else []),
+            }
+            if batcher is not None:
+                breaker = batcher.breaker
+                row["breaker"] = {
+                    "state": breaker.state,
+                    "consecutive_failures":
+                        breaker.consecutive_failures,
+                    "trips": breaker.trips,
+                }
+            sessions[name] = row
+        return {
+            "now_ms": now_ms,
+            "window_ms": self.windows.window_ms,
+            "spec": (str(self.slo_spec)
+                     if self.slo_spec is not None else None),
+            "slo_ok": (monitor.healthy()
+                       if monitor is not None else None),
+            "sessions": sessions,
+        }
+
+    def openmetrics(self) -> str:
+        """OpenMetrics-style text exposition of the all-time registry
+        plus this server's rolling windows and SLO state."""
+        monitor = self.slo_monitor
+        return obs.openmetrics(
+            window_snapshot=self.windows.snapshot(self._now_ms),
+            slo_snapshot=(monitor.snapshot()
+                          if monitor is not None else None))
+
+    def dashboard(self) -> str:
+        """One ``repro top``-style text frame of the current health."""
+        return render_dashboard(self.health_snapshot())
 
     # ------------------------------------------------------------------
     def _pick(self, candidates: list[str]) -> str:

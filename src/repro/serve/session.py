@@ -72,6 +72,10 @@ class PipelineSession:
         with obs.span("serve.compile", session=name):
             self.compiled: CompiledProgram = compile_stream_program(
                 graph, options, jobs=jobs, cache=cache)
+        if obs.is_enabled():
+            obs.emit("session_compile", session=name,
+                     scheme=options.scheme,
+                     degraded=self.compiled.degraded)
         self.options = options
         self.device = options.device
         self.program = self.compiled.program

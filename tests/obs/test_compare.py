@@ -1,0 +1,150 @@
+"""Unit tests for the benchmark regression differ.
+
+``benchmarks/compare.py`` is a standalone stdlib script (CI runs it
+before the package is importable from source checkouts), so it is
+loaded here by file path rather than as a package module.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_PATH = (pathlib.Path(__file__).resolve().parents[2]
+         / "benchmarks" / "compare.py")
+_spec = importlib.util.spec_from_file_location("bench_compare", _PATH)
+compare_mod = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_mod)
+
+
+def doc(**apps):
+    return {"suite": "serve", "python": "3.x",
+            "gates": {"min_speedup": 2.0}, "apps": apps}
+
+
+BASE = doc(Toy={"speedup": 10.0, "p99_ms": 2.0, "served": 32,
+               "compile_seconds": 4.0, "obs_overhead_pct": 0.4,
+               "shed_rate_pct": 0.0, "ok": True})
+
+
+class TestClassify:
+    def test_wall_clock_metrics_get_wide_band(self):
+        assert compare_mod.classify("apps.Toy.compile_seconds") \
+            == ("lower", compare_mod.WALL_CLOCK_TOLERANCE)
+
+    def test_wall_tolerance_is_overridable(self):
+        assert compare_mod.classify("apps.Toy.compile_seconds", 1.0) \
+            == ("lower", 1.0)
+        # ...without touching simulated metrics.
+        assert compare_mod.classify("apps.Toy.p99_ms", 1.0) \
+            == ("lower", compare_mod.SIMULATED_TOLERANCE)
+
+    def test_directions(self):
+        assert compare_mod.classify("a.speedup") \
+            == ("higher", compare_mod.SIMULATED_TOLERANCE)
+        assert compare_mod.classify("a.served") == ("exact", 0.0)
+
+    def test_informational_metrics_unclassified(self):
+        assert compare_mod.classify("a.obs_overhead_pct") is None
+        assert compare_mod.classify("a.obs_on_play_seconds") is None
+        assert compare_mod.classify("a.shed_rate_pct") is None
+        assert compare_mod.classify("a.mean_batch_requests") is None
+
+
+class TestFlatten:
+    def test_numeric_leaves_only_skipping_metadata(self):
+        flat = compare_mod.flatten(BASE)
+        assert flat["apps.Toy.speedup"] == 10.0
+        assert "suite" not in flat
+        assert "gates.min_speedup" not in flat
+        assert "apps.Toy.ok" not in flat          # booleans excluded
+
+
+class TestCompare:
+    def test_identical_runs_are_clean(self):
+        report = compare_mod.compare(BASE, BASE)
+        assert report["ok"] is True
+        assert report["regressions"] == []
+        assert report["compared"] == 4
+
+    def test_regressions_in_both_directions(self):
+        current = doc(Toy={**BASE["apps"]["Toy"],
+                           "speedup": 8.0, "p99_ms": 3.0})
+        report = compare_mod.compare(current, BASE)
+        kinds = {r["metric"]: r["kind"] for r in report["regressions"]}
+        assert kinds == {"apps.Toy.speedup": "regression",
+                         "apps.Toy.p99_ms": "regression"}
+
+    def test_exact_count_drift_fails(self):
+        current = doc(Toy={**BASE["apps"]["Toy"], "served": 31})
+        report = compare_mod.compare(current, BASE)
+        assert report["regressions"][0]["kind"] == "drift"
+
+    def test_missing_metric_fails(self):
+        current = doc(Toy={k: v for k, v in BASE["apps"]["Toy"].items()
+                           if k != "p99_ms"})
+        report = compare_mod.compare(current, BASE)
+        assert report["regressions"][0]["kind"] == "missing"
+
+    def test_improvements_never_fail(self):
+        current = doc(Toy={**BASE["apps"]["Toy"],
+                           "speedup": 20.0, "p99_ms": 1.0})
+        report = compare_mod.compare(current, BASE)
+        assert report["ok"] is True
+        assert len(report["improvements"]) == 2
+
+    def test_jitter_inside_tolerance_passes(self):
+        current = doc(Toy={**BASE["apps"]["Toy"],
+                           "p99_ms": 2.0 * 1.04,        # < 5 % sim band
+                           "compile_seconds": 4.0 * 1.2})  # < 25 % wall
+        assert compare_mod.compare(current, BASE)["ok"] is True
+
+    def test_wall_tolerance_widens_cross_machine_compares(self):
+        current = doc(Toy={**BASE["apps"]["Toy"],
+                           "compile_seconds": 7.0})     # +75 %
+        assert compare_mod.compare(current, BASE)["ok"] is False
+        assert compare_mod.compare(current, BASE,
+                                   wall_tolerance=1.0)["ok"] is True
+
+    def test_report_is_json_safe(self):
+        current = doc(Toy={**BASE["apps"]["Toy"], "speedup": 1.0})
+        json.dumps(compare_mod.compare(current, BASE))
+
+
+class TestMain:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        run = self._write(tmp_path, "run.json", BASE)
+        base = self._write(tmp_path, "base.json", BASE)
+        assert compare_mod.main([run, base]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one_with_report(self, tmp_path, capsys):
+        current = doc(Toy={**BASE["apps"]["Toy"], "speedup": 1.0})
+        run = self._write(tmp_path, "run.json", current)
+        base = self._write(tmp_path, "base.json", BASE)
+        report_path = tmp_path / "diff.json"
+        assert compare_mod.main([run, base,
+                                 "--json", str(report_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is False
+
+    def test_suite_mismatch_is_loud(self, tmp_path):
+        run = self._write(tmp_path, "run.json",
+                          {**BASE, "suite": "exec"})
+        base = self._write(tmp_path, "base.json", BASE)
+        with pytest.raises(SystemExit, match="suite mismatch"):
+            compare_mod.main([run, base])
+
+    def test_write_baseline_creates_file(self, tmp_path):
+        run = self._write(tmp_path, "run.json", BASE)
+        target = tmp_path / "nested" / "baseline.json"
+        assert compare_mod.main([run, str(target),
+                                 "--write-baseline"]) == 0
+        assert json.loads(target.read_text())["suite"] == "serve"

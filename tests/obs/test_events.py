@@ -1,0 +1,127 @@
+"""Unit tests for the lifecycle event log and trace propagation."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigError
+from repro.obs.events import (
+    EVENT_KINDS,
+    LifecycleEvent,
+    LifecycleLog,
+    current_trace,
+    trace_context,
+)
+
+
+def enabled_log():
+    log = LifecycleLog()
+    log.enable()
+    return log
+
+
+class TestEmit:
+    def test_disabled_is_noop(self):
+        log = LifecycleLog()
+        assert log.emit("admit", ts_ms=1.0) is None
+        assert log.snapshot() == []
+
+    def test_records_in_order_with_seq(self):
+        log = enabled_log()
+        log.emit("admit", ts_ms=1.0, trace_id="r0")
+        log.emit("respond", ts_ms=2.0, trace_id="r0", ok=True)
+        events = log.snapshot()
+        assert [e.seq for e in events] == [0, 1]
+        assert [e.kind for e in events] == ["admit", "respond"]
+        assert events[1].attrs == {"ok": True}
+
+    def test_unknown_kind_is_loud(self):
+        log = enabled_log()
+        with pytest.raises(ConfigError, match="unknown lifecycle"):
+            log.emit("teleport")
+
+    def test_kind_vocabulary_is_closed(self):
+        for kind in ("admit", "shed", "dispatch", "batch_fire",
+                     "respond", "retry", "breaker", "degradation",
+                     "slo_eval", "slo_breach", "session_compile"):
+            assert kind in EVENT_KINDS
+
+    def test_wall_side_events_have_no_ts(self):
+        log = enabled_log()
+        log.emit("breaker", session="s", to="open")
+        event = log.snapshot()[0]
+        assert event.ts_ms is None
+        assert "ts_ms" not in event.to_payload()
+
+
+class TestTracePropagation:
+    def test_ambient_trace_attaches(self):
+        log = enabled_log()
+        with trace_context("req-42"):
+            assert current_trace() == "req-42"
+            log.emit("retry", site="worker.crash")
+        assert current_trace() is None
+        assert log.snapshot()[0].trace_id == "req-42"
+
+    def test_explicit_trace_wins(self):
+        log = enabled_log()
+        with trace_context("ambient"):
+            log.emit("respond", trace_id="explicit")
+        assert log.snapshot()[0].trace_id == "explicit"
+
+    def test_worker_thread_inherits_copied_context(self):
+        # repro.parallel snapshots the submitting context per task;
+        # Context.run reproduces the ambient trace inside the worker.
+        from contextvars import copy_context
+
+        log = enabled_log()
+
+        def task():
+            log.emit("fault_injected", site="worker.crash")
+
+        with trace_context("req-7"):
+            ctx = copy_context()
+        worker = threading.Thread(target=ctx.run, args=(task,),
+                                  name="repro-test-worker")
+        worker.start()
+        worker.join()
+        event = log.snapshot()[0]
+        assert event.trace_id == "req-7"
+        assert event.thread == "repro-test-worker"
+
+    def test_for_trace_filters(self):
+        log = enabled_log()
+        log.emit("admit", trace_id="a")
+        log.emit("admit", trace_id="b")
+        log.emit("respond", trace_id="a")
+        assert [e.kind for e in log.for_trace("a")] \
+            == ["admit", "respond"]
+
+
+class TestPayloadRoundtrip:
+    def test_roundtrip(self):
+        event = LifecycleEvent(seq=3, kind="respond", ts_ms=1.25,
+                               trace_id="r1", attrs={"ok": True},
+                               thread="worker-1")
+        back = LifecycleEvent.from_payload(event.to_payload())
+        assert back == event
+
+    def test_roundtrip_defaults(self):
+        event = LifecycleEvent(seq=0, kind="breaker", ts_ms=None,
+                               trace_id=None)
+        payload = event.to_payload()
+        assert payload == {"seq": 0, "kind": "breaker"}
+        assert LifecycleEvent.from_payload(payload) == event
+
+
+class TestFacade:
+    def test_enable_clears_with_reset_and_toggles_log(self):
+        obs.enable()
+        obs.emit("admit", ts_ms=0.0, trace_id="x")
+        assert len(obs.LIFECYCLE.snapshot()) == 1
+        obs.disable()
+        obs.emit("admit", ts_ms=1.0, trace_id="y")   # no-op while off
+        assert len(obs.LIFECYCLE.snapshot()) == 1
+        obs.enable(reset=True)
+        assert obs.LIFECYCLE.snapshot() == []

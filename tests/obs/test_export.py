@@ -1,10 +1,22 @@
 """Exporter tests against a synthetic tracer + registry."""
 
 import json
+import threading
 
-from repro.obs.export import chrome_trace, summary, to_json
+from repro.obs.events import LifecycleEvent, LifecycleLog
+from repro.obs.export import (
+    SIM_PID,
+    WALL_PID,
+    chrome_trace,
+    events_jsonl,
+    openmetrics,
+    parse_openmetrics,
+    summary,
+    to_json,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
+from repro.obs.windows import WindowRegistry
 
 
 def _populated():
@@ -72,6 +84,167 @@ class TestToJson:
         assert doc["spans"][1]["depth"] == 1
         assert doc["metrics"]["gauges"]["ii_search.final_ii"] == 42.5
         json.dumps(doc)  # must be serializable as-is
+
+
+def _lifecycle_log():
+    log = LifecycleLog()
+    log.enable()
+    log.emit("admit", ts_ms=0.0, trace_id="req-0", session="toy")
+    log.emit("dispatch", ts_ms=0.2, trace_id="req-0", batch=0)
+    log.emit("admit", ts_ms=0.1, trace_id="req-1", session="toy")
+    log.emit("batch_form", ts_ms=0.2, session="toy", batch=0)
+    log.emit("respond", ts_ms=0.5, trace_id="req-0", ok=True)
+    log.emit("respond", ts_ms=0.5, trace_id="req-1", ok=True)
+    log.emit("breaker", session="toy", to="open")   # wall-side, no ts
+    return log
+
+
+class TestWorkerThreadTids:
+    def test_spans_from_worker_threads_get_distinct_tids(self):
+        tracer = Tracer()
+        tracer.enable()
+
+        def work(index):
+            with tracer.span("worker", index=index):
+                pass
+
+        with tracer.span("compile"):
+            threads = [threading.Thread(target=work, args=(i,),
+                                        name=f"repro-profile_{i}")
+                       for i in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        doc = chrome_trace(tracer, MetricsRegistry())
+        spans = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e["pid"] == WALL_PID]
+        by_name = {e["name"]: e for e in spans}
+        worker_tids = {e["tid"] for e in spans if e["name"] == "worker"}
+        assert len(worker_tids) == 2          # one lane per thread
+        assert by_name["compile"]["tid"] == 0  # MainThread pinned
+        assert 0 not in worker_tids
+        # Every tid is named via thread_name metadata.
+        named = {e["tid"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"
+                 and e["pid"] == WALL_PID}
+        assert worker_tids <= named
+
+
+class TestLifecycleLanes:
+    def test_requests_get_linked_spans_and_instants(self):
+        doc = chrome_trace(Tracer(), MetricsRegistry(),
+                           _lifecycle_log())
+        sim = [e for e in doc["traceEvents"] if e["pid"] == SIM_PID]
+        spans = {e["args"]["trace_id"]: e for e in sim
+                 if e["ph"] == "X"}
+        assert set(spans) == {"req-0", "req-1"}
+        # Overlapping requests never share a lane.
+        assert spans["req-0"]["tid"] != spans["req-1"]["tid"]
+        # Instants ride their request's lane, causally linked by id.
+        instants = [e for e in sim if e["ph"] == "i"
+                    and e["args"].get("trace_id") == "req-0"]
+        assert [e["name"] for e in instants] \
+            == ["admit", "dispatch", "respond"]
+        assert all(e["tid"] == spans["req-0"]["tid"] for e in instants)
+        # Wall-side (no-ts) events never reach the simulated lanes.
+        assert all(e["name"] != "breaker" for e in sim)
+        # Anonymous server events land on the trailing server lane.
+        server = [e for e in sim if e["ph"] == "i"
+                  and "trace_id" not in e["args"]]
+        assert [e["name"] for e in server] == ["batch_form"]
+        json.dumps(doc)
+
+    def test_chrome_trace_parses_back(self):
+        # Round-trip: dump to JSON text, parse, and recover one
+        # request's causal chain from the parsed document alone.
+        text = json.dumps(chrome_trace(Tracer(), MetricsRegistry(),
+                                       _lifecycle_log()))
+        parsed = json.loads(text)
+        chain = sorted(
+            ((e["ts"], e["name"]) for e in parsed["traceEvents"]
+             if e["ph"] == "i" and e["pid"] == SIM_PID
+             and e["args"].get("trace_id") == "req-0"))
+        assert [name for _, name in chain] \
+            == ["admit", "dispatch", "respond"]
+
+
+class TestEventsJsonl:
+    def test_roundtrip_lossless(self):
+        log = _lifecycle_log()
+        lines = events_jsonl(log).splitlines()
+        parsed = [LifecycleEvent.from_payload(json.loads(line))
+                  for line in lines]
+        assert parsed == log.snapshot()
+
+    def test_to_json_carries_events(self):
+        doc = to_json(Tracer(), MetricsRegistry(), _lifecycle_log())
+        assert [e["kind"] for e in doc["events"]][:2] \
+            == ["admit", "dispatch"]
+        json.dumps(doc)
+
+
+class TestOpenMetrics:
+    def _exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", session="toy").add(5)
+        registry.gauge("serve.queue_depth", session="toy").set(2)
+        registry.histogram("serve.latency_ms", session="toy").record(1.5)
+        registry.histogram("serve.latency_ms", session="toy").record(0.5)
+        windows = WindowRegistry(window_ms=10.0)
+        windows.counter("serve.served", session="toy").add(1.0, 3.0)
+        windows.histogram("serve.latency_ms", session="toy") \
+            .record(1.0, 0.75)
+        return openmetrics(registry,
+                           window_snapshot=windows.snapshot(1.0))
+
+    def test_shape(self):
+        text = self._exposition()
+        assert text.endswith("# EOF\n")
+        assert "# TYPE repro_serve_requests counter" in text
+        assert 'repro_serve_requests_total{session="toy"} 5' in text
+        assert "# TYPE repro_serve_latency_ms summary" in text
+        assert 'quantile="0.99"' in text
+        assert "repro_window_serve_served_total" in text
+        assert 'window_ms="10"' in text
+
+    def test_parses_back_losslessly(self):
+        text = self._exposition()
+        samples = parse_openmetrics(text)
+        # Every non-comment line survives the round trip.
+        payload_lines = [l for l in text.splitlines()
+                         if l and not l.startswith("#")]
+        assert len(samples) == len(payload_lines)
+        assert samples['repro_serve_requests_total{session="toy"}'] == 5.0
+        assert samples['repro_serve_queue_depth{session="toy"}'] == 2.0
+        assert samples[
+            'repro_window_serve_served_total'
+            '{session="toy",window_ms="10"}'] == 3.0
+        # Re-rendering the parsed samples loses nothing numeric.
+        for key, value in samples.items():
+            assert f"{key} " in text
+            assert value == float(text.split(f"{key} ")[1].split("\n")[0])
+
+    def test_empty_histogram_renders_count_only(self):
+        registry = MetricsRegistry()
+        registry.histogram("quiet", session="toy")
+        text = openmetrics(registry)
+        assert 'repro_quiet_count{session="toy"} 0' in text
+        assert 'quantile' not in text
+
+    def test_slo_snapshot_gauges(self):
+        from repro.obs.slo import SloMonitor, SloSpec
+
+        monitor = SloMonitor(SloSpec.parse("error_rate<0.05"))
+        monitor.evaluate("toy", {"error_rate": 0.1, "latency_ms": {}},
+                         now_ms=1.0)
+        text = openmetrics(MetricsRegistry(),
+                           slo_snapshot=monitor.snapshot())
+        samples = parse_openmetrics(text)
+        assert samples["repro_slo_healthy"] == 0.0
+        key = ('repro_slo_burn_rate{objective="error_rate<0.05",'
+               'session="toy"}')
+        assert samples[key] == 2.0
 
 
 class TestSummary:

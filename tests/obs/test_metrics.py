@@ -3,6 +3,7 @@
 import pytest
 
 from repro.obs.metrics import (
+    EMPTY,
     MetricsRegistry,
     diff_snapshots,
     metric_key,
@@ -61,12 +62,20 @@ class TestHistogram:
         assert hist.mean == 2.0
         assert hist.percentile(50) == 2.0
 
-    def test_empty(self):
+    def test_empty_returns_typed_marker(self):
+        # An empty distribution must never fabricate a 0.0 percentile
+        # (a silent session is not a zero-latency session).
         hist = MetricsRegistry().histogram("x")
         assert hist.mean == 0.0
-        assert hist.percentile(99) == 0.0
-        assert hist.stats()["min"] == 0.0
-        assert hist.stats()["p99"] == 0.0
+        assert hist.percentile(99) is EMPTY
+        assert not hist.percentile(99)          # falsy
+        assert repr(hist.percentile(99)) == "(empty)"
+        assert hist.percentiles()["p99"] is EMPTY
+        stats = hist.stats()
+        assert stats["empty"] is True
+        assert stats["count"] == 0.0
+        assert "min" not in stats
+        assert "p99" not in stats
 
     def test_stats_report_p50_p95_p99(self):
         hist = MetricsRegistry().histogram("latency")

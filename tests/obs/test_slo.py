@@ -1,0 +1,212 @@
+"""Unit tests for SLO spec parsing, evaluation, and the dashboard."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.slo import (
+    DEFAULT_BUDGET,
+    SloError,
+    SloMonitor,
+    SloObjective,
+    SloSpec,
+    metric_from_window,
+    render_dashboard,
+)
+
+
+def window(**overrides):
+    """A served-something window-stats dict like the server's."""
+    base = {
+        "requests": 10.0, "served": 9.0, "failed": 1.0, "shed": 0.0,
+        "throughput_rps": 900.0, "error_rate": 0.1, "shed_rate": 0.0,
+        "latency_ms": {"count": 9.0, "sum": 9.0, "min": 0.5, "max": 2.0,
+                       "mean": 1.0, "p50": 1.0, "p95": 1.8, "p99": 2.0,
+                       "window_ms": 10.0},
+    }
+    base.update(overrides)
+    return base
+
+
+EMPTY_LATENCY = {"count": 0.0, "sum": 0.0, "empty": True,
+                 "window_ms": 10.0}
+
+
+class TestSpecParsing:
+    def test_full_spec(self):
+        spec = SloSpec.parse(
+            "p99_latency_ms<0.5,error_rate<=0.01,budget=0.05")
+        assert spec.objectives == (
+            SloObjective("p99_latency_ms", "<", 0.5),
+            SloObjective("error_rate", "<=", 0.01))
+        assert spec.budget == 0.05
+
+    def test_default_budget(self):
+        assert SloSpec.parse("error_rate<0.1").budget == DEFAULT_BUDGET
+
+    def test_lower_bound_objective(self):
+        spec = SloSpec.parse("throughput_rps>100")
+        assert spec.objectives[0].op == ">"
+
+    def test_off_and_none_disable(self):
+        assert SloSpec.parse(None) is None
+        assert SloSpec.parse("") is None
+        assert SloSpec.parse("off") is None
+        assert SloSpec.parse("none") is None
+
+    def test_spec_passthrough(self):
+        spec = SloSpec.parse("error_rate<0.1")
+        assert SloSpec.parse(spec) is spec
+
+    def test_roundtrip_through_str(self):
+        spec = SloSpec.parse("p99_latency_ms<0.5,budget=0.2")
+        assert SloSpec.parse(str(spec)) == spec
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(SloError, match="unknown SLO metric"):
+            SloSpec.parse("p42_latency_ms<1")
+
+    def test_rejects_malformed_objective(self):
+        with pytest.raises(SloError):
+            SloSpec.parse("error_rate=0.1")
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(SloError):
+            SloSpec.parse("error_rate<0.1,budget=2.0")
+        with pytest.raises(SloError):
+            SloSpec.parse("error_rate<0.1,budget=zero")
+
+    def test_rejects_empty_objectives(self):
+        with pytest.raises(SloError):
+            SloSpec.parse("budget=0.5")
+
+    def test_slo_error_is_config_error(self):
+        assert issubclass(SloError, ConfigError)
+
+
+class TestBurnRate:
+    def test_upper_bound_ratio(self):
+        objective = SloObjective("p99_latency_ms", "<", 2.0)
+        assert objective.burn_rate(1.0) == 0.5
+        assert objective.burn_rate(4.0) == 2.0
+
+    def test_lower_bound_inverts(self):
+        objective = SloObjective("throughput_rps", ">", 100.0)
+        assert objective.burn_rate(200.0) == 0.5   # healthy: < 1
+        assert objective.burn_rate(50.0) == 2.0    # breaching: > 1
+
+    def test_zero_guards(self):
+        assert SloObjective("error_rate", "<", 0.0).burn_rate(0.0) == 0.0
+        assert SloObjective("error_rate", "<", 0.0).burn_rate(0.1) \
+            == float("inf")
+        assert SloObjective("throughput_rps", ">", 10.0).burn_rate(0.0) \
+            == float("inf")
+
+
+class TestMetricFromWindow:
+    def test_latency_percentiles(self):
+        assert metric_from_window("p99_latency_ms", window()) == 2.0
+        assert metric_from_window("mean_latency_ms", window()) == 1.0
+        assert metric_from_window("max_latency_ms", window()) == 2.0
+
+    def test_rates(self):
+        assert metric_from_window("error_rate", window()) == 0.1
+        assert metric_from_window("throughput_rps", window()) == 900.0
+
+    def test_empty_latency_unobservable(self):
+        quiet = window(latency_ms=EMPTY_LATENCY)
+        assert metric_from_window("p99_latency_ms", quiet) is None
+
+
+class TestMonitor:
+    def test_breach_accounting(self):
+        monitor = SloMonitor(SloSpec.parse("error_rate<0.05,budget=0.5"))
+        verdicts = monitor.evaluate("s", window(), now_ms=1.0)
+        assert len(verdicts) == 1
+        assert verdicts[0].ok is False
+        assert verdicts[0].observed == 0.1
+        assert verdicts[0].burn_rate == pytest.approx(2.0)
+        assert not monitor.healthy()
+        row = monitor.session_rows("s")[0]
+        assert row["evals"] == 1
+        assert row["breaches"] == 1
+        assert row["breach_fraction"] == 1.0
+        assert row["budget_spent"] == 2.0
+        assert row["budget_exhausted"] is True
+
+    def test_recovery_resets_consecutive(self):
+        monitor = SloMonitor(SloSpec.parse("error_rate<0.05"))
+        monitor.evaluate("s", window(), now_ms=1.0)
+        monitor.evaluate("s", window(error_rate=0.0), now_ms=2.0)
+        row = monitor.session_rows("s")[0]
+        assert row["consecutive_breaches"] == 0
+        assert row["breaches"] == 1
+        assert monitor.healthy()
+
+    def test_unobservable_window_skipped_not_compliant(self):
+        # Silence must never repair a budget: an empty window counts
+        # neither as an eval nor as a pass.
+        monitor = SloMonitor(SloSpec.parse("p99_latency_ms<0.5"))
+        quiet = window(latency_ms=EMPTY_LATENCY)
+        verdicts = monitor.evaluate("s", quiet, now_ms=1.0)
+        assert verdicts[0].ok is None
+        row = monitor.session_rows("s")[0]
+        assert row["evals"] == 0
+        assert row["breaches"] == 0
+        assert monitor.healthy()   # nothing observed, nothing breached
+
+    def test_snapshot_machine_readable(self):
+        import json
+
+        monitor = SloMonitor(SloSpec.parse("error_rate<0.05"))
+        monitor.evaluate("a", window(), now_ms=1.0)
+        snap = monitor.snapshot()
+        json.dumps(snap)
+        assert snap["healthy"] is False
+        assert snap["sessions"]["a"][0]["metric"] == "error_rate"
+
+    def test_verdict_payload(self):
+        monitor = SloMonitor(SloSpec.parse("error_rate<0.5"))
+        verdict = monitor.evaluate("a", window(), now_ms=3.0)[0]
+        payload = verdict.to_payload()
+        assert payload["session"] == "a"
+        assert payload["ok"] is True
+        assert payload["threshold"] == 0.5
+        assert payload["now_ms"] == 3.0
+
+
+class TestDashboard:
+    def _health(self, ok):
+        rate = 0.5 if not ok else 0.0
+        monitor = SloMonitor(SloSpec.parse("error_rate<0.05,budget=0.1"))
+        monitor.evaluate("toy", window(error_rate=rate), now_ms=5.0)
+        return {
+            "now_ms": 5.0, "window_ms": 10.0,
+            "spec": str(monitor.spec), "slo_ok": monitor.healthy(),
+            "sessions": {"toy": {
+                "queue_depth": 2,
+                "window": window(error_rate=rate),
+                "slo": monitor.session_rows("toy"),
+                "breaker": {"state": "closed",
+                            "consecutive_failures": 0, "trips": 0},
+            }},
+        }
+
+    def test_healthy_frame(self):
+        frame = render_dashboard(self._health(ok=True))
+        assert "slo=OK" in frame
+        assert "toy" in frame
+        assert "slo breaches:" not in frame
+
+    def test_breach_frame(self):
+        frame = render_dashboard(self._health(ok=False))
+        assert "slo=BREACH" in frame
+        assert "slo breaches:" in frame
+        assert "error_rate<0.05" in frame
+        assert "[EXHAUSTED]" in frame
+
+    def test_empty_latency_renders_dashes(self):
+        health = self._health(ok=True)
+        health["sessions"]["toy"]["window"]["latency_ms"] = \
+            dict(EMPTY_LATENCY)
+        frame = render_dashboard(health)
+        assert " - " in frame   # no fabricated zero percentiles

@@ -1,0 +1,144 @@
+"""Unit tests for the ring-buffered rolling-window instruments."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import EMPTY
+from repro.obs.windows import (
+    BUCKET_SAMPLE_CAP,
+    RollingCounter,
+    RollingHistogram,
+    WindowRegistry,
+    windowed_value,
+)
+
+
+class TestRollingCounter:
+    def test_counts_inside_window(self):
+        counter = RollingCounter(window_ms=10.0, buckets=10)
+        counter.add(0.5)
+        counter.add(3.5)
+        counter.add(9.5)
+        assert counter.total(9.5) == 3.0
+
+    def test_old_buckets_age_out(self):
+        counter = RollingCounter(window_ms=10.0, buckets=10)
+        counter.add(0.5)          # bucket epoch 0
+        counter.add(9.5)          # bucket epoch 9
+        # At t=12.5 the window is (2.5, 12.5]: epoch 0 has aged out.
+        assert counter.total(12.5) == 1.0
+        # Far in the future everything has aged out.
+        assert counter.total(100.0) == 0.0
+
+    def test_rate_per_s(self):
+        counter = RollingCounter(window_ms=1000.0, buckets=10)
+        for t in range(5):
+            counter.add(now_ms=float(t * 100), amount=2.0)
+        # 10 units over a 1 s window.
+        assert counter.rate_per_s(450.0) == pytest.approx(10.0)
+
+    def test_amounts_sum(self):
+        counter = RollingCounter(window_ms=10.0, buckets=2)
+        counter.add(1.0, amount=2.5)
+        counter.add(6.0, amount=0.5)
+        assert counter.total(6.0) == 3.0
+
+    def test_rejects_negative_amount(self):
+        counter = RollingCounter(window_ms=10.0)
+        with pytest.raises(ConfigError):
+            counter.add(0.0, amount=-1.0)
+
+    def test_backwards_clock_recycles(self):
+        # A fresh replay restarts the clock at 0; stale future-epoch
+        # buckets must not leak into the new run's window.
+        counter = RollingCounter(window_ms=10.0, buckets=10)
+        counter.add(95.0)
+        counter.add(0.5)
+        assert counter.total(0.5) == 1.0
+
+    def test_snapshot_shape(self):
+        counter = RollingCounter(window_ms=10.0, buckets=10)
+        counter.add(1.0)
+        snap = counter.snapshot(1.0)
+        assert snap == {"total": 1.0, "rate_per_s": 100.0,
+                        "window_ms": 10.0}
+
+
+class TestRollingHistogram:
+    def test_stats_over_live_window(self):
+        hist = RollingHistogram(window_ms=10.0, buckets=10)
+        hist.record(0.5, 100.0)   # will age out
+        hist.record(11.0, 1.0)
+        hist.record(12.0, 3.0)
+        stats = hist.stats(12.0)
+        assert stats["count"] == 2.0
+        assert stats["sum"] == 4.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["mean"] == 2.0
+
+    def test_percentiles_windowed(self):
+        hist = RollingHistogram(window_ms=100.0, buckets=10)
+        for value in range(101):
+            hist.record(float(value), float(value))
+        stats = hist.stats(100.0)
+        assert stats["p50"] == pytest.approx(50.0, abs=6.0)
+        assert stats["p99"] >= stats["p95"] >= stats["p50"]
+
+    def test_empty_window_is_typed_empty(self):
+        hist = RollingHistogram(window_ms=10.0, buckets=10)
+        assert hist.percentile(5.0, 99) is EMPTY
+        stats = hist.stats(5.0)
+        assert stats["empty"] is True
+        assert stats["count"] == 0.0
+        assert "p99" not in stats
+
+    def test_aged_out_window_is_empty(self):
+        hist = RollingHistogram(window_ms=10.0, buckets=10)
+        hist.record(1.0, 42.0)
+        assert hist.stats(1.0)["count"] == 1.0
+        assert hist.stats(500.0)["empty"] is True
+        assert hist.percentile(500.0, 50) is EMPTY
+
+    def test_sample_cap_keeps_aggregates(self):
+        hist = RollingHistogram(window_ms=10.0, buckets=1)
+        for _ in range(BUCKET_SAMPLE_CAP + 10):
+            hist.record(1.0, 1.0)
+        stats = hist.stats(1.0)
+        assert stats["count"] == BUCKET_SAMPLE_CAP + 10
+        assert stats["p99"] == 1.0
+
+
+class TestWindowRegistry:
+    def test_labels_separate_series(self):
+        registry = WindowRegistry(window_ms=10.0)
+        registry.counter("served", session="a").add(1.0)
+        registry.counter("served", session="b").add(1.0)
+        registry.counter("served", session="b").add(2.0)
+        assert registry.counter("served", session="a").total(2.0) == 1.0
+        assert registry.counter("served", session="b").total(2.0) == 2.0
+
+    def test_snapshot_json_safe(self):
+        import json
+
+        registry = WindowRegistry(window_ms=10.0)
+        registry.counter("served", session="a").add(1.0)
+        registry.histogram("latency", session="a").record(1.0, 0.25)
+        registry.histogram("quiet", session="a")    # stays empty
+        snap = registry.snapshot(2.0)
+        json.dumps(snap)   # EMPTY markers must not leak into snapshots
+        assert snap["counters"]["served{session=a}"]["total"] == 1.0
+        assert snap["histograms"]["quiet{session=a}"]["empty"] is True
+
+    def test_windowed_value_lookup(self):
+        registry = WindowRegistry(window_ms=10.0)
+        registry.counter("served", session="a").add(1.0)
+        row = windowed_value(registry, 1.0, "served", {"session": "a"})
+        assert row["total"] == 1.0
+        assert windowed_value(registry, 1.0, "absent") is None
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            WindowRegistry(window_ms=0.0)
+        with pytest.raises(ConfigError):
+            RollingCounter(window_ms=5.0, buckets=0)

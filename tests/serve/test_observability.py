@@ -1,0 +1,250 @@
+"""End-to-end observability properties of the serving runtime.
+
+ISSUE acceptance, exercised through the public server API rather than
+the obs unit seams:
+
+* a served workload with tracing on yields a *causally linked*
+  lifecycle chain per request (admit -> dispatch -> respond on one
+  trace id, timestamps monotone on the simulated clock);
+* rolling-window stats in the health snapshot actually change as the
+  run progresses (and stay inert when no monitoring is on);
+* an SLO spec plus injected pipeline faults produces a
+  machine-readable breach (health endpoint, lifecycle events, and the
+  OpenMetrics exposition all agree);
+* turning observability off is byte-invisible: every benchmark app
+  serves the identical workload to identical responses — outputs,
+  latencies, batch indices, statuses — with obs on and off.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro import faults, obs
+from repro.apps import all_benchmarks, benchmark_by_name
+from repro.cache import CompileCache
+from repro.gpu import GEFORCE_8600_GTS
+from repro.serve import (
+    BatchPolicy,
+    StreamServer,
+    default_session_options,
+    synthetic_workload,
+)
+
+from .conftest import SERVE_OPTIONS, toy_graph
+
+#: Persistent pipeline fault: every firing faults and retries are
+#: exhausted immediately, so every batch fails typed (no real sleeps).
+FAILING = ("seed=9,filter.transient=1.0,filter.transient.persist=99,"
+           "filter.retries=1,backoff_ms=0,hang_ms=0")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    """tests/serve has no suite-wide obs isolation; add it here."""
+    obs.disable()
+    obs.clear()
+    yield
+    obs.disable()
+    obs.clear()
+
+
+@pytest.fixture
+def make_server(serve_cache):
+    def make(**kwargs):
+        kwargs.setdefault("options", SERVE_OPTIONS)
+        kwargs.setdefault("cache", serve_cache)
+        kwargs.setdefault("policy", BatchPolicy(max_wait_ms=0.2))
+        server = StreamServer(**kwargs)
+        server.register("toy", toy_graph("toy"))
+        server.start()
+        return server
+
+    return make
+
+
+def workload(seed=1, requests=12, **kwargs):
+    kwargs.setdefault("tenants", 3)
+    kwargs.setdefault("iterations_range", (1, 3))
+    return synthetic_workload(["toy"], requests=requests, seed=seed,
+                              **kwargs)
+
+
+class TestCausalTrace:
+    def test_served_requests_emit_linked_chains(self, make_server):
+        obs.enable(reset=True)
+        server = make_server()
+        report = server.play(workload())
+        served = [r for r in report.responses if r.ok]
+        assert served
+        for response in served:
+            trace_id = response.request.trace_id
+            assert trace_id              # assigned at submission
+            chain = obs.LIFECYCLE.for_trace(trace_id)
+            kinds = [event.kind for event in chain]
+            # Admission happens before dispatch, dispatch before the
+            # response — the causal order of one request's life.
+            assert kinds.index("admit") < kinds.index("dispatch") \
+                < kinds.index("respond"), trace_id
+            stamps = [event.ts_ms for event in chain
+                      if event.ts_ms is not None]
+            assert stamps == sorted(stamps), trace_id
+
+    def test_trace_ids_are_unique_per_request(self, make_server):
+        obs.enable(reset=True)
+        server = make_server()
+        report = server.play(workload())
+        ids = [r.request.trace_id for r in report.responses]
+        assert len(set(ids)) == len(ids)
+
+    def test_client_supplied_trace_id_is_preserved(self, make_server):
+        from repro.serve import ServeRequest
+
+        obs.enable(reset=True)
+        server = make_server()
+        request = ServeRequest(pipeline="toy", tenant="a", iterations=1,
+                               arrival_ms=0.0, trace_id="upstream-7")
+        report = server.play([request])
+        assert report.responses[0].request.trace_id == "upstream-7"
+        kinds = [e.kind for e in obs.LIFECYCLE.for_trace("upstream-7")]
+        assert "respond" in kinds
+
+
+class TestRollingWindows:
+    def test_window_stats_change_over_the_run(self, make_server):
+        obs.enable(reset=True)
+        server = make_server()
+        first = server.play(workload(seed=1, requests=12))
+        snap1 = server.health_snapshot()
+        second = server.play(workload(seed=2, requests=6))
+        snap2 = server.health_snapshot()
+        # The window clock is monotone across replays and the rolling
+        # stats reflect the most recent traffic, not the whole history.
+        assert snap2["now_ms"] > snap1["now_ms"]
+        window1 = snap1["sessions"]["toy"]["window"]
+        window2 = snap2["sessions"]["toy"]["window"]
+        assert window1 != window2
+        # Admissions stamp at arrival, completions at finish, so the
+        # two signals age out of the window independently; each is
+        # bounded by the run's totals but not by the other.
+        total_served = first.served + second.served
+        for window in (window1, window2):
+            assert 0 <= window["served"] <= total_served
+            assert 0 <= window["requests"] <= len(first.responses) \
+                + len(second.responses)
+        json.dumps(snap2)      # health endpoint is machine-readable
+
+    def test_windows_inert_without_monitoring(self, make_server):
+        server = make_server()            # obs off, no SLO spec
+        report = server.play(workload())
+        assert report.served > 0
+        window = server.health_snapshot()["sessions"]["toy"]["window"]
+        assert window["requests"] == 0.0
+        assert window["latency_ms"].get("empty") is True
+
+    def test_slo_spec_alone_turns_monitoring_on(self, make_server):
+        # No obs: the SLO monitor still needs windowed signals.
+        server = make_server(slo="error_rate<0.5")
+        server.play(workload())
+        snap = server.health_snapshot()
+        assert snap["slo_ok"] is True
+        assert snap["sessions"]["toy"]["window"]["requests"] > 0
+
+
+class TestSloBreachUnderFaults:
+    def test_breach_is_machine_readable(self, make_server):
+        obs.enable(reset=True)
+        server = make_server(
+            slo="error_rate<0.05,budget=0.5",
+            policy=BatchPolicy(max_wait_ms=0.0,
+                               breaker_failure_threshold=100))
+        faults.configure(FAILING)
+        try:
+            report = server.play(workload(requests=8))
+        finally:
+            faults.reset()
+        assert report.failed > 0
+
+        health = server.health_snapshot()
+        json.dumps(health)
+        assert health["slo_ok"] is False
+        rows = health["sessions"]["toy"]["slo"]
+        breached = [row for row in rows if row["metric"] == "error_rate"
+                    and row["breaches"] > 0]
+        assert breached
+        assert breached[0]["observed"] > 0.05
+
+        # The breach is also an event (causally placed on the sim
+        # clock) and an OpenMetrics gauge — three surfaces, one truth.
+        breaches = [e for e in obs.LIFECYCLE.snapshot()
+                    if e.kind == "slo_breach"]
+        assert breaches
+        assert breaches[0].ts_ms is not None
+        samples = obs.parse_openmetrics(server.openmetrics())
+        assert samples["repro_slo_healthy"] == 0.0
+
+    def test_healthy_run_stays_green(self, make_server):
+        server = make_server(slo="error_rate<0.5")
+        report = server.play(workload())
+        assert report.failed == 0
+        assert server.health_snapshot()["slo_ok"] is True
+
+
+# -- obs on/off byte-identity over the full benchmark suite ------------
+
+APP_NAMES = [info.name for info in all_benchmarks()]
+
+APP_DEVICES = {"Filterbank": GEFORCE_8600_GTS.with_sms(2)}
+
+
+def _options(name):
+    return default_session_options(
+        device=APP_DEVICES.get(name, GEFORCE_8600_GTS),
+        attempt_budget_seconds=10.0)
+
+
+@pytest.fixture(scope="session")
+def obs_parity_cache(tmp_path_factory):
+    """Shared compile cache: the obs-on replay of each app starts warm
+    from the obs-off compile, so the sweep pays each ILP once."""
+    return CompileCache(tmp_path_factory.mktemp("obs-parity-cache"))
+
+
+def _play_app(name, cache, enabled):
+    if enabled:
+        obs.enable(reset=True)
+    else:
+        obs.disable()
+        obs.clear()
+    try:
+        server = StreamServer(policy=BatchPolicy(max_wait_ms=0.2),
+                              options=_options(name), cache=cache)
+        server.register(name, benchmark_by_name(name).build())
+        server.start()
+        traffic = synthetic_workload([name], requests=8, seed=5,
+                                     tenants=3, iterations_range=(1, 3),
+                                     burst=4)
+        random.Random(5).shuffle(traffic)
+        return server.play(traffic)
+    finally:
+        obs.disable()
+        obs.clear()
+
+
+def _signature(report):
+    """Everything a client can observe about a replay's responses."""
+    return [(r.status, r.start_iteration, r.batch_index,
+             r.completed_ms, r.latency_ms,
+             type(r.error).__name__ if r.error else None,
+             r.outputs)
+            for r in report.responses]
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_observability_off_is_byte_invisible(name, obs_parity_cache):
+    off = _play_app(name, obs_parity_cache, enabled=False)
+    on = _play_app(name, obs_parity_cache, enabled=True)
+    assert _signature(on) == _signature(off), name
+    assert off.served == on.served
+    assert off.duration_ms == on.duration_ms
