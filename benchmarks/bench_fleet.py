@@ -1,0 +1,323 @@
+"""Fleet scaling harness: multi-shard throughput, tails, stealing.
+
+Replays one saturating workload over a balanced session roster on a
+single-shard :class:`repro.serve.FleetServer` and again on a 4-shard
+fleet, then stresses a skewed hot-tenant workload with work stealing
+enabled.  Session names are chosen so the consistent-hash ring homes
+one instance of every app on every shard — the harness measures
+shard-overlap scaling, not hash luck or app-size skew.
+
+Gates:
+
+* **throughput scaling** — the 4-shard fleet must finish the same
+  workload at least ``--min-scaling`` (default 3x) faster than one
+  shard, measured on the simulated clock (deterministic).
+* **bounded tails** — 4-shard p99 latency at most half the
+  single-shard p99.
+* **byte equality** — every served window byte-equal to the reference
+  interpreter on both fleets, and the 4-shard responses byte-identical
+  to the single-shard responses request-for-request (sharding must be
+  invisible to clients).
+* **stealing** — the skewed run rebalances at least one pipeline,
+  serves every request, and stays byte-equal.
+
+Results land in ``BENCH_fleet.json``, diffable against
+``benchmarks/baseline/bench_fleet_baseline.json`` via
+``benchmarks/compare.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py          # full
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import platform
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps import benchmark_by_name                  # noqa: E402
+from repro.cache import CompileCache                      # noqa: E402
+from repro.gpu import GEFORCE_8600_GTS                    # noqa: E402
+from repro.runtime import Interpreter                     # noqa: E402
+from repro.serve import (                                 # noqa: E402
+    BatchPolicy,
+    ConsistentHashRouter,
+    FleetServer,
+    StealPolicy,
+    default_session_options,
+    synthetic_workload,
+)
+
+QUICK_APPS = ("Bitonic", "DCT")
+FULL_APPS = ("Bitonic", "DCT", "FFT", "MatrixMult")
+
+SHARDS = 4
+REQUESTS_PER_SESSION = 12
+
+POLICY = BatchPolicy(max_wait_ms=0.2, max_batch_iterations=16,
+                     max_batch_requests=32,
+                     max_queue_requests=1024)
+
+DEFAULT_OUTPUT = "BENCH_fleet.json"
+
+
+def _balanced_roster(apps: tuple[str, ...]) -> list[tuple[str, str]]:
+    """(session-name, app) pairs placing one instance of *every* app on
+    *every* shard of the 4-shard ring — per-shard work is balanced by
+    construction, so the scaling gate measures shard overlap rather
+    than hash luck or app-size skew.
+
+    The ring hashes names with blake2b, so the probe is deterministic
+    across machines and Python hash seeds.
+    """
+    ring = ConsistentHashRouter(range(SHARDS))
+    roster: list[tuple[str, str]] = []
+    for app in apps:
+        uncovered = set(range(SHARDS))
+        for attempt in itertools.count():
+            name = f"{app}#{attempt}"
+            shard = ring.route(name)
+            if shard in uncovered:
+                uncovered.discard(shard)
+                roster.append((name, app))
+                if not uncovered:
+                    break
+    return sorted(roster)
+
+
+def _build_fleet(roster, cache, *, shards: int,
+                 steal: StealPolicy | None = None) -> FleetServer:
+    options = default_session_options(device=GEFORCE_8600_GTS,
+                                      attempt_budget_seconds=10.0)
+    fleet = FleetServer(shards=shards, policy=POLICY, options=options,
+                        cache=cache, steal=steal)
+    for name, app in roster:
+        fleet.register(name, benchmark_by_name(app).build())
+    fleet.start()
+    return fleet
+
+
+def _byte_equal(fleet: FleetServer, roster, responses) -> bool:
+    """Every served window byte-equal to the reference interpreter."""
+    by_session: dict[str, list] = {}
+    for response in responses:
+        if response.ok:
+            by_session.setdefault(response.request.pipeline,
+                                  []).append(response)
+    ok = True
+    references: dict[str, tuple] = {}
+    for name, app in roster:
+        served = by_session.get(name, [])
+        if not served:
+            continue
+        total = max(r.start_iteration + r.request.iterations
+                    for r in served)
+        if app not in references or references[app][0] < total:
+            graph = benchmark_by_name(app).build()
+            interp = Interpreter(graph)
+            interp.run(iterations=total)
+            references[app] = (total, graph, interp)
+        _, ref_graph, reference = references[app]
+        ref_uid = {node.name: node.uid for node in ref_graph.sinks}
+        session = fleet.session(name)
+        for sink_name, uid, per in session.sinks:
+            stream = reference.sink_outputs[ref_uid[sink_name]]
+            offset = session.sink_init_tokens[uid]
+            for response in served:
+                lo = offset + response.start_iteration * per
+                hi = lo + response.request.iterations * per
+                if response.outputs[sink_name] != list(stream[lo:hi]):
+                    ok = False
+    return ok
+
+
+def _makespan_ms(responses) -> float:
+    return max(r.completed_ms for r in responses if r.ok)
+
+
+def _scaling_run(roster, cache) -> tuple[dict, dict, list[str]]:
+    """The saturating workload on 1 shard and on ``SHARDS`` shards."""
+    names = [name for name, _ in roster]
+    total = REQUESTS_PER_SESSION * len(roster)
+    workload = synthetic_workload(names, requests=total, seed=7,
+                                  tenants=3, iterations_range=(1, 3),
+                                  burst=total)
+    failures: list[str] = []
+    rows = {}
+    reports = {}
+    for shards in (1, SHARDS):
+        started = time.perf_counter()
+        fleet = _build_fleet(roster, cache, shards=shards)
+        compile_seconds = time.perf_counter() - started
+        report = fleet.play(workload)
+        makespan = _makespan_ms(report.responses)
+        byte_equal = _byte_equal(fleet, roster, report.responses)
+        if not byte_equal:
+            failures.append(f"{shards}-shard fleet: served windows "
+                            f"diverge from the reference interpreter")
+        if report.served != total or len(report.responses) != total:
+            failures.append(f"{shards}-shard fleet: "
+                            f"{report.served}/{total} served — "
+                            f"saturating workload must not shed")
+        rows[shards] = {
+            "compile_seconds": round(compile_seconds, 3),
+            "requests": len(report.responses),
+            "served": report.served,
+            "shed": report.shed,
+            "makespan_ms": round(makespan, 4),
+            "throughput_rps": round(1000.0 * report.served / makespan, 1),
+            "p99_ms": round(_p99(report.responses), 4),
+            "byte_equal": byte_equal,
+        }
+        reports[shards] = report
+        fleet.shutdown()
+
+    # Sharding must be invisible: request-for-request identical
+    # responses (same windows, same bytes) on both fleets.
+    consistent = _responses_match(reports[1].responses,
+                                  reports[SHARDS].responses)
+    if not consistent:
+        failures.append("4-shard responses diverge from single-shard "
+                        "responses — sharding is client-visible")
+    scaling = rows[1]["makespan_ms"] / rows[SHARDS]["makespan_ms"]
+    rows[SHARDS]["throughput_scaling"] = round(scaling, 2)
+    rows[SHARDS]["consistent_with_single_shard"] = consistent
+    return rows[1], rows[SHARDS], failures
+
+
+def _p99(responses) -> float:
+    from repro.serve import percentile
+    return percentile([r.latency_ms for r in responses if r.ok], 99.0)
+
+
+def _responses_match(left, right) -> bool:
+    if len(left) != len(right):
+        return False
+    key = (lambda r: (r.request.pipeline, r.request.trace_id))
+    for a, b in zip(sorted(left, key=key), sorted(right, key=key)):
+        if (a.request.trace_id != b.request.trace_id
+                or a.status != b.status
+                or a.start_iteration != b.start_iteration
+                or a.outputs != b.outputs):
+            return False
+    return True
+
+
+def _steal_run(roster, cache) -> tuple[dict, list[str]]:
+    """Zipf-skewed Poisson traffic with stealing on: the hot shard must
+    shed pipelines to its idle peers without corrupting a byte."""
+    names = [name for name, _ in roster]
+    total = REQUESTS_PER_SESSION * len(roster)
+    workload = synthetic_workload(names, requests=total, seed=11,
+                                  tenants=4, iterations_range=(1, 3),
+                                  mean_interarrival_ms=0.01,
+                                  tenant_skew=1.2)
+    fleet = _build_fleet(roster, cache, shards=SHARDS,
+                         steal=StealPolicy(p99_budget_ms=0.5,
+                                           min_queue_depth=1,
+                                           max_moves_per_round=2))
+    report = fleet.play(workload)
+    byte_equal = _byte_equal(fleet, roster, report.responses)
+    failures = []
+    if not byte_equal:
+        failures.append("steal run: served windows diverge from the "
+                        "reference interpreter")
+    if report.served != total:
+        failures.append(f"steal run: {report.served}/{total} served — "
+                        f"stealing must not drop or shed requests")
+    if not report.steals:
+        failures.append("steal run: no pipelines were stolen — the "
+                        "skewed workload must trigger rebalancing")
+    row = {
+        "requests": len(report.responses),
+        "served": report.served,
+        "steals": len(report.steals),
+        "makespan_ms": round(_makespan_ms(report.responses), 4),
+        "p99_ms": round(_p99(report.responses), 4),
+        "byte_equal": byte_equal,
+    }
+    fleet.shutdown()
+    return row, failures
+
+
+def run(apps: tuple[str, ...], *, min_scaling: float) -> tuple[dict, bool]:
+    roster = _balanced_roster(apps)
+    cache = CompileCache(tempfile.mkdtemp(prefix="bench-fleet-cache-"))
+    single, sharded, failures = _scaling_run(roster, cache)
+    steal, steal_failures = _steal_run(roster, cache)
+    failures += steal_failures
+
+    scaling = sharded["throughput_scaling"]
+    if scaling < min_scaling:
+        failures.append(
+            f"4-shard fleet scales only {scaling:.2f}x over one shard "
+            f"(gate {min_scaling:.1f}x)")
+    if sharded["p99_ms"] * 2.0 > single["p99_ms"]:
+        failures.append(
+            f"4-shard p99 {sharded['p99_ms']:.3f} ms not at most half "
+            f"the single-shard p99 {single['p99_ms']:.3f} ms")
+
+    print(f"{'run':<10} {'served':>6} {'makespan':>9} {'rps':>9} "
+          f"{'p99ms':>8} {'bytes':>6}")
+    for label, row in (("shards=1", single),
+                       (f"shards={SHARDS}", sharded),
+                       ("steal", steal)):
+        rps = (f"{row['throughput_rps']:>9.1f}"
+               if "throughput_rps" in row else f"{'-':>9}")
+        print(f"{label:<10} {row['served']:>6} "
+              f"{row['makespan_ms']:>9.3f} {rps} "
+              f"{row['p99_ms']:>8.3f} "
+              f"{'ok' if row['byte_equal'] else 'FAIL':>6}", flush=True)
+    print(f"scaling: {scaling:.2f}x at {SHARDS} shards "
+          f"(gate {min_scaling:.1f}x), {steal['steals']} steals")
+
+    result = {
+        "suite": "bench_fleet",
+        "python": platform.python_version(),
+        "apps": {
+            "shards1": single,
+            f"shards{SHARDS}": sharded,
+            "steal": steal,
+        },
+        "gates": {
+            "min_scaling": min_scaling,
+            "failures": failures,
+        },
+    }
+    return result, not failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="two-app roster for CI")
+    parser.add_argument("--min-scaling", type=float, default=3.0,
+                        help="required 4-shard throughput multiple")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    apps = QUICK_APPS if args.quick else FULL_APPS
+    result, ok = run(apps, min_scaling=args.min_scaling)
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+    if not ok:
+        for failure in result["gates"]["failures"]:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("all fleet gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -314,6 +314,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--top", action="store_true",
                        help="print the repro-top dashboard after the "
                             "replay")
+    serve.add_argument("--shards", type=_positive_int, default=None,
+                       metavar="N",
+                       help="serve from an N-shard fleet (consistent-"
+                            "hash routing; default: single server)")
+    serve.add_argument("--steal", action="store_true",
+                       help="enable cross-shard work stealing for hot "
+                            "pipelines (implies the fleet path)")
+    serve.add_argument("--steal-budget-ms", type=float, default=50.0,
+                       metavar="MS",
+                       help="p99 latency budget that marks a shard as "
+                            "a steal donor")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="scale the fleet on SLO burn rate "
+                            "(implies the fleet path)")
+    serve.add_argument("--min-shards", type=_positive_int, default=1,
+                       metavar="N",
+                       help="autoscaler floor")
+    serve.add_argument("--max-shards", type=_positive_int, default=8,
+                       metavar="N",
+                       help="autoscaler ceiling")
+    serve.add_argument("--tenant-skew", type=float, default=0.0,
+                       metavar="S",
+                       help="Zipf exponent skewing synthetic traffic "
+                            "toward hot tenants/pipelines (0: uniform)")
+    serve.add_argument("--burst-on-ms", type=float, default=None,
+                       metavar="MS",
+                       help="synthetic on/off duty cycle: on-phase "
+                            "length (requires --burst-off-ms)")
+    serve.add_argument("--burst-off-ms", type=float, default=None,
+                       metavar="MS",
+                       help="synthetic on/off duty cycle: idle gap "
+                            "between bursts")
     return parser
 
 
@@ -573,7 +605,10 @@ def _cmd_serve(args) -> int:
     from .errors import ServeError
     from .obs.slo import SloError
     from .serve import (
+        AutoscalePolicy,
         BatchPolicy,
+        FleetServer,
+        StealPolicy,
         StreamServer,
         default_session_options,
         load_request_file,
@@ -606,18 +641,38 @@ def _cmd_serve(args) -> int:
             workload = synthetic_workload(
                 names, requests=args.requests, seed=args.seed,
                 mean_interarrival_ms=args.mean_interarrival_ms,
-                tenants=args.tenants, burst=args.burst)
+                tenants=args.tenants, burst=args.burst,
+                tenant_skew=args.tenant_skew,
+                burst_on_ms=args.burst_on_ms,
+                burst_off_ms=args.burst_off_ms)
     except (OSError, ServeError) as exc:
         print(exc, file=sys.stderr)
         return 2
     if _wants_observability(args) or args.trace_events or args.top:
         obs.enable(reset=True)
+    fleet = (args.shards is not None or args.steal or args.autoscale)
     try:
-        server = StreamServer(policy=policy, options=options,
-                              jobs=args.jobs, cache=_cache_from(args),
-                              exec_backend=args.exec_backend,
-                              slo=args.slo, window_ms=args.window_ms)
-    except SloError as exc:
+        if fleet:
+            server = FleetServer(
+                shards=args.shards or 1, policy=policy,
+                options=options, jobs=args.jobs,
+                cache=_cache_from(args),
+                exec_backend=args.exec_backend,
+                slo=args.slo, window_ms=args.window_ms,
+                steal=(StealPolicy(p99_budget_ms=args.steal_budget_ms)
+                       if args.steal else None),
+                autoscale=(AutoscalePolicy(
+                    min_shards=args.min_shards,
+                    max_shards=args.max_shards)
+                    if args.autoscale else None))
+        else:
+            server = StreamServer(policy=policy, options=options,
+                                  jobs=args.jobs,
+                                  cache=_cache_from(args),
+                                  exec_backend=args.exec_backend,
+                                  slo=args.slo,
+                                  window_ms=args.window_ms)
+    except (ServeError, SloError) as exc:
         print(exc, file=sys.stderr)
         return 2
     for name, graph in graphs.items():

@@ -80,6 +80,7 @@ SITES = (
     "worker.hang",         # a pooled task hangs (WorkerHang)
     "filter.transient",    # one firing faults (TransientFilterFault)
     "gpu.sm_error",        # one SM errors during a simulated kernel
+    "shard.crash",         # a fleet shard dies (sessions re-route)
 )
 
 #: Non-rate knobs the spec accepts, with defaults.

@@ -50,6 +50,10 @@ EVENT_KINDS = frozenset({
     "slo_eval",        # one SLO evaluation over a rolling window
     "slo_breach",      # an SLO objective observed out of bounds
     "session_compile", # a serve session finished compiling
+    "steal",           # a hot shard donated a pipeline's queued work
+    "migrate",         # a pipeline changed home shard (scale/crash)
+    "scale",           # a fleet autoscaling decision (up/down/hold)
+    "shard_crash",     # an injected shard crash (fault site shard.crash)
 })
 
 #: Implicit causal context: the trace id of the request currently

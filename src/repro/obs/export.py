@@ -126,7 +126,17 @@ def _lifecycle_lanes(log: LifecycleLog) -> list[dict]:
                 "args": dict(event.attrs,
                              trace_id=trace_id, seq=event.seq),
             })
-    server_lane = len(lane_busy_until)
+    # Server-side (anonymous) events split into one lane per shard —
+    # fleet events carry a ``shard`` attr — with a shared ``server``
+    # lane for everything unsharded.
+    shard_keys: list = []
+    for event in anon:
+        key = event.attrs.get("shard")
+        if key not in shard_keys:
+            shard_keys.append(key)
+    shard_keys.sort(key=lambda k: (k is not None, k))
+    server_lanes = {key: len(lane_busy_until) + i
+                    for i, key in enumerate(shard_keys)}
     for event in anon:
         out.append({
             "name": event.kind,
@@ -135,7 +145,7 @@ def _lifecycle_lanes(log: LifecycleLog) -> list[dict]:
             "s": "t",
             "ts": event.ts_ms * 1e3,
             "pid": SIM_PID,
-            "tid": server_lane,
+            "tid": server_lanes[event.attrs.get("shard")],
             "args": dict(event.attrs, seq=event.seq),
         })
     meta = [{
@@ -147,10 +157,12 @@ def _lifecycle_lanes(log: LifecycleLog) -> list[dict]:
             "name": "thread_name", "ph": "M", "pid": SIM_PID,
             "tid": lane, "args": {"name": f"request lane {lane}"},
         })
-    if anon:
+    for key, lane in server_lanes.items():
         meta.append({
             "name": "thread_name", "ph": "M", "pid": SIM_PID,
-            "tid": server_lane, "args": {"name": "server"},
+            "tid": lane,
+            "args": {"name": ("server" if key is None
+                              else f"shard {key}")},
         })
     return meta + out
 

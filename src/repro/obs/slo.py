@@ -350,6 +350,27 @@ def render_dashboard(health: Mapping[str, Any]) -> str:
             f"{100 * win.get('shed_rate', 0.0):>6.1f} "
             f"{100 * win.get('error_rate', 0.0):>6.1f} "
             f"{_fmt(burn, width=6, digits=2)}")
+    shards = health.get("shards") or {}
+    if shards:
+        lines.append(
+            f"{'shard':<6} {'state':<7} {'hosted':>6} {'q':>3} "
+            f"{'p99ms':>7} {'steal_in':>8} {'steal_out':>9} "
+            f"{'breakers':<20}")
+        for sid in sorted(shards, key=lambda s: int(s)):
+            row = shards[sid]
+            open_breakers = sorted(
+                name for name, state
+                in (row.get("breakers") or {}).items()
+                if state != "closed")
+            lines.append(
+                f"{sid:<6} "
+                f"{'alive' if row.get('alive') else 'dead':<7} "
+                f"{len(row.get('hosted', [])):>6} "
+                f"{row.get('queue_depth', 0):>3} "
+                f"{_fmt(row.get('p99_ms'))} "
+                f"{row.get('steals_in', 0):>8} "
+                f"{row.get('steals_out', 0):>9} "
+                f"{','.join(open_breakers) or '-':<20}")
     breaches = []
     for name in sorted(health.get("sessions", {})):
         for slo in health["sessions"][name].get("slo", []):

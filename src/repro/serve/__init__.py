@@ -38,8 +38,10 @@ from ..errors import (
     SessionUnhealthy,
 )
 from .admission import AdmissionQueue
+from .autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
 from .batcher import BatchPolicy, DynamicBatcher, PlannedBatch
 from .breaker import CircuitBreaker
+from .fleet import CrashRecord, FleetReport, FleetServer
 from .loadgen import load_request_file, synthetic_workload
 from .request import (
     STATUS_FAILED,
@@ -49,21 +51,32 @@ from .request import (
     Response,
     ServeRequest,
 )
+from .router import ConsistentHashRouter
 from .server import ServeReport, SessionReport, StreamServer, percentile
 from .session import PipelineSession, default_session_options
+from .shard import FairDispatcher, Shard
+from .steal import ShardLoad, StealMove, StealPolicy, plan_steals
 
 __all__ = [
     "AdmissionQueue",
+    "AutoscalePolicy",
+    "Autoscaler",
     "BatchPolicy",
     "BatchRecord",
     "CircuitBreaker",
+    "ConsistentHashRouter",
+    "CrashRecord",
     "DynamicBatcher",
+    "FairDispatcher",
+    "FleetReport",
+    "FleetServer",
     "PipelineSession",
     "PlannedBatch",
     "Response",
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_REJECTED",
+    "ScaleEvent",
     "ServeError",
     "ServeReport",
     "ServeRequest",
@@ -71,9 +84,14 @@ __all__ = [
     "SessionClosed",
     "SessionUnhealthy",
     "SessionReport",
+    "Shard",
+    "ShardLoad",
+    "StealMove",
+    "StealPolicy",
     "StreamServer",
     "default_session_options",
     "load_request_file",
     "percentile",
+    "plan_steals",
     "synthetic_workload",
 ]

@@ -71,8 +71,12 @@ class AdmissionQueue:
         self._closed = True
 
     # ------------------------------------------------------------------
-    def admit(self, request: ServeRequest) -> None:
-        """Queue ``request`` or raise a typed rejection."""
+    def check_capacity(self, request: ServeRequest) -> None:
+        """Raise the typed rejection ``request`` would hit, if any.
+
+        Split out of :meth:`admit` so a server can decide admission
+        *before* claiming a stream window — a rejected request must
+        never consume a window (the gap would waste compute)."""
         if self._closed:
             raise SessionClosed(
                 f"session {self.session!r} is draining; request "
@@ -92,9 +96,31 @@ class AdmissionQueue:
                 f"queued requests); request {request.request_id} shed",
                 session=self.session, tenant=request.tenant,
                 reason="tenant_quota", queue_depth=self._depth)
+
+    def admit(self, request: ServeRequest) -> None:
+        """Queue ``request`` or raise a typed rejection."""
+        self.check_capacity(request)
         self._tenants.setdefault(request.tenant, deque()) \
             .append(request)
         self._depth += 1
+
+    def absorb(self, requests: list[ServeRequest]) -> None:
+        """Re-enqueue already-admitted requests, bypassing the bounds.
+
+        Used when a shard migration or crash recovery moves queued
+        work between shards: the requests were admitted once (and may
+        hold claimed windows), so re-shedding them here would break
+        the one-response-per-request invariant.  Arrival order within
+        each tenant is restored by sorting."""
+        if self._closed:
+            raise SessionClosed(
+                f"session {self.session!r} is draining; cannot absorb "
+                f"{len(requests)} migrated requests")
+        for request in sorted(requests,
+                              key=lambda r: (r.arrival_ms, r.request_id)):
+            self._tenants.setdefault(request.tenant, deque()) \
+                .append(request)
+            self._depth += 1
 
     def purge_expired(self, now_ms: float,
                       deadline_ms: float) -> list[ServeRequest]:
@@ -135,18 +161,30 @@ class AdmissionQueue:
                    for queue in self._tenants.values()
                    for request in queue)
 
+    def max_claimed_end(self) -> Optional[int]:
+        """Largest claimed window end among queued requests, or None
+        when nothing queued holds a pre-claimed window."""
+        ends = [request.window_start + request.iterations
+                for queue in self._tenants.values()
+                for request in queue if request.window_start >= 0]
+        return max(ends) if ends else None
+
     # ------------------------------------------------------------------
     def take_batch(self, max_requests: int,
-                   base_budget: Optional[int] = None
+                   base_budget: Optional[int] = None,
+                   end_budget: Optional[int] = None
                    ) -> list[ServeRequest]:
         """Dequeue up to ``max_requests``, one per tenant per round
         (round-robin), preserving each tenant's FIFO order.
 
         With a ``base_budget``, a tenant's lane stops contributing once
         its head request would push the total past the budget (the
-        request stays queued, in order, for the next batch).  The first
-        request always fits regardless of budget, so an oversized
-        request forms its own batch instead of starving.
+        request stays queued, in order, for the next batch).  With an
+        ``end_budget`` — the pre-claimed-window mode — a lane blocks
+        once its head's claimed window would end past the budgeted
+        stream position instead.  In both modes the first request
+        always fits, so an oversized request forms its own (oversized)
+        batch rather than starving.
         """
         taken: list[ServeRequest] = []
         total = 0
@@ -162,6 +200,12 @@ class AdmissionQueue:
                 head = queue[0]
                 if taken and base_budget is not None \
                         and total + head.iterations > base_budget:
+                    blocked.add(tenant)
+                    continue
+                if taken and end_budget is not None \
+                        and head.window_start >= 0 \
+                        and head.window_start + head.iterations \
+                        > end_budget:
                     blocked.add(tenant)
                     continue
                 taken.append(queue.popleft())

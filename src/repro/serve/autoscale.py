@@ -1,0 +1,147 @@
+"""SLO-driven fleet autoscaling.
+
+The autoscaler is the fleet's only authority on shard count.  It is
+evaluated at window-bucket boundaries of the simulated clock and sees
+exactly two families of signal — rolling-window latency percentiles
+(:mod:`repro.obs.windows`) and SLO burn rates
+(:class:`~repro.obs.slo.SloObjective`) — never wall clock, never
+host load.  That keeps scaling decisions a deterministic function of
+the replayed traffic: the same requests and seeds always produce the
+same :class:`ScaleEvent` log.
+
+Scaling up adds an empty shard to the consistent-hash ring; the ring
+then hands it ``~K/N`` pipelines (bounded movement), which the fleet
+migrates with warm sessions — new shards reuse the already-compiled
+programs, so spin-up skips profiling and the ILP search entirely.
+Scaling down retires the highest-numbered idle shard and migrates its
+pipelines back.  Both directions respect cooldowns and consecutive-
+breach thresholds so a single noisy bucket cannot flap the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ServeError
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Bounds and thresholds of fleet scaling."""
+
+    min_shards: int = 1
+    max_shards: int = 8
+    #: Burn rate at/above which a bucket counts toward scaling up
+    #: (1.0 = error budget burning exactly at the sustainable rate).
+    up_burn_threshold: float = 1.0
+    #: Burn rate at/below which a bucket counts toward scaling down.
+    down_burn_threshold: float = 0.25
+    #: Consecutive breaching evaluations required before scaling up.
+    up_consecutive: int = 2
+    #: Consecutive calm evaluations required before scaling down.
+    down_consecutive: int = 4
+    #: Simulated ms after any scale action before the next may fire.
+    cooldown_ms: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ServeError("min_shards must be >= 1")
+        if self.max_shards < self.min_shards:
+            raise ServeError("max_shards must be >= min_shards")
+        if self.up_burn_threshold <= 0:
+            raise ServeError("up_burn_threshold must be > 0")
+        if self.down_burn_threshold < 0:
+            raise ServeError("down_burn_threshold must be >= 0")
+        if self.down_burn_threshold >= self.up_burn_threshold:
+            raise ServeError(
+                "down_burn_threshold must be < up_burn_threshold")
+        if self.up_consecutive < 1:
+            raise ServeError("up_consecutive must be >= 1")
+        if self.down_consecutive < 1:
+            raise ServeError("down_consecutive must be >= 1")
+        if self.cooldown_ms < 0:
+            raise ServeError("cooldown_ms must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaling decision (including holds at bounds)."""
+
+    ts_ms: float
+    action: str                  # "up" | "down" | "hold"
+    shards_before: int
+    shards_after: int
+    burn_rate: float             # the worst burn rate observed
+    reason: str
+
+
+class Autoscaler:
+    """Consecutive-breach hysteresis over burn-rate evaluations."""
+
+    def __init__(self, policy: Optional[AutoscalePolicy] = None) -> None:
+        self.policy = policy or AutoscalePolicy()
+        self.events: list[ScaleEvent] = []
+        self._hot_streak = 0
+        self._calm_streak = 0
+        self._last_action_ms = float("-inf")
+
+    def evaluate(self, now_ms: float, shards: int,
+                 burn_rate: float) -> Optional[ScaleEvent]:
+        """Judge one bucket; returns a ScaleEvent when the fleet should
+        change size, else ``None`` (holds at bounds are logged too).
+
+        ``burn_rate`` is the worst (highest) burn across the fleet's
+        SLO objectives at this boundary — 0.0 when every objective
+        holds with margin.
+        """
+        policy = self.policy
+        if burn_rate >= policy.up_burn_threshold:
+            self._hot_streak += 1
+            self._calm_streak = 0
+        elif burn_rate <= policy.down_burn_threshold:
+            self._calm_streak += 1
+            self._hot_streak = 0
+        else:
+            self._hot_streak = 0
+            self._calm_streak = 0
+
+        in_cooldown = now_ms - self._last_action_ms < policy.cooldown_ms
+        event: Optional[ScaleEvent] = None
+        if self._hot_streak >= policy.up_consecutive and not in_cooldown:
+            if shards < policy.max_shards:
+                event = ScaleEvent(
+                    ts_ms=now_ms, action="up", shards_before=shards,
+                    shards_after=shards + 1, burn_rate=burn_rate,
+                    reason=f"burn {burn_rate:.2f} >= "
+                           f"{policy.up_burn_threshold:g} for "
+                           f"{self._hot_streak} evals")
+            else:
+                event = ScaleEvent(
+                    ts_ms=now_ms, action="hold", shards_before=shards,
+                    shards_after=shards, burn_rate=burn_rate,
+                    reason=f"at max_shards={policy.max_shards}")
+            self._hot_streak = 0
+        elif self._calm_streak >= policy.down_consecutive \
+                and not in_cooldown:
+            if shards > policy.min_shards:
+                event = ScaleEvent(
+                    ts_ms=now_ms, action="down", shards_before=shards,
+                    shards_after=shards - 1, burn_rate=burn_rate,
+                    reason=f"burn {burn_rate:.2f} <= "
+                           f"{policy.down_burn_threshold:g} for "
+                           f"{self._calm_streak} evals")
+            else:
+                # Holding at min is the steady state, not news — no
+                # event, just reset the streak so the log stays small.
+                self._calm_streak = 0
+                return None
+            self._calm_streak = 0
+        if event is not None:
+            self.events.append(event)
+            if event.action in ("up", "down"):
+                self._last_action_ms = now_ms
+        return event
+
+
+__all__ = ["AutoscalePolicy", "ScaleEvent", "Autoscaler"]

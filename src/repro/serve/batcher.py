@@ -123,8 +123,14 @@ class DynamicBatcher:
         """Whether waiting longer cannot grow the next batch."""
         if self.queue.depth >= self.policy.max_batch_requests:
             return True
-        pending = self.session.pending_macro_iterations(
-            self.session.cursor + self.queue.queued_base_iterations())
+        claimed_end = self.queue.max_claimed_end()
+        if claimed_end is not None:
+            # Pre-claimed windows (server claims at admission): the
+            # queued work's stream reach is the largest claimed end.
+            pending = self.session.pending_macro_iterations(claimed_end)
+        else:
+            pending = self.session.pending_macro_iterations(
+                self.session.cursor + self.queue.queued_base_iterations())
         return pending >= self.policy.max_batch_iterations
 
     def _base_budget(self) -> int:
@@ -139,23 +145,38 @@ class DynamicBatcher:
 
     # ------------------------------------------------------------------
     def form_batch(self) -> PlannedBatch:
-        """Dequeue tenant-fairly and claim stream windows.
+        """Dequeue tenant-fairly and resolve stream windows.
 
         Requests come off the admission queue round-robin across
-        tenants until the batch reaches either cap; window claim order
-        equals dequeue order, so a tenant's own requests always stream
-        in FIFO order.  At least one request is always taken — a single
-        request larger than ``max_batch_iterations`` becomes its own
-        (oversized) batch rather than starving.
+        tenants until the batch reaches either cap.  Two window modes:
+
+        * **pre-claimed** (queued requests carry ``window_start`` —
+          servers claim in arrival order at admission): the batch uses
+          the claimed windows, and the budget bounds how far down the
+          stream one launch may reach;
+        * **legacy** (standalone batcher use): windows are claimed at
+          dequeue, so claim order equals dequeue order.
+
+        At least one request is always taken — a single request larger
+        than ``max_batch_iterations`` becomes its own (oversized) batch
+        rather than starving.
         """
         if not self.queue.depth:
             raise ServeError(
                 f"session {self.session.name!r}: no queued requests")
         session = self.session
-        chosen = self.queue.take_batch(self.policy.max_batch_requests,
-                                       self._base_budget())
-        windows = [(session.claim(r.iterations), r.iterations)
-                   for r in chosen]
+        if self.queue.max_claimed_end() is not None:
+            allowed_end = (session.macro_iterations_done
+                           + self.policy.max_batch_iterations) \
+                * session.base_per_macro
+            chosen = self.queue.take_batch(
+                self.policy.max_batch_requests, end_budget=allowed_end)
+            windows = [(r.window_start, r.iterations) for r in chosen]
+        else:
+            chosen = self.queue.take_batch(
+                self.policy.max_batch_requests, self._base_budget())
+            windows = [(session.claim(r.iterations), r.iterations)
+                       for r in chosen]
         through = max(start + n for start, n in windows)
         new_macro = session.pending_macro_iterations(through)
         return PlannedBatch(requests=chosen, windows=windows,

@@ -1,0 +1,787 @@
+"""The fleet: N shards, one deterministic event loop.
+
+:class:`FleetServer` scales :class:`~repro.serve.server.StreamServer`
+out to N simulated GPUs.  Each GPU is a :class:`~repro.serve.shard
+.Shard` — one timeline, its hosted batchers, breakers and fair
+dispatcher — and the fleet runs all of them through a single discrete-
+event loop over the simulated clock: shards overlap freely in
+simulated time (batch *effects* land at each shard's ``busy_until``),
+while the loop itself stays strictly deterministic, so a workload
+replays bit-identically at any shard count.
+
+Routing, stealing and scaling:
+
+* **Routing** — pipelines map to home shards through a
+  :class:`~repro.serve.router.ConsistentHashRouter`, so adding or
+  removing a shard moves only ``~K/N`` pipelines instead of reshuffling
+  everything.
+* **Work stealing** — at window-bucket boundaries, shards whose rolling
+  p99 breaches the :class:`~repro.serve.steal.StealPolicy` budget
+  donate their most-queued idle pipeline (warm session + queued
+  requests) to the coldest shard, paying a simulated migration charge.
+* **Autoscaling** — an :class:`~repro.serve.autoscale.Autoscaler`
+  grows and shrinks the fleet from SLO burn rates alone.  New shards
+  spin up *warm*: sessions carry their already-compiled programs, so
+  scale-out never repeats profiling or the ILP search.
+* **Crash recovery** — the ``shard.crash`` fault site kills shards at
+  bucket boundaries; the fleet aborts the victim's in-flight batch,
+  re-routes its pipelines via the ring, rebuilds sessions from the
+  stored compiled programs, and replays — every submitted request
+  still gets exactly one response.
+
+Correctness across all of that rests on **claim-at-admission**: a
+request's stream window is fixed in arrival order the moment it is
+admitted, so its outputs are byte-identical no matter which shard
+(or replacement session) eventually executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Union
+
+from .. import faults, obs
+from ..compiler import CompileOptions, CompiledProgram
+from ..errors import (
+    ServeError,
+    ServerOverloaded,
+    SessionClosed,
+    SessionUnhealthy,
+)
+from ..graph.graph import StreamGraph
+from ..obs.metrics import EMPTY
+from ..obs.slo import SloMonitor, SloSpec, render_dashboard
+from ..obs.windows import DEFAULT_BUCKETS, WindowRegistry
+from ..parallel import parallel_map
+from .autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
+from .batcher import BatchPolicy, DynamicBatcher
+from .request import STATUS_REJECTED, Response, ServeRequest
+from .router import ConsistentHashRouter
+from .server import (
+    ServeReport,
+    SessionReport,
+    _SessionSpec,
+    session_window_stats,
+)
+from .session import PipelineSession
+from .shard import PlayContext, Shard
+from .steal import ShardLoad, StealMove, StealPolicy, plan_steals
+
+#: The SLO assumed when autoscaling is requested without a spec — the
+#: autoscaler needs *some* burn-rate signal to act on.
+DEFAULT_AUTOSCALE_SLO = "p99_latency_ms<=50"
+
+
+@dataclass(frozen=True)
+class CrashRecord:
+    """One injected shard crash and what it cost."""
+
+    ts_ms: float
+    shard_id: int
+    aborted_requests: int
+    requeued_requests: int
+    migrated_pipelines: tuple[str, ...]
+
+
+@dataclass
+class FleetReport(ServeReport):
+    """A :class:`ServeReport` plus the fleet's control-plane ledger."""
+
+    shards: dict[int, dict] = field(default_factory=dict)
+    steals: list[StealMove] = field(default_factory=list)
+    scale_events: list[ScaleEvent] = field(default_factory=list)
+    crashes: list[CrashRecord] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [super().describe()]
+        if self.shards:
+            lines.append(
+                f"{'shard':<6} {'alive':>5} {'hosted':>6} "
+                f"{'batches':>7} {'busy_ms':>9} {'steal_in':>8} "
+                f"{'steal_out':>9}")
+            for sid in sorted(self.shards):
+                row = self.shards[sid]
+                lines.append(
+                    f"{sid:<6} {str(row['alive']):>5} "
+                    f"{row['hosted']:>6} {row['batches']:>7} "
+                    f"{row['busy_ms']:>9.3f} {row['steals_in']:>8} "
+                    f"{row['steals_out']:>9}")
+        lines.append(
+            f"fleet: {len(self.shards)} shards, "
+            f"{len(self.steals)} steals, "
+            f"{len(self.scale_events)} scale events, "
+            f"{len(self.crashes)} crashes")
+        return "\n".join(lines)
+
+
+class FleetServer:
+    """N shards behind one consistent-hash router and event loop."""
+
+    def __init__(self, *, shards: int = 1,
+                 policy: Optional[BatchPolicy] = None,
+                 options: Optional[CompileOptions] = None,
+                 jobs: Optional[int] = None, cache=None,
+                 exec_backend: Optional[str] = None,
+                 slo: Union[str, SloSpec, None] = None,
+                 window_ms: float = 1.0,
+                 window_buckets: int = DEFAULT_BUCKETS,
+                 steal: Optional[StealPolicy] = None,
+                 autoscale: Optional[AutoscalePolicy] = None,
+                 migration_ms: float = 0.5) -> None:
+        if shards < 1:
+            raise ServeError(f"fleet needs >= 1 shard, got {shards}")
+        if migration_ms < 0:
+            raise ServeError("migration_ms must be >= 0")
+        self.default_policy = policy or BatchPolicy()
+        self.default_options = options
+        self.jobs = jobs
+        self.cache = cache
+        self.exec_backend = exec_backend
+        self.steal_policy = steal
+        self.migration_ms = migration_ms
+        if autoscale is not None:
+            shards = max(autoscale.min_shards,
+                         min(shards, autoscale.max_shards))
+            if slo is None:
+                slo = DEFAULT_AUTOSCALE_SLO
+        self.autoscaler = (Autoscaler(autoscale)
+                           if autoscale is not None else None)
+        self._specs: dict[str, _SessionSpec] = {}
+        self._order: list[str] = []
+        self._shards: dict[int, Shard] = {
+            sid: Shard(shard_id=sid, label_shard=True)
+            for sid in range(shards)}
+        self._next_shard_id = shards
+        self._ring = ConsistentHashRouter(range(shards))
+        self._home: dict[str, int] = {}      # pipeline -> current shard
+        self._claims: dict[str, int] = {}    # pipeline -> next window
+        self._compiled: dict[str, CompiledProgram] = {}
+        self._last_donated_ms: dict[int, float] = {}
+        self._retiring: Optional[int] = None
+        self._started = False
+        self._shut_down = False
+        # -- control-plane ledgers (reset per play) --------------------
+        self._steals: list[StealMove] = []
+        self._crashes: list[CrashRecord] = []
+        # -- telemetry state -------------------------------------------
+        self.windows = WindowRegistry(window_ms, window_buckets)
+        self.slo_spec = SloSpec.parse(slo)
+        self.slo_monitor = (SloMonitor(self.slo_spec)
+                            if self.slo_spec is not None else None)
+        self._sim_base_ms = 0.0
+        self._now_ms = 0.0
+
+    # -- registry ------------------------------------------------------
+    @property
+    def alive_shards(self) -> list[Shard]:
+        return [self._shards[sid] for sid in sorted(self._shards)
+                if self._shards[sid].alive]
+
+    def register(self, name: str, graph: StreamGraph, *,
+                 policy: Optional[BatchPolicy] = None,
+                 options: Optional[CompileOptions] = None) -> None:
+        if self._started:
+            raise ServeError("register() must precede start()")
+        if name in self._specs:
+            raise ServeError(f"pipeline {name!r} already registered")
+        self._specs[name] = _SessionSpec(
+            name=name, graph=graph,
+            policy=policy or self.default_policy,
+            options=options or self.default_options)
+        self._order.append(name)
+
+    def start(self) -> None:
+        """Compile every pipeline once (parallel, shared cache) and
+        home each on its consistent-hash shard."""
+        if self._started:
+            raise ServeError("fleet already started")
+        if not self._specs:
+            raise ServeError("no pipelines registered")
+
+        def build(spec: _SessionSpec) -> PipelineSession:
+            return PipelineSession(spec.name, spec.graph,
+                                   options=spec.options, jobs=self.jobs,
+                                   cache=self.cache,
+                                   exec_backend=self.exec_backend)
+
+        specs = [self._specs[name] for name in self._order]
+        sessions = parallel_map(build, specs, jobs=self.jobs,
+                                label="serve-compile")
+        for spec, session in zip(specs, sessions):
+            self._compiled[spec.name] = session.compiled
+            batcher = DynamicBatcher(session, spec.policy)
+            home = self._ring.route(spec.name)
+            self._shards[home].host(batcher)
+            self._home[spec.name] = home
+            self._claims[spec.name] = 0
+        self._started = True
+
+    def _batcher(self, name: str) -> DynamicBatcher:
+        return self._shards[self._home[name]].batchers[name]
+
+    def session(self, name: str) -> PipelineSession:
+        return self._batcher(name).session
+
+    @property
+    def sessions(self) -> dict[str, PipelineSession]:
+        return {name: self._batcher(name).session
+                for name in self._order}
+
+    def shutdown(self) -> None:
+        for name in self._order:
+            if self._home.get(name) is None:
+                continue
+            batcher = self._batcher(name)
+            batcher.queue.close()
+            batcher.session.close()
+        self._shut_down = True
+
+    # -- migrations ----------------------------------------------------
+    def _migrate(self, name: str, to_shard: int, clock: float,
+                 migration_ms: float, reason: str,
+                 telemetry: bool, base: float) -> None:
+        """Move ``name`` (warm session + queued requests) between
+        shards; the receiver may not dispatch it before the simulated
+        handoff completes."""
+        source = self._shards[self._home[name]]
+        batcher = source.evict(name)
+        self._shards[to_shard].host(batcher,
+                                    ready_at=clock + migration_ms)
+        self._home[name] = to_shard
+        if telemetry:
+            obs.emit("migrate", ts_ms=base + clock, session=name,
+                     shard=to_shard, source=source.shard_id,
+                     reason=reason,
+                     queued=batcher.queue.depth,
+                     migration_ms=migration_ms)
+
+    def _rebalance(self, clock: float, reason: str,
+                   telemetry: bool, base: float) -> None:
+        """Migrate every pipeline whose ring assignment changed (and
+        which is not mid-batch) to its new home — the bounded ``K/N``
+        movement the consistent hash guarantees."""
+        for name in self._order:
+            target = self._ring.route(name)
+            current = self._home[name]
+            if target == current:
+                continue
+            shard = self._shards[current]
+            if shard.flight is not None and shard.flight.name == name:
+                continue   # mid-batch: stays put this round
+            self._migrate(name, target, clock, self.migration_ms,
+                          reason, telemetry, base)
+
+    # -- control plane (bucket boundaries) -----------------------------
+    def _eval_slo(self, now_ms: float, telemetry: bool) -> float:
+        """Judge every objective; returns the worst burn rate."""
+        monitor = self.slo_monitor
+        worst = 0.0
+        if monitor is None:
+            return worst
+        for name in self._order:
+            stats = session_window_stats(self.windows, name, now_ms)
+            for verdict in monitor.evaluate(name, stats, now_ms):
+                if verdict.ok is not None:
+                    worst = max(worst, verdict.burn_rate)
+                if not telemetry:
+                    continue
+                obs.emit("slo_eval", ts_ms=now_ms, session=name,
+                         objective=str(verdict.objective),
+                         ok=verdict.ok, observed=verdict.observed,
+                         burn_rate=verdict.burn_rate)
+                if verdict.ok is False:
+                    obs.emit("slo_breach", ts_ms=now_ms, session=name,
+                             objective=str(verdict.objective),
+                             observed=verdict.observed,
+                             burn_rate=verdict.burn_rate)
+        return worst
+
+    def shard_p99(self, shard_id: int, now_ms: float) -> Optional[float]:
+        value = self.windows.histogram(
+            "serve.latency_ms", shard=shard_id).percentile(now_ms, 99)
+        return None if value is EMPTY else value
+
+    def _check_crashes(self, clock: float, epoch: int,
+                       telemetry: bool, base: float) -> None:
+        """Deterministic crash injection at a bucket boundary: fault
+        site ``shard.crash`` keyed per (shard, epoch).  The last alive
+        shard never crashes (a zero-GPU fleet cannot drain)."""
+        for shard in list(self.alive_shards):
+            if len(self.alive_shards) <= 1:
+                return
+            key = f"shard{shard.shard_id}:epoch{epoch}"
+            if not faults.should("shard.crash", key):
+                continue
+            self._crash_shard(shard, clock, telemetry, base)
+
+    def _crash_shard(self, shard: Shard, clock: float,
+                     telemetry: bool, base: float) -> None:
+        sid = shard.shard_id
+        aborted = shard.abort_flight()
+        shard.alive = False
+        shard.busy_until = clock
+        if self._retiring == sid:
+            self._retiring = None
+        self._ring.remove_shard(sid)
+        migrated = []
+        requeued = 0
+        for name in list(shard.batchers):
+            batcher = shard.evict(name)
+            pending = batcher.queue.drain()
+            mine = [r for r in aborted if r.pipeline == name]
+            # The dead GPU takes its executor state with it: rebuild
+            # the session over the stored compiled program (no
+            # recompile) and let the replay recompute the stream from
+            # iteration 0 — the cost lands honestly in the next
+            # batch's cycle accounting.
+            fresh = DynamicBatcher(
+                PipelineSession(name,
+                                self._specs[name].graph,
+                                options=self._specs[name].options,
+                                exec_backend=self.exec_backend,
+                                compiled=self._compiled[name]),
+                self._specs[name].policy)
+            survivors = sorted(pending + mine,
+                               key=lambda r: (r.arrival_ms,
+                                              r.request_id))
+            fresh.queue.absorb(survivors)
+            requeued += len(survivors)
+            target = self._ring.route(name)
+            self._shards[target].host(
+                fresh, ready_at=clock + self.migration_ms)
+            self._home[name] = target
+            migrated.append(name)
+            if telemetry:
+                obs.emit("migrate", ts_ms=base + clock, session=name,
+                         shard=target, source=sid, reason="crash",
+                         queued=len(survivors),
+                         migration_ms=self.migration_ms)
+        record = CrashRecord(
+            ts_ms=base + clock, shard_id=sid,
+            aborted_requests=len(aborted),
+            requeued_requests=requeued,
+            migrated_pipelines=tuple(migrated))
+        self._crashes.append(record)
+        if telemetry:
+            obs.emit("shard_crash", ts_ms=base + clock, shard=sid,
+                     aborted=len(aborted), requeued=requeued,
+                     migrated=len(migrated))
+            obs.counter("serve.shard_crashes").add(1)
+
+    def _run_steals(self, clock: float, now_ms: float,
+                    telemetry: bool, base: float) -> None:
+        policy = self.steal_policy
+        loads = []
+        for shard in self.alive_shards:
+            movable = {
+                name: batcher.queue.depth
+                for name, batcher in shard.batchers.items()
+                if not (shard.flight is not None
+                        and shard.flight.name == name)}
+            loads.append(ShardLoad(
+                shard_id=shard.shard_id,
+                p99_ms=self.shard_p99(shard.shard_id, now_ms),
+                queue_depth=shard.queue_depth(),
+                movable=movable))
+        moves = plan_steals(loads, policy, now_ms,
+                            self._last_donated_ms)
+        for move in moves:
+            self._migrate(move.pipeline, move.to_shard, clock,
+                          policy.migration_ms, "steal",
+                          telemetry, base)
+            self._shards[move.from_shard].steals_out += 1
+            self._shards[move.to_shard].steals_in += 1
+            self._last_donated_ms[move.from_shard] = now_ms
+            self._steals.append(move)
+            if telemetry:
+                obs.emit("steal", ts_ms=base + clock,
+                         session=move.pipeline,
+                         shard=move.to_shard,
+                         source=move.from_shard,
+                         queued=move.queued_requests)
+                obs.counter("serve.steals").add(1)
+
+    def _run_autoscale(self, clock: float, now_ms: float,
+                       worst_burn: float, telemetry: bool,
+                       base: float) -> None:
+        scaler = self.autoscaler
+        event = scaler.evaluate(now_ms, len(self.alive_shards),
+                                worst_burn)
+        if event is None:
+            return
+        if telemetry:
+            obs.emit("scale", ts_ms=base + clock, action=event.action,
+                     shards=event.shards_after,
+                     burn_rate=event.burn_rate, reason=event.reason)
+        if event.action == "up":
+            sid = self._next_shard_id
+            self._next_shard_id += 1
+            # Warm spin-up: the new shard receives already-compiled
+            # pipelines through migration — no profiling, no ILP.
+            self._shards[sid] = Shard(shard_id=sid, label_shard=True)
+            self._ring.add_shard(sid)
+            self._rebalance(clock, "scale_up", telemetry, base)
+        elif event.action == "down":
+            self._retiring = max(s.shard_id for s in self.alive_shards)
+
+    def _try_retire(self, clock: float, telemetry: bool,
+                    base: float) -> None:
+        """Finish a pending scale-down once the victim drains its
+        in-flight batch."""
+        if self._retiring is None:
+            return
+        shard = self._shards.get(self._retiring)
+        if shard is None or not shard.alive:
+            self._retiring = None
+            return
+        if shard.busy:
+            return   # retire at a later stop, after the flight lands
+        if len(self.alive_shards) <= 1:
+            self._retiring = None
+            return
+        self._ring.remove_shard(shard.shard_id)
+        shard.alive = False
+        self._retiring = None
+        for name in list(shard.batchers):
+            batcher = shard.evict(name)
+            target = self._ring.route(name)
+            self._shards[target].host(
+                batcher, ready_at=clock + self.migration_ms)
+            self._home[name] = target
+            if telemetry:
+                obs.emit("migrate", ts_ms=base + clock, session=name,
+                         shard=target, source=shard.shard_id,
+                         reason="scale_down",
+                         queued=batcher.queue.depth,
+                         migration_ms=self.migration_ms)
+
+    # -- the event loop ------------------------------------------------
+    def play(self, requests: Sequence[ServeRequest]) -> FleetReport:
+        """Replay a workload across the fleet; exactly one response per
+        submitted request, all queues drained on return."""
+        if not self._started:
+            raise ServeError("call start() before play()")
+        if self._shut_down:
+            raise SessionClosed("fleet has shut down")
+        telemetry = obs.is_enabled()
+        monitor = self.slo_monitor
+        # Stealing and autoscaling are driven by rolling-window
+        # signals, so they force monitoring on even without obs/SLO.
+        monitoring = (telemetry or monitor is not None
+                      or self.steal_policy is not None
+                      or self.autoscaler is not None)
+        controllers = (self.steal_policy is not None
+                       or self.autoscaler is not None
+                       or faults.is_active())
+        arrivals = sorted(
+            enumerate(requests),
+            key=lambda pair: (pair[1].arrival_ms, pair[0]))
+        ordered = [
+            ServeRequest(pipeline=r.pipeline, tenant=r.tenant,
+                         iterations=r.iterations,
+                         arrival_ms=r.arrival_ms, request_id=i,
+                         trace_id=((r.trace_id or f"req-{i:06d}")
+                                   if monitoring else r.trace_id))
+            for i, (_, r) in enumerate(arrivals)]
+        reports = {name: SessionReport(name=name)
+                   for name in self._order}
+        responses: list[Response] = []
+        self._steals = []
+        self._crashes = []
+        clock = 0.0
+        next_arrival = 0
+        base = self._sim_base_ms
+        eval_ms = self.windows.window_ms / self.windows.buckets
+        epoch = int(base // eval_ms)
+
+        def shed(request: ServeRequest, error: ServeError,
+                 reason: str, at_ms: float) -> None:
+            reports[request.pipeline].shed += 1
+            if telemetry:
+                obs.counter("serve.shed", session=request.pipeline,
+                            reason=reason).add(1)
+                obs.emit("shed", ts_ms=base + at_ms,
+                         trace_id=request.trace_id or None,
+                         session=request.pipeline,
+                         tenant=request.tenant, reason=reason)
+            if monitoring:
+                self.windows.counter(
+                    "serve.shed", session=request.pipeline) \
+                    .add(base + at_ms)
+            responses.append(Response(
+                request=request, status=STATUS_REJECTED,
+                completed_ms=at_ms, error=error))
+
+        ctx = PlayContext(reports=reports, responses=responses,
+                          telemetry=telemetry, monitoring=monitoring,
+                          windows=self.windows, base=base, shed=shed)
+
+        def admit_until(now: float) -> None:
+            nonlocal next_arrival
+            while next_arrival < len(ordered) \
+                    and ordered[next_arrival].arrival_ms <= now:
+                request = ordered[next_arrival]
+                next_arrival += 1
+                home = self._home.get(request.pipeline)
+                if home is None:
+                    error = ServeError(
+                        f"unknown pipeline {request.pipeline!r}; "
+                        f"serving: {sorted(self._order)}")
+                    responses.append(Response(
+                        request=request, status=STATUS_REJECTED,
+                        completed_ms=request.arrival_ms, error=error))
+                    continue
+                batcher = self._shards[home].batchers[request.pipeline]
+                report = reports[request.pipeline]
+                report.requests += 1
+                if telemetry:
+                    obs.counter("serve.requests",
+                                session=request.pipeline).add(1)
+                if monitoring:
+                    self.windows.counter(
+                        "serve.requests", session=request.pipeline) \
+                        .add(base + request.arrival_ms)
+                breaker = batcher.breaker
+                if not breaker.allows(request.arrival_ms):
+                    shed(request, SessionUnhealthy(
+                        f"session {request.pipeline!r} circuit "
+                        f"breaker open after "
+                        f"{breaker.consecutive_failures} consecutive "
+                        f"failures; request {request.request_id} shed",
+                        session=request.pipeline,
+                        tenant=request.tenant,
+                        failures=breaker.consecutive_failures,
+                        retry_after_ms=breaker.retry_after_ms(
+                            request.arrival_ms)),
+                        "unhealthy", request.arrival_ms)
+                    continue
+                try:
+                    batcher.queue.check_capacity(request)
+                except ServerOverloaded as overloaded:
+                    shed(request, overloaded, overloaded.reason,
+                         request.arrival_ms)
+                else:
+                    # Claim-at-admission: the window is fixed here, in
+                    # arrival order, from the fleet's own counter — it
+                    # survives migrations, crashes and shard-count
+                    # changes untouched.
+                    start = self._claims[request.pipeline]
+                    self._claims[request.pipeline] = \
+                        start + request.iterations
+                    request = replace(request, window_start=start)
+                    batcher.queue.admit(request)
+                    if telemetry:
+                        obs.emit("admit",
+                                 ts_ms=base + request.arrival_ms,
+                                 trace_id=request.trace_id or None,
+                                 session=request.pipeline,
+                                 tenant=request.tenant,
+                                 shard=home,
+                                 queue_depth=batcher.queue.depth)
+                if telemetry:
+                    obs.gauge("serve.queue_depth",
+                              session=request.pipeline, shard=home) \
+                        .set(batcher.queue.depth)
+
+        def shed_expired(now: float) -> None:
+            for shard in self.alive_shards:
+                for name in list(shard.batchers):
+                    batcher = shard.batchers[name]
+                    deadline = batcher.policy.request_deadline_ms
+                    if deadline is None or not batcher.queue.depth:
+                        continue
+                    for request in batcher.queue.purge_expired(
+                            now, deadline):
+                        shed(request, ServerOverloaded(
+                            f"session {name!r}: request "
+                            f"{request.request_id} missed its "
+                            f"{deadline:g} ms deadline (queued "
+                            f"{now - request.arrival_ms:g} ms)",
+                            session=name, tenant=request.tenant,
+                            reason="deadline",
+                            queue_depth=batcher.queue.depth),
+                            "deadline", now)
+
+        def control(now_clock: float) -> None:
+            """Bucket-boundary controller: SLO, crashes, steals,
+            scaling — all from window signals on the simulated clock."""
+            nonlocal epoch
+            now = base + now_clock
+            self._now_ms = now
+            current = int(now // eval_ms)
+            if current == epoch:
+                return
+            epoch = current
+            worst = self._eval_slo(now, telemetry)
+            if faults.is_active():
+                self._check_crashes(now_clock, current,
+                                    telemetry, base)
+            if self.steal_policy is not None:
+                self._run_steals(now_clock, now, telemetry, base)
+            if self.autoscaler is not None:
+                self._run_autoscale(now_clock, now, worst,
+                                    telemetry, base)
+            self._try_retire(now_clock, telemetry, base)
+
+        while True:
+            # 1. Land flights whose simulated completion has arrived,
+            #    in deterministic (busy_until, shard_id) order.
+            landed = sorted(
+                (s for s in self._shards.values()
+                 if s.flight is not None and s.busy_until <= clock),
+                key=lambda s: (s.busy_until, s.shard_id))
+            for shard in landed:
+                shard.complete_flight(ctx)
+            # 2. Admissions, deadline purges, boundary control.
+            admit_until(clock)
+            shed_expired(clock)
+            if monitoring or controllers:
+                control(clock)
+            # 3. Start batches on every idle shard that has ready work.
+            started = False
+            for shard in self.alive_shards:
+                if shard.busy:
+                    continue
+                if self._retiring == shard.shard_id:
+                    continue   # draining for scale-down
+                plan = shard.dispatch_plan(clock)
+                now_ready = [n for n, at in plan.items()
+                             if at <= clock]
+                if now_ready:
+                    shard.begin_batch(shard.pick(now_ready), clock,
+                                      ctx)
+                    started = True
+            if started:
+                continue
+            # 4. Advance the clock to the next event.
+            events = []
+            if next_arrival < len(ordered):
+                events.append(ordered[next_arrival].arrival_ms)
+            pending = False
+            for shard in self._shards.values():
+                if shard.flight is not None:
+                    events.append(shard.busy_until)
+                    pending = True
+            for shard in self.alive_shards:
+                if shard.busy or self._retiring == shard.shard_id:
+                    continue   # a draining shard's queue moves at
+                    #            retirement, not by dispatching
+                plan = shard.dispatch_plan(clock)
+                if plan:
+                    events.append(min(plan.values()))
+                    pending = True
+            if controllers and (pending or self._retiring is not None
+                                or next_arrival < len(ordered)):
+                # Controllers act at bucket boundaries, so boundaries
+                # are clock events while work remains.  Float floor
+                # division can land the "next" boundary exactly on the
+                # current clock (0.5 // 0.1 == 4.0); step until it is
+                # strictly ahead or the loop livelocks.
+                boundary = (int((base + clock) // eval_ms) + 1) \
+                    * eval_ms - base
+                while boundary <= clock:
+                    boundary += eval_ms
+                events.append(boundary)
+            if not events:
+                break
+            clock = max(clock, min(events))
+
+        if monitoring:
+            self._now_ms = base + clock
+            if monitor is not None:
+                self._eval_slo(self._now_ms, telemetry)
+        self._sim_base_ms = base + clock
+        responses.sort(key=lambda r: r.request.request_id)
+        if len(responses) != len(ordered):  # pragma: no cover
+            raise ServeError(
+                f"fleet response accounting broken: {len(ordered)} "
+                f"requests, {len(responses)} responses")
+        return FleetReport(
+            responses=responses, sessions=reports, duration_ms=clock,
+            shards=self._shard_rows(), steals=list(self._steals),
+            scale_events=(list(self.autoscaler.events)
+                          if self.autoscaler is not None else []),
+            crashes=list(self._crashes))
+
+    # -- telemetry endpoints -------------------------------------------
+    def _shard_rows(self) -> dict[int, dict]:
+        rows = {}
+        for sid in sorted(self._shards):
+            shard = self._shards[sid]
+            rows[sid] = {
+                "alive": shard.alive,
+                "hosted": len(shard.batchers),
+                "pipelines": sorted(shard.batchers),
+                "queue_depth": shard.queue_depth(),
+                "batches": shard.batches_done,
+                "busy_ms": shard.busy_ms,
+                "steals_in": shard.steals_in,
+                "steals_out": shard.steals_out,
+            }
+        return rows
+
+    def health_snapshot(self) -> dict:
+        now_ms = self._now_ms
+        monitor = self.slo_monitor
+        sessions = {}
+        for name in self._order:
+            home = self._home.get(name)
+            batcher = (self._shards[home].batchers.get(name)
+                       if home is not None else None)
+            row: dict = {
+                "shard": home,
+                "queue_depth": batcher.queue.depth if batcher else 0,
+                "window": session_window_stats(self.windows, name,
+                                               now_ms),
+                "slo": (monitor.session_rows(name)
+                        if monitor is not None else []),
+            }
+            if batcher is not None:
+                breaker = batcher.breaker
+                row["breaker"] = {
+                    "state": breaker.state,
+                    "consecutive_failures":
+                        breaker.consecutive_failures,
+                    "trips": breaker.trips,
+                }
+            sessions[name] = row
+        shards = {}
+        for sid in sorted(self._shards):
+            shard = self._shards[sid]
+            p99 = self.shard_p99(sid, now_ms)
+            breakers = {name: b.breaker.state
+                        for name, b in sorted(shard.batchers.items())}
+            shards[str(sid)] = {
+                "alive": shard.alive,
+                "hosted": sorted(shard.batchers),
+                "queue_depth": shard.queue_depth(),
+                "busy_ms": shard.busy_ms,
+                "p99_ms": p99,
+                "steals_in": shard.steals_in,
+                "steals_out": shard.steals_out,
+                "breakers": breakers,
+            }
+        return {
+            "now_ms": now_ms,
+            "window_ms": self.windows.window_ms,
+            "spec": (str(self.slo_spec)
+                     if self.slo_spec is not None else None),
+            "slo_ok": (monitor.healthy()
+                       if monitor is not None else None),
+            "sessions": sessions,
+            "shards": shards,
+        }
+
+    def openmetrics(self) -> str:
+        monitor = self.slo_monitor
+        return obs.openmetrics(
+            window_snapshot=self.windows.snapshot(self._now_ms),
+            slo_snapshot=(monitor.snapshot()
+                          if monitor is not None else None))
+
+    def dashboard(self) -> str:
+        return render_dashboard(self.health_snapshot())
+
+
+__all__ = ["CrashRecord", "DEFAULT_AUTOSCALE_SLO", "FleetReport",
+           "FleetServer"]

@@ -23,13 +23,38 @@ from ..errors import ServeError
 from .request import ServeRequest
 
 
+def _zipf_cumulative(count: int, skew: float) -> list[float]:
+    """Cumulative Zipf weights for ``count`` ranks: weight of rank
+    ``r`` is ``1 / (r + 1) ** skew`` (rank 0 hottest), normalized."""
+    weights = [1.0 / (rank + 1) ** skew for rank in range(count)]
+    total = sum(weights)
+    cumulative, acc = [], 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0   # guard against float round-down
+    return cumulative
+
+
+def _pick_ranked(rng: random.Random,
+                 cumulative: list[float]) -> int:
+    value = rng.random()
+    for rank, bound in enumerate(cumulative):
+        if value < bound:
+            return rank
+    return len(cumulative) - 1
+
+
 def synthetic_workload(pipelines: Sequence[str], *,
                        requests: int,
                        seed: int = 0,
                        mean_interarrival_ms: float = 0.05,
                        iterations_range: tuple[int, int] = (1, 4),
                        tenants: int = 2,
-                       burst: Optional[int] = None
+                       burst: Optional[int] = None,
+                       tenant_skew: float = 0.0,
+                       burst_on_ms: Optional[float] = None,
+                       burst_off_ms: Optional[float] = None
                        ) -> list[ServeRequest]:
     """Seeded Poisson traffic over ``pipelines``.
 
@@ -38,6 +63,18 @@ def synthetic_workload(pipelines: Sequence[str], *,
     number of base iterations in ``iterations_range``.  ``burst``
     releases the first ``burst`` requests at time 0 (admission-control
     stress).
+
+    Two hot-tenant knobs layer skew on top of the Poisson baseline
+    (both default off, leaving the classic arrival stream untouched —
+    same seed, same workload as before):
+
+    * ``tenant_skew`` — Zipf exponent over tenants *and* pipelines:
+      rank ``r`` gets weight ``1/(r+1)**skew``, so ``tenant0`` /
+      the first pipeline run hottest.  ``0`` keeps the uniform draw.
+    * ``burst_on_ms`` / ``burst_off_ms`` — an on/off duty cycle: the
+      Poisson process only "runs" during on-phases, and each off-phase
+      inserts a silent gap, producing arrival bursts followed by idle
+      valleys (the fleet's steal/autoscale stressor).
     """
     if not pipelines:
         raise ServeError("synthetic workload needs at least one pipeline")
@@ -51,6 +88,19 @@ def synthetic_workload(pipelines: Sequence[str], *,
         raise ServeError("mean_interarrival_ms must be positive")
     if tenants < 1:
         raise ServeError("tenants must be >= 1")
+    if tenant_skew < 0:
+        raise ServeError("tenant_skew must be >= 0")
+    if (burst_on_ms is None) != (burst_off_ms is None):
+        raise ServeError(
+            "burst_on_ms and burst_off_ms must be set together")
+    if burst_on_ms is not None \
+            and (burst_on_ms <= 0 or burst_off_ms <= 0):
+        raise ServeError("burst on/off phases must be positive")
+    skewed = tenant_skew > 0
+    if skewed:
+        tenant_cumulative = _zipf_cumulative(tenants, tenant_skew)
+        pipeline_cumulative = _zipf_cumulative(len(pipelines),
+                                               tenant_skew)
     rng = random.Random(seed)
     workload = []
     clock = 0.0
@@ -60,9 +110,23 @@ def synthetic_workload(pipelines: Sequence[str], *,
         else:
             clock += rng.expovariate(1.0 / mean_interarrival_ms)
             arrival = clock
+            if burst_on_ms is not None:
+                # Map the continuous Poisson timeline onto an on/off
+                # duty cycle: time t of "on" budget lands at wall time
+                # (t // on) * (on + off) + (t % on).
+                cycles = int(clock // burst_on_ms)
+                arrival = cycles * (burst_on_ms + burst_off_ms) \
+                    + (clock - cycles * burst_on_ms)
+        if skewed:
+            pipeline = pipelines[_pick_ranked(rng,
+                                              pipeline_cumulative)]
+            tenant = f"tenant{_pick_ranked(rng, tenant_cumulative)}"
+        else:
+            pipeline = pipelines[rng.randrange(len(pipelines))]
+            tenant = f"tenant{rng.randrange(tenants)}"
         workload.append(ServeRequest(
-            pipeline=pipelines[rng.randrange(len(pipelines))],
-            tenant=f"tenant{rng.randrange(tenants)}",
+            pipeline=pipeline,
+            tenant=tenant,
             iterations=rng.randint(lo, hi),
             arrival_ms=arrival))
     return workload

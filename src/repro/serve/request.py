@@ -44,6 +44,13 @@ class ServeRequest:
     #: by the server at submission when telemetry is on (clients may
     #: pre-assign one to correlate with an upstream system).
     trace_id: str = ""
+    #: Base-iteration window start claimed for this request at
+    #: admission (-1 = not yet claimed).  Servers claim windows in
+    #: deterministic arrival order the moment a request is accepted,
+    #: which pins the request -> output-window mapping independently
+    #: of batch composition, shard count, or work stealing — the
+    #: foundation of the fleet's byte-equal-outputs invariant.
+    window_start: int = -1
 
     def __post_init__(self) -> None:
         if self.iterations < 1:

@@ -40,7 +40,7 @@ check per site — the PR 1/PR 5 zero-overhead contract.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
 
 from .. import obs
@@ -48,7 +48,6 @@ from ..obs.slo import SloMonitor, SloSpec, render_dashboard
 from ..obs.windows import DEFAULT_BUCKETS, WindowRegistry
 from ..compiler import CompileOptions
 from ..errors import (
-    ReproError,
     ServeError,
     ServerOverloaded,
     SessionClosed,
@@ -59,13 +58,13 @@ from ..parallel import parallel_map
 from .batcher import BatchPolicy, DynamicBatcher
 from .request import (
     STATUS_FAILED,
-    STATUS_OK,
     STATUS_REJECTED,
     BatchRecord,
     Response,
     ServeRequest,
 )
 from .session import PipelineSession
+from .shard import PlayContext, Shard
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -76,6 +75,32 @@ def percentile(values: Sequence[float], q: float) -> float:
     rank = min(len(ordered) - 1,
                max(0, round(q / 100.0 * (len(ordered) - 1))))
     return ordered[rank]
+
+
+def session_window_stats(windows: WindowRegistry, name: str,
+                         now_ms: float) -> dict:
+    """One session's rolling-window signals at ``now_ms`` — the exact
+    dict shape SLO metrics are extracted from (shared by the single-
+    GPU server and the fleet)."""
+    requests = windows.counter("serve.requests",
+                               session=name).total(now_ms)
+    served_counter = windows.counter("serve.served", session=name)
+    served = served_counter.total(now_ms)
+    failed = windows.counter("serve.failed",
+                             session=name).total(now_ms)
+    shed = windows.counter("serve.shed", session=name).total(now_ms)
+    finished = served + failed
+    return {
+        "requests": requests,
+        "served": served,
+        "failed": failed,
+        "shed": shed,
+        "throughput_rps": served_counter.rate_per_s(now_ms),
+        "error_rate": failed / finished if finished else 0.0,
+        "shed_rate": shed / requests if requests else 0.0,
+        "latency_ms": windows.histogram(
+            "serve.latency_ms", session=name).stats(now_ms),
+    }
 
 
 @dataclass
@@ -186,7 +211,9 @@ class StreamServer:
         self._specs: dict[str, _SessionSpec] = {}
         self._batchers: dict[str, DynamicBatcher] = {}
         self._order: list[str] = []       # registration = rotation order
-        self._rr = 0                      # round-robin pointer
+        #: The single shard unit this server drives synchronously (the
+        #: fleet server drives N of them with overlapping timelines).
+        self._shard = Shard(shard_id=0, batchers=self._batchers)
         self._started = False
         self._shut_down = False
         # -- telemetry state (inert unless obs or an SLO is on) --------
@@ -235,6 +262,7 @@ class StreamServer:
         for spec, session in zip(specs, sessions):
             self._batchers[spec.name] = DynamicBatcher(session,
                                                        spec.policy)
+            self._shard.dispatcher.register(spec.name)
         self._started = True
 
     def session(self, name: str) -> PipelineSession:
@@ -283,7 +311,6 @@ class StreamServer:
         responses: list[Response] = []
         clock = 0.0
         next_arrival = 0
-        batch_counter = 0
         # The window clock stays monotone across plays: this replay's
         # simulated ms stack on top of everything served before it.
         base = self._sim_base_ms
@@ -359,11 +386,22 @@ class StreamServer:
                         "unhealthy", request.arrival_ms)
                     continue
                 try:
-                    batcher.queue.admit(request)
+                    batcher.queue.check_capacity(request)
                 except ServerOverloaded as overloaded:
                     shed(request, overloaded, overloaded.reason,
                          request.arrival_ms)
                 else:
+                    # Admission accepted: claim the request's stream
+                    # window *now*, in arrival order — pinning the
+                    # request -> window mapping regardless of how
+                    # batches later form (and, in the fleet, of shard
+                    # count or stealing).  Rejected requests never
+                    # claim, so no window is wasted on them.
+                    request = replace(
+                        request,
+                        window_start=batcher.session.claim(
+                            request.iterations))
+                    batcher.queue.admit(request)
                     if telemetry:
                         obs.emit("admit",
                                  ts_ms=base + request.arrival_ms,
@@ -394,182 +432,38 @@ class StreamServer:
                         reason="deadline",
                         queue_depth=batcher.queue.depth), "deadline", now)
 
+        ctx = PlayContext(reports=reports, responses=responses,
+                          telemetry=telemetry, monitoring=monitoring,
+                          windows=self.windows, base=base, shed=shed)
+
         while True:
             admit_until(clock)
             shed_expired(clock)
             if monitoring:
                 tick(clock)
-            ready = [name for name in self._order
-                     if self._batchers[name].queue.depth]
-            if not ready:
+            plan = self._shard.dispatch_plan(clock)
+            if not plan:
                 if next_arrival >= len(ordered):
                     break
                 clock = max(clock, ordered[next_arrival].arrival_ms)
                 continue
-
-            # When is each ready session willing to dispatch?
-            dispatch_at = {}
-            for name in ready:
-                batcher = self._batchers[name]
-                deadline = batcher.wait_deadline_ms()
-                if batcher.batch_is_full() or clock >= deadline:
-                    dispatch_at[name] = clock
-                else:
-                    dispatch_at[name] = deadline
-            now_ready = [name for name in ready
-                         if dispatch_at[name] <= clock]
+            now_ready = [name for name, at in plan.items()
+                         if at <= clock]
             if not now_ready:
-                horizon = min(dispatch_at.values())
+                horizon = min(plan.values())
                 if next_arrival < len(ordered):
                     horizon = min(horizon,
                                   ordered[next_arrival].arrival_ms)
                 clock = horizon
                 continue
 
-            # Round-robin among dispatchable sessions.
-            name = self._pick(now_ready)
-            batcher = self._batchers[name]
-            batch = batcher.form_batch()
-            session = batcher.session
-            report = reports[name]
-            duration = 0.0
-            trace_token = None
-            if telemetry:
-                obs.emit("batch_form", ts_ms=base + clock, session=name,
-                         batch=batch_counter,
-                         requests=len(batch.requests),
-                         macro=batch.new_macro_iterations)
-                for request in batch.requests:
-                    obs.emit("dispatch", ts_ms=base + clock,
-                             trace_id=request.trace_id or None,
-                             session=name, batch=batch_counter,
-                             queued_ms=clock - request.arrival_ms)
-                # Execution-side events (fault injections, retries,
-                # vector fallbacks) attribute to the batch's oldest
-                # request — the one whose latency they extend most.
-                trace_token = obs.set_trace(
-                    batch.requests[0].trace_id or None)
-            try:
-                cycles = session.batch_cycles(batch.new_macro_iterations)
-                duration = session.ms(cycles)
-                new_macro, invocations = session.advance_to(
-                    batch.through_base)
-            except ReproError as fault:
-                # The pipeline faulted while executing the batch: every
-                # request in it gets a typed ``failed`` response, the
-                # breaker records the failure, and — once it trips —
-                # the queue is purged so nothing waits behind a broken
-                # executor.
-                completed = clock + duration
-                report.failed += len(batch.requests)
-                if telemetry:
-                    obs.counter("serve.failed", session=name,
-                                error=type(fault).__name__) \
-                        .add(len(batch.requests))
-                    obs.reset_trace(trace_token)
-                    trace_token = None
-                    obs.emit("batch_fire", ts_ms=base + completed,
-                             session=name, batch=batch_counter, ok=False,
-                             duration_ms=duration,
-                             requests=len(batch.requests),
-                             error=type(fault).__name__)
-                if monitoring:
-                    self.windows.counter("serve.failed", session=name) \
-                        .add(base + completed, len(batch.requests))
-                for request in batch.requests:
-                    if telemetry:
-                        obs.emit("respond", ts_ms=base + completed,
-                                 trace_id=request.trace_id or None,
-                                 session=name, ok=False,
-                                 status=STATUS_FAILED,
-                                 error=type(fault).__name__,
-                                 latency_ms=completed
-                                 - request.arrival_ms)
-                    responses.append(Response(
-                        request=request, status=STATUS_FAILED,
-                        completed_ms=completed,
-                        latency_ms=completed - request.arrival_ms,
-                        error=fault))
-                if batcher.breaker.record_failure(completed):
-                    for dropped in batcher.queue.drain():
-                        shed(dropped, SessionUnhealthy(
-                            f"session {name!r} circuit breaker opened "
-                            f"while request {dropped.request_id} was "
-                            f"queued",
-                            session=name, tenant=dropped.tenant,
-                            failures=batcher
-                            .breaker.consecutive_failures,
-                            retry_after_ms=batcher.breaker
-                            .retry_after_ms(completed)),
-                            "unhealthy", completed)
-                if telemetry:
-                    obs.gauge("serve.queue_depth", session=name) \
-                        .set(batcher.queue.depth)
-                clock = completed
-                if monitoring:
-                    tick(clock)
-                continue
-            if trace_token is not None:
-                obs.reset_trace(trace_token)
-                trace_token = None
-            batcher.breaker.record_success(clock + duration)
-            completed = clock + duration
-
-            record = BatchRecord(
-                index=batch_counter, session=name,
-                requests=len(batch.requests),
-                base_iterations=batch.base_iterations,
-                macro_iterations=new_macro,
-                invocations=invocations, started_ms=clock,
-                duration_ms=duration, cycles=cycles,
-                tenants=batch.tenants)
-            batch_counter += 1
-            report.batches.append(record)
-            report.macro_iterations += new_macro
-            report.invocations += invocations
-            report.busy_ms += duration
-            if telemetry:
-                obs.emit("batch_fire", ts_ms=base + completed,
-                         session=name, batch=record.index, ok=True,
-                         duration_ms=duration,
-                         requests=len(batch.requests), macro=new_macro)
-            for request, (start, count) in zip(batch.requests,
-                                               batch.windows):
-                outputs = session.outputs_for(start, count)
-                latency = completed - request.arrival_ms
-                report.served += 1
-                report.base_iterations += count
-                report.latencies_ms.append(latency)
-                report.unbatched_baseline_ms += session.ms(
-                    session.unbatched_request_cycles(count))
-                if telemetry:
-                    obs.emit("respond", ts_ms=base + completed,
-                             trace_id=request.trace_id or None,
-                             session=name, ok=True, status=STATUS_OK,
-                             latency_ms=latency, batch=record.index)
-                if monitoring:
-                    self.windows.histogram(
-                        "serve.latency_ms", session=name) \
-                        .record(base + completed, latency)
-                responses.append(Response(
-                    request=request, status=STATUS_OK, outputs=outputs,
-                    start_iteration=start, completed_ms=completed,
-                    latency_ms=latency, batch_index=record.index))
-            if monitoring:
-                self.windows.counter("serve.served", session=name) \
-                    .add(base + completed, len(batch.requests))
-            if telemetry:
-                obs.counter("serve.batches", session=name).add(1)
-                obs.histogram("serve.batch_requests", session=name) \
-                    .record(len(batch.requests))
-                obs.histogram("serve.batch_iterations", session=name) \
-                    .record(new_macro)
-                for latency in report.latencies_ms[-len(batch.requests):]:
-                    obs.histogram("serve.latency_ms", session=name) \
-                        .record(latency)
-                obs.gauge("serve.queue_depth", session=name) \
-                    .set(batcher.queue.depth)
-            clock = completed
+            # Fair (least-recently-dispatched) pick; the single GPU
+            # executes the batch synchronously, so its completion is
+            # landed immediately and the clock jumps to it.
+            name = self._shard.pick(now_ready)
+            self._shard.begin_batch(name, clock, ctx)
+            clock = self._shard.busy_until
+            self._shard.complete_flight(ctx)
             if monitoring:
                 tick(clock)
 
@@ -593,26 +487,7 @@ class StreamServer:
     def _window_stats(self, name: str, now_ms: float) -> dict:
         """One session's rolling-window signals at ``now_ms`` — the
         exact dict shape the SLO metrics are extracted from."""
-        windows = self.windows
-        requests = windows.counter("serve.requests",
-                                   session=name).total(now_ms)
-        served_counter = windows.counter("serve.served", session=name)
-        served = served_counter.total(now_ms)
-        failed = windows.counter("serve.failed",
-                                 session=name).total(now_ms)
-        shed = windows.counter("serve.shed", session=name).total(now_ms)
-        finished = served + failed
-        return {
-            "requests": requests,
-            "served": served,
-            "failed": failed,
-            "shed": shed,
-            "throughput_rps": served_counter.rate_per_s(now_ms),
-            "error_rate": failed / finished if finished else 0.0,
-            "shed_rate": shed / requests if requests else 0.0,
-            "latency_ms": windows.histogram(
-                "serve.latency_ms", session=name).stats(now_ms),
-        }
+        return session_window_stats(self.windows, name, now_ms)
 
     def _eval_slo(self, now_ms: float, telemetry: bool) -> None:
         """Judge every objective against every session's live window."""
@@ -681,14 +556,3 @@ class StreamServer:
     def dashboard(self) -> str:
         """One ``repro top``-style text frame of the current health."""
         return render_dashboard(self.health_snapshot())
-
-    # ------------------------------------------------------------------
-    def _pick(self, candidates: list[str]) -> str:
-        """Next dispatchable session in registration rotation order."""
-        order = self._order
-        for step in range(len(order)):
-            name = order[(self._rr + step) % len(order)]
-            if name in candidates:
-                self._rr = (order.index(name) + 1) % len(order)
-                return name
-        raise ServeError("no dispatchable session")  # pragma: no cover

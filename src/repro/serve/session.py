@@ -57,7 +57,8 @@ class PipelineSession:
                  options: Optional[CompileOptions] = None,
                  jobs: Optional[int] = None,
                  cache=None,
-                 exec_backend: Optional[str] = None) -> None:
+                 exec_backend: Optional[str] = None,
+                 compiled: Optional[CompiledProgram] = None) -> None:
         options = options or default_session_options()
         if options.scheme not in ("swp", "swpnc"):
             raise ServeError(
@@ -69,13 +70,20 @@ class PipelineSession:
                 f"dynamic batcher chooses the per-launch repeat factor")
         self.name = name
         self.graph = graph
-        with obs.span("serve.compile", session=name):
-            self.compiled: CompiledProgram = compile_stream_program(
-                graph, options, jobs=jobs, cache=cache)
+        if compiled is not None:
+            # Warm spin-up: adopt an already-compiled program (fleet
+            # replicas, crash replacements) — profiling and the ILP
+            # search are skipped entirely.
+            self.compiled = compiled
+        else:
+            with obs.span("serve.compile", session=name):
+                self.compiled = compile_stream_program(
+                    graph, options, jobs=jobs, cache=cache)
         if obs.is_enabled():
             obs.emit("session_compile", session=name,
                      scheme=options.scheme,
-                     degraded=self.compiled.degraded)
+                     degraded=self.compiled.degraded,
+                     warm=compiled is not None)
         self.options = options
         self.device = options.device
         self.program = self.compiled.program
@@ -179,6 +187,16 @@ class PipelineSession:
 
     def close(self) -> None:
         self._closed = True
+
+    def replica(self) -> "PipelineSession":
+        """A fresh session over the same compiled program: new (cold)
+        executor, zero stream progress, no recompile.  The fleet's
+        crash recovery builds one and replays the dead shard's claimed
+        windows through it — byte-identical by executor determinism."""
+        return PipelineSession(self.name, self.graph,
+                               options=self.options,
+                               exec_backend=self.exec_backend,
+                               compiled=self.compiled)
 
     # -- simulated-cycle accounting ------------------------------------
     def kernel_cycles(self, repeat: int) -> float:

@@ -1,0 +1,412 @@
+"""The shard unit: one simulated GPU plus its hosted pipelines.
+
+PR 1's :class:`~repro.serve.server.StreamServer` fused "one simulated
+GPU + one batcher + one breaker" into a single synchronous loop.  This
+module factors that trio out into a self-contained :class:`Shard` the
+fleet layer can run N of: a shard hosts a set of pipelines (each a
+:class:`~repro.serve.batcher.DynamicBatcher` wrapping its session,
+admission queue and circuit breaker), owns one simulated-GPU timeline
+(``busy_until`` — a shard executes one batch at a time, but different
+shards overlap freely in simulated time), and picks among its
+dispatchable pipelines with a deterministic least-recently-dispatched
+policy (:class:`FairDispatcher`), which fixes the starvation hazard of
+the old modular round-robin pointer: a pipeline that becomes
+dispatchable mid-sweep can no longer be skipped for a full rotation.
+
+Batch execution is split into :meth:`Shard.begin_batch` (form, claim
+the GPU, mutate executor state, decide the simulated duration) and
+:meth:`Shard.complete_flight` (emit responses, breaker accounting,
+telemetry) so the fleet's event loop can overlap shards: a batch's
+effects on *clients* land at ``busy_until``, not at formation.  The
+single-GPU ``StreamServer`` calls the two back-to-back, which is
+exactly its old synchronous behavior.
+
+All telemetry flows through a :class:`PlayContext` — the per-replay
+bundle of report rows, response list, window registry and shed hook —
+so the shard emits identical metrics whether it serves alone or as
+one lane of a fleet (fleet shards add a ``shard=<id>`` label).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .. import obs
+from ..errors import ReproError, ServeError, SessionUnhealthy
+from ..obs.windows import WindowRegistry
+from .batcher import DynamicBatcher, PlannedBatch
+from .request import (
+    STATUS_FAILED,
+    STATUS_OK,
+    BatchRecord,
+    Response,
+    ServeRequest,
+)
+
+
+class FairDispatcher:
+    """Deterministic least-recently-dispatched pipeline selection.
+
+    Picks the candidate whose last dispatch is oldest, breaking ties
+    by registration order.  Equivalent to round-robin while every
+    pipeline stays dispatchable, but — unlike a rotation pointer —
+    a pipeline that becomes dispatchable mid-sweep keeps its place in
+    line: no dispatchable pipeline can wait more than one full pass
+    of its peers (the invariant the regression tests pin)."""
+
+    def __init__(self) -> None:
+        self._registered: list[str] = []
+        self._last: dict[str, int] = {}
+        self._seq = 0
+
+    def register(self, name: str) -> None:
+        if name not in self._registered:
+            self._registered.append(name)
+
+    def forget(self, name: str) -> None:
+        if name in self._registered:
+            self._registered.remove(name)
+        self._last.pop(name, None)
+
+    def pick(self, candidates: list[str]) -> str:
+        if not candidates:
+            raise ServeError("no dispatchable session")
+        index = {name: i for i, name in enumerate(self._registered)}
+        chosen = min(candidates,
+                     key=lambda name: (self._last.get(name, -1),
+                                       index.get(name, len(index))))
+        self._seq += 1
+        self._last[chosen] = self._seq
+        return chosen
+
+
+@dataclass
+class PlayContext:
+    """Per-replay telemetry bundle shared by every shard in a play."""
+
+    reports: dict                       # name -> SessionReport
+    responses: list[Response]
+    telemetry: bool                     # obs layer enabled
+    monitoring: bool                    # rolling windows / SLO active
+    windows: WindowRegistry
+    base: float                         # window-clock offset (ms)
+    #: ``shed(request, error, reason, at_ms)`` — the server's typed-
+    #: rejection hook (stamps a rejected response, never drops).
+    shed: Callable[[ServeRequest, Exception, str, float], None]
+    _batch_counter: int = 0
+
+    def next_batch_index(self) -> int:
+        index = self._batch_counter
+        self._batch_counter += 1
+        return index
+
+
+@dataclass
+class Flight:
+    """One batch in (simulated) flight on a shard's GPU."""
+
+    shard_id: int
+    name: str
+    batch: PlannedBatch
+    index: int
+    started_ms: float
+    duration_ms: float
+    cycles: float
+    new_macro: int
+    invocations: int
+    ok: bool
+    error: Optional[ReproError] = None
+
+    @property
+    def completed_ms(self) -> float:
+        return self.started_ms + self.duration_ms
+
+
+@dataclass
+class Shard:
+    """One simulated GPU hosting a set of served pipelines."""
+
+    shard_id: int
+    #: Whether telemetry from this shard carries a ``shard=`` label
+    #: (fleet mode) on top of the per-session labels.
+    label_shard: bool = False
+    batchers: dict[str, DynamicBatcher] = field(default_factory=dict)
+    #: Simulated time a migrated-in pipeline becomes dispatchable.
+    ready_at: dict[str, float] = field(default_factory=dict)
+    busy_until: float = 0.0
+    flight: Optional[Flight] = None
+    alive: bool = True
+    busy_ms: float = 0.0
+    batches_done: int = 0
+    steals_in: int = 0
+    steals_out: int = 0
+    dispatcher: FairDispatcher = field(default_factory=FairDispatcher)
+
+    # -- hosting -------------------------------------------------------
+    def host(self, batcher: DynamicBatcher,
+             ready_at: float = 0.0) -> None:
+        name = batcher.session.name
+        if name in self.batchers:
+            raise ServeError(
+                f"shard {self.shard_id}: pipeline {name!r} already "
+                f"hosted")
+        self.batchers[name] = batcher
+        if ready_at > 0.0:
+            self.ready_at[name] = ready_at
+        self.dispatcher.register(name)
+
+    def evict(self, name: str) -> DynamicBatcher:
+        batcher = self.batchers.pop(name, None)
+        if batcher is None:
+            raise ServeError(
+                f"shard {self.shard_id}: pipeline {name!r} not hosted")
+        self.ready_at.pop(name, None)
+        self.dispatcher.forget(name)
+        return batcher
+
+    @property
+    def hosted(self) -> list[str]:
+        return list(self.batchers)
+
+    @property
+    def busy(self) -> bool:
+        return self.flight is not None
+
+    def queue_depth(self) -> int:
+        return sum(b.queue.depth for b in self.batchers.values())
+
+    def queued_base_iterations(self) -> int:
+        return sum(b.queue.queued_base_iterations()
+                   for b in self.batchers.values())
+
+    def _labels(self, name: str) -> dict:
+        if self.label_shard:
+            return {"session": name, "shard": self.shard_id}
+        return {"session": name}
+
+    # -- dispatch planning ---------------------------------------------
+    def dispatch_plan(self, clock: float) -> dict[str, float]:
+        """Earliest dispatch time of each hosted pipeline with queued
+        work: ``clock`` when its batch is full or its oldest request's
+        wait grace expired, else the grace deadline — floored by any
+        migration ``ready_at``."""
+        plan: dict[str, float] = {}
+        for name, batcher in self.batchers.items():
+            if not batcher.queue.depth:
+                continue
+            deadline = batcher.wait_deadline_ms()
+            if batcher.batch_is_full() or clock >= deadline:
+                at = clock
+            else:
+                at = deadline
+            floor = self.ready_at.get(name, 0.0)
+            plan[name] = max(at, floor)
+        return plan
+
+    def pick(self, candidates: list[str]) -> str:
+        return self.dispatcher.pick(candidates)
+
+    # -- execution -----------------------------------------------------
+    def begin_batch(self, name: str, clock: float,
+                    ctx: PlayContext) -> Flight:
+        """Form and launch one batch for ``name`` at ``clock``.
+
+        Executor state advances immediately (deterministically), but
+        client-visible effects — responses, breaker transitions,
+        latency accounting — wait for :meth:`complete_flight` at the
+        simulated completion time, so fleet shards can overlap."""
+        if self.flight is not None:
+            raise ServeError(
+                f"shard {self.shard_id} is busy until "
+                f"{self.busy_until:g} ms")  # pragma: no cover - guard
+        batcher = self.batchers[name]
+        batch = batcher.form_batch()
+        session = batcher.session
+        index = ctx.next_batch_index()
+        duration = 0.0
+        cycles = 0.0
+        trace_token = None
+        if ctx.telemetry:
+            obs.emit("batch_form", ts_ms=ctx.base + clock,
+                     batch=index, requests=len(batch.requests),
+                     macro=batch.new_macro_iterations,
+                     **self._labels(name))
+            for request in batch.requests:
+                obs.emit("dispatch", ts_ms=ctx.base + clock,
+                         trace_id=request.trace_id or None,
+                         batch=index,
+                         queued_ms=clock - request.arrival_ms,
+                         **self._labels(name))
+            # Execution-side events (fault injections, retries, vector
+            # fallbacks) attribute to the batch's oldest request — the
+            # one whose latency they extend most.
+            trace_token = obs.set_trace(
+                batch.requests[0].trace_id or None)
+        ok = True
+        error: Optional[ReproError] = None
+        new_macro = 0
+        invocations = 0
+        try:
+            cycles = session.batch_cycles(batch.new_macro_iterations)
+            duration = session.ms(cycles)
+            new_macro, invocations = session.advance_to(
+                batch.through_base)
+        except ReproError as fault:
+            ok = False
+            error = fault
+        finally:
+            if trace_token is not None:
+                obs.reset_trace(trace_token)
+        self.flight = Flight(
+            shard_id=self.shard_id, name=name, batch=batch, index=index,
+            started_ms=clock, duration_ms=duration, cycles=cycles,
+            new_macro=new_macro, invocations=invocations, ok=ok,
+            error=error)
+        self.busy_until = clock + duration
+        return self.flight
+
+    def abort_flight(self) -> list[ServeRequest]:
+        """Drop the in-flight batch without responding (shard crash);
+        returns its requests so the fleet can re-route and replay them
+        — their claimed windows travel with them."""
+        if self.flight is None:
+            return []
+        requests = list(self.flight.batch.requests)
+        self.flight = None
+        return requests
+
+    def complete_flight(self, ctx: PlayContext) -> None:
+        """Land the in-flight batch: responses at ``busy_until``,
+        breaker accounting, per-session and per-shard telemetry."""
+        flight = self.flight
+        if flight is None:
+            raise ServeError(
+                f"shard {self.shard_id}: no flight to complete"
+                )  # pragma: no cover - guard
+        self.flight = None
+        name = flight.name
+        batcher = self.batchers[name]
+        session = batcher.session
+        batch = flight.batch
+        report = ctx.reports[name]
+        completed = flight.completed_ms
+        self.busy_ms += flight.duration_ms
+        self.batches_done += 1
+
+        if not flight.ok:
+            report.failed += len(batch.requests)
+            fault = flight.error
+            if ctx.telemetry:
+                obs.counter("serve.failed",
+                            error=type(fault).__name__,
+                            **self._labels(name)) \
+                    .add(len(batch.requests))
+                obs.emit("batch_fire", ts_ms=ctx.base + completed,
+                         batch=flight.index, ok=False,
+                         duration_ms=flight.duration_ms,
+                         requests=len(batch.requests),
+                         error=type(fault).__name__,
+                         **self._labels(name))
+            if ctx.monitoring:
+                ctx.windows.counter("serve.failed", session=name) \
+                    .add(ctx.base + completed, len(batch.requests))
+            for request in batch.requests:
+                if ctx.telemetry:
+                    obs.emit("respond", ts_ms=ctx.base + completed,
+                             trace_id=request.trace_id or None,
+                             ok=False, status=STATUS_FAILED,
+                             error=type(fault).__name__,
+                             latency_ms=completed - request.arrival_ms,
+                             **self._labels(name))
+                ctx.responses.append(Response(
+                    request=request, status=STATUS_FAILED,
+                    completed_ms=completed,
+                    latency_ms=completed - request.arrival_ms,
+                    error=fault))
+            if batcher.breaker.record_failure(completed):
+                for dropped in batcher.queue.drain():
+                    ctx.shed(dropped, SessionUnhealthy(
+                        f"session {name!r} circuit breaker opened "
+                        f"while request {dropped.request_id} was "
+                        f"queued",
+                        session=name, tenant=dropped.tenant,
+                        failures=batcher.breaker.consecutive_failures,
+                        retry_after_ms=batcher.breaker
+                        .retry_after_ms(completed)),
+                        "unhealthy", completed)
+            if ctx.telemetry:
+                obs.gauge("serve.queue_depth", **self._labels(name)) \
+                    .set(batcher.queue.depth)
+            return
+
+        batcher.breaker.record_success(completed)
+        record = BatchRecord(
+            index=flight.index, session=name,
+            requests=len(batch.requests),
+            base_iterations=batch.base_iterations,
+            macro_iterations=flight.new_macro,
+            invocations=flight.invocations,
+            started_ms=flight.started_ms,
+            duration_ms=flight.duration_ms, cycles=flight.cycles,
+            tenants=batch.tenants)
+        report.batches.append(record)
+        report.macro_iterations += flight.new_macro
+        report.invocations += flight.invocations
+        report.busy_ms += flight.duration_ms
+        if ctx.telemetry:
+            obs.emit("batch_fire", ts_ms=ctx.base + completed,
+                     batch=record.index, ok=True,
+                     duration_ms=flight.duration_ms,
+                     requests=len(batch.requests),
+                     macro=flight.new_macro, **self._labels(name))
+        for request, (start, count) in zip(batch.requests,
+                                           batch.windows):
+            outputs = session.outputs_for(start, count)
+            latency = completed - request.arrival_ms
+            report.served += 1
+            report.base_iterations += count
+            report.latencies_ms.append(latency)
+            report.unbatched_baseline_ms += session.ms(
+                session.unbatched_request_cycles(count))
+            if ctx.telemetry:
+                obs.emit("respond", ts_ms=ctx.base + completed,
+                         trace_id=request.trace_id or None,
+                         ok=True, status=STATUS_OK,
+                         latency_ms=latency, batch=record.index,
+                         **self._labels(name))
+            if ctx.monitoring:
+                ctx.windows.histogram(
+                    "serve.latency_ms", session=name) \
+                    .record(ctx.base + completed, latency)
+                if self.label_shard:
+                    ctx.windows.histogram(
+                        "serve.latency_ms", shard=self.shard_id) \
+                        .record(ctx.base + completed, latency)
+            ctx.responses.append(Response(
+                request=request, status=STATUS_OK, outputs=outputs,
+                start_iteration=start, completed_ms=completed,
+                latency_ms=latency, batch_index=record.index))
+        if ctx.monitoring:
+            ctx.windows.counter("serve.served", session=name) \
+                .add(ctx.base + completed, len(batch.requests))
+            if self.label_shard:
+                ctx.windows.counter("serve.served",
+                                    shard=self.shard_id) \
+                    .add(ctx.base + completed, len(batch.requests))
+        if ctx.telemetry:
+            obs.counter("serve.batches", **self._labels(name)).add(1)
+            obs.histogram("serve.batch_requests",
+                          **self._labels(name)) \
+                .record(len(batch.requests))
+            obs.histogram("serve.batch_iterations",
+                          **self._labels(name)) \
+                .record(flight.new_macro)
+            for latency in report.latencies_ms[-len(batch.requests):]:
+                obs.histogram("serve.latency_ms",
+                              **self._labels(name)).record(latency)
+            obs.gauge("serve.queue_depth", **self._labels(name)) \
+                .set(batcher.queue.depth)
+
+
+__all__ = ["FairDispatcher", "Flight", "PlayContext", "Shard"]

@@ -1,0 +1,150 @@
+"""Cross-shard work stealing for hot tenants.
+
+A served pipeline is a *sequential* stateful stream — its iterations
+must execute in order on one executor — so the fleet cannot split one
+pipeline's batch across shards.  What it **can** move is the whole
+pipeline: its warm session object plus every queued, not-yet-batched
+request.  Stealing therefore migrates pipelines from hot shards
+(rolling p99 over budget, deep queues) to cold ones, which drains the
+hot shard's dispatch backlog without touching any in-flight batch.
+
+Correctness leans on two earlier invariants:
+
+* stream windows are claimed **at admission** (arrival order), so a
+  migrated request computes byte-identical outputs on any shard; and
+* only pipelines with **no in-flight batch** are eligible, so no
+  response can be duplicated or dropped by a move.
+
+``plan_steals`` is a pure function of an observed load snapshot — the
+fleet calls it at window-bucket boundaries with signals read from
+:class:`~repro.obs.windows.WindowRegistry`, so the same replay always
+plans the same moves (the determinism contract of the simulated
+clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ServeError
+
+
+@dataclass(frozen=True)
+class StealPolicy:
+    """When a shard counts as hot and what a migration costs."""
+
+    #: Rolling-p99 budget (simulated ms): a shard whose window p99
+    #: exceeds this is a steal candidate (donor).
+    p99_budget_ms: float = 50.0
+    #: Minimum queued requests on the donor before stealing triggers —
+    #: a breached p99 with an empty queue has nothing worth moving.
+    min_queue_depth: int = 2
+    #: Simulated cost of moving one pipeline between shards (session
+    #: handoff + queue transfer), charged as a dispatch-readiness floor
+    #: on the receiving shard.
+    migration_ms: float = 0.5
+    #: Bucket-boundary cooldown: after a shard donates, it may not
+    #: donate again for this many simulated ms (damps oscillation).
+    cooldown_ms: float = 10.0
+    #: At most this many pipelines move per planning round.
+    max_moves_per_round: int = 1
+
+    def __post_init__(self) -> None:
+        if self.p99_budget_ms <= 0:
+            raise ServeError("p99_budget_ms must be > 0")
+        if self.min_queue_depth < 1:
+            raise ServeError("min_queue_depth must be >= 1")
+        if self.migration_ms < 0:
+            raise ServeError("migration_ms must be >= 0")
+        if self.cooldown_ms < 0:
+            raise ServeError("cooldown_ms must be >= 0")
+        if self.max_moves_per_round < 1:
+            raise ServeError("max_moves_per_round must be >= 1")
+
+
+@dataclass(frozen=True)
+class ShardLoad:
+    """One shard's load signals at a planning instant."""
+
+    shard_id: int
+    p99_ms: Optional[float]      # rolling window p99 (None: no samples)
+    queue_depth: int             # queued requests across hosted queues
+    #: Hosted pipelines eligible to move: no in-flight batch, with
+    #: their queued request count (moving an empty pipeline is legal —
+    #: it rebalances future traffic — but queued ones go first).
+    movable: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StealMove:
+    """One planned migration."""
+
+    pipeline: str
+    from_shard: int
+    to_shard: int
+    queued_requests: int
+
+
+def plan_steals(loads: list[ShardLoad], policy: StealPolicy,
+                now_ms: float,
+                last_donated_ms: Optional[dict[int, float]] = None
+                ) -> list[StealMove]:
+    """Plan this round's migrations from a load snapshot.
+
+    Donors are shards whose rolling p99 breaches the budget with at
+    least ``min_queue_depth`` queued requests and an elapsed cooldown;
+    receivers are the shards with the shallowest queues.  The hottest
+    donor moves its most-queued movable pipeline to the coldest
+    receiver, up to ``max_moves_per_round`` moves.  All ordering ties
+    break on shard id / pipeline name, so the plan is a deterministic
+    function of its inputs.
+    """
+    last_donated_ms = last_donated_ms or {}
+    donors = [
+        load for load in loads
+        if load.p99_ms is not None
+        and load.p99_ms > policy.p99_budget_ms
+        and load.queue_depth >= policy.min_queue_depth
+        and load.movable
+        and now_ms - last_donated_ms.get(load.shard_id,
+                                         float("-inf"))
+        >= policy.cooldown_ms]
+    if not donors:
+        return []
+    # Hottest first: highest p99, then deepest queue, then id.
+    donors.sort(key=lambda load: (-load.p99_ms, -load.queue_depth,
+                                  load.shard_id))
+    donor_ids = {load.shard_id for load in donors}
+    receivers = sorted(
+        (load for load in loads if load.shard_id not in donor_ids),
+        key=lambda load: (load.queue_depth,
+                          load.p99_ms if load.p99_ms is not None
+                          else 0.0,
+                          load.shard_id))
+    if not receivers:
+        return []
+
+    moves: list[StealMove] = []
+    receiver_depth = {load.shard_id: load.queue_depth
+                      for load in receivers}
+    for donor in donors:
+        if len(moves) >= policy.max_moves_per_round:
+            break
+        # Most-queued movable pipeline first; name tie-break.
+        candidates = sorted(donor.movable.items(),
+                            key=lambda item: (-item[1], item[0]))
+        pipeline, queued = candidates[0]
+        if queued == 0:
+            continue   # nothing queued is worth a migration charge
+        target = min(receiver_depth,
+                     key=lambda sid: (receiver_depth[sid], sid))
+        moves.append(StealMove(pipeline=pipeline,
+                               from_shard=donor.shard_id,
+                               to_shard=target,
+                               queued_requests=queued))
+        receiver_depth[target] += queued
+    return moves
+
+
+__all__ = ["StealPolicy", "ShardLoad", "StealMove", "plan_steals"]

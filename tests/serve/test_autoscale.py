@@ -1,0 +1,95 @@
+"""Autoscaler: hysteresis, cooldowns, bounds."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import AutoscalePolicy, Autoscaler
+
+POLICY = AutoscalePolicy(min_shards=1, max_shards=4,
+                         up_burn_threshold=1.0,
+                         down_burn_threshold=0.25,
+                         up_consecutive=2, down_consecutive=3,
+                         cooldown_ms=10.0)
+
+
+class TestScaleUp:
+    def test_one_hot_eval_is_not_enough(self):
+        scaler = Autoscaler(POLICY)
+        assert scaler.evaluate(0.0, 2, burn_rate=5.0) is None
+
+    def test_consecutive_hot_evals_scale_up(self):
+        scaler = Autoscaler(POLICY)
+        scaler.evaluate(0.0, 2, burn_rate=5.0)
+        event = scaler.evaluate(1.0, 2, burn_rate=5.0)
+        assert event.action == "up"
+        assert (event.shards_before, event.shards_after) == (2, 3)
+
+    def test_calm_eval_resets_the_hot_streak(self):
+        scaler = Autoscaler(POLICY)
+        scaler.evaluate(0.0, 2, burn_rate=5.0)
+        scaler.evaluate(1.0, 2, burn_rate=0.0)
+        assert scaler.evaluate(2.0, 2, burn_rate=5.0) is None
+
+    def test_mid_band_burn_resets_both_streaks(self):
+        scaler = Autoscaler(POLICY)
+        scaler.evaluate(0.0, 2, burn_rate=5.0)
+        scaler.evaluate(1.0, 2, burn_rate=0.5)   # between thresholds
+        assert scaler.evaluate(2.0, 2, burn_rate=5.0) is None
+
+    def test_cooldown_blocks_back_to_back_actions(self):
+        scaler = Autoscaler(POLICY)
+        scaler.evaluate(0.0, 2, burn_rate=5.0)
+        assert scaler.evaluate(1.0, 2, burn_rate=5.0).action == "up"
+        scaler.evaluate(2.0, 3, burn_rate=5.0)
+        # Streak satisfied again, but inside the 10 ms cooldown.
+        assert scaler.evaluate(3.0, 3, burn_rate=5.0) is None
+        # The standing streak acts the moment the cooldown lapses.
+        assert scaler.evaluate(12.0, 3, burn_rate=5.0).action == "up"
+
+    def test_hold_logged_at_max_shards(self):
+        scaler = Autoscaler(POLICY)
+        scaler.evaluate(0.0, 4, burn_rate=5.0)
+        event = scaler.evaluate(1.0, 4, burn_rate=5.0)
+        assert event.action == "hold"
+        assert event.shards_after == 4
+        assert "max_shards" in event.reason
+
+
+class TestScaleDown:
+    def test_consecutive_calm_evals_scale_down(self):
+        scaler = Autoscaler(POLICY)
+        for t in (0.0, 1.0):
+            assert scaler.evaluate(t, 3, burn_rate=0.0) is None
+        event = scaler.evaluate(2.0, 3, burn_rate=0.0)
+        assert event.action == "down"
+        assert (event.shards_before, event.shards_after) == (3, 2)
+
+    def test_holding_at_min_is_silent(self):
+        scaler = Autoscaler(POLICY)
+        for t in range(10):
+            assert scaler.evaluate(float(t), 1, burn_rate=0.0) is None
+        assert scaler.events == []
+
+    def test_event_log_accumulates(self):
+        scaler = Autoscaler(POLICY)
+        scaler.evaluate(0.0, 2, burn_rate=5.0)
+        scaler.evaluate(1.0, 2, burn_rate=5.0)
+        for t in (20.0, 21.0, 22.0):
+            scaler.evaluate(t, 3, burn_rate=0.0)
+        assert [e.action for e in scaler.events] == ["up", "down"]
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(min_shards=0),
+        dict(min_shards=4, max_shards=2),
+        dict(up_burn_threshold=0),
+        dict(down_burn_threshold=-0.1),
+        dict(up_burn_threshold=1.0, down_burn_threshold=1.0),
+        dict(up_consecutive=0),
+        dict(down_consecutive=0),
+        dict(cooldown_ms=-1),
+    ])
+    def test_bad_policy_refused(self, kwargs):
+        with pytest.raises(ServeError):
+            AutoscalePolicy(**kwargs)

@@ -1,0 +1,412 @@
+"""FleetServer: shard equivalence, stealing, scaling, crash chaos.
+
+The tentpole invariants pinned here:
+
+* a 1-shard fleet is **byte-identical** to the plain StreamServer —
+  sharding must change nothing when there is nothing to shard;
+* any shard count serves the same bytes (claim-at-admission);
+* work stealing and shard crashes never duplicate or drop a response;
+* the control plane (steals, scale events) is deterministic under the
+  simulated clock.
+"""
+
+import pytest
+
+from repro import faults
+from repro.errors import ServeError, SessionClosed
+from repro.serve import (
+    AutoscalePolicy,
+    BatchPolicy,
+    ConsistentHashRouter,
+    FleetServer,
+    ServeRequest,
+    StealPolicy,
+    StreamServer,
+    synthetic_workload,
+)
+
+from .conftest import SERVE_OPTIONS, toy_graph
+from .test_server import assert_outputs_match_reference
+
+
+@pytest.fixture
+def make_fleet(serve_cache):
+    def make(names=("toy",), policy=None, **kwargs):
+        kwargs.setdefault("options", SERVE_OPTIONS)
+        kwargs.setdefault("cache", serve_cache)
+        fleet = FleetServer(policy=policy or BatchPolicy(), **kwargs)
+        for name in names:
+            fleet.register(name, toy_graph(name))
+        return fleet
+    return make
+
+
+def response_key(response):
+    return (response.request.request_id, response.status,
+            response.start_iteration, response.completed_ms,
+            response.latency_ms, response.batch_index,
+            tuple(sorted((k, tuple(v))
+                         for k, v in (response.outputs or {}).items())))
+
+
+def colocated_names(shards, count, prefix="pipe"):
+    """``count`` toy-pipeline names that all hash to one home shard of
+    a ``shards``-wide ring — the worst-case hot spot for stealing."""
+    ring = ConsistentHashRouter(range(shards))
+    by_home = {}
+    for i in range(1000):
+        name = f"{prefix}{i}"
+        by_home.setdefault(ring.route(name), []).append(name)
+        if len(by_home[ring.route(name)]) == count:
+            return by_home[ring.route(name)]
+    raise AssertionError("ring never colocated enough names")
+
+
+def balanced_names(shards, per_shard, prefix="pipe"):
+    """Names spreading exactly ``per_shard`` pipelines to every shard
+    (blake2b routing makes the probe deterministic everywhere)."""
+    ring = ConsistentHashRouter(range(shards))
+    counts = {shard: 0 for shard in range(shards)}
+    names = []
+    for i in range(10000):
+        name = f"{prefix}{i}"
+        home = ring.route(name)
+        if counts[home] < per_shard:
+            counts[home] += 1
+            names.append(name)
+            if len(names) == shards * per_shard:
+                return tuple(names)
+    raise AssertionError("ring never balanced")
+
+
+class TestLifecycle:
+    def test_shard_count_validated(self):
+        with pytest.raises(ServeError, match="shard"):
+            FleetServer(shards=0)
+
+    def test_play_requires_start(self, make_fleet):
+        with pytest.raises(ServeError, match="start"):
+            make_fleet().play([])
+
+    def test_shutdown_refuses_further_play(self, make_fleet):
+        fleet = make_fleet()
+        fleet.start()
+        fleet.play(synthetic_workload(["toy"], requests=4, seed=0))
+        fleet.shutdown()
+        with pytest.raises(SessionClosed):
+            fleet.play([])
+
+
+class TestSingleShardEquivalence:
+    def test_one_shard_fleet_matches_stream_server_exactly(
+            self, make_fleet, serve_cache):
+        names = ("alpha", "beta", "gamma")
+        workload = synthetic_workload(list(names), requests=40, seed=3,
+                                      tenants=3, iterations_range=(1, 3),
+                                      burst=6)
+        server = StreamServer(policy=BatchPolicy(),
+                              options=SERVE_OPTIONS, cache=serve_cache)
+        for name in names:
+            server.register(name, toy_graph(name))
+        server.start()
+        fleet = make_fleet(names=names, shards=1)
+        fleet.start()
+        # Two replays each: the continuing stream cursor must agree too.
+        for seed_round in range(2):
+            expect = server.play(workload)
+            got = fleet.play(workload)
+            assert [response_key(r) for r in got.responses] \
+                == [response_key(r) for r in expect.responses]
+
+    def test_shard_count_is_invisible_in_the_bytes(self, make_fleet):
+        names = tuple(f"p{i}" for i in range(6))
+        workload = synthetic_workload(list(names), requests=60, seed=9,
+                                      tenants=4, iterations_range=(1, 3))
+
+        def outputs(shards):
+            fleet = make_fleet(names=names, shards=shards)
+            fleet.start()
+            report = fleet.play(workload)
+            assert len(report.responses) == len(workload)
+            return [(r.request.request_id, r.status,
+                     r.start_iteration,
+                     tuple(map(tuple, (r.outputs or {}).values())))
+                    for r in report.responses]
+
+        assert outputs(1) == outputs(3)
+
+
+class TestMultiShard:
+    def test_pipelines_spread_and_all_serve(self, make_fleet):
+        names = tuple(f"p{i}" for i in range(8))
+        fleet = make_fleet(names=names, shards=4)
+        fleet.start()
+        report = fleet.play(synthetic_workload(
+            list(names), requests=80, seed=2, tenants=3))
+        assert report.served == 80
+        busy_shards = [sid for sid, row in report.shards.items()
+                       if row["batches"] > 0]
+        assert len(busy_shards) > 1
+        assert_outputs_match_reference(fleet, report.responses)
+
+    def test_shards_overlap_in_simulated_time(self, make_fleet):
+        names = balanced_names(4, 2)
+        # Heavy zero-wait batches: execution, not the batching grace,
+        # must dominate the makespan for scaling to be visible.
+        policy = BatchPolicy(max_wait_ms=0.0, max_batch_iterations=64,
+                             max_batch_requests=8,
+                             max_queue_requests=1024)
+        saturating = synthetic_workload(list(names), requests=96,
+                                        seed=7, burst=96,
+                                        iterations_range=(4, 8))
+
+        def makespan(shards):
+            fleet = make_fleet(names=names, shards=shards,
+                               policy=policy)
+            fleet.start()
+            report = fleet.play(saturating)
+            assert report.served == 96
+            return max(r.completed_ms for r in report.responses)
+
+        # Parallel shard timelines must beat one serialized GPU.
+        assert makespan(4) < 0.6 * makespan(1)
+
+    def test_replay_is_deterministic_with_controllers(self, make_fleet):
+        names = colocated_names(3, 4)
+        workload = synthetic_workload(names, requests=60, seed=5,
+                                      tenant_skew=1.2,
+                                      mean_interarrival_ms=0.02)
+
+        def run():
+            fleet = make_fleet(
+                names=names, shards=3,
+                steal=StealPolicy(p99_budget_ms=0.3,
+                                  min_queue_depth=1))
+            fleet.start()
+            report = fleet.play(workload)
+            return ([response_key(r) for r in report.responses],
+                    [(m.pipeline, m.from_shard, m.to_shard)
+                     for m in report.steals])
+
+        assert run() == run()
+
+
+class TestStealing:
+    def test_hot_shard_donates_and_bytes_survive(self, make_fleet):
+        names = colocated_names(2, 4)
+        fleet = make_fleet(
+            names=names, shards=2,
+            steal=StealPolicy(p99_budget_ms=0.3, min_queue_depth=1,
+                              max_moves_per_round=2))
+        fleet.start()
+        workload = synthetic_workload(names, requests=80, seed=5,
+                                      tenant_skew=1.0,
+                                      mean_interarrival_ms=0.02)
+        report = fleet.play(workload)
+        assert report.steals, "colocated hot load never stole"
+        assert report.served + report.shed == 80
+        ids = [r.request.request_id for r in report.responses]
+        assert sorted(ids) == list(range(80))
+        assert len(set(ids)) == 80
+        assert_outputs_match_reference(fleet, report.responses)
+        donors = {m.from_shard for m in report.steals}
+        receivers = {m.to_shard for m in report.steals}
+        assert donors and receivers and donors.isdisjoint(set())
+
+    def test_steal_counters_reported_per_shard(self, make_fleet):
+        names = colocated_names(2, 4)
+        fleet = make_fleet(
+            names=names, shards=2,
+            steal=StealPolicy(p99_budget_ms=0.3, min_queue_depth=1))
+        fleet.start()
+        report = fleet.play(synthetic_workload(
+            names, requests=80, seed=5, tenant_skew=1.0,
+            mean_interarrival_ms=0.02))
+        outs = sum(row["steals_out"] for row in report.shards.values())
+        ins = sum(row["steals_in"] for row in report.shards.values())
+        assert outs == ins == len(report.steals) > 0
+
+
+class TestAutoscaling:
+    def test_sustained_breach_grows_the_fleet(self, make_fleet):
+        names = tuple(f"p{i}" for i in range(6))
+        fleet = make_fleet(
+            names=names, shards=1,
+            slo="p99_latency_ms<=0.2",
+            autoscale=AutoscalePolicy(min_shards=1, max_shards=4,
+                                      up_consecutive=2,
+                                      down_consecutive=50,
+                                      cooldown_ms=0.2))
+        fleet.start()
+        report = fleet.play(synthetic_workload(
+            list(names), requests=120, seed=4,
+            mean_interarrival_ms=0.01))
+        ups = [e for e in report.scale_events if e.action == "up"]
+        assert ups, "sustained p99 breach never scaled up"
+        assert len(fleet.alive_shards) > 1
+        assert report.served + report.shed == 120
+        assert_outputs_match_reference(fleet, report.responses)
+
+    def test_autoscale_without_slo_gets_the_default(self):
+        fleet = FleetServer(autoscale=AutoscalePolicy())
+        assert fleet.slo_spec is not None
+
+    def test_calm_traffic_retires_shards(self, make_fleet):
+        names = tuple(f"p{i}" for i in range(4))
+        fleet = make_fleet(
+            names=names, shards=3,
+            slo="p99_latency_ms<=50",
+            autoscale=AutoscalePolicy(min_shards=1, max_shards=3,
+                                      down_consecutive=2,
+                                      cooldown_ms=0.1))
+        fleet.start()
+        # Sparse, easy traffic: every bucket is calm.
+        report = fleet.play(synthetic_workload(
+            list(names), requests=30, seed=6,
+            mean_interarrival_ms=0.5))
+        downs = [e for e in report.scale_events if e.action == "down"]
+        assert downs, "calm traffic never scaled down"
+        assert len(fleet.alive_shards) < 3
+        assert report.served == 30
+        assert_outputs_match_reference(fleet, report.responses)
+
+
+class TestCrashChaos:
+    def test_crashes_never_drop_or_duplicate(self, make_fleet):
+        names = tuple(f"p{i}" for i in range(6))
+        workload = synthetic_workload(list(names), requests=80, seed=8,
+                                      tenants=3,
+                                      mean_interarrival_ms=0.02)
+
+        def run(spec):
+            faults.configure(spec)
+            try:
+                fleet = make_fleet(names=names, shards=4)
+                fleet.start()
+                return fleet.play(workload)
+            finally:
+                faults.reset()
+
+        chaotic = run("seed=11,shard.crash=0.25")
+        assert chaotic.crashes, "crash rate 0.25 never fired"
+        ids = [r.request.request_id for r in chaotic.responses]
+        assert sorted(ids) == list(range(80))
+        assert chaotic.served + chaotic.shed + chaotic.failed == 80
+
+        # Byte-for-byte the same outputs as the undisturbed fleet:
+        # crash recovery replays the stream, it never rewrites it.
+        calm = run(None)
+        calm_outputs = {r.request.request_id: r.outputs
+                       for r in calm.responses if r.ok}
+        for response in chaotic.responses:
+            if response.ok and response.request.request_id \
+                    in calm_outputs:
+                assert response.outputs \
+                    == calm_outputs[response.request.request_id]
+
+    def test_last_alive_shard_never_crashes(self, make_fleet):
+        faults.configure("seed=3,shard.crash=1.0")
+        try:
+            fleet = make_fleet(names=("solo",), shards=2)
+            fleet.start()
+            report = fleet.play(synthetic_workload(
+                ["solo"], requests=20, seed=1,
+                mean_interarrival_ms=0.05))
+        finally:
+            faults.reset()
+        assert len(fleet.alive_shards) >= 1
+        assert report.served + report.shed + report.failed == 20
+
+
+class TestDispatchFairness:
+    """Regression: the old round-robin pointer could skip a pipeline
+    that became dispatchable mid-sweep for a whole rotation.  The
+    FairDispatcher must interleave equal backlogs strictly — on the
+    single-GPU server AND the fleet path — and serve a mid-sweep
+    joiner before any peer gets a second turn."""
+
+    NAMES = ("a", "b", "c")
+    POLICY_KW = dict(max_wait_ms=0.0, max_batch_requests=1)
+
+    @staticmethod
+    def _dispatch_order(report):
+        order = []
+        for name, session in report.sessions.items():
+            for batch in session.batches:
+                order.append((batch.index, name))
+        return [name for _, name in sorted(order)]
+
+    @classmethod
+    def _equal_backlog(cls, names):
+        # 6 single-iteration requests per pipeline, all at t=0, served
+        # one request per batch: every pipeline stays dispatchable to
+        # the end, so fairness means a perfect interleave.
+        return [ServeRequest(pipeline=name, tenant="t", iterations=1,
+                             arrival_ms=0.0)
+                for _ in range(6) for name in names]
+
+    def test_mid_sweep_joiner_is_not_skipped(self):
+        from repro.serve import FairDispatcher
+
+        dispatcher = FairDispatcher()
+        dispatcher.register("a")
+        dispatcher.register("b")
+        assert dispatcher.pick(["a", "b"]) == "a"
+        assert dispatcher.pick(["a", "b"]) == "b"
+        # c becomes dispatchable mid-sweep: a rotation pointer sitting
+        # past it would hand a AND b a second turn first.
+        dispatcher.register("c")
+        assert dispatcher.pick(["a", "b", "c"]) == "c"
+        assert dispatcher.pick(["a", "b", "c"]) == "a"
+
+    def test_stream_server_interleaves_equal_backlogs(self, serve_cache):
+        server = StreamServer(policy=BatchPolicy(**self.POLICY_KW),
+                              options=SERVE_OPTIONS, cache=serve_cache)
+        for name in self.NAMES:
+            server.register(name, toy_graph(name))
+        server.start()
+        report = server.play(self._equal_backlog(self.NAMES))
+        assert report.served == 18
+        order = self._dispatch_order(report)
+        assert order == list(self.NAMES) * 6
+
+    def test_fleet_shard_interleaves_equal_backlogs(self, make_fleet):
+        fleet = make_fleet(names=self.NAMES, shards=1,
+                           policy=BatchPolicy(**self.POLICY_KW))
+        fleet.start()
+        report = fleet.play(self._equal_backlog(self.NAMES))
+        assert report.served == 18
+        order = self._dispatch_order(report)
+        assert order == list(self.NAMES) * 6
+
+
+class TestEndpoints:
+    def test_health_snapshot_has_shard_rows(self, make_fleet):
+        names = tuple(f"p{i}" for i in range(4))
+        fleet = make_fleet(names=names, shards=2, slo="error_rate<0.5")
+        fleet.start()
+        fleet.play(synthetic_workload(list(names), requests=20, seed=1))
+        health = fleet.health_snapshot()
+        assert set(health["shards"]) == {"0", "1"}
+        for row in health["shards"].values():
+            assert {"alive", "hosted", "queue_depth", "busy_ms",
+                    "p99_ms", "steals_in", "steals_out",
+                    "breakers"} <= set(row)
+        for name in names:
+            assert health["sessions"][name]["shard"] in (0, 1)
+
+    def test_dashboard_renders_shard_table(self, make_fleet):
+        names = tuple(f"p{i}" for i in range(4))
+        fleet = make_fleet(names=names, shards=2)
+        fleet.start()
+        fleet.play(synthetic_workload(list(names), requests=20, seed=1))
+        text = fleet.dashboard()
+        assert "shard" in text and "steal_in" in text
+
+    def test_describe_includes_fleet_summary(self, make_fleet):
+        fleet = make_fleet(shards=2)
+        fleet.start()
+        report = fleet.play(synthetic_workload(["toy"], requests=8,
+                                               seed=1))
+        text = report.describe()
+        assert "fleet: 2 shards" in text

@@ -1,0 +1,96 @@
+"""synthetic_workload: Zipf tenant skew and on/off burst cycles."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import synthetic_workload
+
+
+class TestLegacyPath:
+    def test_zero_skew_matches_the_default_draw(self):
+        base = synthetic_workload(["a", "b"], requests=40, seed=3,
+                                  tenants=3)
+        explicit = synthetic_workload(["a", "b"], requests=40, seed=3,
+                                      tenants=3, tenant_skew=0.0)
+        assert base == explicit
+
+    def test_arrivals_are_monotone(self):
+        workload = synthetic_workload(["a"], requests=30, seed=5)
+        arrivals = [r.arrival_ms for r in workload]
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_per_seed(self):
+        def make():
+            return synthetic_workload(["a", "b"], requests=25, seed=9,
+                                      tenants=4, tenant_skew=1.3,
+                                      burst_on_ms=0.2,
+                                      burst_off_ms=0.4)
+
+        assert make() == make()
+
+
+class TestZipfSkew:
+    def test_rank_zero_tenant_runs_hottest(self):
+        workload = synthetic_workload(["a"], requests=400, seed=1,
+                                      tenants=4, tenant_skew=1.5)
+        counts = {}
+        for request in workload:
+            counts[request.tenant] = counts.get(request.tenant, 0) + 1
+        ranked = sorted(counts, key=counts.get, reverse=True)
+        assert ranked[0] == "tenant0"
+        assert counts["tenant0"] > 2 * counts.get("tenant3", 0)
+
+    def test_first_pipeline_runs_hottest(self):
+        workload = synthetic_workload(["hot", "cold"], requests=400,
+                                      seed=1, tenant_skew=1.5)
+        hot = sum(1 for r in workload if r.pipeline == "hot")
+        assert hot > 240   # uniform would sit near 200
+
+    def test_every_rank_still_appears(self):
+        workload = synthetic_workload(["a", "b"], requests=400, seed=2,
+                                      tenants=3, tenant_skew=1.0)
+        assert {r.tenant for r in workload} \
+            == {"tenant0", "tenant1", "tenant2"}
+
+
+class TestBurstCycles:
+    def test_no_arrivals_inside_off_phases(self):
+        on, off = 0.3, 0.7
+        workload = synthetic_workload(["a"], requests=200, seed=4,
+                                      mean_interarrival_ms=0.02,
+                                      burst_on_ms=on, burst_off_ms=off)
+        for request in workload:
+            phase = request.arrival_ms % (on + off)
+            assert phase <= on + 1e-9, request.arrival_ms
+
+    def test_cycle_preserves_arrival_order(self):
+        workload = synthetic_workload(["a"], requests=100, seed=4,
+                                      burst_on_ms=0.2, burst_off_ms=0.5)
+        arrivals = [r.arrival_ms for r in workload]
+        assert arrivals == sorted(arrivals)
+
+    def test_initial_burst_still_lands_at_zero(self):
+        workload = synthetic_workload(["a"], requests=20, seed=4,
+                                      burst=5, burst_on_ms=0.2,
+                                      burst_off_ms=0.5)
+        assert all(r.arrival_ms == 0.0 for r in workload[:5])
+
+
+class TestValidation:
+    def test_negative_skew_refused(self):
+        with pytest.raises(ServeError, match="tenant_skew"):
+            synthetic_workload(["a"], requests=1, tenant_skew=-0.5)
+
+    def test_burst_phases_must_come_together(self):
+        with pytest.raises(ServeError, match="together"):
+            synthetic_workload(["a"], requests=1, burst_on_ms=1.0)
+        with pytest.raises(ServeError, match="together"):
+            synthetic_workload(["a"], requests=1, burst_off_ms=1.0)
+
+    def test_burst_phases_must_be_positive(self):
+        with pytest.raises(ServeError, match="positive"):
+            synthetic_workload(["a"], requests=1, burst_on_ms=0.0,
+                               burst_off_ms=1.0)
+        with pytest.raises(ServeError, match="positive"):
+            synthetic_workload(["a"], requests=1, burst_on_ms=1.0,
+                               burst_off_ms=-1.0)

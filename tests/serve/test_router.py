@@ -1,0 +1,90 @@
+"""ConsistentHashRouter: stability, coverage, bounded movement."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ConsistentHashRouter
+
+KEYS = [f"pipeline-{i}" for i in range(2000)]
+
+
+class TestRouting:
+    def test_route_is_deterministic_across_instances(self):
+        a = ConsistentHashRouter(range(4))
+        b = ConsistentHashRouter(range(4))
+        assert a.assignments(KEYS) == b.assignments(KEYS)
+
+    def test_route_is_independent_of_add_order(self):
+        forward = ConsistentHashRouter([0, 1, 2, 3])
+        backward = ConsistentHashRouter([3, 2, 1, 0])
+        assert forward.assignments(KEYS) == backward.assignments(KEYS)
+
+    def test_every_shard_receives_keys(self):
+        ring = ConsistentHashRouter(range(4))
+        homes = set(ring.assignments(KEYS).values())
+        assert homes == {0, 1, 2, 3}
+
+    def test_load_split_is_roughly_even(self):
+        ring = ConsistentHashRouter(range(4))
+        counts = {shard: 0 for shard in range(4)}
+        for key in KEYS:
+            counts[ring.route(key)] += 1
+        # 64 virtual nodes per shard keeps the imbalance moderate.
+        assert max(counts.values()) < 3 * min(counts.values())
+
+
+class TestBoundedMovement:
+    def test_adding_a_shard_moves_at_most_a_bounded_fraction(self):
+        ring = ConsistentHashRouter(range(4))
+        before = ring.assignments(KEYS)
+        ring.add_shard(4)
+        moved = ring.moved_keys(KEYS, before)
+        # Expectation is K/(N+1) = 400; anything near a full reshuffle
+        # (~K * N/(N+1) = 1600) means the ring is broken.
+        assert 0 < len(moved) <= 2 * len(KEYS) // 5
+        # Every moved key lands on the new shard — an add must never
+        # shuffle keys between pre-existing shards.
+        assert set(moved.values()) == {4}
+
+    def test_removing_a_shard_moves_only_its_keys(self):
+        ring = ConsistentHashRouter(range(4))
+        before = ring.assignments(KEYS)
+        victims = [key for key, home in before.items() if home == 2]
+        ring.remove_shard(2)
+        after = ring.assignments(KEYS)
+        for key, home in before.items():
+            if home != 2:
+                assert after[key] == home, key
+        assert victims and all(after[key] != 2 for key in victims)
+
+    def test_add_then_remove_restores_assignments(self):
+        ring = ConsistentHashRouter(range(3))
+        before = ring.assignments(KEYS)
+        ring.add_shard(9)
+        ring.remove_shard(9)
+        assert ring.assignments(KEYS) == before
+
+
+class TestEdges:
+    def test_duplicate_add_refused(self):
+        ring = ConsistentHashRouter([0])
+        with pytest.raises(ServeError, match="already"):
+            ring.add_shard(0)
+
+    def test_remove_unknown_refused(self):
+        with pytest.raises(ServeError, match="not on the ring"):
+            ConsistentHashRouter([0]).remove_shard(7)
+
+    def test_empty_ring_cannot_route(self):
+        with pytest.raises(ServeError, match="empty"):
+            ConsistentHashRouter().route("anything")
+
+    def test_virtual_nodes_validated(self):
+        with pytest.raises(ServeError, match="virtual_nodes"):
+            ConsistentHashRouter(virtual_nodes=0)
+
+    def test_membership_protocol(self):
+        ring = ConsistentHashRouter([2, 5])
+        assert len(ring) == 2
+        assert 2 in ring and 5 in ring and 3 not in ring
+        assert ring.shards == [2, 5]

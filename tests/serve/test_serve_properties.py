@@ -18,10 +18,12 @@ import random
 import pytest
 
 from repro.apps import all_benchmarks, benchmark_by_name
+from repro.cache import CompileCache
 from repro.gpu import GEFORCE_8600_GTS
 from repro.runtime import Interpreter
 from repro.serve import (
     BatchPolicy,
+    FleetServer,
     StreamServer,
     default_session_options,
     synthetic_workload,
@@ -38,16 +40,8 @@ def _options(name):
         attempt_budget_seconds=10.0)
 
 
-@pytest.fixture(scope="session", params=APP_NAMES)
-def served_app(request, tmp_path_factory):
-    """One app served through two randomized replays on one server
-    (the stream continues across plays), computed once per session."""
-    name = request.param
-    server = StreamServer(policy=BatchPolicy(max_wait_ms=0.2),
-                          options=_options(name))
-    server.register(name, benchmark_by_name(name).build())
-    server.start()
-    reports = []
+def _workloads(name):
+    loads = []
     for seed in (1, 2):
         workload = synthetic_workload(
             [name], requests=10, seed=seed, tenants=3,
@@ -55,7 +49,25 @@ def served_app(request, tmp_path_factory):
         # Shuffled submission order: the server must key on arrival
         # times, not list position.
         random.Random(seed).shuffle(workload)
-        reports.append(server.play(workload))
+        loads.append(workload)
+    return loads
+
+
+@pytest.fixture(scope="session")
+def prop_cache(tmp_path_factory):
+    return CompileCache(tmp_path_factory.mktemp("serve-prop-cache"))
+
+
+@pytest.fixture(scope="session", params=APP_NAMES)
+def served_app(request, prop_cache):
+    """One app served through two randomized replays on one server
+    (the stream continues across plays), computed once per session."""
+    name = request.param
+    server = StreamServer(policy=BatchPolicy(max_wait_ms=0.2),
+                          options=_options(name), cache=prop_cache)
+    server.register(name, benchmark_by_name(name).build())
+    server.start()
+    reports = [server.play(workload) for workload in _workloads(name)]
     return name, server, reports
 
 
@@ -109,3 +121,26 @@ def test_latencies_are_finite_and_ordered(served_app):
             <= percentiles["p99"], name
         for latency in session_report.latencies_ms:
             assert latency >= 0, name
+
+
+def test_single_shard_fleet_is_byte_identical(served_app, prop_cache):
+    """ISSUE acceptance property: a 1-shard FleetServer replaying the
+    same workloads must be byte-identical to the StreamServer —
+    status, windows, outputs, timing, batch shapes, everything."""
+    name, _server, expect_reports = served_app
+    fleet = FleetServer(policy=BatchPolicy(max_wait_ms=0.2),
+                        options=_options(name), cache=prop_cache,
+                        shards=1)
+    fleet.register(name, benchmark_by_name(name).build())
+    fleet.start()
+    for workload, expect in zip(_workloads(name), expect_reports):
+        got = fleet.play(workload)
+        assert len(got.responses) == len(expect.responses), name
+        for mine, ref in zip(got.responses, expect.responses):
+            assert mine.request.request_id == ref.request.request_id
+            assert mine.status == ref.status, name
+            assert mine.start_iteration == ref.start_iteration, name
+            assert mine.completed_ms == ref.completed_ms, name
+            assert mine.latency_ms == ref.latency_ms, name
+            assert mine.batch_index == ref.batch_index, name
+            assert mine.outputs == ref.outputs, name

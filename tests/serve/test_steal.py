@@ -1,0 +1,116 @@
+"""plan_steals: donor/receiver selection, cooldowns, determinism."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ShardLoad, StealMove, StealPolicy, plan_steals
+
+POLICY = StealPolicy(p99_budget_ms=10.0, min_queue_depth=2,
+                     cooldown_ms=5.0, max_moves_per_round=1)
+
+
+def hot(shard_id, p99=50.0, depth=6, movable=None):
+    return ShardLoad(shard_id=shard_id, p99_ms=p99, queue_depth=depth,
+                     movable=movable if movable is not None
+                     else {"hot-pipe": depth})
+
+
+def cold(shard_id, depth=0):
+    return ShardLoad(shard_id=shard_id, p99_ms=1.0, queue_depth=depth,
+                     movable={})
+
+
+class TestDonorSelection:
+    def test_hot_shard_donates_to_coldest_receiver(self):
+        moves = plan_steals([hot(0), cold(1, depth=3), cold(2, depth=1)],
+                            POLICY, now_ms=100.0)
+        assert moves == [StealMove(pipeline="hot-pipe", from_shard=0,
+                                   to_shard=2, queued_requests=6)]
+
+    def test_p99_under_budget_never_donates(self):
+        moves = plan_steals([hot(0, p99=9.0), cold(1)], POLICY, 100.0)
+        assert moves == []
+
+    def test_no_latency_samples_never_donates(self):
+        moves = plan_steals([hot(0, p99=None), cold(1)], POLICY, 100.0)
+        assert moves == []
+
+    def test_shallow_queue_never_donates(self):
+        load = ShardLoad(shard_id=0, p99_ms=50.0, queue_depth=1,
+                         movable={"p": 1})
+        assert plan_steals([load, cold(1)], POLICY, 100.0) == []
+
+    def test_in_flight_only_shard_has_nothing_movable(self):
+        load = ShardLoad(shard_id=0, p99_ms=50.0, queue_depth=6,
+                         movable={})
+        assert plan_steals([load, cold(1)], POLICY, 100.0) == []
+
+    def test_empty_movable_queues_skip_the_migration_charge(self):
+        load = ShardLoad(shard_id=0, p99_ms=50.0, queue_depth=6,
+                         movable={"idle": 0})
+        assert plan_steals([load, cold(1)], POLICY, 100.0) == []
+
+    def test_most_queued_pipeline_moves_first(self):
+        load = hot(0, movable={"a": 2, "b": 5, "c": 3})
+        [move] = plan_steals([load, cold(1)], POLICY, 100.0)
+        assert move.pipeline == "b" and move.queued_requests == 5
+
+
+class TestCooldown:
+    def test_recent_donor_sits_out(self):
+        last = {0: 98.0}
+        assert plan_steals([hot(0), cold(1)], POLICY, 100.0,
+                           last) == []
+
+    def test_elapsed_cooldown_donates_again(self):
+        last = {0: 90.0}
+        assert len(plan_steals([hot(0), cold(1)], POLICY, 100.0,
+                               last)) == 1
+
+
+class TestRounds:
+    def test_max_moves_per_round_caps_the_plan(self):
+        policy = StealPolicy(p99_budget_ms=10.0, min_queue_depth=2,
+                             max_moves_per_round=2)
+        loads = [hot(0), hot(1, p99=40.0, movable={"other": 4}),
+                 hot(2, p99=30.0, movable={"third": 4}), cold(3)]
+        moves = plan_steals(loads, policy, 100.0)
+        assert len(moves) == 2
+        # Hottest donor first.
+        assert [m.from_shard for m in moves] == [0, 1]
+
+    def test_receiver_depth_updates_between_moves(self):
+        policy = StealPolicy(p99_budget_ms=10.0, min_queue_depth=2,
+                             max_moves_per_round=2)
+        loads = [hot(0, movable={"a": 6}),
+                 hot(1, p99=40.0, movable={"b": 4}),
+                 cold(2), cold(3)]
+        moves = plan_steals(loads, policy, 100.0)
+        # The first move fills shard 2; the second goes to shard 3.
+        assert [m.to_shard for m in moves] == [2, 3]
+
+    def test_all_shards_hot_plans_nothing(self):
+        assert plan_steals([hot(0), hot(1)], POLICY, 100.0) == []
+
+    def test_plan_is_deterministic(self):
+        loads = [hot(0), hot(1, movable={"z": 6}), cold(2), cold(3)]
+        assert plan_steals(loads, POLICY, 100.0) \
+            == plan_steals(list(loads), POLICY, 100.0)
+
+    def test_equal_heat_breaks_ties_by_shard_id(self):
+        loads = [hot(1), hot(0), cold(2)]
+        [move] = plan_steals(loads, POLICY, 100.0)
+        assert move.from_shard == 0
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(p99_budget_ms=0),
+        dict(min_queue_depth=0),
+        dict(migration_ms=-1),
+        dict(cooldown_ms=-1),
+        dict(max_moves_per_round=0),
+    ])
+    def test_bad_policy_refused(self, kwargs):
+        with pytest.raises(ServeError):
+            StealPolicy(**kwargs)
