@@ -25,9 +25,11 @@ only downstream stages: changing ``relaxation_step`` re-solves the ILP
 but reuses the profile; changing the device re-runs everything.
 
 Entries are single JSON files under ``<root>/<stage>/<hh>/<hash>.json``
-written atomically (temp file + ``os.replace``), so concurrent readers
-never observe a half-written entry and concurrent writers of the same
-key converge to identical content.  A corrupted entry (truncated file,
+written atomically and durably via :mod:`repro.io_atomic` (temp file,
+fsync, ``os.replace``, directory fsync), so concurrent readers never
+observe a half-written entry, concurrent writers of the same key
+converge to identical content, and an acknowledged entry survives a
+crash.  A corrupted entry (truncated file,
 bad JSON, key mismatch, schedule that fails validation) is treated as
 a miss, deleted, and recomputed.
 
@@ -45,12 +47,12 @@ import hashlib
 import json
 import math
 import os
-import threading
 import types
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
 from . import faults, obs
+from .io_atomic import atomic_write_text
 from .core.configure import ExecutionConfig
 from .core.iisearch import Attempt, IISearchResult
 from .core.problem import ScheduleProblem
@@ -515,18 +517,20 @@ class CompileCache:
             return envelope["data"]
 
     def put(self, stage: str, key: str, data: dict) -> None:
-        """Atomically write one entry (readers never see partials).
+        """Atomically and durably write one entry (readers never see
+        partials; a crash after return cannot lose the entry).
 
-        Transient write errors (real or injected) are retried with
-        backoff; a write that keeps failing leaves the result simply
-        uncached — a read-only or full cache directory must never fail
-        the compile.
+        The write goes through :func:`repro.io_atomic.atomic_write_text`
+        — temp file, fsync, ``os.replace``, directory fsync — so a
+        cache entry that was acknowledged survives power loss, not just
+        process death.  Transient write errors (real or injected) are
+        retried with backoff; a write that keeps failing leaves the
+        result simply uncached — a read-only or full cache directory
+        must never fail the compile.
         """
         path = self._entry_path(stage, key)
         envelope = {"format": CACHE_FORMAT_VERSION, "stage": stage,
                     "key": key, "data": data}
-        tmp = path.with_name(
-            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
         injecting = faults.is_active()
         retries = _io_retry_budget()
         attempt = 0
@@ -535,14 +539,8 @@ class CompileCache:
                 if injecting:
                     faults.maybe_io_error("cache.io",
                                           f"put:{stage}:{key}", attempt)
-                path.parent.mkdir(parents=True, exist_ok=True)
-                tmp.write_text(json.dumps(envelope), encoding="utf-8")
-                os.replace(tmp, path)
+                atomic_write_text(path, json.dumps(envelope))
             except OSError:
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
                 if attempt < retries:
                     attempt += 1
                     if injecting:

@@ -346,6 +346,21 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="MS",
                        help="synthetic on/off duty cycle: idle gap "
                             "between bursts")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="crash-consistent serving: append every "
+                            "admission/response to a write-ahead "
+                            "journal and checkpoint shard state here "
+                            "(implies the fleet path)")
+    serve.add_argument("--checkpoint-interval-ms", type=float,
+                       default=1.0, metavar="MS",
+                       help="simulated ms between mid-play checkpoints "
+                            "(0: checkpoint at every window-bucket "
+                            "boundary)")
+    serve.add_argument("--restore", action="store_true",
+                       help="recover from --checkpoint-dir instead of "
+                            "starting cold: load the latest valid "
+                            "checkpoint and replay the journal suffix "
+                            "exactly once")
     return parser
 
 
@@ -602,11 +617,14 @@ def _cmd_serve(args) -> int:
     """Serve benchmarks under a simulated request load."""
     import json
 
-    from .errors import ServeError
+    from pathlib import Path
+
+    from .errors import ConfigError, ServeError
     from .obs.slo import SloError
     from .serve import (
         AutoscalePolicy,
         BatchPolicy,
+        DurabilityConfig,
         FleetServer,
         StealPolicy,
         StreamServer,
@@ -614,6 +632,7 @@ def _cmd_serve(args) -> int:
         load_request_file,
         synthetic_workload,
     )
+    from .serve.durable import MANIFEST_NAME
 
     names = list(dict.fromkeys(args.benchmarks))
     graphs = {name: _load_graph(name)[1] for name in names}
@@ -648,9 +667,32 @@ def _cmd_serve(args) -> int:
     except (OSError, ServeError) as exc:
         print(exc, file=sys.stderr)
         return 2
+    try:
+        durable = None
+        if args.checkpoint_dir is not None:
+            durable = DurabilityConfig(
+                dir=Path(args.checkpoint_dir),
+                checkpoint_interval_ms=args.checkpoint_interval_ms)
+        if args.restore:
+            if durable is None:
+                raise ConfigError(
+                    "--restore requires --checkpoint-dir (there is "
+                    "nothing to restore from)")
+            if not durable.dir.is_dir():
+                raise ConfigError(
+                    f"--restore: checkpoint directory {durable.dir} "
+                    "does not exist")
+            if not (durable.dir / MANIFEST_NAME).is_file():
+                raise ConfigError(
+                    f"--restore: {durable.dir} has no {MANIFEST_NAME} "
+                    "(not a durable serving directory)")
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     if _wants_observability(args) or args.trace_events or args.top:
         obs.enable(reset=True)
-    fleet = (args.shards is not None or args.steal or args.autoscale)
+    fleet = (args.shards is not None or args.steal or args.autoscale
+             or durable is not None)
     try:
         if fleet:
             server = FleetServer(
@@ -664,7 +706,8 @@ def _cmd_serve(args) -> int:
                 autoscale=(AutoscalePolicy(
                     min_shards=args.min_shards,
                     max_shards=args.max_shards)
-                    if args.autoscale else None))
+                    if args.autoscale else None),
+                durable=durable)
         else:
             server = StreamServer(policy=policy, options=options,
                                   jobs=args.jobs,
@@ -677,7 +720,14 @@ def _cmd_serve(args) -> int:
         return 2
     for name, graph in graphs.items():
         server.register(name, graph)
-    server.start()
+    try:
+        if args.restore:
+            server.restore()
+        else:
+            server.start()
+    except ServeError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     report = server.play(workload)
     print(report.describe())
     if args.top:

@@ -160,6 +160,33 @@ class SessionUnhealthy(ServeError):
         self.retry_after_ms = retry_after_ms
 
 
+class JournalError(ServeError):
+    """Raised when the write-ahead request journal cannot uphold its
+    contract: an append to a closed journal, a record that fails its
+    checksum *before* the torn tail, or a replay that contradicts the
+    exactly-once bookkeeping."""
+
+
+class CheckpointError(ServeError):
+    """Raised when a checkpoint cannot be written, or when recovery
+    finds no valid checkpoint/manifest state to restore from."""
+
+
+class ProcessCrash(ReproError):
+    """An injected whole-process death (the ``process.crash`` fault
+    site).  Deliberately *not* a :class:`TransientFault`: nothing
+    in-process may retry past it — the only recovery path is a fresh
+    process restoring from durable state.
+
+    ``crashpoint`` names the durable-write boundary that died (see the
+    crashpoint catalog in docs/robustness.md).
+    """
+
+    def __init__(self, message: str, *, crashpoint: str = "") -> None:
+        super().__init__(message)
+        self.crashpoint = crashpoint
+
+
 class LanguageError(ReproError):
     """Base class for errors from the StreamIt-like language front end."""
 

@@ -81,6 +81,9 @@ SITES = (
     "filter.transient",    # one firing faults (TransientFilterFault)
     "gpu.sm_error",        # one SM errors during a simulated kernel
     "shard.crash",         # a fleet shard dies (sessions re-route)
+    "journal.torn_write",  # a journal append is torn mid-record
+    "snapshot.corrupt",    # a checkpoint read observes corruption
+    "process.crash",       # the whole process dies at a crashpoint
 )
 
 #: Non-rate knobs the spec accepts, with defaults.

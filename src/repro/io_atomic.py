@@ -1,0 +1,107 @@
+"""Crash-safe file writes shared by the cache and the durable layer.
+
+The compile cache has always written entries with the classic
+temp-file + ``os.replace`` dance so concurrent readers never observe a
+half-written entry.  Atomicity alone is not *durability*, though: an
+``os.replace`` that was never fsync'd can vanish (or resurrect the old
+content) after a power loss, because neither the file's data nor the
+directory entry that names it were forced to stable storage.  The
+write-ahead journal and checkpoint store added for crash-consistent
+serving need the stronger contract, so the full pattern lives here:
+
+1. write the payload to a uniquely named temp file *in the target
+   directory* (same filesystem, so the rename is atomic);
+2. flush and ``fsync`` the temp file — the bytes are on disk;
+3. ``os.replace`` it over the target — readers switch atomically;
+4. ``fsync`` the containing directory — the *name* is on disk.
+
+``fsync_path`` is best-effort on platforms that cannot open
+directories (Windows): the rename is still atomic there, matching the
+cache's historical guarantee.
+
+Nothing in this module knows about fault injection; callers that want
+``faults.maybe_io_error`` semantics inject *before* calling in, so a
+single injected ``OSError`` maps to one failed logical write.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Union
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_handle",
+    "fsync_path",
+    "tmp_sibling",
+]
+
+
+def tmp_sibling(path: Path) -> Path:
+    """A collision-free temp name next to ``path`` (same directory, so
+    ``os.replace`` never crosses filesystems)."""
+    return path.with_name(
+        f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+
+
+def fsync_handle(fileobj) -> None:
+    """Flush Python buffers and force ``fileobj``'s bytes to disk."""
+    fileobj.flush()
+    os.fsync(fileobj.fileno())
+
+
+def fsync_path(path: Union[str, Path]) -> None:
+    """fsync a path (typically a directory, to persist a rename or a
+    newly created name).  Best-effort: platforms that cannot open
+    directories for reading simply keep the weaker atomic-only
+    contract."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes,
+                       *, durable: bool = True) -> None:
+    """Atomically (and, by default, durably) replace ``path`` with
+    ``data``.
+
+    Readers racing this call observe either the old content or the new
+    content, never a prefix.  With ``durable=True`` the data and the
+    rename both survive a crash straight after return.  On any
+    ``OSError`` the temp file is removed and the error re-raised — the
+    target is untouched either way.
+    """
+    path = Path(path)
+    tmp = tmp_sibling(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            if durable:
+                fsync_handle(handle)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_path(path.parent)
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      *, durable: bool = True,
+                      encoding: str = "utf-8") -> None:
+    """:func:`atomic_write_bytes` for text payloads."""
+    atomic_write_bytes(path, text.encode(encoding), durable=durable)

@@ -54,6 +54,8 @@ EVENT_KINDS = frozenset({
     "migrate",         # a pipeline changed home shard (scale/crash)
     "scale",           # a fleet autoscaling decision (up/down/hold)
     "shard_crash",     # an injected shard crash (fault site shard.crash)
+    "checkpoint",      # a durable checkpoint was written (or skipped)
+    "replay",          # recovery replayed/deduped journal state
 })
 
 #: Implicit causal context: the trace id of the request currently

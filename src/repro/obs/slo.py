@@ -307,6 +307,38 @@ class SloMonitor:
                          for session in self.sessions()},
         }
 
+    # -- durable state (checkpoint/restore) ----------------------------
+    def dump_state(self) -> list[list]:
+        """JSON-safe cumulative accounting, keyed by objective index
+        within the spec (the spec itself travels in the server's own
+        configuration, not the checkpoint)."""
+        index = {objective: i
+                 for i, objective in enumerate(self.spec.objectives)}
+        return [[session, index[objective], state.evals,
+                 state.breaches, state.consecutive_breaches,
+                 state.last_observed, state.last_ok,
+                 state.last_burn_rate]
+                for (session, objective), state in self._state.items()
+                if objective in index]
+
+    def load_state(self, rows: list) -> None:
+        """Restore :meth:`dump_state` output into a monitor built over
+        the same spec, so burn-rate streaks (and the autoscaling
+        decisions they drive) survive a crash/restore cycle."""
+        self._state.clear()
+        objectives = list(self.spec.objectives)
+        for row in rows:
+            (session, obj_index, evals, breaches, consecutive,
+             last_observed, last_ok, last_burn) = row
+            if not 0 <= int(obj_index) < len(objectives):
+                continue
+            state = _ObjectiveState(
+                evals=int(evals), breaches=int(breaches),
+                consecutive_breaches=int(consecutive),
+                last_observed=last_observed, last_ok=last_ok,
+                last_burn_rate=float(last_burn))
+            self._state[(session, objectives[int(obj_index)])] = state
+
 
 # ----------------------------------------------------------------------
 # the `repro top`-style dashboard

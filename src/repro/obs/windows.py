@@ -108,6 +108,36 @@ class _Ring:
         lo = epoch - len(self._buckets) + 1
         return [b for b in self._buckets if lo <= b.epoch <= epoch]
 
+    # -- durable state (checkpoint/restore) ----------------------------
+    def dump_state(self) -> list[list]:
+        """JSON-safe ring contents.  Empty buckets carry ``None`` for
+        min/max (their sentinel infinities are not JSON numbers)."""
+        with _LOCK:
+            return [[b.epoch, b.count, b.total,
+                     None if b.count == 0 else b.minimum,
+                     None if b.count == 0 else b.maximum,
+                     list(b.samples)]
+                    for b in self._buckets]
+
+    def load_state(self, state: list) -> None:
+        """Restore ring contents dumped by :meth:`dump_state` into an
+        instrument built with the same geometry."""
+        if len(state) != len(self._buckets):
+            raise ConfigError(
+                f"rolling-window state has {len(state)} buckets, "
+                f"instrument has {len(self._buckets)}")
+        with _LOCK:
+            for bucket, row in zip(self._buckets, state):
+                epoch, count, total, minimum, maximum, samples = row
+                bucket.reset(int(epoch))
+                bucket.count = int(count)
+                bucket.total = float(total)
+                bucket.minimum = (math.inf if minimum is None
+                                  else float(minimum))
+                bucket.maximum = (-math.inf if maximum is None
+                                  else float(maximum))
+                bucket.samples = [float(s) for s in samples]
+
 
 class RollingCounter(_Ring):
     """Windowed monotone count: events (and their summed amount) that
@@ -224,6 +254,37 @@ class WindowRegistry:
     def reset(self) -> None:
         self.counters.clear()
         self.histograms.clear()
+
+    def dump_state(self) -> dict:
+        """JSON-safe registry contents for a durable checkpoint."""
+        return {
+            "window_ms": self.window_ms,
+            "buckets": self.buckets,
+            "counters": {k: c.dump_state()
+                         for k, c in self.counters.items()},
+            "histograms": {k: h.dump_state()
+                           for k, h in self.histograms.items()},
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Rebuild every instrument from :meth:`dump_state` output.
+        The registry must have been constructed with the same window
+        geometry as the dumping one."""
+        if (float(state["window_ms"]) != self.window_ms
+                or int(state["buckets"]) != self.buckets):
+            raise ConfigError(
+                "rolling-window geometry mismatch: checkpoint has "
+                f"{state['window_ms']} ms / {state['buckets']} buckets, "
+                f"registry has {self.window_ms} ms / {self.buckets}")
+        self.reset()
+        for key, rows in state["counters"].items():
+            ring = RollingCounter(self.window_ms, self.buckets)
+            ring.load_state(rows)
+            self.counters[key] = ring
+        for key, rows in state["histograms"].items():
+            ring = RollingHistogram(self.window_ms, self.buckets)
+            ring.load_state(rows)
+            self.histograms[key] = ring
 
     def snapshot(self, now_ms: float) -> dict[str, dict]:
         """Plain-data view of every instrument over its live window

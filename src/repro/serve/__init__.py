@@ -41,6 +41,14 @@ from .admission import AdmissionQueue
 from .autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
 from .batcher import BatchPolicy, DynamicBatcher, PlannedBatch
 from .breaker import CircuitBreaker
+from .durable import (
+    CRASHPOINTS,
+    CheckpointStore,
+    DurabilityConfig,
+    DurableState,
+    RequestJournal,
+    workload_fingerprint,
+)
 from .fleet import CrashRecord, FleetReport, FleetServer
 from .loadgen import load_request_file, synthetic_workload
 from .request import (
@@ -63,15 +71,20 @@ __all__ = [
     "Autoscaler",
     "BatchPolicy",
     "BatchRecord",
+    "CRASHPOINTS",
+    "CheckpointStore",
     "CircuitBreaker",
     "ConsistentHashRouter",
     "CrashRecord",
+    "DurabilityConfig",
+    "DurableState",
     "DynamicBatcher",
     "FairDispatcher",
     "FleetReport",
     "FleetServer",
     "PipelineSession",
     "PlannedBatch",
+    "RequestJournal",
     "Response",
     "STATUS_FAILED",
     "STATUS_OK",
@@ -94,4 +107,5 @@ __all__ = [
     "percentile",
     "plan_steals",
     "synthetic_workload",
+    "workload_fingerprint",
 ]

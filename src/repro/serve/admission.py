@@ -22,7 +22,12 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Optional
 
-from ..errors import ConfigError, ServerOverloaded, SessionClosed
+from ..errors import (
+    ConfigError,
+    ServeError,
+    ServerOverloaded,
+    SessionClosed,
+)
 from .request import ServeRequest
 
 
@@ -121,6 +126,30 @@ class AdmissionQueue:
             self._tenants.setdefault(request.tenant, deque()) \
                 .append(request)
             self._depth += 1
+
+    # -- durable state (checkpoint/restore) ----------------------------
+    def snapshot_lanes(self) -> list[tuple[str, list[ServeRequest]]]:
+        """The queue's exact contents *and shape*: tenant lanes in
+        first-seen order (which is the round-robin rotation order the
+        batch former walks), each lane in FIFO order.  A checkpoint
+        that lost this ordering would restore a queue that forms
+        different batches than the crashed run."""
+        return [(tenant, list(queue))
+                for tenant, queue in self._tenants.items()]
+
+    def restore_lanes(self,
+                      lanes: list[tuple[str, list[ServeRequest]]]
+                      ) -> None:
+        """Rebuild the queue from :meth:`snapshot_lanes` output,
+        bypassing admission bounds (everything here was admitted —
+        and journaled — once already)."""
+        if self._depth or self._tenants:
+            raise ServeError(
+                f"session {self.session!r}: restore_lanes needs an "
+                "empty queue")
+        for tenant, requests in lanes:
+            self._tenants[tenant] = deque(requests)
+            self._depth += len(requests)
 
     def purge_expired(self, now_ms: float,
                       deadline_ms: float) -> list[ServeRequest]:

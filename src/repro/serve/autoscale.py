@@ -86,6 +86,33 @@ class Autoscaler:
         self._calm_streak = 0
         self._last_action_ms = float("-inf")
 
+    # -- durable state (checkpoint/restore) ----------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe scaler state (``-inf`` encodes as ``None``)."""
+        last = self._last_action_ms
+        return {
+            "events": [{"ts_ms": e.ts_ms, "action": e.action,
+                        "shards_before": e.shards_before,
+                        "shards_after": e.shards_after,
+                        "burn_rate": e.burn_rate, "reason": e.reason}
+                       for e in self.events],
+            "hot_streak": self._hot_streak,
+            "calm_streak": self._calm_streak,
+            "last_action_ms": (None if last == float("-inf")
+                               else last),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt checkpointed hysteresis state, so a restored fleet
+        neither re-fires a pre-crash scaling action nor forgets a
+        streak that was one eval short of firing."""
+        self.events = [ScaleEvent(**row) for row in state["events"]]
+        self._hot_streak = int(state["hot_streak"])
+        self._calm_streak = int(state["calm_streak"])
+        last = state["last_action_ms"]
+        self._last_action_ms = (float("-inf") if last is None
+                                else float(last))
+
     def evaluate(self, now_ms: float, shards: int,
                  burn_rate: float) -> Optional[ScaleEvent]:
         """Judge one bucket; returns a ScaleEvent when the fleet should

@@ -72,6 +72,23 @@ class CircuitBreaker:
             self._transition(STATE_HALF_OPEN)
         return self.state == STATE_HALF_OPEN
 
+    # -- durable state (checkpoint/restore) ----------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe breaker state for a durable checkpoint."""
+        return {"state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "opened_at_ms": self.opened_at_ms,
+                "trips": self.trips}
+
+    def restore(self, state: dict) -> None:
+        """Adopt checkpointed state verbatim — no transition events
+        fire; the restored run continues the crashed run's timeline
+        (an open breaker stays open until its original cooldown)."""
+        self.state = str(state["state"])
+        self.consecutive_failures = int(state["consecutive_failures"])
+        self.opened_at_ms = float(state["opened_at_ms"])
+        self.trips = int(state["trips"])
+
     def retry_after_ms(self, now_ms: float) -> float:
         """Simulated ms until the next half-open probe is admitted."""
         if self.state != STATE_OPEN:

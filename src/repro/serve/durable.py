@@ -1,0 +1,958 @@
+"""Crash-consistent serving state: journal, checkpoints, recovery.
+
+The fleet's event loop is fully deterministic under its simulated
+clock, which turns crash recovery from a best-effort protocol into an
+*exactness* property: a crashed run, restored and resumed, must produce
+byte-identical responses to an uninterrupted run.  This module holds
+the durable half of that contract:
+
+* :class:`RequestJournal` — a write-ahead log of every admitted request
+  and every settled response.  Records are checksummed JSONL lines,
+  appended through an in-memory group-commit buffer and fsync'd at
+  commit points (bucket boundaries, checkpoints, play end), and the
+  reader tolerates a torn tail: a partial or checksum-failing *last*
+  record is truncated, because an uncommitted record was by definition
+  never acknowledged and its request is simply recomputed on replay.
+* :class:`CheckpointStore` — numbered, content-checksummed snapshots of
+  the whole serving state, written atomically via
+  :mod:`repro.io_atomic` and indexed by a ``MANIFEST.json``.  A
+  checkpoint that fails its checksum (or is corrupted by the
+  ``snapshot.corrupt`` fault site) is skipped and the store falls back
+  to an older snapshot — or to journal-only recovery when none is
+  valid, which is always safe because recovery is correct from *any*
+  checkpoint prefix of the run, including the empty one.
+* :class:`DurableState` — the per-server engine tying the two
+  together: play-scoped exactly-once bookkeeping (settled-set dedupe),
+  deterministic crash injection with persisted attempt counts (so the
+  ``process.crash`` fault site kills a run once per crashpoint key
+  instead of looping forever), and the recovery decision of which
+  checkpoint, if any, is usable for the journal's current play.
+
+The exactly-once argument, in one paragraph: a response is either
+reconstructed from a committed ``settle`` record or recomputed by the
+resumed deterministic loop — never both, never neither.  The partition
+is by the restored checkpoint's admission cursor: every request the
+checkpoint had already admitted is either still in a restored queue or
+flight (recomputed) or was already responded to before the snapshot
+(and therefore settled in the journal *before* the checkpoint's forced
+commit — reconstructed); every request at or past the cursor is
+re-admitted and recomputed.  Recomputed settles of already-journaled
+ids are deduplicated and cross-checked against the journal, turning
+determinism violations into loud :class:`~repro.errors.JournalError`\\ s
+instead of silent divergence.  See docs/robustness.md for the full
+crashpoint catalog.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional
+
+from .. import faults, obs
+from ..errors import (
+    CheckpointError,
+    ConfigError,
+    JournalError,
+    ProcessCrash,
+    ReproError,
+    ServeError,
+)
+from ..io_atomic import atomic_write_text, fsync_handle
+from .batcher import PlannedBatch
+from .request import BatchRecord, Response, ServeRequest
+from .shard import Flight
+
+#: On-disk format version of both the journal and checkpoint envelopes.
+DURABLE_FORMAT = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+JOURNAL_NAME = "journal.wal"
+CRASH_COUNTS_NAME = "crashes.json"
+
+#: How many checkpoints survive pruning (the newest plus fallbacks for
+#: the ``snapshot.corrupt`` path).
+KEEP_CHECKPOINTS = 2
+
+#: The enumerated crashpoints: every durable-write boundary plus the
+#: window between them.  ``process.crash`` rolls against
+#: ``<crashpoint>:<key>``; docs/robustness.md catalogs the semantics.
+CRASHPOINTS = (
+    "admit.before_journal",    # request claimed, admit record lost
+    "admit.after_journal",     # admit record durable, queue insert lost
+    "settle.before_journal",   # response computed, settle record lost
+    "settle.after_journal",    # settle record durable, then death
+    "checkpoint.before_write", # journal committed, snapshot lost
+    "checkpoint.after_write",  # snapshot durable, then death
+    "boundary",                # between durable writes (bucket boundary)
+    "close.before_journal",    # play fully settled, close record lost
+    "close.after_journal",     # close durable, idle checkpoint lost
+)
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=8).hexdigest()
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def workload_fingerprint(requests: Iterable[ServeRequest]) -> str:
+    """Order-sensitive digest of a workload's identity-free fields.
+
+    Request ids and trace ids are excluded: both are reassigned
+    deterministically from arrival order, so the fingerprint matches
+    across the crashed and the resumed invocation of ``play``.
+    """
+    rows = [(r.pipeline, r.tenant, r.iterations, r.arrival_ms)
+            for r in requests]
+    return _digest(_canonical(rows).encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# request / response / state (de)serialization
+# ----------------------------------------------------------------------
+def request_payload(request: ServeRequest) -> dict:
+    return {
+        "pipeline": request.pipeline,
+        "tenant": request.tenant,
+        "iterations": request.iterations,
+        "arrival_ms": request.arrival_ms,
+        "request_id": request.request_id,
+        "trace_id": request.trace_id,
+        "window_start": request.window_start,
+    }
+
+
+def request_from_payload(payload: Mapping[str, Any]) -> ServeRequest:
+    return ServeRequest(
+        pipeline=payload["pipeline"],
+        tenant=payload["tenant"],
+        iterations=int(payload["iterations"]),
+        arrival_ms=float(payload["arrival_ms"]),
+        request_id=int(payload["request_id"]),
+        trace_id=payload["trace_id"],
+        window_start=int(payload["window_start"]),
+    )
+
+
+#: Error attributes preserved across the journal, per exception type.
+_ERROR_ATTRS = {
+    "ServerOverloaded": ("session", "tenant", "reason", "queue_depth"),
+    "SessionUnhealthy": ("session", "tenant", "failures",
+                         "retry_after_ms"),
+    "GpuSmFault": ("kernel", "sm"),
+    "ProcessCrash": ("crashpoint",),
+}
+
+
+def error_payload(error: Optional[BaseException]) -> Optional[dict]:
+    if error is None:
+        return None
+    name = type(error).__name__
+    attrs = {attr: getattr(error, attr)
+             for attr in _ERROR_ATTRS.get(name, ())
+             if hasattr(error, attr)}
+    return {"type": name, "message": str(error), "attrs": attrs}
+
+
+def error_from_payload(payload: Optional[Mapping[str, Any]]
+                       ) -> Optional[ReproError]:
+    if payload is None:
+        return None
+    import repro.errors as errors_module
+    cls = getattr(errors_module, payload.get("type", ""), None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ServeError
+    attrs = dict(payload.get("attrs", {}))
+    for attempt in (lambda: cls(payload["message"], **attrs),
+                    lambda: cls(payload["message"])):
+        try:
+            return attempt()
+        except TypeError:
+            continue
+    return ServeError(payload["message"])
+
+
+def response_payload(response: Response) -> dict:
+    return {
+        "req": request_payload(response.request),
+        "status": response.status,
+        "outputs": response.outputs,
+        "start_iteration": response.start_iteration,
+        "completed_ms": response.completed_ms,
+        "latency_ms": response.latency_ms,
+        "batch_index": response.batch_index,
+        "error": error_payload(response.error),
+    }
+
+
+def response_from_payload(payload: Mapping[str, Any]) -> Response:
+    return Response(
+        request=request_from_payload(payload["req"]),
+        status=payload["status"],
+        outputs=payload["outputs"],
+        start_iteration=int(payload["start_iteration"]),
+        completed_ms=float(payload["completed_ms"]),
+        latency_ms=float(payload["latency_ms"]),
+        batch_index=int(payload["batch_index"]),
+        error=error_from_payload(payload.get("error")),
+    )
+
+
+def batch_payload(batch: PlannedBatch) -> dict:
+    return {
+        "requests": [request_payload(r) for r in batch.requests],
+        "windows": [list(w) for w in batch.windows],
+        "through_base": batch.through_base,
+        "new_macro_iterations": batch.new_macro_iterations,
+    }
+
+
+def batch_from_payload(payload: Mapping[str, Any]) -> PlannedBatch:
+    return PlannedBatch(
+        requests=[request_from_payload(r) for r in payload["requests"]],
+        windows=[tuple(w) for w in payload["windows"]],
+        through_base=int(payload["through_base"]),
+        new_macro_iterations=int(payload["new_macro_iterations"]),
+    )
+
+
+def flight_payload(flight: Flight) -> dict:
+    return {
+        "shard_id": flight.shard_id,
+        "name": flight.name,
+        "batch": batch_payload(flight.batch),
+        "index": flight.index,
+        "started_ms": flight.started_ms,
+        "duration_ms": flight.duration_ms,
+        "cycles": flight.cycles,
+        "new_macro": flight.new_macro,
+        "invocations": flight.invocations,
+        "ok": flight.ok,
+        "error": error_payload(flight.error),
+    }
+
+
+def flight_from_payload(payload: Mapping[str, Any]) -> Flight:
+    return Flight(
+        shard_id=int(payload["shard_id"]),
+        name=payload["name"],
+        batch=batch_from_payload(payload["batch"]),
+        index=int(payload["index"]),
+        started_ms=float(payload["started_ms"]),
+        duration_ms=float(payload["duration_ms"]),
+        cycles=float(payload["cycles"]),
+        new_macro=int(payload["new_macro"]),
+        invocations=int(payload["invocations"]),
+        ok=bool(payload["ok"]),
+        error=error_from_payload(payload.get("error")),
+    )
+
+
+def batch_record_payload(record: BatchRecord) -> dict:
+    return {
+        "index": record.index,
+        "session": record.session,
+        "requests": record.requests,
+        "base_iterations": record.base_iterations,
+        "macro_iterations": record.macro_iterations,
+        "invocations": record.invocations,
+        "started_ms": record.started_ms,
+        "duration_ms": record.duration_ms,
+        "cycles": record.cycles,
+        "tenants": list(record.tenants),
+    }
+
+
+def batch_record_from_payload(payload: Mapping[str, Any]) -> BatchRecord:
+    return BatchRecord(
+        index=int(payload["index"]),
+        session=payload["session"],
+        requests=int(payload["requests"]),
+        base_iterations=int(payload["base_iterations"]),
+        macro_iterations=int(payload["macro_iterations"]),
+        invocations=int(payload["invocations"]),
+        started_ms=float(payload["started_ms"]),
+        duration_ms=float(payload["duration_ms"]),
+        cycles=float(payload["cycles"]),
+        tenants=tuple(payload["tenants"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Where and how often the serving state is made durable."""
+
+    dir: Path
+    checkpoint_interval_ms: float = 1.0
+    keep_checkpoints: int = KEEP_CHECKPOINTS
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dir", Path(self.dir))
+        if self.checkpoint_interval_ms < 0:
+            raise ConfigError(
+                "checkpoint interval must be >= 0 simulated ms, got "
+                f"{self.checkpoint_interval_ms!r}")
+        if self.keep_checkpoints < 1:
+            raise ConfigError(
+                f"must keep >= 1 checkpoint, got {self.keep_checkpoints}")
+
+
+def resolve_durability(durable) -> Optional[DurabilityConfig]:
+    """Normalize the ``durable=`` server argument."""
+    if durable is None:
+        return None
+    if isinstance(durable, DurabilityConfig):
+        return durable
+    if isinstance(durable, (str, Path)):
+        return DurabilityConfig(dir=Path(durable))
+    raise ConfigError(
+        "durable must be a directory path or DurabilityConfig, got "
+        f"{type(durable).__name__}")
+
+
+# ----------------------------------------------------------------------
+# write-ahead journal
+# ----------------------------------------------------------------------
+class RequestJournal:
+    """Checksummed JSONL write-ahead log with group commit.
+
+    Each line is ``<blake2b-16hex> <canonical-json>\\n``.  Appends
+    buffer in memory; :meth:`commit` writes, flushes and fsyncs the
+    batch.  An injected :class:`~repro.errors.ProcessCrash` abandons
+    the buffer, which faithfully models a real group-commit journal
+    losing its unfsynced tail.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._pending: list[str] = []
+        self._handle = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Buffer one record (durable only after :meth:`commit`)."""
+        if self._closed:
+            raise JournalError(
+                f"append to closed journal {self.path}")
+        text = _canonical(record)
+        self._pending.append(f"{_digest(text.encode('utf-8'))} {text}\n")
+
+    def tear(self) -> None:
+        """Simulate a crash mid-append: commit the buffer, then write a
+        *partial* copy of its notional next line (the torn tail a real
+        journal leaves when power dies inside ``write``)."""
+        if not self._pending:
+            return
+        torn = self._pending.pop()
+        self.commit()
+        handle = self._open()
+        handle.write(torn[: max(1, len(torn) // 2)])
+        handle.flush()
+
+    def commit(self) -> int:
+        """Make every buffered record durable; returns records written."""
+        if not self._pending:
+            return 0
+        handle = self._open()
+        for line in self._pending:
+            handle.write(line)
+        fsync_handle(handle)
+        written = len(self._pending)
+        self._pending = []
+        return written
+
+    def abandon(self) -> None:
+        """Drop the uncommitted buffer (crash simulation)."""
+        self._pending = []
+
+    def close(self) -> None:
+        self.commit()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._closed = True
+
+    def _open(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read_records(path: Path) -> tuple[list[dict], bool]:
+        """Parse the journal at ``path``.
+
+        Returns ``(records, torn)``.  A partial or checksum-failing
+        *final* record is dropped (``torn=True``) — it was never
+        committed, so dropping it is exactly the durability contract.
+        Corruption *before* the tail is a :class:`JournalError`: that
+        data was fsync'd and acknowledged, so losing it is not a
+        recoverable condition.
+        """
+        records, torn, _ = RequestJournal._scan_file(path)
+        return records, torn
+
+    @staticmethod
+    def repair(path: Path) -> bool:
+        """Truncate a torn tail off the physical file so later appends
+        start on a record boundary (a restart that skipped this would
+        concatenate its first new record onto the torn bytes and turn
+        an honest torn tail into mid-file corruption).  Returns whether
+        anything was cut."""
+        path = Path(path)
+        _, torn, valid_bytes = RequestJournal._scan_file(path)
+        if not torn:
+            return False
+        with open(path, "r+b") as handle:
+            handle.truncate(valid_bytes)
+            fsync_handle(handle)
+        return True
+
+    @staticmethod
+    def _scan_file(path: Path) -> tuple[list[dict], bool, int]:
+        """Parse ``path`` -> ``(records, torn, valid_byte_length)``."""
+        path = Path(path)
+        if not path.exists():
+            return [], False, 0
+        raw = path.read_bytes().decode("utf-8", errors="replace")
+        lines = raw.split("\n")
+        trailing_newline = raw.endswith("\n")
+        if trailing_newline:
+            lines = lines[:-1]
+        records: list[dict] = []
+        valid_bytes = 0
+        for index, line in enumerate(lines):
+            last = index == len(lines) - 1
+            torn_ok = last and not trailing_newline
+            parsed = RequestJournal._parse_line(line)
+            if parsed is None:
+                if last:
+                    return records, True, valid_bytes
+                raise JournalError(
+                    f"journal {path} corrupt at record {index} "
+                    "(before the torn tail); durable data lost")
+            records.append(parsed)
+            # Canonical records are pure ASCII, so character length is
+            # byte length; +1 for the newline.
+            valid_bytes += len(line) + 1
+            if torn_ok:
+                # A well-formed final line without its newline still
+                # parsed fully; treat it as committed.
+                return records, False, valid_bytes
+        return records, False, valid_bytes
+
+    @staticmethod
+    def _parse_line(line: str) -> Optional[dict]:
+        parts = line.split(" ", 1)
+        if len(parts) != 2:
+            return None
+        digest, text = parts
+        if _digest(text.encode("utf-8")) != digest:
+            return None
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        return record if isinstance(record, dict) else None
+
+
+# ----------------------------------------------------------------------
+# checkpoint store
+# ----------------------------------------------------------------------
+class CheckpointStore:
+    """Numbered atomic snapshots indexed by a manifest."""
+
+    def __init__(self, directory: Path,
+                 keep: int = KEEP_CHECKPOINTS) -> None:
+        self.dir = Path(directory)
+        self.keep = keep
+
+    def checkpoint_path(self, seq: int) -> Path:
+        return self.dir / f"checkpoint-{seq:06d}.json"
+
+    # ------------------------------------------------------------------
+    def save(self, seq: int, state: Mapping[str, Any]) -> Path:
+        state_text = _canonical(state)
+        envelope = {
+            "format": DURABLE_FORMAT,
+            "seq": seq,
+            "checksum": hashlib.sha256(
+                state_text.encode("utf-8")).hexdigest(),
+            "state": state,
+        }
+        path = self.checkpoint_path(seq)
+        atomic_write_text(path, _canonical(envelope))
+        self.write_manifest(latest=seq)
+        self._prune(seq)
+        return path
+
+    def write_manifest(self, latest: Optional[int]) -> None:
+        atomic_write_text(self.dir / MANIFEST_NAME, _canonical({
+            "format": DURABLE_FORMAT,
+            "journal": JOURNAL_NAME,
+            "latest_checkpoint": latest,
+        }))
+
+    def read_manifest(self) -> Optional[dict]:
+        path = self.dir / MANIFEST_NAME
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable durable manifest {path}: {exc}") from exc
+        if manifest.get("format") != DURABLE_FORMAT:
+            raise CheckpointError(
+                f"durable manifest {path} has format "
+                f"{manifest.get('format')!r}; this build reads "
+                f"{DURABLE_FORMAT}")
+        return manifest
+
+    def _prune(self, latest_seq: int) -> None:
+        floor = latest_seq - self.keep + 1
+        for path in self.dir.glob("checkpoint-*.json"):
+            try:
+                seq = int(path.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            if seq < floor:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    def candidates(self) -> list[int]:
+        """Checkpoint sequence numbers on disk, newest first."""
+        seqs = []
+        for path in self.dir.glob("checkpoint-*.json"):
+            try:
+                seqs.append(int(path.stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return sorted(seqs, reverse=True)
+
+    def load(self, seq: int) -> Optional[dict]:
+        """One validated snapshot, or ``None`` when it fails its
+        checksum or the ``snapshot.corrupt`` fault site fires."""
+        path = self.checkpoint_path(seq)
+        if not path.exists():
+            return None
+        if faults.should("snapshot.corrupt", f"checkpoint-{seq}"):
+            obs.emit("fault_injected", site="snapshot.corrupt",
+                     checkpoint=seq)
+            return None
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if envelope.get("format") != DURABLE_FORMAT:
+            return None
+        state = envelope.get("state")
+        state_text = _canonical(state)
+        if hashlib.sha256(state_text.encode("utf-8")).hexdigest() \
+                != envelope.get("checksum"):
+            return None
+        return state
+
+
+# ----------------------------------------------------------------------
+# persisted crash-attempt counts
+# ----------------------------------------------------------------------
+class _CrashCounts:
+    """Deterministic fault rolls re-fire at the same key forever; a
+    restored process must not die at the crashpoint it already died at.
+    Attempt counts persist in a side file so restored runs pass the
+    prior death count to :func:`repro.faults.should`, letting the
+    spec's ``persist`` knob bound deaths per key (default: one)."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._counts: dict[str, int] = {}
+        if self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text(encoding="utf-8"))
+                if isinstance(loaded, dict):
+                    self._counts = {str(k): int(v)
+                                    for k, v in loaded.items()}
+            except (OSError, json.JSONDecodeError, ValueError):
+                # Bookkeeping only: a damaged counts file means at
+                # worst one extra injected death per key.
+                self._counts = {}
+
+    def attempt(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def bump(self, key: str) -> None:
+        self._counts[key] = self._counts.get(key, 0) + 1
+        atomic_write_text(self.path, _canonical(self._counts))
+
+
+# ----------------------------------------------------------------------
+# the durable engine
+# ----------------------------------------------------------------------
+@dataclass
+class RecoveryInfo:
+    """What the journal says about the run being recovered."""
+
+    plays_opened: int = 0
+    plays_closed: int = 0
+    fingerprint: str = ""           # of the last opened play
+    expected_requests: int = 0      # of the last opened play
+    admitted: set = field(default_factory=set)
+    settled: dict = field(default_factory=dict)   # id -> response payload
+    #: The last play's close record, which carries the final report
+    #: aggregates — a closed play can short-circuit from the journal
+    #: alone even when its idle checkpoint never hit disk (the crash
+    #: window between the close commit and the checkpoint write).
+    close_record: Optional[dict] = None
+
+    @property
+    def play_in_progress(self) -> bool:
+        return self.plays_opened > self.plays_closed
+
+
+class DurableState:
+    """One server's durable write path plus its recovery bookkeeping."""
+
+    def __init__(self, config: DurabilityConfig, *,
+                 recovery: Optional[RecoveryInfo] = None) -> None:
+        self.config = config
+        self.store = CheckpointStore(config.dir,
+                                     keep=config.keep_checkpoints)
+        self.journal = RequestJournal(config.dir / JOURNAL_NAME)
+        self._crash_counts = _CrashCounts(config.dir / CRASH_COUNTS_NAME)
+        self.recovery = recovery or RecoveryInfo()
+        self.play = self.recovery.plays_opened
+        self._settled: dict[int, dict] = dict(self.recovery.settled)
+        self._admitted: set[int] = set(self.recovery.admitted)
+        self._checkpoint_seq = max(self.store.candidates(), default=0)
+        self._last_checkpoint_ms: Optional[float] = None
+        self.reconstructed = 0
+        self.replay_lag_ms = 0.0
+        #: Wall seconds spent inside durable writes (journal appends,
+        #: group commits, checkpoint saves).  Benchmarks divide this by
+        #: the play's wall time for a noise-stable overhead figure —
+        #: two separate timed runs would drown the signal in run-to-run
+        #: jitter.
+        self.io_seconds = 0.0
+
+    @contextmanager
+    def _timed(self):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.io_seconds += time.perf_counter() - started
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(cls, config: DurabilityConfig) -> "DurableState":
+        """Initialise a fresh durable directory (refusing a used one)."""
+        config.dir.mkdir(parents=True, exist_ok=True)
+        store = CheckpointStore(config.dir)
+        if store.read_manifest() is not None:
+            raise CheckpointError(
+                f"durable directory {config.dir} already holds serving "
+                "state; restore from it (or point at a fresh directory)")
+        state = cls(config)
+        state.store.write_manifest(latest=None)
+        return state
+
+    @classmethod
+    def recover(cls, config: DurabilityConfig) -> "DurableState":
+        """Open an existing durable directory for recovery."""
+        if not config.dir.is_dir():
+            raise CheckpointError(
+                f"durable directory {config.dir} does not exist")
+        store = CheckpointStore(config.dir)
+        if store.read_manifest() is None:
+            raise CheckpointError(
+                f"durable directory {config.dir} has no manifest; "
+                "nothing to restore")
+        records, torn = RequestJournal.read_records(
+            config.dir / JOURNAL_NAME)
+        recovery = cls._scan(records)
+        if torn:
+            # Physically cut the torn bytes so this process's appends
+            # start on a record boundary.
+            RequestJournal.repair(config.dir / JOURNAL_NAME)
+            obs.emit("replay", note="torn journal tail truncated")
+        state = cls(config, recovery=recovery)
+        return state
+
+    @staticmethod
+    def _scan(records: list[dict]) -> RecoveryInfo:
+        info = RecoveryInfo()
+        for record in records:
+            kind = record.get("k")
+            if kind == "open":
+                info.plays_opened += 1
+                if record.get("p") != info.plays_opened:
+                    raise JournalError(
+                        f"journal open record out of order: expected "
+                        f"play {info.plays_opened}, got {record.get('p')}")
+                info.fingerprint = record.get("fp", "")
+                info.expected_requests = int(record.get("n", 0))
+                info.admitted = set()
+                info.settled = {}
+                info.close_record = None
+            elif kind == "close":
+                info.plays_closed += 1
+                info.close_record = record
+            elif kind == "admit":
+                info.admitted.add(int(record["req"]["request_id"]))
+            elif kind == "settle":
+                info.settled[int(record["id"])] = record["resp"]
+        return info
+
+    # -- crash injection ------------------------------------------------
+    def maybe_crash(self, crashpoint: str, key: str) -> None:
+        """Die at ``crashpoint`` when the ``process.crash`` site rolls a
+        hit for this key (once per key across restarts, by default)."""
+        if not faults.is_active():
+            return
+        if crashpoint not in CRASHPOINTS:
+            raise ConfigError(
+                f"unknown crashpoint {crashpoint!r}; catalog: "
+                f"{', '.join(CRASHPOINTS)}")
+        full_key = f"{crashpoint}:{key}"
+        if faults.should("process.crash", full_key,
+                         attempt=self._crash_counts.attempt(full_key)):
+            self._crash_counts.bump(full_key)
+            if crashpoint.endswith("after_journal") \
+                    or crashpoint == "checkpoint.before_write":
+                # Model the record-durable-then-death window.
+                self.journal.commit()
+            else:
+                self.journal.abandon()
+            obs.emit("fault_injected", site="process.crash",
+                     crashpoint=crashpoint, key=key)
+            raise ProcessCrash(
+                f"injected process crash at {crashpoint} ({key})",
+                crashpoint=crashpoint)
+
+    def _maybe_tear(self, key: str) -> None:
+        if not faults.is_active():
+            return
+        full_key = f"torn:{key}"
+        if faults.should("journal.torn_write", key,
+                         attempt=self._crash_counts.attempt(full_key)):
+            self._crash_counts.bump(full_key)
+            self.journal.tear()
+            obs.emit("fault_injected", site="journal.torn_write",
+                     key=key)
+            raise ProcessCrash(
+                f"injected torn journal write ({key})",
+                crashpoint="journal.torn_write")
+
+    # -- play lifecycle -------------------------------------------------
+    def begin_play(self, fingerprint: str, count: int) -> None:
+        self.play += 1
+        self._settled = {}
+        self._admitted = set()
+        with self._timed():
+            self.journal.append({"k": "open", "p": self.play,
+                                 "fp": fingerprint, "n": count})
+            self.journal.commit()
+
+    def resume_play(self, fingerprint: str, count: int) -> None:
+        """Validate that the resumed workload is the crashed one."""
+        if not self.recovery.play_in_progress:
+            raise JournalError("no play in progress to resume")
+        if fingerprint != self.recovery.fingerprint \
+                or count != self.recovery.expected_requests:
+            expected = self.recovery.expected_requests
+            raise JournalError(
+                "resumed workload does not match the journal: the "
+                f"crashed play admitted from {expected} requests "
+                f"(fingerprint {self.recovery.fingerprint}), resume "
+                f"offered {count} (fingerprint {fingerprint})")
+        self.play = self.recovery.plays_opened
+
+    def end_play(self, idle_state: Mapping[str, Any]) -> None:
+        """Seal the play: close record, then an idle checkpoint so the
+        next play (or a crash between plays) restores from the final
+        state instead of a mid-play snapshot."""
+        key = f"p{self.play}"
+        self.maybe_crash("close.before_journal", key)
+        # The close record carries the play's final report aggregates
+        # so a crash *between* this commit and the idle checkpoint
+        # below still recovers by pure reconstruction — without this,
+        # that window would force a full re-execution under a fresh
+        # play number (and fresh crash keys: a livelock at rate 1.0).
+        with self._timed():
+            self.journal.append({"k": "close", "p": self.play,
+                                 "reports": dict(
+                                     idle_state.get("reports") or {}),
+                                 "duration_ms": float(
+                                     idle_state.get("duration_ms", 0.0))})
+            self.journal.commit()
+        self.maybe_crash("close.after_journal", key)
+        self._write_checkpoint(idle_state, crash_key=key)
+
+    # -- record paths ---------------------------------------------------
+    def record_admit(self, request: ServeRequest) -> None:
+        rid = int(request.request_id)
+        if rid in self._admitted:
+            return  # replayed admission of a journaled request
+        key = f"p{self.play}:r{rid}"
+        self.maybe_crash("admit.before_journal", key)
+        self._maybe_tear(f"admit:{key}")
+        with self._timed():
+            self.journal.append({"k": "admit", "p": self.play,
+                                 "req": request_payload(request)})
+        self._admitted.add(rid)
+        if obs.is_enabled():
+            obs.counter("serve.journal.appends", kind="admit").add(1)
+        self.maybe_crash("admit.after_journal", key)
+
+    def record_settle(self, response: Response) -> None:
+        rid = int(response.request.request_id)
+        payload = response_payload(response)
+        existing = self._settled.get(rid)
+        if existing is not None:
+            # Exactly-once cross-check: a replayed computation must
+            # reproduce the journaled response bit for bit.
+            if _canonical(existing) != _canonical(payload):
+                raise JournalError(
+                    f"replay divergence for request {rid}: recomputed "
+                    "response differs from the journaled settle "
+                    "(determinism violation)")
+            return
+        key = f"p{self.play}:r{rid}"
+        self.maybe_crash("settle.before_journal", key)
+        self._maybe_tear(f"settle:{key}")
+        with self._timed():
+            self.journal.append({"k": "settle", "p": self.play,
+                                 "id": rid, "resp": payload})
+        self._settled[rid] = payload
+        if obs.is_enabled():
+            obs.counter("serve.journal.appends", kind="settle").add(1)
+        self.maybe_crash("settle.after_journal", key)
+
+    def settled_ids(self) -> set[int]:
+        return set(self._settled)
+
+    def settled_response(self, rid: int) -> Response:
+        return response_from_payload(self._settled[rid])
+
+    # -- checkpoints ----------------------------------------------------
+    def on_boundary(self, now_ms: float, epoch: int) -> None:
+        """Group-commit the journal at a bucket boundary and exercise
+        the between-writes crash window."""
+        with self._timed():
+            self.journal.commit()
+        self.maybe_crash("boundary", f"p{self.play}:e{epoch}")
+
+    def should_checkpoint(self, now_ms: float) -> bool:
+        if self._last_checkpoint_ms is None:
+            return True
+        return (now_ms - self._last_checkpoint_ms
+                >= self.config.checkpoint_interval_ms)
+
+    def write_checkpoint(self, state: Mapping[str, Any],
+                         now_ms: float) -> None:
+        self._last_checkpoint_ms = now_ms
+        self._write_checkpoint(
+            state, crash_key=f"p{self.play}:c{self._checkpoint_seq + 1}")
+
+    def _write_checkpoint(self, state: Mapping[str, Any],
+                          crash_key: str) -> None:
+        # The journal prefix a snapshot depends on must be durable
+        # before the snapshot exists: commit, then write.
+        with self._timed():
+            self.journal.commit()
+        self.maybe_crash("checkpoint.before_write", crash_key)
+        self._checkpoint_seq += 1
+        with self._timed():
+            path = self.store.save(self._checkpoint_seq, state)
+        if obs.is_enabled():
+            obs.counter("serve.checkpoints").add(1)
+            obs.emit("checkpoint", ts_ms=state.get("base", 0.0)
+                     + state.get("clock", 0.0),
+                     seq=self._checkpoint_seq, phase=state.get("phase"),
+                     play=state.get("play"),
+                     bytes=path.stat().st_size if path.exists() else 0)
+        self.maybe_crash("checkpoint.after_write", crash_key)
+
+    # -- recovery decisions ---------------------------------------------
+    def usable_checkpoint(self) -> Optional[dict]:
+        """The newest snapshot consistent with the journal's play
+        position, falling through corrupt/stale candidates; ``None``
+        means journal-only (full-replay) recovery."""
+        opens = self.recovery.plays_opened
+        closes = self.recovery.plays_closed
+        for seq in self.store.candidates():
+            state = self.store.load(seq)
+            if state is None:
+                continue
+            phase = state.get("phase")
+            play = int(state.get("play", -1))
+            if self.recovery.play_in_progress:
+                usable = ((phase == "in_play" and play == opens)
+                          or (phase == "idle" and play == opens - 1))
+            else:
+                usable = phase == "idle" and play == closes
+            if usable:
+                return state
+        return None
+
+    def note_replay(self, *, reconstructed: int, pending: int,
+                    resume_clock: float) -> None:
+        """Book recovery telemetry: how much was reconstructed vs. left
+        to recompute, and the simulated replay distance."""
+        self.reconstructed = reconstructed
+        settle_ts = [float(p.get("completed_ms", 0.0))
+                     for p in self._settled.values()]
+        horizon = max(settle_ts, default=resume_clock)
+        self.replay_lag_ms = max(0.0, horizon - resume_clock)
+        if obs.is_enabled():
+            obs.counter("serve.recovery.reconstructed").add(reconstructed)
+            obs.counter("serve.recovery.replayed").add(pending)
+            obs.gauge("serve.recovery.lag_ms").set(self.replay_lag_ms)
+            obs.emit("replay", play=self.play,
+                     reconstructed=reconstructed, pending=pending,
+                     lag_ms=self.replay_lag_ms)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.journal.close()
+
+
+__all__ = [
+    "CRASHPOINTS",
+    "CheckpointStore",
+    "DURABLE_FORMAT",
+    "DurabilityConfig",
+    "DurableState",
+    "RecoveryInfo",
+    "RequestJournal",
+    "batch_from_payload",
+    "batch_payload",
+    "batch_record_from_payload",
+    "batch_record_payload",
+    "error_from_payload",
+    "error_payload",
+    "flight_from_payload",
+    "flight_payload",
+    "request_from_payload",
+    "request_payload",
+    "resolve_durability",
+    "response_from_payload",
+    "response_payload",
+    "workload_fingerprint",
+]

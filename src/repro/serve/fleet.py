@@ -43,6 +43,7 @@ from typing import Optional, Sequence, Union
 from .. import faults, obs
 from ..compiler import CompileOptions, CompiledProgram
 from ..errors import (
+    CheckpointError,
     ServeError,
     ServerOverloaded,
     SessionClosed,
@@ -55,6 +56,18 @@ from ..obs.windows import DEFAULT_BUCKETS, WindowRegistry
 from ..parallel import parallel_map
 from .autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
 from .batcher import BatchPolicy, DynamicBatcher
+from .durable import (
+    DurabilityConfig,
+    DurableState,
+    batch_record_from_payload,
+    batch_record_payload,
+    flight_from_payload,
+    flight_payload,
+    request_from_payload,
+    request_payload,
+    resolve_durability,
+    workload_fingerprint,
+)
 from .request import STATUS_REJECTED, Response, ServeRequest
 from .router import ConsistentHashRouter
 from .server import (
@@ -70,6 +83,42 @@ from .steal import ShardLoad, StealMove, StealPolicy, plan_steals
 #: The SLO assumed when autoscaling is requested without a spec — the
 #: autoscaler needs *some* burn-rate signal to act on.
 DEFAULT_AUTOSCALE_SLO = "p99_latency_ms<=50"
+
+
+def _report_payload(report: SessionReport) -> dict:
+    """JSON-safe :class:`SessionReport` for a durable checkpoint."""
+    return {
+        "name": report.name,
+        "requests": report.requests,
+        "served": report.served,
+        "shed": report.shed,
+        "failed": report.failed,
+        "base_iterations": report.base_iterations,
+        "macro_iterations": report.macro_iterations,
+        "invocations": report.invocations,
+        "busy_ms": report.busy_ms,
+        "unbatched_baseline_ms": report.unbatched_baseline_ms,
+        "batches": [batch_record_payload(b) for b in report.batches],
+        "latencies_ms": list(report.latencies_ms),
+    }
+
+
+def _report_from_payload(payload: dict) -> SessionReport:
+    return SessionReport(
+        name=payload["name"],
+        requests=int(payload["requests"]),
+        served=int(payload["served"]),
+        shed=int(payload["shed"]),
+        failed=int(payload["failed"]),
+        base_iterations=int(payload["base_iterations"]),
+        macro_iterations=int(payload["macro_iterations"]),
+        invocations=int(payload["invocations"]),
+        busy_ms=float(payload["busy_ms"]),
+        unbatched_baseline_ms=float(
+            payload["unbatched_baseline_ms"]),
+        batches=[batch_record_from_payload(b)
+                 for b in payload["batches"]],
+        latencies_ms=[float(v) for v in payload["latencies_ms"]])
 
 
 @dataclass(frozen=True)
@@ -127,7 +176,9 @@ class FleetServer:
                  window_buckets: int = DEFAULT_BUCKETS,
                  steal: Optional[StealPolicy] = None,
                  autoscale: Optional[AutoscalePolicy] = None,
-                 migration_ms: float = 0.5) -> None:
+                 migration_ms: float = 0.5,
+                 durable: Union[str, "DurabilityConfig", None] = None
+                 ) -> None:
         if shards < 1:
             raise ServeError(f"fleet needs >= 1 shard, got {shards}")
         if migration_ms < 0:
@@ -160,6 +211,10 @@ class FleetServer:
         self._retiring: Optional[int] = None
         self._started = False
         self._shut_down = False
+        # -- durability (write-ahead journal + checkpoints) ------------
+        self.durable_config = resolve_durability(durable)
+        self._durable: Optional[DurableState] = None
+        self._resume: Optional[dict] = None
         # -- control-plane ledgers (reset per play) --------------------
         self._steals: list[StealMove] = []
         self._crashes: list[CrashRecord] = []
@@ -215,6 +270,265 @@ class FleetServer:
             self._home[spec.name] = home
             self._claims[spec.name] = 0
         self._started = True
+        if self.durable_config is not None:
+            self._durable = DurableState.create(self.durable_config)
+
+    def restore(self, durable: Union[str, "DurabilityConfig",
+                                     None] = None) -> None:
+        """Start the fleet *from durable state* instead of cold.
+
+        Loads the newest valid checkpoint consistent with the journal
+        (falling back across corrupt snapshots, down to journal-only
+        recovery), recompiles the registered pipelines (warm via the
+        compile cache), fast-forwards every session to its
+        checkpointed stream position by deterministic re-execution,
+        and rebuilds shards, queues, breakers, in-flight batches, the
+        router ring, claims and window metrics exactly as the crashed
+        process held them.  If the journal shows a play in progress,
+        the next :meth:`play` call must re-submit that workload; it
+        resumes mid-stream and returns byte-identical responses with
+        zero duplicates and zero drops (see docs/robustness.md).
+        """
+        if self._started:
+            raise ServeError("restore() must replace start(), not "
+                             "follow it")
+        if not self._specs:
+            raise ServeError("no pipelines registered")
+        config = resolve_durability(durable) or self.durable_config
+        if config is None:
+            raise ServeError("restore() needs a durable directory "
+                             "(durable=... here or at construction)")
+        self.durable_config = config
+        state = DurableState.recover(config)
+
+        def build(spec: _SessionSpec) -> PipelineSession:
+            return PipelineSession(spec.name, spec.graph,
+                                   options=spec.options, jobs=self.jobs,
+                                   cache=self.cache,
+                                   exec_backend=self.exec_backend)
+
+        specs = [self._specs[name] for name in self._order]
+        sessions = parallel_map(build, specs, jobs=self.jobs,
+                                label="serve-compile")
+        batchers: dict[str, DynamicBatcher] = {}
+        for spec, session in zip(specs, sessions):
+            self._compiled[spec.name] = session.compiled
+            batchers[spec.name] = DynamicBatcher(session, spec.policy)
+        self._started = True
+        snapshot = state.usable_checkpoint()
+        if snapshot is None:
+            # Journal-only recovery: lay the fleet out exactly as
+            # start() would and replay from iteration zero (the
+            # settled-set still dedupes every journaled response).
+            for name in self._order:
+                home = self._ring.route(name)
+                self._shards[home].host(batchers[name])
+                self._home[name] = home
+                self._claims[name] = 0
+        else:
+            self._adopt_snapshot(snapshot, batchers)
+        if state.recovery.play_in_progress:
+            self._resume = {"snapshot": snapshot}
+        elif state.recovery.plays_closed > 0 \
+                and (snapshot is not None
+                     or state.recovery.close_record is not None):
+            # The journal's last play fully settled (usable_checkpoint
+            # only returns an idle snapshot of that play here; failing
+            # that, the close record carries the report aggregates):
+            # remember enough to short-circuit an identical
+            # re-submission without re-executing anything.
+            self._resume = {"snapshot": snapshot, "complete": True}
+        self._durable = state
+
+    # -- durable snapshots ----------------------------------------------
+    def _snapshot_state(self, *, phase: str, clock: float,
+                        next_arrival: int, epoch: int,
+                        batch_counter: int, reports: dict,
+                        duration_ms: float = 0.0) -> dict:
+        """Everything a fresh process needs to continue this one:
+        shard timelines and flights, queue lanes, breakers, session
+        stream positions (two integers each — executors rebuild by
+        deterministic re-execution), the ring, claims, window metrics
+        and report aggregates.  JSON-safe by construction."""
+        shards = {}
+        for sid in sorted(self._shards):
+            shard = self._shards[sid]
+            shards[str(sid)] = {
+                "alive": shard.alive,
+                "busy_until": shard.busy_until,
+                "busy_ms": shard.busy_ms,
+                "batches_done": shard.batches_done,
+                "steals_in": shard.steals_in,
+                "steals_out": shard.steals_out,
+                "hosted": list(shard.batchers),
+                "ready_at": dict(shard.ready_at),
+                "dispatcher": shard.dispatcher.snapshot(),
+                "flight": (flight_payload(shard.flight)
+                           if shard.flight is not None else None),
+            }
+        queues = {}
+        breakers = {}
+        sessions = {}
+        for name in self._order:
+            home = self._home.get(name)
+            if home is None:
+                continue
+            batcher = self._shards[home].batchers[name]
+            queues[name] = [
+                [tenant, [request_payload(r) for r in lane]]
+                for tenant, lane in batcher.queue.snapshot_lanes()]
+            breakers[name] = batcher.breaker.snapshot()
+            sessions[name] = {
+                "cursor": batcher.session.cursor,
+                "macro_done": batcher.session.macro_iterations_done}
+        return {
+            "phase": phase,
+            "play": self._durable.play if self._durable else 0,
+            "clock": clock,
+            "base": self._sim_base_ms,
+            "next_arrival": next_arrival,
+            "epoch": epoch,
+            "batch_counter": batch_counter,
+            "order": list(self._order),
+            "claims": dict(self._claims),
+            "home": dict(self._home),
+            "ring": list(self._ring.shards),
+            "next_shard_id": self._next_shard_id,
+            "retiring": self._retiring,
+            "last_donated": {str(sid): value for sid, value
+                             in self._last_donated_ms.items()},
+            "shards": shards,
+            "queues": queues,
+            "breakers": breakers,
+            "sessions": sessions,
+            "windows": self.windows.dump_state(),
+            "slo": (self.slo_monitor.dump_state()
+                    if self.slo_monitor is not None else None),
+            "autoscaler": (self.autoscaler.snapshot()
+                           if self.autoscaler is not None else None),
+            "steals": [{"pipeline": m.pipeline,
+                        "from_shard": m.from_shard,
+                        "to_shard": m.to_shard,
+                        "queued_requests": m.queued_requests}
+                       for m in self._steals],
+            "crashes": [{"ts_ms": c.ts_ms, "shard_id": c.shard_id,
+                         "aborted_requests": c.aborted_requests,
+                         "requeued_requests": c.requeued_requests,
+                         "migrated_pipelines":
+                             list(c.migrated_pipelines)}
+                        for c in self._crashes],
+            "reports": {name: _report_payload(report)
+                        for name, report in reports.items()},
+            "duration_ms": duration_ms,
+        }
+
+    def _adopt_snapshot(self, state: dict,
+                        batchers: dict[str, DynamicBatcher]) -> None:
+        """Rebuild the fleet's live state from a checkpoint (inverse
+        of :meth:`_snapshot_state`), given freshly compiled batchers."""
+        order = [str(name) for name in state["order"]]
+        if set(order) != set(self._order):
+            raise CheckpointError(
+                "checkpoint serves a different pipeline set: "
+                f"checkpoint has {sorted(order)}, this fleet "
+                f"registered {sorted(self._order)}")
+        self._order = order
+        self._shards = {}
+        for sid_text, row in state["shards"].items():
+            sid = int(sid_text)
+            shard = Shard(shard_id=sid, label_shard=True)
+            shard.alive = bool(row["alive"])
+            shard.busy_until = float(row["busy_until"])
+            shard.busy_ms = float(row["busy_ms"])
+            shard.batches_done = int(row["batches_done"])
+            shard.steals_in = int(row["steals_in"])
+            shard.steals_out = int(row["steals_out"])
+            for name in row["hosted"]:
+                shard.batchers[name] = batchers[name]
+            shard.ready_at = {name: float(at) for name, at
+                              in row["ready_at"].items()}
+            shard.dispatcher.restore(row["dispatcher"])
+            if row["flight"] is not None:
+                shard.flight = flight_from_payload(row["flight"])
+            self._shards[sid] = shard
+        self._home = {name: int(sid)
+                      for name, sid in state["home"].items()}
+        self._claims = {name: int(value)
+                        for name, value in state["claims"].items()}
+        self._ring = ConsistentHashRouter(
+            int(sid) for sid in state["ring"])
+        self._next_shard_id = int(state["next_shard_id"])
+        retiring = state["retiring"]
+        self._retiring = None if retiring is None else int(retiring)
+        self._last_donated_ms = {
+            int(sid): float(value)
+            for sid, value in state["last_donated"].items()}
+        for name, lanes in state["queues"].items():
+            batchers[name].queue.restore_lanes(
+                [(tenant, [request_from_payload(p) for p in payloads])
+                 for tenant, payloads in lanes])
+        for name, row in state["breakers"].items():
+            batchers[name].breaker.restore(row)
+        for name, row in state["sessions"].items():
+            batchers[name].session.restore_progress(
+                int(row["cursor"]), int(row["macro_done"]))
+        self.windows.load_state(state["windows"])
+        if self.slo_monitor is not None and state.get("slo"):
+            self.slo_monitor.load_state(state["slo"])
+        if self.autoscaler is not None and state.get("autoscaler"):
+            self.autoscaler.restore(state["autoscaler"])
+        self._steals = [StealMove(**row)
+                        for row in state.get("steals", [])]
+        self._crashes = [
+            CrashRecord(ts_ms=row["ts_ms"], shard_id=row["shard_id"],
+                        aborted_requests=row["aborted_requests"],
+                        requeued_requests=row["requeued_requests"],
+                        migrated_pipelines=tuple(
+                            row["migrated_pipelines"]))
+            for row in state.get("crashes", [])]
+        self._sim_base_ms = float(state["base"])
+        self._now_ms = self._sim_base_ms + float(state.get("clock", 0.0))
+
+    def _pending_request_ids(self) -> set:
+        """Ids of every restored request still awaiting computation —
+        queued or in flight — i.e. the complement of "reconstructible
+        from the journal" among pre-checkpoint admissions."""
+        pending: set = set()
+        for shard in self._shards.values():
+            for batcher in shard.batchers.values():
+                for _, lane in batcher.queue.snapshot_lanes():
+                    pending.update(r.request_id for r in lane)
+            if shard.flight is not None:
+                pending.update(r.request_id
+                               for r in shard.flight.batch.requests)
+        return pending
+
+    def _replay_completed_report(self, snapshot: Optional[dict],
+                                 durable: DurableState) -> FleetReport:
+        """The crashed play had fully settled (its ``close`` record is
+        durable): reconstruct the entire report from the journal and
+        the idle checkpoint — or, when the crash landed between the
+        close commit and the checkpoint write, from the close record —
+        without re-executing anything."""
+        settled = sorted(durable.settled_ids())
+        responses = [durable.settled_response(rid) for rid in settled]
+        source = (snapshot if snapshot is not None
+                  else durable.recovery.close_record or {})
+        reports = {name: _report_from_payload(payload)
+                   for name, payload
+                   in (source.get("reports") or {}).items()}
+        for name in self._order:
+            reports.setdefault(name, SessionReport(name=name))
+        duration = float(source.get("duration_ms", 0.0))
+        durable.note_replay(reconstructed=len(responses), pending=0,
+                            resume_clock=duration)
+        return FleetReport(
+            responses=responses, sessions=reports,
+            duration_ms=duration, shards=self._shard_rows(),
+            steals=list(self._steals),
+            scale_events=(list(self.autoscaler.events)
+                          if self.autoscaler is not None else []),
+            crashes=list(self._crashes))
 
     def _batcher(self, name: str) -> DynamicBatcher:
         return self._shards[self._home[name]].batchers[name]
@@ -470,9 +784,15 @@ class FleetServer:
         monitoring = (telemetry or monitor is not None
                       or self.steal_policy is not None
                       or self.autoscaler is not None)
+        # Durability makes bucket boundaries clock events too: the
+        # journal group-commits and checkpoints fire there.  This is
+        # behaviour-neutral for the simulation — every admission and
+        # dispatch time is already a clock event — so durable and
+        # non-durable runs stay byte-identical.
         controllers = (self.steal_policy is not None
                        or self.autoscaler is not None
-                       or faults.is_active())
+                       or faults.is_active()
+                       or self._durable is not None)
         arrivals = sorted(
             enumerate(requests),
             key=lambda pair: (pair[1].arrival_ms, pair[0]))
@@ -483,16 +803,73 @@ class FleetServer:
                          trace_id=((r.trace_id or f"req-{i:06d}")
                                    if monitoring else r.trace_id))
             for i, (_, r) in enumerate(arrivals)]
-        reports = {name: SessionReport(name=name)
-                   for name in self._order}
-        responses: list[Response] = []
-        self._steals = []
-        self._crashes = []
-        clock = 0.0
-        next_arrival = 0
+        durable = self._durable
+        resume = self._resume
+        self._resume = None
+        if durable is not None:
+            fingerprint = workload_fingerprint(ordered)
+            if resume is not None and resume.get("complete"):
+                # The journal already holds every response of this
+                # exact workload: reconstruct without re-executing.
+                recovery = durable.recovery
+                if recovery.fingerprint == fingerprint \
+                        and recovery.expected_requests == len(ordered):
+                    return self._replay_completed_report(
+                        resume["snapshot"], durable)
+                resume = None   # different workload: a fresh play
+            if resume is not None:
+                durable.resume_play(fingerprint, len(ordered))
+            else:
+                durable.begin_play(fingerprint, len(ordered))
+        snap = resume.get("snapshot") if resume is not None else None
+        resuming_mid = (snap is not None
+                        and snap.get("phase") == "in_play")
         base = self._sim_base_ms
         eval_ms = self.windows.window_ms / self.windows.buckets
-        epoch = int(base // eval_ms)
+        if resuming_mid:
+            # Continue the crashed play from its checkpoint: the loop
+            # cursors, report aggregates and control-plane ledgers come
+            # back exactly as the crashed process held them.
+            reports = {name: _report_from_payload(payload)
+                       for name, payload in snap["reports"].items()}
+            for name in self._order:
+                reports.setdefault(name, SessionReport(name=name))
+            clock = float(snap["clock"])
+            next_arrival = int(snap["next_arrival"])
+            epoch = int(snap["epoch"])
+            batch_counter = int(snap.get("batch_counter", 0))
+        else:
+            reports = {name: SessionReport(name=name)
+                       for name in self._order}
+            self._steals = []
+            self._crashes = []
+            clock = 0.0
+            next_arrival = 0
+            epoch = int(base // eval_ms)
+            batch_counter = 0
+        responses: list[Response] = []
+        if durable is not None and resume is not None:
+            # Exactly-once split: journaled settles of pre-checkpoint
+            # requests that are neither queued nor in flight are final
+            # — emit them verbatim.  Everything else (restored queues,
+            # restored flights, post-checkpoint arrivals) is recomputed
+            # deterministically; the journal dedupes re-settles.
+            pending_ids = self._pending_request_ids()
+            settled = durable.settled_ids()
+            reconstructed = sorted(
+                rid for rid in settled
+                if rid < next_arrival and rid not in pending_ids)
+            for rid in reconstructed:
+                responses.append(durable.settled_response(rid))
+            durable.note_replay(
+                reconstructed=len(reconstructed),
+                pending=len(settled) - len(reconstructed),
+                resume_clock=clock)
+
+        def settle(response: Response) -> None:
+            responses.append(response)
+            if durable is not None:
+                durable.record_settle(response)
 
         def shed(request: ServeRequest, error: ServeError,
                  reason: str, at_ms: float) -> None:
@@ -508,13 +885,16 @@ class FleetServer:
                 self.windows.counter(
                     "serve.shed", session=request.pipeline) \
                     .add(base + at_ms)
-            responses.append(Response(
+            settle(Response(
                 request=request, status=STATUS_REJECTED,
                 completed_ms=at_ms, error=error))
 
         ctx = PlayContext(reports=reports, responses=responses,
                           telemetry=telemetry, monitoring=monitoring,
-                          windows=self.windows, base=base, shed=shed)
+                          windows=self.windows, base=base, shed=shed,
+                          on_respond=(durable.record_settle
+                                      if durable is not None else None),
+                          _batch_counter=batch_counter)
 
         def admit_until(now: float) -> None:
             nonlocal next_arrival
@@ -527,7 +907,7 @@ class FleetServer:
                     error = ServeError(
                         f"unknown pipeline {request.pipeline!r}; "
                         f"serving: {sorted(self._order)}")
-                    responses.append(Response(
+                    settle(Response(
                         request=request, status=STATUS_REJECTED,
                         completed_ms=request.arrival_ms, error=error))
                     continue
@@ -569,6 +949,8 @@ class FleetServer:
                     self._claims[request.pipeline] = \
                         start + request.iterations
                     request = replace(request, window_start=start)
+                    if durable is not None:
+                        durable.record_admit(request)
                     batcher.queue.admit(request)
                     if telemetry:
                         obs.emit("admit",
@@ -622,6 +1004,19 @@ class FleetServer:
                 self._run_autoscale(now_clock, now, worst,
                                     telemetry, base)
             self._try_retire(now_clock, telemetry, base)
+            if durable is not None:
+                durable.on_boundary(now, current)
+                if durable.should_checkpoint(now):
+                    # Snapshot construction is durable-only work too:
+                    # count it toward the overhead accumulator.
+                    with durable._timed():
+                        state = self._snapshot_state(
+                            phase="in_play", clock=now_clock,
+                            next_arrival=next_arrival,
+                            epoch=current,
+                            batch_counter=ctx._batch_counter,
+                            reports=reports)
+                    durable.write_checkpoint(state, now)
 
         while True:
             # 1. Land flights whose simulated completion has arrived,
@@ -696,12 +1091,21 @@ class FleetServer:
             raise ServeError(
                 f"fleet response accounting broken: {len(ordered)} "
                 f"requests, {len(responses)} responses")
-        return FleetReport(
+        report = FleetReport(
             responses=responses, sessions=reports, duration_ms=clock,
             shards=self._shard_rows(), steals=list(self._steals),
             scale_events=(list(self.autoscaler.events)
                           if self.autoscaler is not None else []),
             crashes=list(self._crashes))
+        if durable is not None:
+            # Seal the play: durable close record, then an idle
+            # checkpoint so a crash *between* plays restores the final
+            # state (and an identical re-submission short-circuits).
+            durable.end_play(self._snapshot_state(
+                phase="idle", clock=0.0, next_arrival=len(ordered),
+                epoch=epoch, batch_counter=ctx._batch_counter,
+                reports=reports, duration_ms=clock))
+        return report
 
     # -- telemetry endpoints -------------------------------------------
     def _shard_rows(self) -> dict[int, dict]:

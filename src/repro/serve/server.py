@@ -342,7 +342,10 @@ class StreamServer:
                 self.windows.counter(
                     "serve.shed", session=request.pipeline) \
                     .add(base + at_ms)
-            responses.append(Response(
+            # Through ctx.respond (resolved at call time, after the
+            # PlayContext below exists) so every terminal response —
+            # served, failed, shed — leaves by the same door.
+            ctx.respond(Response(
                 request=request, status=STATUS_REJECTED,
                 completed_ms=at_ms, error=error))
 
@@ -357,7 +360,7 @@ class StreamServer:
                     error = ServeError(
                         f"unknown pipeline {request.pipeline!r}; "
                         f"serving: {sorted(self._batchers)}")
-                    responses.append(Response(
+                    ctx.respond(Response(
                         request=request, status=STATUS_REJECTED,
                         completed_ms=request.arrival_ms, error=error))
                     continue

@@ -167,6 +167,30 @@ class PipelineSession:
         self._warmed = True
         return new_macro, max(0, delta)
 
+    def restore_progress(self, cursor: int, macro_done: int) -> None:
+        """Fast-forward a fresh session to a checkpointed stream
+        position by deterministic re-execution.
+
+        Executors are pure functions of their invocation count, so
+        re-running ``macro_done`` macro iterations (plus pipeline
+        fill) reproduces the checkpointed sink tokens bit for bit —
+        the checkpoint itself only needs to store two integers per
+        session.  Used by durable recovery (docs/robustness.md)."""
+        if cursor < 0 or macro_done < 0:
+            raise ServeError(
+                f"session {self.name!r}: negative restore position "
+                f"(cursor={cursor}, macro_done={macro_done})")
+        if (self._cursor or self._macro_done
+                or self.executor.invocations_done):
+            raise ServeError(
+                f"session {self.name!r}: restore_progress needs a "
+                "fresh session (stream already advanced)")
+        if macro_done > 0:
+            self.executor.run(macro_done + self.fill_invocations)
+            self._macro_done = macro_done
+            self._warmed = True
+        self._cursor = cursor
+
     def outputs_for(self, start: int, iterations: int) -> dict[str, list]:
         """Sink tokens of base-iteration window ``[start,
         start + iterations)``; the window must already be drained."""

@@ -80,6 +80,18 @@ class FairDispatcher:
         self._last[chosen] = self._seq
         return chosen
 
+    # -- durable state (checkpoint/restore) ----------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe fairness state, so a restored shard keeps serving
+        its pipelines in the exact pre-crash rotation."""
+        return {"registered": list(self._registered),
+                "last": dict(self._last), "seq": self._seq}
+
+    def restore(self, state: dict) -> None:
+        self._registered = [str(name) for name in state["registered"]]
+        self._last = {str(k): int(v) for k, v in state["last"].items()}
+        self._seq = int(state["seq"])
+
 
 @dataclass
 class PlayContext:
@@ -94,12 +106,22 @@ class PlayContext:
     #: ``shed(request, error, reason, at_ms)`` — the server's typed-
     #: rejection hook (stamps a rejected response, never drops).
     shed: Callable[[ServeRequest, Exception, str, float], None]
+    #: ``on_respond(response)`` — durable settle hook; every terminal
+    #: response must flow through :meth:`respond` so the write-ahead
+    #: journal sees it exactly once.
+    on_respond: Optional[Callable[[Response], None]] = None
     _batch_counter: int = 0
 
     def next_batch_index(self) -> int:
         index = self._batch_counter
         self._batch_counter += 1
         return index
+
+    def respond(self, response: Response) -> None:
+        """Record one terminal response (and journal it when durable)."""
+        self.responses.append(response)
+        if self.on_respond is not None:
+            self.on_respond(response)
 
 
 @dataclass
@@ -319,7 +341,7 @@ class Shard:
                              error=type(fault).__name__,
                              latency_ms=completed - request.arrival_ms,
                              **self._labels(name))
-                ctx.responses.append(Response(
+                ctx.respond(Response(
                     request=request, status=STATUS_FAILED,
                     completed_ms=completed,
                     latency_ms=completed - request.arrival_ms,
@@ -383,7 +405,7 @@ class Shard:
                     ctx.windows.histogram(
                         "serve.latency_ms", shard=self.shard_id) \
                         .record(ctx.base + completed, latency)
-            ctx.responses.append(Response(
+            ctx.respond(Response(
                 request=request, status=STATUS_OK, outputs=outputs,
                 start_iteration=start, completed_ms=completed,
                 latency_ms=latency, batch_index=record.index))

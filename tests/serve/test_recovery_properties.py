@@ -1,0 +1,309 @@
+"""Crash-consistent serving: the exactly-once recovery properties.
+
+The contract under test (docs/robustness.md): a durable fleet that is
+killed at ANY crashpoint and restored produces byte-identical
+responses to an uninterrupted run — zero duplicates, zero drops — and
+durability itself never changes behaviour.  The crash loop mirrors a
+supervisor restarting a dead process: construct, restore, replay,
+repeat until the play completes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.cache import CompileCache
+from repro.errors import JournalError, ProcessCrash
+from repro.serve import (
+    CRASHPOINTS,
+    BatchPolicy,
+    FleetServer,
+    ServeRequest,
+    STATUS_OK,
+    STATUS_REJECTED,
+    synthetic_workload,
+)
+
+from .conftest import SERVE_OPTIONS, toy_graph
+
+#: Generous bound on supervisor restarts: crash-once accounting spends
+#: one persisted fault key per restart, so loops terminate long before
+#: this — hitting the cap means recovery livelocked, which is the bug.
+MAX_RESTARTS = 400
+
+
+@pytest.fixture(autouse=True)
+def _no_faults():
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def recovery_cache(tmp_path_factory):
+    """Shared compile cache: every simulated process restart restarts
+    warm, like a real deployment reusing its artifact store."""
+    return CompileCache(tmp_path_factory.mktemp("recovery-cache"))
+
+
+def make_fleet(cache, names=("toy",), shards=1, durable=None,
+               policy=None):
+    fleet = FleetServer(shards=shards, policy=policy or BatchPolicy(),
+                        options=SERVE_OPTIONS, cache=cache,
+                        durable=durable)
+    for name in names:
+        fleet.register(name, toy_graph(name))
+    return fleet
+
+
+def response_key(response):
+    return (response.request.request_id, response.status,
+            response.start_iteration, response.completed_ms,
+            response.latency_ms, response.batch_index,
+            tuple(sorted((k, tuple(v))
+                         for k, v in (response.outputs or {}).items())))
+
+
+def run_with_restarts(cache, workload, *, durable_dir, names=("toy",),
+                      shards=1, policy=None):
+    """Supervisor loop: run the play, restoring after every injected
+    process crash, until it completes.  Returns (report, crashpoints).
+    """
+    crashpoints = []
+    for attempt in range(MAX_RESTARTS):
+        fleet = make_fleet(cache, names=names, shards=shards,
+                           durable=durable_dir, policy=policy)
+        try:
+            if attempt == 0:
+                fleet.start()
+            else:
+                fleet.restore()
+            return fleet.play(workload), crashpoints
+        except ProcessCrash as crash:
+            crashpoints.append(crash.crashpoint)
+    raise AssertionError(
+        f"recovery livelocked: no completion within {MAX_RESTARTS} "
+        f"restarts (crashes: {crashpoints[-10:]})")
+
+
+class TestDurabilityIsBehaviourNeutral:
+    def test_durable_on_equals_durable_off(self, recovery_cache,
+                                           tmp_path):
+        names = ("toyA", "toyB")
+        workload = synthetic_workload(list(names), requests=16, seed=7)
+        plain = make_fleet(recovery_cache, names=names, shards=2)
+        plain.start()
+        baseline = plain.play(workload)
+        durable = make_fleet(recovery_cache, names=names, shards=2,
+                             durable=tmp_path / "durable")
+        durable.start()
+        report = durable.play(workload)
+        assert [response_key(r) for r in report.responses] \
+            == [response_key(r) for r in baseline.responses]
+        assert report.duration_ms == baseline.duration_ms
+
+    def test_journal_records_every_admission_and_settle(
+            self, recovery_cache, tmp_path):
+        from repro.serve import RequestJournal
+        workload = synthetic_workload(["toy"], requests=8, seed=1)
+        fleet = make_fleet(recovery_cache, durable=tmp_path / "d")
+        fleet.start()
+        report = fleet.play(workload)
+        records, torn = RequestJournal.read_records(
+            tmp_path / "d" / "journal.wal")
+        assert not torn
+        kinds = [r["k"] for r in records]
+        assert kinds[0] == "open" and kinds[-1] == "close"
+        admitted = [r for r in records if r["k"] == "admit"]
+        settled = [r for r in records if r["k"] == "settle"]
+        served = [r for r in report.responses
+                  if r.status == STATUS_OK]
+        assert len(admitted) == len(served)
+        assert {r["id"] for r in settled} \
+            == {r.request.request_id for r in report.responses}
+
+
+class TestCrashAtEveryCrashpoint:
+    def test_every_crashpoint_byte_equal(self, recovery_cache,
+                                         tmp_path):
+        """rate=1.0 forces one crash per (crashpoint, key): the loop
+        dies at every enumerated crashpoint at least once and must
+        still converge to the uninterrupted run's exact bytes."""
+        workload = synthetic_workload(["toy"], requests=4, seed=3)
+        plain = make_fleet(recovery_cache)
+        plain.start()
+        baseline = plain.play(workload)
+
+        faults.configure("seed=1,process.crash=1.0")
+        report, crashpoints = run_with_restarts(
+            recovery_cache, workload, durable_dir=tmp_path / "force")
+        faults.reset()
+
+        assert set(crashpoints) == set(CRASHPOINTS)
+        assert [response_key(r) for r in report.responses] \
+            == [response_key(r) for r in baseline.responses]
+        assert report.duration_ms == baseline.duration_ms
+        for name, session in report.sessions.items():
+            assert (session.served, session.shed, session.failed) == (
+                baseline.sessions[name].served,
+                baseline.sessions[name].shed,
+                baseline.sessions[name].failed)
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_randomized_chaos_byte_equal(self, recovery_cache,
+                                         tmp_path, shards):
+        """Randomized kill schedule plus torn journal writes and
+        snapshot bit-rot, across shard counts."""
+        names = ("toyA", "toyB")
+        workload = synthetic_workload(list(names), requests=12, seed=5)
+        plain = make_fleet(recovery_cache, names=names, shards=shards)
+        plain.start()
+        baseline = plain.play(workload)
+
+        faults.configure("seed=23,process.crash=0.3,"
+                         "journal.torn_write=0.25,snapshot.corrupt=0.2")
+        report, crashpoints = run_with_restarts(
+            recovery_cache, workload,
+            durable_dir=tmp_path / f"chaos{shards}",
+            names=names, shards=shards)
+        faults.reset()
+
+        assert crashpoints, "chaos spec injected no crashes"
+        ids = [r.request.request_id for r in report.responses]
+        assert len(ids) == len(set(ids)) == len(workload)
+        assert [response_key(r) for r in report.responses] \
+            == [response_key(r) for r in baseline.responses]
+
+
+class TestCompletedPlayRecovery:
+    def test_resubmission_short_circuits(self, recovery_cache,
+                                         tmp_path):
+        """Restoring after a clean play and re-submitting the same
+        workload reconstructs everything from the journal — the
+        sessions never execute an iteration."""
+        workload = synthetic_workload(["toy"], requests=6, seed=2)
+        first = make_fleet(recovery_cache, durable=tmp_path / "d")
+        first.start()
+        original = first.play(workload)
+
+        second = make_fleet(recovery_cache)
+        second.restore(durable=tmp_path / "d")
+        # restore() itself re-runs a few invocations to rebuild the
+        # software-pipeline fill; the short-circuited play adds none.
+        after_restore = second.session("toy").executor.invocations_done
+        replay = second.play(workload)
+        assert [response_key(r) for r in replay.responses] \
+            == [response_key(r) for r in original.responses]
+        assert replay.duration_ms == original.duration_ms
+        assert second.session("toy").executor.invocations_done \
+            == after_restore
+        durable = second._durable
+        assert durable.reconstructed == len(workload)
+        assert durable.replay_lag_ms == 0.0
+
+    def test_different_workload_after_restore_is_new_play(
+            self, recovery_cache, tmp_path):
+        first = make_fleet(recovery_cache, durable=tmp_path / "d")
+        first.start()
+        first.play(synthetic_workload(["toy"], requests=4, seed=2))
+
+        second = make_fleet(recovery_cache)
+        second.restore(durable=tmp_path / "d")
+        follow_up = synthetic_workload(["toy"], requests=5, seed=9)
+        report = second.play(follow_up)
+        assert len(report.responses) == len(follow_up)
+        # The new play continues the stream where play 1 left off:
+        # claimed windows pick up past the previous play's iterations.
+        starts = [r.start_iteration for r in report.responses
+                  if r.status == STATUS_OK]
+        assert min(starts) >= 4
+
+    def test_mid_play_resume_rejects_mismatched_workload(
+            self, recovery_cache, tmp_path):
+        workload = synthetic_workload(["toy"], requests=4, seed=3)
+        faults.configure("seed=1,process.crash=1.0")
+        fleet = make_fleet(recovery_cache, durable=tmp_path / "d")
+        fleet.start()
+        with pytest.raises(ProcessCrash):
+            fleet.play(workload)
+        faults.reset()
+
+        restored = make_fleet(recovery_cache)
+        restored.restore(durable=tmp_path / "d")
+        other = synthetic_workload(["toy"], requests=4, seed=99)
+        with pytest.raises(JournalError, match="does not match"):
+            restored.play(other)
+
+
+class TestBreakerRecovery:
+    """Satellite: circuit-breaker behaviour on the fleet path, and its
+    state surviving checkpoint/restore."""
+
+    def flaky_policy(self, cooldown_ms):
+        return BatchPolicy(max_wait_ms=0.0, breaker_failure_threshold=1,
+                           breaker_cooldown_ms=cooldown_ms)
+
+    def trip(self, fleet, monkeypatch, failures=1):
+        """Make the first ``failures`` batches of 'toy' fail."""
+        session = fleet.session("toy")
+        real_advance = session.advance_to
+        box = {"left": failures}
+
+        def flaky_advance(through_base):
+            if box["left"]:
+                box["left"] -= 1
+                from repro.errors import TransientFilterFault
+                raise TransientFilterFault("injected executor fault")
+            return real_advance(through_base)
+
+        monkeypatch.setattr(session, "advance_to", flaky_advance)
+
+    def request(self, arrival):
+        return ServeRequest(pipeline="toy", tenant="a", iterations=1,
+                            arrival_ms=arrival)
+
+    def test_half_open_probe_recovers_on_fleet_path(
+            self, recovery_cache, monkeypatch):
+        fleet = make_fleet(recovery_cache, shards=2,
+                           policy=self.flaky_policy(10.0))
+        fleet.start()
+        self.trip(fleet, monkeypatch)
+        report = fleet.play([self.request(0.0), self.request(5.0),
+                             self.request(50.0), self.request(55.0)])
+        statuses = [r.status for r in report.responses]
+        # fail -> shed in cooldown -> half-open probe OK -> closed.
+        assert statuses[0] != STATUS_OK
+        assert statuses[1] == STATUS_REJECTED
+        assert statuses[2] == STATUS_OK
+        assert statuses[3] == STATUS_OK
+        breaker = fleet._batcher("toy").breaker
+        assert breaker.state == "closed"
+        assert breaker.trips == 1
+
+    def test_breaker_state_survives_checkpoint_restore(
+            self, recovery_cache, tmp_path, monkeypatch):
+        fleet = make_fleet(recovery_cache, durable=tmp_path / "d",
+                           policy=self.flaky_policy(1000.0))
+        fleet.start()
+        self.trip(fleet, monkeypatch)
+        report = fleet.play([self.request(0.0), self.request(5.0)])
+        statuses = [r.status for r in report.responses]
+        assert statuses[0] != STATUS_OK          # batch fault -> trip
+        assert statuses[1] == STATUS_REJECTED    # shed while open
+        tripped = fleet._batcher("toy").breaker.snapshot()
+        assert tripped["state"] == "open"
+
+        restored = make_fleet(recovery_cache,
+                              policy=self.flaky_policy(1000.0))
+        restored.restore(durable=tmp_path / "d")
+        breaker = restored._batcher("toy").breaker
+        assert breaker.snapshot() == tripped
+        # Still inside the original cooldown: arrivals are shed with a
+        # typed SessionUnhealthy, exactly as the crashed run would.
+        inside = restored.play([self.request(2.0)])
+        assert inside.responses[0].status == STATUS_REJECTED
+        # Past the cooldown: the half-open probe goes through and the
+        # (now healthy) session closes the circuit.
+        after = restored.play([self.request(1200.0)])
+        assert after.responses[0].status == STATUS_OK
+        assert restored._batcher("toy").breaker.state == "closed"

@@ -219,6 +219,51 @@ class TestServe:
         assert not obs.is_enabled()
 
 
+class TestServeDurable:
+    """End-to-end exercise of --checkpoint-dir / --restore."""
+
+    BASE = ["serve", "DCT", "--requests", "6", "--seed", "4",
+            "--device", "8600gts", "--budget", "5"]
+
+    def test_durable_serve_writes_state(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        assert main(self.BASE + ["--checkpoint-dir", str(state)]) == 0
+        names = sorted(p.name for p in state.iterdir())
+        assert "MANIFEST.json" in names
+        assert "journal.wal" in names
+        assert any(n.startswith("checkpoint-") for n in names)
+
+    def test_restore_round_trip_is_byte_equal(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        assert main(self.BASE + ["--checkpoint-dir", str(state)]) == 0
+        first = capsys.readouterr().out
+        assert main(self.BASE + ["--checkpoint-dir", str(state),
+                                 "--restore"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_restore_without_checkpoint_dir(self, capsys):
+        assert main(self.BASE + ["--restore"]) == 2
+        assert "--restore requires --checkpoint-dir" \
+            in capsys.readouterr().err
+
+    def test_restore_missing_directory(self, tmp_path, capsys):
+        assert main(self.BASE + ["--checkpoint-dir",
+                                 str(tmp_path / "absent"),
+                                 "--restore"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_restore_directory_without_manifest(self, tmp_path, capsys):
+        assert main(self.BASE + ["--checkpoint-dir", str(tmp_path),
+                                 "--restore"]) == 2
+        assert "MANIFEST.json" in capsys.readouterr().err
+
+    def test_negative_checkpoint_interval(self, tmp_path, capsys):
+        assert main(self.BASE + ["--checkpoint-dir", str(tmp_path / "s"),
+                                 "--checkpoint-interval-ms", "-1"]) == 2
+        assert "checkpoint interval must be >= 0" \
+            in capsys.readouterr().err
+
+
 class TestStats:
     def test_stats_swp(self, capsys):
         assert main(["stats", "DCT", "--budget", "5"]) == 0

@@ -1,0 +1,95 @@
+"""The shared atomic/durable write helper (repro.io_atomic).
+
+Both the compile cache and the durable serving layer lean on these
+primitives; a regression here silently weakens every crash-consistency
+claim downstream, so the contract is pinned directly.
+"""
+
+import os
+
+import pytest
+
+from repro.io_atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_handle,
+    fsync_path,
+    tmp_sibling,
+)
+
+
+class TestTmpSibling:
+    def test_same_directory(self, tmp_path):
+        target = tmp_path / "sub" / "entry.json"
+        tmp = tmp_sibling(target)
+        assert tmp.parent == target.parent
+        assert tmp.name != target.name
+
+    def test_unique_per_process_and_thread(self, tmp_path):
+        target = tmp_path / "entry.json"
+        assert str(os.getpid()) in tmp_sibling(target).name
+
+
+class TestAtomicWrite:
+    def test_creates_parents_and_writes(self, tmp_path):
+        target = tmp_path / "a" / "b" / "entry.bin"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+
+    def test_replaces_existing(self, tmp_path):
+        target = tmp_path / "entry.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_residue(self, tmp_path):
+        target = tmp_path / "entry.txt"
+        atomic_write_text(target, "content")
+        assert [p.name for p in tmp_path.iterdir()] == ["entry.txt"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path,
+                                                  monkeypatch):
+        target = tmp_path / "entry.txt"
+        atomic_write_text(target, "survivor")
+
+        def boom(src, dst):
+            raise OSError("injected replace failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="injected"):
+            atomic_write_text(target, "doomed")
+        assert target.read_text() == "survivor"
+        # ... and the temp file was cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == ["entry.txt"]
+
+    def test_non_durable_skips_fsync(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: calls.append(fd))
+        atomic_write_text(tmp_path / "fast.txt", "x", durable=False)
+        assert calls == []
+
+    def test_durable_fsyncs_file_and_directory(self, tmp_path,
+                                               monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+
+        def spy(fd):
+            calls.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy)
+        atomic_write_text(tmp_path / "safe.txt", "x", durable=True)
+        assert len(calls) >= 2   # payload + directory entry
+
+
+class TestFsyncHelpers:
+    def test_fsync_handle_flushes(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with open(path, "w") as handle:
+            handle.write("buffered")
+            fsync_handle(handle)
+            assert path.read_text() == "buffered"
+
+    def test_fsync_path_tolerates_missing(self, tmp_path):
+        fsync_path(tmp_path / "missing")   # must not raise
